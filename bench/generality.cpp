@@ -1,0 +1,77 @@
+// Generality bench: the paper's algorithms on kernels *outside* its
+// evaluation suite — dense/shallow (radix-4 FFT), embarrassingly
+// parallel (unrolled matrix multiply), strictly serial (Horner), and
+// 2-D (row-column transform) — against the PCC baseline. Checks that
+// the B-INIT/B-ITER advantage is a property of the algorithm, not of
+// the seven paper benchmarks.
+#include <iostream>
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "bind/lower_bounds.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct NamedKernel {
+  std::string name;
+  cvb::Dfg dfg;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Generality: extended kernels, L/M per algorithm "
+            << "(N_B=2, lat(move)=1)\n\n";
+
+  std::vector<NamedKernel> kernels;
+  kernels.push_back({"matmul 3x3 (63 ops)", cvb::make_matmul(3)});
+  kernels.push_back({"matmul 4x4 (112 ops)", cvb::make_matmul(4)});
+  kernels.push_back({"horner deg-12 (24 ops)", cvb::make_horner(12)});
+  kernels.push_back({"fft radix-4 (34 ops)", cvb::make_fft_radix4()});
+  kernels.push_back({"2-D transform (16 ops)", cvb::make_dct2d_rowcol()});
+
+  const std::vector<std::string> datapaths = {"[1,1|1,1]", "[2,1|2,1]",
+                                              "[1,1|1,1|1,1]"};
+  cvb::TablePrinter table({"kernel", "datapath", "LB", "PCC L/M",
+                           "B-INIT L/M", "B-ITER L/M"});
+  int pcc_total = 0;
+  int iter_total = 0;
+  for (const NamedKernel& kernel : kernels) {
+    for (const std::string& spec : datapaths) {
+      const cvb::Datapath dp = cvb::parse_datapath(spec);
+      const cvb::LatencyLowerBound lb =
+          cvb::latency_lower_bound(kernel.dfg, dp);
+      const cvb::BindResult pcc = cvb::pcc_binding(kernel.dfg, dp);
+      cvb::DriverParams init_only;
+      init_only.run_iterative = false;
+      const cvb::BindResult init =
+          cvb::bind_initial_best(kernel.dfg, dp, init_only);
+      const cvb::BindResult iter = cvb::bind_full(kernel.dfg, dp);
+      if (const std::string err =
+              cvb::verify_schedule(iter.bound, dp, iter.schedule);
+          !err.empty()) {
+        throw std::logic_error("illegal schedule: " + err);
+      }
+      pcc_total += pcc.schedule.latency;
+      iter_total += iter.schedule.latency;
+      const auto lm = [](const cvb::BindResult& r) {
+        return std::to_string(r.schedule.latency) + "/" +
+               std::to_string(r.schedule.num_moves);
+      };
+      table.add_row({kernel.name, spec, std::to_string(lb.combined),
+                     lm(pcc), lm(init), lm(iter)});
+    }
+  }
+  table.add_row({"TOTAL L", "", "", std::to_string(pcc_total), "",
+                 std::to_string(iter_total)});
+  table.print(std::cout);
+  std::cout << "\nExpected: B-ITER <= PCC overall; Horner rows show every "
+               "algorithm pinned at the\ndependence bound (nothing to "
+               "cluster); matmul rows show near-LB scaling.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Shared helper for the table-reproduction benches: runs the paper's
+// three algorithms (PCC baseline, B-INIT, B-ITER) on one
+// (DFG, datapath) experiment and formats Table 1/2-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+#include "support/strings.hpp"
+
+namespace cvb::bench {
+
+/// Results of one experiment row (one datapath configuration).
+struct ExperimentRow {
+  // PCC baseline.
+  int pcc_latency = 0;
+  int pcc_moves = 0;
+  double pcc_ms = 0.0;
+  // B-INIT (initial binding phase with the driver's parameter sweep).
+  int init_latency = 0;
+  int init_moves = 0;
+  double init_ms = 0.0;
+  // B-ITER (full algorithm).
+  int iter_latency = 0;
+  int iter_moves = 0;
+  double iter_ms = 0.0;
+};
+
+/// Latency improvement percentage over PCC, the paper's Delta-L% column
+/// (positive = ours faster).
+[[nodiscard]] inline double improvement_pct(int pcc_latency, int latency) {
+  if (pcc_latency == 0) {
+    return 0.0;
+  }
+  return 100.0 * (pcc_latency - latency) / pcc_latency;
+}
+
+/// Runs PCC, B-INIT and B-ITER on one experiment; every schedule is
+/// re-verified, so a scheduler bug aborts the bench instead of
+/// producing bogus tables.
+[[nodiscard]] inline ExperimentRow run_experiment(const Dfg& dfg,
+                                                  const Datapath& dp) {
+  ExperimentRow row;
+
+  PccInfo pcc_info;
+  const BindResult pcc = pcc_binding(dfg, dp, {}, &pcc_info);
+  if (const std::string err = verify_schedule(pcc.bound, dp, pcc.schedule);
+      !err.empty()) {
+    throw std::logic_error("PCC produced an illegal schedule: " + err);
+  }
+  row.pcc_latency = pcc.schedule.latency;
+  row.pcc_moves = pcc.schedule.num_moves;
+  row.pcc_ms = pcc_info.ms;
+
+  DriverParams init_only;
+  init_only.run_iterative = false;
+  const BindResult init = bind_initial_best(dfg, dp, init_only);
+  if (const std::string err = verify_schedule(init.bound, dp, init.schedule);
+      !err.empty()) {
+    throw std::logic_error("B-INIT produced an illegal schedule: " + err);
+  }
+  row.init_latency = init.schedule.latency;
+  row.init_moves = init.schedule.num_moves;
+  row.init_ms = init.init_ms;
+
+  const BindResult iter = bind_full(dfg, dp);
+  if (const std::string err = verify_schedule(iter.bound, dp, iter.schedule);
+      !err.empty()) {
+    throw std::logic_error("B-ITER produced an illegal schedule: " + err);
+  }
+  row.iter_latency = iter.schedule.latency;
+  row.iter_moves = iter.schedule.num_moves;
+  row.iter_ms = iter.init_ms + iter.iter_ms;
+
+  return row;
+}
+
+/// "L/M" cell, the paper's result format.
+[[nodiscard]] inline std::string lm(int latency, int moves) {
+  return std::to_string(latency) + "/" + std::to_string(moves);
+}
+
+/// Delta-L% cell with one decimal at most (paper prints "6.7", "10").
+[[nodiscard]] inline std::string pct(double value) {
+  return format_sig(value, 2);
+}
+
+/// Milliseconds cell with two significant digits.
+[[nodiscard]] inline std::string msec(double value) {
+  return format_sig(value, 2);
+}
+
+/// Standard Table-1/2 cells for one experiment row, starting with
+/// `head` (the datapath or parameter description).
+[[nodiscard]] inline std::vector<std::string> table_cells(
+    const std::string& head, const ExperimentRow& row) {
+  return {head,
+          lm(row.pcc_latency, row.pcc_moves),
+          msec(row.pcc_ms),
+          lm(row.init_latency, row.init_moves),
+          pct(improvement_pct(row.pcc_latency, row.init_latency)),
+          msec(row.init_ms),
+          lm(row.iter_latency, row.iter_moves),
+          pct(improvement_pct(row.pcc_latency, row.iter_latency)),
+          msec(row.iter_ms)};
+}
+
+/// Header matching table_cells().
+[[nodiscard]] inline std::vector<std::string> table_headers() {
+  return {"DATAPATH",     "PCC L/M",    "PCC ms", "B-INIT L/M",
+          "dL% vs PCC",   "B-INIT ms",  "B-ITER L/M",
+          "dL% vs PCC ",  "B-ITER ms"};
+}
+
+}  // namespace cvb::bench

@@ -1,0 +1,82 @@
+// Non-unit-latency experiment: the paper's tables fix every operation
+// at one cycle, but its datapath model (Section 2) is general —
+// latencies per operation type, data introduction intervals per
+// resource. This bench exercises that generality: the benchmark suite
+// on realistic DSP timing (2-cycle pipelined multipliers, and a
+// 2-cycle *unpipelined* variant), comparing B-INIT/B-ITER against PCC
+// under each regime.
+#include <iostream>
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "graph/analysis.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/datapath.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+cvb::Datapath make_dp(int mul_latency, bool pipelined) {
+  cvb::LatencyTable lat = cvb::unit_latencies();
+  lat[static_cast<std::size_t>(cvb::OpType::kMul)] = mul_latency;
+  lat[static_cast<std::size_t>(cvb::OpType::kMac)] = mul_latency;
+  std::array<int, cvb::kNumFuTypes> dii{};
+  dii.fill(1);
+  if (!pipelined) {
+    dii[static_cast<std::size_t>(cvb::FuType::kMult)] = mul_latency;
+  }
+  return cvb::Datapath(
+      {cvb::Cluster{{2, 1}}, cvb::Cluster{{2, 1}}}, 2, lat, dii);
+}
+
+std::string lm(const cvb::BindResult& r) {
+  return std::to_string(r.schedule.latency) + "/" +
+         std::to_string(r.schedule.num_moves);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Non-unit latency generality: suite on [2,1|2,1], 2 buses\n"
+            << "regimes: unit | mul=2 pipelined | mul=2 unpipelined "
+            << "(dii=2)\n\n";
+
+  const std::vector<std::pair<std::string, cvb::Datapath>> regimes = {
+      {"unit", make_dp(1, true)},
+      {"mul2-piped", make_dp(2, true)},
+      {"mul2-serial", make_dp(2, false)},
+  };
+
+  cvb::TablePrinter table(
+      {"kernel", "regime", "Lcp", "PCC L/M", "B-ITER L/M", "dL%"});
+  for (const cvb::BenchmarkKernel& kernel : cvb::benchmark_suite()) {
+    for (const auto& [name, dp] : regimes) {
+      const cvb::BindResult pcc = cvb::pcc_binding(kernel.dfg, dp);
+      const cvb::BindResult iter = cvb::bind_full(kernel.dfg, dp);
+      if (const std::string err =
+              cvb::verify_schedule(iter.bound, dp, iter.schedule);
+          !err.empty()) {
+        throw std::logic_error("illegal schedule: " + err);
+      }
+      const double delta =
+          pcc.schedule.latency == 0
+              ? 0.0
+              : 100.0 * (pcc.schedule.latency - iter.schedule.latency) /
+                    pcc.schedule.latency;
+      table.add_row(
+          {kernel.name, name,
+           std::to_string(
+               cvb::critical_path_length(kernel.dfg, dp.latencies())),
+           lm(pcc), lm(iter),
+           cvb::format_sig(delta, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: B-ITER never loses across regimes; multiplier-"
+               "heavy kernels (ARF)\nstretch hardest under the unpipelined "
+               "regime, where dii windows dominate.\n";
+  return 0;
+}

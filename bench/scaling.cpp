@@ -1,0 +1,83 @@
+// Runtime-scaling microbenchmarks (google-benchmark): how B-INIT,
+// B-ITER and PCC scale with DFG size. The paper reports B-INIT in
+// single-digit milliseconds and B-ITER in seconds on 1990s hardware
+// (RS6000); these benches characterize the same complexity gap on this
+// machine, on unrolled DCT kernels and random layered DAGs.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bind/driver.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace {
+
+cvb::Dfg sized_kernel(int unroll_factor) {
+  return cvb::unroll(cvb::make_dct_dit(), unroll_factor);
+}
+
+void BM_InitialBinding(benchmark::State& state) {
+  const cvb::Dfg dfg = sized_kernel(static_cast<int>(state.range(0)));
+  const cvb::Datapath dp = cvb::parse_datapath("[2,1|2,1]");
+  cvb::DriverParams params;
+  params.run_iterative = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cvb::bind_initial_best(dfg, dp, params));
+  }
+  state.SetComplexityN(dfg.num_ops());
+}
+BENCHMARK(BM_InitialBinding)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Complexity();
+
+void BM_FullBinding(benchmark::State& state) {
+  const cvb::Dfg dfg = sized_kernel(static_cast<int>(state.range(0)));
+  const cvb::Datapath dp = cvb::parse_datapath("[2,1|2,1]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cvb::bind_full(dfg, dp));
+  }
+  state.SetComplexityN(dfg.num_ops());
+}
+BENCHMARK(BM_FullBinding)->Arg(1)->Arg(2)->Arg(4)->Complexity();
+
+void BM_PccBinding(benchmark::State& state) {
+  const cvb::Dfg dfg = sized_kernel(static_cast<int>(state.range(0)));
+  const cvb::Datapath dp = cvb::parse_datapath("[2,1|2,1]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cvb::pcc_binding(dfg, dp));
+  }
+  state.SetComplexityN(dfg.num_ops());
+}
+BENCHMARK(BM_PccBinding)->Arg(1)->Arg(2)->Arg(4)->Complexity();
+
+void BM_ListSchedule(benchmark::State& state) {
+  const cvb::Dfg dfg = sized_kernel(static_cast<int>(state.range(0)));
+  const cvb::Datapath dp = cvb::parse_datapath("[2,1|2,1]");
+  cvb::DriverParams params;
+  params.run_iterative = false;
+  const cvb::BindResult r = cvb::bind_initial_best(dfg, dp, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cvb::list_schedule(r.bound, dp));
+  }
+  state.SetComplexityN(dfg.num_ops());
+}
+BENCHMARK(BM_ListSchedule)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Complexity();
+
+void BM_RandomDagFullBinding(benchmark::State& state) {
+  cvb::Rng rng(2026);
+  cvb::RandomDagParams params;
+  params.num_ops = static_cast<int>(state.range(0));
+  params.num_layers = std::max(3, params.num_ops / 8);
+  const cvb::Dfg dfg = cvb::make_random_layered(params, rng);
+  const cvb::Datapath dp = cvb::parse_datapath("[2,1|2,1|1,1]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cvb::bind_full(dfg, dp));
+  }
+  state.SetComplexityN(dfg.num_ops());
+}
+BENCHMARK(BM_RandomDagFullBinding)->Arg(24)->Arg(48)->Arg(96)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

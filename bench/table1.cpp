@@ -1,0 +1,80 @@
+// Reproduces Table 1 of the paper: "schedule latency / number of data
+// transfers" (L/M) for PCC, B-INIT and B-ITER on every benchmark and
+// datapath configuration listed, with N_B = 2 buses and
+// lat(move) = 1. CPU-time columns are wall times on this machine (the
+// paper's were measured on an RS6000; only relative ordering is
+// comparable).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "graph/components.hpp"
+#include "harness.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct BenchmarkConfigs {
+  std::string kernel;
+  std::vector<std::string> datapaths;
+};
+
+// Exactly the configurations of Table 1, in the paper's order.
+const std::vector<BenchmarkConfigs> kTable1 = {
+    {"DCT-DIF", {"[1,1|1,1]", "[2,1|2,1]", "[2,1|1,1]", "[1,1|1,1|1,1]"}},
+    {"DCT-LEE",
+     {"[1,1|1,1]", "[2,1|2,1]", "[2,1|1,1]", "[2,2|2,1]", "[1,1|1,1|1,1]"}},
+    {"DCT-DIT",
+     {"[1,1|1,1]", "[2,1|2,1]", "[1,1|1,1|1,1]", "[2,1|2,1|1,1]",
+      "[3,1|2,2|1,3]", "[1,1|1,1|1,1|1,1]"}},
+    {"DCT-DIT-2",
+     {"[1,1|1,1]", "[2,1|2,1]", "[1,1|1,1|1,1]", "[3,1|2,2|1,3]",
+      "[1,1|1,1|1,1|1,1]"}},
+    {"FFT",
+     {"[1,1|1,1]", "[2,1|2,1]", "[1,1|1,1|1,1]", "[2,1|2,1|1,2]",
+      "[3,2|3,1|1,3]", "[1,1|1,1|1,1|1,1]"}},
+    {"EWF",
+     {"[1,1|1,1]", "[2,1|2,1]", "[2,1|1,1]", "[1,1|1,1|1,1]",
+      "[2,2|2,1|1,1]"}},
+    {"ARF", {"[1,1|1,1]", "[1,2|1,2]"}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  using cvb::bench::run_experiment;
+  using cvb::bench::table_cells;
+
+  if (!csv) {
+    std::cout << "Table 1 reproduction: L/M for PCC, B-INIT, B-ITER\n"
+              << "(N_B = 2 buses, lat(move) = 1, all operations 1 cycle)\n\n";
+  }
+
+  cvb::TablePrinter table(cvb::bench::table_headers());
+  for (const BenchmarkConfigs& bench : kTable1) {
+    const cvb::BenchmarkKernel kernel = cvb::benchmark_by_name(bench.kernel);
+    table.add_section(
+        bench.kernel + ": Nv=" + std::to_string(kernel.dfg.num_ops()) +
+        ", Ncc=" + std::to_string(cvb::num_components(kernel.dfg)) +
+        ", Lcp=" +
+        std::to_string(cvb::critical_path_length(kernel.dfg,
+                                                 cvb::unit_latencies())));
+    for (const std::string& spec : bench.datapaths) {
+      const cvb::Datapath dp =
+          cvb::parse_datapath(spec, /*num_buses=*/2, /*move_latency=*/1);
+      table.add_row(table_cells(spec, run_experiment(kernel.dfg, dp)));
+    }
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+    return 0;
+  }
+  table.print(std::cout);
+  std::cout << "\nRows: " << table.row_count()
+            << " (paper Table 1 has 33 rows)\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table 2 of the paper: the FFT benchmark on the 5-cluster
+// datapath [2,2|2,1|2,2|3,1|1,1], sweeping the number of buses N_B in
+// {1, 2} and the data-transfer latency lat(move) in {1, 2} — the
+// generality check of the algorithm's handling of interconnect
+// parameters.
+#include <iostream>
+
+#include "harness.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  using cvb::bench::run_experiment;
+  using cvb::bench::table_cells;
+
+  if (!csv) {
+    std::cout << "Table 2 reproduction: FFT on [2,2|2,1|2,2|3,1|1,1]\n"
+              << "sweeping N_B (buses) and lat(move)\n\n";
+  }
+
+  const cvb::Dfg fft = cvb::benchmark_by_name("FFT").dfg;
+
+  auto headers = cvb::bench::table_headers();
+  headers.front() = "N_B, lat(move)";
+  cvb::TablePrinter table(headers);
+
+  // The paper's row order: (1,1), (2,1), (1,2), (2,2).
+  const int sweep[4][2] = {{1, 1}, {2, 1}, {1, 2}, {2, 2}};
+  for (const auto& [buses, move_lat] : sweep) {
+    const cvb::Datapath dp =
+        cvb::parse_datapath("[2,2|2,1|2,2|3,1|1,1]", buses, move_lat);
+    table.add_row(table_cells(
+        "N_B=" + std::to_string(buses) + " lat(move)=" +
+            std::to_string(move_lat),
+        run_experiment(fft, dp)));
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The complete compiler flow on one kernel, printing every artifact:
+//
+//   DFG -> binding (B-INIT sweep + B-ITER) -> bound DFG with moves
+//       -> verified list schedule -> register allocation
+//       -> symbolic VLIW assembly -> functional (semantic) check
+//
+// This is the end-to-end story of the library: what a clustered-VLIW
+// code generator built on the DAC'01 binder actually produces.
+#include <iostream>
+
+#include "bind/driver.hpp"
+#include "bind/report.hpp"
+#include "graph/analysis.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sched/emit.hpp"
+#include "sched/verifier.hpp"
+#include "sim/executor.hpp"
+
+int main() {
+  using namespace cvb;
+
+  const BenchmarkKernel kernel = benchmark_by_name("FFT");
+  const Datapath dp = parse_datapath("[2,1|2,1]");
+  std::cout << "=== " << kernel.name << " -> " << dp.to_string() << " ("
+            << dp.num_buses() << " buses) ===\n\n";
+
+  // 1. Bind.
+  const BindResult r = bind_full(kernel.dfg, dp);
+  std::cout << "[1] binding: L=" << r.schedule.latency << " (Lcp="
+            << critical_path_length(kernel.dfg, dp.latencies()) << "), M="
+            << r.schedule.num_moves << " transfers; winning B-INIT params: "
+            << "L_PR=" << r.best_init.profile_latency
+            << (r.best_init.reverse ? ", reverse" : ", forward") << "\n\n";
+
+  // 2. Verify the schedule independently.
+  const std::string sched_err = verify_schedule(r.bound, dp, r.schedule);
+  std::cout << "[2] schedule verifier: "
+            << (sched_err.empty() ? "legal" : sched_err) << "\n\n";
+
+  // 3. Utilization report.
+  std::cout << "[3] ";
+  write_binding_report(std::cout,
+                       make_binding_report(r.bound, dp, r.schedule), dp);
+
+  // 4. Register allocation.
+  const RegAllocation alloc = allocate_registers(r.bound, dp, r.schedule);
+  const std::string alloc_err =
+      verify_allocation(r.bound, dp, r.schedule, alloc);
+  std::cout << "\n[4] register allocation ("
+            << (alloc_err.empty() ? "valid" : alloc_err) << "):";
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    std::cout << " c" << c << " file="
+              << alloc.regs_used[static_cast<std::size_t>(c)] << " regs";
+  }
+  std::cout << "\n\n[5] VLIW assembly:\n";
+  emit_vliw_asm(std::cout, r.bound, dp, r.schedule);
+
+  // 6. Semantic check: the emitted code computes the original values.
+  const std::string sem = check_semantics(
+      kernel.dfg, r.bound, dp, r.schedule, {3, -7, 11, 2, -1, 5, 13, -4});
+  std::cout << "\n[6] semantic check: "
+            << (sem.empty() ? "scheduled code computes the original "
+                              "dataflow values"
+                            : sem)
+            << '\n';
+  return sem.empty() && sched_err.empty() && alloc_err.empty() ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Binding a user-defined kernel: a 16-tap FIR filter built through the
+// public DfgBuilder API, bound to three datapaths of increasing width.
+// Shows the B-INIT / B-ITER tradeoff the paper discusses: the fast
+// initial phase alone versus the full algorithm.
+#include <iostream>
+
+#include "bind/driver.hpp"
+#include "graph/analysis.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cvb;
+
+  const Dfg fir = make_fir(16);
+  std::cout << "16-tap FIR: " << fir.num_ops() << " ops, critical path "
+            << critical_path_length(fir, unit_latencies())
+            << " cycles (unit latencies)\n\n";
+
+  TablePrinter table({"datapath", "B-INIT L/M", "B-INIT ms", "B-ITER L/M",
+                      "B-ITER ms"});
+  for (const std::string spec :
+       {"[1,1]", "[1,1|1,1]", "[2,1|1,1]", "[1,1|1,1|1,1]"}) {
+    const Datapath dp = parse_datapath(spec);
+
+    DriverParams init_only;
+    init_only.run_iterative = false;
+    const BindResult init = bind_initial_best(fir, dp, init_only);
+    const BindResult full = bind_full(fir, dp);
+
+    table.add_row({spec,
+                   std::to_string(init.schedule.latency) + "/" +
+                       std::to_string(init.schedule.num_moves),
+                   format_sig(init.init_ms, 2),
+                   std::to_string(full.schedule.latency) + "/" +
+                       std::to_string(full.schedule.num_moves),
+                   format_sig(full.init_ms + full.iter_ms, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote the accumulate chain limits how much extra clusters "
+               "can help:\nthe FIR's serial tail dominates once the "
+               "multiplies are spread out.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Design space exploration — the application the paper's conclusion
+// motivates: "the flexibility and efficiency of this algorithm make it
+// a very good candidate for use within a design space exploration
+// framework for application-specific VLIW processors."
+//
+// For a chosen kernel, this example sweeps cluster counts and FU mixes
+// at (roughly) constant total FU budget, binds with the full algorithm,
+// and reports the latency / transfer / register-port tradeoffs so a
+// designer can pick a datapath.
+#include <iostream>
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "graph/analysis.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+// Each cluster FU needs 2 read + 1 write register-file ports; the cost
+// driver the paper cites (Rixner et al.) is ports *per register file*,
+// which clustering keeps small.
+int max_ports_per_rf(const cvb::Datapath& dp) {
+  int worst = 0;
+  for (cvb::ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    const int fus = dp.fu_count(c, cvb::FuType::kAlu) +
+                    dp.fu_count(c, cvb::FuType::kMult);
+    worst = std::max(worst, 3 * fus);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cvb;
+
+  const BenchmarkKernel kernel = benchmark_by_name("DCT-DIT");
+  std::cout << "Design-space exploration for " << kernel.name << " (Nv="
+            << kernel.dfg.num_ops() << ", Lcp="
+            << critical_path_length(kernel.dfg, unit_latencies()) << ")\n"
+            << "sweeping datapaths at a ~6-FU budget, 2 buses\n\n";
+
+  const std::vector<std::string> candidates = {
+      "[3,3]",                 // centralized: 1 RF with 18 ports
+      "[2,2|1,1]",             // asymmetric 2-cluster
+      "[2,1|1,2]",             // mixed 2-cluster
+      "[1,1|1,1|1,1]",         // symmetric 3-cluster
+      "[2,1|2,1]",             // ALU-heavy 2-cluster
+      "[1,1|1,1|1,1|1,1]",     // 4-cluster (8 FUs)
+  };
+
+  TablePrinter table({"datapath", "clusters", "RF ports (worst)", "L", "M",
+                      "bind ms"});
+  for (const std::string& spec : candidates) {
+    const Datapath dp = parse_datapath(spec);
+    const BindResult r = bind_full(kernel.dfg, dp);
+    table.add_row({spec, std::to_string(dp.num_clusters()),
+                   std::to_string(max_ports_per_rf(dp)),
+                   std::to_string(r.schedule.latency),
+                   std::to_string(r.schedule.num_moves),
+                   format_sig(r.init_ms + r.iter_ms, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table: clustering cuts the worst-case "
+               "register-file port count\n(the clock/power/area driver) "
+               "while a good binding keeps the latency close to\nthe "
+               "centralized datapath's.\n";
+  return 0;
+}

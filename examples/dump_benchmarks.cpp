@@ -1,0 +1,63 @@
+// Dumps every paper benchmark DFG: statistics to stdout and Graphviz
+// DOT files (plain and bound) to the current directory, so the graphs
+// and bindings can be inspected visually:
+//
+//   $ ./dump_benchmarks && dot -Tpng EWF.bound.dot -o ewf.png
+#include <fstream>
+#include <iostream>
+
+#include "bind/driver.hpp"
+#include "graph/analysis.hpp"
+#include "graph/components.hpp"
+#include "graph/dot.hpp"
+#include "graph/stats.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cvb;
+
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  TablePrinter table({"kernel", "Nv", "edges", "Ncc", "Lcp", "width",
+                      "adds/subs", "muls", "in/out",
+                      "bound L/M on [1,1|1,1]"});
+
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    const BindResult r = bind_full(kernel.dfg, dp);
+    const DfgStats stats = compute_stats(kernel.dfg, unit_latencies());
+
+    std::string safe = kernel.name;
+    for (char& c : safe) {
+      if (c == '-') {
+        c = '_';
+      }
+    }
+    {
+      std::ofstream out(safe + ".dot");
+      write_dot(out, kernel.dfg, safe);
+    }
+    {
+      std::ofstream out(safe + ".bound.dot");
+      std::vector<int> place(r.bound.place.begin(), r.bound.place.end());
+      write_dot_bound(out, r.bound.graph, place, safe + "_bound");
+    }
+
+    table.add_row({kernel.name, std::to_string(kernel.dfg.num_ops()),
+                   std::to_string(kernel.dfg.num_edges()),
+                   std::to_string(num_components(kernel.dfg)),
+                   std::to_string(
+                       critical_path_length(kernel.dfg, unit_latencies())),
+                   std::to_string(stats.max_width),
+                   std::to_string(kernel.dfg.count_fu_type(FuType::kAlu)),
+                   std::to_string(kernel.dfg.count_fu_type(FuType::kMult)),
+                   std::to_string(stats.num_inputs) + "/" +
+                       std::to_string(stats.num_outputs),
+                   std::to_string(r.schedule.latency) + "/" +
+                       std::to_string(r.schedule.num_moves)});
+  }
+  table.print(std::cout);
+  std::cout << "\nWrote <kernel>.dot and <kernel>.bound.dot for every "
+               "benchmark.\n";
+  return 0;
+}

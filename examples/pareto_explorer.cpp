@@ -1,0 +1,53 @@
+// Pareto design-space exploration using the explore library — the
+// full version of the paper-conclusion workflow: enumerate every
+// datapath under an FU budget, bind the kernel with the paper's
+// algorithm onto each, and print the Pareto front over
+// (latency, register-file ports, data transfers).
+//
+//   $ ./pareto_explorer            # DCT-DIT, 6-FU budget
+//   $ ./pareto_explorer FFT 8
+#include <iostream>
+#include <string>
+
+#include "explore/explore.hpp"
+#include "kernels/kernels.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cvb;
+
+  const std::string kernel_name = argc > 1 ? argv[1] : "DCT-DIT";
+  const int budget = argc > 2 ? parse_nonnegative_int(argv[2]) : 6;
+
+  const BenchmarkKernel kernel = benchmark_by_name(kernel_name);
+  DseConstraints constraints;
+  constraints.max_total_fus = budget;
+  constraints.max_clusters = 3;
+  constraints.max_fus_per_cluster = budget;
+
+  std::cout << "Exploring datapaths for " << kernel.name << " (budget "
+            << budget << " FUs, up to " << constraints.max_clusters
+            << " clusters)\n";
+
+  DriverParams driver;  // full B-ITER effort per design point
+  const std::vector<DsePoint> points =
+      explore_design_space(kernel.dfg, constraints, driver);
+  const std::vector<DsePoint> front = pareto_front(points);
+  std::cout << points.size() << " feasible design points, "
+            << front.size() << " on the Pareto front:\n\n";
+
+  TablePrinter table({"datapath", "FUs", "RF ports", "L", "LB", "M",
+                      "energy", "bind ms"});
+  for (const DsePoint& p : front) {
+    table.add_row({p.datapath.to_string(), std::to_string(p.total_fus),
+                   std::to_string(p.max_rf_ports), std::to_string(p.latency),
+                   std::to_string(p.lower_bound), std::to_string(p.moves),
+                   format_sig(p.energy, 3), format_sig(p.bind_ms, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEach row is a defensible design: nothing in the swept "
+               "space is faster at\nits port budget. 'LB' is the "
+               "binding-independent latency floor.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Schedule viewer: bind a kernel (a built-in benchmark by name, or any
+// .dfg text file) to a datapath and print the full picture — binding
+// report, ASCII Gantt chart, and the DFG in text form.
+//
+//   $ ./schedule_viewer                  # EWF on [1,1|1,1]
+//   $ ./schedule_viewer FFT "[2,1|2,1]"
+//   $ ./schedule_viewer my_kernel.dfg "[1,1|1,1|1,1]"
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bind/driver.hpp"
+#include "bind/report.hpp"
+#include "graph/analysis.hpp"
+#include "io/dfg_text.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "sched/gantt.hpp"
+#include "sched/verifier.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cvb;
+
+  const std::string source = argc > 1 ? argv[1] : "EWF";
+  const std::string spec = argc > 2 ? argv[2] : "[1,1|1,1]";
+
+  Dfg dfg;
+  std::string name = source;
+  if (source.size() > 4 && source.substr(source.size() - 4) == ".dfg") {
+    std::ifstream file(source);
+    if (!file) {
+      std::cerr << "cannot open " << source << '\n';
+      return 1;
+    }
+    ParsedDfg parsed = parse_dfg_text(file);
+    dfg = std::move(parsed.dfg);
+    name = parsed.name;
+  } else {
+    dfg = benchmark_by_name(source).dfg;
+  }
+
+  const Datapath dp = parse_datapath(spec);
+  std::cout << name << ": " << dfg.num_ops() << " ops, Lcp="
+            << critical_path_length(dfg, dp.latencies()) << " on "
+            << dp.to_string() << " with " << dp.num_buses() << " bus(es)\n\n";
+
+  const BindResult result = bind_full(dfg, dp);
+  const std::string err = verify_schedule(result.bound, dp, result.schedule);
+  if (!err.empty()) {
+    std::cerr << "internal error: " << err << '\n';
+    return 1;
+  }
+
+  write_binding_report(
+      std::cout, make_binding_report(result.bound, dp, result.schedule), dp);
+  std::cout << '\n';
+  write_gantt(std::cout, result.bound, dp, result.schedule);
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "baselines/annealing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "sched/list_scheduler.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace cvb {
+
+BindResult annealing_binding(const Dfg& dfg, const Datapath& dp,
+                             const AnnealingParams& params,
+                             AnnealingInfo* info) {
+  if (dfg.num_ops() == 0) {
+    throw std::invalid_argument("annealing_binding: empty DFG");
+  }
+  Stopwatch watch;
+  Rng rng(params.seed);
+
+  // Target sets up front; also validates feasibility.
+  std::vector<std::vector<ClusterId>> targets;
+  targets.reserve(static_cast<std::size_t>(dfg.num_ops()));
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    targets.push_back(dp.target_set(dfg.type(v)));
+    if (targets.back().empty()) {
+      throw std::invalid_argument(
+          "annealing_binding: no cluster can execute " + dfg.name(v));
+    }
+  }
+  const auto random_cluster = [&](OpId v) {
+    const auto& ts = targets[static_cast<std::size_t>(v)];
+    return ts[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(ts.size()) - 1))];
+  };
+
+  // Random initial binding (Leupers' starting point).
+  Binding current(static_cast<std::size_t>(dfg.num_ops()));
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    current[static_cast<std::size_t>(v)] = random_cluster(v);
+  }
+
+  const auto cost = [&](const Binding& b) {
+    const BoundDfg bound = build_bound_dfg(dfg, b, dp);
+    const Schedule sched = list_schedule(bound, dp);
+    // Latency dominates; the small move term breaks ties the way the
+    // paper's Q_M does.
+    return std::make_pair(sched.latency, sched.num_moves);
+  };
+
+  auto current_cost = cost(current);
+  Binding best = current;
+  auto best_cost = current_cost;
+
+  const int moves_per_stage = params.moves_per_stage > 0
+                                  ? params.moves_per_stage
+                                  : 8 * dfg.num_ops();
+  long tried = 0;
+  long accepted = 0;
+
+  for (double temp = params.initial_temp; temp > params.final_temp;
+       temp *= params.cooling) {
+    for (int step = 0; step < moves_per_stage; ++step) {
+      const OpId v = rng.uniform_int(0, dfg.num_ops() - 1);
+      const ClusterId old_cluster = current[static_cast<std::size_t>(v)];
+      const ClusterId new_cluster = random_cluster(v);
+      if (new_cluster == old_cluster) {
+        continue;
+      }
+      ++tried;
+      current[static_cast<std::size_t>(v)] = new_cluster;
+      const auto new_cost = cost(current);
+      const double delta =
+          (new_cost.first - current_cost.first) +
+          0.01 * (new_cost.second - current_cost.second);
+      if (delta <= 0.0 || rng.uniform01() < std::exp(-delta / temp)) {
+        current_cost = new_cost;
+        ++accepted;
+        if (current_cost < best_cost) {
+          best_cost = current_cost;
+          best = current;
+        }
+      } else {
+        current[static_cast<std::size_t>(v)] = old_cluster;
+      }
+    }
+  }
+
+  BindResult result = evaluate_binding(dfg, dp, std::move(best));
+  if (info != nullptr) {
+    info->moves_tried = tried;
+    info->moves_accepted = accepted;
+    info->ms = watch.elapsed_ms();
+  }
+  return result;
+}
+
+}  // namespace cvb

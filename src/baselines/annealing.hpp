@@ -1,0 +1,46 @@
+// Simulated-annealing binder in the style of Leupers (PACT 2000),
+// the first related-work baseline in the paper's Section 4: start from
+// a random binding and improve it by simulated annealing, with a
+// detailed schedule's latency as the cost function.
+//
+// Faithfulness notes: Leupers targeted the two-cluster TI 'C6201 and
+// used its production scheduler; we anneal over arbitrary cluster
+// counts with our list scheduler (the same one every other algorithm
+// here uses), and break cost ties with the move count. The paper
+// remarks that SA run time "is likely to grow significantly" with more
+// clusters — the baseline-comparison bench shows exactly that.
+#pragma once
+
+#include <cstdint>
+
+#include "bind/binding.hpp"
+#include "bind/driver.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Annealing schedule parameters.
+struct AnnealingParams {
+  std::uint64_t seed = 1;        ///< deterministic run per seed
+  double initial_temp = 4.0;     ///< in cycles of latency
+  double final_temp = 0.05;
+  double cooling = 0.9;          ///< geometric factor per stage
+  int moves_per_stage = 0;       ///< 0 -> 8 * N_V per temperature stage
+};
+
+/// Diagnostics.
+struct AnnealingInfo {
+  long moves_tried = 0;
+  long moves_accepted = 0;
+  double ms = 0.0;
+};
+
+/// Runs the SA binder; the returned result is the best binding seen
+/// during the whole anneal (not the final state). Throws
+/// std::invalid_argument for empty/unbindable graphs.
+[[nodiscard]] BindResult annealing_binding(const Dfg& dfg, const Datapath& dp,
+                                           const AnnealingParams& params = {},
+                                           AnnealingInfo* info = nullptr);
+
+}  // namespace cvb

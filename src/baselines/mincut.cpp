@@ -1,0 +1,153 @@
+#include "baselines/mincut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "graph/components.hpp"
+#include "support/stopwatch.hpp"
+
+namespace cvb {
+
+bool is_homogeneous(const Datapath& dp) {
+  for (ClusterId c = 1; c < dp.num_clusters(); ++c) {
+    for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
+      const FuType t = static_cast<FuType>(ti);
+      if (dp.fu_count(c, t) != dp.fu_count(0, t)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Cut delta of moving op v to cluster `to` under `binding`.
+int cut_delta(const Dfg& dfg, const Binding& binding, OpId v, ClusterId to) {
+  const ClusterId from = binding[static_cast<std::size_t>(v)];
+  int delta = 0;
+  const auto edge = [&](OpId u) {
+    const ClusterId cu = binding[static_cast<std::size_t>(u)];
+    if (cu == from) {
+      ++delta;  // previously local edge becomes cut
+    }
+    if (cu == to) {
+      --delta;  // previously cut edge becomes local
+    }
+  };
+  for (const OpId u : dfg.preds(v)) {
+    edge(u);
+  }
+  for (const OpId u : dfg.succs(v)) {
+    edge(u);
+  }
+  return delta;
+}
+
+}  // namespace
+
+BindResult mincut_binding(const Dfg& dfg, const Datapath& dp,
+                          const MinCutParams& params, MinCutInfo* info) {
+  if (dfg.num_ops() == 0) {
+    throw std::invalid_argument("mincut_binding: empty DFG");
+  }
+  if (!is_homogeneous(dp)) {
+    throw std::invalid_argument(
+        "mincut_binding: requires homogeneous clusters (the documented "
+        "limitation of the Capitanio-style partitioner); got " +
+        dp.to_string());
+  }
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    if (dp.target_set(dfg.type(v)).empty()) {
+      throw std::invalid_argument("mincut_binding: no cluster can execute " +
+                                  dfg.name(v));
+    }
+  }
+  Stopwatch watch;
+  const int k = dp.num_clusters();
+
+  // Initial partition: contiguous slices of a component-major
+  // topological order — keeps neighbourhoods (and whole connected
+  // components) together, the usual partitioning warm start.
+  Binding binding(static_cast<std::size_t>(dfg.num_ops()), 0);
+  std::vector<OpId> order = topological_order(dfg);
+  const std::vector<int> component = component_labels(dfg);
+  std::vector<int> topo_pos(static_cast<std::size_t>(dfg.num_ops()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    topo_pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    return std::make_pair(component[static_cast<std::size_t>(a)],
+                          topo_pos[static_cast<std::size_t>(a)]) <
+           std::make_pair(component[static_cast<std::size_t>(b)],
+                          topo_pos[static_cast<std::size_t>(b)]);
+  });
+  const int slice = (dfg.num_ops() + k - 1) / k;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    binding[static_cast<std::size_t>(order[i])] =
+        std::min<int>(static_cast<int>(i) / slice, k - 1);
+  }
+
+  std::vector<int> size(static_cast<std::size_t>(k), 0);
+  for (const ClusterId c : binding) {
+    ++size[static_cast<std::size_t>(c)];
+  }
+  const double avg = static_cast<double>(dfg.num_ops()) / k;
+  const int tolerance =
+      std::max(1, static_cast<int>(std::ceil(avg * params.balance_tolerance)));
+  const auto balanced_after = [&](ClusterId from, ClusterId to) {
+    return size[static_cast<std::size_t>(to)] + 1 <=
+               static_cast<int>(std::floor(avg)) + tolerance &&
+           size[static_cast<std::size_t>(from)] - 1 >=
+               static_cast<int>(std::ceil(avg)) - tolerance;
+  };
+
+  const int initial_cut = count_cut_edges(dfg, binding);
+  int passes = 0;
+  // Greedy KL-flavored refinement: per pass, apply every
+  // cut-reducing balanced single move (best-first); stop when a full
+  // pass makes no progress.
+  for (; passes < params.max_passes; ++passes) {
+    bool any = false;
+    for (OpId v = 0; v < dfg.num_ops(); ++v) {
+      const ClusterId from = binding[static_cast<std::size_t>(v)];
+      int best_delta = 0;
+      ClusterId best_to = kNoCluster;
+      for (ClusterId to = 0; to < k; ++to) {
+        if (to == from || !balanced_after(from, to)) {
+          continue;
+        }
+        const int delta = cut_delta(dfg, binding, v, to);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_to = to;
+        }
+      }
+      if (best_to != kNoCluster) {
+        binding[static_cast<std::size_t>(v)] = best_to;
+        --size[static_cast<std::size_t>(from)];
+        ++size[static_cast<std::size_t>(best_to)];
+        any = true;
+      }
+    }
+    if (!any) {
+      break;
+    }
+  }
+
+  const int final_cut = count_cut_edges(dfg, binding);
+  BindResult result = evaluate_binding(dfg, dp, std::move(binding));
+  if (info != nullptr) {
+    info->initial_cut = initial_cut;
+    info->final_cut = final_cut;
+    info->passes = passes;
+    info->ms = watch.elapsed_ms();
+  }
+  return result;
+}
+
+}  // namespace cvb

@@ -1,0 +1,50 @@
+// Min-cut / load-balance binder in the style of Capitanio, Dutt &
+// Nicolau (MICRO-25), the second related-work baseline in the paper's
+// Section 4: treat binding as network partitioning — minimize the
+// number of cross-cluster edges (the cut set) subject to balanced
+// cluster sizes — on the theory that limiting communication limits the
+// schedule-length increase.
+//
+// As the paper points out, the approach (a) requires homogeneous
+// clusters (we enforce that, matching the original's documented
+// limitation), and (b) its balance constraint does not actually
+// guarantee latency minimization — the baseline-comparison bench
+// demonstrates both.
+#pragma once
+
+#include "bind/binding.hpp"
+#include "bind/driver.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Partitioner knobs.
+struct MinCutParams {
+  /// Allowed deviation of a cluster's op count from the perfect
+  /// balance, as a fraction (0.15 = +-15%, at least +-1 op).
+  double balance_tolerance = 0.15;
+  /// Cap on refinement passes.
+  int max_passes = 64;
+};
+
+/// Diagnostics.
+struct MinCutInfo {
+  int initial_cut = 0;
+  int final_cut = 0;
+  int passes = 0;
+  double ms = 0.0;
+};
+
+/// Runs the min-cut partitioning binder. Throws std::invalid_argument
+/// if the datapath's clusters are not homogeneous (identical FU
+/// counts), if the graph is empty, or if some op type is unsupported.
+[[nodiscard]] BindResult mincut_binding(const Dfg& dfg, const Datapath& dp,
+                                        const MinCutParams& params = {},
+                                        MinCutInfo* info = nullptr);
+
+/// True if every cluster of `dp` has identical FU counts (the
+/// homogeneity precondition of this baseline).
+[[nodiscard]] bool is_homogeneous(const Datapath& dp);
+
+}  // namespace cvb

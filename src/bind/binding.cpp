@@ -1,0 +1,55 @@
+#include "bind/binding.hpp"
+
+#include <stdexcept>
+
+namespace cvb {
+
+std::string check_binding(const Dfg& dfg, const Binding& binding,
+                          const Datapath& dp) {
+  if (static_cast<int>(binding.size()) != dfg.num_ops()) {
+    return "binding has " + std::to_string(binding.size()) +
+           " entries for a graph with " + std::to_string(dfg.num_ops()) +
+           " operations";
+  }
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    const ClusterId c = binding[static_cast<std::size_t>(v)];
+    if (is_move(dfg.type(v))) {
+      return "operation " + dfg.name(v) +
+             " is a move; moves may not appear in an original DFG";
+    }
+    if (c < 0 || c >= dp.num_clusters()) {
+      return "operation " + dfg.name(v) + " bound to invalid cluster " +
+             std::to_string(c);
+    }
+    if (!dp.supports(c, dfg.type(v))) {
+      return "operation " + dfg.name(v) + " (" +
+             std::string(op_type_name(dfg.type(v))) + ") bound to cluster " +
+             std::to_string(c) + " which has no " +
+             std::string(fu_type_name(fu_type_of(dfg.type(v)))) + " unit";
+    }
+  }
+  return {};
+}
+
+void require_valid_binding(const Dfg& dfg, const Binding& binding,
+                           const Datapath& dp) {
+  const std::string error = check_binding(dfg, binding, dp);
+  if (!error.empty()) {
+    throw std::logic_error("invalid binding: " + error);
+  }
+}
+
+int count_cut_edges(const Dfg& dfg, const Binding& binding) {
+  int cut = 0;
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    for (const OpId s : dfg.succs(v)) {
+      if (binding[static_cast<std::size_t>(v)] !=
+          binding[static_cast<std::size_t>(s)]) {
+        ++cut;
+      }
+    }
+  }
+  return cut;
+}
+
+}  // namespace cvb

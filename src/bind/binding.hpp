@@ -1,0 +1,35 @@
+// Binding representation: the paper's bn(v) function mapping every
+// operation of an (original) DFG to a cluster, plus validation against
+// the target sets TS(v).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// A binding assigns each original-DFG operation a cluster:
+/// binding[v] == bn(v). Values must be valid cluster ids within TS(v).
+using Binding = std::vector<ClusterId>;
+
+/// Checks that `binding` is complete and feasible for `dfg` on `dp`:
+/// one entry per operation, each a valid cluster that supports the
+/// operation's type. Returns an empty string on success, otherwise a
+/// human-readable description of the first violation.
+[[nodiscard]] std::string check_binding(const Dfg& dfg, const Binding& binding,
+                                        const Datapath& dp);
+
+/// Like check_binding but throws std::logic_error on violation.
+void require_valid_binding(const Dfg& dfg, const Binding& binding,
+                           const Datapath& dp);
+
+/// Number of cross-cluster data-dependency edges under `binding`
+/// (edges (u,v) with bn(u) != bn(v)). This upper-bounds the number of
+/// transfers; the actual move count after per-destination deduplication
+/// is BoundDfg::num_moves.
+[[nodiscard]] int count_cut_edges(const Dfg& dfg, const Binding& binding);
+
+}  // namespace cvb

@@ -1,0 +1,59 @@
+#include "bind/bound_dfg.hpp"
+
+#include <map>
+#include <utility>
+
+namespace cvb {
+
+BoundDfg build_bound_dfg(const Dfg& dfg, const Binding& binding,
+                         const Datapath& dp) {
+  require_valid_binding(dfg, binding, dp);
+
+  BoundDfg bound;
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    bound.graph.add_op(dfg.type(v), dfg.name(v));
+    bound.place.push_back(binding[static_cast<std::size_t>(v)]);
+  }
+
+  // One move per (producer, destination cluster); created lazily in a
+  // deterministic order (producers ascending, then first-use order of
+  // destination clusters).
+  std::map<std::pair<OpId, ClusterId>, OpId> move_of;
+  const auto get_move = [&](OpId producer, ClusterId dest) -> OpId {
+    const auto key = std::make_pair(producer, dest);
+    const auto it = move_of.find(key);
+    if (it != move_of.end()) {
+      return it->second;
+    }
+    std::string move_name = "t";
+    move_name += std::to_string(bound.num_moves + 1);
+    const OpId m = bound.graph.add_op(OpType::kMove, std::move(move_name));
+    bound.place.push_back(kNoCluster);
+    bound.move_producer.push_back(producer);
+    bound.move_dest.push_back(dest);
+    ++bound.num_moves;
+    bound.graph.add_edge(producer, m);
+    move_of.emplace(key, m);
+    return m;
+  };
+
+  // Rewrite each operation's operand list in order: local producers
+  // stay direct, remote producers read through the shared per-
+  // destination move, externals stay external. Dependency edges are
+  // derived from the operand entries (deduplicated inside add_operand).
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    const ClusterId cv = binding[static_cast<std::size_t>(v)];
+    for (const OpId u : dfg.operands(v)) {
+      if (u == kNoOp) {
+        bound.graph.add_operand(v, kNoOp);
+      } else if (binding[static_cast<std::size_t>(u)] == cv) {
+        bound.graph.add_operand(v, u);
+      } else {
+        bound.graph.add_operand(v, get_move(u, cv));
+      }
+    }
+  }
+  return bound;
+}
+
+}  // namespace cvb

@@ -1,0 +1,59 @@
+// Bound dataflow graph: the original DFG plus the data-transfer (move)
+// operations implied by a binding (paper Figure 1(b)).
+//
+// For every value produced by operation u and consumed by at least one
+// operation bound to a cluster other than bn(u), one move operation is
+// inserted *per destination cluster*: a single bus transfer delivers
+// the value into the destination cluster's register file, where any
+// number of local consumers can read it. The paper's data-transfer
+// count M is the number of such move operations.
+#pragma once
+
+#include <vector>
+
+#include "bind/binding.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// The bound form of a DFG. Original operations keep their ids
+/// (0..N_V-1); move operations are appended after them.
+struct BoundDfg {
+  /// Original operations + appended kMove operations.
+  Dfg graph;
+
+  /// Cluster per operation in `graph`. Regular operations carry their
+  /// binding; move operations carry kNoCluster (they execute on the
+  /// bus).
+  std::vector<ClusterId> place;
+
+  /// Number of inserted move operations (the paper's M).
+  int num_moves = 0;
+
+  /// For each move (indexed by id - num_original_ops): the producing
+  /// original operation and the destination cluster.
+  std::vector<OpId> move_producer;
+  std::vector<ClusterId> move_dest;
+
+  /// Number of original (non-move) operations.
+  [[nodiscard]] int num_original_ops() const {
+    return graph.num_ops() - num_moves;
+  }
+
+  /// True if `v` is an inserted move.
+  [[nodiscard]] bool is_move_op(OpId v) const {
+    return v >= num_original_ops();
+  }
+};
+
+/// Builds the bound DFG for `binding` (which must be valid for `dfg` on
+/// `dp`; throws std::logic_error otherwise).
+///
+/// Edge rewriting: a dependency (u, v) with bn(u) == bn(v) is kept;
+/// with bn(u) != bn(v) it becomes u -> move(u, bn(v)) -> v, where the
+/// move is shared among all of u's consumers in cluster bn(v).
+[[nodiscard]] BoundDfg build_bound_dfg(const Dfg& dfg, const Binding& binding,
+                                       const Datapath& dp);
+
+}  // namespace cvb

@@ -1,0 +1,141 @@
+#include "bind/driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+#include "support/stopwatch.hpp"
+
+namespace cvb {
+
+DriverParams driver_params_for(BindEffort effort) {
+  DriverParams params;
+  switch (effort) {
+    case BindEffort::kFast:
+      params.run_iterative = false;
+      params.max_stretch = 2;
+      break;
+    case BindEffort::kBalanced:
+      break;  // the defaults
+    case BindEffort::kMax:
+      params.max_stretch = 8;
+      params.iter_starts = 12;
+      params.iter.max_plateau_steps = 16;
+      break;
+  }
+  return params;
+}
+
+BindResult evaluate_binding(const Dfg& dfg, const Datapath& dp,
+                            Binding binding) {
+  BindResult result;
+  result.binding = std::move(binding);
+  result.bound = build_bound_dfg(dfg, result.binding, dp);
+  result.schedule = list_schedule(result.bound, dp);
+  return result;
+}
+
+namespace {
+
+std::pair<int, int> result_key(const BindResult& r) {
+  return {r.schedule.latency, r.schedule.num_moves};
+}
+
+/// Runs the B-INIT parameter sweep and returns every evaluated
+/// candidate, best-first, with exact-duplicate bindings removed.
+std::vector<BindResult> initial_sweep(const Dfg& dfg, const Datapath& dp,
+                                      const DriverParams& params) {
+  if (dfg.num_ops() == 0) {
+    throw std::invalid_argument("initial_sweep: empty DFG");
+  }
+  const int lcp = critical_path_length(dfg, dp.latencies());
+
+  std::vector<BindResult> candidates;
+  for (int stretch = 0; stretch <= params.max_stretch; ++stretch) {
+    for (const bool reverse : {false, true}) {
+      if (reverse && !params.try_reverse) {
+        continue;
+      }
+      InitialBinderParams init;
+      init.profile_latency = lcp + stretch;
+      init.reverse = reverse;
+      init.alpha = params.alpha;
+      init.beta = params.beta;
+      init.gamma = params.gamma;
+      BindResult candidate =
+          evaluate_binding(dfg, dp, initial_binding(dfg, dp, init));
+      candidate.best_init = init;
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const BindResult& a, const BindResult& b) {
+                     return result_key(a) < result_key(b);
+                   });
+  std::vector<BindResult> distinct;
+  for (BindResult& candidate : candidates) {
+    const bool duplicate =
+        std::any_of(distinct.begin(), distinct.end(),
+                    [&](const BindResult& kept) {
+                      return kept.binding == candidate.binding;
+                    });
+    if (!duplicate) {
+      distinct.push_back(std::move(candidate));
+    }
+  }
+  return distinct;
+}
+
+}  // namespace
+
+BindResult bind_initial_best(const Dfg& dfg, const Datapath& dp,
+                             const DriverParams& params) {
+  Stopwatch watch;
+  std::vector<BindResult> candidates = initial_sweep(dfg, dp, params);
+  BindResult best = std::move(candidates.front());
+  best.init_ms = watch.elapsed_ms();
+  return best;
+}
+
+BindResult bind_full(const Dfg& dfg, const Datapath& dp,
+                     const DriverParams& params) {
+  Stopwatch watch;
+  std::vector<BindResult> candidates = initial_sweep(dfg, dp, params);
+  const double init_ms = watch.elapsed_ms();
+  if (!params.run_iterative) {
+    BindResult best = std::move(candidates.front());
+    best.init_ms = init_ms;
+    return best;
+  }
+
+  watch.restart();
+  const int starts =
+      std::max(1, std::min<int>(params.iter_starts,
+                                static_cast<int>(candidates.size())));
+  BindResult best;
+  bool have_best = false;
+  IterImproverStats total_stats;
+  for (int i = 0; i < starts; ++i) {
+    IterImproverStats stats;
+    Binding improved = improve_binding(
+        dfg, dp, std::move(candidates[static_cast<std::size_t>(i)].binding),
+        params.iter, &stats);
+    total_stats.qu_iterations += stats.qu_iterations;
+    total_stats.qm_iterations += stats.qm_iterations;
+    total_stats.candidates_evaluated += stats.candidates_evaluated;
+    BindResult result = evaluate_binding(dfg, dp, std::move(improved));
+    result.best_init = candidates[static_cast<std::size_t>(i)].best_init;
+    if (!have_best || result_key(result) < result_key(best)) {
+      best = std::move(result);
+      have_best = true;
+    }
+  }
+  best.init_ms = init_ms;
+  best.iter_ms = watch.elapsed_ms();
+  best.iter_stats = total_stats;
+  return best;
+}
+
+}  // namespace cvb

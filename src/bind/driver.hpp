@@ -1,0 +1,78 @@
+// The paper's "driver" algorithm (Section 3): run B-INIT over a sweep
+// of load-profile latencies L_PR in [L_CP, L_CP + stretch] and both
+// binding directions, keep the candidate with the best scheduled
+// (L, M), then optionally hand it to B-ITER.
+#pragma once
+
+#include "bind/binding.hpp"
+#include "bind/bound_dfg.hpp"
+#include "bind/initial_binder.hpp"
+#include "bind/iterative_improver.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// Configuration of the full binding driver.
+struct DriverParams {
+  /// L_PR sweep width: profile latencies L_CP .. L_CP + max_stretch.
+  int max_stretch = 4;
+  /// Also try the reverse (outputs-first) binding direction.
+  bool try_reverse = true;
+  /// Cost weights for B-INIT (Equation 1).
+  double alpha = 1.0;
+  double beta = 1.0;
+  double gamma = 1.1;
+  /// Run B-ITER after the initial sweep.
+  bool run_iterative = true;
+  /// B-ITER knobs.
+  IterImproverParams iter;
+  /// Number of distinct initial bindings (best-first from the sweep)
+  /// that B-ITER is seeded with; the best improved result wins. 1
+  /// reproduces the paper's literal description ("the best binding
+  /// solution is then passed to the iterative improvement phase");
+  /// small values > 1 are a natural multi-start strengthening that
+  /// reuses candidates the sweep already paid for.
+  int iter_starts = 6;
+};
+
+/// A binding together with its scheduled evaluation.
+struct BindResult {
+  Binding binding;           ///< bn(v) per original operation
+  BoundDfg bound;            ///< original DFG + inserted moves
+  Schedule schedule;         ///< list schedule of `bound`
+  InitialBinderParams best_init;  ///< winning B-INIT parameters
+  double init_ms = 0.0;      ///< wall time of the B-INIT sweep
+  double iter_ms = 0.0;      ///< wall time of B-ITER (0 if skipped)
+  IterImproverStats iter_stats;  ///< B-ITER effort counters
+};
+
+/// Effort presets mapping to DriverParams — the compile-time/quality
+/// tradeoff the paper frames in its introduction (B-INIT alone "when
+/// compilation time is very critical", the full algorithm "when code
+/// performance is the major goal").
+enum class BindEffort {
+  kFast,      ///< B-INIT sweep only, narrow stretch
+  kBalanced,  ///< the defaults: full sweep + multi-start B-ITER
+  kMax,       ///< widest sweep, most seeds, deepest plateau walking
+};
+
+/// The DriverParams corresponding to an effort preset.
+[[nodiscard]] DriverParams driver_params_for(BindEffort effort);
+
+/// B-INIT sweep only (phase 1 + parameter exploration): the paper's
+/// "B-INIT" column.
+[[nodiscard]] BindResult bind_initial_best(const Dfg& dfg, const Datapath& dp,
+                                           const DriverParams& params = {});
+
+/// Full algorithm (B-INIT sweep, then B-ITER if enabled): the paper's
+/// "B-ITER" column.
+[[nodiscard]] BindResult bind_full(const Dfg& dfg, const Datapath& dp,
+                                   const DriverParams& params = {});
+
+/// Convenience: schedule an arbitrary binding and package the result.
+[[nodiscard]] BindResult evaluate_binding(const Dfg& dfg, const Datapath& dp,
+                                          Binding binding);
+
+}  // namespace cvb

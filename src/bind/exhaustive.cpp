@@ -1,0 +1,85 @@
+#include "bind/exhaustive.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sched/list_scheduler.hpp"
+
+namespace cvb {
+
+std::uint64_t binding_space_size(const Dfg& dfg, const Datapath& dp) {
+  std::uint64_t size = 1;
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    const std::uint64_t ts = dp.target_set(dfg.type(v)).size();
+    if (ts == 0) {
+      return 0;
+    }
+    if (size > std::numeric_limits<std::uint64_t>::max() / ts) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    size *= ts;
+  }
+  return size;
+}
+
+BindResult exhaustive_binding(const Dfg& dfg, const Datapath& dp,
+                              std::uint64_t limit) {
+  if (dfg.num_ops() == 0) {
+    throw std::invalid_argument("exhaustive_binding: empty DFG");
+  }
+  const std::uint64_t space = binding_space_size(dfg, dp);
+  if (space == 0) {
+    throw std::invalid_argument(
+        "exhaustive_binding: some operation has an empty target set");
+  }
+  if (space > limit) {
+    throw std::invalid_argument("exhaustive_binding: search space " +
+                                std::to_string(space) + " exceeds limit " +
+                                std::to_string(limit));
+  }
+
+  std::vector<std::vector<ClusterId>> targets;
+  targets.reserve(static_cast<std::size_t>(dfg.num_ops()));
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    targets.push_back(dp.target_set(dfg.type(v)));
+  }
+
+  Binding current(static_cast<std::size_t>(dfg.num_ops()), 0);
+  std::vector<std::size_t> index(static_cast<std::size_t>(dfg.num_ops()), 0);
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    current[static_cast<std::size_t>(v)] =
+        targets[static_cast<std::size_t>(v)].front();
+  }
+
+  BindResult best;
+  bool have_best = false;
+  while (true) {
+    BindResult candidate = evaluate_binding(dfg, dp, current);
+    const auto key = [](const BindResult& r) {
+      return std::make_pair(r.schedule.latency, r.schedule.num_moves);
+    };
+    if (!have_best || key(candidate) < key(best)) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+    // Odometer increment over the per-op target sets.
+    int v = 0;
+    for (; v < dfg.num_ops(); ++v) {
+      const auto sv = static_cast<std::size_t>(v);
+      if (++index[sv] < targets[sv].size()) {
+        current[sv] = targets[sv][index[sv]];
+        break;
+      }
+      index[sv] = 0;
+      current[sv] = targets[sv].front();
+    }
+    if (v == dfg.num_ops()) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace cvb

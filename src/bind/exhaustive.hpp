@@ -1,0 +1,34 @@
+// Exhaustive (optimal at the binding level) reference binder for tiny
+// DFGs: enumerates every feasible binding, schedules each with the same
+// list scheduler, and returns the best (L, M). Used by tests to check
+// B-INIT / B-ITER solution quality, and by the paper's observation that
+// B-INIT solutions are sometimes provably optimal at this abstraction
+// level.
+#pragma once
+
+#include <cstdint>
+
+#include "bind/binding.hpp"
+#include "bind/driver.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Upper bound on the number of bindings exhaustive_binding will try.
+inline constexpr std::uint64_t kDefaultExhaustiveLimit = 2'000'000;
+
+/// Finds a binding minimizing (schedule latency, move count) by full
+/// enumeration. Throws std::invalid_argument if the search space
+/// exceeds `limit` combinations or the DFG is empty/unbindable.
+[[nodiscard]] BindResult exhaustive_binding(
+    const Dfg& dfg, const Datapath& dp,
+    std::uint64_t limit = kDefaultExhaustiveLimit);
+
+/// Number of feasible bindings (product of target-set sizes), saturated
+/// at UINT64_MAX; lets callers decide whether exhaustive search is
+/// affordable.
+[[nodiscard]] std::uint64_t binding_space_size(const Dfg& dfg,
+                                               const Datapath& dp);
+
+}  // namespace cvb

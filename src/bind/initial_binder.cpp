@@ -1,0 +1,148 @@
+#include "bind/initial_binder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+#include "bind/load_profile.hpp"
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+std::vector<OpId> binding_order(const Dfg& dfg, const std::vector<int>& alap,
+                                const std::vector<int>& mobility) {
+  const std::vector<int> consumers = consumer_counts(dfg);
+  std::vector<OpId> order(static_cast<std::size_t>(dfg.num_ops()));
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    const auto sa = static_cast<std::size_t>(a);
+    const auto sb = static_cast<std::size_t>(b);
+    return std::make_tuple(alap[sa], mobility[sa], -consumers[sa], a) <
+           std::make_tuple(alap[sb], mobility[sb], -consumers[sb], b);
+  });
+  return order;
+}
+
+int transfer_cost_direct(const Dfg& dfg, const Binding& binding, OpId v,
+                         ClusterId c) {
+  int cost = 0;
+  for (const OpId u : dfg.preds(v)) {
+    const ClusterId cu = binding[static_cast<std::size_t>(u)];
+    if (cu != kNoCluster && cu != c) {
+      ++cost;
+    }
+  }
+  return cost;
+}
+
+int transfer_cost_common_consumer(const Dfg& dfg, const Binding& binding,
+                                  OpId v, ClusterId c) {
+  int cost = 0;
+  for (const OpId w : dfg.succs(v)) {
+    for (const OpId z : dfg.preds(w)) {
+      if (z == v) {
+        continue;
+      }
+      const ClusterId cz = binding[static_cast<std::size_t>(z)];
+      if (cz != kNoCluster && cz != c) {
+        ++cost;
+        break;  // one penalty per common consumer
+      }
+    }
+  }
+  return cost;
+}
+
+namespace {
+
+/// One forward pass of the greedy binder over `dfg` (callers pass the
+/// reversed graph to obtain the reverse-direction variant; the
+/// algorithm is symmetric, per Section 3.1.4).
+Binding bind_forward(const Dfg& dfg, const Datapath& dp,
+                     const InitialBinderParams& params) {
+  const LatencyTable& lat = dp.latencies();
+  const Timing timing = compute_timing(dfg, lat, params.profile_latency);
+  LoadProfileSet profiles(dfg, dp, timing);
+  const std::vector<OpId> order =
+      binding_order(dfg, timing.alap, timing.mobility);
+
+  Binding binding(static_cast<std::size_t>(dfg.num_ops()), kNoCluster);
+
+  for (const OpId v : order) {
+    const std::vector<ClusterId> targets = dp.target_set(dfg.type(v));
+    if (targets.empty()) {
+      throw std::invalid_argument(
+          "initial_binding: no cluster can execute operation " + dfg.name(v));
+    }
+
+    ClusterId best = kNoCluster;
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_tiebreak = 0.0;
+    std::vector<LoadProfileSet::TransferFrame> best_transfers;
+
+    for (const ClusterId c : targets) {
+      // Direct data dependency transfers: predecessors already bound
+      // (the binding order is topological) to a different cluster.
+      const int trcost_dd = transfer_cost_direct(dfg, binding, v, c);
+      std::vector<LoadProfileSet::TransferFrame> transfers;
+      for (const OpId u : dfg.preds(v)) {
+        const ClusterId cu = binding[static_cast<std::size_t>(u)];
+        if (cu != kNoCluster && cu != c) {
+          transfers.push_back(profiles.transfer_frame(u, v));
+        }
+      }
+
+      // Common consumer component: a transfer will be needed no matter
+      // where the affected successors end up (Figure 3).
+      const int trcost_cc =
+          transfer_cost_common_consumer(dfg, binding, v, c);
+
+      const int fucost = profiles.fu_serialization_cost(v, c);
+      const int buscost = profiles.bus_serialization_cost(transfers);
+      const int trcost = trcost_dd + trcost_cc;
+      const double cost = params.alpha * fucost * dp.dii_op(dfg.type(v)) +
+                          params.beta * buscost * dp.dii(FuType::kBus) +
+                          params.gamma * trcost * dp.move_latency();
+
+      // Deterministic tie-break: prefer the cluster with the lighter
+      // committed load for this FU type, then the lower id.
+      const double tiebreak =
+          profiles.cluster_load_total(c, fu_type_of(dfg.type(v)));
+      if (cost < best_cost - 1e-12 ||
+          (cost < best_cost + 1e-12 && tiebreak < best_tiebreak - 1e-12)) {
+        best = c;
+        best_cost = cost;
+        best_tiebreak = tiebreak;
+        best_transfers = std::move(transfers);
+      }
+    }
+
+    binding[static_cast<std::size_t>(v)] = best;
+    profiles.commit_op(v, best);
+    for (const auto& frame : best_transfers) {
+      profiles.commit_transfer(frame);
+    }
+  }
+  return binding;
+}
+
+}  // namespace
+
+Binding initial_binding(const Dfg& dfg, const Datapath& dp,
+                        const InitialBinderParams& params) {
+  if (dfg.num_ops() == 0) {
+    return {};
+  }
+  if (!params.reverse) {
+    return bind_forward(dfg, dp, params);
+  }
+  // Reverse direction: bind the mirrored graph with the same machinery.
+  // Operation ids are preserved by Dfg::reversed(), so the resulting
+  // binding maps back directly.
+  return bind_forward(dfg.reversed(), dp, params);
+}
+
+}  // namespace cvb

@@ -1,0 +1,72 @@
+// B-INIT: the paper's greedy initial binding phase (Section 3.1).
+//
+// Operations are bound one at a time in a lexicographic order of
+// (alap, mobility, -consumer count) — critical operations first, level
+// by level (Section 3.1.1, Figure 2). Each operation is placed on the
+// cluster minimizing
+//
+//   icost(v,c) = alpha * fucost(v,c)  * dii(v)
+//              + beta  * buscost(v,c) * dii(move)
+//              + gamma * trcost(v,c)  * lat(move)
+//
+// where trcost = trcost_dd + trcost_cc (Section 3.1.2, Figure 3),
+// fucost/buscost come from the force-directed load profiles
+// (load_profile.hpp), and alpha = beta = 1.0, gamma = 1.1 by default —
+// the paper found a slight data-transfer priority works best.
+//
+// Two knobs are swept by the driver (Sections 3.1.3-3.1.4): the load
+// profile latency L_PR (>= L_CP) and the direction of traversal
+// (forward from inputs or reverse from outputs).
+#pragma once
+
+#include "bind/binding.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Parameters of one B-INIT run.
+struct InitialBinderParams {
+  /// Load profile latency L_PR. Values below L_CP are raised to L_CP.
+  int profile_latency = 0;
+
+  /// Bind from outputs toward inputs (Section 3.1.4) instead of the
+  /// default input-to-output direction.
+  bool reverse = false;
+
+  /// Cost weights (Equation 1).
+  double alpha = 1.0;
+  double beta = 1.0;
+  double gamma = 1.1;
+};
+
+/// Runs the greedy initial binding. Requires every operation type used
+/// by `dfg` to be executable somewhere on `dp` (throws
+/// std::invalid_argument otherwise). The result is always a valid
+/// binding (each op within its target set).
+[[nodiscard]] Binding initial_binding(const Dfg& dfg, const Datapath& dp,
+                                      const InitialBinderParams& params = {});
+
+/// The binder's operation ordering for a given timing (exposed for
+/// tests; reproduces the Figure 2 example). Returns op ids in binding
+/// order.
+[[nodiscard]] std::vector<OpId> binding_order(const Dfg& dfg,
+                                              const std::vector<int>& alap,
+                                              const std::vector<int>& mobility);
+
+/// trcost_dd(v, c) — the direct data dependency transfer penalty
+/// (Section 3.1.2, Figure 3): number of already-bound predecessors of
+/// `v` residing on a cluster other than `c`. `binding` may be partial
+/// (kNoCluster for unbound operations).
+[[nodiscard]] int transfer_cost_direct(const Dfg& dfg, const Binding& binding,
+                                       OpId v, ClusterId c);
+
+/// trcost_cc(v, c) — the common consumer transfer penalty (Section
+/// 3.1.2, Figure 3): +1 for each successor of `v` that already has a
+/// bound predecessor on a cluster other than `c`; such a transfer is
+/// inevitable no matter where the successor is later bound.
+[[nodiscard]] int transfer_cost_common_consumer(const Dfg& dfg,
+                                                const Binding& binding, OpId v,
+                                                ClusterId c);
+
+}  // namespace cvb

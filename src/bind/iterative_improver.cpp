@@ -1,0 +1,221 @@
+#include "bind/iterative_improver.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/quality.hpp"
+
+namespace cvb {
+
+namespace {
+
+/// A perturbation: one or two (operation, new cluster) re-bindings.
+using Candidate = std::vector<std::pair<OpId, ClusterId>>;
+
+/// Clusters of v's cross-cluster neighbours — the places where one of
+/// its operands or results currently resides.
+std::set<ClusterId> neighbor_clusters(const Dfg& dfg, const Binding& binding,
+                                      OpId v) {
+  std::set<ClusterId> clusters;
+  const ClusterId cv = binding[static_cast<std::size_t>(v)];
+  const auto consider = [&](OpId u) {
+    const ClusterId cu = binding[static_cast<std::size_t>(u)];
+    if (cu != cv) {
+      clusters.insert(cu);
+    }
+  };
+  for (const OpId u : dfg.preds(v)) {
+    consider(u);
+  }
+  for (const OpId u : dfg.succs(v)) {
+    consider(u);
+  }
+  return clusters;
+}
+
+/// Enumerates the boundary perturbations of `binding` (Section 3.2):
+/// singles (re-bind a boundary op to a neighbour's cluster) and,
+/// optionally, pairs across cut edges (swap and joint re-bind).
+std::vector<Candidate> boundary_candidates(const Dfg& dfg, const Datapath& dp,
+                                           const Binding& binding,
+                                           bool enable_pairs) {
+  std::vector<Candidate> candidates;
+  std::set<Candidate> seen;
+  const auto push = [&](Candidate cand) {
+    // Normalize: drop no-op changes, sort, dedupe.
+    std::erase_if(cand, [&](const auto& change) {
+      return binding[static_cast<std::size_t>(change.first)] == change.second;
+    });
+    if (cand.empty()) {
+      return;
+    }
+    std::sort(cand.begin(), cand.end());
+    if (seen.insert(cand).second) {
+      candidates.push_back(std::move(cand));
+    }
+  };
+
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    if (neighbor_clusters(dfg, binding, v).empty()) {
+      continue;  // not a boundary operation
+    }
+    // Re-bind a boundary operation to any feasible cluster: moving to a
+    // neighbour's cluster removes transfers; moving to a third cluster
+    // is the paper's "horizontal" load redistribution.
+    for (const ClusterId c : dp.target_set(dfg.type(v))) {
+      push({{v, c}});
+    }
+  }
+  if (candidates.empty()) {
+    // Degenerate binding with no cluster boundaries (e.g. everything on
+    // one cluster): fall back to single-op migrations everywhere so the
+    // improver can start carving out a partition at all.
+    for (OpId v = 0; v < dfg.num_ops(); ++v) {
+      for (const ClusterId c : dp.target_set(dfg.type(v))) {
+        push({{v, c}});
+      }
+    }
+  }
+
+  if (enable_pairs) {
+    for (OpId u = 0; u < dfg.num_ops(); ++u) {
+      for (const OpId v : dfg.succs(u)) {
+        const ClusterId cu = binding[static_cast<std::size_t>(u)];
+        const ClusterId cv = binding[static_cast<std::size_t>(v)];
+        if (cu == cv) {
+          continue;
+        }
+        // Swap across the cut edge.
+        if (dp.supports(cv, dfg.type(u)) && dp.supports(cu, dfg.type(v))) {
+          push({{u, cv}, {v, cu}});
+        }
+        // Joint move of both endpoints to a shared cluster.
+        std::set<ClusterId> joint = neighbor_clusters(dfg, binding, u);
+        const std::set<ClusterId> nv = neighbor_clusters(dfg, binding, v);
+        joint.insert(nv.begin(), nv.end());
+        joint.insert(cu);
+        joint.insert(cv);
+        for (const ClusterId c : joint) {
+          if (dp.supports(c, dfg.type(u)) && dp.supports(c, dfg.type(v))) {
+            push({{u, c}, {v, c}});
+          }
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+/// Best-improvement hill climbing with bounded plateau walking under an
+/// arbitrary strict-weak-order quality (smaller is better). Returns the
+/// number of strictly improving steps.
+template <typename Quality, typename Eval>
+int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
+          const Eval& eval, const IterImproverParams& params,
+          IterImproverStats* stats) {
+  int improving_steps = 0;
+  int total_steps = 0;
+  int plateau_steps = 0;
+  Quality current = eval(binding);
+  Binding best_binding = binding;
+  Quality best_quality = current;
+  std::set<Binding> visited{binding};
+
+  while (total_steps < params.max_iterations) {
+    const std::vector<Candidate> candidates =
+        boundary_candidates(dfg, dp, binding, params.enable_pairs);
+    bool have_improvement = false;
+    Quality step_quality = current;
+    Candidate step_candidate;
+    bool have_lateral = false;
+    Binding lateral_binding;
+
+    for (const Candidate& cand : candidates) {
+      Binding trial = binding;
+      for (const auto& [v, c] : cand) {
+        trial[static_cast<std::size_t>(v)] = c;
+      }
+      const Quality q = eval(trial);
+      if (stats != nullptr) {
+        ++stats->candidates_evaluated;
+      }
+      if (q < step_quality) {
+        step_quality = q;
+        step_candidate = cand;
+        have_improvement = true;
+      } else if (!have_improvement && !have_lateral && q == current &&
+                 !visited.contains(trial)) {
+        have_lateral = true;
+        lateral_binding = std::move(trial);
+      }
+    }
+
+    if (have_improvement) {
+      for (const auto& [v, c] : step_candidate) {
+        binding[static_cast<std::size_t>(v)] = c;
+      }
+      current = step_quality;
+      plateau_steps = 0;
+      ++improving_steps;
+    } else if (have_lateral && plateau_steps < params.max_plateau_steps) {
+      // Equal-quality sidestep to unexplored ground (footnote-4
+      // variant): bounded, and never past a previously seen binding,
+      // so the walk terminates.
+      binding = std::move(lateral_binding);
+      ++plateau_steps;
+    } else {
+      break;
+    }
+    visited.insert(binding);
+    if (current < best_quality) {
+      best_quality = current;
+      best_binding = binding;
+    }
+    ++total_steps;
+  }
+
+  if (best_quality < current) {
+    binding = best_binding;  // a plateau walk may end off the best point
+  }
+  return improving_steps;
+}
+
+}  // namespace
+
+Binding improve_binding(const Dfg& dfg, const Datapath& dp, Binding start,
+                        const IterImproverParams& params,
+                        IterImproverStats* stats) {
+  require_valid_binding(dfg, start, dp);
+
+  const auto eval_qu = [&](const Binding& b) {
+    const BoundDfg bound = build_bound_dfg(dfg, b, dp);
+    const Schedule sched = list_schedule(bound, dp);
+    return compute_quality_u(bound, dp, sched);
+  };
+  const auto eval_qm = [&](const Binding& b) {
+    const BoundDfg bound = build_bound_dfg(dfg, b, dp);
+    return compute_quality_m(list_schedule(bound, dp));
+  };
+
+  if (params.use_qu_phase) {
+    const int steps =
+        climb<QualityU>(dfg, dp, start, eval_qu, params, stats);
+    if (stats != nullptr) {
+      stats->qu_iterations = steps;
+    }
+  }
+  if (params.use_qm_phase) {
+    const int steps =
+        climb<QualityM>(dfg, dp, start, eval_qm, params, stats);
+    if (stats != nullptr) {
+      stats->qm_iterations = steps;
+    }
+  }
+  return start;
+}
+
+}  // namespace cvb

@@ -1,0 +1,59 @@
+// B-ITER: the paper's iterative improvement phase (Section 3.2).
+//
+// Each iteration enumerates *boundary perturbations*: every operation
+// with an operand or result crossing a cluster boundary is temporarily
+// re-bound to the cluster(s) where those operands/results reside; the
+// same is done for pairs of operations (we use edge-adjacent pairs —
+// swap across a cut edge and joint moves — a documented interpretation
+// of the paper's "pairs of operations"). Every candidate binding is
+// evaluated by building the bound DFG and list-scheduling it.
+//
+// Phase A climbs on the lexicographic quality vector
+// Q_U = (L, U_0, U_1, ...) — latency first, then progressively thinner
+// schedule tails, which gives the search a gradient even when L cannot
+// improve in one step (Figure 6). Phase B then climbs on
+// Q_M = (L, N_MV) to shed redundant data transfers without regressing
+// latency. Both phases stop at the first iteration with no strict
+// improvement.
+#pragma once
+
+#include "bind/binding.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Parameters of the iterative improver.
+struct IterImproverParams {
+  /// Run the Q_U latency-minimization phase.
+  bool use_qu_phase = true;
+  /// Run the Q_M move-minimization phase afterwards.
+  bool use_qm_phase = true;
+  /// Also perturb pairs of operations (swap / joint re-bind across cut
+  /// edges), not just singles.
+  bool enable_pairs = true;
+  /// Safety cap on hill-climbing steps per phase.
+  int max_iterations = 10'000;
+  /// Plateau tolerance (the paper's footnote-4 "more powerful variant"
+  /// of the simple terminate-on-no-improvement loop): up to this many
+  /// consecutive equal-quality steps to a not-yet-visited binding are
+  /// accepted before giving up. 0 reproduces the simple variant.
+  int max_plateau_steps = 8;
+};
+
+/// Statistics of one improve_binding() run (for benches/diagnostics).
+struct IterImproverStats {
+  int qu_iterations = 0;       ///< accepted Q_U steps
+  int qm_iterations = 0;       ///< accepted Q_M steps
+  long candidates_evaluated = 0;  ///< schedules computed
+};
+
+/// Improves `start` (must be valid for dfg/dp; throws std::logic_error
+/// otherwise). Returns a binding whose scheduled quality is never worse
+/// than the input's under (L, then U-vector, then M).
+[[nodiscard]] Binding improve_binding(const Dfg& dfg, const Datapath& dp,
+                                      Binding start,
+                                      const IterImproverParams& params = {},
+                                      IterImproverStats* stats = nullptr);
+
+}  // namespace cvb

@@ -1,0 +1,163 @@
+#include "bind/load_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cvb {
+
+namespace {
+// Strict floating-point "exceeds" with a tolerance so that exact
+// equality (e.g. a perfectly balanced profile at 1.0) does not count as
+// overload.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+LoadProfileSet::LoadProfileSet(const Dfg& dfg, const Datapath& dp,
+                               const Timing& timing)
+    : dfg_(&dfg), dp_(&dp), timing_(&timing) {
+  if (static_cast<int>(timing.asap.size()) != dfg.num_ops()) {
+    throw std::invalid_argument("LoadProfileSet: timing/graph mismatch");
+  }
+  int max_dii = 1;
+  for (int t = 0; t < kNumFuTypes; ++t) {
+    max_dii = std::max(max_dii, dp.dii(static_cast<FuType>(t)));
+  }
+  horizon_ = timing.target_latency + max_dii + dp.move_latency();
+
+  load_dp_.assign(kNumClusterFuTypes,
+                  std::vector<double>(static_cast<std::size_t>(horizon_), 0.0));
+  load_cl_.assign(
+      static_cast<std::size_t>(dp.num_clusters()),
+      std::vector<std::vector<double>>(
+          kNumClusterFuTypes,
+          std::vector<double>(static_cast<std::size_t>(horizon_), 0.0)));
+  load_bus_.assign(static_cast<std::size_t>(horizon_), 0.0);
+
+  // Centralized profile: every operation contributes, normalized by the
+  // datapath-wide FU count of its type.
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    const FuType t = fu_type_of(dfg.type(v));
+    if (t == FuType::kBus) {
+      throw std::invalid_argument(
+          "LoadProfileSet: original DFG may not contain moves");
+    }
+    const int n_t = dp.total_fu_count(t);
+    if (n_t == 0) {
+      throw std::invalid_argument(
+          "LoadProfileSet: datapath has no " + std::string(fu_type_name(t)) +
+          " for operation " + dfg.name(v));
+    }
+    const OpFrame f = op_frame(v);
+    auto& profile = load_dp_[static_cast<std::size_t>(t)];
+    for (int tau = f.begin; tau <= f.end && tau < horizon_; ++tau) {
+      profile[static_cast<std::size_t>(tau)] += f.value / n_t;
+    }
+  }
+}
+
+LoadProfileSet::OpFrame LoadProfileSet::op_frame(OpId v) const {
+  OpFrame f;
+  const auto sv = static_cast<std::size_t>(v);
+  const int mobility = timing_->mobility[sv];
+  f.begin = timing_->asap[sv];
+  f.end = timing_->alap[sv] + dp_->dii_op(dfg_->type(v)) - 1;
+  f.value = 1.0 / (mobility + 1);
+  return f;
+}
+
+int LoadProfileSet::fu_serialization_cost(OpId v, ClusterId c) const {
+  const FuType t = fu_type_of(dfg_->type(v));
+  const int n_ct = dp_->fu_count(c, t);
+  if (n_ct == 0) {
+    throw std::invalid_argument("fu_serialization_cost: cluster " +
+                                std::to_string(c) + " has no " +
+                                std::string(fu_type_name(t)));
+  }
+  const OpFrame f = op_frame(v);
+  const auto& cl = load_cl_[static_cast<std::size_t>(c)]
+                           [static_cast<std::size_t>(t)];
+  const auto& dp_profile = load_dp_[static_cast<std::size_t>(t)];
+  int cost = 0;
+  for (int tau = 0; tau < horizon_; ++tau) {
+    double load = cl[static_cast<std::size_t>(tau)];
+    if (tau >= f.begin && tau <= f.end) {
+      load += f.value / n_ct;
+    }
+    const double limit =
+        std::max(dp_profile[static_cast<std::size_t>(tau)], 1.0);
+    if (load > limit + kEps) {
+      ++cost;
+    }
+  }
+  return cost;
+}
+
+int LoadProfileSet::bus_serialization_cost(
+    const std::vector<TransferFrame>& extra) const {
+  const int n_bus = dp_->num_buses();
+  int cost = 0;
+  for (int tau = 0; tau < horizon_; ++tau) {
+    double load = load_bus_[static_cast<std::size_t>(tau)];
+    for (const TransferFrame& f : extra) {
+      if (tau >= f.begin && tau <= f.end) {
+        load += f.value / n_bus;
+      }
+    }
+    if (load > 1.0 + kEps) {
+      ++cost;
+    }
+  }
+  return cost;
+}
+
+LoadProfileSet::TransferFrame LoadProfileSet::transfer_frame(
+    OpId producer, OpId consumer) const {
+  TransferFrame f;
+  const auto sp = static_cast<std::size_t>(producer);
+  const auto sc = static_cast<std::size_t>(consumer);
+  // "Placed on the side, right after completion of the producing
+  // operation."
+  f.begin = timing_->asap[sp] + dp_->lat(dfg_->type(producer));
+  // "The load profile mobility of the data transfer is assigned the
+  // mobility of the corresponding consumer decreased by the bus latency
+  // lat(move). If the data transfer does not fit, ... we assume it 0."
+  const int mobility =
+      std::max(0, timing_->mobility[sc] - dp_->move_latency());
+  f.end = f.begin + mobility + dp_->dii(FuType::kBus) - 1;
+  f.value = 1.0 / (mobility + 1);
+  return f;
+}
+
+void LoadProfileSet::commit_op(OpId v, ClusterId c) {
+  const FuType t = fu_type_of(dfg_->type(v));
+  const int n_ct = dp_->fu_count(c, t);
+  if (n_ct == 0) {
+    throw std::invalid_argument("commit_op: cluster " + std::to_string(c) +
+                                " has no " + std::string(fu_type_name(t)));
+  }
+  const OpFrame f = op_frame(v);
+  auto& cl =
+      load_cl_[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)];
+  for (int tau = f.begin; tau <= f.end && tau < horizon_; ++tau) {
+    cl[static_cast<std::size_t>(tau)] += f.value / n_ct;
+  }
+}
+
+void LoadProfileSet::commit_transfer(const TransferFrame& frame) {
+  const int n_bus = dp_->num_buses();
+  for (int tau = frame.begin; tau <= frame.end && tau < horizon_; ++tau) {
+    load_bus_[static_cast<std::size_t>(tau)] += frame.value / n_bus;
+  }
+}
+
+double LoadProfileSet::cluster_load_total(ClusterId c, FuType t) const {
+  const auto& cl =
+      load_cl_[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)];
+  double total = 0.0;
+  for (const double x : cl) {
+    total += x;
+  }
+  return total;
+}
+
+}  // namespace cvb

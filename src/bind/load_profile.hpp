@@ -1,0 +1,100 @@
+// Force-directed-style load profiles (paper Section 3.1.2, Figure 4).
+//
+// The initial binder estimates serialization penalties by comparing,
+// per FU type, the normalized load profile of each cluster against the
+// normalized load profile of the *equivalent centralized datapath*
+// (all FUs of that type pooled together). Profiles are computed on the
+// original DFG for a chosen profile latency L_PR and never re-leveled
+// during binding — this relaxation is what keeps B-INIT cheap.
+//
+// Each operation v spreads one unit of work uniformly over its time
+// frame: load(v, tau) = 1 / (mobility(v) + 1) for
+// tau in [asap(v), alap(v) + dii(v) - 1], zero elsewhere.
+//
+// Inter-cluster data transfers are approximated "on the side": a
+// transfer for edge (u, v) is placed right after its producer
+// completes (start frame begins at asap(u) + lat(u)) and inherits the
+// consumer's mobility decreased by lat(move), clamped at zero.
+#pragma once
+
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Mutable profile state for one run of the initial binder.
+class LoadProfileSet {
+ public:
+  /// Builds centralized profiles for `dfg` with the time frames in
+  /// `timing` (whose target_latency is the profile latency L_PR).
+  /// Cluster and bus profiles start empty and are filled through
+  /// commit_op() / commit_transfer() as binding proceeds.
+  LoadProfileSet(const Dfg& dfg, const Datapath& dp, const Timing& timing);
+
+  /// Time-frame description of a data transfer for the dependency
+  /// (producer -> consumer); `value` is its per-cycle load.
+  struct TransferFrame {
+    int begin = 0;  ///< first cycle of the frame
+    int end = 0;    ///< last cycle of the frame (inclusive)
+    double value = 0.0;
+  };
+
+  /// FU serialization penalty fucost(v, c): with v's load temporarily
+  /// added to cluster c's profile for v's FU type, the number of cycles
+  /// where the cluster's normalized load exceeds
+  /// max(centralized load, 1).
+  [[nodiscard]] int fu_serialization_cost(OpId v, ClusterId c) const;
+
+  /// Bus serialization penalty: with `extra` transfer frames
+  /// temporarily added to the bus profile, the number of cycles where
+  /// the normalized bus load exceeds 1.
+  [[nodiscard]] int bus_serialization_cost(
+      const std::vector<TransferFrame>& extra) const;
+
+  /// The transfer frame for dependency (producer -> consumer), placed
+  /// right after the producer completes, with the consumer's mobility
+  /// decreased by lat(move) (clamped at 0).
+  [[nodiscard]] TransferFrame transfer_frame(OpId producer,
+                                             OpId consumer) const;
+
+  /// Permanently adds operation v's load to cluster c's profile.
+  void commit_op(OpId v, ClusterId c);
+
+  /// Permanently adds a transfer frame to the bus profile.
+  void commit_transfer(const TransferFrame& frame);
+
+  /// Total committed normalized load of FU type `t` on cluster `c`
+  /// (used as a deterministic load-balancing tie-breaker).
+  [[nodiscard]] double cluster_load_total(ClusterId c, FuType t) const;
+
+  /// Number of profile levels tracked (>= L_PR; includes slack for
+  /// dii-extended frames).
+  [[nodiscard]] int horizon() const { return horizon_; }
+
+ private:
+  /// Per-cycle frame of operation v: [begin, end] inclusive and value.
+  struct OpFrame {
+    int begin = 0;
+    int end = 0;
+    double value = 0.0;
+  };
+
+  [[nodiscard]] OpFrame op_frame(OpId v) const;
+
+  const Dfg* dfg_;
+  const Datapath* dp_;
+  const Timing* timing_;
+  int horizon_;
+
+  /// load_dp_[t][tau]: normalized centralized profile per FU type.
+  std::vector<std::vector<double>> load_dp_;
+  /// load_cl_[c][t][tau]: normalized committed cluster profiles.
+  std::vector<std::vector<std::vector<double>>> load_cl_;
+  /// Normalized committed bus profile.
+  std::vector<double> load_bus_;
+};
+
+}  // namespace cvb

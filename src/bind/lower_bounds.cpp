@@ -1,0 +1,48 @@
+#include "bind/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+LatencyLowerBound latency_lower_bound(const Dfg& dfg, const Datapath& dp) {
+  LatencyLowerBound bound;
+  if (dfg.num_ops() == 0) {
+    return bound;
+  }
+  bound.dependence = critical_path_length(dfg, dp.latencies());
+
+  for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
+    const FuType t = static_cast<FuType>(ti);
+    int ops = 0;
+    int min_lat = 0;
+    for (OpId v = 0; v < dfg.num_ops(); ++v) {
+      if (fu_type_of(dfg.type(v)) == t) {
+        const int l = lat_of(dp.latencies(), dfg.type(v));
+        min_lat = (ops == 0) ? l : std::min(min_lat, l);
+        ++ops;
+      }
+    }
+    if (ops == 0) {
+      continue;
+    }
+    const int units = dp.total_fu_count(t);
+    if (units == 0) {
+      continue;  // infeasible datapath; binding-time validation rejects it
+    }
+    // Issue slots: each op occupies dii(t) cycles on a unit; the last
+    // issue happens no earlier than cycle ceil(ops*dii/units) - dii,
+    // and its result needs at least min_lat more cycles. A simpler
+    // valid floor: ceil(ops * dii / units) + (min_lat - dii) when
+    // min_lat > dii, else ceil(ops * dii / units).
+    const int dii = dp.dii(t);
+    const int issue_span = (ops * dii + units - 1) / units;
+    const int tail = std::max(0, min_lat - dii);
+    bound.resource = std::max(bound.resource, issue_span + tail);
+  }
+  bound.combined = std::max(bound.dependence, bound.resource);
+  return bound;
+}
+
+}  // namespace cvb

@@ -1,0 +1,31 @@
+// Schedule-latency lower bounds, independent of any binding:
+//
+//  * dependence bound: the critical path L_CP;
+//  * resource (throughput) bound: for each FU type t, at least
+//    ceil(|ops(t)| * dii(t) / N(t)) cycles are needed even with perfect
+//    packing, plus the remaining latency of the last-issued op.
+//
+// Used by tests (sanity floors), by the optimality-gap bench, and by
+// DSE to prune hopeless datapath candidates before running the binder.
+#pragma once
+
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Per-source breakdown of the bound.
+struct LatencyLowerBound {
+  int dependence = 0;  ///< critical path L_CP
+  int resource = 0;    ///< max over FU types of the throughput bound
+  /// max(dependence, resource): no schedule on this datapath can beat
+  /// this, regardless of binding (bus traffic excluded — it only adds).
+  int combined = 0;
+};
+
+/// Computes the bound for `dfg` on `dp`. Works for any latency/dii
+/// configuration; returns all-zero for an empty graph.
+[[nodiscard]] LatencyLowerBound latency_lower_bound(const Dfg& dfg,
+                                                    const Datapath& dp);
+
+}  // namespace cvb

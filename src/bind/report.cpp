@@ -1,0 +1,101 @@
+#include "bind/report.hpp"
+
+#include <ostream>
+
+#include "bind/binding.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace cvb {
+
+BindingReport make_binding_report(const BoundDfg& bound, const Datapath& dp,
+                                  const Schedule& sched) {
+  const Dfg& g = bound.graph;
+  BindingReport report;
+  report.latency = sched.latency;
+  report.num_moves = bound.num_moves;
+  report.ops_per_cluster.assign(static_cast<std::size_t>(dp.num_clusters()),
+                                0);
+
+  // FU usage skeleton.
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
+      FuUsage usage;
+      usage.cluster = c;
+      usage.fu = static_cast<FuType>(ti);
+      usage.num_units = dp.fu_count(c, usage.fu);
+      report.fu_usage.push_back(usage);
+    }
+  }
+  const auto usage_of = [&](ClusterId c, FuType t) -> FuUsage& {
+    return report.fu_usage[static_cast<std::size_t>(
+        c * kNumClusterFuTypes + static_cast<int>(t))];
+  };
+
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    const FuType t = fu_type_of(g.type(v));
+    if (t == FuType::kBus) {
+      report.bus_busy_slots += dp.dii(FuType::kBus);
+      continue;
+    }
+    const ClusterId c = bound.place[static_cast<std::size_t>(v)];
+    ++report.ops_per_cluster[static_cast<std::size_t>(c)];
+    FuUsage& usage = usage_of(c, t);
+    ++usage.num_ops;
+    usage.busy_slots += dp.dii(t);
+  }
+
+  for (FuUsage& usage : report.fu_usage) {
+    if (usage.num_units > 0 && report.latency > 0) {
+      usage.utilization = static_cast<double>(usage.busy_slots) /
+                          (usage.num_units * report.latency);
+    }
+  }
+  if (report.latency > 0) {
+    report.bus_utilization = static_cast<double>(report.bus_busy_slots) /
+                             (dp.num_buses() * report.latency);
+  }
+
+  // Cut edges and boundary ops are properties of the original graph's
+  // binding, recoverable from the bound graph's structure: an original
+  // op is on the boundary iff it feeds or consumes a move.
+  std::vector<bool> boundary(static_cast<std::size_t>(bound.num_original_ops()),
+                             false);
+  for (OpId v = bound.num_original_ops(); v < g.num_ops(); ++v) {
+    for (const OpId p : g.preds(v)) {
+      boundary[static_cast<std::size_t>(p)] = true;
+    }
+    for (const OpId s : g.succs(v)) {
+      boundary[static_cast<std::size_t>(s)] = true;
+      ++report.cut_edges;  // each move->consumer edge is one cut edge
+    }
+  }
+  for (const bool b : boundary) {
+    report.boundary_ops += b ? 1 : 0;
+  }
+  return report;
+}
+
+void write_binding_report(std::ostream& out, const BindingReport& report,
+                          const Datapath& dp) {
+  out << "binding report: L=" << report.latency << " cycles, M="
+      << report.num_moves << " transfers, " << report.cut_edges
+      << " cut edges, " << report.boundary_ops << " boundary ops\n";
+  TablePrinter table({"cluster", "FU", "units", "ops", "utilization"});
+  for (const FuUsage& usage : report.fu_usage) {
+    if (usage.num_units == 0 && usage.num_ops == 0) {
+      continue;
+    }
+    table.add_row({"c" + std::to_string(usage.cluster),
+                   std::string(fu_type_name(usage.fu)),
+                   std::to_string(usage.num_units),
+                   std::to_string(usage.num_ops),
+                   format_sig(100.0 * usage.utilization, 2) + "%"});
+  }
+  table.add_row({"-", "BUS", std::to_string(dp.num_buses()),
+                 std::to_string(report.num_moves),
+                 format_sig(100.0 * report.bus_utilization, 2) + "%"});
+  table.print(out);
+}
+
+}  // namespace cvb

@@ -1,0 +1,48 @@
+// Structured binding report: the per-cluster and per-resource summary a
+// compiler or DSE tool wants after binding — operation counts, FU
+// utilization over the schedule, transfer statistics, and boundary
+// size. Consumed by examples and printable as text.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// Per-(cluster, FU type) usage statistics.
+struct FuUsage {
+  ClusterId cluster = 0;
+  FuType fu = FuType::kAlu;
+  int num_units = 0;   ///< N(c, t)
+  int num_ops = 0;     ///< operations bound here of this type
+  int busy_slots = 0;  ///< sum over ops of dii (unit-cycles occupied)
+  /// busy_slots / (num_units * schedule latency); 0 when no units.
+  double utilization = 0.0;
+};
+
+/// Whole-binding report.
+struct BindingReport {
+  int latency = 0;
+  int num_moves = 0;
+  int cut_edges = 0;       ///< cross-cluster dependency edges
+  int boundary_ops = 0;    ///< ops with at least one cross-cluster edge
+  int bus_busy_slots = 0;  ///< move issues x dii(BUS)
+  double bus_utilization = 0.0;
+  std::vector<FuUsage> fu_usage;  ///< cluster-major, FU-type-minor
+  std::vector<int> ops_per_cluster;
+};
+
+/// Builds the report for a bound+scheduled result.
+[[nodiscard]] BindingReport make_binding_report(const BoundDfg& bound,
+                                                const Datapath& dp,
+                                                const Schedule& sched);
+
+/// Pretty-prints the report as an aligned text block.
+void write_binding_report(std::ostream& out, const BindingReport& report,
+                          const Datapath& dp);
+
+}  // namespace cvb

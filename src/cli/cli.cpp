@@ -1,0 +1,286 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "baselines/annealing.hpp"
+#include "baselines/mincut.hpp"
+#include "bind/driver.hpp"
+#include "bind/exhaustive.hpp"
+#include "bind/lower_bounds.hpp"
+#include "bind/report.hpp"
+#include "graph/analysis.hpp"
+#include "graph/dot.hpp"
+#include "io/dfg_text.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/machine_file.hpp"
+#include "machine/parser.hpp"
+#include "pcc/pcc.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sched/emit.hpp"
+#include "sched/gantt.hpp"
+#include "sched/reg_pressure.hpp"
+#include "sched/verifier.hpp"
+#include "sim/executor.hpp"
+#include "support/strings.hpp"
+
+namespace cvb {
+
+std::string cli_usage() {
+  return R"(usage: cvbind [options] <kernel-name | file.dfg>
+
+Binds a dataflow graph to a clustered VLIW datapath and prints the
+result. Kernel names are the built-in paper benchmarks (see
+--list-kernels); anything ending in .dfg is parsed as a DFG text file.
+
+options:
+  --datapath SPEC     cluster config, e.g. "[2,1|1,1]" (default [1,1|1,1])
+  --buses N           number of buses N_B (default 2)
+  --move-latency N    lat(move) in cycles (default 1)
+  --machine FILE      load a .machine description instead (overrides
+                      --datapath/--buses/--move-latency)
+  --algorithm A       b-iter | b-init | pcc | sa | mincut | exhaustive
+                      (default b-iter)
+  --effort E          fast | balanced | max: binder effort preset for
+                      b-iter/b-init (default balanced)
+  --output LIST       comma list of: summary, report, gantt, asm,
+                      pressure, regalloc, check, dot, dfg
+                      (default summary)
+  --seed N            random seed for --algorithm sa (default 1)
+  --list-kernels      print the built-in kernel names and exit
+  --help              this text
+)";
+}
+
+namespace {
+
+struct CliOptions {
+  std::string source;
+  std::string datapath = "[1,1|1,1]";
+  std::string machine_file;
+  int buses = 2;
+  int move_latency = 1;
+  std::string algorithm = "b-iter";
+  std::string effort = "balanced";
+  std::vector<std::string> outputs = {"summary"};
+  std::uint64_t seed = 1;
+  bool list_kernels = false;
+  bool help = false;
+};
+
+CliOptions parse_args(const std::vector<std::string>& args) {
+  CliOptions opts;
+  const auto value_of = [&](std::size_t& i, const std::string& flag) {
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument(flag + " needs a value");
+    }
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--list-kernels") {
+      opts.list_kernels = true;
+    } else if (arg == "--datapath") {
+      opts.datapath = value_of(i, arg);
+    } else if (arg == "--machine") {
+      opts.machine_file = value_of(i, arg);
+    } else if (arg == "--buses") {
+      opts.buses = parse_nonnegative_int(value_of(i, arg));
+    } else if (arg == "--move-latency") {
+      opts.move_latency = parse_nonnegative_int(value_of(i, arg));
+    } else if (arg == "--algorithm") {
+      opts.algorithm = value_of(i, arg);
+    } else if (arg == "--effort") {
+      opts.effort = value_of(i, arg);
+    } else if (arg == "--output") {
+      opts.outputs = split(value_of(i, arg), ',');
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(
+          parse_nonnegative_int(value_of(i, arg)));
+    } else if (!arg.empty() && arg.front() == '-') {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    } else if (opts.source.empty()) {
+      opts.source = arg;
+    } else {
+      throw std::invalid_argument("unexpected argument '" + arg + "'");
+    }
+  }
+  return opts;
+}
+
+Dfg load_source(const std::string& source, std::string& name) {
+  if (source.size() > 4 && source.substr(source.size() - 4) == ".dfg") {
+    std::ifstream file(source);
+    if (!file) {
+      throw std::invalid_argument("cannot open '" + source + "'");
+    }
+    ParsedDfg parsed = parse_dfg_text(file);
+    name = parsed.name;
+    return std::move(parsed.dfg);
+  }
+  name = source;
+  return benchmark_by_name(source).dfg;
+}
+
+BindEffort effort_by_name(const std::string& name) {
+  if (name == "fast") {
+    return BindEffort::kFast;
+  }
+  if (name == "balanced") {
+    return BindEffort::kBalanced;
+  }
+  if (name == "max") {
+    return BindEffort::kMax;
+  }
+  throw std::invalid_argument("unknown effort '" + name + "'");
+}
+
+BindResult run_algorithm(const std::string& algorithm,
+                         const std::string& effort, const Dfg& dfg,
+                         const Datapath& dp, std::uint64_t seed) {
+  if (algorithm == "b-iter") {
+    return bind_full(dfg, dp, driver_params_for(effort_by_name(effort)));
+  }
+  if (algorithm == "b-init") {
+    DriverParams params = driver_params_for(effort_by_name(effort));
+    params.run_iterative = false;
+    return bind_initial_best(dfg, dp, params);
+  }
+  if (algorithm == "pcc") {
+    return pcc_binding(dfg, dp);
+  }
+  if (algorithm == "sa") {
+    AnnealingParams params;
+    params.seed = seed;
+    return annealing_binding(dfg, dp, params);
+  }
+  if (algorithm == "mincut") {
+    return mincut_binding(dfg, dp);
+  }
+  if (algorithm == "exhaustive") {
+    return exhaustive_binding(dfg, dp);
+  }
+  throw std::invalid_argument("unknown algorithm '" + algorithm + "'");
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  CliOptions opts;
+  try {
+    opts = parse_args(args);
+  } catch (const std::invalid_argument& e) {
+    err << "cvbind: " << e.what() << "\n\n" << cli_usage();
+    return 1;
+  }
+  if (opts.help) {
+    out << cli_usage();
+    return 0;
+  }
+  if (opts.list_kernels) {
+    for (const BenchmarkKernel& kernel : benchmark_suite()) {
+      out << kernel.name << "  (Nv=" << kernel.dfg.num_ops() << ")\n";
+    }
+    return 0;
+  }
+  if (opts.source.empty()) {
+    err << "cvbind: no kernel or .dfg file given\n\n" << cli_usage();
+    return 1;
+  }
+
+  try {
+    std::string name;
+    const Dfg dfg = load_source(opts.source, name);
+    const Datapath dp = [&] {
+      if (opts.machine_file.empty()) {
+        return parse_datapath(opts.datapath, opts.buses, opts.move_latency);
+      }
+      std::ifstream file(opts.machine_file);
+      if (!file) {
+        throw std::invalid_argument("cannot open '" + opts.machine_file +
+                                    "'");
+      }
+      return parse_machine_file(file).datapath;
+    }();
+    const BindResult result =
+        run_algorithm(opts.algorithm, opts.effort, dfg, dp, opts.seed);
+    if (const std::string verr =
+            verify_schedule(result.bound, dp, result.schedule);
+        !verr.empty()) {
+      err << "cvbind: internal error, illegal schedule: " << verr << '\n';
+      return 1;
+    }
+
+    for (const std::string& output : opts.outputs) {
+      if (output == "summary") {
+        const LatencyLowerBound lb = latency_lower_bound(dfg, dp);
+        out << name << " on " << dp.to_string() << " (" << dp.num_buses()
+            << " buses, lat(move)=" << dp.move_latency() << ", "
+            << opts.algorithm << "): L=" << result.schedule.latency
+            << " cycles, M=" << result.schedule.num_moves
+            << " transfers, lower bound " << lb.combined << '\n';
+      } else if (output == "report") {
+        write_binding_report(
+            out, make_binding_report(result.bound, dp, result.schedule), dp);
+      } else if (output == "gantt") {
+        write_gantt(out, result.bound, dp, result.schedule);
+      } else if (output == "asm") {
+        emit_vliw_asm(out, result.bound, dp, result.schedule);
+      } else if (output == "pressure") {
+        const RegPressure p =
+            compute_reg_pressure(result.bound, dp, result.schedule);
+        out << "register pressure: centralized " << p.centralized_max_live;
+        for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+          out << ", c" << c << " " << p.max_live[static_cast<std::size_t>(c)];
+        }
+        out << '\n';
+      } else if (output == "regalloc") {
+        const RegAllocation alloc =
+            allocate_registers(result.bound, dp, result.schedule);
+        if (const std::string aerr = verify_allocation(
+                result.bound, dp, result.schedule, alloc);
+            !aerr.empty()) {
+          err << "cvbind: internal error, bad allocation: " << aerr << '\n';
+          return 1;
+        }
+        out << "register files:";
+        for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+          out << " c" << c << "="
+              << alloc.regs_used[static_cast<std::size_t>(c)];
+        }
+        out << " (worst " << alloc.worst_file() << ")\n";
+      } else if (output == "check") {
+        const std::vector<std::int64_t> inputs = {3,  -7, 11, 2,  -1, 5,
+                                                  13, -4, 9,  6,  -8, 1};
+        const std::string cerr_msg =
+            check_semantics(dfg, result.bound, dp, result.schedule, inputs);
+        if (!cerr_msg.empty()) {
+          err << "cvbind: semantic check FAILED: " << cerr_msg << '\n';
+          return 1;
+        }
+        out << "semantic check: scheduled code computes the original "
+               "dataflow values\n";
+      } else if (output == "dot") {
+        std::vector<int> place(result.bound.place.begin(),
+                               result.bound.place.end());
+        write_dot_bound(out, result.bound.graph, place, "bound");
+      } else if (output == "dfg") {
+        write_dfg_text(out, dfg, name);
+      } else {
+        err << "cvbind: unknown output '" << output << "'\n";
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "cvbind: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace cvb

@@ -1,0 +1,36 @@
+// Command-line driver logic for the `cvbind` tool. The argument
+// parsing and execution live in the library (run_cli) so they are unit
+// testable; tools/cvbind.cpp is a thin main() wrapper.
+//
+//   cvbind EWF --datapath "[2,1|1,1]" --output summary,gantt
+//   cvbind my_kernel.dfg --algorithm pcc --buses 1
+//   cvbind --list-kernels
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cvb {
+
+/// Runs the cvbind command line. `args` excludes the program name.
+/// Writes results to `out`, diagnostics to `err`; returns the process
+/// exit code (0 success, 1 usage/input error).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+/// The usage text printed by --help.
+[[nodiscard]] std::string cli_usage();
+
+/// Runs the cvpipe (software pipelining) command line; same contract
+/// as run_cli.
+///
+///   cvpipe biquad --datapath "[2,2|2,1]"
+///   cvpipe --list-loops
+int run_pipe_cli(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+
+/// Usage text for cvpipe.
+[[nodiscard]] std::string pipe_cli_usage();
+
+}  // namespace cvb

@@ -1,0 +1,148 @@
+#include <ostream>
+#include <stdexcept>
+
+#include "cli/cli.hpp"
+#include "machine/parser.hpp"
+#include "modulo/expand.hpp"
+#include "modulo/loop_kernels.hpp"
+#include "modulo/mii.hpp"
+#include "modulo/modulo_scheduler.hpp"
+#include "sched/verifier.hpp"
+#include "support/strings.hpp"
+
+namespace cvb {
+
+std::string pipe_cli_usage() {
+  return R"(usage: cvpipe [options] <loop-name>
+
+Software-pipelines a built-in loop kernel onto a clustered VLIW
+datapath (body bound with the DAC'01 binder, then modulo scheduled)
+and prints the kernel.
+
+loops: dot, dot4, biquad, cmac, lattice2, lattice3
+
+options:
+  --datapath SPEC     cluster config (default [2,2|2,1])
+  --buses N           number of buses (default 2)
+  --move-latency N    lat(move) in cycles (default 1)
+  --iterations N      also print the N-iteration expansion summary
+  --list-loops        print loop names and exit
+  --help              this text
+)";
+}
+
+namespace {
+
+CyclicDfg loop_by_name(const std::string& name) {
+  if (name == "dot") {
+    return make_dot_product_loop(1);
+  }
+  if (name == "dot4") {
+    return make_dot_product_loop(4);
+  }
+  if (name == "biquad") {
+    return make_iir_biquad_loop();
+  }
+  if (name == "cmac") {
+    return make_complex_mac_loop();
+  }
+  if (name == "lattice2") {
+    return make_lattice_stage_loop(2);
+  }
+  if (name == "lattice3") {
+    return make_lattice_stage_loop(3);
+  }
+  throw std::invalid_argument("unknown loop '" + name + "'");
+}
+
+}  // namespace
+
+int run_pipe_cli(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  std::string loop_name;
+  std::string datapath = "[2,2|2,1]";
+  int buses = 2;
+  int move_latency = 1;
+  int iterations = 0;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      const auto value = [&] {
+        if (i + 1 >= args.size()) {
+          throw std::invalid_argument(arg + " needs a value");
+        }
+        return args[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        out << pipe_cli_usage();
+        return 0;
+      }
+      if (arg == "--list-loops") {
+        out << "dot dot4 biquad cmac lattice2 lattice3\n";
+        return 0;
+      }
+      if (arg == "--datapath") {
+        datapath = value();
+      } else if (arg == "--buses") {
+        buses = parse_nonnegative_int(value());
+      } else if (arg == "--move-latency") {
+        move_latency = parse_nonnegative_int(value());
+      } else if (arg == "--iterations") {
+        iterations = parse_nonnegative_int(value());
+      } else if (!arg.empty() && arg.front() == '-') {
+        throw std::invalid_argument("unknown option '" + arg + "'");
+      } else if (loop_name.empty()) {
+        loop_name = arg;
+      } else {
+        throw std::invalid_argument("unexpected argument '" + arg + "'");
+      }
+    }
+    if (loop_name.empty()) {
+      throw std::invalid_argument("no loop name given");
+    }
+
+    const CyclicDfg loop = loop_by_name(loop_name);
+    const Datapath dp = parse_datapath(datapath, buses, move_latency);
+    const ModuloResult r = software_pipeline(loop, dp);
+    if (const std::string verr = verify_modulo_schedule(r, dp);
+        !verr.empty()) {
+      err << "cvpipe: internal error: " << verr << '\n';
+      return 1;
+    }
+
+    out << loop_name << " on " << dp.to_string() << " (" << dp.num_buses()
+        << " buses): ResMII=" << resource_mii(loop, dp)
+        << " RecMII=" << recurrence_mii(loop, dp.latencies())
+        << " -> II=" << r.ii << (r.ii == r.mii ? " (optimal)" : "") << ", "
+        << r.num_moves << " moves, " << r.stages << " stages\n";
+    for (int slot = 0; slot < r.ii; ++slot) {
+      out << "  slot " << slot << ":";
+      for (OpId v = 0; v < r.kernel.num_ops(); ++v) {
+        if (r.start[static_cast<std::size_t>(v)] % r.ii == slot) {
+          const ClusterId c = r.place[static_cast<std::size_t>(v)];
+          out << ' ' << r.kernel.name(v)
+              << (c == kNoCluster ? "@bus" : "@c" + std::to_string(c));
+        }
+      }
+      out << '\n';
+    }
+    if (iterations > 0) {
+      const ExpandedPipeline flat = expand_pipeline(r, dp, iterations);
+      if (const std::string verr =
+              verify_schedule(flat.flat, dp, flat.schedule);
+          !verr.empty()) {
+        err << "cvpipe: internal error in expansion: " << verr << '\n';
+        return 1;
+      }
+      out << iterations << " iterations: " << flat.schedule.latency
+          << " cycles pipelined (" << pipelined_latency(r, dp, iterations)
+          << " closed-form)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "cvpipe: " << e.what() << "\n\n" << pipe_cli_usage();
+    return 1;
+  }
+}
+
+}  // namespace cvb

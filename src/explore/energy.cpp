@@ -1,0 +1,57 @@
+#include "explore/energy.hpp"
+
+#include <algorithm>
+
+namespace cvb {
+
+namespace {
+
+/// RF ports of one cluster: 3 per FU (2 read + 1 write).
+int cluster_ports(const Datapath& dp, ClusterId c) {
+  int fus = 0;
+  for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
+    fus += dp.fu_count(c, static_cast<FuType>(ti));
+  }
+  return 3 * fus;
+}
+
+double access_cost(const EnergyModel& model, int ports) {
+  return model.e_rf_access *
+         (1.0 + model.port_penalty * std::max(0, ports - 3));
+}
+
+}  // namespace
+
+EnergyEstimate estimate_energy(const BoundDfg& bound, const Datapath& dp,
+                               const EnergyModel& model) {
+  const Dfg& g = bound.graph;
+  EnergyEstimate estimate;
+
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    const FuType t = fu_type_of(g.type(v));
+    if (t == FuType::kBus) {
+      estimate.bus += model.e_bus_transfer;
+      // A transfer reads the source file and writes the destination
+      // file.
+      const int mi = v - bound.num_original_ops();
+      const OpId producer = bound.move_producer[static_cast<std::size_t>(mi)];
+      const ClusterId src =
+          bound.place[static_cast<std::size_t>(producer)];
+      const ClusterId dst = bound.move_dest[static_cast<std::size_t>(mi)];
+      estimate.rf += access_cost(model, cluster_ports(dp, src));
+      estimate.rf += access_cost(model, cluster_ports(dp, dst));
+      continue;
+    }
+    estimate.fu += (t == FuType::kMult) ? model.e_mult_op : model.e_alu_op;
+    // Reads per operand (externals included: they arrive through the
+    // local file too), one result write.
+    const ClusterId c = bound.place[static_cast<std::size_t>(v)];
+    const double per_access = access_cost(model, cluster_ports(dp, c));
+    const int reads =
+        std::max<int>(1, static_cast<int>(g.operands(v).size()));
+    estimate.rf += per_access * (reads + 1);
+  }
+  return estimate;
+}
+
+}  // namespace cvb

@@ -1,0 +1,49 @@
+// First-order energy model for bound, scheduled basic blocks.
+//
+// The paper's motivation (via Rixner et al.) is that many-ported
+// central register files are prohibitively costly; clustering trades
+// some explicit transfer energy for much cheaper register file
+// accesses. This model makes the tradeoff explicit:
+//
+//   E_total = sum over ops of E_fu(type)                (computation)
+//           + M * e_bus                                 (transfers)
+//           + sum over RF accesses of e_rf * f(ports)   (storage)
+//
+// where every regular operation makes up to 2 reads + 1 write to its
+// cluster's file, every move makes 1 read (source file) + 1 write
+// (destination file), and f(ports) = 1 + port_penalty * (ports - 3)
+// models the superlinear cost of multiported files (3 ports is the
+// single-FU baseline). Units are arbitrary "energy units"; only ratios
+// across datapaths are meaningful.
+#pragma once
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Model coefficients (defaults give plausible relative magnitudes:
+/// a multiply costs ~4 adds, a bus hop ~2 adds, an RF access ~1/2 add).
+struct EnergyModel {
+  double e_alu_op = 1.0;
+  double e_mult_op = 4.0;
+  double e_bus_transfer = 2.0;
+  double e_rf_access = 0.5;
+  /// Per-extra-port multiplier on RF access energy.
+  double port_penalty = 0.25;
+};
+
+/// Itemized estimate.
+struct EnergyEstimate {
+  double fu = 0.0;
+  double bus = 0.0;
+  double rf = 0.0;
+  [[nodiscard]] double total() const { return fu + bus + rf; }
+};
+
+/// Estimates the energy of executing `bound` once on `dp`.
+[[nodiscard]] EnergyEstimate estimate_energy(const BoundDfg& bound,
+                                             const Datapath& dp,
+                                             const EnergyModel& model = {});
+
+}  // namespace cvb

@@ -1,0 +1,150 @@
+#include "explore/explore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "bind/lower_bounds.hpp"
+#include "explore/energy.hpp"
+#include "support/stopwatch.hpp"
+
+namespace cvb {
+
+int max_rf_ports(const Datapath& dp) {
+  int worst = 0;
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    int fus = 0;
+    for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
+      fus += dp.fu_count(c, static_cast<FuType>(ti));
+    }
+    worst = std::max(worst, 3 * fus);
+  }
+  return worst;
+}
+
+namespace {
+
+/// Canonical cluster order: more FUs first, then more ALUs.
+bool cluster_leq(const Cluster& a, const Cluster& b) {
+  const int fa = a.count(FuType::kAlu) + a.count(FuType::kMult);
+  const int fb = b.count(FuType::kAlu) + b.count(FuType::kMult);
+  return std::make_tuple(-fa, -a.count(FuType::kAlu), -a.count(FuType::kMult)) <=
+         std::make_tuple(-fb, -b.count(FuType::kAlu), -b.count(FuType::kMult));
+}
+
+void enumerate_rec(const DseConstraints& cons, std::vector<Cluster>& current,
+                   int fus_used, std::vector<Datapath>& out) {
+  const int clusters = static_cast<int>(current.size());
+  if (clusters >= cons.min_clusters && !current.empty()) {
+    out.push_back(
+        Datapath::uniform(current, cons.num_buses, cons.move_latency));
+  }
+  if (clusters == cons.max_clusters) {
+    return;
+  }
+  for (int alus = 0; alus <= cons.max_fus_per_cluster; ++alus) {
+    for (int muls = 0; alus + muls <= cons.max_fus_per_cluster; ++muls) {
+      const int fus = alus + muls;
+      if (fus == 0 || fus_used + fus > cons.max_total_fus) {
+        continue;
+      }
+      Cluster next;
+      next.fu_count[static_cast<std::size_t>(FuType::kAlu)] = alus;
+      next.fu_count[static_cast<std::size_t>(FuType::kMult)] = muls;
+      // Canonical (non-ascending) order kills permutations of the same
+      // multiset of clusters.
+      if (!current.empty() && !cluster_leq(current.back(), next)) {
+        continue;
+      }
+      current.push_back(next);
+      enumerate_rec(cons, current, fus_used + fus, out);
+      current.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Datapath> enumerate_datapaths(const DseConstraints& constraints) {
+  if (constraints.max_total_fus < 1 || constraints.max_clusters < 1 ||
+      constraints.min_clusters < 1 ||
+      constraints.min_clusters > constraints.max_clusters ||
+      constraints.max_fus_per_cluster < 1) {
+    throw std::invalid_argument("enumerate_datapaths: bad constraints");
+  }
+  std::vector<Datapath> out;
+  std::vector<Cluster> current;
+  enumerate_rec(constraints, current, 0, out);
+  return out;
+}
+
+std::vector<DsePoint> explore_design_space(const Dfg& dfg,
+                                           const DseConstraints& constraints,
+                                           const DriverParams& driver) {
+  std::vector<DsePoint> points;
+  for (const Datapath& dp : enumerate_datapaths(constraints)) {
+    // Feasibility: every op type used by the kernel must run somewhere.
+    bool feasible = true;
+    for (OpId v = 0; v < dfg.num_ops() && feasible; ++v) {
+      feasible = !dp.target_set(dfg.type(v)).empty();
+    }
+    if (!feasible) {
+      continue;
+    }
+    DsePoint point{dp};
+    point.total_fus = dp.total_fu_count(FuType::kAlu) +
+                      dp.total_fu_count(FuType::kMult);
+    point.max_rf_ports = max_rf_ports(dp);
+    point.lower_bound = latency_lower_bound(dfg, dp).combined;
+
+    Stopwatch watch;
+    const BindResult r = bind_full(dfg, dp, driver);
+    point.bind_ms = watch.elapsed_ms();
+    point.latency = r.schedule.latency;
+    point.moves = r.schedule.num_moves;
+    point.energy = estimate_energy(r.bound, dp).total();
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<DsePoint> pareto_front(std::vector<DsePoint> points) {
+  std::vector<DsePoint> front;
+  const auto dominates = [](const DsePoint& a, const DsePoint& b) {
+    const bool no_worse = a.latency <= b.latency &&
+                          a.max_rf_ports <= b.max_rf_ports &&
+                          a.moves <= b.moves;
+    const bool better = a.latency < b.latency ||
+                        a.max_rf_ports < b.max_rf_ports || a.moves < b.moves;
+    return no_worse && better;
+  };
+  for (const DsePoint& candidate : points) {
+    bool dominated = false;
+    for (const DsePoint& other : points) {
+      if (dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      front.push_back(candidate);
+    }
+  }
+  std::sort(front.begin(), front.end(), [](const DsePoint& a,
+                                           const DsePoint& b) {
+    return std::make_tuple(a.latency, a.max_rf_ports, a.moves) <
+           std::make_tuple(b.latency, b.max_rf_ports, b.moves);
+  });
+  // Drop exact duplicates on the objective vector (different datapaths
+  // with identical objectives add noise to the front).
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const DsePoint& a, const DsePoint& b) {
+                            return a.latency == b.latency &&
+                                   a.max_rf_ports == b.max_rf_ports &&
+                                   a.moves == b.moves;
+                          }),
+              front.end());
+  return front;
+}
+
+}  // namespace cvb

@@ -1,0 +1,68 @@
+// Design-space exploration for application-specific clustered VLIW
+// datapaths — the application the paper's conclusion motivates: "the
+// flexibility and efficiency of this algorithm make it a very good
+// candidate for use within a design space exploration framework for
+// application-specific VLIW processors."
+//
+// Given a kernel and an FU budget, this module enumerates candidate
+// datapaths (canonical up to cluster reordering), prunes hopeless ones
+// with the binding-independent latency lower bound, binds the kernel to
+// each survivor with the paper's algorithm, and reports the Pareto
+// front over (schedule latency, worst-case register-file ports, data
+// transfers) — the latency/cost tradeoff clustering is all about.
+#pragma once
+
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Enumeration constraints for candidate datapaths.
+struct DseConstraints {
+  int max_total_fus = 6;        ///< total ALUs + MULTs across clusters
+  int min_clusters = 1;
+  int max_clusters = 4;
+  int max_fus_per_cluster = 4;  ///< per-cluster ALU + MULT cap
+  int num_buses = 2;
+  int move_latency = 1;
+};
+
+/// One evaluated design point.
+struct DsePoint {
+  Datapath datapath;
+  int latency = 0;        ///< bound+scheduled latency of the kernel
+  int moves = 0;          ///< data transfers
+  int max_rf_ports = 0;   ///< worst per-cluster 3*FUs (2R+1W per FU)
+  int total_fus = 0;
+  int lower_bound = 0;    ///< binding-independent latency floor
+  double bind_ms = 0.0;   ///< binder wall time for this point
+  double energy = 0.0;    ///< first-order energy estimate (energy.hpp)
+};
+
+/// All candidate datapaths satisfying `constraints`, in canonical form
+/// (clusters sorted descending), regardless of any kernel. Every
+/// cluster has at least one FU. Throws std::invalid_argument on
+/// non-positive budgets.
+[[nodiscard]] std::vector<Datapath> enumerate_datapaths(
+    const DseConstraints& constraints);
+
+/// Binds `dfg` onto every feasible candidate (skipping datapaths that
+/// cannot execute some op type) and returns all evaluated points.
+/// `driver` controls binding effort (B-INIT only vs full B-ITER).
+[[nodiscard]] std::vector<DsePoint> explore_design_space(
+    const Dfg& dfg, const DseConstraints& constraints,
+    const DriverParams& driver = {});
+
+/// The subset of `points` not dominated under minimization of
+/// (latency, max_rf_ports, moves), sorted by latency then ports.
+[[nodiscard]] std::vector<DsePoint> pareto_front(std::vector<DsePoint> points);
+
+/// Worst-case register-file port count of a datapath (3 ports per
+/// cluster FU: two reads, one write — the cost driver of Rixner et al.
+/// the paper cites).
+[[nodiscard]] int max_rf_ports(const Datapath& dp);
+
+}  // namespace cvb

@@ -1,0 +1,116 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cvb {
+
+LatencyTable unit_latencies() {
+  LatencyTable lat{};
+  lat.fill(1);
+  return lat;
+}
+
+std::vector<OpId> topological_order(const Dfg& dfg) {
+  const int n = dfg.num_ops();
+  std::vector<int> pending(static_cast<std::size_t>(n));
+  std::vector<OpId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<OpId> frontier;
+  for (OpId v = 0; v < n; ++v) {
+    pending[static_cast<std::size_t>(v)] =
+        static_cast<int>(dfg.preds(v).size());
+    if (pending[static_cast<std::size_t>(v)] == 0) {
+      frontier.push_back(v);
+    }
+  }
+  while (!frontier.empty()) {
+    const OpId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (const OpId s : dfg.succs(v)) {
+      if (--pending[static_cast<std::size_t>(s)] == 0) {
+        frontier.push_back(s);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    throw std::logic_error("topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+std::vector<int> asap_starts(const Dfg& dfg, const LatencyTable& lat) {
+  std::vector<int> asap(static_cast<std::size_t>(dfg.num_ops()), 0);
+  for (const OpId v : topological_order(dfg)) {
+    int start = 0;
+    for (const OpId p : dfg.preds(v)) {
+      start = std::max(start, asap[static_cast<std::size_t>(p)] +
+                                  lat_of(lat, dfg.type(p)));
+    }
+    asap[static_cast<std::size_t>(v)] = start;
+  }
+  return asap;
+}
+
+int critical_path_length(const Dfg& dfg, const LatencyTable& lat) {
+  const std::vector<int> asap = asap_starts(dfg, lat);
+  int lcp = 0;
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    lcp = std::max(lcp,
+                   asap[static_cast<std::size_t>(v)] + lat_of(lat, dfg.type(v)));
+  }
+  return lcp;
+}
+
+std::vector<int> alap_starts(const Dfg& dfg, const LatencyTable& lat,
+                             int target_latency) {
+  const int lcp = critical_path_length(dfg, lat);
+  if (target_latency < lcp) {
+    throw std::invalid_argument(
+        "alap_starts: target latency " + std::to_string(target_latency) +
+        " below critical path " + std::to_string(lcp));
+  }
+  // tail(v): longest completion path starting at v (inclusive).
+  std::vector<int> tail(static_cast<std::size_t>(dfg.num_ops()), 0);
+  const std::vector<OpId> order = topological_order(dfg);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OpId v = *it;
+    int longest_succ = 0;
+    for (const OpId s : dfg.succs(v)) {
+      longest_succ = std::max(longest_succ, tail[static_cast<std::size_t>(s)]);
+    }
+    tail[static_cast<std::size_t>(v)] = lat_of(lat, dfg.type(v)) + longest_succ;
+  }
+  std::vector<int> alap(static_cast<std::size_t>(dfg.num_ops()));
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    alap[static_cast<std::size_t>(v)] =
+        target_latency - tail[static_cast<std::size_t>(v)];
+  }
+  return alap;
+}
+
+Timing compute_timing(const Dfg& dfg, const LatencyTable& lat,
+                      int target_latency) {
+  Timing t;
+  t.critical_path = critical_path_length(dfg, lat);
+  t.target_latency = std::max(target_latency, t.critical_path);
+  t.asap = asap_starts(dfg, lat);
+  t.alap = alap_starts(dfg, lat, t.target_latency);
+  t.mobility.resize(t.asap.size());
+  for (std::size_t i = 0; i < t.asap.size(); ++i) {
+    t.mobility[i] = t.alap[i] - t.asap[i];
+  }
+  return t;
+}
+
+std::vector<int> consumer_counts(const Dfg& dfg) {
+  std::vector<int> counts(static_cast<std::size_t>(dfg.num_ops()));
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    counts[static_cast<std::size_t>(v)] =
+        static_cast<int>(dfg.succs(v).size());
+  }
+  return counts;
+}
+
+}  // namespace cvb

@@ -1,0 +1,70 @@
+// Standard DFG analyses used throughout the binder: topological order,
+// ASAP/ALAP start times, mobility, critical path length, and basic
+// statistics (paper Section 2 and footnote 2).
+//
+// Start-time convention: cycles are 0-based. An operation starting at
+// cycle s with latency lat(v) produces its result at the *end* of cycle
+// s + lat(v) - 1, i.e. consumers may start at cycle s + lat(v). A
+// schedule of latency L uses start cycles 0 .. L-1 and completes after
+// cycle L - 1 (so L equals the number of clock cycles, matching the
+// paper's schedule latency).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "graph/dfg.hpp"
+#include "machine/isa.hpp"
+
+namespace cvb {
+
+/// Per-operation-type latency table, indexed by static_cast<int>(OpType).
+using LatencyTable = std::array<int, kNumOpTypes>;
+
+/// All-ones latency table (the paper's Table 1 setting: every operation,
+/// including moves, takes one cycle).
+[[nodiscard]] LatencyTable unit_latencies();
+
+/// Latency lookup helper.
+[[nodiscard]] inline int lat_of(const LatencyTable& lat, OpType op) {
+  return lat[static_cast<std::size_t>(op)];
+}
+
+/// Topological order of the graph (Kahn). Throws std::logic_error if
+/// the graph has a cycle.
+[[nodiscard]] std::vector<OpId> topological_order(const Dfg& dfg);
+
+/// ASAP start cycle of every operation.
+[[nodiscard]] std::vector<int> asap_starts(const Dfg& dfg,
+                                           const LatencyTable& lat);
+
+/// Critical path length L_CP in cycles: the minimum schedule latency
+/// with unbounded resources. Zero for an empty graph.
+[[nodiscard]] int critical_path_length(const Dfg& dfg,
+                                       const LatencyTable& lat);
+
+/// ALAP start cycle of every operation for a target latency L_TG.
+/// Throws std::invalid_argument if target_latency < L_CP.
+[[nodiscard]] std::vector<int> alap_starts(const Dfg& dfg,
+                                           const LatencyTable& lat,
+                                           int target_latency);
+
+/// ASAP/ALAP/mobility bundle for one target latency.
+struct Timing {
+  std::vector<int> asap;      ///< earliest start cycle per op
+  std::vector<int> alap;      ///< latest start cycle per op (for target)
+  std::vector<int> mobility;  ///< alap - asap, >= 0
+  int critical_path = 0;      ///< L_CP of the graph
+  int target_latency = 0;     ///< the L_TG the alap values are for
+};
+
+/// Computes the full Timing bundle. If target_latency < L_CP it is
+/// raised to L_CP (convenient for callers that pass a guess).
+[[nodiscard]] Timing compute_timing(const Dfg& dfg, const LatencyTable& lat,
+                                    int target_latency);
+
+/// Number of consumers (distinct successor operations) of each op; the
+/// third component of the binder's ranking function (Section 3.1.1).
+[[nodiscard]] std::vector<int> consumer_counts(const Dfg& dfg);
+
+}  // namespace cvb

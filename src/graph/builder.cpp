@@ -1,0 +1,25 @@
+#include "graph/builder.hpp"
+
+namespace cvb {
+
+Value DfgBuilder::op1(OpType type, Value a, std::string name) {
+  const OpId id = dfg_.add_op(type, std::move(name));
+  connect(a, id);
+  return Value{id};
+}
+
+Value DfgBuilder::op2(OpType type, Value a, Value b, std::string name) {
+  const OpId id = dfg_.add_op(type, std::move(name));
+  connect(a, id);
+  connect(b, id);
+  return Value{id};
+}
+
+void DfgBuilder::connect(Value from, OpId to) {
+  // Records the operand slot (externals as kNoOp); dependency edges are
+  // deduplicated inside add_operand, so x * x yields one edge but two
+  // operand entries.
+  dfg_.add_operand(to, from.producer);
+}
+
+}  // namespace cvb

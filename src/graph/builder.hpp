@@ -1,0 +1,73 @@
+// Fluent construction helper for dataflow graphs. Kernel generators and
+// tests use this instead of raw add_op/add_edge calls so graph shape
+// reads close to the arithmetic it encodes:
+//
+//   DfgBuilder b;
+//   auto x = b.input();              // placeholder value (no op)
+//   auto s = b.add(x, b.input());    // ALU op consuming two values
+//   auto p = b.mul(s, s_prev);
+//   Dfg dfg = std::move(b).take();
+//
+// "Values" are either the result of an operation (a real DFG vertex) or
+// an external input (basic-block live-in, carried in a register file,
+// not a vertex — matching the paper's DFGs whose N_V counts operations
+// only).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "graph/dfg.hpp"
+
+namespace cvb {
+
+/// A dataflow value: either produced by operation `producer`, or an
+/// external input when producer == kNoOp.
+struct Value {
+  OpId producer = kNoOp;
+};
+
+/// Incremental DFG builder; see file comment for usage.
+class DfgBuilder {
+ public:
+  /// An external (live-in) value; creates no operation.
+  [[nodiscard]] Value input() const { return Value{kNoOp}; }
+
+  /// Adds a unary operation consuming `a`.
+  Value op1(OpType type, Value a, std::string name = {});
+
+  /// Adds a binary operation consuming `a` and `b`.
+  Value op2(OpType type, Value a, Value b, std::string name = {});
+
+  // Arithmetic conveniences (the benchmark kernels only need these).
+  Value add(Value a, Value b, std::string name = {}) {
+    return op2(OpType::kAdd, a, b, std::move(name));
+  }
+  Value sub(Value a, Value b, std::string name = {}) {
+    return op2(OpType::kSub, a, b, std::move(name));
+  }
+  Value mul(Value a, Value b, std::string name = {}) {
+    return op2(OpType::kMul, a, b, std::move(name));
+  }
+  Value neg(Value a, std::string name = {}) {
+    return op1(OpType::kNeg, a, std::move(name));
+  }
+  /// Multiply by a compile-time constant: a single-operand multiplier
+  /// op (the constant lives in the instruction word, not the DFG).
+  Value cmul(Value a, std::string name = {}) {
+    return op1(OpType::kMul, a, std::move(name));
+  }
+
+  /// Access to the graph under construction (e.g. to query ids).
+  [[nodiscard]] const Dfg& graph() const { return dfg_; }
+
+  /// Finalizes and returns the graph. The builder is left empty.
+  [[nodiscard]] Dfg take() && { return std::move(dfg_); }
+
+ private:
+  void connect(Value from, OpId to);
+
+  Dfg dfg_;
+};
+
+}  // namespace cvb

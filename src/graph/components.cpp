@@ -1,0 +1,47 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+namespace cvb {
+
+std::vector<int> component_labels(const Dfg& dfg) {
+  const int n = dfg.num_ops();
+  std::vector<int> label(static_cast<std::size_t>(n), -1);
+  int next_label = 0;
+  std::vector<OpId> stack;
+  for (OpId seed = 0; seed < n; ++seed) {
+    if (label[static_cast<std::size_t>(seed)] != -1) {
+      continue;
+    }
+    label[static_cast<std::size_t>(seed)] = next_label;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const OpId v = stack.back();
+      stack.pop_back();
+      const auto visit = [&](OpId u) {
+        if (label[static_cast<std::size_t>(u)] == -1) {
+          label[static_cast<std::size_t>(u)] = next_label;
+          stack.push_back(u);
+        }
+      };
+      for (const OpId p : dfg.preds(v)) {
+        visit(p);
+      }
+      for (const OpId s : dfg.succs(v)) {
+        visit(s);
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+int num_components(const Dfg& dfg) {
+  const std::vector<int> labels = component_labels(dfg);
+  if (labels.empty()) {
+    return 0;
+  }
+  return *std::max_element(labels.begin(), labels.end()) + 1;
+}
+
+}  // namespace cvb

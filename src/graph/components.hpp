@@ -1,0 +1,21 @@
+// Weakly-connected-component analysis. The paper reports N_CC (number
+// of connected components) for each benchmark: independent components
+// give the binder freedom to place whole subgraphs on different
+// clusters without any data transfers.
+#pragma once
+
+#include <vector>
+
+#include "graph/dfg.hpp"
+
+namespace cvb {
+
+/// Component label (0-based, dense) for every operation, treating edges
+/// as undirected.
+[[nodiscard]] std::vector<int> component_labels(const Dfg& dfg);
+
+/// Number of weakly connected components (the paper's N_CC). Zero for
+/// an empty graph.
+[[nodiscard]] int num_components(const Dfg& dfg);
+
+}  // namespace cvb

@@ -1,0 +1,122 @@
+#include "graph/dfg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+OpId Dfg::add_op(OpType type, std::string name) {
+  const OpId id = num_ops();
+  if (name.empty()) {
+    name = std::string(op_type_name(type)) + std::to_string(id);
+  }
+  type_.push_back(type);
+  name_.push_back(std::move(name));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  operands_.emplace_back();
+  return id;
+}
+
+void Dfg::add_edge(OpId from, OpId to) {
+  check_id(from);
+  check_id(to);
+  if (from == to) {
+    throw std::invalid_argument("Dfg::add_edge: self loop on op " +
+                                std::to_string(from));
+  }
+  if (has_edge(from, to)) {
+    throw std::invalid_argument("Dfg::add_edge: duplicate edge " +
+                                std::to_string(from) + " -> " +
+                                std::to_string(to));
+  }
+  succs_[static_cast<std::size_t>(from)].push_back(to);
+  preds_[static_cast<std::size_t>(to)].push_back(from);
+  operands_[static_cast<std::size_t>(to)].push_back(from);
+  ++num_edges_;
+}
+
+void Dfg::add_operand(OpId to, OpId producer) {
+  check_id(to);
+  if (producer == kNoOp) {
+    operands_[static_cast<std::size_t>(to)].push_back(kNoOp);
+    return;
+  }
+  check_id(producer);
+  if (!has_edge(producer, to)) {
+    add_edge(producer, to);  // records the operand as well
+    return;
+  }
+  operands_[static_cast<std::size_t>(to)].push_back(producer);
+}
+
+bool Dfg::has_edge(OpId from, OpId to) const {
+  check_id(from);
+  check_id(to);
+  const auto& out = succs_[static_cast<std::size_t>(from)];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+std::vector<OpId> Dfg::sources() const {
+  std::vector<OpId> result;
+  for (OpId v = 0; v < num_ops(); ++v) {
+    if (preds(v).empty()) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+std::vector<OpId> Dfg::sinks() const {
+  std::vector<OpId> result;
+  for (OpId v = 0; v < num_ops(); ++v) {
+    if (succs(v).empty()) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+int Dfg::count_fu_type(FuType fu) const {
+  int count = 0;
+  for (const OpType t : type_) {
+    if (fu_type_of(t) == fu) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int Dfg::count_op_type(OpType op) const {
+  return static_cast<int>(std::count(type_.begin(), type_.end(), op));
+}
+
+void Dfg::validate() const {
+  // topological_order throws std::logic_error on a cycle.
+  (void)topological_order(*this);
+}
+
+Dfg Dfg::reversed() const {
+  Dfg rev;
+  for (OpId v = 0; v < num_ops(); ++v) {
+    rev.add_op(type(v), name(v));
+  }
+  for (OpId v = 0; v < num_ops(); ++v) {
+    for (const OpId s : succs(v)) {
+      rev.add_edge(s, v);
+    }
+  }
+  return rev;
+}
+
+void Dfg::check_id(OpId v) const {
+  if (v < 0 || v >= num_ops()) {
+    throw std::invalid_argument("Dfg: invalid op id " + std::to_string(v) +
+                                " (have " + std::to_string(num_ops()) +
+                                " ops)");
+  }
+}
+
+}  // namespace cvb

@@ -1,0 +1,129 @@
+// Dataflow graph (DFG) core: a DAG of typed operations with data
+// dependency edges, representing one basic block (paper Section 2,
+// "Dataflow model").
+//
+// A DFG appears in two forms:
+//  * the *original* graph, as produced by a front end or a kernel
+//    generator in src/kernels/; and
+//  * the *bound* graph, which additionally contains `OpType::kMove`
+//    data-transfer operations inserted between operations bound to
+//    different clusters (see src/bind/bound_dfg.hpp).
+// Both forms are represented by this same class.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/isa.hpp"
+
+namespace cvb {
+
+/// Operation identifier: dense index into a Dfg, 0..num_ops()-1.
+using OpId = int;
+
+/// Sentinel for "no operation".
+inline constexpr OpId kNoOp = -1;
+
+/// A directed acyclic graph of operations.
+///
+/// Invariants (checked where cheap, and by validate()):
+///  * edges connect valid operation ids, no self loops, no duplicates;
+///  * the graph is acyclic (validate() verifies; mutation does not).
+class Dfg {
+ public:
+  /// Adds an operation of the given type; returns its id. If `name` is
+  /// empty a name of the form "<mnemonic><id>" is generated.
+  OpId add_op(OpType type, std::string name = {});
+
+  /// Adds the data-dependency edge from -> to, and records `from` as
+  /// the next operand of `to`.
+  /// Throws std::invalid_argument on bad ids, self loops, duplicates.
+  void add_edge(OpId from, OpId to);
+
+  /// Appends an operand to `to`'s ordered operand list: either the
+  /// producing operation, or kNoOp for an external (basic-block
+  /// live-in) value. Unlike add_edge, repeating the same producer is
+  /// allowed (e.g. x * x) — the dependency edge is created only once.
+  void add_operand(OpId to, OpId producer);
+
+  /// Ordered operand list of `v` (kNoOp entries are external live-ins).
+  /// Ops built through raw add_edge calls have their graph operands
+  /// recorded in edge order; external operands are only known when the
+  /// graph was built via DfgBuilder / add_operand.
+  [[nodiscard]] std::span<const OpId> operands(OpId v) const {
+    check_id(v);
+    return operands_[static_cast<std::size_t>(v)];
+  }
+
+  /// Number of operations (the paper's N_V when called on an original
+  /// graph).
+  [[nodiscard]] int num_ops() const { return static_cast<int>(type_.size()); }
+
+  /// Number of data-dependency edges.
+  [[nodiscard]] int num_edges() const { return num_edges_; }
+
+  /// Operation type of `v`.
+  [[nodiscard]] OpType type(OpId v) const {
+    check_id(v);
+    return type_[static_cast<std::size_t>(v)];
+  }
+
+  /// Human-readable name of `v`.
+  [[nodiscard]] const std::string& name(OpId v) const {
+    check_id(v);
+    return name_[static_cast<std::size_t>(v)];
+  }
+
+  /// Direct predecessors (operand producers) of `v`.
+  [[nodiscard]] std::span<const OpId> preds(OpId v) const {
+    check_id(v);
+    return preds_[static_cast<std::size_t>(v)];
+  }
+
+  /// Direct successors (result consumers) of `v`.
+  [[nodiscard]] std::span<const OpId> succs(OpId v) const {
+    check_id(v);
+    return succs_[static_cast<std::size_t>(v)];
+  }
+
+  /// True if the edge from -> to exists.
+  [[nodiscard]] bool has_edge(OpId from, OpId to) const;
+
+  /// True if `v` is a valid operation id.
+  [[nodiscard]] bool is_valid(OpId v) const {
+    return v >= 0 && v < num_ops();
+  }
+
+  /// Operations with no predecessors (graph inputs).
+  [[nodiscard]] std::vector<OpId> sources() const;
+
+  /// Operations with no successors (graph outputs).
+  [[nodiscard]] std::vector<OpId> sinks() const;
+
+  /// Count of operations whose FU type is `fu`.
+  [[nodiscard]] int count_fu_type(FuType fu) const;
+
+  /// Count of operations of operation type `op`.
+  [[nodiscard]] int count_op_type(OpType op) const;
+
+  /// Full structural validation: acyclicity (edge-level invariants are
+  /// maintained by add_edge). Throws std::logic_error on violation.
+  void validate() const;
+
+  /// The graph with every edge direction flipped. Used by the
+  /// reverse-order variant of the initial binder (paper Section 3.1.4).
+  [[nodiscard]] Dfg reversed() const;
+
+ private:
+  void check_id(OpId v) const;
+
+  std::vector<OpType> type_;
+  std::vector<std::string> name_;
+  std::vector<std::vector<OpId>> preds_;
+  std::vector<std::vector<OpId>> succs_;
+  std::vector<std::vector<OpId>> operands_;
+  int num_edges_ = 0;
+};
+
+}  // namespace cvb

@@ -1,0 +1,67 @@
+#include "graph/dot.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace cvb {
+
+namespace {
+
+void write_edges(std::ostream& out, const Dfg& dfg) {
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    for (const OpId s : dfg.succs(v)) {
+      out << "  n" << v << " -> n" << s << ";\n";
+    }
+  }
+}
+
+std::string node_label(const Dfg& dfg, OpId v) {
+  return dfg.name(v) + "\\n" + std::string(op_type_name(dfg.type(v)));
+}
+
+}  // namespace
+
+void write_dot(std::ostream& out, const Dfg& dfg,
+               const std::string& graph_name) {
+  out << "digraph " << graph_name << " {\n  node [shape=ellipse];\n";
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    out << "  n" << v << " [label=\"" << node_label(dfg, v) << "\"];\n";
+  }
+  write_edges(out, dfg);
+  out << "}\n";
+}
+
+void write_dot_bound(std::ostream& out, const Dfg& dfg,
+                     const std::vector<int>& cluster_of,
+                     const std::string& graph_name) {
+  if (static_cast<int>(cluster_of.size()) != dfg.num_ops()) {
+    throw std::invalid_argument(
+        "write_dot_bound: cluster_of size mismatches graph");
+  }
+  const int num_clusters =
+      cluster_of.empty()
+          ? 0
+          : *std::max_element(cluster_of.begin(), cluster_of.end()) + 1;
+  out << "digraph " << graph_name << " {\n  node [shape=ellipse];\n";
+  for (int c = 0; c < num_clusters; ++c) {
+    out << "  subgraph cluster_" << c << " {\n    label=\"cluster " << c
+        << "\";\n";
+    for (OpId v = 0; v < dfg.num_ops(); ++v) {
+      if (cluster_of[static_cast<std::size_t>(v)] == c) {
+        out << "    n" << v << " [label=\"" << node_label(dfg, v) << "\"];\n";
+      }
+    }
+    out << "  }\n";
+  }
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    if (cluster_of[static_cast<std::size_t>(v)] < 0) {
+      out << "  n" << v << " [label=\"" << node_label(dfg, v)
+          << "\", shape=box];\n";
+    }
+  }
+  write_edges(out, dfg);
+  out << "}\n";
+}
+
+}  // namespace cvb

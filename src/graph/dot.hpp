@@ -1,0 +1,26 @@
+// Graphviz DOT export for dataflow graphs, plain or annotated with a
+// cluster binding (cluster = color + subgraph). Handy for debugging
+// bindings and for the examples' visual output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/dfg.hpp"
+
+namespace cvb {
+
+/// Writes `dfg` as a DOT digraph named `graph_name`.
+void write_dot(std::ostream& out, const Dfg& dfg,
+               const std::string& graph_name = "dfg");
+
+/// Writes `dfg` as a DOT digraph with operations grouped into Graphviz
+/// clusters by `cluster_of[v]` (use -1 for unbound / bus operations,
+/// rendered outside any cluster). `cluster_of` must have one entry per
+/// operation; throws std::invalid_argument otherwise.
+void write_dot_bound(std::ostream& out, const Dfg& dfg,
+                     const std::vector<int>& cluster_of,
+                     const std::string& graph_name = "bound_dfg");
+
+}  // namespace cvb

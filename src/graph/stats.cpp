@@ -1,0 +1,41 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+
+namespace cvb {
+
+DfgStats compute_stats(const Dfg& dfg, const LatencyTable& lat) {
+  DfgStats stats;
+  stats.num_ops = dfg.num_ops();
+  stats.num_edges = dfg.num_edges();
+  stats.num_components = num_components(dfg);
+  stats.critical_path = critical_path_length(dfg, lat);
+  if (dfg.num_ops() == 0) {
+    return stats;
+  }
+
+  const std::vector<int> asap = asap_starts(dfg, lat);
+  const int levels = *std::max_element(asap.begin(), asap.end()) + 1;
+  stats.ops_per_level.assign(static_cast<std::size_t>(levels), 0);
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    ++stats.ops_per_level[static_cast<std::size_t>(
+        asap[static_cast<std::size_t>(v)])];
+    stats.max_fanout =
+        std::max(stats.max_fanout, static_cast<int>(dfg.succs(v).size()));
+    if (dfg.preds(v).empty()) {
+      ++stats.num_inputs;
+    }
+    if (dfg.succs(v).empty()) {
+      ++stats.num_outputs;
+    }
+  }
+  stats.max_width = *std::max_element(stats.ops_per_level.begin(),
+                                      stats.ops_per_level.end());
+  stats.avg_fanout =
+      static_cast<double>(stats.num_edges) / stats.num_ops;
+  return stats;
+}
+
+}  // namespace cvb

@@ -1,0 +1,33 @@
+// Aggregate DFG statistics: the numbers papers put in benchmark
+// sub-headers (N_V, N_CC, L_CP) plus shape measures (level widths,
+// fan-out) that explain *why* a kernel binds well or badly — wide
+// levels need FUs, high fan-out makes transfers shareable, narrow deep
+// graphs cluster poorly.
+#pragma once
+
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "graph/dfg.hpp"
+
+namespace cvb {
+
+/// Shape summary of one graph.
+struct DfgStats {
+  int num_ops = 0;
+  int num_edges = 0;
+  int num_components = 0;
+  int critical_path = 0;       ///< L_CP under the given latencies
+  int max_fanout = 0;          ///< largest consumer count
+  double avg_fanout = 0.0;     ///< num_edges / num_ops (0 if empty)
+  std::vector<int> ops_per_level;  ///< histogram over ASAP levels
+  int max_width = 0;           ///< widest ASAP level (parallelism cap)
+  int num_inputs = 0;          ///< source operations
+  int num_outputs = 0;         ///< sink operations
+};
+
+/// Computes the summary. Works on any acyclic graph (bound graphs
+/// included).
+[[nodiscard]] DfgStats compute_stats(const Dfg& dfg, const LatencyTable& lat);
+
+}  // namespace cvb

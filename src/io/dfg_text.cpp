@@ -1,0 +1,167 @@
+#include "io/dfg_text.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace cvb {
+
+void write_dfg_text(std::ostream& out, const Dfg& dfg,
+                    const std::string& name) {
+  out << "dfg " << name << '\n';
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    out << "op " << v << ' ' << op_type_name(dfg.type(v)) << ' '
+        << dfg.name(v) << '\n';
+  }
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    if (dfg.operands(v).empty()) {
+      continue;
+    }
+    out << "args " << v;
+    for (const OpId u : dfg.operands(v)) {
+      if (u == kNoOp) {
+        out << " in";
+      } else {
+        out << ' ' << u;
+      }
+    }
+    out << '\n';
+  }
+}
+
+OpType op_type_from_name(const std::string& name) {
+  for (const OpType op : all_op_types()) {
+    if (op_type_name(op) == name) {
+      return op;
+    }
+  }
+  throw std::invalid_argument("unknown operation type '" + name + "'");
+}
+
+ParsedDfg parse_dfg_text(std::istream& in) {
+  ParsedDfg result;
+  bool have_header = false;
+  std::string line;
+  int line_number = 0;
+
+  const auto fail = [&](const std::string& message) -> void {
+    throw std::invalid_argument("dfg text, line " +
+                                std::to_string(line_number) + ": " + message);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    std::istringstream fields{std::string(trimmed)};
+    std::string keyword;
+    fields >> keyword;
+
+    if (keyword == "dfg") {
+      if (have_header) {
+        fail("duplicate header");
+      }
+      fields >> result.name;
+      if (result.name.empty()) {
+        fail("missing graph name");
+      }
+      have_header = true;
+    } else if (keyword == "op") {
+      if (!have_header) {
+        fail("'op' before 'dfg' header");
+      }
+      long id = -1;
+      std::string type_name;
+      std::string op_name;
+      fields >> id >> type_name >> op_name;
+      if (id != result.dfg.num_ops()) {
+        fail("op ids must be dense and ascending; got " + std::to_string(id) +
+             ", expected " + std::to_string(result.dfg.num_ops()));
+      }
+      if (type_name.empty()) {
+        fail("missing operation type");
+      }
+      OpType type;
+      try {
+        type = op_type_from_name(type_name);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+        throw;  // unreachable; fail always throws
+      }
+      (void)result.dfg.add_op(type, op_name);
+    } else if (keyword == "args") {
+      if (!have_header) {
+        fail("'args' before 'dfg' header");
+      }
+      long id = -1;
+      fields >> id;
+      if (id < 0 || id >= result.dfg.num_ops()) {
+        fail("args references undeclared op " + std::to_string(id));
+      }
+      std::string token;
+      int count = 0;
+      while (fields >> token) {
+        ++count;
+        if (token == "in") {
+          result.dfg.add_operand(static_cast<OpId>(id), kNoOp);
+          continue;
+        }
+        long producer = -1;
+        try {
+          producer = parse_nonnegative_int(token);
+        } catch (const std::invalid_argument&) {
+          fail("bad operand token '" + token + "'");
+        }
+        if (producer >= result.dfg.num_ops()) {
+          fail("operand references undeclared op " + std::to_string(producer));
+        }
+        try {
+          result.dfg.add_operand(static_cast<OpId>(id),
+                                 static_cast<OpId>(producer));
+        } catch (const std::invalid_argument& e) {
+          fail(e.what());
+        }
+      }
+      if (count == 0) {
+        fail("args line lists no operands");
+      }
+    } else if (keyword == "edge") {
+      if (!have_header) {
+        fail("'edge' before 'dfg' header");
+      }
+      long from = -1;
+      long to = -1;
+      fields >> from >> to;
+      if (from < 0 || from >= result.dfg.num_ops() || to < 0 ||
+          to >= result.dfg.num_ops()) {
+        fail("edge references undeclared op (" + std::to_string(from) +
+             " -> " + std::to_string(to) + ")");
+      }
+      try {
+        result.dfg.add_edge(static_cast<OpId>(from), static_cast<OpId>(to));
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_header) {
+    line_number = 0;
+    fail("missing 'dfg <name>' header");
+  }
+  try {
+    result.dfg.validate();
+  } catch (const std::logic_error& e) {
+    line_number = 0;
+    fail(e.what());
+  }
+  return result;
+}
+
+}  // namespace cvb

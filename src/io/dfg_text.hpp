@@ -1,0 +1,47 @@
+// Plain-text serialization for dataflow graphs, so kernels can be
+// stored in files, diffed, and fed to the tools without recompiling:
+//
+//   # comment / blank lines ignored
+//   dfg my_kernel
+//   op 0 add s0
+//   op 1 mul p0
+//   args 0 in in      # s0 reads two external live-ins
+//   args 1 0 0        # p0 computes s0 * s0
+//
+// `args <id> <tok>...` lists an operation's ordered operands: `in` for
+// an external live-in, or the producing op id (dependency edges are
+// derived, duplicates allowed for x*x shapes). The legacy
+// `edge <from> <to>` form is also accepted for hand-written files.
+// Operation ids must be dense and ascending (the writer guarantees
+// this; the parser enforces it). The parser validates the full graph
+// (types, references, acyclicity).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dfg.hpp"
+
+namespace cvb {
+
+/// Writes `dfg` in the text format, with `name` on the header line.
+void write_dfg_text(std::ostream& out, const Dfg& dfg,
+                    const std::string& name = "dfg");
+
+/// Parsed result: the graph plus the name from the header.
+struct ParsedDfg {
+  std::string name;
+  Dfg dfg;
+};
+
+/// Parses the text format. Throws std::invalid_argument with a
+/// line-numbered message on any syntax or consistency error (unknown op
+/// type, non-dense ids, edge to an undeclared op, cycle, duplicate
+/// edge, missing header).
+[[nodiscard]] ParsedDfg parse_dfg_text(std::istream& in);
+
+/// Mnemonic -> OpType for the parser ("add", "mul", ...). Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] OpType op_type_from_name(const std::string& name);
+
+}  // namespace cvb

@@ -1,0 +1,56 @@
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+// Auto-regression lattice filter: 28 ops (16 mul, 12 add), single
+// component, unit-latency critical path 8 — matching the classic HLS
+// ARF benchmark statistics. Two cross-coupled multiply/accumulate
+// spines (the lattice recursions) plus reflection-coefficient taps and
+// input scaling. Depth annotations give the 1-based ASAP level.
+Dfg make_arf() {
+  DfgBuilder b;
+
+  // Forward spine: alternating coefficient-multiply / accumulate.
+  const Value v1 = b.mul(b.input(), b.input(), "v1");  // d1
+  const Value v2 = b.add(v1, b.input(), "v2");         // d2
+  const Value v3 = b.mul(v2, b.input(), "v3");         // d3
+  const Value v4 = b.add(v3, b.input(), "v4");         // d4
+  const Value v5 = b.mul(v4, b.input(), "v5");         // d5
+  const Value v6 = b.add(v5, b.input(), "v6");         // d6
+  const Value v7 = b.mul(v6, b.input(), "v7");         // d7
+  const Value v8 = b.add(v7, b.input(), "v8");         // d8
+
+  // Backward spine, cross-coupled to the forward one (lattice
+  // structure keeps the graph a single component).
+  const Value w1 = b.mul(b.input(), b.input(), "w1");  // d1
+  const Value w2 = b.add(w1, v1, "w2");                // d2
+  const Value w3 = b.mul(w2, b.input(), "w3");         // d3
+  const Value w4 = b.add(w3, v3, "w4");                // d4
+  const Value w5 = b.mul(w4, b.input(), "w5");         // d5
+  const Value w6 = b.add(w5, v5, "w6");                // d6
+  const Value w7 = b.mul(w6, b.input(), "w7");         // d7
+  const Value w8 = b.add(w7, v7, "w8");                // d8
+  (void)v8;
+  (void)w8;
+
+  // Reflection-coefficient taps off both spines.
+  const Value t1 = b.cmul(v2, "k1");  // d3
+  const Value t2 = b.cmul(v4, "k2");  // d5
+  const Value t3 = b.cmul(w2, "k3");  // d3
+  const Value t4 = b.cmul(w4, "k4");  // d5
+
+  // Input-scaling multiplies combined with the taps.
+  const Value g1 = b.mul(b.input(), b.input(), "g1");  // d1
+  const Value g2 = b.mul(b.input(), b.input(), "g2");  // d1
+  const Value g3 = b.mul(b.input(), b.input(), "g3");  // d1
+  const Value g4 = b.mul(b.input(), b.input(), "g4");  // d1
+  (void)b.add(t1, g1, "c1");  // d4
+  (void)b.add(t2, g2, "c2");  // d6
+  (void)b.add(t3, g3, "c3");  // d4
+  (void)b.add(t4, g4, "c4");  // d6
+
+  return std::move(b).take();
+}
+
+}  // namespace cvb

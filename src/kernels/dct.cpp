@@ -1,0 +1,230 @@
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+// The three 8-point DCT variants from Ifeachor & Jervis used in the
+// paper. All share the classic fast-DCT shape — an input butterfly
+// stage splitting into an "even" half (a 4-point DCT) and an "odd"
+// half (a deeper rotation network) — and differ in how the halves are
+// decomposed and whether a recombination stage joins them:
+//
+//  * DCT-DIF  (decimation in frequency): halves stay independent,
+//    so the graph has two connected components. 41 ops, L_CP 7.
+//  * DCT-LEE  (Lee's algorithm): like DIF but with 1/(2cos) prescaled
+//    recursive halves, giving longer multiply chains. 49 ops,
+//    2 components, L_CP 9.
+//  * DCT-DIT  (decimation in time): an output butterfly stage
+//    recombines both halves, making the graph one component. 48 ops,
+//    L_CP 7.
+//
+// Depth comments give 1-based ASAP levels.
+
+Dfg make_dct_dif() {
+  DfgBuilder b;
+
+  // --- Even component: input sums + 4-point DCT (17 ops, depth 5). ---
+  const Value s0 = b.add(b.input(), b.input(), "s0");  // d1: x0+x7
+  const Value s1 = b.add(b.input(), b.input(), "s1");  // d1: x1+x6
+  const Value s2 = b.add(b.input(), b.input(), "s2");  // d1: x2+x5
+  const Value s3 = b.add(b.input(), b.input(), "s3");  // d1: x3+x4
+
+  const Value f0 = b.add(s0, s3, "f0");  // d2
+  const Value f1 = b.add(s1, s2, "f1");  // d2
+  const Value f2 = b.sub(s0, s3, "f2");  // d2
+  const Value f3 = b.sub(s1, s2, "f3");  // d2
+
+  (void)b.add(f0, f1, "X0");             // d3
+  const Value g0 = b.sub(f0, f1, "g0");  // d3
+  const Value h0 = b.cmul(f2, "h0");     // d3
+  const Value h1 = b.cmul(f3, "h1");     // d3
+
+  (void)b.cmul(g0, "X4");                // d4
+  const Value u0 = b.add(h0, h1, "u0");  // d4
+  const Value u1 = b.sub(h0, h1, "u1");  // d4
+
+  (void)b.cmul(u0, "X2");  // d5
+  (void)b.cmul(u1, "X6");  // d5
+
+  // --- Odd component: input differences + rotation network
+  //     (24 ops, depth 7). ---
+  const Value d0 = b.sub(b.input(), b.input(), "d0");  // d1: x0-x7
+  const Value d1 = b.sub(b.input(), b.input(), "d1");  // d1: x1-x6
+  const Value d2 = b.sub(b.input(), b.input(), "d2");  // d1: x2-x5
+  const Value d3 = b.sub(b.input(), b.input(), "d3");  // d1: x3-x4
+
+  const Value m0 = b.cmul(d0, "m0");  // d2
+  const Value m1 = b.cmul(d1, "m1");  // d2
+  const Value m2 = b.cmul(d2, "m2");  // d2
+  const Value m3 = b.cmul(d3, "m3");  // d2
+
+  const Value a0 = b.add(m0, m1, "a0");  // d3
+  const Value a1 = b.add(m2, m3, "a1");  // d3
+  const Value a2 = b.sub(m0, m1, "a2");  // d3
+  const Value a3 = b.sub(m2, m3, "a3");  // d3
+
+  const Value n0 = b.cmul(a0, "n0");  // d4
+  const Value n1 = b.cmul(a1, "n1");  // d4
+  const Value n2 = b.cmul(a2, "n2");  // d4
+  const Value n3 = b.cmul(a3, "n3");  // d4
+
+  const Value b0 = b.add(n0, n1, "b0");  // d5
+  const Value b1 = b.sub(n2, n3, "b1");  // d5
+  const Value b2 = b.add(n1, n2, "b2");  // d5
+
+  const Value p0 = b.cmul(b0, "p0");  // d6
+  const Value p1 = b.cmul(b1, "p1");  // d6
+
+  (void)b.add(p0, b2, "X1");  // d7
+  (void)b.sub(p0, p1, "X7");  // d7
+  (void)b.add(p1, b2, "X3");  // d7
+
+  return std::move(b).take();
+}
+
+Dfg make_dct_lee() {
+  DfgBuilder b;
+
+  // --- Even component (21 ops, depth 9): Lee's prescaled 4-point
+  //     recursion adds a multiply/add tail after the 4-point core. ---
+  const Value s0 = b.add(b.input(), b.input(), "s0");  // d1
+  const Value s1 = b.add(b.input(), b.input(), "s1");  // d1
+  const Value s2 = b.add(b.input(), b.input(), "s2");  // d1
+  const Value s3 = b.add(b.input(), b.input(), "s3");  // d1
+
+  const Value f0 = b.add(s0, s3, "f0");  // d2
+  const Value f1 = b.add(s1, s2, "f1");  // d2
+  const Value f2 = b.sub(s0, s3, "f2");  // d2
+  const Value f3 = b.sub(s1, s2, "f3");  // d2
+
+  (void)b.add(f0, f1, "X0");             // d3
+  const Value g0 = b.sub(f0, f1, "g0");  // d3
+  const Value h0 = b.cmul(f2, "h0");     // d3
+  const Value h1 = b.cmul(f3, "h1");     // d3
+
+  (void)b.cmul(g0, "X4");                // d4
+  const Value u0 = b.add(h0, h1, "u0");  // d4
+  const Value u1 = b.sub(h0, h1, "u1");  // d4
+
+  const Value e0 = b.cmul(u0, "e0");     // d5
+  const Value e1 = b.cmul(u1, "e1");     // d5
+  const Value w0 = b.add(e0, e1, "w0");  // d6
+  const Value x2 = b.cmul(w0, "X2");     // d7
+  const Value x6 = b.sub(x2, e1, "x6t"); // d8
+  (void)b.cmul(x6, "X6");                // d9
+
+  // --- Odd component (28 ops, depth 9): prescale, rotate, and the
+  //     Lee output-recombination chain. ---
+  const Value d0 = b.sub(b.input(), b.input(), "d0");  // d1
+  const Value d1 = b.sub(b.input(), b.input(), "d1");  // d1
+  const Value d2 = b.sub(b.input(), b.input(), "d2");  // d1
+  const Value d3 = b.sub(b.input(), b.input(), "d3");  // d1
+
+  const Value m0 = b.cmul(d0, "m0");  // d2 (1/(2cos) prescale)
+  const Value m1 = b.cmul(d1, "m1");  // d2
+  const Value m2 = b.cmul(d2, "m2");  // d2
+  const Value m3 = b.cmul(d3, "m3");  // d2
+
+  const Value a0 = b.add(m0, m1, "a0");  // d3
+  const Value a1 = b.add(m2, m3, "a1");  // d3
+  const Value a2 = b.sub(m0, m1, "a2");  // d3
+  const Value a3 = b.sub(m2, m3, "a3");  // d3
+
+  const Value n0 = b.cmul(a0, "n0");  // d4
+  const Value n1 = b.cmul(a1, "n1");  // d4
+  const Value n2 = b.cmul(a2, "n2");  // d4
+  const Value n3 = b.cmul(a3, "n3");  // d4
+
+  const Value b0 = b.add(n0, n1, "b0");  // d5
+  const Value b1 = b.sub(n2, n3, "b1");  // d5
+  const Value b2 = b.add(n1, n2, "b2");  // d5
+
+  const Value p0 = b.cmul(b0, "p0");  // d6
+  const Value p1 = b.cmul(b1, "p1");  // d6
+  const Value p2 = b.cmul(b2, "p2");  // d6
+
+  const Value q0 = b.add(p0, p1, "q0");  // d7
+  const Value q1 = b.add(p1, p2, "q1");  // d7
+
+  const Value r0 = b.cmul(q0, "r0");  // d8
+  const Value r1 = b.cmul(q1, "r1");  // d8
+
+  (void)b.add(r0, p2, "X1");  // d9
+  (void)b.sub(r0, r1, "X3");  // d9
+
+  return std::move(b).take();
+}
+
+Dfg make_dct_dit() {
+  DfgBuilder b;
+
+  // --- Even path (17 ops, outputs at depth <= 5). ---
+  const Value s0 = b.add(b.input(), b.input(), "s0");  // d1
+  const Value s1 = b.add(b.input(), b.input(), "s1");  // d1
+  const Value s2 = b.add(b.input(), b.input(), "s2");  // d1
+  const Value s3 = b.add(b.input(), b.input(), "s3");  // d1
+
+  const Value f0 = b.add(s0, s3, "f0");  // d2
+  const Value f1 = b.add(s1, s2, "f1");  // d2
+  const Value f2 = b.sub(s0, s3, "f2");  // d2
+  const Value f3 = b.sub(s1, s2, "f3");  // d2
+
+  const Value e0 = b.add(f0, f1, "e0");  // d3
+  const Value g0 = b.sub(f0, f1, "g0");  // d3
+  const Value h0 = b.cmul(f2, "h0");     // d3
+  const Value h1 = b.cmul(f3, "h1");     // d3
+
+  const Value e2 = b.cmul(g0, "e2");     // d4
+  const Value u0 = b.add(h0, h1, "u0");  // d4
+  const Value u1 = b.sub(h0, h1, "u1");  // d4
+
+  const Value e1 = b.cmul(u0, "e1");  // d5
+  const Value e3 = b.cmul(u1, "e3");  // d5
+
+  // --- Odd path (18 ops, outputs at depth <= 5). ---
+  const Value d0 = b.sub(b.input(), b.input(), "d0");  // d1
+  const Value d1 = b.sub(b.input(), b.input(), "d1");  // d1
+  const Value d2 = b.sub(b.input(), b.input(), "d2");  // d1
+  const Value d3 = b.sub(b.input(), b.input(), "d3");  // d1
+
+  const Value m0 = b.cmul(d0, "m0");  // d2
+  const Value m1 = b.cmul(d1, "m1");  // d2
+  const Value m2 = b.cmul(d2, "m2");  // d2
+  const Value m3 = b.cmul(d3, "m3");  // d2
+
+  const Value a0 = b.add(m0, m1, "a0");  // d3
+  const Value a1 = b.add(m2, m3, "a1");  // d3
+  const Value a2 = b.sub(m0, m1, "a2");  // d3
+  const Value a3 = b.sub(m2, m3, "a3");  // d3
+
+  const Value n0 = b.cmul(a0, "n0");  // d4
+  const Value n1 = b.cmul(a1, "n1");  // d4
+  const Value n2 = b.cmul(a2, "n2");  // d4
+
+  const Value o0 = b.add(n0, n1, "o0");  // d5
+  const Value o1 = b.add(n1, n2, "o1");  // d5
+  const Value o2 = b.add(n2, a3, "o2");  // d5
+  const Value o3 = b.sub(n0, n2, "o3");  // d5
+
+  // --- Output recombination (joins the halves; 8 ops at d6). ---
+  const Value x0 = b.add(e0, o0, "X0");  // d6
+  const Value x7 = b.sub(e0, o0, "X7");  // d6
+  const Value x1 = b.add(e1, o1, "X1");  // d6
+  const Value x6 = b.sub(e1, o1, "X6");  // d6
+  (void)b.add(e2, o2, "X2");             // d6
+  (void)b.sub(e2, o2, "X5");             // d6
+  (void)b.add(e3, o3, "X3");             // d6
+  (void)b.sub(e3, o3, "X4");             // d6
+
+  // --- Output scaling (4 ops at d7). ---
+  (void)b.cmul(x0, "y0");
+  (void)b.cmul(x1, "y1");
+  (void)b.cmul(x6, "y6");
+  (void)b.cmul(x7, "y7");
+
+  return std::move(b).take();
+}
+
+Dfg make_dct_dit2() { return unroll(make_dct_dit(), 2); }
+
+}  // namespace cvb

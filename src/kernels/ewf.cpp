@@ -1,0 +1,72 @@
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+// 5th-order elliptic wave digital filter. The classic HLS benchmark has
+// 26 additions and 8 coefficient multiplications with a unit-latency
+// critical path of 14; this reconstruction follows the wave-filter
+// shape — a long adder spine (the adaptor cascade) with
+// multiply-by-coefficient side branches re-entering the spine — and is
+// calibrated to exactly those statistics. Depth annotations give the
+// 1-based ASAP level of each operation.
+Dfg make_ewf() {
+  DfgBuilder b;
+  const Value in = b.input();
+
+  // Adaptor spine: a chain of 14 additions (depth 1..14). Side values
+  // computed below feed v3..v13; the remaining spine slots take
+  // delay-register inputs.
+  // Side chain A1: sum then coefficient multiply.
+  const Value sA1 = b.add(in, b.input(), "sA1");  // d1
+  const Value mA1 = b.cmul(sA1, "mA1");           // d2
+
+  const Value v1 = b.add(in, b.input(), "v1");    // d1
+  const Value v2 = b.add(v1, b.input(), "v2");    // d2
+  const Value v3 = b.add(v2, mA1, "v3");          // d3
+
+  // Side chain B1: coefficient multiply of a spine tap, then bias add.
+  const Value mB1 = b.cmul(v1, "mB1");            // d2
+  const Value aB1 = b.add(mB1, b.input(), "aB1"); // d3
+  const Value v4 = b.add(v3, aB1, "v4");          // d4
+
+  const Value sA2 = b.add(v2, b.input(), "sA2");  // d3
+  const Value mA2 = b.cmul(sA2, "mA2");           // d4
+  const Value v5 = b.add(v4, mA2, "v5");          // d5
+  const Value v6 = b.add(v5, b.input(), "v6");    // d6
+
+  const Value mB2 = b.cmul(v4, "mB2");            // d5
+  const Value aB2 = b.add(mB2, v2, "aB2");        // d6
+  const Value v7 = b.add(v6, aB2, "v7");          // d7
+
+  const Value sA3 = b.add(v5, b.input(), "sA3");  // d6
+  const Value mA3 = b.cmul(sA3, "mA3");           // d7
+  const Value v8 = b.add(v7, mA3, "v8");          // d8
+  const Value v9 = b.add(v8, b.input(), "v9");    // d9
+
+  const Value mB3 = b.cmul(v7, "mB3");            // d8
+  const Value aB3 = b.add(mB3, v5, "aB3");        // d9
+  const Value v10 = b.add(v9, aB3, "v10");        // d10
+
+  const Value sA4 = b.add(v8, b.input(), "sA4");  // d9
+  const Value mA4 = b.cmul(sA4, "mA4");           // d10
+  const Value v11 = b.add(v10, mA4, "v11");       // d11
+  const Value v12 = b.add(v11, b.input(), "v12"); // d12
+
+  const Value mB4 = b.cmul(v10, "mB4");           // d11
+  const Value aB4 = b.add(mB4, v8, "aB4");        // d12
+  const Value v13 = b.add(v12, aB4, "v13");       // d13
+  const Value v14 = b.add(v13, b.input(), "v14"); // d14
+
+  // Delay-register update adds (filter state writes), tapping the
+  // spine without extending the critical path.
+  (void)b.add(v6, v13, "o1");                     // d14
+  (void)b.add(v9, mA1, "o2");                     // d10
+  (void)b.add(v12, aB1, "o3");                    // d13
+  (void)b.add(v11, mA2, "o4");                    // d12
+  (void)v14;
+
+  return std::move(b).take();
+}
+
+}  // namespace cvb

@@ -1,0 +1,121 @@
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+// Extended kernels beyond the paper's suite — used by the generality
+// bench and available through the library API. All are realistic
+// media/DSP basic blocks with the same two-operand arithmetic model.
+
+Dfg make_matmul(int n) {
+  if (n < 1) {
+    throw std::invalid_argument("make_matmul: n must be >= 1");
+  }
+  DfgBuilder b;
+  // C = A * B, fully unrolled: n*n dot products of length n
+  // (n^3 multiplies, n^2*(n-1) adds in balanced reduction trees).
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::vector<Value> terms;
+      terms.reserve(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        terms.push_back(b.mul(b.input(), b.input(),
+                              "m" + std::to_string(i) + std::to_string(j) +
+                                  std::to_string(k)));
+      }
+      // Balanced reduction tree.
+      while (terms.size() > 1) {
+        std::vector<Value> next;
+        for (std::size_t t = 0; t + 1 < terms.size(); t += 2) {
+          next.push_back(b.add(terms[t], terms[t + 1]));
+        }
+        if (terms.size() % 2 == 1) {
+          next.push_back(terms.back());
+        }
+        terms = std::move(next);
+      }
+    }
+  }
+  return std::move(b).take();
+}
+
+Dfg make_horner(int degree) {
+  if (degree < 1) {
+    throw std::invalid_argument("make_horner: degree must be >= 1");
+  }
+  DfgBuilder b;
+  // p(x) = (((c_n x + c_{n-1}) x + ...) x + c_0: strictly serial
+  // mul/add chain — the worst case for clustering (no parallelism).
+  Value acc = b.cmul(b.input(), "h0");
+  for (int i = 0; i < degree; ++i) {
+    acc = b.add(acc, b.input(), "a" + std::to_string(i));
+    if (i + 1 < degree) {
+      acc = b.cmul(acc, "h" + std::to_string(i + 1));
+    }
+  }
+  return std::move(b).take();
+}
+
+Dfg make_fft_radix4() {
+  DfgBuilder b;
+  // One radix-4 complex butterfly with three twiddle factors:
+  // 12 multiplies + 22 adds/subs, depth 4 — a denser, shallower kernel
+  // than the paper's radix-2 FFT.
+  struct Complex {
+    Value re, im;
+  };
+  const auto cmul_tw = [&](Complex x, const std::string& tag) {
+    const Value a = b.cmul(x.re, "twr" + tag);
+    const Value c = b.cmul(x.im, "twi" + tag);
+    const Value d = b.cmul(x.re, "twj" + tag);
+    const Value e = b.cmul(x.im, "twk" + tag);
+    return Complex{b.sub(a, c, "tr" + tag), b.add(d, e, "ti" + tag)};
+  };
+  const Complex x0{b.input(), b.input()};
+  const Complex x1{b.input(), b.input()};
+  const Complex x2{b.input(), b.input()};
+  const Complex x3{b.input(), b.input()};
+  const Complex w1 = cmul_tw(x1, "1");
+  const Complex w2 = cmul_tw(x2, "2");
+  const Complex w3 = cmul_tw(x3, "3");
+  // Stage 1: (x0 +/- w2), (w1 +/- w3).
+  const Complex a{b.add(x0.re, w2.re, "a_r"), b.add(x0.im, w2.im, "a_i")};
+  const Complex s{b.sub(x0.re, w2.re, "s_r"), b.sub(x0.im, w2.im, "s_i")};
+  const Complex t{b.add(w1.re, w3.re, "t_r"), b.add(w1.im, w3.im, "t_i")};
+  const Complex u{b.sub(w1.re, w3.re, "u_r"), b.sub(w1.im, w3.im, "u_i")};
+  // Stage 2: outputs (u rotated by -j for the odd pair).
+  (void)b.add(a.re, t.re, "y0_r");
+  (void)b.add(a.im, t.im, "y0_i");
+  (void)b.sub(a.re, t.re, "y2_r");
+  (void)b.sub(a.im, t.im, "y2_i");
+  (void)b.add(s.re, u.im, "y1_r");
+  (void)b.sub(s.im, u.re, "y1_i");
+  (void)b.sub(s.re, u.im, "y3_r");
+  (void)b.add(s.im, u.re, "y3_i");
+  return std::move(b).take();
+}
+
+Dfg make_dct2d_rowcol() {
+  // 2x2 separable 2-D transform block: row butterflies, scaling, then
+  // column butterflies — a small but genuinely 2-D dependence pattern.
+  DfgBuilder b;
+  Value r[2][2];
+  for (int row = 0; row < 2; ++row) {
+    const Value s = b.add(b.input(), b.input(), "rs" + std::to_string(row));
+    const Value d = b.sub(b.input(), b.input(), "rd" + std::to_string(row));
+    r[row][0] = b.cmul(s, "rm" + std::to_string(row) + "0");
+    r[row][1] = b.cmul(d, "rm" + std::to_string(row) + "1");
+  }
+  for (int col = 0; col < 2; ++col) {
+    const Value s = b.add(r[0][col], r[1][col], "cs" + std::to_string(col));
+    const Value d = b.sub(r[0][col], r[1][col], "cd" + std::to_string(col));
+    (void)b.cmul(s, "cm" + std::to_string(col) + "0");
+    (void)b.cmul(d, "cm" + std::to_string(col) + "1");
+  }
+  return std::move(b).take();
+}
+
+}  // namespace cvb

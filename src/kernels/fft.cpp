@@ -1,0 +1,70 @@
+#include <array>
+
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+namespace {
+
+/// Complex values are (re, im) pairs of dataflow values.
+struct Complex {
+  Value re;
+  Value im;
+};
+
+/// Radix-2 butterfly with a twiddle factor: t = w * b (complex
+/// multiply, 4 muls + 2 add/sub), then a +/- t (4 add/sub). Depth 3.
+std::array<Complex, 2> twiddle_butterfly(DfgBuilder& b, Complex a, Complex x,
+                                         const std::string& tag) {
+  const Value m1 = b.cmul(x.re, "m" + tag + "a");
+  const Value m2 = b.cmul(x.im, "m" + tag + "b");
+  const Value m3 = b.cmul(x.re, "m" + tag + "c");
+  const Value m4 = b.cmul(x.im, "m" + tag + "d");
+  const Value tr = b.sub(m1, m2, "tr" + tag);
+  const Value ti = b.add(m3, m4, "ti" + tag);
+  Complex top{b.add(a.re, tr, "pr" + tag), b.add(a.im, ti, "pi" + tag)};
+  Complex bottom{b.sub(a.re, tr, "qr" + tag), b.sub(a.im, ti, "qi" + tag)};
+  return {top, bottom};
+}
+
+}  // namespace
+
+// Radix-2 complex FFT basic block (the RASTA hot kernel): two
+// twiddle-factor butterflies in stage 1, one twiddle butterfly plus one
+// trivial (w = 1) butterfly in stage 2, and output magnitude scaling.
+// 38 ops (16 mul, 22 add/sub), single component (stage 2 reads from
+// both stage-1 butterflies), critical path 6.
+Dfg make_fft() {
+  DfgBuilder b;
+
+  const Complex in0{b.input(), b.input()};
+  const Complex in1{b.input(), b.input()};
+  const Complex in2{b.input(), b.input()};
+  const Complex in3{b.input(), b.input()};
+
+  // Stage 1 (depth 1..3).
+  const auto bf0 = twiddle_butterfly(b, in0, in1, "0");
+  const auto bf1 = twiddle_butterfly(b, in2, in3, "1");
+
+  // Stage 2 (depth 4..6): twiddle butterfly across the two stage-1 tops.
+  const auto bf2 = twiddle_butterfly(b, bf0[0], bf1[0], "2");
+  (void)bf2;
+
+  // Stage 2 trivial butterfly (w = 1) across the two stage-1 bottoms
+  // (depth 4).
+  const Value c0 = b.add(bf0[1].re, bf1[1].re, "c0");
+  const Value c1 = b.add(bf0[1].im, bf1[1].im, "c1");
+  const Value c2 = b.sub(bf0[1].re, bf1[1].re, "c2");
+  const Value c3 = b.sub(bf0[1].im, bf1[1].im, "c3");
+
+  // Output scaling of the trivial-butterfly lane (depth 5).
+  (void)b.cmul(c0, "s0");
+  (void)b.cmul(c1, "s1");
+  (void)b.cmul(c2, "s2");
+  (void)b.cmul(c3, "s3");
+
+  return std::move(b).take();
+}
+
+}  // namespace cvb

@@ -1,0 +1,23 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+Dfg make_fir(int taps) {
+  if (taps < 1) {
+    throw std::invalid_argument("make_fir: taps must be >= 1");
+  }
+  DfgBuilder b;
+  // y = sum_i c_i * x_i as a multiply bank feeding an accumulate chain
+  // (direct-form FIR inner loop, fully unrolled).
+  Value acc = b.cmul(b.input(), "m0");
+  for (int i = 1; i < taps; ++i) {
+    const Value product = b.cmul(b.input(), "m" + std::to_string(i));
+    acc = b.add(acc, product, "acc" + std::to_string(i));
+  }
+  return std::move(b).take();
+}
+
+}  // namespace cvb

@@ -1,0 +1,56 @@
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+Dfg make_random_layered(const RandomDagParams& params, Rng& rng) {
+  if (params.num_ops < 1) {
+    throw std::invalid_argument("make_random_layered: num_ops must be >= 1");
+  }
+  if (params.num_layers < 1 || params.num_layers > params.num_ops) {
+    throw std::invalid_argument(
+        "make_random_layered: need 1 <= num_layers <= num_ops");
+  }
+
+  Dfg dfg;
+  // Assign each op a layer: one op per layer guaranteed (so the depth
+  // is exactly num_layers), the rest spread uniformly.
+  std::vector<std::vector<OpId>> layers(
+      static_cast<std::size_t>(params.num_layers));
+  for (int i = 0; i < params.num_ops; ++i) {
+    const int layer = (i < params.num_layers)
+                          ? i
+                          : rng.uniform_int(0, params.num_layers - 1);
+    const OpType type =
+        rng.chance(params.mul_fraction) ? OpType::kMul : OpType::kAdd;
+    const OpId v = dfg.add_op(type);
+    layers[static_cast<std::size_t>(layer)].push_back(v);
+  }
+
+  for (int layer = 1; layer < params.num_layers; ++layer) {
+    const auto& prev = layers[static_cast<std::size_t>(layer - 1)];
+    for (const OpId v : layers[static_cast<std::size_t>(layer)]) {
+      // First operand: someone from the immediately preceding layer,
+      // which pins the op's depth and keeps the graph layered.
+      const OpId p =
+          prev[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(prev.size()) - 1))];
+      dfg.add_edge(p, v);
+      // Optional second operand from any earlier layer.
+      if (rng.chance(params.extra_edge_prob)) {
+        const int src_layer = rng.uniform_int(0, layer - 1);
+        const auto& pool = layers[static_cast<std::size_t>(src_layer)];
+        const OpId q = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
+        if (!dfg.has_edge(q, v)) {
+          dfg.add_edge(q, v);
+        }
+      }
+    }
+  }
+  return dfg;
+}
+
+}  // namespace cvb

@@ -1,0 +1,29 @@
+#include <stdexcept>
+
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+std::vector<BenchmarkKernel> benchmark_suite() {
+  std::vector<BenchmarkKernel> suite;
+  suite.push_back({"DCT-DIF", make_dct_dif(), 41, 2, 7});
+  suite.push_back({"DCT-LEE", make_dct_lee(), 49, 2, 9});
+  suite.push_back({"DCT-DIT", make_dct_dit(), 48, 1, 7});
+  suite.push_back({"DCT-DIT-2", make_dct_dit2(), 96, 2, 7});
+  suite.push_back({"FFT", make_fft(), 38, 1, 6});
+  suite.push_back({"EWF", make_ewf(), 34, 1, 14});
+  suite.push_back({"ARF", make_arf(), 28, 1, 8});
+  return suite;
+}
+
+BenchmarkKernel benchmark_by_name(const std::string& name) {
+  for (BenchmarkKernel& kernel : benchmark_suite()) {
+    if (kernel.name == name) {
+      return std::move(kernel);
+    }
+  }
+  throw std::invalid_argument("benchmark_by_name: unknown kernel '" + name +
+                              "'");
+}
+
+}  // namespace cvb

@@ -1,0 +1,27 @@
+#include <stdexcept>
+
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+Dfg unroll(const Dfg& dfg, int factor) {
+  if (factor < 1) {
+    throw std::invalid_argument("unroll: factor must be >= 1");
+  }
+  Dfg result;
+  for (int copy = 0; copy < factor; ++copy) {
+    const OpId base = result.num_ops();
+    for (OpId v = 0; v < dfg.num_ops(); ++v) {
+      result.add_op(dfg.type(v),
+                    dfg.name(v) + "#" + std::to_string(copy));
+    }
+    for (OpId v = 0; v < dfg.num_ops(); ++v) {
+      for (const OpId u : dfg.operands(v)) {
+        result.add_operand(base + v, u == kNoOp ? kNoOp : base + u);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cvb

@@ -1,0 +1,105 @@
+#include "machine/datapath.hpp"
+
+#include <stdexcept>
+
+namespace cvb {
+
+Datapath::Datapath(std::vector<Cluster> clusters, int num_buses,
+                   LatencyTable lat, std::array<int, kNumFuTypes> dii)
+    : clusters_(std::move(clusters)),
+      num_buses_(num_buses),
+      lat_(lat),
+      dii_(dii) {
+  if (clusters_.empty()) {
+    throw std::invalid_argument("Datapath: need at least one cluster");
+  }
+  if (num_buses_ < 1) {
+    throw std::invalid_argument("Datapath: need at least one bus");
+  }
+  for (const Cluster& c : clusters_) {
+    for (const int n : c.fu_count) {
+      if (n < 0) {
+        throw std::invalid_argument("Datapath: negative FU count");
+      }
+    }
+  }
+  for (const int l : lat_) {
+    if (l < 1) {
+      throw std::invalid_argument("Datapath: operation latency must be >= 1");
+    }
+  }
+  for (const int d : dii_) {
+    if (d < 1) {
+      throw std::invalid_argument("Datapath: dii must be >= 1");
+    }
+  }
+}
+
+Datapath Datapath::uniform(std::vector<Cluster> clusters, int num_buses,
+                           int move_latency) {
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kMove)] = move_latency;
+  std::array<int, kNumFuTypes> dii{};
+  dii.fill(1);
+  return Datapath(std::move(clusters), num_buses, lat, dii);
+}
+
+int Datapath::fu_count(ClusterId c, FuType t) const {
+  if (c < 0 || c >= num_clusters()) {
+    throw std::invalid_argument("Datapath::fu_count: bad cluster id " +
+                                std::to_string(c));
+  }
+  if (t == FuType::kBus) {
+    throw std::invalid_argument(
+        "Datapath::fu_count: the bus is not a cluster resource");
+  }
+  return clusters_[static_cast<std::size_t>(c)].count(t);
+}
+
+int Datapath::total_fu_count(FuType t) const {
+  if (t == FuType::kBus) {
+    return num_buses_;
+  }
+  int total = 0;
+  for (const Cluster& c : clusters_) {
+    total += c.count(t);
+  }
+  return total;
+}
+
+bool Datapath::supports(ClusterId c, OpType op) const {
+  const FuType t = fu_type_of(op);
+  if (t == FuType::kBus) {
+    return false;
+  }
+  return fu_count(c, t) > 0;
+}
+
+std::vector<ClusterId> Datapath::target_set(OpType op) const {
+  std::vector<ClusterId> ts;
+  if (fu_type_of(op) == FuType::kBus) {
+    return ts;
+  }
+  for (ClusterId c = 0; c < num_clusters(); ++c) {
+    if (supports(c, op)) {
+      ts.push_back(c);
+    }
+  }
+  return ts;
+}
+
+std::string Datapath::to_string() const {
+  std::string text = "[";
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (i != 0) {
+      text += '|';
+    }
+    text += std::to_string(clusters_[i].count(FuType::kAlu));
+    text += ',';
+    text += std::to_string(clusters_[i].count(FuType::kMult));
+  }
+  text += ']';
+  return text;
+}
+
+}  // namespace cvb

@@ -1,0 +1,119 @@
+// Clustered VLIW datapath model (paper Section 2, "Datapath model").
+//
+// A datapath is a collection of clusters connected through a bus. Each
+// cluster has a local register file (assumed unbounded, per the paper)
+// and N(c,t) functional units of each FU type t. Every FU reads up to
+// two operands from and writes one result to its local register file.
+// The bus performs up to N(BUS) simultaneous inter-cluster transfers
+// and is modeled as a resource of type FuType::kBus executing
+// OpType::kMove operations.
+//
+// Timing: each operation type has a latency lat(p) (cycles from issue
+// to result availability); each resource type has a data introduction
+// interval dii(t) (cycles until the resource can accept a new
+// operation; dii == 1 means fully pipelined, dii == lat means
+// unpipelined).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "machine/isa.hpp"
+
+namespace cvb {
+
+/// Cluster identifier: dense index into a Datapath, 0..num_clusters()-1.
+using ClusterId = int;
+
+/// Sentinel for "not bound to any cluster" (also used for bus-resident
+/// move operations, which live on the interconnect, not in a cluster).
+inline constexpr ClusterId kNoCluster = -1;
+
+/// One cluster: FU counts per cluster-resident FU type.
+struct Cluster {
+  /// fu_count[t] = N(c, t) for t in {kAlu, kMult}.
+  std::array<int, kNumClusterFuTypes> fu_count{};
+
+  [[nodiscard]] int count(FuType t) const {
+    return fu_count[static_cast<std::size_t>(t)];
+  }
+};
+
+/// Immutable clustered datapath description.
+///
+/// Construct directly via the constructor or from the paper's textual
+/// form ("[i,j|i,j|...]") via parse_datapath() in machine/parser.hpp.
+class Datapath {
+ public:
+  /// Builds a datapath.
+  ///  * `clusters`: per-cluster (#ALU, #MULT) pairs; at least one
+  ///    cluster, no negative counts, and each FU type must exist
+  ///    somewhere in the datapath (N(t) >= 1 is required only for types
+  ///    a DFG actually uses; that is checked at binding time).
+  ///  * `num_buses`: N(BUS) >= 1.
+  ///  * `lat`: per-operation-type latency table (>= 1 each).
+  ///  * `dii`: per-resource-type data introduction interval (>= 1 each).
+  /// Throws std::invalid_argument on violations.
+  Datapath(std::vector<Cluster> clusters, int num_buses, LatencyTable lat,
+           std::array<int, kNumFuTypes> dii);
+
+  /// Convenience: unit latencies and fully pipelined resources, with
+  /// the move latency overridden to `move_latency` (Table 2 varies it).
+  static Datapath uniform(std::vector<Cluster> clusters, int num_buses,
+                          int move_latency = 1);
+
+  [[nodiscard]] int num_clusters() const {
+    return static_cast<int>(clusters_.size());
+  }
+
+  /// N(c, t): FUs of type `t` in cluster `c`. `t` must be a cluster FU
+  /// type (not kBus).
+  [[nodiscard]] int fu_count(ClusterId c, FuType t) const;
+
+  /// N(t): total FUs of type `t` across clusters; for kBus, N(BUS).
+  [[nodiscard]] int total_fu_count(FuType t) const;
+
+  /// N(BUS): simultaneous inter-cluster transfers.
+  [[nodiscard]] int num_buses() const { return num_buses_; }
+
+  /// lat(p) for an operation type.
+  [[nodiscard]] int lat(OpType op) const {
+    return lat_[static_cast<std::size_t>(op)];
+  }
+
+  /// Latency of the data-transfer operation, lat(move).
+  [[nodiscard]] int move_latency() const { return lat(OpType::kMove); }
+
+  /// dii(t) for a resource type.
+  [[nodiscard]] int dii(FuType t) const {
+    return dii_[static_cast<std::size_t>(t)];
+  }
+
+  /// dii of the resource executing operation type `op` (the paper's
+  /// dii(v) shorthand, footnote 1).
+  [[nodiscard]] int dii_op(OpType op) const { return dii(fu_type_of(op)); }
+
+  /// Full latency table (for graph analyses).
+  [[nodiscard]] const LatencyTable& latencies() const { return lat_; }
+
+  /// True if cluster `c` can execute operation type `op`
+  /// (N(c, futype(op)) > 0). Moves are not cluster-executable.
+  [[nodiscard]] bool supports(ClusterId c, OpType op) const;
+
+  /// Target set TS for an operation type: clusters that can execute it,
+  /// in increasing id order. Empty for kMove.
+  [[nodiscard]] std::vector<ClusterId> target_set(OpType op) const;
+
+  /// The paper's textual form, e.g. "[1,1|2,1]".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Cluster> clusters_;
+  int num_buses_;
+  LatencyTable lat_;
+  std::array<int, kNumFuTypes> dii_;
+};
+
+}  // namespace cvb

@@ -1,0 +1,54 @@
+#include "machine/isa.hpp"
+
+namespace cvb {
+
+std::string_view op_type_name(OpType op) {
+  switch (op) {
+    case OpType::kAdd:
+      return "add";
+    case OpType::kSub:
+      return "sub";
+    case OpType::kNeg:
+      return "neg";
+    case OpType::kShift:
+      return "shl";
+    case OpType::kAnd:
+      return "and";
+    case OpType::kOr:
+      return "or";
+    case OpType::kXor:
+      return "xor";
+    case OpType::kCmp:
+      return "cmp";
+    case OpType::kMul:
+      return "mul";
+    case OpType::kMac:
+      return "mac";
+    case OpType::kMove:
+      return "mov";
+  }
+  return "?";
+}
+
+std::string_view fu_type_name(FuType fu) {
+  switch (fu) {
+    case FuType::kAlu:
+      return "ALU";
+    case FuType::kMult:
+      return "MULT";
+    case FuType::kBus:
+      return "BUS";
+  }
+  return "?";
+}
+
+const std::array<OpType, kNumOpTypes>& all_op_types() {
+  static const std::array<OpType, kNumOpTypes> kAll = {
+      OpType::kAdd,   OpType::kSub, OpType::kNeg, OpType::kShift,
+      OpType::kAnd,   OpType::kOr,  OpType::kXor, OpType::kCmp,
+      OpType::kMul,   OpType::kMac, OpType::kMove,
+  };
+  return kAll;
+}
+
+}  // namespace cvb

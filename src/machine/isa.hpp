@@ -1,0 +1,86 @@
+// Operation and functional-unit type definitions (the paper's Section 2
+// datapath/dataflow models).
+//
+// Every DFG operation has an *operation type* `optype(v)`; each
+// operation type maps to exactly one *functional-unit type*
+// `futype(p)`, so the FU types partition the operation types. The bus
+// is modeled as a resource type of its own, and the inter-cluster data
+// transfer ("move") is the single operation type executing on it:
+// futype(move) = BUS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cvb {
+
+/// Operation types appearing in dataflow graphs. The DAC'01 benchmarks
+/// only use ALU ops and multiplications, but the model is generic.
+enum class OpType : std::uint8_t {
+  kAdd = 0,
+  kSub,
+  kNeg,
+  kShift,
+  kAnd,
+  kOr,
+  kXor,
+  kCmp,
+  kMul,
+  kMac,
+  kMove,  // inter-cluster data transfer; executes on the bus
+};
+
+/// Number of distinct OpType values.
+inline constexpr int kNumOpTypes = 11;
+
+/// Functional-unit types. `kBus` is the interconnect pseudo-FU that
+/// executes `OpType::kMove` (paper Section 2).
+enum class FuType : std::uint8_t {
+  kAlu = 0,
+  kMult,
+  kBus,
+};
+
+/// Number of distinct FuType values.
+inline constexpr int kNumFuTypes = 3;
+
+/// Number of *datapath* FU types, i.e. FU types that live inside
+/// clusters (everything except the bus).
+inline constexpr int kNumClusterFuTypes = 2;
+
+/// Maps an operation type to the FU type that executes it
+/// (futype(optype) in the paper).
+[[nodiscard]] constexpr FuType fu_type_of(OpType op) {
+  switch (op) {
+    case OpType::kAdd:
+    case OpType::kSub:
+    case OpType::kNeg:
+    case OpType::kShift:
+    case OpType::kAnd:
+    case OpType::kOr:
+    case OpType::kXor:
+    case OpType::kCmp:
+      return FuType::kAlu;
+    case OpType::kMul:
+    case OpType::kMac:
+      return FuType::kMult;
+    case OpType::kMove:
+      return FuType::kBus;
+  }
+  return FuType::kAlu;  // unreachable; keeps GCC's -Wreturn-type happy
+}
+
+/// True for the data-transfer pseudo-operation.
+[[nodiscard]] constexpr bool is_move(OpType op) { return op == OpType::kMove; }
+
+/// Short mnemonic ("add", "mul", "mov", ...) for diagnostics and DOT.
+[[nodiscard]] std::string_view op_type_name(OpType op);
+
+/// FU type mnemonic ("ALU", "MULT", "BUS").
+[[nodiscard]] std::string_view fu_type_name(FuType fu);
+
+/// All operation types, for iteration in tests/tools.
+[[nodiscard]] const std::array<OpType, kNumOpTypes>& all_op_types();
+
+}  // namespace cvb

@@ -1,0 +1,159 @@
+#include "machine/machine_file.hpp"
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "machine/parser.hpp"
+#include "support/strings.hpp"
+
+namespace cvb {
+
+namespace {
+
+std::optional<OpType> op_type_by_name(const std::string& name) {
+  for (const OpType op : all_op_types()) {
+    if (op_type_name(op) == name) {
+      return op;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FuType> fu_type_by_name(const std::string& name) {
+  for (const FuType fu : {FuType::kAlu, FuType::kMult, FuType::kBus}) {
+    if (fu_type_name(fu) == name) {
+      return fu;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ParsedMachine parse_machine_file(std::istream& in) {
+  std::string name;
+  std::optional<std::vector<Cluster>> clusters;
+  int buses = 2;
+  LatencyTable lat = unit_latencies();
+  std::array<int, kNumFuTypes> dii{};
+  dii.fill(1);
+
+  std::string line;
+  int line_number = 0;
+  const auto fail = [&](const std::string& message) -> void {
+    throw std::invalid_argument("machine file, line " +
+                                std::to_string(line_number) + ": " + message);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    std::istringstream fields{std::string(trimmed)};
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "machine") {
+      fields >> name;
+      if (name.empty()) {
+        fail("missing machine name");
+      }
+    } else if (keyword == "clusters") {
+      std::string spec;
+      fields >> spec;
+      try {
+        // Borrow the datapath parser for the "[i,j|...]" notation; the
+        // bus/latency arguments are replaced after parsing completes.
+        const Datapath parsed = parse_datapath(spec);
+        std::vector<Cluster> result;
+        for (ClusterId c = 0; c < parsed.num_clusters(); ++c) {
+          Cluster cluster;
+          cluster.fu_count[static_cast<std::size_t>(FuType::kAlu)] =
+              parsed.fu_count(c, FuType::kAlu);
+          cluster.fu_count[static_cast<std::size_t>(FuType::kMult)] =
+              parsed.fu_count(c, FuType::kMult);
+          result.push_back(cluster);
+        }
+        clusters = std::move(result);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+    } else if (keyword == "buses") {
+      std::string count;
+      fields >> count;
+      try {
+        buses = parse_nonnegative_int(count);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+    } else if (keyword == "latency") {
+      std::string op_name;
+      std::string value;
+      fields >> op_name >> value;
+      const std::optional<OpType> op = op_type_by_name(op_name);
+      if (!op) {
+        fail("unknown operation type '" + op_name + "'");
+      }
+      try {
+        lat[static_cast<std::size_t>(*op)] = parse_nonnegative_int(value);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+    } else if (keyword == "dii") {
+      std::string fu_name;
+      std::string value;
+      fields >> fu_name >> value;
+      const std::optional<FuType> fu = fu_type_by_name(fu_name);
+      if (!fu) {
+        fail("unknown resource type '" + fu_name + "'");
+      }
+      try {
+        dii[static_cast<std::size_t>(*fu)] = parse_nonnegative_int(value);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!clusters) {
+    line_number = 0;
+    fail("missing 'clusters [i,j|...]' line");
+  }
+  try {
+    return ParsedMachine{name.empty() ? "machine" : name,
+                         Datapath(std::move(*clusters), buses, lat, dii)};
+  } catch (const std::invalid_argument& e) {
+    line_number = 0;
+    fail(e.what());
+    throw;  // unreachable
+  }
+}
+
+void write_machine_file(std::ostream& out, const Datapath& dp,
+                        const std::string& name) {
+  out << "machine " << name << '\n';
+  out << "clusters " << dp.to_string() << '\n';
+  out << "buses " << dp.num_buses() << '\n';
+  for (const OpType op : all_op_types()) {
+    if (dp.lat(op) != 1) {
+      out << "latency " << op_type_name(op) << ' ' << dp.lat(op) << '\n';
+    }
+  }
+  for (const FuType fu : {FuType::kAlu, FuType::kMult, FuType::kBus}) {
+    if (dp.dii(fu) != 1) {
+      out << "dii " << fu_type_name(fu) << ' ' << dp.dii(fu) << '\n';
+    }
+  }
+}
+
+}  // namespace cvb

@@ -1,0 +1,40 @@
+// Machine description files: a small text format describing a full
+// clustered datapath — cluster layout, buses, per-operation-type
+// latencies, per-resource data introduction intervals — so experiments
+// can target a machine without recompiling:
+//
+//   # my_dsp.machine
+//   machine my_dsp
+//   clusters [2,1|1,1]
+//   buses 2
+//   latency mul 2        # operation-type latencies (default 1)
+//   latency mov 1
+//   dii MULT 2           # resource dii (default 1; unpipelined = lat)
+//
+// Unknown keys, malformed counts and inconsistent values (dii < 1 etc.)
+// are rejected with line-numbered errors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Parsed machine description.
+struct ParsedMachine {
+  std::string name;
+  Datapath datapath;
+};
+
+/// Parses the machine text format. Throws std::invalid_argument with a
+/// line-numbered message on errors.
+[[nodiscard]] ParsedMachine parse_machine_file(std::istream& in);
+
+/// Writes `dp` in the machine text format (only non-default latencies
+/// and dii values are emitted).
+void write_machine_file(std::ostream& out, const Datapath& dp,
+                        const std::string& name = "machine");
+
+}  // namespace cvb

@@ -1,0 +1,43 @@
+#include "machine/parser.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace cvb {
+
+Datapath parse_datapath(std::string_view spec, int num_buses,
+                        int move_latency) {
+  std::string_view body = trim(spec);
+  if (!body.empty() && body.front() == '[') {
+    body.remove_prefix(1);
+    if (body.empty() || body.back() != ']') {
+      throw std::invalid_argument("parse_datapath: unbalanced brackets in '" +
+                                  std::string(spec) + "'");
+    }
+    body.remove_suffix(1);
+  }
+  if (trim(body).empty()) {
+    throw std::invalid_argument("parse_datapath: empty spec");
+  }
+
+  std::vector<Cluster> clusters;
+  for (const std::string& field : split(body, '|')) {
+    const std::vector<std::string> counts = split(field, ',');
+    if (counts.size() != 2) {
+      throw std::invalid_argument(
+          "parse_datapath: cluster '" + field +
+          "' must be '<#ALU>,<#MULT>' (in '" + std::string(spec) + "')");
+    }
+    Cluster cluster;
+    cluster.fu_count[static_cast<std::size_t>(FuType::kAlu)] =
+        parse_nonnegative_int(counts[0]);
+    cluster.fu_count[static_cast<std::size_t>(FuType::kMult)] =
+        parse_nonnegative_int(counts[1]);
+    clusters.push_back(cluster);
+  }
+  return Datapath::uniform(std::move(clusters), num_buses, move_latency);
+}
+
+}  // namespace cvb

@@ -1,0 +1,19 @@
+// Parser for the paper's textual datapath notation. Table 1 writes a
+// datapath as "[i,j|i,j|...]" where i is the number of ALUs and j the
+// number of multipliers in each cluster.
+#pragma once
+
+#include <string_view>
+
+#include "machine/datapath.hpp"
+
+namespace cvb {
+
+/// Parses "[1,1|2,1]" (brackets optional, whitespace tolerated) into a
+/// Datapath with `num_buses` buses, unit operation latencies, fully
+/// pipelined resources, and lat(move) = `move_latency`.
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] Datapath parse_datapath(std::string_view spec, int num_buses = 2,
+                                      int move_latency = 1);
+
+}  // namespace cvb

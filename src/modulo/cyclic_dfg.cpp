@@ -1,0 +1,74 @@
+#include "modulo/cyclic_dfg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cvb {
+
+OpId CyclicDfg::add_op(OpType type, std::string name) {
+  const OpId id = num_ops();
+  if (name.empty()) {
+    name = std::string(op_type_name(type)) + std::to_string(id);
+  }
+  type_.push_back(type);
+  name_.push_back(std::move(name));
+  return id;
+}
+
+void CyclicDfg::add_edge(OpId from, OpId to, int distance) {
+  check_id(from);
+  check_id(to);
+  if (distance < 0) {
+    throw std::invalid_argument("CyclicDfg::add_edge: negative distance");
+  }
+  if (from == to && distance == 0) {
+    throw std::invalid_argument(
+        "CyclicDfg::add_edge: distance-0 self edge on " + name(from));
+  }
+  const bool duplicate = std::any_of(
+      edges_.begin(), edges_.end(), [&](const LoopEdge& e) {
+        return e.from == from && e.to == to && e.distance == distance;
+      });
+  if (duplicate) {
+    throw std::invalid_argument("CyclicDfg::add_edge: duplicate edge " +
+                                name(from) + " -> " + name(to));
+  }
+  edges_.push_back(LoopEdge{from, to, distance});
+}
+
+OpType CyclicDfg::type(OpId v) const {
+  check_id(v);
+  return type_[static_cast<std::size_t>(v)];
+}
+
+const std::string& CyclicDfg::name(OpId v) const {
+  check_id(v);
+  return name_[static_cast<std::size_t>(v)];
+}
+
+Dfg CyclicDfg::body() const {
+  Dfg dfg;
+  for (OpId v = 0; v < num_ops(); ++v) {
+    dfg.add_op(type(v), name(v));
+  }
+  for (const LoopEdge& e : edges_) {
+    if (e.distance == 0 && !dfg.has_edge(e.from, e.to)) {
+      dfg.add_edge(e.from, e.to);
+    }
+  }
+  dfg.validate();
+  return dfg;
+}
+
+void CyclicDfg::validate() const {
+  (void)body();  // throws on a distance-0 cycle
+}
+
+void CyclicDfg::check_id(OpId v) const {
+  if (v < 0 || v >= num_ops()) {
+    throw std::invalid_argument("CyclicDfg: invalid op id " +
+                                std::to_string(v));
+  }
+}
+
+}  // namespace cvb

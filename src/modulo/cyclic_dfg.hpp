@@ -1,0 +1,64 @@
+// Cyclic dataflow graphs for loop kernels: operations plus dependence
+// edges annotated with an iteration *distance* (omega). Distance 0 is
+// an ordinary intra-iteration dependence; distance d >= 1 says the
+// consumer reads the value produced d iterations earlier (a
+// loop-carried dependence through a register).
+//
+// This is the input of the modulo-scheduling extension (paper Section 4
+// discusses binding in the modulo-scheduling context: Nystrom &
+// Eichenberger; Fernandes, Llosa & Topham; Sánchez & González). The
+// distance-0 subgraph must be acyclic — it is the loop *body* the
+// paper's binder runs on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dfg.hpp"
+#include "machine/isa.hpp"
+
+namespace cvb {
+
+/// One dependence of a cyclic graph.
+struct LoopEdge {
+  OpId from = kNoOp;
+  OpId to = kNoOp;
+  int distance = 0;  ///< iterations between producer and consumer
+};
+
+/// A loop kernel: typed operations and distance-annotated dependences.
+class CyclicDfg {
+ public:
+  /// Adds an operation; same semantics as Dfg::add_op.
+  OpId add_op(OpType type, std::string name = {});
+
+  /// Adds a dependence with iteration distance `distance` (>= 0).
+  /// Duplicate (from, to, distance) triples and self edges with
+  /// distance 0 are rejected (a distance >= 1 self edge — an
+  /// accumulator — is legal and common).
+  void add_edge(OpId from, OpId to, int distance = 0);
+
+  [[nodiscard]] int num_ops() const {
+    return static_cast<int>(type_.size());
+  }
+  [[nodiscard]] OpType type(OpId v) const;
+  [[nodiscard]] const std::string& name(OpId v) const;
+  [[nodiscard]] const std::vector<LoopEdge>& edges() const { return edges_; }
+
+  /// The distance-0 subgraph as an ordinary Dfg (op ids preserved).
+  /// This is what the binding algorithms consume. Throws
+  /// std::logic_error if it contains a cycle.
+  [[nodiscard]] Dfg body() const;
+
+  /// Full validation: ids in range, distances >= 0, acyclic body.
+  void validate() const;
+
+ private:
+  void check_id(OpId v) const;
+
+  std::vector<OpType> type_;
+  std::vector<std::string> name_;
+  std::vector<LoopEdge> edges_;
+};
+
+}  // namespace cvb

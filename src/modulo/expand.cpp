@@ -1,0 +1,123 @@
+#include "modulo/expand.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+namespace {
+
+int kernel_makespan(const ModuloResult& result, const LatencyTable& lat) {
+  int makespan = 0;
+  for (OpId v = 0; v < result.kernel.num_ops(); ++v) {
+    makespan = std::max(makespan,
+                        result.start[static_cast<std::size_t>(v)] +
+                            lat_of(lat, result.kernel.type(v)));
+  }
+  return makespan;
+}
+
+}  // namespace
+
+int pipelined_latency(const ModuloResult& result, const Datapath& dp,
+                      int iterations) {
+  if (iterations < 1) {
+    throw std::invalid_argument("pipelined_latency: iterations >= 1");
+  }
+  return (iterations - 1) * result.ii +
+         kernel_makespan(result, dp.latencies());
+}
+
+ExpandedPipeline expand_pipeline(const ModuloResult& result,
+                                 const Datapath& dp, int iterations) {
+  if (iterations < 1) {
+    throw std::invalid_argument("expand_pipeline: iterations >= 1");
+  }
+  const CyclicDfg& kernel = result.kernel;
+  const int n = kernel.num_ops();
+
+  ExpandedPipeline out;
+  out.iterations = iterations;
+  out.ii = result.ii;
+
+  // Copies of every op per iteration: moves are appended per-iteration
+  // too, but BoundDfg expects moves *after* all regular ops, so we
+  // first lay out all regular copies, then all move copies.
+  const int regular = n - result.num_moves;
+  const auto flat_id = [&](OpId v, int iteration) -> OpId {
+    if (v < regular) {
+      return iteration * regular + v;
+    }
+    return iterations * regular + iteration * result.num_moves +
+           (v - regular);
+  };
+
+  for (int i = 0; i < iterations; ++i) {
+    for (OpId v = 0; v < regular; ++v) {
+      out.flat.graph.add_op(kernel.type(v),
+                            kernel.name(v) + "#" + std::to_string(i));
+      out.flat.place.push_back(result.place[static_cast<std::size_t>(v)]);
+    }
+  }
+  for (int i = 0; i < iterations; ++i) {
+    for (OpId v = regular; v < n; ++v) {
+      out.flat.graph.add_op(kernel.type(v),
+                            kernel.name(v) + "#" + std::to_string(i));
+      out.flat.place.push_back(kNoCluster);
+      out.flat.move_producer.push_back(kNoOp);  // filled below
+      out.flat.move_dest.push_back(kNoCluster);
+      ++out.flat.num_moves;
+    }
+  }
+
+  // Edges: distance-d dependences connect iteration i-d to iteration i.
+  for (const LoopEdge& e : kernel.edges()) {
+    for (int i = 0; i < iterations; ++i) {
+      const int src_iter = i - e.distance;
+      if (src_iter < 0) {
+        continue;  // reads pre-loop state (live-in)
+      }
+      out.flat.graph.add_edge(flat_id(e.from, src_iter), flat_id(e.to, i));
+    }
+  }
+  // Move bookkeeping for the verifier: producer/destination per copy.
+  for (int i = 0; i < iterations; ++i) {
+    for (OpId v = regular; v < n; ++v) {
+      const OpId copy = flat_id(v, i);
+      const int mi = copy - iterations * regular;
+      // The destination cluster is where the move's consumers live; all
+      // consumers of a shared move are on one cluster by construction.
+      ClusterId dest = kNoCluster;
+      for (const OpId s : out.flat.graph.succs(copy)) {
+        dest = out.flat.place[static_cast<std::size_t>(s)];
+      }
+      out.flat.move_dest[static_cast<std::size_t>(mi)] = dest;
+      const auto preds = out.flat.graph.preds(copy);
+      out.flat.move_producer[static_cast<std::size_t>(mi)] =
+          preds.empty() ? kNoOp : preds.front();
+    }
+  }
+
+  // Starts: kernel start + iteration * II.
+  out.schedule.start.assign(
+      static_cast<std::size_t>(out.flat.graph.num_ops()), -1);
+  for (int i = 0; i < iterations; ++i) {
+    for (OpId v = 0; v < n; ++v) {
+      out.schedule.start[static_cast<std::size_t>(flat_id(v, i))] =
+          result.start[static_cast<std::size_t>(v)] + i * result.ii;
+    }
+  }
+  out.schedule.num_moves = out.flat.num_moves;
+  out.schedule.latency = 0;
+  for (OpId v = 0; v < out.flat.graph.num_ops(); ++v) {
+    out.schedule.latency =
+        std::max(out.schedule.latency,
+                 out.schedule.start[static_cast<std::size_t>(v)] +
+                     lat_of(dp.latencies(), out.flat.graph.type(v)));
+  }
+  return out;
+}
+
+}  // namespace cvb

@@ -1,0 +1,41 @@
+// Pipeline expansion: turns a modulo-scheduled kernel into a flat,
+// fully verified schedule of N overlapped iterations — the
+// prologue / steady-state / epilogue structure a code generator emits.
+//
+// Iteration i's copy of operation v starts at cycle
+// start(v) + i * II; a distance-d dependence (u -> v, d) becomes an
+// ordinary edge from iteration i-d's copy of u to iteration i's copy
+// of v (dependences reaching before iteration 0 read the loop's
+// live-in state and disappear). The expansion is returned as a
+// BoundDfg + Schedule pair, so the standard schedule verifier proves
+// the pipelining correct, and the total latency follows the closed
+// form (N-1)*II + makespan.
+#pragma once
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "modulo/modulo_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// A flattened pipelined loop.
+struct ExpandedPipeline {
+  BoundDfg flat;      ///< N copies of the kernel, cross-iteration edges
+  Schedule schedule;  ///< starts of every copy; latency = (N-1)*II + span
+  int iterations = 0;
+  int ii = 0;
+};
+
+/// Expands `result` over `iterations` >= 1 copies. Throws
+/// std::invalid_argument on a non-positive count.
+[[nodiscard]] ExpandedPipeline expand_pipeline(const ModuloResult& result,
+                                               const Datapath& dp,
+                                               int iterations);
+
+/// Closed-form latency of executing `iterations` iterations with the
+/// pipelined kernel: (iterations - 1) * II + kernel makespan.
+[[nodiscard]] int pipelined_latency(const ModuloResult& result,
+                                    const Datapath& dp, int iterations);
+
+}  // namespace cvb

@@ -1,0 +1,132 @@
+#include "modulo/loop_kernels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+
+CyclicDfg make_random_loop(const RandomLoopParams& params, Rng& rng) {
+  if (params.num_ops < 2) {
+    throw std::invalid_argument("make_random_loop: num_ops >= 2");
+  }
+  RandomDagParams body_params;
+  body_params.num_ops = params.num_ops;
+  body_params.num_layers = std::min(params.num_layers, params.num_ops);
+  body_params.mul_fraction = params.mul_fraction;
+  const Dfg body = make_random_layered(body_params, rng);
+
+  CyclicDfg loop;
+  for (OpId v = 0; v < body.num_ops(); ++v) {
+    loop.add_op(body.type(v), body.name(v));
+  }
+  for (OpId v = 0; v < body.num_ops(); ++v) {
+    for (const OpId s : body.succs(v)) {
+      loop.add_edge(v, s, 0);
+    }
+  }
+  for (int i = 0; i < params.back_edges; ++i) {
+    const OpId from = rng.uniform_int(0, params.num_ops - 1);
+    const OpId to = rng.uniform_int(0, params.num_ops - 1);
+    const int distance = rng.uniform_int(1, std::max(1, params.max_distance));
+    const bool duplicate = std::any_of(
+        loop.edges().begin(), loop.edges().end(), [&](const LoopEdge& e) {
+          return e.from == from && e.to == to && e.distance == distance;
+        });
+    if (!duplicate) {
+      loop.add_edge(from, to, distance);  // distance >= 1: always legal
+    }
+  }
+  loop.validate();
+  return loop;
+}
+
+CyclicDfg make_dot_product_loop(int lanes) {
+  if (lanes < 1) {
+    throw std::invalid_argument("make_dot_product_loop: lanes >= 1");
+  }
+  CyclicDfg loop;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const std::string suffix = std::to_string(lane);
+    const OpId p = loop.add_op(OpType::kMul, "p" + suffix);
+    const OpId acc = loop.add_op(OpType::kAdd, "acc" + suffix);
+    loop.add_edge(p, acc, 0);
+    loop.add_edge(acc, acc, 1);  // carried partial sum
+  }
+  return loop;
+}
+
+CyclicDfg make_iir_biquad_loop() {
+  CyclicDfg loop;
+  const OpId m0 = loop.add_op(OpType::kMul, "b0x");
+  const OpId m1 = loop.add_op(OpType::kMul, "b1x1");
+  const OpId m2 = loop.add_op(OpType::kMul, "b2x2");
+  const OpId m3 = loop.add_op(OpType::kMul, "a1y1");
+  const OpId m4 = loop.add_op(OpType::kMul, "a2y2");
+  const OpId s0 = loop.add_op(OpType::kAdd, "s0");  // b0x + b1x1
+  const OpId s1 = loop.add_op(OpType::kAdd, "s1");  // s0 + b2x2
+  const OpId s2 = loop.add_op(OpType::kSub, "s2");  // s1 - a1y1
+  const OpId y = loop.add_op(OpType::kSub, "y");    // s2 - a2y2
+  loop.add_edge(m0, s0, 0);
+  loop.add_edge(m1, s0, 0);
+  loop.add_edge(m2, s1, 0);
+  loop.add_edge(s0, s1, 0);
+  loop.add_edge(m3, s2, 0);
+  loop.add_edge(s1, s2, 0);
+  loop.add_edge(m4, y, 0);
+  loop.add_edge(s2, y, 0);
+  // Feedback: the multipliers read y delayed by one / two iterations.
+  loop.add_edge(y, m3, 1);
+  loop.add_edge(y, m4, 2);
+  return loop;
+}
+
+CyclicDfg make_complex_mac_loop() {
+  CyclicDfg loop;
+  const OpId mrr = loop.add_op(OpType::kMul, "xr_yr");
+  const OpId mii = loop.add_op(OpType::kMul, "xi_yi");
+  const OpId mri = loop.add_op(OpType::kMul, "xr_yi");
+  const OpId mir = loop.add_op(OpType::kMul, "xi_yr");
+  const OpId pr = loop.add_op(OpType::kSub, "pr");  // xr*yr - xi*yi
+  const OpId pi = loop.add_op(OpType::kAdd, "pi");  // xr*yi + xi*yr
+  const OpId ar = loop.add_op(OpType::kAdd, "ar");  // ar += pr
+  const OpId ai = loop.add_op(OpType::kAdd, "ai");  // ai += pi
+  loop.add_edge(mrr, pr, 0);
+  loop.add_edge(mii, pr, 0);
+  loop.add_edge(mri, pi, 0);
+  loop.add_edge(mir, pi, 0);
+  loop.add_edge(pr, ar, 0);
+  loop.add_edge(pi, ai, 0);
+  loop.add_edge(ar, ar, 1);
+  loop.add_edge(ai, ai, 1);
+  return loop;
+}
+
+CyclicDfg make_lattice_stage_loop(int stages) {
+  if (stages < 1) {
+    throw std::invalid_argument("make_lattice_stage_loop: stages >= 1");
+  }
+  CyclicDfg loop;
+  OpId prev_u = kNoOp;
+  for (int s = 0; s < stages; ++s) {
+    const std::string suffix = std::to_string(s);
+    const OpId kw = loop.add_op(OpType::kMul, "kw" + suffix);
+    const OpId u = loop.add_op(OpType::kAdd, "u" + suffix);
+    const OpId ku = loop.add_op(OpType::kMul, "ku" + suffix);
+    const OpId w = loop.add_op(OpType::kSub, "w" + suffix);
+    loop.add_edge(kw, u, 0);
+    if (prev_u != kNoOp) {
+      loop.add_edge(prev_u, u, 0);  // cascade through the stages
+    }
+    loop.add_edge(u, ku, 0);
+    loop.add_edge(ku, w, 0);
+    loop.add_edge(w, kw, 1);  // w1 (delayed state) feeds k*w1
+    loop.add_edge(w, w, 1);   // state register update
+    prev_u = u;
+  }
+  return loop;
+}
+
+}  // namespace cvb

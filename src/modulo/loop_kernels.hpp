@@ -1,0 +1,51 @@
+// Cyclic loop kernels for the software-pipelining extension: classic
+// DSP inner loops with genuine loop-carried dependences (accumulators,
+// IIR feedback), expressed as CyclicDfg graphs.
+#pragma once
+
+#include "modulo/cyclic_dfg.hpp"
+
+namespace cvb {
+
+/// Dot-product / MAC loop: p = x*y; acc = acc + p, with the accumulator
+/// carried across iterations (distance-1 self dependence on the add).
+/// `lanes` independent accumulators (partial sums) model unrolled
+/// reductions. Requires lanes >= 1.
+[[nodiscard]] CyclicDfg make_dot_product_loop(int lanes = 1);
+
+/// Biquad IIR section: y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2, where
+/// y1/y2 are y delayed by one/two iterations (distance 1 and 2 edges
+/// back from the final subtract). 5 muls, 4 adds/subs.
+[[nodiscard]] CyclicDfg make_iir_biquad_loop();
+
+/// Complex multiply-accumulate loop (radar/comms kernel):
+/// (ar,ai) += (xr,xi)*(yr,yi): 4 muls, 2 add/subs, 2 carried
+/// accumulators.
+[[nodiscard]] CyclicDfg make_complex_mac_loop();
+
+/// First-order lattice/AR stage with cross-coupled carried state:
+/// u = x + k*w1; w = w1 - k*u  (w1 = w delayed one iteration).
+[[nodiscard]] CyclicDfg make_lattice_stage_loop(int stages = 2);
+
+}  // namespace cvb
+
+#include "support/rng.hpp"
+
+namespace cvb {
+
+/// Random loop generator for property tests: a random layered acyclic
+/// body plus `back_edges` random loop-carried dependences with
+/// distances in [1, max_distance]. Always valid (the body stays
+/// acyclic). Requires num_ops >= 2.
+struct RandomLoopParams {
+  int num_ops = 10;
+  int num_layers = 3;
+  double mul_fraction = 0.4;
+  int back_edges = 2;
+  int max_distance = 2;
+};
+
+[[nodiscard]] CyclicDfg make_random_loop(const RandomLoopParams& params,
+                                         Rng& rng);
+
+}  // namespace cvb

@@ -1,0 +1,101 @@
+#include "modulo/mii.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+int resource_mii(const CyclicDfg& loop, const Datapath& dp) {
+  int mii = 1;
+  for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
+    const FuType t = static_cast<FuType>(ti);
+    int ops = 0;
+    for (OpId v = 0; v < loop.num_ops(); ++v) {
+      if (fu_type_of(loop.type(v)) == t) {
+        ++ops;
+      }
+    }
+    if (ops == 0) {
+      continue;
+    }
+    const int units = dp.total_fu_count(t);
+    if (units == 0) {
+      throw std::invalid_argument("resource_mii: datapath has no " +
+                                  std::string(fu_type_name(t)));
+    }
+    const int dii = dp.dii(t);
+    mii = std::max(mii, (ops * dii + units - 1) / units);
+  }
+  return mii;
+}
+
+namespace {
+
+/// True if, for the given II, some dependence cycle has positive total
+/// weight lat(u) - II * distance — i.e. the recurrence cannot close.
+bool has_positive_cycle(const CyclicDfg& loop, const LatencyTable& lat,
+                        int ii) {
+  const int n = loop.num_ops();
+  if (n == 0) {
+    return false;
+  }
+  // Bellman-Ford longest path from a virtual source connected to all
+  // ops with weight 0; relaxation still ongoing after n rounds means a
+  // positive cycle exists.
+  std::vector<long> dist(static_cast<std::size_t>(n), 0);
+  for (int round = 0; round < n; ++round) {
+    bool relaxed = false;
+    for (const LoopEdge& e : loop.edges()) {
+      const long w = lat_of(lat, loop.type(e.from)) -
+                     static_cast<long>(ii) * e.distance;
+      if (dist[static_cast<std::size_t>(e.from)] + w >
+          dist[static_cast<std::size_t>(e.to)]) {
+        dist[static_cast<std::size_t>(e.to)] =
+            dist[static_cast<std::size_t>(e.from)] + w;
+        relaxed = true;
+      }
+    }
+    if (!relaxed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int recurrence_mii(const CyclicDfg& loop, const LatencyTable& lat) {
+  // II is monotone: larger II only decreases cycle weights. Binary
+  // search over [1, sum of latencies].
+  long hi = 1;
+  for (OpId v = 0; v < loop.num_ops(); ++v) {
+    hi += lat_of(lat, loop.type(v));
+  }
+  long lo = 1;
+  if (!has_positive_cycle(loop, lat, static_cast<int>(lo))) {
+    return 1;
+  }
+  if (has_positive_cycle(loop, lat, static_cast<int>(hi))) {
+    throw std::invalid_argument(
+        "recurrence_mii: dependence cycle with zero total distance");
+  }
+  while (lo + 1 < hi) {
+    const long mid = (lo + hi) / 2;
+    if (has_positive_cycle(loop, lat, static_cast<int>(mid))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int>(hi);
+}
+
+int minimum_ii(const CyclicDfg& loop, const Datapath& dp) {
+  return std::max(resource_mii(loop, dp),
+                  recurrence_mii(loop, dp.latencies()));
+}
+
+}  // namespace cvb

@@ -1,0 +1,29 @@
+// Minimum initiation interval (MII) bounds for modulo scheduling:
+//
+//  * ResMII — resource-constrained bound: for each FU type t,
+//    ceil(|ops(t)| * dii(t) / N(t)); the bus is excluded because
+//    transfer count depends on the binding.
+//  * RecMII — recurrence-constrained bound: the smallest II such that
+//    no dependence cycle C has sum(lat) over C > II * sum(distance)
+//    over C. Found by scanning II upward with a positive-cycle check
+//    (Bellman-Ford longest path on edge weights lat(u) - II*distance).
+#pragma once
+
+#include "machine/datapath.hpp"
+#include "modulo/cyclic_dfg.hpp"
+
+namespace cvb {
+
+/// Resource MII (>= 1 for non-empty graphs).
+[[nodiscard]] int resource_mii(const CyclicDfg& loop, const Datapath& dp);
+
+/// Recurrence MII (>= 1). Throws std::invalid_argument if some cycle
+/// has zero total distance (which validate() already rejects via the
+/// acyclic-body requirement).
+[[nodiscard]] int recurrence_mii(const CyclicDfg& loop,
+                                 const LatencyTable& lat);
+
+/// max(ResMII, RecMII).
+[[nodiscard]] int minimum_ii(const CyclicDfg& loop, const Datapath& dp);
+
+}  // namespace cvb

@@ -1,0 +1,326 @@
+#include "modulo/modulo_scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "graph/analysis.hpp"
+#include "modulo/mii.hpp"
+
+namespace cvb {
+
+namespace {
+
+/// Modulo reservation table for one resource pool.
+class Mrt {
+ public:
+  Mrt(int capacity, int dii, int ii)
+      : capacity_(capacity), dii_(dii),
+        slots_(static_cast<std::size_t>(ii), 0) {}
+
+  /// True if an issue at absolute time `t` fits (occupying dii
+  /// consecutive modulo slots).
+  [[nodiscard]] bool fits(int t) const {
+    const int ii = static_cast<int>(slots_.size());
+    for (int k = 0; k < std::min(dii_, ii); ++k) {
+      if (slots_[static_cast<std::size_t>((t + k) % ii)] >= capacity_) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void reserve(int t) {
+    const int ii = static_cast<int>(slots_.size());
+    for (int k = 0; k < std::min(dii_, ii); ++k) {
+      ++slots_[static_cast<std::size_t>((t + k) % ii)];
+    }
+  }
+
+ private:
+  int capacity_;
+  int dii_;
+  std::vector<int> slots_;
+};
+
+/// Builds the bound kernel: loop ops plus moves for cross-cluster
+/// dependences, one move per (producer, destination cluster, distance).
+struct BoundKernel {
+  CyclicDfg kernel;
+  std::vector<ClusterId> place;
+  int num_moves = 0;
+};
+
+BoundKernel build_bound_kernel(const CyclicDfg& loop, const Datapath& dp,
+                               const Binding& binding) {
+  require_valid_binding(loop.body(), binding, dp);
+  BoundKernel out;
+  for (OpId v = 0; v < loop.num_ops(); ++v) {
+    out.kernel.add_op(loop.type(v), loop.name(v));
+    out.place.push_back(binding[static_cast<std::size_t>(v)]);
+  }
+  std::map<std::tuple<OpId, ClusterId, int>, OpId> move_of;
+  for (const LoopEdge& e : loop.edges()) {
+    const ClusterId cu = binding[static_cast<std::size_t>(e.from)];
+    const ClusterId cv = binding[static_cast<std::size_t>(e.to)];
+    if (cu == cv) {
+      out.kernel.add_edge(e.from, e.to, e.distance);
+      continue;
+    }
+    const auto key = std::make_tuple(e.from, cv, e.distance);
+    auto it = move_of.find(key);
+    if (it == move_of.end()) {
+      const OpId m = out.kernel.add_op(
+          OpType::kMove, "t" + std::to_string(out.num_moves + 1));
+      out.place.push_back(kNoCluster);
+      ++out.num_moves;
+      out.kernel.add_edge(e.from, m, e.distance);
+      it = move_of.emplace(key, m).first;
+    }
+    // The move may already exist; the (move -> consumer) edge can still
+    // be new for this consumer.
+    out.kernel.add_edge(it->second, e.to, 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+ModuloResult modulo_schedule(const CyclicDfg& loop, const Datapath& dp,
+                             const Binding& binding,
+                             const ModuloParams& params) {
+  if (loop.num_ops() == 0) {
+    throw std::invalid_argument("modulo_schedule: empty loop");
+  }
+  BoundKernel bound = build_bound_kernel(loop, dp, binding);
+  const CyclicDfg& kernel = bound.kernel;
+  const LatencyTable& lat = dp.latencies();
+  const int n = kernel.num_ops();
+
+  // Lower bound: the loop's MII plus the bus pressure of the moves.
+  int mii = minimum_ii(loop, dp);
+  const int bus_mii =
+      (bound.num_moves * dp.dii(FuType::kBus) + dp.num_buses() - 1) /
+      dp.num_buses();
+  mii = std::max(mii, std::max(1, bus_mii));
+
+  // Modulo-ASAP for a candidate II: longest-path earliest starts over
+  // *all* edges with weight lat(from) - II*distance (Bellman-Ford).
+  // This is what keeps recurrence consumers from being placed before
+  // their deadline window even opens. Returns false if some cycle still
+  // has positive weight (II below this kernel's recurrence bound, which
+  // can exceed the loop's RecMII once moves join a recurrence).
+  const auto modulo_asap = [&](int ii, std::vector<int>& estart) {
+    estart.assign(static_cast<std::size_t>(n), 0);
+    for (int round = 0; round <= n; ++round) {
+      bool relaxed = false;
+      for (const LoopEdge& e : kernel.edges()) {
+        const int w = lat_of(lat, kernel.type(e.from)) - ii * e.distance;
+        const int candidate = estart[static_cast<std::size_t>(e.from)] + w;
+        if (candidate > estart[static_cast<std::size_t>(e.to)]) {
+          estart[static_cast<std::size_t>(e.to)] = candidate;
+          relaxed = true;
+        }
+      }
+      if (!relaxed) {
+        return true;
+      }
+    }
+    return false;  // positive cycle: II infeasible for this kernel
+  };
+
+  // Incoming and outgoing edges per op: scheduled producers give a
+  // lower bound on the start; scheduled consumers (reachable through
+  // back edges placed earlier in ALAP order) give an upper bound, which
+  // is what keeps recurrence-critical ops inside their deadline.
+  std::vector<std::vector<const LoopEdge*>> in(static_cast<std::size_t>(n));
+  std::vector<std::vector<const LoopEdge*>> out_edges(
+      static_cast<std::size_t>(n));
+  for (const LoopEdge& e : kernel.edges()) {
+    in[static_cast<std::size_t>(e.to)].push_back(&e);
+    out_edges[static_cast<std::size_t>(e.from)].push_back(&e);
+  }
+
+  for (int ii = mii; ii <= params.max_ii; ++ii) {
+    std::vector<int> estart;
+    if (!modulo_asap(ii, estart)) {
+      continue;  // moves on a recurrence made this II infeasible
+    }
+    // Placement order: modulo-ASAP ascending (topological for
+    // distance-0 edges), then id for determinism.
+    std::vector<OpId> order(static_cast<std::size_t>(n));
+    for (OpId v = 0; v < n; ++v) {
+      order[static_cast<std::size_t>(v)] = v;
+    }
+    std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+      return std::make_pair(estart[static_cast<std::size_t>(a)], a) <
+             std::make_pair(estart[static_cast<std::size_t>(b)], b);
+    });
+
+    // One MRT per (cluster, FU type) pool plus the bus.
+    std::vector<Mrt> pools;
+    for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+      for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
+        pools.emplace_back(dp.fu_count(c, static_cast<FuType>(ti)),
+                           dp.dii(static_cast<FuType>(ti)), ii);
+      }
+    }
+    pools.emplace_back(dp.num_buses(), dp.dii(FuType::kBus), ii);
+    const auto pool_of = [&](OpId v) -> Mrt& {
+      const FuType t = fu_type_of(kernel.type(v));
+      if (t == FuType::kBus) {
+        return pools.back();
+      }
+      const ClusterId c = bound.place[static_cast<std::size_t>(v)];
+      return pools[static_cast<std::size_t>(c * kNumClusterFuTypes +
+                                            static_cast<int>(t))];
+    };
+
+    std::vector<int> start(static_cast<std::size_t>(n), -1);
+    bool placed_all = true;
+    for (const OpId v : order) {
+      int t0 = estart[static_cast<std::size_t>(v)];
+      for (const LoopEdge* e : in[static_cast<std::size_t>(v)]) {
+        const int su = start[static_cast<std::size_t>(e->from)];
+        if (su >= 0) {
+          t0 = std::max(t0, su + lat_of(lat, kernel.type(e->from)) -
+                                ii * e->distance);
+        }
+      }
+      t0 = std::max(t0, 0);
+      int deadline = t0 + ii - 1;
+      for (const LoopEdge* e : out_edges[static_cast<std::size_t>(v)]) {
+        const int sw = start[static_cast<std::size_t>(e->to)];
+        if (sw >= 0) {
+          deadline = std::min(deadline, sw - lat_of(lat, kernel.type(v)) +
+                                            ii * e->distance);
+        }
+      }
+      Mrt& pool = pool_of(v);
+      bool placed = false;
+      for (int t = t0; t <= deadline; ++t) {
+        if (pool.fits(t)) {
+          pool.reserve(t);
+          start[static_cast<std::size_t>(v)] = t;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        placed_all = false;
+        break;
+      }
+    }
+    if (!placed_all) {
+      continue;
+    }
+
+    // Back-edge feasibility (edges into ops placed before their
+    // producers were only partially constrained above).
+    bool legal = true;
+    for (const LoopEdge& e : kernel.edges()) {
+      if (start[static_cast<std::size_t>(e.to)] <
+          start[static_cast<std::size_t>(e.from)] +
+              lat_of(lat, kernel.type(e.from)) - ii * e.distance) {
+        legal = false;
+        break;
+      }
+    }
+    if (!legal) {
+      continue;
+    }
+
+    ModuloResult result;
+    result.ii = ii;
+    result.mii = mii;
+    result.kernel = bound.kernel;
+    result.place = bound.place;
+    result.start = std::move(start);
+    result.num_moves = bound.num_moves;
+    int makespan = 0;
+    for (OpId v = 0; v < n; ++v) {
+      makespan = std::max(makespan, result.start[static_cast<std::size_t>(v)] +
+                                        lat_of(lat, kernel.type(v)));
+    }
+    result.stages = (makespan + ii - 1) / ii;
+    return result;
+  }
+  throw std::invalid_argument("modulo_schedule: no II up to " +
+                              std::to_string(params.max_ii) + " succeeded");
+}
+
+ModuloResult software_pipeline(const CyclicDfg& loop, const Datapath& dp,
+                               const DriverParams& driver,
+                               const ModuloParams& params) {
+  const Dfg body = loop.body();
+  const BindResult bound = bind_full(body, dp, driver);
+  return modulo_schedule(loop, dp, bound.binding, params);
+}
+
+std::string verify_modulo_schedule(const ModuloResult& result,
+                                   const Datapath& dp) {
+  const CyclicDfg& kernel = result.kernel;
+  const LatencyTable& lat = dp.latencies();
+  const int n = kernel.num_ops();
+  if (result.ii < 1) {
+    return "non-positive II";
+  }
+  if (static_cast<int>(result.start.size()) != n ||
+      static_cast<int>(result.place.size()) != n) {
+    return "start/place size mismatch";
+  }
+  for (OpId v = 0; v < n; ++v) {
+    if (result.start[static_cast<std::size_t>(v)] < 0) {
+      return "op " + kernel.name(v) + " unscheduled";
+    }
+    const FuType t = fu_type_of(kernel.type(v));
+    const ClusterId c = result.place[static_cast<std::size_t>(v)];
+    if (t == FuType::kBus) {
+      if (c != kNoCluster) {
+        return "move " + kernel.name(v) + " placed on a cluster";
+      }
+    } else if (c < 0 || c >= dp.num_clusters() || dp.fu_count(c, t) == 0) {
+      return "op " + kernel.name(v) + " placed infeasibly";
+    }
+  }
+  for (const LoopEdge& e : kernel.edges()) {
+    if (result.start[static_cast<std::size_t>(e.to)] <
+        result.start[static_cast<std::size_t>(e.from)] +
+            lat_of(lat, kernel.type(e.from)) - result.ii * e.distance) {
+      return "dependence " + kernel.name(e.from) + " -> " +
+             kernel.name(e.to) + " violated";
+    }
+  }
+  // Modulo resource windows.
+  std::map<std::pair<ClusterId, FuType>, std::vector<int>> slots;
+  for (OpId v = 0; v < n; ++v) {
+    const FuType t = fu_type_of(kernel.type(v));
+    const ClusterId c =
+        (t == FuType::kBus) ? kNoCluster
+                            : result.place[static_cast<std::size_t>(v)];
+    auto& table = slots[{c, t}];
+    if (table.empty()) {
+      table.assign(static_cast<std::size_t>(result.ii), 0);
+    }
+    const int dii = std::min(dp.dii(t), result.ii);
+    for (int k = 0; k < dii; ++k) {
+      ++table[static_cast<std::size_t>(
+          (result.start[static_cast<std::size_t>(v)] + k) % result.ii)];
+    }
+  }
+  for (const auto& [key, table] : slots) {
+    const auto [c, t] = key;
+    const int capacity =
+        (t == FuType::kBus) ? dp.num_buses() : dp.fu_count(c, t);
+    for (int s = 0; s < result.ii; ++s) {
+      if (table[static_cast<std::size_t>(s)] > capacity) {
+        return std::string(fu_type_name(t)) + " pool oversubscribed at slot " +
+               std::to_string(s);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace cvb

@@ -1,0 +1,70 @@
+// Cluster-aware iterative modulo scheduler (software pipelining) built
+// on top of the paper's binder — the extension direction Section 4
+// discusses. The paper argues that "a final, high quality binding and
+// scheduling solution should always be generated for the selected
+// retiming function"; accordingly, software_pipeline() first binds the
+// loop *body* (the distance-0 subgraph) with the paper's driver, then
+// modulo-schedules the bound kernel:
+//
+//  1. cross-cluster dependences get explicit move operations (shared
+//     per (producer, destination cluster, distance));
+//  2. for II = MII, MII+1, ...: operations are placed in
+//     ALAP/criticality order into a modulo reservation table with one
+//     row per (cluster, FU type) pool and one for the bus; each op
+//     scans the II consecutive slots from its dependence-earliest
+//     start; back-edge feasibility is verified after placement, and
+//     failure bumps II.
+//
+// The result is a flat schedule whose slot (start mod II) obeys all
+// resource constraints — the standard kernel representation from which
+// prologue/epilogue generation is mechanical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bind/binding.hpp"
+#include "bind/driver.hpp"
+#include "machine/datapath.hpp"
+#include "modulo/cyclic_dfg.hpp"
+
+namespace cvb {
+
+/// Modulo-scheduler knobs.
+struct ModuloParams {
+  int max_ii = 256;  ///< give up (throw) beyond this II
+};
+
+/// A software-pipelined loop kernel.
+struct ModuloResult {
+  int ii = 0;                    ///< achieved initiation interval
+  int mii = 0;                   ///< lower bound that was computed
+  CyclicDfg kernel;              ///< bound kernel including moves
+  std::vector<ClusterId> place;  ///< per kernel op; moves -> kNoCluster
+  std::vector<int> start;        ///< flat start times; slot = start % ii
+  int num_moves = 0;
+  int stages = 0;                ///< pipeline depth ceil(makespan / ii)
+};
+
+/// Modulo-schedules `loop` under a given body binding (must be valid
+/// for loop.body() on `dp`). Throws std::invalid_argument if no II up
+/// to params.max_ii works (pathological) or inputs are infeasible.
+[[nodiscard]] ModuloResult modulo_schedule(const CyclicDfg& loop,
+                                           const Datapath& dp,
+                                           const Binding& binding,
+                                           const ModuloParams& params = {});
+
+/// Full flow: bind the loop body with the paper's driver, then modulo
+/// schedule. `driver` controls binding effort.
+[[nodiscard]] ModuloResult software_pipeline(const CyclicDfg& loop,
+                                             const Datapath& dp,
+                                             const DriverParams& driver = {},
+                                             const ModuloParams& params = {});
+
+/// Independent legality check of a ModuloResult against `dp`:
+/// dependences (start[to] >= start[from] + lat - II*distance), modulo
+/// resource windows, placement feasibility. Empty string when legal.
+[[nodiscard]] std::string verify_modulo_schedule(const ModuloResult& result,
+                                                 const Datapath& dp);
+
+}  // namespace cvb

@@ -1,0 +1,283 @@
+#include "pcc/pcc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "bind/bound_dfg.hpp"
+#include "graph/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+#include "support/stopwatch.hpp"
+
+namespace cvb {
+
+std::vector<int> pcc_partial_components(const Dfg& dfg, int cap) {
+  if (cap < 1) {
+    throw std::invalid_argument("pcc_partial_components: cap must be >= 1");
+  }
+  const int n = dfg.num_ops();
+  std::vector<int> label(static_cast<std::size_t>(n), -1);
+  int current = -1;
+  int current_size = cap;  // force a fresh component on first use
+
+  // Depth-first upward traversal from the outputs, deepest chains
+  // first, so dependence chains stay within one component (BUG-like).
+  const std::vector<int> asap = asap_starts(dfg, unit_latencies());
+  std::vector<OpId> sinks = dfg.sinks();
+  std::sort(sinks.begin(), sinks.end(), [&](OpId a, OpId b) {
+    return std::make_pair(-asap[static_cast<std::size_t>(a)], a) <
+           std::make_pair(-asap[static_cast<std::size_t>(b)], b);
+  });
+
+  // Iterative DFS to keep stack depth independent of graph shape.
+  const auto dfs = [&](OpId root) {
+    std::vector<OpId> stack{root};
+    while (!stack.empty()) {
+      const OpId v = stack.back();
+      stack.pop_back();
+      if (label[static_cast<std::size_t>(v)] != -1) {
+        continue;
+      }
+      if (current_size >= cap) {
+        ++current;
+        current_size = 0;
+      }
+      label[static_cast<std::size_t>(v)] = current;
+      ++current_size;
+      // Visit predecessors, latest (deepest) first so the critical
+      // chain is followed before side inputs.
+      std::vector<OpId> preds(dfg.preds(v).begin(), dfg.preds(v).end());
+      std::sort(preds.begin(), preds.end(), [&](OpId a, OpId b) {
+        return asap[static_cast<std::size_t>(a)] <
+               asap[static_cast<std::size_t>(b)];
+      });
+      for (const OpId p : preds) {  // pushed shallow-first, popped deep-first
+        if (label[static_cast<std::size_t>(p)] == -1) {
+          stack.push_back(p);
+        }
+      }
+    }
+  };
+  for (const OpId sink : sinks) {
+    dfs(sink);
+  }
+  return label;
+}
+
+namespace {
+
+/// PCC phase 3: best-improvement hill climbing with single-operation
+/// moves under a (latency, moves) cost, where latency comes from the
+/// *approximate* scheduler (bus contention ignored) — Desoli's TR uses
+/// a fast approximate scheduler inside the loop; exact evaluation
+/// happens only on the final result.
+Binding pcc_improve(const Dfg& dfg, const Datapath& dp, Binding binding,
+                    int max_iterations) {
+  const auto eval = [&](const Binding& b) {
+    const BoundDfg bound = build_bound_dfg(dfg, b, dp);
+    ListSchedulerOptions approx;
+    approx.unbounded_bus = true;
+    const Schedule sched = list_schedule(bound, dp, approx);
+    return std::make_pair(sched.latency, sched.num_moves);
+  };
+
+  auto current = eval(binding);
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    bool improved = false;
+    auto best = current;
+    OpId best_op = kNoOp;
+    ClusterId best_cluster = kNoCluster;
+    for (OpId v = 0; v < dfg.num_ops(); ++v) {
+      const ClusterId cv = binding[static_cast<std::size_t>(v)];
+      // Candidate destinations: clusters of cross-cluster neighbours.
+      std::vector<ClusterId> destinations;
+      const auto consider = [&](OpId u) {
+        const ClusterId cu = binding[static_cast<std::size_t>(u)];
+        if (cu != cv && dp.supports(cu, dfg.type(v)) &&
+            std::find(destinations.begin(), destinations.end(), cu) ==
+                destinations.end()) {
+          destinations.push_back(cu);
+        }
+      };
+      for (const OpId u : dfg.preds(v)) {
+        consider(u);
+      }
+      for (const OpId u : dfg.succs(v)) {
+        consider(u);
+      }
+      for (const ClusterId c : destinations) {
+        binding[static_cast<std::size_t>(v)] = c;
+        const auto quality = eval(binding);
+        binding[static_cast<std::size_t>(v)] = cv;
+        if (quality < best) {
+          best = quality;
+          best_op = v;
+          best_cluster = c;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+    binding[static_cast<std::size_t>(best_op)] = best_cluster;
+    current = best;
+  }
+  return binding;
+}
+
+/// Greedy assignment of partial components to clusters, balancing
+/// per-FU-type load and minimizing the communication cut (PCC phase 2).
+Binding assign_components(const Dfg& dfg, const Datapath& dp,
+                          const std::vector<int>& label, double load_weight) {
+  const int num_components =
+      label.empty() ? 0
+                    : *std::max_element(label.begin(), label.end()) + 1;
+  std::vector<std::vector<OpId>> members(
+      static_cast<std::size_t>(num_components));
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    members[static_cast<std::size_t>(label[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  // Largest components first: the classic bin-packing order.
+  std::vector<int> order(static_cast<std::size_t>(num_components));
+  for (int i = 0; i < num_components; ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::make_pair(-static_cast<int>(
+                              members[static_cast<std::size_t>(a)].size()),
+                          a) <
+           std::make_pair(-static_cast<int>(
+                              members[static_cast<std::size_t>(b)].size()),
+                          b);
+  });
+
+  Binding binding(static_cast<std::size_t>(dfg.num_ops()), kNoCluster);
+  // ops_on[c][t]: operations of FU type t already packed on cluster c.
+  std::vector<std::array<int, kNumClusterFuTypes>> ops_on(
+      static_cast<std::size_t>(dp.num_clusters()),
+      std::array<int, kNumClusterFuTypes>{});
+
+  const auto assign_ops = [&](const std::vector<OpId>& ops) {
+    ClusterId best = kNoCluster;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+      bool feasible = true;
+      std::array<int, kNumClusterFuTypes> extra{};
+      int cut = 0;
+      for (const OpId v : ops) {
+        if (!dp.supports(c, dfg.type(v))) {
+          feasible = false;
+          break;
+        }
+        ++extra[static_cast<std::size_t>(fu_type_of(dfg.type(v)))];
+        const auto count_cut = [&](OpId u) {
+          const ClusterId cu = binding[static_cast<std::size_t>(u)];
+          if (cu != kNoCluster && cu != c) {
+            ++cut;
+          }
+        };
+        for (const OpId u : dfg.preds(v)) {
+          count_cut(u);
+        }
+        for (const OpId u : dfg.succs(v)) {
+          count_cut(u);
+        }
+      }
+      if (!feasible) {
+        continue;
+      }
+      // Projected normalized load of the fullest FU type on c.
+      double load = 0.0;
+      for (int t = 0; t < kNumClusterFuTypes; ++t) {
+        const int fu = dp.fu_count(c, static_cast<FuType>(t));
+        if (fu > 0) {
+          load = std::max(
+              load, static_cast<double>(
+                        ops_on[static_cast<std::size_t>(c)]
+                              [static_cast<std::size_t>(t)] +
+                        extra[static_cast<std::size_t>(t)]) /
+                        fu);
+        }
+      }
+      const double cost = cut + load_weight * load;
+      if (cost < best_cost - 1e-12) {
+        best_cost = cost;
+        best = c;
+      }
+    }
+    if (best == kNoCluster) {
+      return false;
+    }
+    for (const OpId v : ops) {
+      binding[static_cast<std::size_t>(v)] = best;
+      ++ops_on[static_cast<std::size_t>(best)]
+              [static_cast<std::size_t>(fu_type_of(dfg.type(v)))];
+    }
+    return true;
+  };
+
+  for (const int comp : order) {
+    const std::vector<OpId>& ops = members[static_cast<std::size_t>(comp)];
+    if (assign_ops(ops)) {
+      continue;
+    }
+    // No single cluster can host the whole component (heterogeneous
+    // datapath): fall back to op-by-op placement.
+    for (const OpId v : ops) {
+      if (!assign_ops({v})) {
+        throw std::invalid_argument(
+            "pcc_binding: no cluster can execute operation " + dfg.name(v));
+      }
+    }
+  }
+  return binding;
+}
+
+}  // namespace
+
+BindResult pcc_binding(const Dfg& dfg, const Datapath& dp,
+                       const PccParams& params, PccInfo* info) {
+  if (dfg.num_ops() == 0) {
+    throw std::invalid_argument("pcc_binding: empty DFG");
+  }
+  Stopwatch watch;
+
+  std::vector<int> caps = params.component_caps;
+  if (caps.empty()) {
+    for (int cap = 2; cap < dfg.num_ops(); cap *= 2) {
+      caps.push_back(cap);
+    }
+    caps.push_back(dfg.num_ops());
+  }
+
+  BindResult best;
+  bool have_best = false;
+  int best_cap = 0;
+  int tried = 0;
+  for (const int cap : caps) {
+    const std::vector<int> label = pcc_partial_components(dfg, cap);
+    Binding binding = assign_components(dfg, dp, label, params.load_weight);
+    binding = pcc_improve(dfg, dp, std::move(binding), params.max_iterations);
+    BindResult candidate = evaluate_binding(dfg, dp, std::move(binding));
+    ++tried;
+    const auto key = [](const BindResult& r) {
+      return std::make_pair(r.schedule.latency, r.schedule.num_moves);
+    };
+    if (!have_best || key(candidate) < key(best)) {
+      best = std::move(candidate);
+      best_cap = cap;
+      have_best = true;
+    }
+  }
+  if (info != nullptr) {
+    info->best_cap = best_cap;
+    info->partitions_tried = tried;
+    info->ms = watch.elapsed_ms();
+  }
+  return best;
+}
+
+}  // namespace cvb

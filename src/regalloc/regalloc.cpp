@@ -1,0 +1,151 @@
+#include "regalloc/regalloc.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+namespace {
+
+/// Value lifetime: live at every cycle tau with birth <= tau <= death
+/// (same model as compute_reg_pressure).
+struct Lifetime {
+  OpId value = kNoOp;
+  ClusterId home = kNoCluster;
+  int birth = 0;
+  int death = 0;
+};
+
+std::vector<Lifetime> lifetimes(const BoundDfg& bound, const Datapath& dp,
+                                const Schedule& sched) {
+  const Dfg& g = bound.graph;
+  const LatencyTable& lat = dp.latencies();
+  std::vector<Lifetime> result;
+  result.reserve(static_cast<std::size_t>(g.num_ops()));
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    Lifetime life;
+    life.value = v;
+    life.home = bound.is_move_op(v)
+                    ? bound.move_dest[static_cast<std::size_t>(
+                          v - bound.num_original_ops())]
+                    : bound.place[static_cast<std::size_t>(v)];
+    life.birth =
+        sched.start[static_cast<std::size_t>(v)] + lat_of(lat, g.type(v));
+    life.death = sched.latency;
+    if (!g.succs(v).empty()) {
+      life.death = 0;
+      for (const OpId u : g.succs(v)) {
+        life.death =
+            std::max(life.death, sched.start[static_cast<std::size_t>(u)]);
+      }
+    }
+    result.push_back(life);
+  }
+  return result;
+}
+
+}  // namespace
+
+RegAllocation allocate_registers(const BoundDfg& bound, const Datapath& dp,
+                                 const Schedule& sched) {
+  const int n = bound.graph.num_ops();
+  RegAllocation alloc;
+  alloc.reg_of.assign(static_cast<std::size_t>(n), -1);
+  alloc.home_of.assign(static_cast<std::size_t>(n), kNoCluster);
+  alloc.regs_used.assign(static_cast<std::size_t>(dp.num_clusters()), 0);
+
+  std::vector<Lifetime> lives = lifetimes(bound, dp, sched);
+  for (const Lifetime& life : lives) {
+    alloc.home_of[static_cast<std::size_t>(life.value)] = life.home;
+  }
+  std::sort(lives.begin(), lives.end(), [](const Lifetime& a,
+                                           const Lifetime& b) {
+    return std::make_tuple(a.birth, a.death, a.value) <
+           std::make_tuple(b.birth, b.death, b.value);
+  });
+
+  // Linear scan per cluster: active list ordered by death, min-heap of
+  // free registers so the lowest index is reused first.
+  struct ClusterState {
+    // (death, reg) of values still occupying a register.
+    std::priority_queue<std::pair<int, int>,
+                        std::vector<std::pair<int, int>>, std::greater<>>
+        active;
+    std::priority_queue<int, std::vector<int>, std::greater<>> free;
+    int next_reg = 0;
+  };
+  std::vector<ClusterState> state(
+      static_cast<std::size_t>(dp.num_clusters()));
+
+  for (const Lifetime& life : lives) {
+    ClusterState& cluster = state[static_cast<std::size_t>(life.home)];
+    // Expire values dead strictly before this birth.
+    while (!cluster.active.empty() &&
+           cluster.active.top().first < life.birth) {
+      cluster.free.push(cluster.active.top().second);
+      cluster.active.pop();
+    }
+    int reg;
+    if (!cluster.free.empty()) {
+      reg = cluster.free.top();
+      cluster.free.pop();
+    } else {
+      reg = cluster.next_reg++;
+    }
+    alloc.reg_of[static_cast<std::size_t>(life.value)] = reg;
+    cluster.active.emplace(life.death, reg);
+  }
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    alloc.regs_used[static_cast<std::size_t>(c)] =
+        state[static_cast<std::size_t>(c)].next_reg;
+  }
+  return alloc;
+}
+
+std::string verify_allocation(const BoundDfg& bound, const Datapath& dp,
+                              const Schedule& sched,
+                              const RegAllocation& alloc) {
+  const int n = bound.graph.num_ops();
+  if (static_cast<int>(alloc.reg_of.size()) != n ||
+      static_cast<int>(alloc.home_of.size()) != n) {
+    return "allocation size mismatch";
+  }
+  const std::vector<Lifetime> lives = lifetimes(bound, dp, sched);
+  for (const Lifetime& life : lives) {
+    const auto sv = static_cast<std::size_t>(life.value);
+    if (alloc.home_of[sv] != life.home) {
+      return "value " + bound.graph.name(life.value) + " homed incorrectly";
+    }
+    const int reg = alloc.reg_of[sv];
+    if (reg < 0 ||
+        reg >= alloc.regs_used[static_cast<std::size_t>(life.home)]) {
+      return "value " + bound.graph.name(life.value) +
+             " has no register in its file";
+    }
+  }
+  // Pairwise interference: same file + same register => disjoint lives.
+  for (std::size_t i = 0; i < lives.size(); ++i) {
+    for (std::size_t j = i + 1; j < lives.size(); ++j) {
+      const Lifetime& a = lives[i];
+      const Lifetime& b = lives[j];
+      if (a.home != b.home ||
+          alloc.reg_of[static_cast<std::size_t>(a.value)] !=
+              alloc.reg_of[static_cast<std::size_t>(b.value)]) {
+        continue;
+      }
+      if (a.birth <= b.death && b.birth <= a.death) {
+        return "values " + bound.graph.name(a.value) + " and " +
+               bound.graph.name(b.value) + " share register r" +
+               std::to_string(alloc.reg_of[static_cast<std::size_t>(a.value)]) +
+               " while both live";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace cvb

@@ -1,0 +1,59 @@
+// Per-cluster register allocation for scheduled, bound DFGs.
+//
+// The paper binds *before* register allocation and assumes unbounded
+// register files (Section 2), predicting that spills will be rare
+// because clustering spreads values across local files. This module
+// closes the loop: a linear-scan allocator assigns each value a
+// physical register in its home cluster's file (moves allocate in the
+// destination cluster), using the same liveness model as
+// sched/reg_pressure.hpp. The resulting per-file register counts are
+// exactly the numbers a datapath designer needs to size the files —
+// and they equal the max-live pressure, since local lifetimes admit an
+// optimal interval coloring.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// A complete register assignment.
+struct RegAllocation {
+  /// Physical register index of each operation's result, within its
+  /// home cluster's file (dense from 0 per cluster).
+  std::vector<int> reg_of;
+  /// Home cluster of each value (moves -> destination cluster).
+  std::vector<ClusterId> home_of;
+  /// Registers used per cluster file.
+  std::vector<int> regs_used;
+
+  /// Largest register file across clusters.
+  [[nodiscard]] int worst_file() const {
+    int worst = 0;
+    for (const int n : regs_used) {
+      worst = std::max(worst, n);
+    }
+    return worst;
+  }
+};
+
+/// Allocates registers for `sched` by linear scan over value lifetimes.
+/// Never fails (files are sized as needed); the interesting output is
+/// how small the files stay.
+[[nodiscard]] RegAllocation allocate_registers(const BoundDfg& bound,
+                                               const Datapath& dp,
+                                               const Schedule& sched);
+
+/// Independent check that `alloc` is a valid assignment: every value
+/// has a register in its home file and no two simultaneously-live
+/// values of one file share a register. Empty string when valid.
+[[nodiscard]] std::string verify_allocation(const BoundDfg& bound,
+                                            const Datapath& dp,
+                                            const Schedule& sched,
+                                            const RegAllocation& alloc);
+
+}  // namespace cvb

@@ -1,0 +1,173 @@
+#include "sched/bb_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace cvb {
+
+namespace {
+
+/// Search state shared across the recursion.
+struct Search {
+  const BoundDfg* bound = nullptr;
+  const Datapath* dp = nullptr;
+  const LatencyTable* lat = nullptr;
+  std::vector<OpId> order;      // fixed topological assignment order
+  std::vector<int> tail;        // longest completion path from each op
+  std::vector<int> pool_of;     // resource pool index per op
+  std::vector<int> capacity;    // per pool
+  std::vector<int> dii;         // per pool
+  std::vector<std::vector<int>> issues;  // per pool per cycle
+  std::vector<int> start;
+  int best_latency = 0;
+  std::vector<int> best_start;
+  std::uint64_t nodes = 0;
+  std::uint64_t max_nodes = 0;
+  bool budget_exhausted = false;
+
+  [[nodiscard]] bool pool_fits(int pool, int t) const {
+    const auto& vec = issues[static_cast<std::size_t>(pool)];
+    const int d = dii[static_cast<std::size_t>(pool)];
+    // An issue at t occupies the unit for cycles [t, t+d). For every
+    // such cycle s, all issues whose occupancy covers s — i.e. issues
+    // in (s-d, s] — plus this candidate must fit the capacity. Ops
+    // assigned earlier in the search may sit later in time, so cycles
+    // after t matter too.
+    for (int s = t; s < t + d; ++s) {
+      int covering = 1;  // the candidate
+      const int lo = std::max(0, s - d + 1);
+      const int hi = std::min(s, static_cast<int>(vec.size()) - 1);
+      for (int u = lo; u <= hi; ++u) {
+        covering += vec[static_cast<std::size_t>(u)];
+      }
+      if (covering > capacity[static_cast<std::size_t>(pool)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void dfs(std::size_t index) {
+    if (budget_exhausted || ++nodes > max_nodes) {
+      budget_exhausted = true;
+      return;
+    }
+    if (index == order.size()) {
+      int latency = 0;
+      for (OpId v = 0; v < bound->graph.num_ops(); ++v) {
+        latency = std::max(latency, start[static_cast<std::size_t>(v)] +
+                                        lat_of(*lat, bound->graph.type(v)));
+      }
+      if (latency < best_latency) {
+        best_latency = latency;
+        best_start = start;
+      }
+      return;
+    }
+    const OpId v = order[index];
+    int earliest = 0;
+    for (const OpId p : bound->graph.preds(v)) {
+      earliest = std::max(earliest, start[static_cast<std::size_t>(p)] +
+                                        lat_of(*lat, bound->graph.type(p)));
+    }
+    const int pool = pool_of[static_cast<std::size_t>(v)];
+    // Deadline: starting at or beyond it cannot *strictly* beat the
+    // incumbent (the incumbent itself is already a valid answer).
+    const int deadline =
+        best_latency - tail[static_cast<std::size_t>(v)] - 1;
+    for (int t = earliest; t <= deadline && !budget_exhausted; ++t) {
+      if (!pool_fits(pool, t)) {
+        continue;
+      }
+      auto& vec = issues[static_cast<std::size_t>(pool)];
+      if (t >= static_cast<int>(vec.size())) {
+        vec.resize(static_cast<std::size_t>(t) + 1, 0);
+      }
+      ++vec[static_cast<std::size_t>(t)];
+      start[static_cast<std::size_t>(v)] = t;
+      dfs(index + 1);
+      --vec[static_cast<std::size_t>(t)];
+      start[static_cast<std::size_t>(v)] = -1;
+    }
+  }
+};
+
+}  // namespace
+
+Schedule optimal_schedule(const BoundDfg& bound, const Datapath& dp,
+                          const BbSchedulerLimits& limits) {
+  const int n = bound.graph.num_ops();
+  if (n > limits.max_ops) {
+    throw std::invalid_argument("optimal_schedule: graph has " +
+                                std::to_string(n) + " ops, limit " +
+                                std::to_string(limits.max_ops));
+  }
+  // Warm start: the list schedule is the incumbent (and the fallback
+  // answer for empty graphs).
+  Schedule incumbent = list_schedule(bound, dp);
+  if (n == 0) {
+    return incumbent;
+  }
+
+  Search search;
+  search.bound = &bound;
+  search.dp = &dp;
+  search.lat = &dp.latencies();
+  search.order = topological_order(bound.graph);
+  search.max_nodes = limits.max_nodes;
+
+  // Longest completion path (for pruning).
+  search.tail.assign(static_cast<std::size_t>(n), 0);
+  for (auto it = search.order.rbegin(); it != search.order.rend(); ++it) {
+    const OpId v = *it;
+    int longest = 0;
+    for (const OpId s : bound.graph.succs(v)) {
+      longest = std::max(longest, search.tail[static_cast<std::size_t>(s)]);
+    }
+    search.tail[static_cast<std::size_t>(v)] =
+        lat_of(dp.latencies(), bound.graph.type(v)) + longest;
+  }
+
+  // Pools: cluster FU pools then the bus (same layout as the list
+  // scheduler).
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
+      search.capacity.push_back(dp.fu_count(c, static_cast<FuType>(ti)));
+      search.dii.push_back(dp.dii(static_cast<FuType>(ti)));
+    }
+  }
+  search.capacity.push_back(dp.num_buses());
+  search.dii.push_back(dp.dii(FuType::kBus));
+  search.issues.assign(search.capacity.size(), {});
+  search.pool_of.assign(static_cast<std::size_t>(n), 0);
+  for (OpId v = 0; v < n; ++v) {
+    const FuType t = fu_type_of(bound.graph.type(v));
+    search.pool_of[static_cast<std::size_t>(v)] =
+        (t == FuType::kBus)
+            ? dp.num_clusters() * kNumClusterFuTypes
+            : bound.place[static_cast<std::size_t>(v)] * kNumClusterFuTypes +
+                  static_cast<int>(t);
+  }
+
+  search.start.assign(static_cast<std::size_t>(n), -1);
+  search.best_latency = incumbent.latency;
+  search.best_start = incumbent.start;
+  search.dfs(0);
+  if (search.budget_exhausted) {
+    throw std::runtime_error(
+        "optimal_schedule: node budget exhausted before proof of "
+        "optimality");
+  }
+
+  Schedule result;
+  result.start = search.best_start;
+  result.num_moves = bound.num_moves;
+  result.latency = schedule_latency(bound, result.start, dp.latencies());
+  return result;
+}
+
+}  // namespace cvb

@@ -1,0 +1,40 @@
+// Exact (optimal) resource-constrained scheduler for small bound DFGs,
+// by depth-first branch and bound over start times.
+//
+// Used to measure how close the production list scheduler gets to the
+// true optimum at the *schedule* level (the exhaustive binder already
+// covers the binding level): tests assert the list scheduler matches
+// the optimum on a corpus of small graphs, and the optimality bench
+// reports the gap distribution.
+//
+// Search: operations are assigned start times in a fixed topological
+// order; for each op every feasible start from its dependence-earliest
+// cycle up to the current incumbent's implied deadline is tried.
+// Pruning: (start + longest remaining path) >= incumbent. Complexity is
+// exponential; the node budget caps runaways and a std::invalid_argument
+// reports graphs that are too large.
+#pragma once
+
+#include <cstdint>
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// Search limits.
+struct BbSchedulerLimits {
+  int max_ops = 24;                     ///< reject larger graphs
+  std::uint64_t max_nodes = 20'000'000;  ///< search-tree node budget
+};
+
+/// Finds a minimum-latency schedule of `bound` on `dp`. Throws
+/// std::invalid_argument if the graph exceeds limits.max_ops, or
+/// std::runtime_error if the node budget is exhausted before the search
+/// completes (the incumbent would be unproven).
+[[nodiscard]] Schedule optimal_schedule(const BoundDfg& bound,
+                                        const Datapath& dp,
+                                        const BbSchedulerLimits& limits = {});
+
+}  // namespace cvb

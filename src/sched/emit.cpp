@@ -1,0 +1,128 @@
+#include "sched/emit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+
+namespace cvb {
+
+namespace {
+
+/// Virtual-register name of an operation's result.
+std::string reg(const Dfg& g, OpId v) { return "%" + g.name(v); }
+
+}  // namespace
+
+void emit_vliw_asm(std::ostream& out, const BoundDfg& bound,
+                   const Datapath& dp, const Schedule& sched) {
+  const Dfg& g = bound.graph;
+
+  // Ops per start cycle.
+  std::vector<std::vector<OpId>> by_cycle(
+      static_cast<std::size_t>(std::max(sched.latency, 0)));
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    const int start = sched.start[static_cast<std::size_t>(v)];
+    if (start < 0 || start >= sched.latency) {
+      throw std::logic_error("emit_vliw_asm: op " + g.name(v) +
+                             " has start cycle outside the schedule");
+    }
+    by_cycle[static_cast<std::size_t>(start)].push_back(v);
+  }
+
+  // Resource legality: count issues per pool per cycle window.
+  std::map<std::pair<ClusterId, FuType>, std::vector<int>> issues;
+
+  // Externals are numbered globally in (op, slot) order, so the same
+  // schedule always emits the same live-in names.
+  int next_livein = 0;
+  std::map<std::pair<OpId, int>, std::string> livein_names;
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    int slot = 0;
+    for (const OpId p : g.operands(v)) {
+      if (p == kNoOp) {
+        livein_names.emplace(std::make_pair(v, slot),
+                             "%in" + std::to_string(next_livein++));
+      }
+      ++slot;
+    }
+  }
+  const auto operand_names = [&](OpId v) {
+    std::vector<std::string> names;
+    int slot = 0;
+    for (const OpId p : g.operands(v)) {
+      names.push_back(p == kNoOp ? livein_names.at({v, slot}) : reg(g, p));
+      ++slot;
+    }
+    return names;
+  };
+
+  for (int cycle = 0; cycle < sched.latency; ++cycle) {
+    // Stable presentation: cluster-major, bus last.
+    std::vector<OpId>& ops = by_cycle[static_cast<std::size_t>(cycle)];
+    std::sort(ops.begin(), ops.end(), [&](OpId a, OpId b) {
+      const bool move_a = bound.is_move_op(a);
+      const bool move_b = bound.is_move_op(b);
+      const ClusterId ca =
+          move_a ? dp.num_clusters() : bound.place[static_cast<std::size_t>(a)];
+      const ClusterId cb =
+          move_b ? dp.num_clusters() : bound.place[static_cast<std::size_t>(b)];
+      return std::make_pair(ca, a) < std::make_pair(cb, b);
+    });
+
+    out << "cycle " << cycle << " :";
+    bool first = true;
+    for (const OpId v : ops) {
+      const FuType t = fu_type_of(g.type(v));
+      const ClusterId c = (t == FuType::kBus)
+                              ? kNoCluster
+                              : bound.place[static_cast<std::size_t>(v)];
+      auto& pool = issues[{c, t}];
+      if (cycle >= static_cast<int>(pool.size())) {
+        pool.resize(static_cast<std::size_t>(cycle) + 1, 0);
+      }
+      ++pool[static_cast<std::size_t>(cycle)];
+      int in_flight = 0;
+      for (int s = std::max(0, cycle - dp.dii(t) + 1); s <= cycle; ++s) {
+        if (s < static_cast<int>(pool.size())) {
+          in_flight += pool[static_cast<std::size_t>(s)];
+        }
+      }
+      const int capacity =
+          (t == FuType::kBus) ? dp.num_buses() : dp.fu_count(c, t);
+      if (in_flight > capacity) {
+        throw std::logic_error("emit_vliw_asm: " +
+                               std::string(fu_type_name(t)) +
+                               " pool oversubscribed at cycle " +
+                               std::to_string(cycle));
+      }
+
+      if (!first) {
+        out << " |";
+      }
+      first = false;
+      const std::vector<std::string> names = operand_names(v);
+      if (t == FuType::kBus) {
+        const int mi = v - bound.num_original_ops();
+        out << " bus { mov " << reg(g, v) << " <- "
+            << (names.empty() ? std::string("?") : names.front()) << " -> c"
+            << bound.move_dest[static_cast<std::size_t>(mi)] << " }";
+      } else {
+        out << " c" << c << " { " << op_type_name(g.type(v)) << ' '
+            << reg(g, v);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+          out << (i == 0 ? " <- " : ", ") << names[i];
+        }
+        out << " }";
+      }
+    }
+    if (first) {
+      out << " nop";
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace cvb

@@ -1,0 +1,25 @@
+// Symbolic VLIW assembly emission from a scheduled, bound DFG: one
+// instruction word per cycle, with one slot per cluster FU and per bus.
+// The output is symbolic (virtual registers named after producing
+// operations, live-ins named %in<k>) — register assignment is a later
+// compilation stage, consistent with the paper's early-binding flow.
+//
+//   cycle 0 : c0 { add %s1 <- %in0, %in1 } | c1 { add %s3 <- %in4, %in5 }
+//   cycle 2 : c0 { mul %p1 <- %s1, %s2 }   | bus { mov %t1 <- %p2 -> c0 }
+#pragma once
+
+#include <iosfwd>
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// Writes the symbolic VLIW program for `sched`. Throws
+/// std::logic_error if the schedule oversubscribes a resource pool
+/// (i.e. is not legal for the datapath).
+void emit_vliw_asm(std::ostream& out, const BoundDfg& bound,
+                   const Datapath& dp, const Schedule& sched);
+
+}  // namespace cvb

@@ -1,0 +1,123 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+
+namespace cvb {
+
+namespace {
+
+/// One display row: a unit label and the op occupying it each cycle.
+struct Row {
+  std::string label;
+  std::vector<OpId> cell;  // kNoOp when idle
+};
+
+}  // namespace
+
+void write_gantt(std::ostream& out, const BoundDfg& bound, const Datapath& dp,
+                 const Schedule& sched) {
+  const Dfg& g = bound.graph;
+  const int cycles = std::max(sched.latency, 1);
+
+  // Build rows: per cluster, per FU type, per instance; then buses.
+  std::vector<Row> rows;
+  // row lookup: pool key -> first row index of that pool.
+  std::map<std::pair<ClusterId, FuType>, std::pair<int, int>> pool_rows;
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
+      const FuType t = static_cast<FuType>(ti);
+      const int first = static_cast<int>(rows.size());
+      for (int unit = 0; unit < dp.fu_count(c, t); ++unit) {
+        rows.push_back(Row{"c" + std::to_string(c) + "." +
+                               std::string(fu_type_name(t)) +
+                               std::to_string(unit),
+                           std::vector<OpId>(static_cast<std::size_t>(cycles),
+                                             kNoOp)});
+      }
+      pool_rows[{c, t}] = {first, dp.fu_count(c, t)};
+    }
+  }
+  const int bus_first = static_cast<int>(rows.size());
+  for (int unit = 0; unit < dp.num_buses(); ++unit) {
+    rows.push_back(Row{"BUS" + std::to_string(unit),
+                       std::vector<OpId>(static_cast<std::size_t>(cycles),
+                                         kNoOp)});
+  }
+  pool_rows[{kNoCluster, FuType::kBus}] = {bus_first, dp.num_buses()};
+
+  // Place ops on instances: sort by start cycle, take the first unit of
+  // the pool that is free over the op's occupancy window (dii cycles).
+  std::vector<OpId> order(static_cast<std::size_t>(g.num_ops()));
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    return std::make_pair(sched.start[static_cast<std::size_t>(a)], a) <
+           std::make_pair(sched.start[static_cast<std::size_t>(b)], b);
+  });
+
+  for (const OpId v : order) {
+    const FuType t = fu_type_of(g.type(v));
+    const ClusterId c = (t == FuType::kBus)
+                            ? kNoCluster
+                            : bound.place[static_cast<std::size_t>(v)];
+    const auto [first, count] = pool_rows.at({c, t});
+    const int start = sched.start[static_cast<std::size_t>(v)];
+    const int occupy = dp.dii(t);  // cycles the unit is busy
+    bool placed = false;
+    for (int unit = 0; unit < count && !placed; ++unit) {
+      Row& row = rows[static_cast<std::size_t>(first + unit)];
+      bool free = true;
+      for (int k = 0; k < occupy && start + k < cycles; ++k) {
+        free = free && row.cell[static_cast<std::size_t>(start + k)] == kNoOp;
+      }
+      if (free) {
+        for (int k = 0; k < occupy && start + k < cycles; ++k) {
+          row.cell[static_cast<std::size_t>(start + k)] = v;
+        }
+        placed = true;
+      }
+    }
+    if (!placed) {
+      throw std::logic_error("write_gantt: schedule oversubscribes the " +
+                             std::string(fu_type_name(t)) + " pool at cycle " +
+                             std::to_string(start));
+    }
+  }
+
+  // Column width: longest op name, at least 3.
+  std::size_t width = 3;
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    width = std::max(width, g.name(v).size());
+  }
+  std::size_t label_width = 5;  // "cycle"
+  for (const Row& row : rows) {
+    label_width = std::max(label_width, row.label.size());
+  }
+
+  const auto pad = [&](const std::string& text, std::size_t w) {
+    return text + std::string(w - text.size(), ' ');
+  };
+
+  out << pad("cycle", label_width);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    out << " " << pad(std::to_string(cycle), width + 1);
+  }
+  out << '\n';
+  for (const Row& row : rows) {
+    out << pad(row.label, label_width);
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      const OpId v = row.cell[static_cast<std::size_t>(cycle)];
+      out << "|" << pad(v == kNoOp ? "" : g.name(v), width + 1);
+    }
+    out << "|\n";
+  }
+}
+
+}  // namespace cvb

@@ -1,0 +1,28 @@
+// ASCII Gantt rendering of schedules: one row per functional unit
+// (and per bus), one column per clock cycle. Used by the examples and
+// handy when debugging binder decisions.
+//
+//   cycle        0    1    2    3
+//   c0.ALU0    | s1 | s2 | p1 |    |
+//   c1.ALU0    | s3 | s4 |    |    |
+//   BUS0       |    |    | t1 |    |
+#pragma once
+
+#include <iosfwd>
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// Renders `sched` as an ASCII Gantt chart. Operations are assigned to
+/// concrete FU instances greedily (earliest-free unit of the right pool
+/// in instance order); this assignment is presentation-only — the
+/// schedule itself is instance-agnostic. Throws std::logic_error if the
+/// schedule is not legal for (bound, dp) (more ops in a window than the
+/// pool has units).
+void write_gantt(std::ostream& out, const BoundDfg& bound, const Datapath& dp,
+                 const Schedule& sched);
+
+}  // namespace cvb

@@ -1,0 +1,40 @@
+// Cluster- and bus-aware resource-constrained list scheduler.
+//
+// This is the scheduler the paper uses to *evaluate* bindings (Section
+// 3.2: "we use a list scheduling algorithm for quality estimation").
+// Given a bound DFG — regular operations placed on clusters, moves on
+// the bus — it produces a legal schedule respecting:
+//  * data dependencies (consumer starts after producer completes);
+//  * FU capacity: at most N(c,t) type-t operations of cluster c in any
+//    dii(t)-cycle issue window;
+//  * bus capacity: at most N(BUS) moves in any dii(BUS)-cycle window.
+//
+// Ready operations are ranked by (ALAP, mobility, -consumer count, id),
+// the same lexicographic priority the binder uses for its binding
+// order, computed on the *bound* graph.
+#pragma once
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// Scheduler accuracy knobs.
+struct ListSchedulerOptions {
+  /// Treat the bus as having unlimited capacity (moves still take
+  /// lat(move) cycles). This is the "fast approximate scheduler"
+  /// regime Desoli's PCC baseline uses inside its improvement loop;
+  /// the paper's own algorithms always schedule exactly.
+  bool unbounded_bus = false;
+};
+
+/// Schedules `bound` on `dp`. Always succeeds for a valid bound DFG
+/// (every cluster that has operations placed on it can execute them;
+/// build_bound_dfg guarantees this). Throws std::logic_error if the
+/// graph is malformed (cycle, or an op placed on an unsupported
+/// cluster).
+[[nodiscard]] Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
+                                     const ListSchedulerOptions& options = {});
+
+}  // namespace cvb

@@ -1,0 +1,46 @@
+#include "sched/quality.hpp"
+
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+std::strong_ordering operator<=>(const QualityU& a, const QualityU& b) {
+  if (const auto cmp = a.latency <=> b.latency; cmp != 0) {
+    return cmp;
+  }
+  // Equal latency implies equal tail length; compare elementwise from
+  // the last step downward (U_0 first).
+  const std::size_t len = std::min(a.tail_counts.size(), b.tail_counts.size());
+  for (std::size_t i = 0; i < len; ++i) {
+    if (const auto cmp = a.tail_counts[i] <=> b.tail_counts[i]; cmp != 0) {
+      return cmp;
+    }
+  }
+  return a.tail_counts.size() <=> b.tail_counts.size();
+}
+
+QualityU compute_quality_u(const BoundDfg& bound, const Datapath& dp,
+                           const Schedule& sched) {
+  QualityU q;
+  q.latency = sched.latency;
+  q.tail_counts.assign(static_cast<std::size_t>(sched.latency), 0);
+  const LatencyTable& lat = dp.latencies();
+  for (OpId v = 0; v < bound.graph.num_ops(); ++v) {
+    if (bound.is_move_op(v)) {
+      continue;
+    }
+    const int done = sched.start[static_cast<std::size_t>(v)] +
+                     lat_of(lat, bound.graph.type(v));
+    const int i = sched.latency - done;  // U_i index
+    if (i >= 0 && i < static_cast<int>(q.tail_counts.size())) {
+      ++q.tail_counts[static_cast<std::size_t>(i)];
+    }
+  }
+  return q;
+}
+
+QualityM compute_quality_m(const Schedule& sched) {
+  return QualityM{sched.latency, sched.num_moves};
+}
+
+}  // namespace cvb

@@ -1,0 +1,55 @@
+// Binding quality functions (paper Section 3.2, Figure 6).
+//
+// Q_U = (L, U_0, U_1, ...): schedule latency followed by the number of
+// *regular* (non-move) operations completing at step L, L-1, ... —
+// compared lexicographically, smaller is better. Q_U rewards bindings
+// that thin out the tail of the schedule even when L itself has not yet
+// improved, which lets the iterative improver make gradual progress.
+//
+// Q_M = (L, N_MV): latency then move count. Used as the second-phase
+// cost to shed redundant data transfers without regressing latency.
+#pragma once
+
+#include <compare>
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// The paper's Q_U vector. Lexicographic order; smaller is better.
+struct QualityU {
+  int latency = 0;
+  /// tail_counts[i] = number of regular operations whose completion
+  /// cycle is latency - i. Length == latency (i ranges over all steps),
+  /// so two QualityU values of equal latency always have equal-length
+  /// vectors.
+  std::vector<int> tail_counts;
+
+  friend std::strong_ordering operator<=>(const QualityU& a,
+                                          const QualityU& b);
+  friend bool operator==(const QualityU& a, const QualityU& b) = default;
+};
+
+/// The paper's Q_M vector (latency, number of moves).
+struct QualityM {
+  int latency = 0;
+  int num_moves = 0;
+
+  friend std::strong_ordering operator<=>(const QualityM&,
+                                          const QualityM&) = default;
+};
+
+/// Computes Q_U for a schedule of `bound` (move operations are excluded
+/// from the tail counts, per the paper: "U_i is the number of regular
+/// operations completed at step L-i").
+[[nodiscard]] QualityU compute_quality_u(const BoundDfg& bound,
+                                         const Datapath& dp,
+                                         const Schedule& sched);
+
+/// Computes Q_M for a schedule of `bound`.
+[[nodiscard]] QualityM compute_quality_m(const Schedule& sched);
+
+}  // namespace cvb

@@ -1,0 +1,59 @@
+#include "sched/reg_pressure.hpp"
+
+#include <algorithm>
+
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+RegPressure compute_reg_pressure(const BoundDfg& bound, const Datapath& dp,
+                                 const Schedule& sched) {
+  const Dfg& g = bound.graph;
+  const LatencyTable& lat = dp.latencies();
+
+  RegPressure result;
+  result.max_live.assign(static_cast<std::size_t>(dp.num_clusters()), 0);
+
+  // live[c][tau] counters; index dp.num_clusters() = centralized view.
+  const int horizon = sched.latency + 1;
+  std::vector<std::vector<int>> live(
+      static_cast<std::size_t>(dp.num_clusters()) + 1,
+      std::vector<int>(static_cast<std::size_t>(horizon), 0));
+
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    // Home register file of v's result.
+    ClusterId home;
+    if (bound.is_move_op(v)) {
+      home = bound.move_dest[static_cast<std::size_t>(
+          v - bound.num_original_ops())];
+    } else {
+      home = bound.place[static_cast<std::size_t>(v)];
+    }
+    const int birth =
+        sched.start[static_cast<std::size_t>(v)] + lat_of(lat, g.type(v));
+    int death = sched.latency;  // outputs stay live to the end
+    if (!g.succs(v).empty()) {
+      death = 0;
+      for (const OpId u : g.succs(v)) {
+        death = std::max(death, sched.start[static_cast<std::size_t>(u)]);
+      }
+    }
+    for (int tau = birth; tau <= death && tau < horizon; ++tau) {
+      ++live[static_cast<std::size_t>(home)][static_cast<std::size_t>(tau)];
+      ++live[static_cast<std::size_t>(dp.num_clusters())]
+            [static_cast<std::size_t>(tau)];
+    }
+  }
+
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    const auto& profile = live[static_cast<std::size_t>(c)];
+    result.max_live[static_cast<std::size_t>(c)] =
+        profile.empty() ? 0 : *std::max_element(profile.begin(), profile.end());
+  }
+  const auto& central = live[static_cast<std::size_t>(dp.num_clusters())];
+  result.centralized_max_live =
+      central.empty() ? 0 : *std::max_element(central.begin(), central.end());
+  return result;
+}
+
+}  // namespace cvb

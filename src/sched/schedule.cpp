@@ -1,0 +1,21 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cvb {
+
+int schedule_latency(const BoundDfg& bound, const std::vector<int>& start,
+                     const LatencyTable& lat) {
+  if (static_cast<int>(start.size()) != bound.graph.num_ops()) {
+    throw std::invalid_argument("schedule_latency: start size mismatch");
+  }
+  int latency = 0;
+  for (OpId v = 0; v < bound.graph.num_ops(); ++v) {
+    latency = std::max(latency, start[static_cast<std::size_t>(v)] +
+                                    lat_of(lat, bound.graph.type(v)));
+  }
+  return latency;
+}
+
+}  // namespace cvb

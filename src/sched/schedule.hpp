@@ -1,0 +1,38 @@
+// Schedule representation for bound DFGs.
+//
+// Cycle convention (see graph/analysis.hpp): starts are 0-based; an
+// operation starting at cycle s with latency l occupies issue slot s
+// and completes at the end of cycle s + l - 1; the schedule latency L
+// is max(s + l) over all operations — the number of clock cycles
+// required to complete the basic block, the paper's primary figure of
+// merit.
+#pragma once
+
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "graph/dfg.hpp"
+
+namespace cvb {
+
+/// A complete schedule of a bound DFG.
+struct Schedule {
+  /// Start cycle per operation of the bound graph (regular ops and
+  /// moves alike).
+  std::vector<int> start;
+
+  /// Schedule latency L in clock cycles.
+  int latency = 0;
+
+  /// Number of move operations in the bound graph (copied from
+  /// BoundDfg::num_moves for convenient L/M reporting).
+  int num_moves = 0;
+};
+
+/// Recomputes `latency` from starts and latencies (helper for code that
+/// edits a schedule).
+[[nodiscard]] int schedule_latency(const BoundDfg& bound,
+                                   const std::vector<int>& start,
+                                   const LatencyTable& lat);
+
+}  // namespace cvb

@@ -1,0 +1,97 @@
+#include "sched/verifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+std::string verify_schedule(const BoundDfg& bound, const Datapath& dp,
+                            const Schedule& sched) {
+  const Dfg& g = bound.graph;
+  const LatencyTable& lat = dp.latencies();
+  const int n = g.num_ops();
+
+  if (static_cast<int>(sched.start.size()) != n) {
+    return "schedule covers " + std::to_string(sched.start.size()) +
+           " ops, graph has " + std::to_string(n);
+  }
+  for (OpId v = 0; v < n; ++v) {
+    if (sched.start[static_cast<std::size_t>(v)] < 0) {
+      return "operation " + g.name(v) + " not scheduled";
+    }
+  }
+
+  // Dependencies.
+  for (OpId u = 0; u < n; ++u) {
+    const int done = sched.start[static_cast<std::size_t>(u)] +
+                     lat_of(lat, g.type(u));
+    for (const OpId v : g.succs(u)) {
+      if (sched.start[static_cast<std::size_t>(v)] < done) {
+        return "dependency violated: " + g.name(v) + " starts at cycle " +
+               std::to_string(sched.start[static_cast<std::size_t>(v)]) +
+               " before " + g.name(u) + " completes at " +
+               std::to_string(done);
+      }
+    }
+  }
+
+  // Resource windows: key = (cluster, fu type); bus uses cluster = -1.
+  std::map<std::pair<ClusterId, FuType>, std::vector<int>> issues;
+  for (OpId v = 0; v < n; ++v) {
+    const FuType t = fu_type_of(g.type(v));
+    const ClusterId c = (t == FuType::kBus)
+                            ? kNoCluster
+                            : bound.place[static_cast<std::size_t>(v)];
+    if (t != FuType::kBus) {
+      if (c < 0 || c >= dp.num_clusters()) {
+        return "operation " + g.name(v) + " has invalid placement " +
+               std::to_string(c);
+      }
+      if (dp.fu_count(c, t) == 0) {
+        return "operation " + g.name(v) + " placed on cluster " +
+               std::to_string(c) + " lacking a " +
+               std::string(fu_type_name(t));
+      }
+    }
+    auto& vec = issues[{c, t}];
+    const int s = sched.start[static_cast<std::size_t>(v)];
+    if (s >= static_cast<int>(vec.size())) {
+      vec.resize(static_cast<std::size_t>(s) + 1, 0);
+    }
+    ++vec[static_cast<std::size_t>(s)];
+  }
+  for (const auto& [key, vec] : issues) {
+    const auto [c, t] = key;
+    const int capacity =
+        (t == FuType::kBus) ? dp.num_buses() : dp.fu_count(c, t);
+    const int dii = dp.dii(t);
+    for (int cycle = 0; cycle < static_cast<int>(vec.size()); ++cycle) {
+      int in_flight = 0;
+      for (int s = std::max(0, cycle - dii + 1); s <= cycle; ++s) {
+        in_flight += vec[static_cast<std::size_t>(s)];
+      }
+      if (in_flight > capacity) {
+        return std::string(fu_type_name(t)) + " pool of cluster " +
+               std::to_string(c) + " oversubscribed at cycle " +
+               std::to_string(cycle) + ": " + std::to_string(in_flight) +
+               " in flight, capacity " + std::to_string(capacity);
+      }
+    }
+  }
+
+  const int actual_latency = schedule_latency(bound, sched.start, lat);
+  if (sched.latency != actual_latency) {
+    return "recorded latency " + std::to_string(sched.latency) +
+           " differs from actual " + std::to_string(actual_latency);
+  }
+  if (sched.num_moves != bound.num_moves) {
+    return "recorded move count " + std::to_string(sched.num_moves) +
+           " differs from bound graph's " + std::to_string(bound.num_moves);
+  }
+  return {};
+}
+
+}  // namespace cvb

@@ -1,0 +1,27 @@
+// Independent legality checker for schedules. Every schedule produced
+// in tests is passed through this verifier, so a scheduler bug cannot
+// silently inflate result quality.
+#pragma once
+
+#include <string>
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// Verifies `sched` against `bound` and `dp`:
+///  * every operation has a start cycle >= 0;
+///  * dependencies: start(v) >= start(u) + lat(u) for each edge (u,v);
+///  * FU capacity: per (cluster, FU type), at most N(c,t) issues in any
+///    dii(t)-cycle window;
+///  * bus capacity: at most N(BUS) move issues in any dii(BUS) window;
+///  * recorded latency matches the starts.
+/// Returns an empty string if legal, else a description of the first
+/// violation found.
+[[nodiscard]] std::string verify_schedule(const BoundDfg& bound,
+                                          const Datapath& dp,
+                                          const Schedule& sched);
+
+}  // namespace cvb

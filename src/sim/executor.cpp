@@ -1,0 +1,170 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/analysis.hpp"
+
+namespace cvb {
+
+namespace {
+
+/// Deterministic per-op coefficient for unary (constant) multiplies:
+/// FNV-1a of the name, folded to a small odd constant so products stay
+/// interesting without overflowing into indistinguishable values.
+std::int64_t coefficient_of(const std::string& name) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : name) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return static_cast<std::int64_t>(hash % 61) * 2 + 3;
+}
+
+std::int64_t apply(OpType type, const std::string& name,
+                   const std::vector<std::int64_t>& args) {
+  const std::int64_t a = args.empty() ? 0 : args[0];
+  const std::int64_t b = args.size() > 1 ? args[1] : 0;
+  // Wrap-around arithmetic via unsigned casts (well-defined).
+  const auto wrap = [](std::uint64_t x) { return static_cast<std::int64_t>(x); };
+  switch (type) {
+    case OpType::kAdd:
+      return wrap(static_cast<std::uint64_t>(a) +
+                  static_cast<std::uint64_t>(b));
+    case OpType::kSub:
+      return wrap(static_cast<std::uint64_t>(a) -
+                  static_cast<std::uint64_t>(b));
+    case OpType::kNeg:
+      return wrap(0ULL - static_cast<std::uint64_t>(a));
+    case OpType::kShift:
+      return wrap(static_cast<std::uint64_t>(a) << 1);
+    case OpType::kAnd:
+      return a & b;
+    case OpType::kOr:
+      return a | b;
+    case OpType::kXor:
+      return a ^ b;
+    case OpType::kCmp:
+      return a < b ? 1 : 0;
+    case OpType::kMul:
+    case OpType::kMac:
+      if (args.size() == 1) {  // coefficient multiply
+        return wrap(static_cast<std::uint64_t>(a) *
+                    static_cast<std::uint64_t>(coefficient_of(name)));
+      }
+      return wrap(static_cast<std::uint64_t>(a) *
+                  static_cast<std::uint64_t>(b));
+    case OpType::kMove:
+      return a;
+  }
+  return 0;
+}
+
+/// Evaluates ops of `g` in the given order. External operand values are
+/// drawn from `inputs`, indexed by a global (op, slot) counter that
+/// only advances over ops below `external_limit` — so the bound graph
+/// (whose moves have no externals and come last) consumes exactly the
+/// same input sequence as the original.
+std::vector<std::int64_t> evaluate(const Dfg& g,
+                                   const std::vector<OpId>& order,
+                                   const std::vector<std::int64_t>& inputs,
+                                   int external_limit) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("execute: need at least one input value");
+  }
+  // Pre-assign external operand values in (op id, slot) order so the
+  // evaluation order cannot change which input a slot receives.
+  std::vector<std::vector<std::int64_t>> external_values(
+      static_cast<std::size_t>(g.num_ops()));
+  std::size_t next_input = 0;
+  for (OpId v = 0; v < external_limit; ++v) {
+    for (const OpId u : g.operands(v)) {
+      if (u == kNoOp) {
+        external_values[static_cast<std::size_t>(v)].push_back(
+            inputs[next_input % inputs.size()]);
+        ++next_input;
+      }
+    }
+  }
+
+  std::vector<std::int64_t> result(static_cast<std::size_t>(g.num_ops()), 0);
+  std::vector<bool> computed(static_cast<std::size_t>(g.num_ops()), false);
+  for (const OpId v : order) {
+    if (g.operands(v).empty()) {
+      throw std::invalid_argument(
+          "execute: op " + g.name(v) +
+          " has no operand information (build the graph via DfgBuilder "
+          "or 'args' lines)");
+    }
+    std::vector<std::int64_t> args;
+    std::size_t external_slot = 0;
+    for (const OpId u : g.operands(v)) {
+      if (u == kNoOp) {
+        args.push_back(external_values[static_cast<std::size_t>(v)]
+                                      [external_slot++]);
+      } else {
+        if (!computed[static_cast<std::size_t>(u)]) {
+          throw std::logic_error("execute: op " + g.name(v) +
+                                 " reads " + g.name(u) +
+                                 " before it is computed");
+        }
+        args.push_back(result[static_cast<std::size_t>(u)]);
+      }
+    }
+    result[static_cast<std::size_t>(v)] = apply(g.type(v), g.name(v), args);
+    computed[static_cast<std::size_t>(v)] = true;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> execute_reference(
+    const Dfg& dfg, const std::vector<std::int64_t>& inputs) {
+  return evaluate(dfg, topological_order(dfg), inputs, dfg.num_ops());
+}
+
+std::vector<std::int64_t> execute_schedule(
+    const BoundDfg& bound, const Datapath& dp, const Schedule& sched,
+    const std::vector<std::int64_t>& inputs) {
+  const Dfg& g = bound.graph;
+  if (static_cast<int>(sched.start.size()) != g.num_ops()) {
+    throw std::invalid_argument("execute_schedule: schedule size mismatch");
+  }
+  // Fire order: scheduled start cycle (a legal schedule computes every
+  // operand strictly earlier; evaluate() re-checks).
+  std::vector<OpId> order(static_cast<std::size_t>(g.num_ops()));
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    return std::make_pair(sched.start[static_cast<std::size_t>(a)], a) <
+           std::make_pair(sched.start[static_cast<std::size_t>(b)], b);
+  });
+  std::vector<std::int64_t> all =
+      evaluate(g, order, inputs, bound.num_original_ops());
+  all.resize(static_cast<std::size_t>(bound.num_original_ops()));
+  (void)dp;
+  return all;
+}
+
+std::string check_semantics(const Dfg& original, const BoundDfg& bound,
+                            const Datapath& dp, const Schedule& sched,
+                            const std::vector<std::int64_t>& inputs) {
+  const std::vector<std::int64_t> reference =
+      execute_reference(original, inputs);
+  const std::vector<std::int64_t> scheduled =
+      execute_schedule(bound, dp, sched, inputs);
+  if (reference.size() != scheduled.size()) {
+    return "op count mismatch between original and bound graphs";
+  }
+  for (std::size_t v = 0; v < reference.size(); ++v) {
+    if (reference[v] != scheduled[v]) {
+      return "value mismatch at op " + original.name(static_cast<OpId>(v)) +
+             ": reference " + std::to_string(reference[v]) + ", scheduled " +
+             std::to_string(scheduled[v]);
+    }
+  }
+  return {};
+}
+
+}  // namespace cvb

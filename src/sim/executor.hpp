@@ -1,0 +1,57 @@
+// Functional execution of dataflow graphs and of scheduled, bound
+// code — the end-to-end semantic check that binding, move insertion and
+// scheduling preserve what the basic block *computes*, not just its
+// dependence structure.
+//
+// Semantics: 64-bit two's-complement integers (wrap-around), one value
+// per operation result. External operands (kNoOp entries in an op's
+// operand list) draw successive values from an input vector; unary
+// multiplies (coefficient muls) multiply by a per-op constant derived
+// deterministically from the op name, so reference and scheduled
+// executions agree on coefficients. Moves copy their operand.
+//
+// Requires complete operand information (graphs built via DfgBuilder /
+// add_operand or parsed from `.dfg` args lines). Graphs whose ops have
+// fewer operands than their natural arity are rejected, because their
+// semantics would be ambiguous.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// Reference execution: evaluates `dfg` in topological order. `inputs`
+/// supplies external operand values in (op id, slot) order; missing
+/// entries repeat cyclically (so a short vector is fine). Returns every
+/// operation's result value. Throws std::invalid_argument if some
+/// non-source operation has an empty operand list (incomplete operand
+/// info) or `inputs` is empty.
+[[nodiscard]] std::vector<std::int64_t> execute_reference(
+    const Dfg& dfg, const std::vector<std::int64_t>& inputs);
+
+/// Cycle-accurate execution of a scheduled bound DFG: operations fire
+/// at their scheduled cycles, reading operand values produced earlier
+/// (the schedule must be legal). Returns the result of every operation
+/// of the *original* graph (moves excluded), in original id order.
+[[nodiscard]] std::vector<std::int64_t> execute_schedule(
+    const BoundDfg& bound, const Datapath& dp, const Schedule& sched,
+    const std::vector<std::int64_t>& inputs);
+
+/// Convenience: runs both executions and returns an empty string if
+/// every original operation computes the same value, else a description
+/// of the first mismatch.
+[[nodiscard]] std::string check_semantics(const Dfg& original,
+                                          const BoundDfg& bound,
+                                          const Datapath& dp,
+                                          const Schedule& sched,
+                                          const std::vector<std::int64_t>&
+                                              inputs);
+
+}  // namespace cvb

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generator for the random-DAG
+// kernel generator and the property-based tests. We ship our own
+// SplitMix64 so random test inputs are reproducible across standard
+// library implementations (std::mt19937 streams are portable, but
+// distributions are not).
+#pragma once
+
+#include <cstdint>
+
+namespace cvb {
+
+/// SplitMix64 PRNG: tiny, fast, and fully reproducible across
+/// platforms. Not cryptographic; intended for workload generation only.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield equal streams everywhere.
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi;
+  /// throws std::invalid_argument otherwise.
+  int uniform_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+  bool chance(double p);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cvb

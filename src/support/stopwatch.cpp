@@ -1,0 +1,5 @@
+#include "support/stopwatch.hpp"
+
+// Header-only in practice; this TU exists so the target always has at
+// least one symbol per module and the header stays self-contained.
+namespace cvb {}

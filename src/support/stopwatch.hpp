@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used to report algorithm CPU times in the
+// benchmark harnesses (the paper's "msec"/"sec" columns).
+#pragma once
+
+#include <chrono>
+
+namespace cvb {
+
+/// Simple monotonic wall-clock stopwatch.
+///
+/// The paper reports per-algorithm runtimes (Table 1/2 "msec"/"sec"
+/// columns); benches use this class so every reported time is measured
+/// identically.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) timing from now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last restart(), in ms.
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since construction or the last restart(), in seconds.
+  [[nodiscard]] double elapsed_sec() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+};
+
+}  // namespace cvb

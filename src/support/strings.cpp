@@ -1,0 +1,79 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cvb {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> fields;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string_view::npos) {
+      fields.emplace_back(text.substr(begin));
+      return fields;
+    }
+    fields.emplace_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+int parse_nonnegative_int(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) {
+    throw std::invalid_argument("parse_nonnegative_int: empty input");
+  }
+  long value = 0;
+  for (const char ch : text) {
+    if (std::isdigit(static_cast<unsigned char>(ch)) == 0) {
+      throw std::invalid_argument("parse_nonnegative_int: non-digit in '" +
+                                  std::string(text) + "'");
+    }
+    value = value * 10 + (ch - '0');
+    if (value > 1'000'000'000L) {
+      throw std::invalid_argument("parse_nonnegative_int: overflow in '" +
+                                  std::string(text) + "'");
+    }
+  }
+  return static_cast<int>(value);
+}
+
+std::string format_sig(double value, int digits) {
+  if (value == 0.0) {
+    return "0";
+  }
+  const int order = static_cast<int>(std::floor(std::log10(std::fabs(value))));
+  const int decimals = std::max(0, digits - 1 - order);
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << value;
+  std::string text = out.str();
+  // Drop trailing zeros after a decimal point ("13.0" -> "13").
+  if (text.find('.') != std::string::npos) {
+    while (text.back() == '0') {
+      text.pop_back();
+    }
+    if (text.back() == '.') {
+      text.pop_back();
+    }
+  }
+  return text;
+}
+
+}  // namespace cvb

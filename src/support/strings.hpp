@@ -1,0 +1,26 @@
+// Small string helpers shared by the datapath-config parser and the
+// table printers. Kept deliberately minimal (no locale, ASCII only).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvb {
+
+/// Splits `text` on `sep`, keeping empty fields.
+/// split("a,,b", ',') == {"a", "", "b"}.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Parses a non-negative integer; throws std::invalid_argument on any
+/// non-digit content (including empty input and overflow).
+[[nodiscard]] int parse_nonnegative_int(std::string_view text);
+
+/// Formats a double with `digits` significant digits, the way the paper
+/// prints CPU times (e.g. "3.7", "13", "0.05").
+[[nodiscard]] std::string format_sig(double value, int digits);
+
+}  // namespace cvb

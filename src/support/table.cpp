@@ -1,0 +1,107 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace cvb {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TablePrinter: need at least one column");
+  }
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row has " +
+                                std::to_string(cells.size()) + " cells, want " +
+                                std::to_string(headers_.size()));
+  }
+  rows_.push_back(Row{false, std::move(cells)});
+  ++row_count_;
+}
+
+void TablePrinter::add_section(std::string title) {
+  rows_.push_back(Row{true, {std::move(title)}});
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.is_section) {
+      continue;
+    }
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) {
+        out << " | ";
+      }
+      out << cells[i];
+      out << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    out << '\n';
+  };
+  const auto print_rule = [&] {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      if (i != 0) {
+        out << "-+-";
+      }
+      out << std::string(widths[i], '-');
+    }
+    out << '\n';
+  };
+
+  print_cells(headers_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.is_section) {
+      print_rule();
+      out << row.cells.front() << '\n';
+      print_rule();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+}
+
+void TablePrinter::print_csv(std::ostream& out) const {
+  const auto cell = [](const std::string& text) {
+    if (text.find_first_of(",\"\n") == std::string::npos) {
+      return text;
+    }
+    std::string quoted = "\"";
+    for (const char c : text) {
+      if (c == '"') {
+        quoted += '"';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) {
+        out << ',';
+      }
+      out << cell(cells[i]);
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  for (const Row& row : rows_) {
+    print_row(row.cells);
+  }
+}
+
+}  // namespace cvb

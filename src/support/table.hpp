@@ -1,0 +1,53 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to
+// regenerate the paper's Tables 1 and 2 in a readable terminal form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cvb {
+
+/// Accumulates rows of string cells and prints them as an aligned ASCII
+/// table with a header row and column separators.
+///
+/// Example output:
+///   DATAPATH     | PCC  L/M | msec | ...
+///   -------------+----------+------+----
+///   [1,1|1,1]    | 16/15    |  3.7 | ...
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  /// Throws std::invalid_argument otherwise.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a full-width section row (benchmark sub-headers in Table 1,
+  /// e.g. "DCT-DIF: Nv=41, Ncc=2, Lcp=7").
+  void add_section(std::string title);
+
+  /// Renders the whole table.
+  void print(std::ostream& out) const;
+
+  /// Renders as RFC-4180-ish CSV: header row, then data rows; section
+  /// rows become a single quoted cell. Cells containing commas or
+  /// quotes are quoted with doubled inner quotes.
+  void print_csv(std::ostream& out) const;
+
+  /// Number of data rows added so far (sections excluded).
+  [[nodiscard]] std::size_t row_count() const { return row_count_; }
+
+ private:
+  struct Row {
+    bool is_section = false;
+    std::vector<std::string> cells;  // single cell when is_section
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  std::size_t row_count_ = 0;
+};
+
+}  // namespace cvb

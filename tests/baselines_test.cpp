@@ -1,0 +1,132 @@
+// Unit tests for the Section-4 related-work baselines: the
+// Leupers-style simulated annealing binder and the Capitanio-style
+// min-cut partitioner.
+#include <gtest/gtest.h>
+
+#include "baselines/annealing.hpp"
+#include "baselines/mincut.hpp"
+#include "bind/binding.hpp"
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "sched/verifier.hpp"
+
+namespace cvb {
+namespace {
+
+// ------------------------------------------------------------- annealing
+
+TEST(Annealing, ProducesValidVerifiedResult) {
+  const Dfg g = benchmark_by_name("ARF").dfg;
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  AnnealingInfo info;
+  const BindResult r = annealing_binding(g, dp, {}, &info);
+  EXPECT_EQ(check_binding(g, r.binding, dp), "");
+  EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "");
+  EXPECT_GT(info.moves_tried, 0);
+  EXPECT_GT(info.moves_accepted, 0);
+}
+
+TEST(Annealing, DeterministicPerSeed) {
+  const Dfg g = make_fir(10);
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  AnnealingParams params;
+  params.seed = 99;
+  const BindResult a = annealing_binding(g, dp, params);
+  const BindResult b = annealing_binding(g, dp, params);
+  EXPECT_EQ(a.binding, b.binding);
+}
+
+TEST(Annealing, BeatsItsRandomStartOnStructuredGraphs) {
+  // Two independent chains: random bindings scatter them (many moves);
+  // the anneal must find something clearly better than the serial
+  // latency of a chain pair on one ALU.
+  DfgBuilder bld;
+  for (int c = 0; c < 2; ++c) {
+    Value acc = bld.add(bld.input(), bld.input());
+    for (int i = 0; i < 5; ++i) {
+      acc = bld.add(acc, bld.input());
+    }
+  }
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult r = annealing_binding(g, dp);
+  EXPECT_LE(r.schedule.latency, 8);  // optimum 6; generous margin
+}
+
+TEST(Annealing, RespectsTargetSets) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input());
+  (void)bld.mul(x, bld.input());
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[2,0|1,1]");
+  const BindResult r = annealing_binding(g, dp);
+  EXPECT_EQ(r.binding[1], 1);  // only cluster with a multiplier
+}
+
+TEST(Annealing, RejectsEmptyAndInfeasible) {
+  const Datapath dp = parse_datapath("[1,1]");
+  EXPECT_THROW((void)annealing_binding(Dfg{}, dp), std::invalid_argument);
+  DfgBuilder bld;
+  (void)bld.mul(bld.input(), bld.input());
+  const Dfg g = std::move(bld).take();
+  EXPECT_THROW((void)annealing_binding(g, parse_datapath("[1,0]")),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- mincut
+
+TEST(MinCut, HomogeneityCheck) {
+  EXPECT_TRUE(is_homogeneous(parse_datapath("[1,1|1,1]")));
+  EXPECT_TRUE(is_homogeneous(parse_datapath("[2,1|2,1|2,1]")));
+  EXPECT_FALSE(is_homogeneous(parse_datapath("[2,1|1,1]")));
+}
+
+TEST(MinCut, RejectsHeterogeneousDatapath) {
+  EXPECT_THROW((void)mincut_binding(make_fir(6), parse_datapath("[2,1|1,1]")),
+               std::invalid_argument);
+}
+
+TEST(MinCut, ProducesValidBalancedResult) {
+  const Dfg g = benchmark_by_name("DCT-DIT").dfg;
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  MinCutInfo info;
+  const BindResult r = mincut_binding(g, dp, {}, &info);
+  EXPECT_EQ(check_binding(g, r.binding, dp), "");
+  EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "");
+  EXPECT_LE(info.final_cut, info.initial_cut);
+
+  int on0 = 0;
+  for (const ClusterId c : r.binding) {
+    on0 += (c == 0) ? 1 : 0;
+  }
+  // Balance within the default 15% (+ rounding slack).
+  EXPECT_NEAR(on0, g.num_ops() / 2, g.num_ops() * 0.2 + 1);
+}
+
+TEST(MinCut, SplitsIndependentComponentsWithZeroCut) {
+  const Dfg g = benchmark_by_name("DCT-DIF").dfg;  // two components
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  MinCutInfo info;
+  (void)mincut_binding(g, dp, {}, &info);
+  EXPECT_EQ(info.final_cut, 0);
+}
+
+TEST(MinCut, CutNeverBelowMinimumForConnectedGraphs) {
+  const Dfg g = make_fir(12);  // connected chain: any 2-way split cuts >= 1
+  MinCutInfo info;
+  (void)mincut_binding(g, parse_datapath("[1,1|1,1]"), {}, &info);
+  EXPECT_GE(info.final_cut, 1);
+}
+
+TEST(MinCut, WorksAcrossClusterCounts) {
+  const Dfg g = benchmark_by_name("FFT").dfg;
+  for (const std::string spec : {"[2,2]", "[1,1|1,1]", "[1,1|1,1|1,1]"}) {
+    const Datapath dp = parse_datapath(spec);
+    const BindResult r = mincut_binding(g, dp);
+    EXPECT_EQ(check_binding(g, r.binding, dp), "") << spec;
+  }
+}
+
+}  // namespace
+}  // namespace cvb

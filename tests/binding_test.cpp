@@ -1,0 +1,73 @@
+// Unit tests for the Binding type, validation and cut counting.
+#include <gtest/gtest.h>
+
+#include "bind/binding.hpp"
+#include "graph/builder.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+namespace {
+
+Dfg chain3() {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  const Value y = b.mul(x, b.input(), "y");
+  (void)b.add(y, b.input(), "z");
+  return std::move(b).take();
+}
+
+TEST(Binding, ValidBindingPasses) {
+  const Dfg g = chain3();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  EXPECT_EQ(check_binding(g, {0, 1, 0}, dp), "");
+  EXPECT_NO_THROW(require_valid_binding(g, {1, 1, 1}, dp));
+}
+
+TEST(Binding, SizeMismatchReported) {
+  const Dfg g = chain3();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  EXPECT_NE(check_binding(g, {0, 1}, dp), "");
+  EXPECT_THROW(require_valid_binding(g, {0, 1}, dp), std::logic_error);
+}
+
+TEST(Binding, OutOfRangeClusterReported) {
+  const Dfg g = chain3();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  EXPECT_NE(check_binding(g, {0, 2, 0}, dp), "");
+  EXPECT_NE(check_binding(g, {0, -1, 0}, dp), "");
+}
+
+TEST(Binding, UnsupportedFuTypeReported) {
+  const Dfg g = chain3();
+  // Cluster 1 has no multiplier; op "y" is a mul.
+  const Datapath dp = parse_datapath("[1,1|1,0]");
+  EXPECT_EQ(check_binding(g, {1, 0, 1}, dp), "");
+  const std::string err = check_binding(g, {0, 1, 0}, dp);
+  EXPECT_NE(err.find("MULT"), std::string::npos);
+}
+
+TEST(Binding, MoveOpsRejectedInOriginalGraph) {
+  Dfg g;
+  g.add_op(OpType::kMove);
+  const Datapath dp = parse_datapath("[1,1]");
+  EXPECT_NE(check_binding(g, {0}, dp), "");
+}
+
+TEST(Binding, CutEdgeCounting) {
+  const Dfg g = chain3();  // edges x->y, y->z
+  EXPECT_EQ(count_cut_edges(g, {0, 0, 0}), 0);
+  EXPECT_EQ(count_cut_edges(g, {0, 1, 1}), 1);
+  EXPECT_EQ(count_cut_edges(g, {0, 1, 0}), 2);
+}
+
+TEST(Binding, CutEdgesCountFanoutPerEdge) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input());
+  (void)b.add(x, b.input());
+  (void)b.add(x, b.input());
+  const Dfg g = std::move(b).take();
+  EXPECT_EQ(count_cut_edges(g, {0, 1, 1}), 2);  // both consumers remote
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,133 @@
+// Unit tests for bound-DFG construction: move insertion, per-destination
+// transfer sharing, and the Figure 1 example from the paper.
+#include <gtest/gtest.h>
+
+#include "bind/bound_dfg.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(BoundDfg, NoMovesWhenCoLocated) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input());
+  (void)b.mul(x, b.input());
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+
+  const BoundDfg bound = build_bound_dfg(g, {0, 0}, dp);
+  EXPECT_EQ(bound.num_moves, 0);
+  EXPECT_EQ(bound.graph.num_ops(), 2);
+  EXPECT_EQ(bound.graph.num_edges(), 1);
+  EXPECT_EQ(bound.num_original_ops(), 2);
+}
+
+TEST(BoundDfg, Figure1Example) {
+  // Paper Figure 1: v1 -> v2 -> v3 with v2 and v3 on different clusters
+  // requires a transfer t1 between v2 and v3.
+  DfgBuilder b;
+  const Value v1 = b.add(b.input(), b.input(), "v1");
+  const Value v2 = b.add(v1, b.input(), "v2");
+  (void)b.add(v2, b.input(), "v3");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+
+  const BoundDfg bound = build_bound_dfg(g, {0, 0, 1}, dp);
+  ASSERT_EQ(bound.num_moves, 1);
+  const OpId t1 = 3;
+  EXPECT_EQ(bound.graph.type(t1), OpType::kMove);
+  EXPECT_TRUE(bound.graph.has_edge(1, t1));   // v2 -> t1
+  EXPECT_TRUE(bound.graph.has_edge(t1, 2));   // t1 -> v3
+  EXPECT_FALSE(bound.graph.has_edge(1, 2));   // direct edge rewritten
+  EXPECT_EQ(bound.place[static_cast<std::size_t>(t1)], kNoCluster);
+  EXPECT_TRUE(bound.is_move_op(t1));
+  EXPECT_FALSE(bound.is_move_op(1));
+  EXPECT_EQ(bound.move_producer[0], 1);
+  EXPECT_EQ(bound.move_dest[0], 1);
+}
+
+TEST(BoundDfg, TransferSharedPerDestinationCluster) {
+  // One producer feeding two consumers in the same remote cluster needs
+  // a single transfer.
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  (void)b.add(x, b.input(), "c1");
+  (void)b.add(x, b.input(), "c2");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+
+  const BoundDfg bound = build_bound_dfg(g, {0, 1, 1}, dp);
+  EXPECT_EQ(bound.num_moves, 1);
+  const OpId t = 3;
+  EXPECT_TRUE(bound.graph.has_edge(t, 1));
+  EXPECT_TRUE(bound.graph.has_edge(t, 2));
+}
+
+TEST(BoundDfg, SeparateTransfersPerDistinctDestination) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  (void)b.add(x, b.input(), "c1");
+  (void)b.add(x, b.input(), "c2");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1|1,1]");
+
+  const BoundDfg bound = build_bound_dfg(g, {0, 1, 2}, dp);
+  EXPECT_EQ(bound.num_moves, 2);
+}
+
+TEST(BoundDfg, MixedLocalAndRemoteConsumers) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  (void)b.add(x, b.input(), "local");
+  (void)b.add(x, b.input(), "remote");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+
+  const BoundDfg bound = build_bound_dfg(g, {0, 0, 1}, dp);
+  EXPECT_EQ(bound.num_moves, 1);
+  EXPECT_TRUE(bound.graph.has_edge(0, 1));  // local edge kept
+  EXPECT_FALSE(bound.graph.has_edge(0, 2));
+}
+
+TEST(BoundDfg, BoundGraphStaysAcyclic) {
+  DfgBuilder b;
+  Value acc = b.add(b.input(), b.input());
+  for (int i = 0; i < 10; ++i) {
+    acc = b.mul(acc, b.input());
+  }
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  Binding alternating;
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    alternating.push_back(v % 2);
+  }
+  const BoundDfg bound = build_bound_dfg(g, alternating, dp);
+  EXPECT_NO_THROW(bound.graph.validate());
+  EXPECT_EQ(bound.num_moves, 10);  // every chain edge crosses
+}
+
+TEST(BoundDfg, CriticalPathGrowsByMoveLatency) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input());
+  (void)b.add(x, b.input());
+  const Dfg g = std::move(b).take();
+
+  const Datapath dp = parse_datapath("[1,1|1,1]", 2, /*move_latency=*/2);
+  const BoundDfg split = build_bound_dfg(g, {0, 1}, dp);
+  EXPECT_EQ(critical_path_length(split.graph, dp.latencies()), 4);  // 1+2+1
+  const BoundDfg together = build_bound_dfg(g, {0, 0}, dp);
+  EXPECT_EQ(critical_path_length(together.graph, dp.latencies()), 2);
+}
+
+TEST(BoundDfg, InvalidBindingRejected) {
+  DfgBuilder b;
+  (void)b.add(b.input(), b.input());
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1]");
+  EXPECT_THROW((void)build_bound_dfg(g, {3}, dp), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,86 @@
+// Unit tests for the fluent DfgBuilder.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(Builder, InputsCreateNoOps) {
+  DfgBuilder b;
+  (void)b.input();
+  (void)b.input();
+  EXPECT_EQ(b.graph().num_ops(), 0);
+}
+
+TEST(Builder, BinaryOpOnInputsHasNoEdges) {
+  DfgBuilder b;
+  (void)b.add(b.input(), b.input());
+  const Dfg g = std::move(b).take();
+  EXPECT_EQ(g.num_ops(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.preds(0).empty());
+}
+
+TEST(Builder, DependenciesBecomeEdges) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  const Value y = b.mul(x, b.input(), "y");
+  (void)b.sub(x, y, "z");
+  const Dfg g = std::move(b).take();
+  EXPECT_EQ(g.num_ops(), 3);
+  EXPECT_EQ(g.num_edges(), 3);  // x->y, x->z, y->z
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Builder, SquaringCreatesSingleEdge) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input());
+  (void)b.mul(x, x);  // x * x
+  const Dfg g = std::move(b).take();
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Builder, UnaryOpsWork) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input());
+  (void)b.neg(x);
+  (void)b.cmul(x);
+  const Dfg g = std::move(b).take();
+  EXPECT_EQ(g.num_ops(), 3);
+  EXPECT_EQ(g.type(1), OpType::kNeg);
+  EXPECT_EQ(g.type(2), OpType::kMul);
+  EXPECT_EQ(g.preds(1).size(), 1u);
+}
+
+TEST(Builder, NamesPropagate) {
+  DfgBuilder b;
+  (void)b.add(b.input(), b.input(), "sum");
+  EXPECT_EQ(b.graph().name(0), "sum");
+}
+
+TEST(Builder, BuiltGraphsAreAcyclicByConstruction) {
+  DfgBuilder b;
+  Value acc = b.add(b.input(), b.input());
+  for (int i = 0; i < 20; ++i) {
+    acc = b.mul(acc, b.input());
+  }
+  const Dfg g = std::move(b).take();
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(critical_path_length(g, unit_latencies()), 21);
+}
+
+TEST(Builder, Op2MixedInputAndValue) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input());
+  (void)b.op2(OpType::kXor, x, b.input());
+  const Dfg g = std::move(b).take();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.type(1), OpType::kXor);
+}
+
+}  // namespace
+}  // namespace cvb

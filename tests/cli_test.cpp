@@ -1,0 +1,214 @@
+// Unit tests for the cvbind command-line driver.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+
+namespace cvb {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, HelpPrintsUsage) {
+  const CliRun r = run({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage: cvbind"), std::string::npos);
+}
+
+TEST(Cli, ListKernelsShowsSuite) {
+  const CliRun r = run({"--list-kernels"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("EWF"), std::string::npos);
+  EXPECT_NE(r.out.find("DCT-DIT-2"), std::string::npos);
+}
+
+TEST(Cli, DefaultSummaryRun) {
+  const CliRun r = run({"ARF"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("ARF on [1,1|1,1]"), std::string::npos);
+  EXPECT_NE(r.out.find("L="), std::string::npos);
+  EXPECT_NE(r.out.find("lower bound"), std::string::npos);
+}
+
+TEST(Cli, AllAlgorithmsRun) {
+  for (const std::string algorithm :
+       {"b-iter", "b-init", "pcc", "sa", "mincut"}) {
+    const CliRun r = run({"FFT", "--algorithm", algorithm});
+    EXPECT_EQ(r.code, 0) << algorithm << ": " << r.err;
+    EXPECT_NE(r.out.find(algorithm), std::string::npos);
+  }
+}
+
+TEST(Cli, ExhaustiveOnTinyInput) {
+  // Exhaustive on a real benchmark would explode; use a tiny .dfg file.
+  const std::string path = "cli_test_tiny.dfg";
+  {
+    std::ofstream file(path);
+    file << "dfg tiny\nop 0 add a\nop 1 add b\nop 2 mul c\n"
+            "args 0 in in\nargs 1 in in\nargs 2 0 1\n";
+  }
+  const CliRun r = run({path, "--algorithm", "exhaustive"});
+  std::remove(path.c_str());
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("tiny"), std::string::npos);
+}
+
+TEST(Cli, MultipleOutputs) {
+  const CliRun r =
+      run({"ARF", "--output", "summary,report,gantt,asm,pressure"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("binding report"), std::string::npos);
+  EXPECT_NE(r.out.find("cycle"), std::string::npos);
+  EXPECT_NE(r.out.find("cycle 0 :"), std::string::npos);
+  EXPECT_NE(r.out.find("register pressure"), std::string::npos);
+}
+
+TEST(Cli, RegallocOutput) {
+  const CliRun r = run({"EWF", "--output", "regalloc"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("register files:"), std::string::npos);
+  EXPECT_NE(r.out.find("worst"), std::string::npos);
+}
+
+TEST(Cli, DotAndDfgOutputs) {
+  const CliRun r = run({"FFT", "--output", "dot,dfg"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("digraph"), std::string::npos);
+  EXPECT_NE(r.out.find("dfg FFT"), std::string::npos);
+}
+
+TEST(Cli, DatapathAndBusOptionsApply) {
+  const CliRun r = run({"FFT", "--datapath", "[2,1|2,1]", "--buses", "1",
+                        "--move-latency", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("[2,1|2,1]"), std::string::npos);
+  EXPECT_NE(r.out.find("1 buses"), std::string::npos);
+  EXPECT_NE(r.out.find("lat(move)=2"), std::string::npos);
+}
+
+TEST(Cli, ErrorsAreReported) {
+  EXPECT_EQ(run({}).code, 1);
+  EXPECT_EQ(run({"--bogus"}).code, 1);
+  EXPECT_EQ(run({"NoSuchKernel"}).code, 1);
+  EXPECT_EQ(run({"ARF", "--algorithm", "quantum"}).code, 1);
+  EXPECT_EQ(run({"ARF", "--output", "hologram"}).code, 1);
+  EXPECT_EQ(run({"missing_file.dfg"}).code, 1);
+  EXPECT_EQ(run({"ARF", "--datapath"}).code, 1);  // missing value
+  EXPECT_EQ(run({"ARF", "extra_positional"}).code, 1);
+}
+
+TEST(Cli, MincutRejectsHeterogeneousConfigGracefully) {
+  const CliRun r =
+      run({"ARF", "--algorithm", "mincut", "--datapath", "[2,1|1,1]"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("homogeneous"), std::string::npos);
+}
+
+TEST(Cli, MachineFileOptionApplies) {
+  const std::string path = "cli_test_machine.machine";
+  {
+    std::ofstream file(path);
+    file << "machine testdsp\nclusters [2,1|1,1]\nbuses 1\n"
+            "latency mov 2\n";
+  }
+  const CliRun r = run({"ARF", "--machine", path});
+  std::remove(path.c_str());
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("[2,1|1,1]"), std::string::npos);
+  EXPECT_NE(r.out.find("1 buses"), std::string::npos);
+  EXPECT_NE(r.out.find("lat(move)=2"), std::string::npos);
+}
+
+TEST(Cli, SemanticCheckOutput) {
+  const CliRun r = run({"DCT-LEE", "--output", "check"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("semantic check"), std::string::npos);
+}
+
+TEST(Cli, MissingMachineFileFails) {
+  EXPECT_EQ(run({"ARF", "--machine", "no_such.machine"}).code, 1);
+}
+
+TEST(Cli, EffortPresetsAccepted) {
+  for (const std::string effort : {"fast", "balanced", "max"}) {
+    const CliRun r = run({"ARF", "--effort", effort});
+    EXPECT_EQ(r.code, 0) << effort << ": " << r.err;
+  }
+  EXPECT_EQ(run({"ARF", "--effort", "heroic"}).code, 1);
+}
+
+TEST(Cli, SaSeedIsHonored) {
+  const CliRun a = run({"EWF", "--algorithm", "sa", "--seed", "7"});
+  const CliRun b = run({"EWF", "--algorithm", "sa", "--seed", "7"});
+  EXPECT_EQ(a.out, b.out);  // deterministic per seed
+}
+
+}  // namespace
+}  // namespace cvb
+// -------------------------------------------------------------- cvpipe
+
+namespace cvb {
+namespace {
+
+CliRun run_pipe(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_pipe_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(PipeCli, HelpAndListLoops) {
+  EXPECT_EQ(run_pipe({"--help"}).code, 0);
+  const CliRun r = run_pipe({"--list-loops"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("biquad"), std::string::npos);
+}
+
+TEST(PipeCli, PipelinesEveryLoop) {
+  for (const std::string loop :
+       {"dot", "dot4", "biquad", "cmac", "lattice2", "lattice3"}) {
+    const CliRun r = run_pipe({loop});
+    EXPECT_EQ(r.code, 0) << loop << ": " << r.err;
+    EXPECT_NE(r.out.find("II="), std::string::npos) << loop;
+    EXPECT_NE(r.out.find("slot 0:"), std::string::npos) << loop;
+  }
+}
+
+TEST(PipeCli, ExpansionSummary) {
+  const CliRun r = run_pipe({"biquad", "--iterations", "8"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("8 iterations:"), std::string::npos);
+  EXPECT_NE(r.out.find("cycles pipelined"), std::string::npos);
+}
+
+TEST(PipeCli, OptionsApply) {
+  const CliRun r = run_pipe({"cmac", "--datapath", "[1,1|1,1]", "--buses",
+                             "1", "--move-latency", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("[1,1|1,1]"), std::string::npos);
+  EXPECT_NE(r.out.find("1 buses"), std::string::npos);
+}
+
+TEST(PipeCli, ErrorsRejected) {
+  EXPECT_EQ(run_pipe({}).code, 1);
+  EXPECT_EQ(run_pipe({"nosuchloop"}).code, 1);
+  EXPECT_EQ(run_pipe({"dot", "--bogus"}).code, 1);
+  EXPECT_EQ(run_pipe({"dot", "--buses"}).code, 1);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,114 @@
+// Unit tests for the driver: the L_PR / direction sweep, multi-start
+// B-ITER seeding, and the BindResult contract.
+#include <gtest/gtest.h>
+
+#include "bind/driver.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "sched/verifier.hpp"
+
+namespace cvb {
+namespace {
+
+Dfg small_kernel() { return make_fir(10); }
+
+TEST(Driver, InitialBestReturnsConsistentResult) {
+  const Dfg g = small_kernel();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult r = bind_initial_best(g, dp);
+  EXPECT_EQ(check_binding(g, r.binding, dp), "");
+  EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "");
+  EXPECT_EQ(r.bound.num_moves, r.schedule.num_moves);
+  EXPECT_GE(r.init_ms, 0.0);
+  EXPECT_EQ(r.iter_ms, 0.0);
+}
+
+TEST(Driver, FullNeverWorseThanInitialBest) {
+  const Dfg g = small_kernel();
+  for (const std::string spec : {"[1,1|1,1]", "[2,1|1,1]", "[1,1|1,1|1,1]"}) {
+    const Datapath dp = parse_datapath(spec);
+    const BindResult init = bind_initial_best(g, dp);
+    const BindResult full = bind_full(g, dp);
+    EXPECT_LE(full.schedule.latency, init.schedule.latency) << spec;
+  }
+}
+
+TEST(Driver, SweepNeverWorseThanSingleRun) {
+  // The driver's best-of-sweep must be at least as good as any fixed
+  // parameter choice it covers.
+  const Dfg g = benchmark_by_name("FFT").dfg;
+  const Datapath dp = parse_datapath("[2,1|2,1]");
+
+  DriverParams fixed;
+  fixed.run_iterative = false;
+  fixed.max_stretch = 0;
+  fixed.try_reverse = false;
+  const BindResult single = bind_initial_best(g, dp, fixed);
+
+  DriverParams sweep;
+  sweep.run_iterative = false;
+  const BindResult best = bind_initial_best(g, dp, sweep);
+  EXPECT_LE(best.schedule.latency, single.schedule.latency);
+}
+
+TEST(Driver, WinningParamsAreReported) {
+  const Dfg g = small_kernel();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult r = bind_initial_best(g, dp);
+  const int lcp = critical_path_length(g, dp.latencies());
+  EXPECT_GE(r.best_init.profile_latency, lcp);
+  EXPECT_LE(r.best_init.profile_latency, lcp + DriverParams{}.max_stretch);
+}
+
+TEST(Driver, IterativeDisabledMatchesInitial) {
+  const Dfg g = small_kernel();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  DriverParams params;
+  params.run_iterative = false;
+  const BindResult full = bind_full(g, dp, params);
+  const BindResult init = bind_initial_best(g, dp, params);
+  EXPECT_EQ(full.binding, init.binding);
+  EXPECT_EQ(full.iter_ms, 0.0);
+}
+
+TEST(Driver, MoreStartsNeverHurt) {
+  const Dfg g = benchmark_by_name("DCT-DIF").dfg;
+  const Datapath dp = parse_datapath("[2,1|1,1]");
+  DriverParams one;
+  one.iter_starts = 1;
+  DriverParams six;
+  six.iter_starts = 6;
+  const BindResult r1 = bind_full(g, dp, one);
+  const BindResult r6 = bind_full(g, dp, six);
+  EXPECT_LE(r6.schedule.latency, r1.schedule.latency);
+}
+
+TEST(Driver, RejectsEmptyGraph) {
+  const Datapath dp = parse_datapath("[1,1]");
+  EXPECT_THROW((void)bind_initial_best(Dfg{}, dp), std::invalid_argument);
+  EXPECT_THROW((void)bind_full(Dfg{}, dp), std::invalid_argument);
+}
+
+TEST(Driver, EvaluateBindingPackagesFields) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input());
+  (void)bld.add(x, bld.input());
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult r = evaluate_binding(g, dp, {0, 1});
+  EXPECT_EQ(r.binding, (Binding{0, 1}));
+  EXPECT_EQ(r.bound.num_moves, 1);
+  EXPECT_EQ(r.schedule.latency, 3);
+}
+
+TEST(Driver, IterStatsAccumulateAcrossStarts) {
+  const Dfg g = benchmark_by_name("ARF").dfg;
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult r = bind_full(g, dp);
+  EXPECT_GT(r.iter_stats.candidates_evaluated, 0);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,137 @@
+// Edge-case suite: heterogeneous extremes (FU-specialized clusters
+// that force every value across the bus), degenerate datapaths, effort
+// presets, and other corners the main suites don't reach.
+#include <gtest/gtest.h>
+
+#include "bind/bound_dfg.hpp"
+#include "bind/driver.hpp"
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+#include "sim/executor.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(EdgeCases, FuSpecializedClustersForceTraffic) {
+  // Cluster 0 has only ALUs, cluster 1 only multipliers: every
+  // mul->add or add->mul dependence must cross the bus. The binder has
+  // no placement freedom, but everything downstream must still work.
+  for (const std::string name : {"ARF", "FFT", "DCT-DIT"}) {
+    const Dfg g = benchmark_by_name(name).dfg;
+    const Datapath dp = parse_datapath("[3,0|0,3]");
+    const BindResult r = bind_full(g, dp);
+    EXPECT_EQ(check_binding(g, r.binding, dp), "") << name;
+    EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "") << name;
+    EXPECT_GT(r.schedule.num_moves, 0) << name;
+    // Every op is pinned: ALU ops on 0, muls on 1.
+    for (OpId v = 0; v < g.num_ops(); ++v) {
+      EXPECT_EQ(r.binding[static_cast<std::size_t>(v)],
+                fu_type_of(g.type(v)) == FuType::kMult ? 1 : 0)
+          << name;
+    }
+    // And semantics still hold through all that traffic.
+    EXPECT_EQ(check_semantics(g, r.bound, dp, r.schedule,
+                              {1, 2, 3, 4, 5, 6, 7, 8}),
+              "")
+        << name;
+  }
+}
+
+TEST(EdgeCases, PccHandlesFuSpecializedClusters) {
+  const Dfg g = benchmark_by_name("ARF").dfg;
+  const Datapath dp = parse_datapath("[3,0|0,3]");
+  const BindResult r = pcc_binding(g, dp);
+  EXPECT_EQ(check_binding(g, r.binding, dp), "");
+  EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "");
+}
+
+TEST(EdgeCases, SingleOpGraph) {
+  DfgBuilder b;
+  (void)b.add(b.input(), b.input());
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult r = bind_full(g, dp);
+  EXPECT_EQ(r.schedule.latency, 1);
+  EXPECT_EQ(r.schedule.num_moves, 0);
+}
+
+TEST(EdgeCases, ManyClustersFewOps) {
+  // More clusters than operations: no crash, no pointless scattering.
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input());
+  (void)b.mul(x, b.input());
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1|1,1|1,1|1,1|1,1]");
+  const BindResult r = bind_full(g, dp);
+  EXPECT_EQ(r.schedule.latency, 2);
+  EXPECT_EQ(r.schedule.num_moves, 0);
+}
+
+TEST(EdgeCases, WideBusNarrowClusters) {
+  const Dfg g = benchmark_by_name("DCT-DIF").dfg;
+  const Datapath dp = parse_datapath("[1,1|1,1]", /*num_buses=*/16);
+  const BindResult r = bind_full(g, dp);
+  EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "");
+}
+
+TEST(EdgeCases, LongMoveLatency) {
+  const Dfg g = benchmark_by_name("FFT").dfg;
+  const Datapath dp = parse_datapath("[2,1|2,1]", 2, /*move_latency=*/5);
+  const BindResult r = bind_full(g, dp);
+  EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "");
+  // With transfers this expensive, a near-single-cluster solution
+  // should keep moves rare.
+  EXPECT_LE(r.schedule.num_moves, 4);
+}
+
+TEST(EdgeCases, EffortPresetsAreOrdered) {
+  const Dfg g = benchmark_by_name("DCT-DIT").dfg;
+  const Datapath dp = parse_datapath("[2,1|2,1|1,1]");
+  const BindResult fast =
+      bind_full(g, dp, driver_params_for(BindEffort::kFast));
+  const BindResult balanced =
+      bind_full(g, dp, driver_params_for(BindEffort::kBalanced));
+  const BindResult max =
+      bind_full(g, dp, driver_params_for(BindEffort::kMax));
+  EXPECT_LE(balanced.schedule.latency, fast.schedule.latency);
+  EXPECT_LE(max.schedule.latency, balanced.schedule.latency);
+  EXPECT_EQ(fast.iter_ms, 0.0);  // kFast skips B-ITER entirely
+}
+
+TEST(EdgeCases, EffortPresetFieldsMatchDocs) {
+  const DriverParams fast = driver_params_for(BindEffort::kFast);
+  EXPECT_FALSE(fast.run_iterative);
+  const DriverParams max = driver_params_for(BindEffort::kMax);
+  EXPECT_TRUE(max.run_iterative);
+  EXPECT_GT(max.iter_starts, DriverParams{}.iter_starts);
+  EXPECT_GT(max.max_stretch, DriverParams{}.max_stretch);
+}
+
+TEST(EdgeCases, ZeroAluClusterRejectsAluOps) {
+  DfgBuilder b;
+  (void)b.add(b.input(), b.input());
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[0,2]");
+  EXPECT_THROW((void)bind_full(g, dp), std::invalid_argument);
+}
+
+TEST(EdgeCases, DisconnectedSingletonsSpreadCleanly) {
+  // 12 isolated adds on 3 clusters: perfect spread, zero moves,
+  // latency = ceil(12 / 3 ALUs).
+  Dfg g;
+  DfgBuilder b;
+  for (int i = 0; i < 12; ++i) {
+    (void)b.add(b.input(), b.input());
+  }
+  g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1|1,1]");
+  const BindResult r = bind_full(g, dp);
+  EXPECT_EQ(r.schedule.num_moves, 0);
+  EXPECT_EQ(r.schedule.latency, 4);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,147 @@
+// Unit tests for the operand-list model and the symbolic VLIW emitter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bind/bound_dfg.hpp"
+#include "graph/builder.hpp"
+#include "machine/parser.hpp"
+#include "sched/emit.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace cvb {
+namespace {
+
+// --------------------------------------------------------- operand model
+
+TEST(Operands, BuilderRecordsSlotsInOrder) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input(), "x");
+  (void)bld.sub(x, bld.input(), "y");
+  const Dfg g = std::move(bld).take();
+  ASSERT_EQ(g.operands(0).size(), 2u);
+  EXPECT_EQ(g.operands(0)[0], kNoOp);
+  EXPECT_EQ(g.operands(0)[1], kNoOp);
+  ASSERT_EQ(g.operands(1).size(), 2u);
+  EXPECT_EQ(g.operands(1)[0], 0);
+  EXPECT_EQ(g.operands(1)[1], kNoOp);
+}
+
+TEST(Operands, SquaringKeepsBothSlotsOneEdge) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input(), "x");
+  (void)bld.mul(x, x, "x2");
+  const Dfg g = std::move(bld).take();
+  EXPECT_EQ(g.num_edges(), 1);
+  ASSERT_EQ(g.operands(1).size(), 2u);
+  EXPECT_EQ(g.operands(1)[0], 0);
+  EXPECT_EQ(g.operands(1)[1], 0);
+}
+
+TEST(Operands, AddEdgeSyncsOperands) {
+  Dfg g;
+  const OpId a = g.add_op(OpType::kAdd);
+  const OpId b = g.add_op(OpType::kAdd);
+  g.add_edge(a, b);
+  ASSERT_EQ(g.operands(b).size(), 1u);
+  EXPECT_EQ(g.operands(b)[0], a);
+}
+
+TEST(Operands, BoundDfgRewritesRemoteOperandsThroughMove) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input(), "x");
+  (void)bld.sub(x, bld.input(), "y");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BoundDfg bound = build_bound_dfg(g, {0, 1}, dp);
+  // y's first operand is now the move; the live-in slot survives.
+  ASSERT_EQ(bound.graph.operands(1).size(), 2u);
+  EXPECT_EQ(bound.graph.operands(1)[0], 2);  // the inserted move
+  EXPECT_EQ(bound.graph.operands(1)[1], kNoOp);
+  // the move reads the original producer
+  ASSERT_EQ(bound.graph.operands(2).size(), 1u);
+  EXPECT_EQ(bound.graph.operands(2)[0], 0);
+}
+
+// ---------------------------------------------------------------- emitter
+
+TEST(Emit, EmitsOneLinePerCycleWithSlots) {
+  DfgBuilder bld;
+  const Value s1 = bld.add(bld.input(), bld.input(), "s1");
+  const Value s2 = bld.add(bld.input(), bld.input(), "s2");
+  (void)bld.mul(s1, s2, "p");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[2,1]");
+  const BoundDfg bound = build_bound_dfg(g, {0, 0, 0}, dp);
+  const Schedule s = list_schedule(bound, dp);
+
+  std::ostringstream out;
+  emit_vliw_asm(out, bound, dp, s);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("cycle 0 :"), std::string::npos);
+  EXPECT_NE(text.find("add %s1 <- %in0, %in1"), std::string::npos);
+  EXPECT_NE(text.find("mul %p <- %s1, %s2"), std::string::npos);
+}
+
+TEST(Emit, MovesShowSourceAndDestination) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input(), "x");
+  (void)bld.add(x, bld.input(), "y");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BoundDfg bound = build_bound_dfg(g, {0, 1}, dp);
+  const Schedule s = list_schedule(bound, dp);
+
+  std::ostringstream out;
+  emit_vliw_asm(out, bound, dp, s);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("bus { mov %t1 <- %x -> c1 }"), std::string::npos);
+  EXPECT_NE(text.find("add %y <- %t1"), std::string::npos);
+}
+
+TEST(Emit, SquaredOperandEmitsTwice) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input(), "x");
+  (void)bld.mul(x, x, "x2");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1]");
+  const BoundDfg bound = build_bound_dfg(g, {0, 0}, dp);
+  const Schedule s = list_schedule(bound, dp);
+  std::ostringstream out;
+  emit_vliw_asm(out, bound, dp, s);
+  EXPECT_NE(out.str().find("mul %x2 <- %x, %x"), std::string::npos);
+}
+
+TEST(Emit, IdleCyclesPrintNop) {
+  // A chain through a move leaves cluster FUs idle at the move cycle,
+  // but the bus is busy, so no nop there; instead force a real gap with
+  // a 3-cycle mul.
+  DfgBuilder bld;
+  const Value x = bld.mul(bld.input(), bld.input(), "x");
+  (void)bld.add(x, bld.input(), "y");
+  const Dfg g = std::move(bld).take();
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kMul)] = 3;
+  std::array<int, kNumFuTypes> dii{1, 1, 1};
+  const Datapath dp({Cluster{{1, 1}}}, 1, lat, dii);
+  const BoundDfg bound = build_bound_dfg(g, {0, 0}, dp);
+  const Schedule s = list_schedule(bound, dp);
+  std::ostringstream out;
+  emit_vliw_asm(out, bound, dp, s);
+  EXPECT_NE(out.str().find("nop"), std::string::npos);
+}
+
+TEST(Emit, RejectsCorruptSchedule) {
+  DfgBuilder bld;
+  (void)bld.add(bld.input(), bld.input());
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1]");
+  const BoundDfg bound = build_bound_dfg(g, {0}, dp);
+  Schedule s = list_schedule(bound, dp);
+  s.start[0] = 7;  // outside the recorded latency
+  std::ostringstream out;
+  EXPECT_THROW(emit_vliw_asm(out, bound, dp, s), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,99 @@
+// Unit tests for the first-order energy model.
+#include <gtest/gtest.h>
+
+#include "bind/bound_dfg.hpp"
+#include "bind/driver.hpp"
+#include "explore/energy.hpp"
+#include "explore/explore.hpp"
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(Energy, ItemizesFuBusAndRf) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  (void)b.mul(x, b.input(), "y");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+
+  // Co-located: one add + one mul, no bus energy.
+  const EnergyEstimate local =
+      estimate_energy(build_bound_dfg(g, {0, 0}, dp), dp);
+  EXPECT_DOUBLE_EQ(local.fu, 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(local.bus, 0.0);
+  // 6-port files: penalty factor 1 + 0.25*3 = 1.75; 2 ops x 3 accesses.
+  EXPECT_DOUBLE_EQ(local.rf, 6 * 0.5 * 1.75);
+
+  // Split: same FU energy, plus one transfer and its two RF accesses.
+  const EnergyEstimate split =
+      estimate_energy(build_bound_dfg(g, {0, 1}, dp), dp);
+  EXPECT_DOUBLE_EQ(split.fu, local.fu);
+  EXPECT_DOUBLE_EQ(split.bus, 2.0);
+  EXPECT_GT(split.rf, local.rf);
+  EXPECT_GT(split.total(), local.total());
+}
+
+TEST(Energy, PortPenaltyFavorsClustering) {
+  // Same kernel, same binding work: a centralized 6-FU machine pays
+  // more RF energy per access than three 2-FU clusters, and for kernels
+  // with modest transfer needs the clustered total wins.
+  const Dfg g = benchmark_by_name("DCT-DIF").dfg;  // 2 components
+  const Datapath central = parse_datapath("[3,3]");
+  const Datapath clustered = parse_datapath("[1,1|1,1|1,1]");
+  const BindResult rc = bind_full(g, central);
+  const BindResult rk = bind_full(g, clustered);
+  const double e_central = estimate_energy(rc.bound, central).total();
+  const double e_clustered = estimate_energy(rk.bound, clustered).total();
+  EXPECT_LT(e_clustered, e_central);
+}
+
+TEST(Energy, MoreMovesMoreBusEnergy) {
+  DfgBuilder b;
+  Value acc = b.add(b.input(), b.input());
+  for (int i = 0; i < 7; ++i) {
+    acc = b.add(acc, b.input());
+  }
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  Binding alternating;
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    alternating.push_back(v % 2);
+  }
+  const EnergyEstimate bad =
+      estimate_energy(build_bound_dfg(g, alternating, dp), dp);
+  const EnergyEstimate good =
+      estimate_energy(build_bound_dfg(g, Binding(8, 0), dp), dp);
+  EXPECT_GT(bad.bus, good.bus);
+  EXPECT_DOUBLE_EQ(good.bus, 0.0);
+}
+
+TEST(Energy, CustomModelCoefficientsApply) {
+  DfgBuilder b;
+  (void)b.mul(b.input(), b.input());
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1]");
+  EnergyModel model;
+  model.e_mult_op = 10.0;
+  model.e_rf_access = 0.0;
+  const EnergyEstimate e =
+      estimate_energy(build_bound_dfg(g, {0}, dp), dp, model);
+  EXPECT_DOUBLE_EQ(e.total(), 10.0);
+}
+
+TEST(Energy, DsePointsCarryEnergy) {
+  const Dfg g = make_fir(6);
+  DseConstraints cons;
+  cons.max_total_fus = 4;
+  cons.max_clusters = 2;
+  DriverParams cheap;
+  cheap.run_iterative = false;
+  for (const DsePoint& p : explore_design_space(g, cons, cheap)) {
+    EXPECT_GT(p.energy, 0.0) << p.datapath.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace cvb

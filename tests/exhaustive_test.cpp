@@ -1,0 +1,130 @@
+// Unit tests for the exhaustive reference binder, plus optimality
+// cross-checks: on tiny DFGs the heuristics must come close to (and the
+// full algorithm usually match) the enumerated optimum.
+#include <gtest/gtest.h>
+
+#include "bind/driver.hpp"
+#include "bind/exhaustive.hpp"
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "sched/verifier.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(Exhaustive, SpaceSizeIsProductOfTargetSets) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input());
+  (void)bld.mul(x, bld.input());
+  (void)bld.add(x, bld.input());
+  const Dfg g = std::move(bld).take();
+  EXPECT_EQ(binding_space_size(g, parse_datapath("[1,1|1,1]")), 8u);
+  EXPECT_EQ(binding_space_size(g, parse_datapath("[1,0|1,1]")), 4u);
+  EXPECT_EQ(binding_space_size(g, parse_datapath("[1,0]")), 0u);
+}
+
+TEST(Exhaustive, FindsKnownOptimum) {
+  // Two independent 3-chains on [1,1|1,1]: optimal is one chain per
+  // cluster, latency 3, zero moves.
+  DfgBuilder bld;
+  for (int c = 0; c < 2; ++c) {
+    Value acc = bld.add(bld.input(), bld.input());
+    acc = bld.add(acc, bld.input());
+    (void)bld.add(acc, bld.input());
+  }
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult best = exhaustive_binding(g, dp);
+  EXPECT_EQ(best.schedule.latency, 3);
+  EXPECT_EQ(best.schedule.num_moves, 0);
+  EXPECT_EQ(verify_schedule(best.bound, dp, best.schedule), "");
+}
+
+TEST(Exhaustive, PrefersFewerMovesAmongEqualLatency) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input());
+  (void)bld.add(x, bld.input());
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult best = exhaustive_binding(g, dp);
+  EXPECT_EQ(best.schedule.latency, 2);
+  EXPECT_EQ(best.schedule.num_moves, 0);
+}
+
+TEST(Exhaustive, RespectsLimit) {
+  const Dfg g = make_fir(12);  // 23 ops, 2^23 bindings
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  EXPECT_THROW((void)exhaustive_binding(g, dp, 1000), std::invalid_argument);
+}
+
+TEST(Exhaustive, RejectsEmptyAndInfeasible) {
+  const Datapath dp = parse_datapath("[1,1]");
+  EXPECT_THROW((void)exhaustive_binding(Dfg{}, dp), std::invalid_argument);
+  DfgBuilder bld;
+  (void)bld.mul(bld.input(), bld.input());
+  const Dfg g = std::move(bld).take();
+  EXPECT_THROW((void)exhaustive_binding(g, parse_datapath("[1,0]")),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- optimality cross-checks
+
+struct TinyCase {
+  std::string name;
+  int taps;          // FIR size (keeps the space enumerable)
+  std::string spec;  // datapath
+};
+
+class HeuristicVsOptimal : public ::testing::TestWithParam<TinyCase> {};
+
+TEST_P(HeuristicVsOptimal, FullAlgorithmMatchesOrNearsOptimum) {
+  const Dfg g = make_fir(GetParam().taps);
+  const Datapath dp = parse_datapath(GetParam().spec);
+  const BindResult optimal = exhaustive_binding(g, dp);
+  const BindResult ours = bind_full(g, dp);
+  EXPECT_GE(ours.schedule.latency, optimal.schedule.latency);
+  // The paper reports B-ITER reaching provably optimal solutions on
+  // small cases; allow at most one cycle of slack.
+  EXPECT_LE(ours.schedule.latency, optimal.schedule.latency + 1)
+      << GetParam().name;
+}
+
+TEST_P(HeuristicVsOptimal, InitialBinderWithinTwoCyclesOfOptimum) {
+  const Dfg g = make_fir(GetParam().taps);
+  const Datapath dp = parse_datapath(GetParam().spec);
+  const BindResult optimal = exhaustive_binding(g, dp);
+  const BindResult init = bind_initial_best(g, dp);
+  EXPECT_LE(init.schedule.latency, optimal.schedule.latency + 2)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TinyFirs, HeuristicVsOptimal,
+    ::testing::Values(TinyCase{"fir4_sym", 4, "[1,1|1,1]"},
+                      TinyCase{"fir6_sym", 6, "[1,1|1,1]"},
+                      TinyCase{"fir8_sym", 8, "[1,1|1,1]"},
+                      TinyCase{"fir6_asym", 6, "[2,1|1,1]"},
+                      TinyCase{"fir5_three", 5, "[1,1|1,1|1,1]"}),
+    [](const ::testing::TestParamInfo<TinyCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ExhaustiveCross, RandomTinyDagsFullAlgorithmNearOptimal) {
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomDagParams params;
+    params.num_ops = 9;
+    params.num_layers = 3;
+    const Dfg g = make_random_layered(params, rng);
+    const Datapath dp = parse_datapath("[1,1|1,1]");
+    const BindResult optimal = exhaustive_binding(g, dp);
+    const BindResult ours = bind_full(g, dp);
+    EXPECT_GE(ours.schedule.latency, optimal.schedule.latency);
+    EXPECT_LE(ours.schedule.latency, optimal.schedule.latency + 1)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cvb

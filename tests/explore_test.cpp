@@ -1,0 +1,152 @@
+// Unit tests for the design-space exploration module.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "explore/explore.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(Enumerate, SmallBudgetByHand) {
+  // Budget 2 FUs, up to 2 clusters, canonical order: the possible
+  // cluster shapes are (a,m) with a+m in {1,2} per cluster.
+  DseConstraints cons;
+  cons.max_total_fus = 2;
+  cons.max_clusters = 2;
+  const std::vector<Datapath> all = enumerate_datapaths(cons);
+  std::set<std::string> specs;
+  for (const Datapath& dp : all) {
+    EXPECT_TRUE(specs.insert(dp.to_string()).second)
+        << "duplicate " << dp.to_string();
+  }
+  // Single clusters: [1,0] [0,1] [2,0] [1,1] [0,2]  (5)
+  // Two clusters from 1-FU clusters: [1,0|1,0] [1,0|0,1] [0,1|0,1] (3)
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_TRUE(specs.contains("[1,1]"));
+  EXPECT_TRUE(specs.contains("[1,0|0,1]"));
+  EXPECT_FALSE(specs.contains("[0,1|1,0]"));  // canonical form only
+}
+
+TEST(Enumerate, RespectsAllConstraints) {
+  DseConstraints cons;
+  cons.max_total_fus = 6;
+  cons.min_clusters = 2;
+  cons.max_clusters = 3;
+  cons.max_fus_per_cluster = 2;
+  for (const Datapath& dp : enumerate_datapaths(cons)) {
+    EXPECT_GE(dp.num_clusters(), 2);
+    EXPECT_LE(dp.num_clusters(), 3);
+    int total = 0;
+    for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+      const int fus =
+          dp.fu_count(c, FuType::kAlu) + dp.fu_count(c, FuType::kMult);
+      EXPECT_GE(fus, 1);
+      EXPECT_LE(fus, 2);
+      total += fus;
+    }
+    EXPECT_LE(total, 6);
+  }
+}
+
+TEST(Enumerate, RejectsBadConstraints) {
+  DseConstraints cons;
+  cons.max_total_fus = 0;
+  EXPECT_THROW((void)enumerate_datapaths(cons), std::invalid_argument);
+  cons = {};
+  cons.min_clusters = 3;
+  cons.max_clusters = 2;
+  EXPECT_THROW((void)enumerate_datapaths(cons), std::invalid_argument);
+}
+
+TEST(MaxRfPorts, ThreePerFu) {
+  EXPECT_EQ(max_rf_ports(parse_datapath("[3,3]")), 18);
+  EXPECT_EQ(max_rf_ports(parse_datapath("[2,1|1,1]")), 9);
+  EXPECT_EQ(max_rf_ports(parse_datapath("[1,1|1,1|1,1]")), 6);
+}
+
+TEST(Explore, SkipsInfeasibleDatapaths) {
+  // The kernel uses muls, so ALU-only datapaths must be skipped.
+  const Dfg g = make_fir(4);
+  DseConstraints cons;
+  cons.max_total_fus = 2;
+  cons.max_clusters = 1;
+  DriverParams cheap;
+  cheap.run_iterative = false;
+  const std::vector<DsePoint> points = explore_design_space(g, cons, cheap);
+  for (const DsePoint& p : points) {
+    EXPECT_GE(p.datapath.total_fu_count(FuType::kMult), 1)
+        << p.datapath.to_string();
+  }
+  EXPECT_FALSE(points.empty());
+}
+
+TEST(Explore, PointsCarryConsistentMetrics) {
+  const Dfg g = make_fir(6);
+  DseConstraints cons;
+  cons.max_total_fus = 4;
+  cons.max_clusters = 2;
+  DriverParams cheap;
+  cheap.run_iterative = false;
+  for (const DsePoint& p : explore_design_space(g, cons, cheap)) {
+    EXPECT_GE(p.latency, p.lower_bound);
+    EXPECT_EQ(p.max_rf_ports, max_rf_ports(p.datapath));
+    EXPECT_GE(p.moves, 0);
+    EXPECT_GT(p.total_fus, 0);
+  }
+}
+
+TEST(Pareto, RemovesDominatedPoints) {
+  const Datapath dp = parse_datapath("[1,1]");
+  std::vector<DsePoint> points;
+  DsePoint a{dp};
+  a.latency = 10;
+  a.max_rf_ports = 6;
+  a.moves = 0;
+  DsePoint b{dp};
+  b.latency = 12;
+  b.max_rf_ports = 6;
+  b.moves = 2;  // dominated by a
+  DsePoint c{dp};
+  c.latency = 8;
+  c.max_rf_ports = 12;
+  c.moves = 0;  // tradeoff vs a
+  points = {a, b, c};
+  const std::vector<DsePoint> front = pareto_front(points);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0].latency, 8);
+  EXPECT_EQ(front[1].latency, 10);
+}
+
+TEST(Pareto, DropsDuplicateObjectives) {
+  const Datapath dp = parse_datapath("[1,1]");
+  DsePoint a{dp};
+  a.latency = 5;
+  a.max_rf_ports = 6;
+  DsePoint b = a;
+  const std::vector<DsePoint> front = pareto_front({a, b});
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(Explore, EndToEndParetoOnRealKernel) {
+  const Dfg g = benchmark_by_name("ARF").dfg;
+  DseConstraints cons;
+  cons.max_total_fus = 4;
+  cons.max_clusters = 2;
+  DriverParams cheap;
+  cheap.run_iterative = false;
+  const std::vector<DsePoint> points = explore_design_space(g, cons, cheap);
+  const std::vector<DsePoint> front = pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  EXPECT_LE(front.size(), points.size());
+  // Front sorted by latency; ports must strictly improve as latency
+  // degrades (otherwise the slower point would be dominated).
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].latency, front[i - 1].latency);
+  }
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,92 @@
+// Unit tests for the extended (non-paper) kernels.
+#include <gtest/gtest.h>
+
+#include "bind/driver.hpp"
+#include "graph/analysis.hpp"
+#include "graph/components.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "sched/verifier.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(MatMul, OpCountsFollowFormula) {
+  for (const int n : {1, 2, 3, 4}) {
+    const Dfg g = make_matmul(n);
+    EXPECT_EQ(g.count_fu_type(FuType::kMult), n * n * n) << n;
+    EXPECT_EQ(g.count_fu_type(FuType::kAlu), n * n * (n - 1)) << n;
+    EXPECT_NO_THROW(g.validate());
+  }
+}
+
+TEST(MatMul, DepthIsMulPlusLogTree) {
+  // depth = 1 (mul) + ceil(log2 n) reduction levels.
+  EXPECT_EQ(critical_path_length(make_matmul(2), unit_latencies()), 2);
+  EXPECT_EQ(critical_path_length(make_matmul(4), unit_latencies()), 3);
+}
+
+TEST(MatMul, DotProductsAreIndependentComponents) {
+  EXPECT_EQ(num_components(make_matmul(2)), 4);
+  EXPECT_EQ(num_components(make_matmul(3)), 9);
+}
+
+TEST(MatMul, RejectsBadSize) {
+  EXPECT_THROW((void)make_matmul(0), std::invalid_argument);
+}
+
+TEST(Horner, IsStrictlySerial) {
+  const Dfg g = make_horner(6);
+  // degree muls + degree adds, chained: depth == num_ops.
+  EXPECT_EQ(critical_path_length(g, unit_latencies()), g.num_ops());
+  EXPECT_EQ(num_components(g), 1);
+}
+
+TEST(Horner, ClusteringCannotHelp) {
+  // The binder must recognize there is nothing to parallelize: best
+  // binding keeps the chain local with zero transfers.
+  const Dfg g = make_horner(8);
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult r = bind_full(g, dp);
+  EXPECT_EQ(r.schedule.num_moves, 0);
+  EXPECT_EQ(r.schedule.latency,
+            critical_path_length(g, unit_latencies()));
+}
+
+TEST(FftRadix4, ShapeAndBindability) {
+  const Dfg g = make_fft_radix4();
+  EXPECT_EQ(g.num_ops(), 34);
+  EXPECT_EQ(g.count_fu_type(FuType::kMult), 12);
+  EXPECT_EQ(critical_path_length(g, unit_latencies()), 4);
+  EXPECT_EQ(num_components(g), 1);
+
+  const Datapath dp = parse_datapath("[2,2|2,2]");
+  const BindResult r = bind_full(g, dp);
+  EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "");
+}
+
+TEST(Dct2d, RowColumnStructure) {
+  const Dfg g = make_dct2d_rowcol();
+  EXPECT_EQ(g.num_ops(), 16);
+  EXPECT_EQ(critical_path_length(g, unit_latencies()), 4);
+  // Like DCT-DIF, the transform splits into independent sum/difference
+  // planes (the column pass never mixes them).
+  EXPECT_EQ(num_components(g), 2);
+}
+
+TEST(ExtendedKernels, FullPipelineAcrossDatapaths) {
+  const std::vector<Dfg> kernels = {make_matmul(3), make_horner(10),
+                                    make_fft_radix4(), make_dct2d_rowcol()};
+  for (const Dfg& g : kernels) {
+    for (const std::string spec : {"[1,1|1,1]", "[2,1|2,1|1,1]"}) {
+      const Datapath dp = parse_datapath(spec);
+      const BindResult r = bind_full(g, dp);
+      EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "") << spec;
+      EXPECT_GE(r.schedule.latency,
+                critical_path_length(g, dp.latencies()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvb

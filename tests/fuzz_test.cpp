@@ -1,0 +1,156 @@
+// Second-round property tests ("fuzz" with deterministic seeds):
+// randomized inputs pushed through the newer subsystems — modulo
+// scheduling + expansion, IO round trips, functional execution,
+// register allocation — checking the invariants that must hold for
+// every input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bind/driver.hpp"
+#include "graph/builder.hpp"
+#include "io/dfg_text.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "modulo/expand.hpp"
+#include "modulo/loop_kernels.hpp"
+#include "modulo/mii.hpp"
+#include "modulo/modulo_scheduler.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sched/reg_pressure.hpp"
+#include "sched/verifier.hpp"
+#include "sim/executor.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(FuzzModulo, RandomLoopsPipelineLegally) {
+  Rng rng(9001);
+  const std::vector<std::string> datapaths = {"[1,1]", "[1,1|1,1]",
+                                              "[2,1|1,2]"};
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomLoopParams params;
+    params.num_ops = rng.uniform_int(4, 14);
+    params.num_layers = rng.uniform_int(2, 4);
+    params.back_edges = rng.uniform_int(0, 4);
+    params.max_distance = rng.uniform_int(1, 3);
+    const CyclicDfg loop = make_random_loop(params, rng);
+    const Datapath dp = parse_datapath(
+        datapaths[static_cast<std::size_t>(trial) % datapaths.size()]);
+
+    const ModuloResult r = software_pipeline(loop, dp);
+    ASSERT_EQ(verify_modulo_schedule(r, dp), "") << "trial " << trial;
+    EXPECT_GE(r.ii, minimum_ii(loop, dp)) << "trial " << trial;
+
+    // Expansion must pass the plain-schedule verifier as well.
+    const ExpandedPipeline flat = expand_pipeline(r, dp, 3);
+    EXPECT_EQ(verify_schedule(flat.flat, dp, flat.schedule), "")
+        << "trial " << trial;
+  }
+}
+
+TEST(FuzzIo, RandomGraphsRoundTripExactly) {
+  Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomDagParams params;
+    params.num_ops = rng.uniform_int(5, 60);
+    params.num_layers = rng.uniform_int(2, 8);
+    const Dfg g = make_random_layered(params, rng);
+
+    std::stringstream buffer;
+    write_dfg_text(buffer, g, "fuzz");
+    const ParsedDfg parsed = parse_dfg_text(buffer);
+    ASSERT_EQ(parsed.dfg.num_ops(), g.num_ops());
+    EXPECT_EQ(parsed.dfg.num_edges(), g.num_edges());
+    for (OpId v = 0; v < g.num_ops(); ++v) {
+      EXPECT_EQ(parsed.dfg.type(v), g.type(v));
+      ASSERT_EQ(parsed.dfg.operands(v).size(), g.operands(v).size());
+      for (std::size_t k = 0; k < g.operands(v).size(); ++k) {
+        EXPECT_EQ(parsed.dfg.operands(v)[k], g.operands(v)[k]);
+      }
+    }
+  }
+}
+
+TEST(FuzzExecutor, BindingNeverChangesSemantics) {
+  // Random kernels, random-ish datapaths, full algorithm: scheduled
+  // execution must always equal reference execution.
+  Rng rng(424242);
+  const std::vector<std::int64_t> inputs = {5, -3, 17, 2, -11, 8, 1, -6};
+  for (int trial = 0; trial < 10; ++trial) {
+    // Builder-based graph so operand info is complete.
+    DfgBuilder b;
+    std::vector<Value> values;
+    for (int i = 0; i < 4; ++i) {
+      values.push_back(b.add(b.input(), b.input()));
+    }
+    const int extra = rng.uniform_int(6, 20);
+    for (int i = 0; i < extra; ++i) {
+      const Value a =
+          values[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(values.size()) - 1))];
+      const Value c =
+          values[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(values.size()) - 1))];
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          values.push_back(b.add(a, c));
+          break;
+        case 1:
+          values.push_back(b.sub(a, c));
+          break;
+        case 2:
+          values.push_back(b.mul(a, c));
+          break;
+        default:
+          values.push_back(b.cmul(a));
+          break;
+      }
+    }
+    const Dfg g = std::move(b).take();
+    const Datapath dp = parse_datapath(
+        trial % 2 == 0 ? "[1,1|1,1]" : "[2,1|1,1|1,1]");
+    const BindResult r = bind_full(g, dp);
+    EXPECT_EQ(check_semantics(g, r.bound, dp, r.schedule, inputs), "")
+        << "trial " << trial;
+  }
+}
+
+TEST(FuzzRegalloc, AllocationAlwaysValidAndTight) {
+  Rng rng(1337);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomDagParams params;
+    params.num_ops = rng.uniform_int(10, 50);
+    params.num_layers = rng.uniform_int(3, 8);
+    const Dfg g = make_random_layered(params, rng);
+    const Datapath dp = parse_datapath("[2,1|1,1]");
+    const BindResult r = bind_full(g, dp);
+    const RegAllocation alloc = allocate_registers(r.bound, dp, r.schedule);
+    ASSERT_EQ(verify_allocation(r.bound, dp, r.schedule, alloc), "")
+        << "trial " << trial;
+    const RegPressure pressure = compute_reg_pressure(r.bound, dp, r.schedule);
+    for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+      EXPECT_EQ(alloc.regs_used[static_cast<std::size_t>(c)],
+                pressure.max_live[static_cast<std::size_t>(c)])
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(FuzzRandomLoop, GeneratorRespectsContracts) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomLoopParams params;
+    params.num_ops = rng.uniform_int(2, 20);
+    params.back_edges = rng.uniform_int(0, 6);
+    const CyclicDfg loop = make_random_loop(params, rng);
+    EXPECT_NO_THROW(loop.validate());
+    EXPECT_EQ(loop.body().num_ops(), loop.num_ops());
+  }
+  RandomLoopParams bad;
+  bad.num_ops = 1;
+  EXPECT_THROW((void)make_random_loop(bad, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvb

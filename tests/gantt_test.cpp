@@ -1,0 +1,100 @@
+// Unit tests for the ASCII Gantt renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bind/bound_dfg.hpp"
+#include "graph/builder.hpp"
+#include "machine/parser.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(Gantt, RendersRowsForEveryUnitAndBus) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input(), "x");
+  (void)bld.mul(x, bld.input(), "y");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[2,1|1,1]", 2);
+  const BoundDfg bound = build_bound_dfg(g, {0, 0}, dp);
+  const Schedule s = list_schedule(bound, dp);
+
+  std::ostringstream out;
+  write_gantt(out, bound, dp, s);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("c0.ALU0"), std::string::npos);
+  EXPECT_NE(text.find("c0.ALU1"), std::string::npos);
+  EXPECT_NE(text.find("c0.MULT0"), std::string::npos);
+  EXPECT_NE(text.find("c1.ALU0"), std::string::npos);
+  EXPECT_NE(text.find("BUS0"), std::string::npos);
+  EXPECT_NE(text.find("BUS1"), std::string::npos);
+  EXPECT_NE(text.find("x"), std::string::npos);
+  EXPECT_NE(text.find("y"), std::string::npos);
+}
+
+TEST(Gantt, MovesAppearOnBusRow) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input(), "x");
+  (void)bld.add(x, bld.input(), "y");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]", 1);
+  const BoundDfg bound = build_bound_dfg(g, {0, 1}, dp);
+  const Schedule s = list_schedule(bound, dp);
+
+  std::ostringstream out;
+  write_gantt(out, bound, dp, s);
+  const std::string text = out.str();
+  // The move t1 must render on the BUS0 row.
+  const std::size_t bus_row = text.find("BUS0");
+  ASSERT_NE(bus_row, std::string::npos);
+  const std::size_t eol = text.find('\n', bus_row);
+  EXPECT_NE(text.substr(bus_row, eol - bus_row).find("t1"),
+            std::string::npos);
+}
+
+TEST(Gantt, UnpipelinedOpOccupiesMultipleCells) {
+  DfgBuilder bld;
+  (void)bld.mul(bld.input(), bld.input(), "mm");
+  const Dfg g = std::move(bld).take();
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kMul)] = 2;
+  std::array<int, kNumFuTypes> dii{1, 2, 1};
+  const Datapath dp({Cluster{{1, 1}}}, 1, lat, dii);
+  const BoundDfg bound = build_bound_dfg(g, {0}, dp);
+  const Schedule s = list_schedule(bound, dp);
+
+  std::ostringstream out;
+  write_gantt(out, bound, dp, s);
+  const std::string text = out.str();
+  const std::size_t first = text.find("mm");
+  const std::size_t second = text.find("mm", first + 1);
+  EXPECT_NE(second, std::string::npos);  // occupies two cells
+}
+
+TEST(Gantt, ThrowsOnOversubscribedSchedule) {
+  DfgBuilder bld;
+  (void)bld.add(bld.input(), bld.input());
+  (void)bld.add(bld.input(), bld.input());
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1]");
+  const BoundDfg bound = build_bound_dfg(g, {0, 0}, dp);
+  Schedule s = list_schedule(bound, dp);
+  s.start = {0, 0};  // both on the single ALU at once
+  s.latency = 1;
+  std::ostringstream out;
+  EXPECT_THROW(write_gantt(out, bound, dp, s), std::logic_error);
+}
+
+TEST(Gantt, EmptyScheduleStillRendersHeader) {
+  const Datapath dp = parse_datapath("[1,1]");
+  const BoundDfg bound = build_bound_dfg(Dfg{}, {}, dp);
+  Schedule s;
+  std::ostringstream out;
+  write_gantt(out, bound, dp, s);
+  EXPECT_NE(out.str().find("cycle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,291 @@
+// Unit tests for the DFG core and its analyses (topological order,
+// ASAP/ALAP/mobility, critical path, components, reversal, DOT export).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/analysis.hpp"
+#include "graph/components.hpp"
+#include "graph/dfg.hpp"
+#include "graph/dot.hpp"
+
+namespace cvb {
+namespace {
+
+/// Small diamond: a -> b, a -> c, b -> d, c -> d.
+Dfg diamond() {
+  Dfg g;
+  const OpId a = g.add_op(OpType::kAdd, "a");
+  const OpId b = g.add_op(OpType::kAdd, "b");
+  const OpId c = g.add_op(OpType::kMul, "c");
+  const OpId d = g.add_op(OpType::kAdd, "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+// ---------------------------------------------------------------- basics
+
+TEST(Dfg, AddOpAssignsDenseIds) {
+  Dfg g;
+  EXPECT_EQ(g.add_op(OpType::kAdd), 0);
+  EXPECT_EQ(g.add_op(OpType::kMul), 1);
+  EXPECT_EQ(g.num_ops(), 2);
+}
+
+TEST(Dfg, GeneratedNamesUseMnemonic) {
+  Dfg g;
+  const OpId v = g.add_op(OpType::kMul);
+  EXPECT_EQ(g.name(v), "mul0");
+}
+
+TEST(Dfg, ExplicitNamesAreKept) {
+  Dfg g;
+  const OpId v = g.add_op(OpType::kAdd, "my_op");
+  EXPECT_EQ(g.name(v), "my_op");
+}
+
+TEST(Dfg, EdgesUpdateAdjacency) {
+  const Dfg g = diamond();
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.preds(3).size(), 2u);
+  EXPECT_EQ(g.succs(0).size(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Dfg, RejectsSelfLoop) {
+  Dfg g;
+  const OpId v = g.add_op(OpType::kAdd);
+  EXPECT_THROW(g.add_edge(v, v), std::invalid_argument);
+}
+
+TEST(Dfg, RejectsDuplicateEdge) {
+  Dfg g;
+  const OpId a = g.add_op(OpType::kAdd);
+  const OpId b = g.add_op(OpType::kAdd);
+  g.add_edge(a, b);
+  EXPECT_THROW(g.add_edge(a, b), std::invalid_argument);
+}
+
+TEST(Dfg, RejectsInvalidIds) {
+  Dfg g;
+  const OpId a = g.add_op(OpType::kAdd);
+  EXPECT_THROW(g.add_edge(a, 5), std::invalid_argument);
+  EXPECT_THROW((void)g.type(-1), std::invalid_argument);
+  EXPECT_THROW((void)g.preds(99), std::invalid_argument);
+}
+
+TEST(Dfg, SourcesAndSinks) {
+  const Dfg g = diamond();
+  EXPECT_EQ(g.sources(), std::vector<OpId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<OpId>{3});
+}
+
+TEST(Dfg, CountsByType) {
+  const Dfg g = diamond();
+  EXPECT_EQ(g.count_fu_type(FuType::kAlu), 3);
+  EXPECT_EQ(g.count_fu_type(FuType::kMult), 1);
+  EXPECT_EQ(g.count_op_type(OpType::kAdd), 3);
+  EXPECT_EQ(g.count_op_type(OpType::kMove), 0);
+}
+
+TEST(Dfg, ValidatePassesOnDag) { EXPECT_NO_THROW(diamond().validate()); }
+
+TEST(Dfg, ReversedFlipsEdges) {
+  const Dfg g = diamond();
+  const Dfg r = g.reversed();
+  EXPECT_EQ(r.num_ops(), g.num_ops());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(3, 2));
+  EXPECT_EQ(r.type(2), OpType::kMul);  // types and ids preserved
+}
+
+TEST(Dfg, ReverseTwiceIsIdentity) {
+  const Dfg g = diamond();
+  const Dfg rr = g.reversed().reversed();
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    std::vector<OpId> a(g.succs(v).begin(), g.succs(v).end());
+    std::vector<OpId> b(rr.succs(v).begin(), rr.succs(v).end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+// ---------------------------------------------------------- topo + cycle
+
+TEST(Analysis, TopologicalOrderRespectsEdges) {
+  const Dfg g = diamond();
+  const std::vector<OpId> order = topological_order(g);
+  std::vector<int> position(static_cast<std::size_t>(g.num_ops()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    for (const OpId s : g.succs(v)) {
+      EXPECT_LT(position[static_cast<std::size_t>(v)],
+                position[static_cast<std::size_t>(s)]);
+    }
+  }
+}
+
+TEST(Analysis, CycleDetected) {
+  Dfg g;
+  const OpId a = g.add_op(OpType::kAdd);
+  const OpId b = g.add_op(OpType::kAdd);
+  const OpId c = g.add_op(OpType::kAdd);
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_THROW((void)topological_order(g), std::logic_error);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Analysis, EmptyGraphTopoIsEmpty) {
+  EXPECT_TRUE(topological_order(Dfg{}).empty());
+}
+
+// ---------------------------------------------------------- asap / alap
+
+TEST(Analysis, AsapOnDiamondUnitLatency) {
+  const std::vector<int> asap = asap_starts(diamond(), unit_latencies());
+  EXPECT_EQ(asap, (std::vector<int>{0, 1, 1, 2}));
+}
+
+TEST(Analysis, AsapHonorsLatencies) {
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kMul)] = 3;
+  const std::vector<int> asap = asap_starts(diamond(), lat);
+  // d waits for c (mul, starts at 1, takes 3) -> start 4.
+  EXPECT_EQ(asap[3], 4);
+}
+
+TEST(Analysis, CriticalPathDiamond) {
+  EXPECT_EQ(critical_path_length(diamond(), unit_latencies()), 3);
+}
+
+TEST(Analysis, CriticalPathEmptyGraphIsZero) {
+  EXPECT_EQ(critical_path_length(Dfg{}, unit_latencies()), 0);
+}
+
+TEST(Analysis, AlapAtCriticalPathGivesZeroMobilityOnCriticalPath) {
+  const Dfg g = diamond();
+  const std::vector<int> alap = alap_starts(g, unit_latencies(), 3);
+  EXPECT_EQ(alap[0], 0);
+  EXPECT_EQ(alap[3], 2);
+  // b and c are both on length-3 paths: zero mobility.
+  EXPECT_EQ(alap[1], 1);
+  EXPECT_EQ(alap[2], 1);
+}
+
+TEST(Analysis, AlapRejectsTargetBelowCriticalPath) {
+  EXPECT_THROW((void)alap_starts(diamond(), unit_latencies(), 2),
+               std::invalid_argument);
+}
+
+TEST(Analysis, MobilityGrowsWithTarget) {
+  const Timing tight = compute_timing(diamond(), unit_latencies(), 3);
+  const Timing loose = compute_timing(diamond(), unit_latencies(), 6);
+  for (OpId v = 0; v < 4; ++v) {
+    EXPECT_EQ(loose.mobility[static_cast<std::size_t>(v)],
+              tight.mobility[static_cast<std::size_t>(v)] + 3);
+  }
+}
+
+TEST(Analysis, ComputeTimingRaisesLowTargets) {
+  const Timing t = compute_timing(diamond(), unit_latencies(), 0);
+  EXPECT_EQ(t.target_latency, 3);
+  EXPECT_EQ(t.critical_path, 3);
+}
+
+TEST(Analysis, MobilityNonNegativeEverywhere) {
+  const Timing t = compute_timing(diamond(), unit_latencies(), 5);
+  for (const int m : t.mobility) {
+    EXPECT_GE(m, 0);
+  }
+}
+
+TEST(Analysis, ConsumerCounts) {
+  const std::vector<int> counts = consumer_counts(diamond());
+  EXPECT_EQ(counts, (std::vector<int>{2, 1, 1, 0}));
+}
+
+// ------------------------------------------------------------ components
+
+TEST(Components, SingleComponentDiamond) {
+  EXPECT_EQ(num_components(diamond()), 1);
+}
+
+TEST(Components, CountsIsolatedOps) {
+  Dfg g;
+  g.add_op(OpType::kAdd);
+  g.add_op(OpType::kAdd);
+  EXPECT_EQ(num_components(g), 2);
+}
+
+TEST(Components, EmptyGraphHasZero) { EXPECT_EQ(num_components(Dfg{}), 0); }
+
+TEST(Components, LabelsAreDenseAndConsistent) {
+  Dfg g;
+  const OpId a = g.add_op(OpType::kAdd);
+  const OpId b = g.add_op(OpType::kAdd);
+  const OpId c = g.add_op(OpType::kAdd);
+  g.add_edge(a, b);
+  const std::vector<int> labels = component_labels(g);
+  EXPECT_EQ(labels[static_cast<std::size_t>(a)],
+            labels[static_cast<std::size_t>(b)]);
+  EXPECT_NE(labels[static_cast<std::size_t>(a)],
+            labels[static_cast<std::size_t>(c)]);
+  EXPECT_EQ(*std::max_element(labels.begin(), labels.end()), 1);
+}
+
+TEST(Components, UndirectedReachabilityJoins) {
+  // a -> c <- b : one component despite no directed path a..b.
+  Dfg g;
+  const OpId a = g.add_op(OpType::kAdd);
+  const OpId b = g.add_op(OpType::kAdd);
+  const OpId c = g.add_op(OpType::kAdd);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  EXPECT_EQ(num_components(g), 1);
+}
+
+// -------------------------------------------------------------------- DOT
+
+TEST(Dot, PlainExportMentionsEveryOpAndEdge) {
+  std::ostringstream out;
+  write_dot(out, diamond(), "g");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("digraph g"), std::string::npos);
+  EXPECT_NE(text.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(text.find("n2 -> n3"), std::string::npos);
+  EXPECT_NE(text.find("mul"), std::string::npos);
+}
+
+TEST(Dot, BoundExportGroupsByCluster) {
+  std::ostringstream out;
+  write_dot_bound(out, diamond(), {0, 0, 1, 1}, "bg");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(text.find("subgraph cluster_1"), std::string::npos);
+}
+
+TEST(Dot, BoundExportRejectsSizeMismatch) {
+  std::ostringstream out;
+  EXPECT_THROW(write_dot_bound(out, diamond(), {0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Dot, NegativeClusterRenderedOutsideClusters) {
+  std::ostringstream out;
+  write_dot_bound(out, diamond(), {0, 0, 0, -1});
+  EXPECT_NE(out.str().find("shape=box"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,84 @@
+// End-to-end pipeline tests: kernel -> binder -> bound DFG -> schedule,
+// with every schedule independently verified and the three algorithms
+// (PCC, B-INIT, B-ITER) compared the way the paper's Table 1 does.
+#include <gtest/gtest.h>
+
+#include "bind/driver.hpp"
+#include "graph/analysis.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+
+namespace cvb {
+namespace {
+
+struct PipelineCase {
+  std::string kernel;
+  std::string datapath;
+};
+
+std::ostream& operator<<(std::ostream& out, const PipelineCase& c) {
+  return out << c.kernel << " on " << c.datapath;
+}
+
+class PipelineEndToEnd : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineEndToEnd, FullAlgorithmProducesVerifiedSchedule) {
+  const Dfg dfg = benchmark_by_name(GetParam().kernel).dfg;
+  const Datapath dp = parse_datapath(GetParam().datapath);
+
+  const BindResult result = bind_full(dfg, dp);
+  EXPECT_TRUE(check_binding(dfg, result.binding, dp).empty());
+  EXPECT_EQ(verify_schedule(result.bound, dp, result.schedule), "");
+  // Binding can never beat the dependence-limited bound.
+  EXPECT_GE(result.schedule.latency,
+            critical_path_length(dfg, dp.latencies()));
+}
+
+TEST_P(PipelineEndToEnd, IterNeverLosesToInit) {
+  const Dfg dfg = benchmark_by_name(GetParam().kernel).dfg;
+  const Datapath dp = parse_datapath(GetParam().datapath);
+
+  const BindResult init = bind_initial_best(dfg, dp);
+  const BindResult full = bind_full(dfg, dp);
+  EXPECT_LE(full.schedule.latency, init.schedule.latency);
+}
+
+TEST_P(PipelineEndToEnd, PccProducesVerifiedSchedule) {
+  const Dfg dfg = benchmark_by_name(GetParam().kernel).dfg;
+  const Datapath dp = parse_datapath(GetParam().datapath);
+
+  const BindResult result = pcc_binding(dfg, dp);
+  EXPECT_TRUE(check_binding(dfg, result.binding, dp).empty());
+  EXPECT_EQ(verify_schedule(result.bound, dp, result.schedule), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, PipelineEndToEnd,
+    ::testing::Values(PipelineCase{"EWF", "[1,1|1,1]"},
+                      PipelineCase{"ARF", "[1,1|1,1]"},
+                      PipelineCase{"FFT", "[2,1|2,1]"},
+                      PipelineCase{"DCT-DIF", "[2,1|1,1]"},
+                      PipelineCase{"DCT-LEE", "[2,2|2,1]"},
+                      PipelineCase{"DCT-DIT", "[1,1|1,1|1,1]"}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      std::string name = info.param.kernel;
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name + "_" + std::to_string(info.index);
+    });
+
+TEST(PipelineSingleCluster, NoMovesOnSingleCluster) {
+  const Dfg dfg = make_arf();
+  const Datapath dp = parse_datapath("[2,2]");
+  const BindResult result = bind_full(dfg, dp);
+  EXPECT_EQ(result.schedule.num_moves, 0);
+  EXPECT_EQ(verify_schedule(result.bound, dp, result.schedule), "");
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,114 @@
+// Unit tests for the DFG text serialization round trip and parser
+// error reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/analysis.hpp"
+#include "io/dfg_text.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(DfgText, RoundTripsEveryBenchmark) {
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    std::stringstream buffer;
+    write_dfg_text(buffer, kernel.dfg, kernel.name);
+    const ParsedDfg parsed = parse_dfg_text(buffer);
+    EXPECT_EQ(parsed.name, kernel.name);
+    ASSERT_EQ(parsed.dfg.num_ops(), kernel.dfg.num_ops());
+    EXPECT_EQ(parsed.dfg.num_edges(), kernel.dfg.num_edges());
+    for (OpId v = 0; v < kernel.dfg.num_ops(); ++v) {
+      EXPECT_EQ(parsed.dfg.type(v), kernel.dfg.type(v));
+      EXPECT_EQ(parsed.dfg.name(v), kernel.dfg.name(v));
+      for (const OpId s : kernel.dfg.succs(v)) {
+        EXPECT_TRUE(parsed.dfg.has_edge(v, s));
+      }
+    }
+    EXPECT_EQ(critical_path_length(parsed.dfg, unit_latencies()),
+              kernel.paper_lcp);
+  }
+}
+
+TEST(DfgText, ParsesHandWrittenInput) {
+  std::istringstream in(R"(# a tiny kernel
+dfg tiny
+
+op 0 add s
+op 1 mul p
+edge 0 1
+)");
+  const ParsedDfg parsed = parse_dfg_text(in);
+  EXPECT_EQ(parsed.name, "tiny");
+  EXPECT_EQ(parsed.dfg.num_ops(), 2);
+  EXPECT_EQ(parsed.dfg.type(1), OpType::kMul);
+  EXPECT_TRUE(parsed.dfg.has_edge(0, 1));
+}
+
+TEST(DfgText, GeneratesNamesWhenOmitted) {
+  std::istringstream in("dfg t\nop 0 add\n");
+  const ParsedDfg parsed = parse_dfg_text(in);
+  EXPECT_EQ(parsed.dfg.name(0), "add0");
+}
+
+TEST(DfgText, OpTypeLookup) {
+  EXPECT_EQ(op_type_from_name("add"), OpType::kAdd);
+  EXPECT_EQ(op_type_from_name("mov"), OpType::kMove);
+  EXPECT_THROW((void)op_type_from_name("frobnicate"), std::invalid_argument);
+}
+
+struct BadInput {
+  std::string name;
+  std::string text;
+  std::string expect_substring;
+};
+
+class DfgTextErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(DfgTextErrors, ReportsLineAndCause) {
+  std::istringstream in(GetParam().text);
+  try {
+    (void)parse_dfg_text(in);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().expect_substring),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DfgTextErrors,
+    ::testing::Values(
+        BadInput{"missing_header", "op 0 add x\n", "before 'dfg' header"},
+        BadInput{"empty", "", "missing 'dfg <name>' header"},
+        BadInput{"dup_header", "dfg a\ndfg b\n", "duplicate header"},
+        BadInput{"sparse_ids", "dfg a\nop 5 add x\n", "dense"},
+        BadInput{"bad_type", "dfg a\nop 0 quux x\n", "unknown operation"},
+        BadInput{"dangling_edge", "dfg a\nop 0 add x\nedge 0 3\n",
+                 "undeclared op"},
+        BadInput{"negative_edge", "dfg a\nop 0 add x\nedge -1 0\n",
+                 "undeclared op"},
+        BadInput{"self_loop", "dfg a\nop 0 add x\nedge 0 0\n", "self loop"},
+        BadInput{"dup_edge",
+                 "dfg a\nop 0 add x\nop 1 add y\nedge 0 1\nedge 0 1\n",
+                 "duplicate edge"},
+        BadInput{"junk_keyword", "dfg a\nnode 0\n", "unknown keyword"},
+        BadInput{"nameless_header", "dfg\n", "missing graph name"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.name;
+    });
+
+TEST(DfgText, ErrorMessagesCarryLineNumbers) {
+  std::istringstream in("dfg a\nop 0 add x\nedge 0 9\n");
+  try {
+    (void)parse_dfg_text(in);
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,155 @@
+// Pins every benchmark generator to the paper's published graph
+// statistics (Table 1 sub-headers): N_V, N_CC, and L_CP under unit
+// latencies. These tests are the contract that our reconstructed DFGs
+// exercise the binder the way the paper's benchmarks did.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/components.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+namespace {
+
+class BenchmarkStats : public ::testing::TestWithParam<BenchmarkKernel> {};
+
+TEST_P(BenchmarkStats, MatchesPaperNv) {
+  EXPECT_EQ(GetParam().dfg.num_ops(), GetParam().paper_nv);
+}
+
+TEST_P(BenchmarkStats, MatchesPaperNcc) {
+  EXPECT_EQ(num_components(GetParam().dfg), GetParam().paper_ncc);
+}
+
+TEST_P(BenchmarkStats, MatchesPaperLcp) {
+  EXPECT_EQ(critical_path_length(GetParam().dfg, unit_latencies()),
+            GetParam().paper_lcp);
+}
+
+TEST_P(BenchmarkStats, IsAcyclic) {
+  EXPECT_NO_THROW(GetParam().dfg.validate());
+}
+
+TEST_P(BenchmarkStats, HasNoMoveOps) {
+  EXPECT_EQ(GetParam().dfg.count_op_type(OpType::kMove), 0);
+}
+
+TEST_P(BenchmarkStats, OpsHaveAtMostTwoOperands) {
+  const Dfg& dfg = GetParam().dfg;
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    EXPECT_LE(dfg.preds(v).size(), 2u) << dfg.name(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSuite, BenchmarkStats, ::testing::ValuesIn(benchmark_suite()),
+    [](const ::testing::TestParamInfo<BenchmarkKernel>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(KernelMix, EwfHasPaperOpMix) {
+  const Dfg ewf = make_ewf();
+  EXPECT_EQ(ewf.count_fu_type(FuType::kAlu), 26);   // additions
+  EXPECT_EQ(ewf.count_fu_type(FuType::kMult), 8);   // multiplications
+}
+
+TEST(KernelMix, ArfHasPaperOpMix) {
+  const Dfg arf = make_arf();
+  EXPECT_EQ(arf.count_fu_type(FuType::kAlu), 12);
+  EXPECT_EQ(arf.count_fu_type(FuType::kMult), 16);
+}
+
+TEST(KernelMix, DctDit2IsTwoDisjointCopies) {
+  const Dfg dit = make_dct_dit();
+  const Dfg dit2 = make_dct_dit2();
+  EXPECT_EQ(dit2.num_ops(), 2 * dit.num_ops());
+  EXPECT_EQ(dit2.num_edges(), 2 * dit.num_edges());
+  // Second copy mirrors the first exactly.
+  const OpId base = dit.num_ops();
+  for (OpId v = 0; v < dit.num_ops(); ++v) {
+    EXPECT_EQ(dit2.type(base + v), dit.type(v));
+    EXPECT_EQ(dit2.succs(base + v).size(), dit.succs(v).size());
+  }
+}
+
+TEST(KernelFir, StructureIsMultiplyBankPlusAccumulateChain) {
+  const Dfg fir = make_fir(8);
+  EXPECT_EQ(fir.num_ops(), 15);  // 8 muls + 7 adds
+  EXPECT_EQ(fir.count_fu_type(FuType::kMult), 8);
+  EXPECT_EQ(fir.count_fu_type(FuType::kAlu), 7);
+  EXPECT_EQ(critical_path_length(fir, unit_latencies()), 8);  // m0 + chain
+  EXPECT_EQ(num_components(fir), 1);
+}
+
+TEST(KernelFir, SingleTapIsOneMul) {
+  const Dfg fir = make_fir(1);
+  EXPECT_EQ(fir.num_ops(), 1);
+  EXPECT_EQ(fir.count_fu_type(FuType::kMult), 1);
+}
+
+TEST(KernelFir, RejectsNonPositiveTaps) {
+  EXPECT_THROW((void)make_fir(0), std::invalid_argument);
+}
+
+TEST(KernelUnroll, FactorOneIsIdentity) {
+  const Dfg ewf = make_ewf();
+  const Dfg copy = unroll(ewf, 1);
+  EXPECT_EQ(copy.num_ops(), ewf.num_ops());
+  EXPECT_EQ(copy.num_edges(), ewf.num_edges());
+}
+
+TEST(KernelUnroll, RejectsNonPositiveFactor) {
+  EXPECT_THROW((void)unroll(make_fir(2), 0), std::invalid_argument);
+}
+
+TEST(KernelRandom, RespectsRequestedShape) {
+  Rng rng(42);
+  RandomDagParams params;
+  params.num_ops = 40;
+  params.num_layers = 7;
+  const Dfg dag = make_random_layered(params, rng);
+  EXPECT_EQ(dag.num_ops(), 40);
+  EXPECT_EQ(critical_path_length(dag, unit_latencies()), 7);
+  EXPECT_NO_THROW(dag.validate());
+}
+
+TEST(KernelRandom, IsDeterministicPerSeed) {
+  RandomDagParams params;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const Dfg a = make_random_layered(params, rng_a);
+  const Dfg b = make_random_layered(params, rng_b);
+  ASSERT_EQ(a.num_ops(), b.num_ops());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (OpId v = 0; v < a.num_ops(); ++v) {
+    EXPECT_EQ(a.type(v), b.type(v));
+  }
+}
+
+TEST(KernelRandom, RejectsBadParams) {
+  Rng rng(1);
+  RandomDagParams params;
+  params.num_ops = 3;
+  params.num_layers = 5;
+  EXPECT_THROW((void)make_random_layered(params, rng), std::invalid_argument);
+}
+
+TEST(KernelRegistry, LookupByNameFindsEveryEntry) {
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    EXPECT_EQ(benchmark_by_name(kernel.name).dfg.num_ops(),
+              kernel.dfg.num_ops());
+  }
+}
+
+TEST(KernelRegistry, LookupRejectsUnknownName) {
+  EXPECT_THROW((void)benchmark_by_name("NOPE"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,203 @@
+// Unit tests for the force-directed load profiles (paper Section 3.1.2,
+// Figure 4): operation time frames, centralized vs cluster
+// normalization, fucost/buscost thresholds, and transfer frames.
+#include <gtest/gtest.h>
+
+#include "bind/load_profile.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+namespace {
+
+/// Two independent adds: both get the full [0, L_PR) frame spread.
+Dfg two_adds() {
+  DfgBuilder b;
+  (void)b.add(b.input(), b.input(), "a0");
+  (void)b.add(b.input(), b.input(), "a1");
+  return std::move(b).take();
+}
+
+TEST(LoadProfile, FucostZeroWhenClusterMatchesCentralized) {
+  // Datapath [1,1|1,1]: centralized has 2 ALUs, each cluster 1. Two
+  // independent adds, L_PR = 1: centralized load = 2 * 1.0 / 2 = 1.0;
+  // binding one add to a cluster gives cluster load 1.0 which does NOT
+  // exceed max(load_dp, 1) = 1 -> no penalty.
+  const Dfg g = two_adds();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Timing t = compute_timing(g, dp.latencies(), 1);
+  const LoadProfileSet profiles(g, dp, t);
+  EXPECT_EQ(profiles.fu_serialization_cost(0, 0), 0);
+}
+
+TEST(LoadProfile, FucostPositiveWhenClusterOverloaded) {
+  // Same setup but the first add is already committed to cluster 0;
+  // adding the second there doubles the cluster load to 2.0 > 1.
+  const Dfg g = two_adds();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Timing t = compute_timing(g, dp.latencies(), 1);
+  LoadProfileSet profiles(g, dp, t);
+  profiles.commit_op(0, 0);
+  EXPECT_GT(profiles.fu_serialization_cost(1, 0), 0);
+  EXPECT_EQ(profiles.fu_serialization_cost(1, 1), 0);
+}
+
+TEST(LoadProfile, MobilitySpreadsLoad) {
+  // With L_PR = 2 each add has mobility 1, load 1/2 per level over two
+  // levels; two adds on one cluster give 1.0 per level: no overload.
+  const Dfg g = two_adds();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Timing t = compute_timing(g, dp.latencies(), 2);
+  LoadProfileSet profiles(g, dp, t);
+  profiles.commit_op(0, 0);
+  EXPECT_EQ(profiles.fu_serialization_cost(1, 0), 0);
+}
+
+TEST(LoadProfile, ClusterNormalizationUsesLocalFuCount) {
+  // Cluster 0 has 2 ALUs: two unit-frame adds load it to 1.0 -> fine.
+  const Dfg g = two_adds();
+  const Datapath dp = parse_datapath("[2,1|1,1]");
+  const Timing t = compute_timing(g, dp.latencies(), 1);
+  LoadProfileSet profiles(g, dp, t);
+  profiles.commit_op(0, 0);
+  EXPECT_EQ(profiles.fu_serialization_cost(1, 0), 0);
+}
+
+TEST(LoadProfile, CentralizedProfileRaisesThreshold) {
+  // Datapath [1,1|1,1] with 4 independent adds at L_PR = 1: centralized
+  // load is 4/2 = 2.0 per level, so a cluster loaded to 2.0 is *not*
+  // penalized (it matches the centralized equivalent).
+  DfgBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    (void)b.add(b.input(), b.input());
+  }
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Timing t = compute_timing(g, dp.latencies(), 1);
+  LoadProfileSet profiles(g, dp, t);
+  profiles.commit_op(0, 0);
+  EXPECT_EQ(profiles.fu_serialization_cost(1, 0), 0);  // load 2.0 == dp 2.0
+  profiles.commit_op(1, 0);
+  EXPECT_GT(profiles.fu_serialization_cost(2, 0), 0);  // load 3.0 > 2.0
+}
+
+TEST(LoadProfile, TransferFramePlacedAfterProducer) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  (void)b.add(x, b.input(), "y");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Timing t = compute_timing(g, dp.latencies(), 4);  // mobility 2 each
+  const LoadProfileSet profiles(g, dp, t);
+  const auto frame = profiles.transfer_frame(0, 1);
+  EXPECT_EQ(frame.begin, 1);  // right after x completes (asap 0, lat 1)
+  // consumer mobility 2 minus lat(move) 1 -> transfer mobility 1.
+  EXPECT_EQ(frame.end, 2);
+  EXPECT_DOUBLE_EQ(frame.value, 0.5);
+}
+
+TEST(LoadProfile, TransferMobilityClampsAtZero) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  (void)b.add(x, b.input(), "y");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Timing t = compute_timing(g, dp.latencies(), 2);  // zero mobility
+  const LoadProfileSet profiles(g, dp, t);
+  const auto frame = profiles.transfer_frame(0, 1);
+  EXPECT_EQ(frame.begin, 1);
+  EXPECT_EQ(frame.end, 1);
+  EXPECT_DOUBLE_EQ(frame.value, 1.0);
+}
+
+TEST(LoadProfile, BusCostCountsOverloadedCyclesOnly) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  (void)b.add(x, b.input(), "y");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]", /*num_buses=*/1);
+  const Timing t = compute_timing(g, dp.latencies(), 2);
+  LoadProfileSet profiles(g, dp, t);
+
+  const auto frame = profiles.transfer_frame(0, 1);
+  // One zero-mobility transfer on one bus: exactly 1.0, not overloaded.
+  EXPECT_EQ(profiles.bus_serialization_cost({frame}), 0);
+  // A second identical transfer pushes the level to 2.0 > 1.
+  profiles.commit_transfer(frame);
+  EXPECT_EQ(profiles.bus_serialization_cost({frame}), 1);
+}
+
+TEST(LoadProfile, BusNormalizationByBusCount) {
+  DfgBuilder b;
+  const Value x = b.add(b.input(), b.input(), "x");
+  (void)b.add(x, b.input(), "y");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]", /*num_buses=*/2);
+  const Timing t = compute_timing(g, dp.latencies(), 2);
+  LoadProfileSet profiles(g, dp, t);
+  const auto frame = profiles.transfer_frame(0, 1);
+  profiles.commit_transfer(frame);
+  // Two transfers on two buses: level 1.0, no overload.
+  EXPECT_EQ(profiles.bus_serialization_cost({frame}), 0);
+}
+
+TEST(LoadProfile, ClusterLoadTotalTracksCommits) {
+  const Dfg g = two_adds();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Timing t = compute_timing(g, dp.latencies(), 1);
+  LoadProfileSet profiles(g, dp, t);
+  EXPECT_DOUBLE_EQ(profiles.cluster_load_total(0, FuType::kAlu), 0.0);
+  profiles.commit_op(0, 0);
+  EXPECT_DOUBLE_EQ(profiles.cluster_load_total(0, FuType::kAlu), 1.0);
+  EXPECT_DOUBLE_EQ(profiles.cluster_load_total(1, FuType::kAlu), 0.0);
+}
+
+TEST(LoadProfile, DiiExtendsOpFrames) {
+  // Unpipelined multiplier (dii = 2): a mul's load frame extends one
+  // cycle past its ALAP level, creating overlap (and penalty) with a
+  // second mul even at L_PR = 2.
+  DfgBuilder b;
+  (void)b.mul(b.input(), b.input());
+  (void)b.mul(b.input(), b.input());
+  const Dfg g = std::move(b).take();
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kMul)] = 2;
+  std::array<int, kNumFuTypes> dii{1, 2, 1};
+  const Datapath dp({Cluster{{1, 1}}, Cluster{{1, 1}}}, 2, lat, dii);
+  const Timing t = compute_timing(g, lat, 2);
+  LoadProfileSet profiles(g, dp, t);
+  profiles.commit_op(0, 0);
+  EXPECT_GT(profiles.fu_serialization_cost(1, 0), 0);
+}
+
+TEST(LoadProfile, RejectsMoveOpsInOriginalGraph) {
+  Dfg g;
+  g.add_op(OpType::kMove);
+  const Datapath dp = parse_datapath("[1,1]");
+  const Timing t{{0}, {0}, {0}, 1, 1};
+  EXPECT_THROW((LoadProfileSet{g, dp, t}), std::invalid_argument);
+}
+
+TEST(LoadProfile, RejectsUnsupportedOpType) {
+  DfgBuilder b;
+  (void)b.mul(b.input(), b.input());
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,0]");  // no multiplier anywhere
+  const Timing t = compute_timing(g, dp.latencies(), 1);
+  EXPECT_THROW((LoadProfileSet{g, dp, t}), std::invalid_argument);
+}
+
+TEST(LoadProfile, FucostRejectsInfeasibleCluster) {
+  DfgBuilder b;
+  (void)b.mul(b.input(), b.input());
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,0|1,1]");
+  const Timing t = compute_timing(g, dp.latencies(), 1);
+  const LoadProfileSet profiles(g, dp, t);
+  EXPECT_THROW((void)profiles.fu_serialization_cost(0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvb

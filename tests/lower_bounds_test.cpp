@@ -1,0 +1,96 @@
+// Unit tests for the binding-independent latency lower bounds, plus the
+// global property that no binder result ever beats the bound.
+#include <gtest/gtest.h>
+
+#include "bind/driver.hpp"
+#include "bind/lower_bounds.hpp"
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(LowerBound, DependenceBoundIsCriticalPath) {
+  const Dfg g = make_fir(8);  // chain-dominated: L_CP = 8
+  const Datapath dp = parse_datapath("[4,4|4,4]");
+  const LatencyLowerBound bound = latency_lower_bound(g, dp);
+  EXPECT_EQ(bound.dependence, 8);
+  EXPECT_EQ(bound.combined, 8);
+}
+
+TEST(LowerBound, ResourceBoundKicksInWhenStarved) {
+  // 12 independent adds on a single ALU: resource bound 12.
+  DfgBuilder bld;
+  for (int i = 0; i < 12; ++i) {
+    (void)bld.add(bld.input(), bld.input());
+  }
+  const Dfg g = std::move(bld).take();
+  const LatencyLowerBound bound =
+      latency_lower_bound(g, parse_datapath("[1,1]"));
+  EXPECT_EQ(bound.dependence, 1);
+  EXPECT_EQ(bound.resource, 12);
+  EXPECT_EQ(bound.combined, 12);
+}
+
+TEST(LowerBound, ResourceBoundUsesCeilingDivision) {
+  DfgBuilder bld;
+  for (int i = 0; i < 7; ++i) {
+    (void)bld.add(bld.input(), bld.input());
+  }
+  const Dfg g = std::move(bld).take();
+  EXPECT_EQ(latency_lower_bound(g, parse_datapath("[2,1]")).resource, 4);
+  EXPECT_EQ(latency_lower_bound(g, parse_datapath("[3,1]")).resource, 3);
+}
+
+TEST(LowerBound, MultiCycleOpsExtendTheBound) {
+  DfgBuilder bld;
+  (void)bld.mul(bld.input(), bld.input());
+  (void)bld.mul(bld.input(), bld.input());
+  const Dfg g = std::move(bld).take();
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kMul)] = 4;
+  // Pipelined: two issues on one mult = 2 slots, + (lat-dii)=3 -> 5.
+  std::array<int, kNumFuTypes> dii_piped{1, 1, 1};
+  const Datapath piped({Cluster{{1, 1}}}, 1, lat, dii_piped);
+  EXPECT_EQ(latency_lower_bound(g, piped).resource, 5);
+  // Unpipelined (dii 4): 8 slots, no extra tail -> 8.
+  std::array<int, kNumFuTypes> dii_serial{1, 4, 1};
+  const Datapath serial({Cluster{{1, 1}}}, 1, lat, dii_serial);
+  EXPECT_EQ(latency_lower_bound(g, serial).resource, 8);
+}
+
+TEST(LowerBound, EmptyGraphIsZero) {
+  const LatencyLowerBound bound =
+      latency_lower_bound(Dfg{}, parse_datapath("[1,1]"));
+  EXPECT_EQ(bound.combined, 0);
+}
+
+TEST(LowerBound, NeverExceedsAchievedLatency) {
+  // Global soundness check across the paper suite and several configs.
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    for (const std::string spec :
+         {"[1,1|1,1]", "[2,1|1,1]", "[1,1|1,1|1,1]", "[3,1|2,2|1,3]"}) {
+      const Datapath dp = parse_datapath(spec);
+      const LatencyLowerBound bound = latency_lower_bound(kernel.dfg, dp);
+      const BindResult r = bind_full(kernel.dfg, dp);
+      EXPECT_LE(bound.combined, r.schedule.latency)
+          << kernel.name << " on " << spec;
+    }
+  }
+}
+
+TEST(LowerBound, TightOnEmbarrassinglyParallelGraphs) {
+  DfgBuilder bld;
+  for (int i = 0; i < 8; ++i) {
+    (void)bld.add(bld.input(), bld.input());
+  }
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[2,1|2,1]");
+  const LatencyLowerBound bound = latency_lower_bound(g, dp);
+  const BindResult r = bind_full(g, dp);
+  EXPECT_EQ(r.schedule.latency, bound.combined);  // binder achieves it
+}
+
+}  // namespace
+}  // namespace cvb

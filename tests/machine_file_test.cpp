@@ -1,0 +1,101 @@
+// Unit tests for the machine description file format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "machine/machine_file.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(MachineFile, ParsesFullDescription) {
+  std::istringstream in(R"(# a two-cluster DSP
+machine my_dsp
+clusters [2,1|1,1]
+buses 1
+latency mul 2
+latency mov 3
+dii MULT 2
+)");
+  const ParsedMachine m = parse_machine_file(in);
+  EXPECT_EQ(m.name, "my_dsp");
+  EXPECT_EQ(m.datapath.num_clusters(), 2);
+  EXPECT_EQ(m.datapath.fu_count(0, FuType::kAlu), 2);
+  EXPECT_EQ(m.datapath.num_buses(), 1);
+  EXPECT_EQ(m.datapath.lat(OpType::kMul), 2);
+  EXPECT_EQ(m.datapath.move_latency(), 3);
+  EXPECT_EQ(m.datapath.dii(FuType::kMult), 2);
+  EXPECT_EQ(m.datapath.dii(FuType::kAlu), 1);
+}
+
+TEST(MachineFile, DefaultsApply) {
+  std::istringstream in("clusters [1,1]\n");
+  const ParsedMachine m = parse_machine_file(in);
+  EXPECT_EQ(m.name, "machine");
+  EXPECT_EQ(m.datapath.num_buses(), 2);
+  EXPECT_EQ(m.datapath.lat(OpType::kAdd), 1);
+}
+
+TEST(MachineFile, InlineCommentsIgnored) {
+  std::istringstream in("clusters [1,1]  # centralized\nbuses 3 # wide\n");
+  EXPECT_EQ(parse_machine_file(in).datapath.num_buses(), 3);
+}
+
+TEST(MachineFile, RoundTrips) {
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kMul)] = 4;
+  lat[static_cast<std::size_t>(OpType::kMove)] = 2;
+  std::array<int, kNumFuTypes> dii{1, 4, 1};
+  const Datapath original({Cluster{{3, 1}}, Cluster{{1, 2}}}, 3, lat, dii);
+
+  std::stringstream buffer;
+  write_machine_file(buffer, original, "rt");
+  const ParsedMachine back = parse_machine_file(buffer);
+  EXPECT_EQ(back.name, "rt");
+  EXPECT_EQ(back.datapath.to_string(), original.to_string());
+  EXPECT_EQ(back.datapath.num_buses(), 3);
+  EXPECT_EQ(back.datapath.lat(OpType::kMul), 4);
+  EXPECT_EQ(back.datapath.move_latency(), 2);
+  EXPECT_EQ(back.datapath.dii(FuType::kMult), 4);
+}
+
+struct BadMachine {
+  std::string name;
+  std::string text;
+};
+
+class MachineFileErrors : public ::testing::TestWithParam<BadMachine> {};
+
+TEST_P(MachineFileErrors, Rejected) {
+  std::istringstream in(GetParam().text);
+  EXPECT_THROW((void)parse_machine_file(in), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MachineFileErrors,
+    ::testing::Values(
+        BadMachine{"no_clusters", "machine x\nbuses 2\n"},
+        BadMachine{"bad_cluster_spec", "clusters [1;1]\n"},
+        BadMachine{"bad_keyword", "clusters [1,1]\nfrequency 2\n"},
+        BadMachine{"bad_op_type", "clusters [1,1]\nlatency quux 2\n"},
+        BadMachine{"bad_fu_type", "clusters [1,1]\ndii QPU 2\n"},
+        BadMachine{"zero_latency", "clusters [1,1]\nlatency add 0\n"},
+        BadMachine{"zero_buses", "clusters [1,1]\nbuses 0\n"},
+        BadMachine{"nameless", "machine\nclusters [1,1]\n"}),
+    [](const ::testing::TestParamInfo<BadMachine>& info) {
+      return info.param.name;
+    });
+
+TEST(MachineFile, ErrorsCarryLineNumbers) {
+  std::istringstream in("clusters [1,1]\nlatency add zero\n");
+  try {
+    (void)parse_machine_file(in);
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,151 @@
+// Unit tests for the ISA tables, the Datapath model and the "[i,j|...]"
+// configuration parser.
+#include <gtest/gtest.h>
+
+#include "machine/datapath.hpp"
+#include "machine/isa.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+namespace {
+
+// ------------------------------------------------------------------- ISA
+
+TEST(Isa, FuTypePartitionCoversAllOpTypes) {
+  for (const OpType op : all_op_types()) {
+    const FuType fu = fu_type_of(op);
+    EXPECT_TRUE(fu == FuType::kAlu || fu == FuType::kMult ||
+                fu == FuType::kBus);
+  }
+}
+
+TEST(Isa, MoveMapsToBusAndNothingElseDoes) {
+  for (const OpType op : all_op_types()) {
+    EXPECT_EQ(fu_type_of(op) == FuType::kBus, is_move(op));
+  }
+}
+
+TEST(Isa, ArithmeticMapping) {
+  EXPECT_EQ(fu_type_of(OpType::kAdd), FuType::kAlu);
+  EXPECT_EQ(fu_type_of(OpType::kSub), FuType::kAlu);
+  EXPECT_EQ(fu_type_of(OpType::kMul), FuType::kMult);
+  EXPECT_EQ(fu_type_of(OpType::kMac), FuType::kMult);
+}
+
+TEST(Isa, NamesAreNonEmptyAndDistinctive) {
+  EXPECT_EQ(op_type_name(OpType::kAdd), "add");
+  EXPECT_EQ(op_type_name(OpType::kMove), "mov");
+  EXPECT_EQ(fu_type_name(FuType::kBus), "BUS");
+  for (const OpType op : all_op_types()) {
+    EXPECT_FALSE(op_type_name(op).empty());
+  }
+}
+
+// -------------------------------------------------------------- Datapath
+
+Datapath two_cluster() { return parse_datapath("[1,1|2,1]"); }
+
+TEST(Datapath, CountsPerClusterAndTotal) {
+  const Datapath dp = two_cluster();
+  EXPECT_EQ(dp.num_clusters(), 2);
+  EXPECT_EQ(dp.fu_count(0, FuType::kAlu), 1);
+  EXPECT_EQ(dp.fu_count(1, FuType::kAlu), 2);
+  EXPECT_EQ(dp.fu_count(1, FuType::kMult), 1);
+  EXPECT_EQ(dp.total_fu_count(FuType::kAlu), 3);
+  EXPECT_EQ(dp.total_fu_count(FuType::kMult), 2);
+  EXPECT_EQ(dp.total_fu_count(FuType::kBus), 2);
+}
+
+TEST(Datapath, UniformDefaultsAreUnitAndPipelined) {
+  const Datapath dp = two_cluster();
+  EXPECT_EQ(dp.lat(OpType::kAdd), 1);
+  EXPECT_EQ(dp.lat(OpType::kMul), 1);
+  EXPECT_EQ(dp.move_latency(), 1);
+  EXPECT_EQ(dp.dii(FuType::kAlu), 1);
+  EXPECT_EQ(dp.dii_op(OpType::kMove), 1);
+}
+
+TEST(Datapath, MoveLatencyOverride) {
+  const Datapath dp = parse_datapath("[1,1|1,1]", 2, 3);
+  EXPECT_EQ(dp.move_latency(), 3);
+  EXPECT_EQ(dp.lat(OpType::kAdd), 1);
+}
+
+TEST(Datapath, SupportsChecksFuAvailability) {
+  const Datapath dp = parse_datapath("[1,0|0,1]");
+  EXPECT_TRUE(dp.supports(0, OpType::kAdd));
+  EXPECT_FALSE(dp.supports(0, OpType::kMul));
+  EXPECT_FALSE(dp.supports(1, OpType::kAdd));
+  EXPECT_TRUE(dp.supports(1, OpType::kMul));
+  EXPECT_FALSE(dp.supports(0, OpType::kMove));
+}
+
+TEST(Datapath, TargetSets) {
+  const Datapath dp = parse_datapath("[1,0|1,1]");
+  EXPECT_EQ(dp.target_set(OpType::kAdd), (std::vector<ClusterId>{0, 1}));
+  EXPECT_EQ(dp.target_set(OpType::kMul), (std::vector<ClusterId>{1}));
+  EXPECT_TRUE(dp.target_set(OpType::kMove).empty());
+}
+
+TEST(Datapath, ToStringRoundTrips) {
+  EXPECT_EQ(two_cluster().to_string(), "[1,1|2,1]");
+  EXPECT_EQ(parse_datapath("3,1|2,2|1,3").to_string(), "[3,1|2,2|1,3]");
+}
+
+TEST(Datapath, RejectsBadConstruction) {
+  EXPECT_THROW(Datapath({}, 1, unit_latencies(), {1, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(Datapath({Cluster{{1, 1}}}, 0, unit_latencies(), {1, 1, 1}),
+               std::invalid_argument);
+  LatencyTable zero_lat{};
+  EXPECT_THROW(Datapath({Cluster{{1, 1}}}, 1, zero_lat, {1, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(Datapath({Cluster{{1, 1}}}, 1, unit_latencies(), {0, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(Datapath, FuCountRejectsBusQueriesAndBadIds) {
+  const Datapath dp = two_cluster();
+  EXPECT_THROW((void)dp.fu_count(0, FuType::kBus), std::invalid_argument);
+  EXPECT_THROW((void)dp.fu_count(5, FuType::kAlu), std::invalid_argument);
+  EXPECT_THROW((void)dp.fu_count(-1, FuType::kAlu), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(Parser, ParsesWithAndWithoutBrackets) {
+  EXPECT_EQ(parse_datapath("[1,1|1,1]").num_clusters(), 2);
+  EXPECT_EQ(parse_datapath("1,1|1,1").num_clusters(), 2);
+  EXPECT_EQ(parse_datapath(" [ 2,1 | 1,3 ] ").fu_count(1, FuType::kMult), 3);
+}
+
+TEST(Parser, SingleCluster) {
+  const Datapath dp = parse_datapath("[3,2]");
+  EXPECT_EQ(dp.num_clusters(), 1);
+  EXPECT_EQ(dp.fu_count(0, FuType::kAlu), 3);
+}
+
+TEST(Parser, PaperFiveClusterConfig) {
+  const Datapath dp = parse_datapath("[2,2|2,1|2,2|3,1|1,1]");
+  EXPECT_EQ(dp.num_clusters(), 5);
+  EXPECT_EQ(dp.total_fu_count(FuType::kAlu), 10);
+  EXPECT_EQ(dp.total_fu_count(FuType::kMult), 7);
+}
+
+TEST(Parser, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_datapath(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_datapath("[ ]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_datapath("[1|1,1]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_datapath("[1,1,1]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_datapath("[1,a]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_datapath("[1,1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_datapath("1,1]"), std::invalid_argument);
+}
+
+TEST(Parser, BusCountPassedThrough) {
+  EXPECT_EQ(parse_datapath("[1,1]", 5).num_buses(), 5);
+  EXPECT_THROW((void)parse_datapath("[1,1]", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvb

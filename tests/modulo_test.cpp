@@ -1,0 +1,257 @@
+// Unit tests for the software-pipelining extension: cyclic graphs, MII
+// bounds, the cluster-aware modulo scheduler, and its verifier.
+#include <gtest/gtest.h>
+
+#include "machine/parser.hpp"
+#include "modulo/cyclic_dfg.hpp"
+#include "modulo/loop_kernels.hpp"
+#include "modulo/mii.hpp"
+#include "modulo/modulo_scheduler.hpp"
+
+namespace cvb {
+namespace {
+
+// ------------------------------------------------------------ CyclicDfg
+
+TEST(CyclicDfg, BodyDropsCarriedEdges) {
+  const CyclicDfg loop = make_dot_product_loop();
+  const Dfg body = loop.body();
+  EXPECT_EQ(body.num_ops(), 2);
+  EXPECT_EQ(body.num_edges(), 1);  // only mul -> add
+}
+
+TEST(CyclicDfg, RejectsZeroDistanceSelfEdge) {
+  CyclicDfg loop;
+  const OpId v = loop.add_op(OpType::kAdd);
+  EXPECT_THROW(loop.add_edge(v, v, 0), std::invalid_argument);
+  EXPECT_NO_THROW(loop.add_edge(v, v, 1));
+}
+
+TEST(CyclicDfg, RejectsNegativeDistanceAndDuplicates) {
+  CyclicDfg loop;
+  const OpId a = loop.add_op(OpType::kAdd);
+  const OpId b = loop.add_op(OpType::kAdd);
+  EXPECT_THROW(loop.add_edge(a, b, -1), std::invalid_argument);
+  loop.add_edge(a, b, 0);
+  EXPECT_THROW(loop.add_edge(a, b, 0), std::invalid_argument);
+  EXPECT_NO_THROW(loop.add_edge(a, b, 1));  // distinct distance is fine
+}
+
+TEST(CyclicDfg, ValidateRejectsZeroDistanceCycle) {
+  CyclicDfg loop;
+  const OpId a = loop.add_op(OpType::kAdd);
+  const OpId b = loop.add_op(OpType::kAdd);
+  loop.add_edge(a, b, 0);
+  loop.add_edge(b, a, 0);
+  EXPECT_THROW(loop.validate(), std::logic_error);
+}
+
+// ------------------------------------------------------------------ MII
+
+TEST(Mii, ResourceBoundCountsFuTypes) {
+  // 4 muls on a 1-mult datapath: ResMII 4; on 2 mults: 2.
+  const CyclicDfg loop = make_complex_mac_loop();  // 4 muls, 4 adds
+  EXPECT_EQ(resource_mii(loop, parse_datapath("[1,1]")), 4);
+  EXPECT_EQ(resource_mii(loop, parse_datapath("[2,2]")), 2);
+  EXPECT_EQ(resource_mii(loop, parse_datapath("[2,2|2,2]")), 1);
+}
+
+TEST(Mii, RecurrenceBoundFromSelfAccumulator) {
+  // acc -> acc with distance 1, unit latency: RecMII 1.
+  const CyclicDfg loop = make_dot_product_loop();
+  EXPECT_EQ(recurrence_mii(loop, unit_latencies()), 1);
+  // With a 3-cycle adder the recurrence forces II >= 3.
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kAdd)] = 3;
+  EXPECT_EQ(recurrence_mii(loop, lat), 3);
+}
+
+TEST(Mii, RecurrenceBoundOnMultiOpCycle) {
+  // Biquad: y -> a1y1 (dist 1) -> s2 -> y: cycle latency 3, distance 1.
+  const CyclicDfg loop = make_iir_biquad_loop();
+  EXPECT_EQ(recurrence_mii(loop, unit_latencies()), 3);
+}
+
+TEST(Mii, MinimumIiTakesTheMax) {
+  const CyclicDfg loop = make_iir_biquad_loop();  // 5 muls, RecMII 3
+  EXPECT_EQ(minimum_ii(loop, parse_datapath("[1,1]")), 5);   // ResMII wins
+  EXPECT_EQ(minimum_ii(loop, parse_datapath("[2,2]")), 3);   // RecMII wins
+}
+
+// ------------------------------------------------------- modulo scheduler
+
+TEST(ModuloScheduler, AchievesMiiOnSimpleLoops) {
+  for (const auto& [name, loop] :
+       {std::pair<std::string, CyclicDfg>{"dot", make_dot_product_loop()},
+        {"cmac", make_complex_mac_loop()},
+        {"lattice", make_lattice_stage_loop(2)}}) {
+    const Datapath dp = parse_datapath("[2,2|2,2]");
+    const ModuloResult r = software_pipeline(loop, dp);
+    EXPECT_EQ(verify_modulo_schedule(r, dp), "") << name;
+    EXPECT_GE(r.ii, r.mii) << name;
+    EXPECT_LE(r.ii, r.mii + 1) << name;  // near-optimal pipelining
+  }
+}
+
+TEST(ModuloScheduler, BiquadRecurrenceLimitsII) {
+  const CyclicDfg loop = make_iir_biquad_loop();
+  const Datapath dp = parse_datapath("[2,2|2,1]");
+  const ModuloResult r = software_pipeline(loop, dp);
+  EXPECT_EQ(verify_modulo_schedule(r, dp), "");
+  EXPECT_GE(r.ii, 3);  // RecMII
+  EXPECT_LE(r.ii, 4);
+}
+
+TEST(ModuloScheduler, CrossClusterDependencesGetMoves) {
+  const CyclicDfg loop = make_complex_mac_loop();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  // Force a split binding: muls on cluster 0, adds on cluster 1.
+  Binding binding;
+  for (OpId v = 0; v < loop.num_ops(); ++v) {
+    binding.push_back(fu_type_of(loop.type(v)) == FuType::kMult ? 0 : 1);
+  }
+  const ModuloResult r = modulo_schedule(loop, dp, binding);
+  EXPECT_EQ(verify_modulo_schedule(r, dp), "");
+  EXPECT_GT(r.num_moves, 0);
+  EXPECT_EQ(r.kernel.num_ops(), loop.num_ops() + r.num_moves);
+}
+
+TEST(ModuloScheduler, MovesShareDestinationAndDistance) {
+  // One producer read by two consumers on the same remote cluster at
+  // the same distance: one move suffices.
+  CyclicDfg loop;
+  const OpId p = loop.add_op(OpType::kAdd, "p");
+  const OpId c1 = loop.add_op(OpType::kAdd, "c1");
+  const OpId c2 = loop.add_op(OpType::kAdd, "c2");
+  loop.add_edge(p, c1, 0);
+  loop.add_edge(p, c2, 0);
+  const Datapath dp = parse_datapath("[1,1|2,1]");
+  const ModuloResult r = modulo_schedule(loop, dp, {0, 1, 1});
+  EXPECT_EQ(r.num_moves, 1);
+  EXPECT_EQ(verify_modulo_schedule(r, dp), "");
+}
+
+TEST(ModuloScheduler, DistinctDistancesGetDistinctMoves) {
+  CyclicDfg loop;
+  const OpId p = loop.add_op(OpType::kAdd, "p");
+  const OpId c1 = loop.add_op(OpType::kAdd, "c1");
+  const OpId c2 = loop.add_op(OpType::kAdd, "c2");
+  loop.add_edge(p, c1, 0);
+  loop.add_edge(p, c2, 1);  // reads last iteration's value
+  const Datapath dp = parse_datapath("[1,1|2,1]");
+  const ModuloResult r = modulo_schedule(loop, dp, {0, 1, 1});
+  EXPECT_EQ(r.num_moves, 2);
+  EXPECT_EQ(verify_modulo_schedule(r, dp), "");
+}
+
+TEST(ModuloScheduler, BusTrafficRaisesII) {
+  // 6 independent MAC lanes, muls and adds split across clusters: every
+  // product crosses the bus. With one bus the II is transfer-bound.
+  const CyclicDfg loop = make_dot_product_loop(6);
+  Binding split;
+  for (OpId v = 0; v < loop.num_ops(); ++v) {
+    split.push_back(fu_type_of(loop.type(v)) == FuType::kMult ? 0 : 1);
+  }
+  const Datapath one_bus = parse_datapath("[6,6|6,6]", 1);
+  const Datapath six_bus = parse_datapath("[6,6|6,6]", 6);
+  const ModuloResult narrow = modulo_schedule(loop, one_bus, split);
+  const ModuloResult wide = modulo_schedule(loop, six_bus, split);
+  EXPECT_EQ(verify_modulo_schedule(narrow, one_bus), "");
+  EXPECT_EQ(verify_modulo_schedule(wide, six_bus), "");
+  EXPECT_GE(narrow.ii, 6);  // six transfers over one bus per iteration
+  EXPECT_LT(wide.ii, narrow.ii);
+}
+
+TEST(ModuloScheduler, StagesCoverMakespan) {
+  const CyclicDfg loop = make_iir_biquad_loop();
+  const Datapath dp = parse_datapath("[2,2]");
+  const ModuloResult r = software_pipeline(loop, dp);
+  EXPECT_GE(r.stages, 1);
+  for (OpId v = 0; v < r.kernel.num_ops(); ++v) {
+    EXPECT_LT(r.start[static_cast<std::size_t>(v)], r.stages * r.ii);
+  }
+}
+
+TEST(ModuloScheduler, VerifierCatchesCorruption) {
+  const CyclicDfg loop = make_complex_mac_loop();
+  const Datapath dp = parse_datapath("[2,2]");
+  ModuloResult r = software_pipeline(loop, dp);
+  ASSERT_EQ(verify_modulo_schedule(r, dp), "");
+  ModuloResult bad = r;
+  bad.start[0] = -1;  // unscheduled op
+  EXPECT_NE(verify_modulo_schedule(bad, dp), "");
+  ModuloResult bad2 = r;
+  bad2.ii = 0;
+  EXPECT_NE(verify_modulo_schedule(bad2, dp), "");
+  ModuloResult bad3 = r;
+  bad3.place[0] = 99;  // infeasible placement
+  EXPECT_NE(verify_modulo_schedule(bad3, dp), "");
+}
+
+TEST(ModuloScheduler, RejectsEmptyLoop) {
+  const Datapath dp = parse_datapath("[1,1]");
+  EXPECT_THROW((void)modulo_schedule(CyclicDfg{}, dp, {}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------- parameterized sweep
+
+struct PipelineSweepCase {
+  std::string loop_name;
+  std::string datapath;
+  int buses;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineSweepCase> {
+ protected:
+  static CyclicDfg loop_by_name(const std::string& name) {
+    if (name == "dot1") {
+      return make_dot_product_loop(1);
+    }
+    if (name == "dot4") {
+      return make_dot_product_loop(4);
+    }
+    if (name == "biquad") {
+      return make_iir_biquad_loop();
+    }
+    if (name == "cmac") {
+      return make_complex_mac_loop();
+    }
+    return make_lattice_stage_loop(3);
+  }
+};
+
+TEST_P(PipelineSweep, PipelineIsLegalAndBounded) {
+  const CyclicDfg loop = loop_by_name(GetParam().loop_name);
+  const Datapath dp = parse_datapath(GetParam().datapath, GetParam().buses);
+  const ModuloResult r = software_pipeline(loop, dp);
+  EXPECT_EQ(verify_modulo_schedule(r, dp), "");
+  EXPECT_GE(r.ii, minimum_ii(loop, dp));
+  EXPECT_GE(r.stages, 1);
+  EXPECT_EQ(r.kernel.num_ops(), loop.num_ops() + r.num_moves);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoopsByDatapath, PipelineSweep,
+    ::testing::Values(PipelineSweepCase{"dot1", "[1,1]", 1},
+                      PipelineSweepCase{"dot4", "[2,2|2,2]", 2},
+                      PipelineSweepCase{"dot4", "[1,1|1,1]", 1},
+                      PipelineSweepCase{"biquad", "[1,1]", 1},
+                      PipelineSweepCase{"biquad", "[2,2|2,1]", 2},
+                      PipelineSweepCase{"cmac", "[1,1|1,1]", 1},
+                      PipelineSweepCase{"cmac", "[1,1|1,1|1,1]", 2},
+                      PipelineSweepCase{"lattice3", "[2,2|2,2]", 2},
+                      PipelineSweepCase{"lattice3", "[1,1|1,1|1,1|1,1]", 2}),
+    [](const ::testing::TestParamInfo<PipelineSweepCase>& info) {
+      return info.param.loop_name + "_" + std::to_string(info.index);
+    });
+
+TEST(LoopKernels, ParamValidation) {
+  EXPECT_THROW((void)make_dot_product_loop(0), std::invalid_argument);
+  EXPECT_THROW((void)make_lattice_stage_loop(0), std::invalid_argument);
+  EXPECT_NO_THROW(make_iir_biquad_loop().validate());
+  EXPECT_NO_THROW(make_lattice_stage_loop(3).validate());
+}
+
+}  // namespace
+}  // namespace cvb

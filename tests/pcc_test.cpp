@@ -1,0 +1,154 @@
+// Unit tests for the PCC baseline: partial-component formation,
+// assignment feasibility, and overall behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bind/binding.hpp"
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(PccComponents, EveryOpLabeled) {
+  const Dfg g = benchmark_by_name("EWF").dfg;
+  const std::vector<int> labels = pcc_partial_components(g, 8);
+  ASSERT_EQ(static_cast<int>(labels.size()), g.num_ops());
+  for (const int l : labels) {
+    EXPECT_GE(l, 0);
+  }
+}
+
+TEST(PccComponents, RespectsSizeCap) {
+  const Dfg g = benchmark_by_name("DCT-DIT").dfg;
+  for (const int cap : {1, 3, 8, 16}) {
+    const std::vector<int> labels = pcc_partial_components(g, cap);
+    std::vector<int> sizes;
+    for (const int l : labels) {
+      if (l >= static_cast<int>(sizes.size())) {
+        sizes.resize(static_cast<std::size_t>(l) + 1, 0);
+      }
+      ++sizes[static_cast<std::size_t>(l)];
+    }
+    for (const int size : sizes) {
+      EXPECT_LE(size, cap) << "cap " << cap;
+      EXPECT_GT(size, 0);
+    }
+  }
+}
+
+TEST(PccComponents, CapOneIsOneOpPerComponent) {
+  const Dfg g = make_fir(6);
+  const std::vector<int> labels = pcc_partial_components(g, 1);
+  std::set<int> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(static_cast<int>(distinct.size()), g.num_ops());
+}
+
+TEST(PccComponents, LargeCapKeepsChainTogether) {
+  // A pure chain with a cap covering it all: one component.
+  DfgBuilder bld;
+  Value acc = bld.add(bld.input(), bld.input());
+  for (int i = 0; i < 7; ++i) {
+    acc = bld.add(acc, bld.input());
+  }
+  const Dfg g = std::move(bld).take();
+  const std::vector<int> labels = pcc_partial_components(g, 100);
+  EXPECT_EQ(*std::max_element(labels.begin(), labels.end()), 0);
+}
+
+TEST(PccComponents, RejectsNonPositiveCap) {
+  EXPECT_THROW((void)pcc_partial_components(make_fir(3), 0),
+               std::invalid_argument);
+}
+
+TEST(Pcc, ProducesValidVerifiedResult) {
+  const Dfg g = benchmark_by_name("ARF").dfg;
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  PccInfo info;
+  const BindResult r = pcc_binding(g, dp, {}, &info);
+  EXPECT_EQ(check_binding(g, r.binding, dp), "");
+  EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "");
+  EXPECT_GT(info.partitions_tried, 0);
+  EXPECT_GT(info.best_cap, 0);
+  EXPECT_GE(info.ms, 0.0);
+}
+
+TEST(Pcc, HandlesHeterogeneousClusters) {
+  // Cluster 1 has no multiplier: components containing muls must land
+  // on cluster 0 (possibly after the op-level fallback).
+  DfgBuilder bld;
+  const Value x = bld.mul(bld.input(), bld.input());
+  const Value y = bld.add(x, bld.input());
+  (void)bld.mul(y, bld.input());
+  (void)bld.add(bld.input(), bld.input());
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,0]");
+  const BindResult r = pcc_binding(g, dp);
+  EXPECT_EQ(check_binding(g, r.binding, dp), "");
+  EXPECT_EQ(r.binding[0], 0);
+  EXPECT_EQ(r.binding[2], 0);
+}
+
+TEST(Pcc, ThrowsWhenOpUnsupportedEverywhere) {
+  DfgBuilder bld;
+  (void)bld.mul(bld.input(), bld.input());
+  const Dfg g = std::move(bld).take();
+  EXPECT_THROW((void)pcc_binding(g, parse_datapath("[1,0|2,0]")),
+               std::invalid_argument);
+  EXPECT_THROW((void)pcc_binding(Dfg{}, parse_datapath("[1,1]")),
+               std::invalid_argument);
+}
+
+TEST(Pcc, ExplicitCapSweepIsUsed) {
+  const Dfg g = benchmark_by_name("FFT").dfg;
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  PccParams params;
+  params.component_caps = {4};
+  PccInfo info;
+  (void)pcc_binding(g, dp, params, &info);
+  EXPECT_EQ(info.partitions_tried, 1);
+  EXPECT_EQ(info.best_cap, 4);
+}
+
+TEST(Pcc, SweepNeverWorseThanAnySingleCap) {
+  const Dfg g = benchmark_by_name("DCT-DIF").dfg;
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult sweep = pcc_binding(g, dp);
+  for (const int cap : {2, 8, 32}) {
+    PccParams params;
+    params.component_caps = {cap};
+    const BindResult single = pcc_binding(g, dp, params);
+    EXPECT_LE(sweep.schedule.latency, single.schedule.latency) << cap;
+  }
+}
+
+TEST(Pcc, DeterministicAcrossRuns) {
+  const Dfg g = benchmark_by_name("EWF").dfg;
+  const Datapath dp = parse_datapath("[2,1|1,1]");
+  const BindResult a = pcc_binding(g, dp);
+  const BindResult b = pcc_binding(g, dp);
+  EXPECT_EQ(a.binding, b.binding);
+}
+
+TEST(Pcc, BalancesTwoIndependentChains) {
+  DfgBuilder bld;
+  for (int c = 0; c < 2; ++c) {
+    Value acc = bld.add(bld.input(), bld.input());
+    for (int i = 0; i < 4; ++i) {
+      acc = bld.add(acc, bld.input());
+    }
+  }
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindResult r = pcc_binding(g, dp);
+  EXPECT_EQ(r.schedule.latency, 5);
+  EXPECT_EQ(r.schedule.num_moves, 0);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,194 @@
+// Property-based tests: randomized DFGs and datapath configurations
+// pushed through the full pipeline, checking the invariants that must
+// hold for *every* input (schedule legality, latency bounds, algorithm
+// dominance relations, determinism of move accounting).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bind/binding.hpp"
+#include "bind/bound_dfg.hpp"
+#include "bind/driver.hpp"
+#include "graph/analysis.hpp"
+#include "graph/components.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/verifier.hpp"
+
+namespace cvb {
+namespace {
+
+struct PropertyConfig {
+  std::uint64_t seed;
+  int num_ops;
+  int num_layers;
+  std::string datapath;
+  int buses;
+  int move_latency;
+};
+
+std::ostream& operator<<(std::ostream& out, const PropertyConfig& c) {
+  return out << "seed=" << c.seed << " ops=" << c.num_ops << " dp="
+             << c.datapath;
+}
+
+class RandomPipeline : public ::testing::TestWithParam<PropertyConfig> {
+ protected:
+  Dfg make_graph() const {
+    Rng rng(GetParam().seed);
+    RandomDagParams params;
+    params.num_ops = GetParam().num_ops;
+    params.num_layers = GetParam().num_layers;
+    params.mul_fraction = 0.35;
+    return make_random_layered(params, rng);
+  }
+  Datapath make_dp() const {
+    return parse_datapath(GetParam().datapath, GetParam().buses,
+                          GetParam().move_latency);
+  }
+};
+
+TEST_P(RandomPipeline, FullPipelineInvariants) {
+  const Dfg g = make_graph();
+  const Datapath dp = make_dp();
+  const int lcp = critical_path_length(g, dp.latencies());
+
+  const BindResult init = bind_initial_best(g, dp);
+  const BindResult full = bind_full(g, dp);
+
+  // 1. Bindings are valid and schedules legal.
+  EXPECT_EQ(check_binding(g, init.binding, dp), "");
+  EXPECT_EQ(check_binding(g, full.binding, dp), "");
+  EXPECT_EQ(verify_schedule(init.bound, dp, init.schedule), "");
+  EXPECT_EQ(verify_schedule(full.bound, dp, full.schedule), "");
+
+  // 2. Latency bounded below by the dependence bound.
+  EXPECT_GE(init.schedule.latency, lcp);
+  EXPECT_GE(full.schedule.latency, lcp);
+
+  // 3. B-ITER never loses to B-INIT.
+  EXPECT_LE(full.schedule.latency, init.schedule.latency);
+
+  // 4. Move accounting consistent: moves in the bound graph equal the
+  //    schedule's record and never exceed the binding's cut edges.
+  EXPECT_EQ(full.bound.num_moves, full.schedule.num_moves);
+  EXPECT_LE(full.bound.num_moves, count_cut_edges(g, full.binding));
+
+  // 5. All-on-one-cluster binding (when feasible) has zero moves.
+  bool cluster0_universal = true;
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    cluster0_universal = cluster0_universal && dp.supports(0, g.type(v));
+  }
+  if (cluster0_universal) {
+    const Binding all0(static_cast<std::size_t>(g.num_ops()), 0);
+    EXPECT_EQ(build_bound_dfg(g, all0, dp).num_moves, 0);
+  }
+}
+
+TEST_P(RandomPipeline, PccInvariants) {
+  const Dfg g = make_graph();
+  const Datapath dp = make_dp();
+  const BindResult pcc = pcc_binding(g, dp);
+  EXPECT_EQ(check_binding(g, pcc.binding, dp), "");
+  EXPECT_EQ(verify_schedule(pcc.bound, dp, pcc.schedule), "");
+  EXPECT_GE(pcc.schedule.latency, critical_path_length(g, dp.latencies()));
+}
+
+TEST_P(RandomPipeline, SchedulerLatencyWithinSerialBound) {
+  const Dfg g = make_graph();
+  const Datapath dp = make_dp();
+  const BindResult full = bind_full(g, dp);
+  // Upper bound: complete serialization of every op plus every move at
+  // the slowest latency.
+  long serial = 0;
+  for (OpId v = 0; v < full.bound.graph.num_ops(); ++v) {
+    serial += lat_of(dp.latencies(), full.bound.graph.type(v));
+  }
+  EXPECT_LE(full.schedule.latency, serial);
+}
+
+TEST_P(RandomPipeline, ReversedGraphSameCriticalPath) {
+  const Dfg g = make_graph();
+  const Datapath dp = make_dp();
+  // With symmetric (unit) op latencies the reversed graph has the same
+  // critical path — the property the reverse binding mode relies on.
+  EXPECT_EQ(critical_path_length(g, dp.latencies()),
+            critical_path_length(g.reversed(), dp.latencies()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, RandomPipeline,
+    ::testing::Values(
+        PropertyConfig{1, 12, 4, "[1,1|1,1]", 2, 1},
+        PropertyConfig{2, 20, 5, "[1,1|1,1]", 2, 1},
+        PropertyConfig{3, 20, 5, "[2,1|1,1]", 1, 1},
+        PropertyConfig{4, 28, 6, "[2,1|2,1]", 2, 1},
+        PropertyConfig{5, 28, 4, "[1,1|1,1|1,1]", 2, 1},
+        PropertyConfig{6, 36, 6, "[1,1|1,1|1,1]", 1, 2},
+        PropertyConfig{7, 36, 8, "[2,2|2,1]", 2, 1},
+        PropertyConfig{8, 44, 7, "[3,1|2,2|1,3]", 2, 1},
+        PropertyConfig{9, 44, 9, "[1,1|1,1|1,1|1,1]", 2, 2},
+        PropertyConfig{10, 52, 8, "[2,1|2,1|1,2]", 1, 1}),
+    [](const ::testing::TestParamInfo<PropertyConfig>& info) {
+      return "cfg" + std::to_string(info.param.seed);
+    });
+
+// ------------------------------------------------ cross-kernel properties
+
+TEST(KernelProperties, MoveLatencyMonotone) {
+  // Raising lat(move) can never make the best achievable schedule
+  // faster on the same datapath (checked on the full algorithm's
+  // output as a sanity property, kernel by kernel).
+  for (const std::string name : {"FFT", "ARF"}) {
+    const Dfg g = benchmark_by_name(name).dfg;
+    const BindResult fast =
+        bind_full(g, parse_datapath("[2,1|2,1]", 2, 1));
+    const BindResult slow =
+        bind_full(g, parse_datapath("[2,1|2,1]", 2, 3));
+    EXPECT_LE(fast.schedule.latency, slow.schedule.latency) << name;
+  }
+}
+
+TEST(KernelProperties, MoreBusesNeverHurt) {
+  for (const std::string name : {"DCT-DIF", "FFT"}) {
+    const Dfg g = benchmark_by_name(name).dfg;
+    const BindResult one_bus =
+        bind_full(g, parse_datapath("[1,1|1,1|1,1]", 1, 1));
+    const BindResult four_bus =
+        bind_full(g, parse_datapath("[1,1|1,1|1,1]", 4, 1));
+    EXPECT_LE(four_bus.schedule.latency, one_bus.schedule.latency) << name;
+  }
+}
+
+TEST(KernelProperties, SingleClusterIsMoveFree) {
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    const Datapath dp = parse_datapath("[3,3]");
+    const BindResult r = bind_full(kernel.dfg, dp);
+    EXPECT_EQ(r.schedule.num_moves, 0) << kernel.name;
+    EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "") << kernel.name;
+  }
+}
+
+TEST(KernelProperties, IndependentComponentsDontTransferOnTwoClusters) {
+  // DCT-DIF and DCT-LEE have two independent components; with two
+  // identical clusters the best binding should need few or no moves.
+  for (const std::string name : {"DCT-DIF", "DCT-LEE"}) {
+    const BenchmarkKernel kernel = benchmark_by_name(name);
+    ASSERT_EQ(num_components(kernel.dfg), 2) << name;
+    const BindResult r = bind_full(kernel.dfg, parse_datapath("[2,2|2,2]"));
+    EXPECT_LE(r.schedule.num_moves, 6) << name;
+  }
+}
+
+TEST(KernelProperties, UnrolledKernelLatencyAtLeastBase) {
+  const BindResult base =
+      bind_full(make_dct_dit(), parse_datapath("[2,1|2,1]"));
+  const BindResult unrolled =
+      bind_full(make_dct_dit2(), parse_datapath("[2,1|2,1]"));
+  EXPECT_GE(unrolled.schedule.latency, base.schedule.latency);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,106 @@
+// Unit tests for the Q_U and Q_M binding quality vectors, including the
+// paper's Figure 6 scenario: two bindings of equal latency where Q_U
+// must prefer the one with the thinner schedule tail.
+#include <gtest/gtest.h>
+
+#include "bind/bound_dfg.hpp"
+#include "graph/builder.hpp"
+#include "machine/parser.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/quality.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(QualityU, LatencyDominates) {
+  const QualityU fast{3, {1, 1, 1}};
+  const QualityU slow{4, {0, 0, 0, 0}};
+  EXPECT_LT(fast, slow);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(QualityU, TailCountsBreakLatencyTies) {
+  // Figure 6: binding (b) has fewer operations completing at the last
+  // step than binding (a); at equal L it must compare smaller.
+  const QualityU a{5, {2, 1, 0, 0, 0}};  // two ops finish at step L
+  const QualityU b{5, {1, 2, 0, 0, 0}};  // one op finishes at step L
+  EXPECT_LT(b, a);
+}
+
+TEST(QualityU, ComparesDeeperLevelsOnTie) {
+  const QualityU a{5, {1, 3, 0, 0, 0}};
+  const QualityU b{5, {1, 2, 1, 0, 0}};
+  EXPECT_LT(b, a);
+}
+
+TEST(QualityU, EqualVectorsAreEquivalent) {
+  const QualityU a{4, {1, 2, 0, 1}};
+  const QualityU b{4, {1, 2, 0, 1}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(QualityM, LexicographicLatencyThenMoves) {
+  EXPECT_LT((QualityM{5, 9}), (QualityM{6, 0}));
+  EXPECT_LT((QualityM{5, 3}), (QualityM{5, 4}));
+  EXPECT_EQ((QualityM{5, 3}), (QualityM{5, 3}));
+}
+
+TEST(QualityCompute, CountsRegularOpCompletionsOnly) {
+  // Chain a -> b on separate clusters: move completes at cycle 2, b at
+  // cycle 3. The move must not appear in the tail counts.
+  DfgBuilder bld;
+  const Value a = bld.add(bld.input(), bld.input(), "a");
+  (void)bld.add(a, bld.input(), "b");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BoundDfg bound = build_bound_dfg(g, {0, 1}, dp);
+  const Schedule s = list_schedule(bound, dp);
+  ASSERT_EQ(s.latency, 3);
+
+  const QualityU q = compute_quality_u(bound, dp, s);
+  EXPECT_EQ(q.latency, 3);
+  ASSERT_EQ(q.tail_counts.size(), 3u);
+  EXPECT_EQ(q.tail_counts[0], 1);  // b at step L
+  EXPECT_EQ(q.tail_counts[1], 0);  // only the move completes at L-1
+  EXPECT_EQ(q.tail_counts[2], 1);  // a at step L-2
+}
+
+TEST(QualityCompute, QmReflectsScheduleFields) {
+  DfgBuilder bld;
+  const Value a = bld.add(bld.input(), bld.input());
+  (void)bld.add(a, bld.input());
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BoundDfg bound = build_bound_dfg(g, {0, 1}, dp);
+  const Schedule s = list_schedule(bound, dp);
+  const QualityM q = compute_quality_m(s);
+  EXPECT_EQ(q.latency, s.latency);
+  EXPECT_EQ(q.num_moves, 1);
+}
+
+TEST(QualityCompute, TailSumsToRegularOpCount) {
+  DfgBuilder bld;
+  Value acc = bld.add(bld.input(), bld.input());
+  for (int i = 0; i < 6; ++i) {
+    acc = bld.mul(acc, bld.input());
+  }
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  Binding alternating;
+  for (OpId v = 0; v < g.num_ops(); ++v) {
+    alternating.push_back(v % 2);
+  }
+  const BoundDfg bound = build_bound_dfg(g, alternating, dp);
+  const Schedule s = list_schedule(bound, dp);
+  const QualityU q = compute_quality_u(bound, dp, s);
+  int total = 0;
+  for (const int u : q.tail_counts) {
+    total += u;
+  }
+  EXPECT_EQ(total, g.num_ops());
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,128 @@
+// Unit tests for per-cluster linear-scan register allocation, including
+// the pressure-equivalence property (linear scan on interval lifetimes
+// is optimal, so files are sized exactly at max-live).
+#include <gtest/gtest.h>
+
+#include "bind/bound_dfg.hpp"
+#include "bind/driver.hpp"
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "regalloc/regalloc.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/reg_pressure.hpp"
+
+namespace cvb {
+namespace {
+
+struct Allocated {
+  BoundDfg bound;
+  Schedule sched;
+  RegAllocation alloc;
+};
+
+Allocated allocate(const Dfg& g, const Binding& b, const Datapath& dp) {
+  Allocated out{build_bound_dfg(g, b, dp), {}, {}};
+  out.sched = list_schedule(out.bound, dp);
+  out.alloc = allocate_registers(out.bound, dp, out.sched);
+  return out;
+}
+
+TEST(RegAlloc, ChainReusesOneRegister) {
+  DfgBuilder bld;
+  Value acc = bld.add(bld.input(), bld.input());
+  for (int i = 0; i < 7; ++i) {
+    acc = bld.add(acc, bld.input());
+  }
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1]");
+  const Allocated a = allocate(g, Binding(8, 0), dp);
+  // Each intermediate dies exactly when the next consumes it; two
+  // registers suffice (producer + consumer overlap at the read cycle).
+  EXPECT_LE(a.alloc.regs_used[0], 2);
+  EXPECT_EQ(verify_allocation(a.bound, dp, a.sched, a.alloc), "");
+}
+
+TEST(RegAlloc, FileSizeEqualsMaxLivePressure) {
+  for (const std::string name : {"EWF", "ARF", "DCT-DIT", "FFT"}) {
+    const Dfg g = benchmark_by_name(name).dfg;
+    const Datapath dp = parse_datapath("[1,1|1,1]");
+    const BindResult r = bind_full(g, dp);
+    const RegAllocation alloc = allocate_registers(r.bound, dp, r.schedule);
+    const RegPressure pressure =
+        compute_reg_pressure(r.bound, dp, r.schedule);
+    ASSERT_EQ(verify_allocation(r.bound, dp, r.schedule, alloc), "") << name;
+    for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+      EXPECT_EQ(alloc.regs_used[static_cast<std::size_t>(c)],
+                pressure.max_live[static_cast<std::size_t>(c)])
+          << name << " cluster " << c;
+    }
+  }
+}
+
+TEST(RegAlloc, MoveResultsLiveInDestinationFile) {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input(), "x");
+  (void)bld.add(x, bld.input(), "y");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Allocated a = allocate(g, {0, 1}, dp);
+  const OpId move = 2;
+  EXPECT_EQ(a.alloc.home_of[static_cast<std::size_t>(move)], 1);
+  EXPECT_EQ(verify_allocation(a.bound, dp, a.sched, a.alloc), "");
+}
+
+TEST(RegAlloc, DisjointLifetimesShareRegisters) {
+  // Two back-to-back producer/consumer pairs: second pair can reuse the
+  // first pair's register.
+  DfgBuilder bld;
+  const Value a = bld.add(bld.input(), bld.input(), "a");
+  const Value b = bld.add(a, bld.input(), "b");
+  const Value c = bld.add(b, bld.input(), "c");
+  (void)bld.add(c, bld.input(), "d");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1]");
+  const Allocated al = allocate(g, Binding(4, 0), dp);
+  EXPECT_LE(al.alloc.regs_used[0], 2);
+}
+
+TEST(RegAlloc, VerifierCatchesSharingViolation) {
+  DfgBuilder bld;
+  const Value a = bld.add(bld.input(), bld.input(), "a");
+  const Value b = bld.add(bld.input(), bld.input(), "b");
+  (void)bld.add(a, b, "c");
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[2,1]");
+  Allocated al = allocate(g, Binding(3, 0), dp);
+  ASSERT_EQ(verify_allocation(al.bound, dp, al.sched, al.alloc), "");
+  // a and b are simultaneously live; force them into one register.
+  al.alloc.reg_of[1] = al.alloc.reg_of[0];
+  EXPECT_NE(verify_allocation(al.bound, dp, al.sched, al.alloc), "");
+}
+
+TEST(RegAlloc, VerifierCatchesBadHome) {
+  DfgBuilder bld;
+  (void)bld.add(bld.input(), bld.input());
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  Allocated al = allocate(g, {0}, dp);
+  al.alloc.home_of[0] = 1;
+  EXPECT_NE(verify_allocation(al.bound, dp, al.sched, al.alloc), "");
+}
+
+TEST(RegAlloc, ClusteringShrinksWorstFile) {
+  // The end-to-end version of the paper's Section-2 assumption: after
+  // binding, the worst per-cluster file is no bigger than (and usually
+  // smaller than) the centralized machine's single file.
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    const Datapath clustered = parse_datapath("[1,1|1,1]");
+    const BindResult r = bind_full(kernel.dfg, clustered);
+    const RegAllocation alloc =
+        allocate_registers(r.bound, clustered, r.schedule);
+    const RegPressure p = compute_reg_pressure(r.bound, clustered, r.schedule);
+    EXPECT_LE(alloc.worst_file(), p.centralized_max_live) << kernel.name;
+  }
+}
+
+}  // namespace
+}  // namespace cvb

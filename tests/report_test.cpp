@@ -1,0 +1,96 @@
+// Unit tests for the binding report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bind/bound_dfg.hpp"
+#include "bind/report.hpp"
+#include "graph/builder.hpp"
+#include "machine/parser.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace cvb {
+namespace {
+
+BindingReport report_for(const Dfg& g, const Binding& b, const Datapath& dp) {
+  const BoundDfg bound = build_bound_dfg(g, b, dp);
+  return make_binding_report(bound, dp, list_schedule(bound, dp));
+}
+
+Dfg split_graph() {
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input(), "x");
+  const Value y = bld.mul(x, bld.input(), "y");
+  (void)bld.add(y, bld.input(), "z");
+  return std::move(bld).take();
+}
+
+TEST(Report, CountsOpsPerClusterAndType) {
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindingReport r = report_for(split_graph(), {0, 0, 1}, dp);
+  EXPECT_EQ(r.ops_per_cluster, (std::vector<int>{2, 1}));
+  // cluster 0: 1 add + 1 mul; cluster 1: 1 add.
+  EXPECT_EQ(r.fu_usage[0].num_ops, 1);  // c0 ALU
+  EXPECT_EQ(r.fu_usage[1].num_ops, 1);  // c0 MULT
+  EXPECT_EQ(r.fu_usage[2].num_ops, 1);  // c1 ALU
+  EXPECT_EQ(r.fu_usage[3].num_ops, 0);  // c1 MULT
+}
+
+TEST(Report, TransferAndBoundaryAccounting) {
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindingReport r = report_for(split_graph(), {0, 0, 1}, dp);
+  EXPECT_EQ(r.num_moves, 1);
+  EXPECT_EQ(r.cut_edges, 1);
+  EXPECT_EQ(r.boundary_ops, 2);  // y (producer) and z (consumer)
+}
+
+TEST(Report, NoTransfersMeansNoBoundary) {
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindingReport r = report_for(split_graph(), {0, 0, 0}, dp);
+  EXPECT_EQ(r.num_moves, 0);
+  EXPECT_EQ(r.cut_edges, 0);
+  EXPECT_EQ(r.boundary_ops, 0);
+  EXPECT_DOUBLE_EQ(r.bus_utilization, 0.0);
+}
+
+TEST(Report, UtilizationIsBusySlotsOverCapacity) {
+  // 4 adds on 2 ALUs over a 2-cycle schedule: utilization 4/(2*2)=1.0.
+  DfgBuilder bld;
+  for (int i = 0; i < 4; ++i) {
+    (void)bld.add(bld.input(), bld.input());
+  }
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[2,1]");
+  const BindingReport r = report_for(g, {0, 0, 0, 0}, dp);
+  EXPECT_EQ(r.latency, 2);
+  EXPECT_DOUBLE_EQ(r.fu_usage[0].utilization, 1.0);
+  EXPECT_DOUBLE_EQ(r.fu_usage[1].utilization, 0.0);
+}
+
+TEST(Report, SharedTransferCountsItsCutEdges) {
+  // One producer, two remote consumers: one move, two cut edges.
+  DfgBuilder bld;
+  const Value x = bld.add(bld.input(), bld.input());
+  (void)bld.add(x, bld.input());
+  (void)bld.add(x, bld.input());
+  const Dfg g = std::move(bld).take();
+  const Datapath dp = parse_datapath("[1,1|2,1]");
+  const BindingReport r = report_for(g, {0, 1, 1}, dp);
+  EXPECT_EQ(r.num_moves, 1);
+  EXPECT_EQ(r.cut_edges, 2);
+  EXPECT_EQ(r.boundary_ops, 3);
+}
+
+TEST(Report, PrintsReadableText) {
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const BindingReport r = report_for(split_graph(), {0, 0, 1}, dp);
+  std::ostringstream out;
+  write_binding_report(out, r, dp);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("binding report"), std::string::npos);
+  EXPECT_NE(text.find("BUS"), std::string::npos);
+  EXPECT_NE(text.find("%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvb

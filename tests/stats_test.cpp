@@ -1,0 +1,76 @@
+// Unit tests for the DFG statistics module.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "kernels/kernels.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(Stats, DiamondShape) {
+  DfgBuilder b;
+  const Value a = b.add(b.input(), b.input(), "a");
+  const Value l = b.add(a, b.input(), "l");
+  const Value r = b.mul(a, b.input(), "r");
+  (void)b.add(l, r, "d");
+  const Dfg g = std::move(b).take();
+  const DfgStats s = compute_stats(g, unit_latencies());
+  EXPECT_EQ(s.num_ops, 4);
+  EXPECT_EQ(s.num_edges, 4);
+  EXPECT_EQ(s.num_components, 1);
+  EXPECT_EQ(s.critical_path, 3);
+  EXPECT_EQ(s.max_fanout, 2);
+  EXPECT_DOUBLE_EQ(s.avg_fanout, 1.0);
+  EXPECT_EQ(s.ops_per_level, (std::vector<int>{1, 2, 1}));
+  EXPECT_EQ(s.max_width, 2);
+  EXPECT_EQ(s.num_inputs, 1);
+  EXPECT_EQ(s.num_outputs, 1);
+}
+
+TEST(Stats, EmptyGraph) {
+  const DfgStats s = compute_stats(Dfg{}, unit_latencies());
+  EXPECT_EQ(s.num_ops, 0);
+  EXPECT_EQ(s.max_width, 0);
+  EXPECT_TRUE(s.ops_per_level.empty());
+}
+
+TEST(Stats, LevelsSumToOps) {
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    const DfgStats s = compute_stats(kernel.dfg, unit_latencies());
+    int total = 0;
+    for (const int w : s.ops_per_level) {
+      total += w;
+    }
+    EXPECT_EQ(total, s.num_ops) << kernel.name;
+    EXPECT_EQ(static_cast<int>(s.ops_per_level.size()), s.critical_path)
+        << kernel.name;  // unit latencies: levels == L_CP
+    EXPECT_GE(s.max_width, 1) << kernel.name;
+  }
+}
+
+TEST(Stats, LatencyAwareLevels) {
+  DfgBuilder b;
+  const Value x = b.mul(b.input(), b.input());
+  (void)b.add(x, b.input());
+  const Dfg g = std::move(b).take();
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kMul)] = 3;
+  const DfgStats s = compute_stats(g, lat);
+  EXPECT_EQ(s.critical_path, 4);
+  // Levels histogram spans start cycles 0..3; only 0 and 3 occupied.
+  EXPECT_EQ(s.ops_per_level, (std::vector<int>{1, 0, 0, 1}));
+}
+
+TEST(Stats, WidthBoundsParallelSpeedup) {
+  // Max width caps how many FUs a kernel can use at once: EWF (serial
+  // spine) is narrow, DCT-DIT-2 is wide.
+  const DfgStats ewf =
+      compute_stats(benchmark_by_name("EWF").dfg, unit_latencies());
+  const DfgStats dit2 =
+      compute_stats(benchmark_by_name("DCT-DIT-2").dfg, unit_latencies());
+  EXPECT_LT(ewf.max_width, dit2.max_width);
+}
+
+}  // namespace
+}  // namespace cvb

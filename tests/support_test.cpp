@@ -1,0 +1,269 @@
+// Unit tests for the support utilities (strings, tables, RNG,
+// stopwatch).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace cvb {
+namespace {
+
+// ---------------------------------------------------------------- split
+
+TEST(Split, SplitsOnSeparator) {
+  const std::vector<std::string> fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const std::vector<std::string> fields = split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(Split, SingleFieldWhenSeparatorAbsent) {
+  const std::vector<std::string> fields = split("abc", '|');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const std::vector<std::string> fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(Split, TrailingSeparatorYieldsTrailingEmpty) {
+  const std::vector<std::string> fields = split("x|", '|');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "");
+}
+
+// ----------------------------------------------------------------- trim
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+}
+
+TEST(Trim, PreservesInnerWhitespace) {
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) { EXPECT_EQ(trim(" \t\n "), ""); }
+
+TEST(Trim, EmptyStaysEmpty) { EXPECT_EQ(trim(""), ""); }
+
+// --------------------------------------------------- parse_nonnegative_int
+
+TEST(ParseInt, ParsesPlainNumbers) {
+  EXPECT_EQ(parse_nonnegative_int("0"), 0);
+  EXPECT_EQ(parse_nonnegative_int("42"), 42);
+  EXPECT_EQ(parse_nonnegative_int(" 7 "), 7);
+}
+
+TEST(ParseInt, RejectsNonDigits) {
+  EXPECT_THROW((void)parse_nonnegative_int("4a"), std::invalid_argument);
+  EXPECT_THROW((void)parse_nonnegative_int("-3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_nonnegative_int("3.5"), std::invalid_argument);
+}
+
+TEST(ParseInt, RejectsEmpty) {
+  EXPECT_THROW((void)parse_nonnegative_int(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_nonnegative_int("  "), std::invalid_argument);
+}
+
+TEST(ParseInt, RejectsOverflow) {
+  EXPECT_THROW((void)parse_nonnegative_int("99999999999"),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ format_sig
+
+TEST(FormatSig, MatchesPaperStyle) {
+  EXPECT_EQ(format_sig(3.7, 2), "3.7");
+  EXPECT_EQ(format_sig(13.0, 2), "13");
+  EXPECT_EQ(format_sig(0.05, 1), "0.05");
+  EXPECT_EQ(format_sig(0.0, 2), "0");
+}
+
+TEST(FormatSig, DropsTrailingZeros) {
+  EXPECT_EQ(format_sig(2.50, 2), "2.5");
+  EXPECT_EQ(format_sig(10.0, 3), "10");
+}
+
+TEST(FormatSig, HandlesNegativeValues) {
+  EXPECT_EQ(format_sig(-7.4, 2), "-7.4");
+}
+
+// ---------------------------------------------------------- TablePrinter
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"a", "bb"});
+  table.add_row({"xxx", "y"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a   | bb"), std::string::npos);
+  EXPECT_NE(text.find("xxx | y"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWrongCellCount) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsZeroColumns) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, CountsOnlyDataRows) {
+  TablePrinter table({"c"});
+  table.add_section("header");
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinter, SectionsSpanFullWidth) {
+  TablePrinter table({"col"});
+  table.add_section("SECTION TITLE");
+  table.add_row({"x"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("SECTION TITLE"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, IsDeterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int x = rng.uniform_int(-3, 5);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(2024);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.03);
+}
+
+// ------------------------------------------------------------- Stopwatch
+
+TEST(Stopwatch, ReportsNonNegativeMonotoneTime) {
+  Stopwatch watch;
+  const double t1 = watch.elapsed_ms();
+  const double t2 = watch.elapsed_ms();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch watch;
+  // Burn a little time.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + i;
+  }
+  const double before = watch.elapsed_ms();
+  watch.restart();
+  EXPECT_LE(watch.elapsed_ms(), before + 1.0);
+}
+
+TEST(Stopwatch, SecondsAreMilliseconds) {
+  Stopwatch watch;
+  const double ms = watch.elapsed_ms();
+  const double sec = watch.elapsed_sec();
+  EXPECT_NEAR(sec * 1000.0, ms, 5.0);
+}
+
+}  // namespace
+}  // namespace cvb
+
+namespace cvb {
+namespace {
+
+TEST(TablePrinterCsv, EmitsHeaderAndRows) {
+  TablePrinter table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterCsv, QuotesSpecialCells) {
+  TablePrinter table({"x"});
+  table.add_row({"a,b"});
+  table.add_row({"say \"hi\""});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinterCsv, SectionBecomesSingleCell) {
+  TablePrinter table({"c1", "c2"});
+  table.add_section("SECTION");
+  table.add_row({"1", "2"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "c1,c2\nSECTION\n1,2\n");
+}
+
+}  // namespace
+}  // namespace cvb

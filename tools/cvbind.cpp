@@ -1,0 +1,12 @@
+// cvbind: command-line operation binder for clustered VLIW datapaths.
+// All logic lives in src/cli/ (unit tested); this is the entry point.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return cvb::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,12 @@
+// cvpipe: software-pipeline DSP loop kernels onto clustered VLIW
+// datapaths. Logic lives in src/cli/pipe_cli.cpp (unit tested).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return cvb::run_pipe_cli(args, std::cout, std::cerr);
+}
