@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bus_sweep.dir/bus_sweep.cpp.o"
+  "CMakeFiles/bench_bus_sweep.dir/bus_sweep.cpp.o.d"
+  "bus_sweep"
+  "bus_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonunit.dir/nonunit.cpp.o"
+  "CMakeFiles/bench_nonunit.dir/nonunit.cpp.o.d"
+  "nonunit"
+  "nonunit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimality.dir/optimality.cpp.o"
+  "CMakeFiles/bench_optimality.dir/optimality.cpp.o.d"
+  "optimality"
+  "optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

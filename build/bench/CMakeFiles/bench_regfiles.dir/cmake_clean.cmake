@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regfiles.dir/regfiles.cpp.o"
+  "CMakeFiles/bench_regfiles.dir/regfiles.cpp.o.d"
+  "regfiles"
+  "regfiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regfiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

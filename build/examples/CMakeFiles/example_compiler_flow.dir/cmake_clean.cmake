@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compiler_flow.dir/compiler_flow.cpp.o"
+  "CMakeFiles/example_compiler_flow.dir/compiler_flow.cpp.o.d"
+  "compiler_flow"
+  "compiler_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compiler_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

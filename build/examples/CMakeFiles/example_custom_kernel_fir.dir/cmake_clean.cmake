@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_kernel_fir.dir/custom_kernel_fir.cpp.o"
+  "CMakeFiles/example_custom_kernel_fir.dir/custom_kernel_fir.cpp.o.d"
+  "custom_kernel_fir"
+  "custom_kernel_fir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_kernel_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

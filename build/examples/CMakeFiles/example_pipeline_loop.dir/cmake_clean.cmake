@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_loop.dir/pipeline_loop.cpp.o"
+  "CMakeFiles/example_pipeline_loop.dir/pipeline_loop.cpp.o.d"
+  "pipeline_loop"
+  "pipeline_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_schedule_viewer.dir/schedule_viewer.cpp.o"
+  "CMakeFiles/example_schedule_viewer.dir/schedule_viewer.cpp.o.d"
+  "schedule_viewer"
+  "schedule_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_schedule_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/annealing.cpp" "src/CMakeFiles/cvb.dir/baselines/annealing.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/baselines/annealing.cpp.o.d"
+  "/root/repo/src/baselines/mincut.cpp" "src/CMakeFiles/cvb.dir/baselines/mincut.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/baselines/mincut.cpp.o.d"
+  "/root/repo/src/bind/binding.cpp" "src/CMakeFiles/cvb.dir/bind/binding.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/bind/binding.cpp.o.d"
+  "/root/repo/src/bind/bound_dfg.cpp" "src/CMakeFiles/cvb.dir/bind/bound_dfg.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/bind/bound_dfg.cpp.o.d"
+  "/root/repo/src/bind/driver.cpp" "src/CMakeFiles/cvb.dir/bind/driver.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/bind/driver.cpp.o.d"
+  "/root/repo/src/bind/exhaustive.cpp" "src/CMakeFiles/cvb.dir/bind/exhaustive.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/bind/exhaustive.cpp.o.d"
+  "/root/repo/src/bind/initial_binder.cpp" "src/CMakeFiles/cvb.dir/bind/initial_binder.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/bind/initial_binder.cpp.o.d"
+  "/root/repo/src/bind/iterative_improver.cpp" "src/CMakeFiles/cvb.dir/bind/iterative_improver.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/bind/iterative_improver.cpp.o.d"
+  "/root/repo/src/bind/load_profile.cpp" "src/CMakeFiles/cvb.dir/bind/load_profile.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/bind/load_profile.cpp.o.d"
+  "/root/repo/src/bind/lower_bounds.cpp" "src/CMakeFiles/cvb.dir/bind/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/bind/lower_bounds.cpp.o.d"
+  "/root/repo/src/bind/report.cpp" "src/CMakeFiles/cvb.dir/bind/report.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/bind/report.cpp.o.d"
+  "/root/repo/src/cli/cli.cpp" "src/CMakeFiles/cvb.dir/cli/cli.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/cli/cli.cpp.o.d"
+  "/root/repo/src/cli/pipe_cli.cpp" "src/CMakeFiles/cvb.dir/cli/pipe_cli.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/cli/pipe_cli.cpp.o.d"
+  "/root/repo/src/explore/energy.cpp" "src/CMakeFiles/cvb.dir/explore/energy.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/explore/energy.cpp.o.d"
+  "/root/repo/src/explore/explore.cpp" "src/CMakeFiles/cvb.dir/explore/explore.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/explore/explore.cpp.o.d"
+  "/root/repo/src/graph/analysis.cpp" "src/CMakeFiles/cvb.dir/graph/analysis.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/graph/analysis.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/cvb.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/cvb.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/dfg.cpp" "src/CMakeFiles/cvb.dir/graph/dfg.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/graph/dfg.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/cvb.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/cvb.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/io/dfg_text.cpp" "src/CMakeFiles/cvb.dir/io/dfg_text.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/io/dfg_text.cpp.o.d"
+  "/root/repo/src/kernels/arf.cpp" "src/CMakeFiles/cvb.dir/kernels/arf.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/kernels/arf.cpp.o.d"
+  "/root/repo/src/kernels/dct.cpp" "src/CMakeFiles/cvb.dir/kernels/dct.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/kernels/dct.cpp.o.d"
+  "/root/repo/src/kernels/ewf.cpp" "src/CMakeFiles/cvb.dir/kernels/ewf.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/kernels/ewf.cpp.o.d"
+  "/root/repo/src/kernels/extended.cpp" "src/CMakeFiles/cvb.dir/kernels/extended.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/kernels/extended.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/CMakeFiles/cvb.dir/kernels/fft.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/kernels/fft.cpp.o.d"
+  "/root/repo/src/kernels/fir.cpp" "src/CMakeFiles/cvb.dir/kernels/fir.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/kernels/fir.cpp.o.d"
+  "/root/repo/src/kernels/random_dag.cpp" "src/CMakeFiles/cvb.dir/kernels/random_dag.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/kernels/random_dag.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/cvb.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/unroll.cpp" "src/CMakeFiles/cvb.dir/kernels/unroll.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/kernels/unroll.cpp.o.d"
+  "/root/repo/src/machine/datapath.cpp" "src/CMakeFiles/cvb.dir/machine/datapath.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/machine/datapath.cpp.o.d"
+  "/root/repo/src/machine/isa.cpp" "src/CMakeFiles/cvb.dir/machine/isa.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/machine/isa.cpp.o.d"
+  "/root/repo/src/machine/machine_file.cpp" "src/CMakeFiles/cvb.dir/machine/machine_file.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/machine/machine_file.cpp.o.d"
+  "/root/repo/src/machine/parser.cpp" "src/CMakeFiles/cvb.dir/machine/parser.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/machine/parser.cpp.o.d"
+  "/root/repo/src/modulo/cyclic_dfg.cpp" "src/CMakeFiles/cvb.dir/modulo/cyclic_dfg.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/modulo/cyclic_dfg.cpp.o.d"
+  "/root/repo/src/modulo/expand.cpp" "src/CMakeFiles/cvb.dir/modulo/expand.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/modulo/expand.cpp.o.d"
+  "/root/repo/src/modulo/loop_kernels.cpp" "src/CMakeFiles/cvb.dir/modulo/loop_kernels.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/modulo/loop_kernels.cpp.o.d"
+  "/root/repo/src/modulo/mii.cpp" "src/CMakeFiles/cvb.dir/modulo/mii.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/modulo/mii.cpp.o.d"
+  "/root/repo/src/modulo/modulo_scheduler.cpp" "src/CMakeFiles/cvb.dir/modulo/modulo_scheduler.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/modulo/modulo_scheduler.cpp.o.d"
+  "/root/repo/src/pcc/pcc.cpp" "src/CMakeFiles/cvb.dir/pcc/pcc.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/pcc/pcc.cpp.o.d"
+  "/root/repo/src/regalloc/regalloc.cpp" "src/CMakeFiles/cvb.dir/regalloc/regalloc.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/regalloc/regalloc.cpp.o.d"
+  "/root/repo/src/sched/bb_scheduler.cpp" "src/CMakeFiles/cvb.dir/sched/bb_scheduler.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/sched/bb_scheduler.cpp.o.d"
+  "/root/repo/src/sched/emit.cpp" "src/CMakeFiles/cvb.dir/sched/emit.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/sched/emit.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "src/CMakeFiles/cvb.dir/sched/gantt.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/sched/gantt.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/CMakeFiles/cvb.dir/sched/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/sched/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/quality.cpp" "src/CMakeFiles/cvb.dir/sched/quality.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/sched/quality.cpp.o.d"
+  "/root/repo/src/sched/reg_pressure.cpp" "src/CMakeFiles/cvb.dir/sched/reg_pressure.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/sched/reg_pressure.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/cvb.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/verifier.cpp" "src/CMakeFiles/cvb.dir/sched/verifier.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/sched/verifier.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/CMakeFiles/cvb.dir/sim/executor.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/sim/executor.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/cvb.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stopwatch.cpp" "src/CMakeFiles/cvb.dir/support/stopwatch.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/support/stopwatch.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/CMakeFiles/cvb.dir/support/strings.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/support/strings.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/cvb.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/cvb.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/cvb_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/bb_scheduler_test.cpp" "tests/CMakeFiles/cvb_tests.dir/bb_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/bb_scheduler_test.cpp.o.d"
+  "/root/repo/tests/binding_test.cpp" "tests/CMakeFiles/cvb_tests.dir/binding_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/binding_test.cpp.o.d"
+  "/root/repo/tests/bound_dfg_test.cpp" "tests/CMakeFiles/cvb_tests.dir/bound_dfg_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/bound_dfg_test.cpp.o.d"
+  "/root/repo/tests/builder_test.cpp" "tests/CMakeFiles/cvb_tests.dir/builder_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/builder_test.cpp.o.d"
+  "/root/repo/tests/cli_test.cpp" "tests/CMakeFiles/cvb_tests.dir/cli_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/cli_test.cpp.o.d"
+  "/root/repo/tests/driver_test.cpp" "tests/CMakeFiles/cvb_tests.dir/driver_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/driver_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/cvb_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/emit_test.cpp" "tests/CMakeFiles/cvb_tests.dir/emit_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/emit_test.cpp.o.d"
+  "/root/repo/tests/energy_test.cpp" "tests/CMakeFiles/cvb_tests.dir/energy_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/energy_test.cpp.o.d"
+  "/root/repo/tests/executor_test.cpp" "tests/CMakeFiles/cvb_tests.dir/executor_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/exhaustive_test.cpp" "tests/CMakeFiles/cvb_tests.dir/exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/exhaustive_test.cpp.o.d"
+  "/root/repo/tests/expand_test.cpp" "tests/CMakeFiles/cvb_tests.dir/expand_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/expand_test.cpp.o.d"
+  "/root/repo/tests/explore_test.cpp" "tests/CMakeFiles/cvb_tests.dir/explore_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/explore_test.cpp.o.d"
+  "/root/repo/tests/extended_kernels_test.cpp" "tests/CMakeFiles/cvb_tests.dir/extended_kernels_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/extended_kernels_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/cvb_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/gantt_test.cpp" "tests/CMakeFiles/cvb_tests.dir/gantt_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/gantt_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/cvb_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/improver_test.cpp" "tests/CMakeFiles/cvb_tests.dir/improver_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/improver_test.cpp.o.d"
+  "/root/repo/tests/initial_binder_test.cpp" "tests/CMakeFiles/cvb_tests.dir/initial_binder_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/initial_binder_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/cvb_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/cvb_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/kernels_test.cpp" "tests/CMakeFiles/cvb_tests.dir/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/kernels_test.cpp.o.d"
+  "/root/repo/tests/load_profile_test.cpp" "tests/CMakeFiles/cvb_tests.dir/load_profile_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/load_profile_test.cpp.o.d"
+  "/root/repo/tests/lower_bounds_test.cpp" "tests/CMakeFiles/cvb_tests.dir/lower_bounds_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/lower_bounds_test.cpp.o.d"
+  "/root/repo/tests/machine_file_test.cpp" "tests/CMakeFiles/cvb_tests.dir/machine_file_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/machine_file_test.cpp.o.d"
+  "/root/repo/tests/machine_test.cpp" "tests/CMakeFiles/cvb_tests.dir/machine_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/modulo_test.cpp" "tests/CMakeFiles/cvb_tests.dir/modulo_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/modulo_test.cpp.o.d"
+  "/root/repo/tests/pcc_test.cpp" "tests/CMakeFiles/cvb_tests.dir/pcc_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/pcc_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/cvb_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/quality_test.cpp" "tests/CMakeFiles/cvb_tests.dir/quality_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/quality_test.cpp.o.d"
+  "/root/repo/tests/reg_pressure_test.cpp" "tests/CMakeFiles/cvb_tests.dir/reg_pressure_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/reg_pressure_test.cpp.o.d"
+  "/root/repo/tests/regalloc_test.cpp" "tests/CMakeFiles/cvb_tests.dir/regalloc_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/regalloc_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/cvb_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/reproduction_test.cpp" "tests/CMakeFiles/cvb_tests.dir/reproduction_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/reproduction_test.cpp.o.d"
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/cvb_tests.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/sched_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/cvb_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/cvb_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/cvb_tests.dir/support_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cvb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

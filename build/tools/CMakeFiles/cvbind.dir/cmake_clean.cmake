@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvbind.dir/cvbind.cpp.o"
+  "CMakeFiles/cvbind.dir/cvbind.cpp.o.d"
+  "cvbind"
+  "cvbind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvbind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cvbind.
+# This may be replaced when dependencies are built.

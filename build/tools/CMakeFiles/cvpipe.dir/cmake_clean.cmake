@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvpipe.dir/cvpipe.cpp.o"
+  "CMakeFiles/cvpipe.dir/cvpipe.cpp.o.d"
+  "cvpipe"
+  "cvpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
