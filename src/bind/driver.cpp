@@ -1,6 +1,7 @@
 #include "bind/driver.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -110,6 +111,18 @@ BindResult bind_full(const Dfg& dfg, const Datapath& dp,
     return best;
   }
 
+  // Every B-ITER start shares one engine (and therefore one schedule
+  // cache — different starts explore overlapping neighborhoods).
+  std::unique_ptr<EvalEngine> local;
+  EvalEngine* engine = params.engine;
+  if (engine == nullptr) {
+    EvalEngineOptions opts;
+    opts.num_threads = params.num_threads;
+    local = std::make_unique<EvalEngine>(opts);
+    engine = local.get();
+  }
+  const EvalStats before = engine->stats();
+
   watch.restart();
   const int starts =
       std::max(1, std::min<int>(params.iter_starts,
@@ -121,7 +134,7 @@ BindResult bind_full(const Dfg& dfg, const Datapath& dp,
     IterImproverStats stats;
     Binding improved = improve_binding(
         dfg, dp, std::move(candidates[static_cast<std::size_t>(i)].binding),
-        params.iter, &stats);
+        params.iter, &stats, engine);
     total_stats.qu_iterations += stats.qu_iterations;
     total_stats.qm_iterations += stats.qm_iterations;
     total_stats.candidates_evaluated += stats.candidates_evaluated;
@@ -135,6 +148,8 @@ BindResult bind_full(const Dfg& dfg, const Datapath& dp,
   best.init_ms = init_ms;
   best.iter_ms = watch.elapsed_ms();
   best.iter_stats = total_stats;
+  // Report only this run's engine activity, even on a shared engine.
+  best.eval_stats = engine->stats().since(before);
   return best;
 }
 

@@ -6,6 +6,7 @@
 
 #include "bind/binding.hpp"
 #include "bind/bound_dfg.hpp"
+#include "bind/eval_engine.hpp"
 #include "bind/initial_binder.hpp"
 #include "bind/iterative_improver.hpp"
 #include "graph/dfg.hpp"
@@ -35,6 +36,14 @@ struct DriverParams {
   /// small values > 1 are a natural multi-start strengthening that
   /// reuses candidates the sweep already paid for.
   int iter_starts = 6;
+  /// Candidate-evaluation threads for B-ITER's batches when the driver
+  /// creates its own engine (ignored when `engine` is set). 1 = serial.
+  int num_threads = 1;
+  /// Optional shared evaluation engine (not owned). When null, bind_full
+  /// creates a private engine with `num_threads` workers. Results are
+  /// identical either way; sharing an engine across calls shares its
+  /// schedule cache and aggregates its statistics.
+  EvalEngine* engine = nullptr;
 };
 
 /// A binding together with its scheduled evaluation.
@@ -46,6 +55,7 @@ struct BindResult {
   double init_ms = 0.0;      ///< wall time of the B-INIT sweep
   double iter_ms = 0.0;      ///< wall time of B-ITER (0 if skipped)
   IterImproverStats iter_stats;  ///< B-ITER effort counters
+  EvalStats eval_stats;      ///< evaluation-engine counters (cache, batches)
 };
 
 /// Effort presets mapping to DriverParams — the compile-time/quality

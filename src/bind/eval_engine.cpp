@@ -1,0 +1,266 @@
+#include "bind/eval_engine.hpp"
+
+#include <utility>
+
+#include "bind/bound_dfg.hpp"
+#include "sched/quality.hpp"
+#include "support/stopwatch.hpp"
+
+namespace cvb {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  // Mix all 8 bytes so nearby integers diverge.
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffU;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+void EvalStats::merge(const EvalStats& other) {
+  candidates += other.candidates;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
+  batches += other.batches;
+  improver_candidates += other.improver_candidates;
+  pcc_candidates += other.pcc_candidates;
+  explore_jobs += other.explore_jobs;
+  eval_ms += other.eval_ms;
+}
+
+EvalStats EvalStats::since(const EvalStats& baseline) const {
+  EvalStats delta = *this;
+  delta.candidates -= baseline.candidates;
+  delta.cache_hits -= baseline.cache_hits;
+  delta.cache_misses -= baseline.cache_misses;
+  delta.cache_evictions -= baseline.cache_evictions;
+  delta.batches -= baseline.batches;
+  delta.improver_candidates -= baseline.improver_candidates;
+  delta.pcc_candidates -= baseline.pcc_candidates;
+  delta.explore_jobs -= baseline.explore_jobs;
+  delta.eval_ms -= baseline.eval_ms;
+  return delta;
+}
+
+EvalEngine::EvalEngine(EvalEngineOptions options) : options_(options) {
+  if (options_.num_threads < 1) {
+    throw std::invalid_argument("EvalEngine: num_threads must be >= 1");
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+EvalEngine::~EvalEngine() = default;
+
+std::uint64_t EvalEngine::context_signature(const Dfg& dfg, const Datapath& dp,
+                                            const ListSchedulerOptions& sched) {
+  std::uint64_t hash = kFnvOffset;
+  // DFG structure: op types and operand producers (edges).
+  hash = fnv1a(hash, static_cast<std::uint64_t>(dfg.num_ops()));
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    hash = fnv1a(hash, static_cast<std::uint64_t>(dfg.type(v)));
+    for (const OpId u : dfg.preds(v)) {
+      hash = fnv1a(hash, static_cast<std::uint64_t>(u) + 1);
+    }
+    hash = fnv1a(hash, 0xfeU);  // per-op terminator
+  }
+  // Datapath: cluster FU counts, buses, latencies, diis.
+  hash = fnv1a(hash, static_cast<std::uint64_t>(dp.num_clusters()));
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    for (int t = 0; t < kNumClusterFuTypes; ++t) {
+      hash = fnv1a(hash,
+                   static_cast<std::uint64_t>(
+                       dp.fu_count(c, static_cast<FuType>(t))));
+    }
+  }
+  hash = fnv1a(hash, static_cast<std::uint64_t>(dp.num_buses()));
+  for (int p = 0; p < kNumOpTypes; ++p) {
+    hash = fnv1a(hash,
+                 static_cast<std::uint64_t>(dp.lat(static_cast<OpType>(p))));
+  }
+  for (int t = 0; t < kNumFuTypes; ++t) {
+    hash = fnv1a(hash,
+                 static_cast<std::uint64_t>(dp.dii(static_cast<FuType>(t))));
+  }
+  // Scheduler options.
+  hash = fnv1a(hash, sched.unbounded_bus ? 1 : 0);
+  return hash;
+}
+
+std::uint64_t EvalEngine::binding_hash(const Binding& binding,
+                                       std::uint64_t signature) {
+  std::uint64_t hash = signature;
+  for (const ClusterId c : binding) {
+    hash = fnv1a(hash, static_cast<std::uint64_t>(c) + 1);
+  }
+  return hash;
+}
+
+EvalResult EvalEngine::evaluate_uncached(const Dfg& dfg, const Datapath& dp,
+                                         const Binding& binding,
+                                         const ListSchedulerOptions& sched) {
+  const BoundDfg bound = build_bound_dfg(dfg, binding, dp);
+  const Schedule schedule = list_schedule(bound, dp, sched);
+  QualityU qu = compute_quality_u(bound, dp, schedule);
+  EvalResult result;
+  result.latency = schedule.latency;
+  result.num_moves = schedule.num_moves;
+  result.tail_counts = std::move(qu.tail_counts);
+  return result;
+}
+
+bool EvalEngine::cache_lookup(std::uint64_t key, std::uint64_t signature,
+                              const Binding& binding, EvalResult* out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end() || it->second.signature != signature ||
+      it->second.binding != binding) {
+    return false;
+  }
+  *out = it->second.result;
+  return true;
+}
+
+void EvalEngine::cache_insert(std::uint64_t key, std::uint64_t signature,
+                              const Binding& binding, EvalResult result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (cache_.contains(key)) {
+    // Another thread computed it first, or a hash collision: replace so
+    // the latest context wins; `order_` keeps its single key entry.
+    cache_[key] = CacheEntry{signature, binding, std::move(result)};
+    return;
+  }
+  while (cache_.size() >= options_.cache_capacity && !order_.empty()) {
+    cache_.erase(order_.front());
+    order_.pop_front();
+    ++stats_.cache_evictions;
+  }
+  cache_.emplace(key, CacheEntry{signature, binding, std::move(result)});
+  order_.push_back(key);
+}
+
+std::vector<EvalResult> EvalEngine::evaluate_batch(
+    const Dfg& dfg, const Datapath& dp, const std::vector<Binding>& bindings,
+    const ListSchedulerOptions& sched, EvalPhase phase) {
+  Stopwatch watch;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+    stats_.candidates += static_cast<long long>(bindings.size());
+    if (phase == EvalPhase::kImprover) {
+      stats_.improver_candidates += static_cast<long long>(bindings.size());
+    } else if (phase == EvalPhase::kPcc) {
+      stats_.pcc_candidates += static_cast<long long>(bindings.size());
+    }
+  }
+
+  const bool use_cache = options_.cache_capacity > 0;
+  const std::uint64_t signature = context_signature(dfg, dp, sched);
+  std::vector<EvalResult> results(bindings.size());
+  std::vector<std::uint64_t> keys(bindings.size());
+  std::vector<std::size_t> misses;  // unique representatives to compute
+  // Intra-batch duplicates: (duplicate index, representative index).
+  std::vector<std::pair<std::size_t, std::size_t>> duplicates;
+  std::unordered_map<std::uint64_t, std::size_t> first_miss;
+  long long hits = 0;
+  misses.reserve(bindings.size());
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    if (!use_cache) {
+      misses.push_back(i);
+      continue;
+    }
+    keys[i] = binding_hash(bindings[i], signature);
+    if (cache_lookup(keys[i], signature, bindings[i], &results[i])) {
+      ++hits;
+      continue;
+    }
+    const auto it = first_miss.find(keys[i]);
+    if (it != first_miss.end() && bindings[it->second] == bindings[i]) {
+      // Same candidate earlier in this batch: share its computation.
+      duplicates.emplace_back(i, it->second);
+      ++hits;
+    } else {
+      first_miss.emplace(keys[i], i);
+      misses.push_back(i);
+    }
+  }
+  if (use_cache) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.cache_hits += hits;
+    stats_.cache_misses += static_cast<long long>(misses.size());
+  }
+
+  if (pool_ != nullptr && misses.size() > 1) {
+    std::vector<std::function<EvalResult()>> tasks;
+    tasks.reserve(misses.size());
+    for (const std::size_t i : misses) {
+      tasks.push_back([&dfg, &dp, &binding = bindings[i], &sched] {
+        return evaluate_uncached(dfg, dp, binding, sched);
+      });
+    }
+    std::vector<EvalResult> computed =
+        pool_->run_batch<EvalResult>(std::move(tasks));
+    for (std::size_t k = 0; k < misses.size(); ++k) {
+      results[misses[k]] = std::move(computed[k]);
+    }
+  } else {
+    for (const std::size_t i : misses) {
+      results[i] = evaluate_uncached(dfg, dp, bindings[i], sched);
+    }
+  }
+
+  for (const auto& [dup, rep] : duplicates) {
+    results[dup] = results[rep];
+  }
+
+  if (use_cache) {
+    for (const std::size_t i : misses) {
+      cache_insert(keys[i], signature, bindings[i], results[i]);
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.eval_ms += watch.elapsed_ms();
+  }
+  return results;
+}
+
+EvalResult EvalEngine::evaluate(const Dfg& dfg, const Datapath& dp,
+                                const Binding& binding,
+                                const ListSchedulerOptions& sched,
+                                EvalPhase phase) {
+  return evaluate_batch(dfg, dp, {binding}, sched, phase).front();
+}
+
+EvalStats EvalEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void EvalEngine::absorb(const EvalStats& other) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.merge(other);
+}
+
+std::size_t EvalEngine::cache_size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+void EvalEngine::note_jobs(long long count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.batches;
+  stats_.explore_jobs += count;
+}
+
+}  // namespace cvb

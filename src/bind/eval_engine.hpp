@@ -1,0 +1,193 @@
+// Parallel candidate-evaluation engine with a memoizing schedule cache.
+//
+// B-ITER, PCC, and the design-space explorer spend essentially all of
+// their time evaluating candidate bindings — each evaluation builds the
+// bound DFG and list-schedules it (the paper's Section 5 complexity
+// analysis identifies exactly this as the dominant cost). Every such
+// evaluation is *pure*: the result depends only on (DFG, datapath,
+// binding, scheduler options). That makes two optimizations safe:
+//
+//  1. Batch parallelism: a round's candidates are evaluated
+//     concurrently on a fixed-size thread pool, and the results are
+//     reduced strictly in submission-index order — so any consumer that
+//     scans results in that order reproduces its serial tie-breaking
+//     bit for bit. Thread count never changes any algorithmic output.
+//
+//  2. Memoization: results are cached under a 64-bit FNV-1a hash of the
+//     binding vector combined with a signature of the DFG, datapath and
+//     scheduler options. Hill climbers re-visit bindings constantly
+//     (the Q_U and Q_M phases of B-ITER walk overlapping neighborhoods
+//     of the same points), so hits are common. Entries store the full
+//     binding and signature and verify them on lookup, so a hash
+//     collision degrades to a miss rather than a wrong result.
+//
+// Determinism contract: for identical inputs, evaluate()/
+// evaluate_batch() return identical results for every thread count and
+// cache capacity (including 0 = caching disabled). Only the wall-time
+// and hit/miss statistics vary.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bind/binding.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/list_scheduler.hpp"
+#include "support/thread_pool.hpp"
+
+namespace cvb {
+
+/// The scheduled quality of one candidate binding: everything the
+/// consumers' cost functions need (L, M, and the Q_U tail vector),
+/// without the heavyweight BoundDfg/Schedule artifacts.
+struct EvalResult {
+  int latency = 0;    ///< schedule latency L
+  int num_moves = 0;  ///< inserted data transfers M
+  /// Q_U tail: tail_counts[i] = regular operations completing at cycle
+  /// L - i (length == latency; see sched/quality.hpp).
+  std::vector<int> tail_counts;
+
+  friend bool operator==(const EvalResult&, const EvalResult&) = default;
+};
+
+/// Which consumer submitted a batch (for the per-phase counters).
+enum class EvalPhase { kGeneric, kImprover, kPcc, kExplore };
+
+/// Aggregate counters of one engine's lifetime (printed by
+/// `cvbind --stats` and threaded through BindResult).
+struct EvalStats {
+  long long candidates = 0;       ///< evaluations requested
+  long long cache_hits = 0;       ///< served from the cache
+  long long cache_misses = 0;     ///< actually scheduled
+  long long cache_evictions = 0;  ///< entries dropped at capacity
+  long long batches = 0;          ///< evaluate_batch / run_jobs calls
+  long long improver_candidates = 0;  ///< B-ITER share of `candidates`
+  long long pcc_candidates = 0;       ///< PCC share of `candidates`
+  long long explore_jobs = 0;         ///< design points run via run_jobs
+  double eval_ms = 0.0;  ///< wall time inside the engine (all batches)
+
+  /// Adds `other`'s counters into this (merging a sub-run's stats).
+  void merge(const EvalStats& other);
+
+  /// The counter deltas accumulated since `baseline` was snapshot from
+  /// the same engine (per-run attribution on a shared engine).
+  [[nodiscard]] EvalStats since(const EvalStats& baseline) const;
+};
+
+/// Engine configuration.
+struct EvalEngineOptions {
+  /// Worker threads for batch evaluation. 1 = serial (evaluations run
+  /// inline on the caller's thread; no pool is created).
+  int num_threads = 1;
+  /// Maximum cached schedule results; 0 disables memoization entirely.
+  std::size_t cache_capacity = 1 << 16;
+};
+
+/// Thread-pool-backed, memoizing evaluator of candidate bindings.
+///
+/// One engine instance is meant to live for a whole algorithm run (or
+/// longer: the cache is keyed by DFG/datapath signatures, so a single
+/// engine can serve evaluations against many datapaths, as the
+/// design-space explorer does). All methods are thread-safe, but
+/// evaluate_batch()/run_jobs() must not be called from inside one of
+/// this engine's own pool workers (see thread_pool.hpp).
+class EvalEngine {
+ public:
+  explicit EvalEngine(EvalEngineOptions options = {});
+  ~EvalEngine();
+
+  EvalEngine(const EvalEngine&) = delete;
+  EvalEngine& operator=(const EvalEngine&) = delete;
+
+  [[nodiscard]] int num_threads() const { return options_.num_threads; }
+
+  /// Evaluates every binding (each must be valid for dfg/dp) and
+  /// returns results[i] for bindings[i]. Cache hits are served without
+  /// re-scheduling; misses are computed concurrently when the engine
+  /// has more than one thread. Deterministic for any thread count.
+  std::vector<EvalResult> evaluate_batch(
+      const Dfg& dfg, const Datapath& dp, const std::vector<Binding>& bindings,
+      const ListSchedulerOptions& sched = {},
+      EvalPhase phase = EvalPhase::kGeneric);
+
+  /// Single-candidate convenience wrapper over evaluate_batch.
+  EvalResult evaluate(const Dfg& dfg, const Datapath& dp,
+                      const Binding& binding,
+                      const ListSchedulerOptions& sched = {},
+                      EvalPhase phase = EvalPhase::kGeneric);
+
+  /// Runs arbitrary jobs through the engine's pool, returning results
+  /// in submission order (serial, in order, when num_threads == 1).
+  /// Used by the design-space explorer, whose unit of work is a whole
+  /// bind-and-schedule of one design point rather than one binding.
+  /// Jobs must not re-enter this engine's parallel entry points.
+  template <typename R>
+  std::vector<R> run_jobs(std::vector<std::function<R()>> jobs) {
+    note_jobs(static_cast<long long>(jobs.size()));
+    if (pool_ == nullptr) {
+      std::vector<R> results;
+      results.reserve(jobs.size());
+      for (std::function<R()>& job : jobs) {
+        results.push_back(job());
+      }
+      return results;
+    }
+    return pool_->run_batch<R>(std::move(jobs));
+  }
+
+  /// Snapshot of the engine's counters so far.
+  [[nodiscard]] EvalStats stats() const;
+
+  /// Merges counters from a nested run (e.g. a per-design-point serial
+  /// engine) into this engine's stats. Thread-safe.
+  void absorb(const EvalStats& other);
+
+  /// Number of live cache entries (for tests).
+  [[nodiscard]] std::size_t cache_size() const;
+
+  /// Signature of an evaluation context: a 64-bit hash of the DFG
+  /// structure, the datapath configuration, and the scheduler options.
+  /// Two contexts with different signatures never share cache entries.
+  [[nodiscard]] static std::uint64_t context_signature(
+      const Dfg& dfg, const Datapath& dp, const ListSchedulerOptions& sched);
+
+  /// 64-bit FNV-1a hash of a binding vector, seeded by the context
+  /// signature — the cache key.
+  [[nodiscard]] static std::uint64_t binding_hash(const Binding& binding,
+                                                  std::uint64_t signature);
+
+  /// The pure evaluation kernel: bound DFG -> list schedule -> result.
+  /// Exposed so tests can differentially check cached answers.
+  [[nodiscard]] static EvalResult evaluate_uncached(
+      const Dfg& dfg, const Datapath& dp, const Binding& binding,
+      const ListSchedulerOptions& sched = {});
+
+ private:
+  struct CacheEntry {
+    std::uint64_t signature = 0;
+    Binding binding;  // verified on lookup: collisions degrade to misses
+    EvalResult result;
+  };
+
+  bool cache_lookup(std::uint64_t key, std::uint64_t signature,
+                    const Binding& binding, EvalResult* out);
+  void cache_insert(std::uint64_t key, std::uint64_t signature,
+                    const Binding& binding, EvalResult result);
+  void note_jobs(long long count);
+
+  EvalEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+
+  mutable std::mutex mutex_;  // guards cache_, order_, stats_
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::deque<std::uint64_t> order_;  // FIFO eviction order
+  EvalStats stats_;
+};
+
+}  // namespace cvb

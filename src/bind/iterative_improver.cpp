@@ -1,12 +1,12 @@
 #include "bind/iterative_improver.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
 
-#include "bind/bound_dfg.hpp"
-#include "sched/list_scheduler.hpp"
+#include "bind/eval_engine.hpp"
 #include "sched/quality.hpp"
 
 namespace cvb {
@@ -111,16 +111,20 @@ std::vector<Candidate> boundary_candidates(const Dfg& dfg, const Datapath& dp,
 }
 
 /// Best-improvement hill climbing with bounded plateau walking under an
-/// arbitrary strict-weak-order quality (smaller is better). Returns the
-/// number of strictly improving steps.
-template <typename Quality, typename Eval>
+/// arbitrary strict-weak-order quality (smaller is better). All of a
+/// round's candidates are evaluated as one engine batch; the reduction
+/// below scans the results in submission order, reproducing the serial
+/// scan's tie-breaking exactly for any thread count. Returns the number
+/// of strictly improving steps.
+template <typename Quality, typename Extract>
 int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
-          const Eval& eval, const IterImproverParams& params,
-          IterImproverStats* stats) {
+          EvalEngine& engine, const Extract& extract,
+          const IterImproverParams& params, IterImproverStats* stats) {
   int improving_steps = 0;
   int total_steps = 0;
   int plateau_steps = 0;
-  Quality current = eval(binding);
+  Quality current =
+      extract(engine.evaluate(dfg, dp, binding, {}, EvalPhase::kImprover));
   Binding best_binding = binding;
   Quality best_quality = current;
   std::set<Binding> visited{binding};
@@ -128,29 +132,36 @@ int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
   while (total_steps < params.max_iterations) {
     const std::vector<Candidate> candidates =
         boundary_candidates(dfg, dp, binding, params.enable_pairs);
-    bool have_improvement = false;
-    Quality step_quality = current;
-    Candidate step_candidate;
-    bool have_lateral = false;
-    Binding lateral_binding;
-
+    std::vector<Binding> trials;
+    trials.reserve(candidates.size());
     for (const Candidate& cand : candidates) {
       Binding trial = binding;
       for (const auto& [v, c] : cand) {
         trial[static_cast<std::size_t>(v)] = c;
       }
-      const Quality q = eval(trial);
-      if (stats != nullptr) {
-        ++stats->candidates_evaluated;
-      }
+      trials.push_back(std::move(trial));
+    }
+    const std::vector<EvalResult> results =
+        engine.evaluate_batch(dfg, dp, trials, {}, EvalPhase::kImprover);
+    if (stats != nullptr) {
+      stats->candidates_evaluated += static_cast<long>(trials.size());
+    }
+
+    bool have_improvement = false;
+    Quality step_quality = current;
+    Candidate step_candidate;
+    bool have_lateral = false;
+    Binding lateral_binding;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Quality q = extract(results[i]);
       if (q < step_quality) {
         step_quality = q;
-        step_candidate = cand;
+        step_candidate = candidates[i];
         have_improvement = true;
       } else if (!have_improvement && !have_lateral && q == current &&
-                 !visited.contains(trial)) {
+                 !visited.contains(trials[i])) {
         have_lateral = true;
-        lateral_binding = std::move(trial);
+        lateral_binding = trials[i];
       }
     }
 
@@ -188,29 +199,35 @@ int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
 
 Binding improve_binding(const Dfg& dfg, const Datapath& dp, Binding start,
                         const IterImproverParams& params,
-                        IterImproverStats* stats) {
+                        IterImproverStats* stats, EvalEngine* engine) {
   require_valid_binding(dfg, start, dp);
 
-  const auto eval_qu = [&](const Binding& b) {
-    const BoundDfg bound = build_bound_dfg(dfg, b, dp);
-    const Schedule sched = list_schedule(bound, dp);
-    return compute_quality_u(bound, dp, sched);
+  std::unique_ptr<EvalEngine> local;
+  if (engine == nullptr) {
+    local = std::make_unique<EvalEngine>();
+    engine = local.get();
+  }
+
+  // Both phases share one cache: a binding scheduled during the Q_U
+  // phase answers Q_M queries for free (the EvalResult carries L, M,
+  // and the tail vector together).
+  const auto extract_qu = [](const EvalResult& r) {
+    return QualityU{r.latency, r.tail_counts};
   };
-  const auto eval_qm = [&](const Binding& b) {
-    const BoundDfg bound = build_bound_dfg(dfg, b, dp);
-    return compute_quality_m(list_schedule(bound, dp));
+  const auto extract_qm = [](const EvalResult& r) {
+    return QualityM{r.latency, r.num_moves};
   };
 
   if (params.use_qu_phase) {
-    const int steps =
-        climb<QualityU>(dfg, dp, start, eval_qu, params, stats);
+    const int steps = climb<QualityU>(dfg, dp, start, *engine, extract_qu,
+                                      params, stats);
     if (stats != nullptr) {
       stats->qu_iterations = steps;
     }
   }
   if (params.use_qm_phase) {
-    const int steps =
-        climb<QualityM>(dfg, dp, start, eval_qm, params, stats);
+    const int steps = climb<QualityM>(dfg, dp, start, *engine, extract_qm,
+                                      params, stats);
     if (stats != nullptr) {
       stats->qm_iterations = steps;
     }

@@ -23,6 +23,8 @@
 
 namespace cvb {
 
+class EvalEngine;
+
 /// Parameters of the iterative improver.
 struct IterImproverParams {
   /// Run the Q_U latency-minimization phase.
@@ -51,9 +53,16 @@ struct IterImproverStats {
 /// Improves `start` (must be valid for dfg/dp; throws std::logic_error
 /// otherwise). Returns a binding whose scheduled quality is never worse
 /// than the input's under (L, then U-vector, then M).
+///
+/// Each hill-climbing round submits all of its candidate bindings to
+/// `engine` as one batch (see bind/eval_engine.hpp) and reduces the
+/// results in submission order, so the outcome is bit-identical for
+/// every engine thread count. When `engine` is null a private serial
+/// engine is used — the pre-engine behaviour.
 [[nodiscard]] Binding improve_binding(const Dfg& dfg, const Datapath& dp,
                                       Binding start,
                                       const IterImproverParams& params = {},
-                                      IterImproverStats* stats = nullptr);
+                                      IterImproverStats* stats = nullptr,
+                                      EvalEngine* engine = nullptr);
 
 }  // namespace cvb

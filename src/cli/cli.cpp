@@ -8,6 +8,7 @@
 #include "baselines/annealing.hpp"
 #include "baselines/mincut.hpp"
 #include "bind/driver.hpp"
+#include "bind/eval_engine.hpp"
 #include "bind/exhaustive.hpp"
 #include "bind/lower_bounds.hpp"
 #include "bind/report.hpp"
@@ -49,6 +50,11 @@ options:
                       pressure, regalloc, check, dot, dfg
                       (default summary)
   --seed N            random seed for --algorithm sa (default 1)
+  --threads N         candidate-evaluation threads for b-iter/pcc
+                      (default 1 = serial; results are identical for
+                      any thread count)
+  --stats             print evaluation-engine statistics (candidates,
+                      schedule-cache hits/misses, wall time)
   --list-kernels      print the built-in kernel names and exit
   --help              this text
 )";
@@ -66,6 +72,8 @@ struct CliOptions {
   std::string effort = "balanced";
   std::vector<std::string> outputs = {"summary"};
   std::uint64_t seed = 1;
+  int threads = 1;
+  bool stats = false;
   bool list_kernels = false;
   bool help = false;
 };
@@ -101,6 +109,13 @@ CliOptions parse_args(const std::vector<std::string>& args) {
     } else if (arg == "--seed") {
       opts.seed = static_cast<std::uint64_t>(
           parse_nonnegative_int(value_of(i, arg)));
+    } else if (arg == "--threads") {
+      opts.threads = parse_nonnegative_int(value_of(i, arg));
+      if (opts.threads < 1) {
+        throw std::invalid_argument("--threads must be >= 1");
+      }
+    } else if (arg == "--stats") {
+      opts.stats = true;
     } else if (!arg.empty() && arg.front() == '-') {
       throw std::invalid_argument("unknown option '" + arg + "'");
     } else if (opts.source.empty()) {
@@ -141,9 +156,12 @@ BindEffort effort_by_name(const std::string& name) {
 
 BindResult run_algorithm(const std::string& algorithm,
                          const std::string& effort, const Dfg& dfg,
-                         const Datapath& dp, std::uint64_t seed) {
+                         const Datapath& dp, std::uint64_t seed,
+                         EvalEngine& engine) {
   if (algorithm == "b-iter") {
-    return bind_full(dfg, dp, driver_params_for(effort_by_name(effort)));
+    DriverParams params = driver_params_for(effort_by_name(effort));
+    params.engine = &engine;
+    return bind_full(dfg, dp, params);
   }
   if (algorithm == "b-init") {
     DriverParams params = driver_params_for(effort_by_name(effort));
@@ -151,7 +169,7 @@ BindResult run_algorithm(const std::string& algorithm,
     return bind_initial_best(dfg, dp, params);
   }
   if (algorithm == "pcc") {
-    return pcc_binding(dfg, dp);
+    return pcc_binding(dfg, dp, {}, nullptr, &engine);
   }
   if (algorithm == "sa") {
     AnnealingParams params;
@@ -207,8 +225,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       }
       return parse_machine_file(file).datapath;
     }();
-    const BindResult result =
-        run_algorithm(opts.algorithm, opts.effort, dfg, dp, opts.seed);
+    EvalEngineOptions engine_opts;
+    engine_opts.num_threads = opts.threads;
+    EvalEngine engine(engine_opts);
+    const BindResult result = run_algorithm(opts.algorithm, opts.effort, dfg,
+                                            dp, opts.seed, engine);
     if (const std::string verr =
             verify_schedule(result.bound, dp, result.schedule);
         !verr.empty()) {
@@ -275,6 +296,23 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         err << "cvbind: unknown output '" << output << "'\n";
         return 1;
       }
+    }
+    if (opts.stats) {
+      const EvalStats stats = engine.stats();
+      const double hit_pct =
+          stats.candidates > 0
+              ? 100.0 * static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(stats.candidates)
+              : 0.0;
+      out << "eval stats: " << stats.candidates << " candidates in "
+          << stats.batches << " batches on " << engine.num_threads()
+          << (engine.num_threads() == 1 ? " thread" : " threads") << ", "
+          << format_sig(stats.eval_ms, 3) << " ms\n"
+          << "eval cache: " << stats.cache_hits << " hits ("
+          << format_sig(hit_pct, 3) << "%), " << stats.cache_misses
+          << " misses, " << stats.cache_evictions << " evictions\n"
+          << "eval phases: improver=" << stats.improver_candidates
+          << " pcc=" << stats.pcc_candidates << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

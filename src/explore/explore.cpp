@@ -1,9 +1,11 @@
 #include "explore/explore.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <tuple>
 
+#include "bind/eval_engine.hpp"
 #include "bind/lower_bounds.hpp"
 #include "explore/energy.hpp"
 #include "support/stopwatch.hpp"
@@ -80,17 +82,29 @@ std::vector<Datapath> enumerate_datapaths(const DseConstraints& constraints) {
 
 std::vector<DsePoint> explore_design_space(const Dfg& dfg,
                                            const DseConstraints& constraints,
-                                           const DriverParams& driver) {
-  std::vector<DsePoint> points;
-  for (const Datapath& dp : enumerate_datapaths(constraints)) {
-    // Feasibility: every op type used by the kernel must run somewhere.
+                                           const DriverParams& driver,
+                                           EvalEngine* engine) {
+  // Feasible candidates first (every op type used by the kernel must
+  // run somewhere), in enumeration order — the output order.
+  std::vector<Datapath> feasible_dps;
+  for (Datapath& dp : enumerate_datapaths(constraints)) {
     bool feasible = true;
     for (OpId v = 0; v < dfg.num_ops() && feasible; ++v) {
       feasible = !dp.target_set(dfg.type(v)).empty();
     }
-    if (!feasible) {
-      continue;
+    if (feasible) {
+      feasible_dps.push_back(std::move(dp));
     }
+  }
+
+  // One job evaluates one design point end to end. The inner binder
+  // always runs with its own serial evaluator (engine reset to null):
+  // jobs already saturate the pool, and a job blocking on nested
+  // batches of the same pool could deadlock.
+  DriverParams inner = driver;
+  inner.engine = nullptr;
+  inner.num_threads = 1;
+  const auto eval_point = [&dfg, &inner, engine](const Datapath& dp) {
     DsePoint point{dp};
     point.total_fus = dp.total_fu_count(FuType::kAlu) +
                       dp.total_fu_count(FuType::kMult);
@@ -98,14 +112,31 @@ std::vector<DsePoint> explore_design_space(const Dfg& dfg,
     point.lower_bound = latency_lower_bound(dfg, dp).combined;
 
     Stopwatch watch;
-    const BindResult r = bind_full(dfg, dp, driver);
+    const BindResult r = bind_full(dfg, dp, inner);
     point.bind_ms = watch.elapsed_ms();
     point.latency = r.schedule.latency;
     point.moves = r.schedule.num_moves;
     point.energy = estimate_energy(r.bound, dp).total();
-    points.push_back(std::move(point));
+    if (engine != nullptr) {
+      engine->absorb(r.eval_stats);
+    }
+    return point;
+  };
+
+  if (engine == nullptr) {
+    std::vector<DsePoint> points;
+    points.reserve(feasible_dps.size());
+    for (const Datapath& dp : feasible_dps) {
+      points.push_back(eval_point(dp));
+    }
+    return points;
   }
-  return points;
+  std::vector<std::function<DsePoint()>> jobs;
+  jobs.reserve(feasible_dps.size());
+  for (const Datapath& dp : feasible_dps) {
+    jobs.push_back([&eval_point, &dp] { return eval_point(dp); });
+  }
+  return engine->run_jobs<DsePoint>(std::move(jobs));
 }
 
 std::vector<DsePoint> pareto_front(std::vector<DsePoint> points) {

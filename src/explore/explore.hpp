@@ -20,6 +20,8 @@
 
 namespace cvb {
 
+class EvalEngine;
+
 /// Enumeration constraints for candidate datapaths.
 struct DseConstraints {
   int max_total_fus = 6;        ///< total ALUs + MULTs across clusters
@@ -52,9 +54,16 @@ struct DsePoint {
 /// Binds `dfg` onto every feasible candidate (skipping datapaths that
 /// cannot execute some op type) and returns all evaluated points.
 /// `driver` controls binding effort (B-INIT only vs full B-ITER).
+///
+/// Design points are mutually independent, so when `engine` has more
+/// than one thread they are bound concurrently (one whole bind per
+/// job, results assembled in enumeration order — the returned vector is
+/// identical for every thread count). Each point's binder runs with a
+/// private serial evaluator to keep the parallelism single-level; its
+/// cache/eval counters are absorbed into `engine`'s statistics.
 [[nodiscard]] std::vector<DsePoint> explore_design_space(
     const Dfg& dfg, const DseConstraints& constraints,
-    const DriverParams& driver = {});
+    const DriverParams& driver = {}, EvalEngine* engine = nullptr);
 
 /// The subset of `points` not dominated under minimization of
 /// (latency, max_rf_ports, moves), sorted by latency then ports.

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
-#include "bind/bound_dfg.hpp"
+#include "bind/eval_engine.hpp"
 #include "graph/analysis.hpp"
-#include "sched/list_scheduler.hpp"
 #include "support/stopwatch.hpp"
 
 namespace cvb {
@@ -73,21 +73,21 @@ namespace {
 /// a fast approximate scheduler inside the loop; exact evaluation
 /// happens only on the final result.
 Binding pcc_improve(const Dfg& dfg, const Datapath& dp, Binding binding,
-                    int max_iterations) {
-  const auto eval = [&](const Binding& b) {
-    const BoundDfg bound = build_bound_dfg(dfg, b, dp);
-    ListSchedulerOptions approx;
-    approx.unbounded_bus = true;
-    const Schedule sched = list_schedule(bound, dp, approx);
-    return std::make_pair(sched.latency, sched.num_moves);
+                    int max_iterations, EvalEngine& engine) {
+  ListSchedulerOptions approx;
+  approx.unbounded_bus = true;
+  const auto key = [](const EvalResult& r) {
+    return std::make_pair(r.latency, r.num_moves);
   };
 
-  auto current = eval(binding);
+  auto current = key(engine.evaluate(dfg, dp, binding, approx,
+                                     EvalPhase::kPcc));
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
-    bool improved = false;
-    auto best = current;
-    OpId best_op = kNoOp;
-    ClusterId best_cluster = kNoCluster;
+    // Enumerate the round's single-operation moves in the serial scan
+    // order (op id ascending, destinations in discovery order), then
+    // evaluate them as one batch.
+    std::vector<std::pair<OpId, ClusterId>> moves;
+    std::vector<Binding> trials;
     for (OpId v = 0; v < dfg.num_ops(); ++v) {
       const ClusterId cv = binding[static_cast<std::size_t>(v)];
       // Candidate destinations: clusters of cross-cluster neighbours.
@@ -107,15 +107,28 @@ Binding pcc_improve(const Dfg& dfg, const Datapath& dp, Binding binding,
         consider(u);
       }
       for (const ClusterId c : destinations) {
-        binding[static_cast<std::size_t>(v)] = c;
-        const auto quality = eval(binding);
-        binding[static_cast<std::size_t>(v)] = cv;
-        if (quality < best) {
-          best = quality;
-          best_op = v;
-          best_cluster = c;
-          improved = true;
-        }
+        moves.emplace_back(v, c);
+        Binding trial = binding;
+        trial[static_cast<std::size_t>(v)] = c;
+        trials.push_back(std::move(trial));
+      }
+    }
+    const std::vector<EvalResult> results =
+        engine.evaluate_batch(dfg, dp, trials, approx, EvalPhase::kPcc);
+
+    // Strict-improvement reduction in submission order: identical
+    // tie-breaking to the serial nested loop.
+    bool improved = false;
+    auto best = current;
+    OpId best_op = kNoOp;
+    ClusterId best_cluster = kNoCluster;
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      const auto quality = key(results[i]);
+      if (quality < best) {
+        best = quality;
+        best_op = moves[i].first;
+        best_cluster = moves[i].second;
+        improved = true;
       }
     }
     if (!improved) {
@@ -239,11 +252,17 @@ Binding assign_components(const Dfg& dfg, const Datapath& dp,
 }  // namespace
 
 BindResult pcc_binding(const Dfg& dfg, const Datapath& dp,
-                       const PccParams& params, PccInfo* info) {
+                       const PccParams& params, PccInfo* info,
+                       EvalEngine* engine) {
   if (dfg.num_ops() == 0) {
     throw std::invalid_argument("pcc_binding: empty DFG");
   }
   Stopwatch watch;
+  std::unique_ptr<EvalEngine> local;
+  if (engine == nullptr) {
+    local = std::make_unique<EvalEngine>();
+    engine = local.get();
+  }
 
   std::vector<int> caps = params.component_caps;
   if (caps.empty()) {
@@ -260,7 +279,8 @@ BindResult pcc_binding(const Dfg& dfg, const Datapath& dp,
   for (const int cap : caps) {
     const std::vector<int> label = pcc_partial_components(dfg, cap);
     Binding binding = assign_components(dfg, dp, label, params.load_weight);
-    binding = pcc_improve(dfg, dp, std::move(binding), params.max_iterations);
+    binding = pcc_improve(dfg, dp, std::move(binding), params.max_iterations,
+                          *engine);
     BindResult candidate = evaluate_binding(dfg, dp, std::move(binding));
     ++tried;
     const auto key = [](const BindResult& r) {
@@ -277,6 +297,7 @@ BindResult pcc_binding(const Dfg& dfg, const Datapath& dp,
     info->partitions_tried = tried;
     info->ms = watch.elapsed_ms();
   }
+  best.eval_stats = engine->stats();
   return best;
 }
 

@@ -29,6 +29,8 @@
 
 namespace cvb {
 
+class EvalEngine;
+
 /// PCC configuration.
 struct PccParams {
   /// Maximum-component-size sweep; empty selects an automatic ladder
@@ -50,9 +52,15 @@ struct PccInfo {
 
 /// Runs the PCC baseline and returns the best scheduled binding found
 /// across the component-size sweep.
+///
+/// The phase-3 improvement loop submits each round's single-operation
+/// move candidates to `engine` as one batch (reduced in submission
+/// order, so results are thread-count-invariant); a private serial
+/// engine is used when `engine` is null.
 [[nodiscard]] BindResult pcc_binding(const Dfg& dfg, const Datapath& dp,
                                      const PccParams& params = {},
-                                     PccInfo* info = nullptr);
+                                     PccInfo* info = nullptr,
+                                     EvalEngine* engine = nullptr);
 
 /// Phase 1 exposed for tests: component label per operation for one
 /// size cap (labels dense, 0-based; every op labeled; each component

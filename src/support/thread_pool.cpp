@@ -1,0 +1,42 @@
+#include "support/thread_pool.hpp"
+
+namespace cvb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) {
+    throw std::invalid_argument("ThreadPool: num_threads must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+}  // namespace cvb

@@ -1,0 +1,98 @@
+// Fixed-size worker thread pool for the candidate-evaluation engine.
+//
+// Design goals, in order: deterministic result ordering (a batch's
+// results always come back in submission-index order, regardless of
+// which worker finished first), faithful exception propagation (the
+// first failing task *by submission index* rethrows in the caller),
+// and reuse (one pool serves many batches over an algorithm's
+// lifetime, so thread start-up cost is paid once).
+//
+// The pool is intentionally minimal — a mutex/condvar task queue, no
+// work stealing — because evaluation tasks (bound-DFG construction +
+// list scheduling) are coarse enough (tens of microseconds to
+// milliseconds) that queue contention is negligible.
+//
+// run_batch() must not be called from inside a pool worker: a worker
+// blocking on its own pool's futures can deadlock once all workers
+// wait. Consumers that nest parallelism (e.g. the design-space
+// explorer running whole binder jobs) keep the inner layer serial.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cvb {
+
+/// Fixed-size thread pool with ordered batch execution.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; throws std::invalid_argument
+  /// otherwise).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; queued-but-unstarted tasks still run first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues one task and returns its future. Safe to call from any
+  /// thread. Throws std::logic_error after shutdown has begun.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::logic_error("ThreadPool::submit after shutdown");
+      }
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs every task and returns the results in submission order
+  /// (tasks[i] -> results[i]), blocking until the whole batch is done.
+  /// If tasks throw, the exception of the lowest-index failing task is
+  /// rethrown; the rest of the batch still executes. An empty batch
+  /// returns an empty vector without touching the workers.
+  template <typename R>
+  std::vector<R> run_batch(std::vector<std::function<R()>> tasks) {
+    std::vector<std::future<R>> futures;
+    futures.reserve(tasks.size());
+    for (std::function<R()>& task : tasks) {
+      futures.push_back(submit(std::move(task)));
+    }
+    std::vector<R> results;
+    results.reserve(futures.size());
+    for (std::future<R>& future : futures) {
+      results.push_back(future.get());  // rethrows in index order
+    }
+    return results;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace cvb

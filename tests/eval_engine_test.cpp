@@ -1,0 +1,324 @@
+// EvalEngine determinism and cache-correctness tests.
+//
+// The engine's contract is that parallelism and memoization are purely
+// performance features: for every thread count and cache capacity the
+// evaluated results — and therefore every consumer's chosen bindings —
+// are bit-identical to the serial, uncached computation. The
+// differential tests here pin that contract across all registered
+// kernels, the three rewired consumers (B-ITER, PCC, the design-space
+// explorer), and a range of thread counts.
+#include "bind/eval_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "bind/initial_binder.hpp"
+#include "explore/explore.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+
+namespace cvb {
+namespace {
+
+const std::vector<std::string> kDatapaths = {"[1,1]", "[1,1|1,1]",
+                                             "[2,1|1,2]"};
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+/// Driver effort small enough to run the full suite differentially but
+/// still exercising both B-ITER phases and multi-start.
+DriverParams test_driver_params() {
+  DriverParams params;
+  params.max_stretch = 2;
+  params.iter_starts = 2;
+  return params;
+}
+
+TEST(EvalEngine, MatchesDirectEvaluation) {
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding binding = initial_binding(kernel.dfg, dp);
+
+  EvalEngine engine;
+  const EvalResult r = engine.evaluate(kernel.dfg, dp, binding);
+  const BindResult direct = evaluate_binding(kernel.dfg, dp, binding);
+  EXPECT_EQ(r.latency, direct.schedule.latency);
+  EXPECT_EQ(r.num_moves, direct.schedule.num_moves);
+  EXPECT_EQ(r, EvalEngine::evaluate_uncached(kernel.dfg, dp, binding));
+}
+
+TEST(EvalEngine, BatchResultsAlignWithSubmissionOrder) {
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  const Datapath dp = parse_datapath("[2,1|1,2]");
+  const Binding base = initial_binding(kernel.dfg, dp);
+
+  std::vector<Binding> batch;
+  for (OpId v = 0; v < kernel.dfg.num_ops(); ++v) {
+    for (const ClusterId c : dp.target_set(kernel.dfg.type(v))) {
+      Binding trial = base;
+      trial[static_cast<std::size_t>(v)] = c;
+      batch.push_back(std::move(trial));
+    }
+  }
+
+  EvalEngineOptions opts;
+  opts.num_threads = 4;
+  EvalEngine engine(opts);
+  const std::vector<EvalResult> results =
+      engine.evaluate_batch(kernel.dfg, dp, batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); i += 17) {  // spot check
+    EXPECT_EQ(results[i],
+              EvalEngine::evaluate_uncached(kernel.dfg, dp, batch[i]))
+        << "batch index " << i;
+  }
+}
+
+TEST(EvalEngine, CacheHitReturnsSameResultAsRecompute) {
+  const BenchmarkKernel kernel = benchmark_by_name("FFT");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding binding = initial_binding(kernel.dfg, dp);
+
+  EvalEngine engine;
+  const EvalResult first = engine.evaluate(kernel.dfg, dp, binding);
+  EXPECT_EQ(engine.stats().cache_hits, 0);
+  EXPECT_EQ(engine.stats().cache_misses, 1);
+
+  const EvalResult second = engine.evaluate(kernel.dfg, dp, binding);
+  EXPECT_EQ(engine.stats().cache_hits, 1);
+  EXPECT_EQ(engine.stats().cache_misses, 1);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second, EvalEngine::evaluate_uncached(kernel.dfg, dp, binding));
+}
+
+TEST(EvalEngine, StatsCountersAreConsistent) {
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding base = initial_binding(kernel.dfg, dp);
+
+  std::vector<Binding> batch;
+  for (OpId v = 0; v < 8; ++v) {
+    Binding trial = base;
+    trial[static_cast<std::size_t>(v)] =
+        1 - trial[static_cast<std::size_t>(v)];
+    batch.push_back(trial);
+  }
+  batch.push_back(base);
+  batch.push_back(base);  // duplicate: second occurrence must hit
+
+  EvalEngine engine;
+  (void)engine.evaluate_batch(kernel.dfg, dp, batch, {},
+                              EvalPhase::kImprover);
+  const EvalStats stats = engine.stats();
+  EXPECT_EQ(stats.candidates, static_cast<long long>(batch.size()));
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.candidates);
+  EXPECT_EQ(stats.cache_hits, 1);  // the duplicated base binding
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.improver_candidates, stats.candidates);
+  EXPECT_EQ(stats.pcc_candidates, 0);
+  EXPECT_EQ(engine.cache_size(),
+            static_cast<std::size_t>(stats.cache_misses));
+}
+
+TEST(EvalEngine, EvictsAtCapacityAndStaysCorrect) {
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding base = initial_binding(kernel.dfg, dp);
+
+  EvalEngineOptions opts;
+  opts.cache_capacity = 2;
+  EvalEngine engine(opts);
+  std::vector<Binding> distinct;
+  for (OpId v = 0; v < 5; ++v) {
+    Binding trial = base;
+    trial[static_cast<std::size_t>(v)] =
+        1 - trial[static_cast<std::size_t>(v)];
+    distinct.push_back(trial);
+  }
+  std::vector<EvalResult> first;
+  for (const Binding& b : distinct) {
+    first.push_back(engine.evaluate(kernel.dfg, dp, b));
+  }
+  EXPECT_GT(engine.stats().cache_evictions, 0);
+  EXPECT_LE(engine.cache_size(), 2u);
+  // Evicted or not, re-evaluation must return the same answers.
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    EXPECT_EQ(engine.evaluate(kernel.dfg, dp, distinct[i]), first[i]);
+  }
+}
+
+TEST(EvalEngine, ZeroCapacityDisablesCaching) {
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding binding = initial_binding(kernel.dfg, dp);
+
+  EvalEngineOptions opts;
+  opts.cache_capacity = 0;
+  EvalEngine engine(opts);
+  const EvalResult a = engine.evaluate(kernel.dfg, dp, binding);
+  const EvalResult b = engine.evaluate(kernel.dfg, dp, binding);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(engine.cache_size(), 0u);
+  EXPECT_EQ(engine.stats().cache_hits, 0);
+}
+
+TEST(EvalEngine, ContextSignatureSeparatesDatapaths) {
+  // The same binding vector evaluated against two datapaths that differ
+  // only in move latency must not share cache entries.
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  const Datapath fast_bus = parse_datapath("[1,1|1,1]", 2, 1);
+  const Datapath slow_bus = parse_datapath("[1,1|1,1]", 2, 3);
+  const Binding binding = initial_binding(kernel.dfg, fast_bus);
+
+  EXPECT_NE(EvalEngine::context_signature(kernel.dfg, fast_bus, {}),
+            EvalEngine::context_signature(kernel.dfg, slow_bus, {}));
+
+  EvalEngine engine;
+  const EvalResult fast = engine.evaluate(kernel.dfg, fast_bus, binding);
+  const EvalResult slow = engine.evaluate(kernel.dfg, slow_bus, binding);
+  EXPECT_EQ(engine.stats().cache_hits, 0);
+  EXPECT_EQ(fast,
+            EvalEngine::evaluate_uncached(kernel.dfg, fast_bus, binding));
+  EXPECT_EQ(slow,
+            EvalEngine::evaluate_uncached(kernel.dfg, slow_bus, binding));
+}
+
+TEST(EvalEngine, SchedulerOptionsSeparateCacheEntries) {
+  const BenchmarkKernel kernel = benchmark_by_name("DCT-DIF");
+  const Datapath dp = parse_datapath("[1,1|1,1]", /*num_buses=*/1);
+  const Binding binding = initial_binding(kernel.dfg, dp);
+
+  ListSchedulerOptions exact;
+  ListSchedulerOptions approx;
+  approx.unbounded_bus = true;
+  EvalEngine engine;
+  const EvalResult exact_r = engine.evaluate(kernel.dfg, dp, binding, exact);
+  const EvalResult approx_r = engine.evaluate(kernel.dfg, dp, binding, approx);
+  EXPECT_EQ(engine.stats().cache_hits, 0);  // distinct cache contexts
+  EXPECT_EQ(exact_r,
+            EvalEngine::evaluate_uncached(kernel.dfg, dp, binding, exact));
+  EXPECT_EQ(approx_r,
+            EvalEngine::evaluate_uncached(kernel.dfg, dp, binding, approx));
+}
+
+// --- Differential layer: every consumer, every kernel, many thread
+// counts, bit-identical to the serial path. ---
+
+TEST(EvalEngineDifferential, BIterIdenticalAcrossThreadCountsOnAllKernels) {
+  const DriverParams serial_params = test_driver_params();
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    for (const std::string& spec : kDatapaths) {
+      const Datapath dp = parse_datapath(spec);
+      const BindResult serial = bind_full(kernel.dfg, dp, serial_params);
+      ASSERT_EQ(verify_schedule(serial.bound, dp, serial.schedule), "")
+          << kernel.name << " on " << spec;
+      for (const int threads : kThreadCounts) {
+        EvalEngineOptions opts;
+        opts.num_threads = threads;
+        EvalEngine engine(opts);
+        DriverParams params = test_driver_params();
+        params.engine = &engine;
+        const BindResult parallel = bind_full(kernel.dfg, dp, params);
+        EXPECT_EQ(parallel.binding, serial.binding)
+            << kernel.name << " on " << spec << " with " << threads
+            << " threads";
+        EXPECT_EQ(parallel.schedule.latency, serial.schedule.latency)
+            << kernel.name << " on " << spec;
+        EXPECT_EQ(parallel.schedule.num_moves, serial.schedule.num_moves)
+            << kernel.name << " on " << spec;
+        EXPECT_EQ(parallel.schedule.start, serial.schedule.start)
+            << kernel.name << " on " << spec;
+      }
+    }
+  }
+}
+
+TEST(EvalEngineDifferential, PccIdenticalAcrossThreadCounts) {
+  for (const std::string name : {"EWF", "ARF", "DCT-DIF"}) {
+    const BenchmarkKernel kernel = benchmark_by_name(name);
+    for (const std::string& spec : kDatapaths) {
+      const Datapath dp = parse_datapath(spec);
+      const BindResult serial = pcc_binding(kernel.dfg, dp);
+      for (const int threads : kThreadCounts) {
+        EvalEngineOptions opts;
+        opts.num_threads = threads;
+        EvalEngine engine(opts);
+        const BindResult parallel =
+            pcc_binding(kernel.dfg, dp, {}, nullptr, &engine);
+        EXPECT_EQ(parallel.binding, serial.binding)
+            << name << " on " << spec << " with " << threads << " threads";
+        EXPECT_EQ(parallel.schedule.latency, serial.schedule.latency);
+        EXPECT_EQ(parallel.schedule.num_moves, serial.schedule.num_moves);
+        EXPECT_GT(engine.stats().pcc_candidates, 0);
+      }
+    }
+  }
+}
+
+TEST(EvalEngineDifferential, ExplorerIdenticalAcrossThreadCounts) {
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  DseConstraints constraints;
+  constraints.max_total_fus = 4;
+  constraints.max_clusters = 2;
+  DriverParams driver;
+  driver.run_iterative = false;  // keep the point count x effort small
+
+  const std::vector<DsePoint> serial =
+      explore_design_space(kernel.dfg, constraints, driver);
+  for (const int threads : kThreadCounts) {
+    EvalEngineOptions opts;
+    opts.num_threads = threads;
+    EvalEngine engine(opts);
+    const std::vector<DsePoint> parallel =
+        explore_design_space(kernel.dfg, constraints, driver, &engine);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].datapath.to_string(),
+                serial[i].datapath.to_string());
+      EXPECT_EQ(parallel[i].latency, serial[i].latency) << "point " << i;
+      EXPECT_EQ(parallel[i].moves, serial[i].moves) << "point " << i;
+      EXPECT_EQ(parallel[i].lower_bound, serial[i].lower_bound);
+    }
+    EXPECT_EQ(engine.stats().explore_jobs,
+              static_cast<long long>(serial.size()));
+  }
+}
+
+TEST(EvalEngineDifferential, ExplorerAbsorbsInnerDriverStats) {
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  DseConstraints constraints;
+  constraints.max_total_fus = 3;
+  constraints.max_clusters = 2;
+  DriverParams driver = test_driver_params();
+
+  EvalEngineOptions opts;
+  opts.num_threads = 2;
+  EvalEngine engine(opts);
+  (void)explore_design_space(kernel.dfg, constraints, driver, &engine);
+  // The per-point serial engines' improver counters surface here.
+  EXPECT_GT(engine.stats().improver_candidates, 0);
+}
+
+TEST(EvalEngineDifferential, SharedEngineCacheDoesNotChangeResults) {
+  // Two consecutive full runs on one engine: the second is served
+  // almost entirely from cache yet must reproduce the first exactly.
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  EvalEngine engine;
+  DriverParams params = test_driver_params();
+  params.engine = &engine;
+
+  const BindResult first = bind_full(kernel.dfg, dp, params);
+  const BindResult second = bind_full(kernel.dfg, dp, params);
+  EXPECT_EQ(first.binding, second.binding);
+  EXPECT_EQ(first.schedule.latency, second.schedule.latency);
+  EXPECT_EQ(first.schedule.num_moves, second.schedule.num_moves);
+  EXPECT_GT(second.eval_stats.cache_hits, 0);
+  EXPECT_EQ(second.eval_stats.cache_misses, 0);  // fully warmed
+}
+
+}  // namespace
+}  // namespace cvb

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "bind/driver.hpp"
+#include "bind/eval_engine.hpp"
 #include "graph/builder.hpp"
 #include "io/dfg_text.hpp"
 #include "kernels/kernels.hpp"
@@ -134,6 +135,46 @@ TEST(FuzzRegalloc, AllocationAlwaysValidAndTight) {
                 pressure.max_live[static_cast<std::size_t>(c)])
           << "trial " << trial;
     }
+  }
+}
+
+TEST(FuzzEvalEngine, DriverIsThreadCountInvariantOnRandomDags) {
+  // Random layered DAGs through the full driver with the evaluation
+  // engine at random thread counts: every schedule must verify, and
+  // every result must be bit-identical to the serial path.
+  Rng rng(20260806);
+  const std::vector<std::string> datapaths = {"[1,1|1,1]", "[2,1|1,2]",
+                                              "[1,1|1,1|1,1]"};
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomDagParams params;
+    params.num_ops = rng.uniform_int(8, 40);
+    params.num_layers = rng.uniform_int(2, 6);
+    const Dfg g = make_random_layered(params, rng);
+    const Datapath dp = parse_datapath(
+        datapaths[static_cast<std::size_t>(trial) % datapaths.size()]);
+
+    DriverParams driver;
+    driver.max_stretch = 2;
+    driver.iter_starts = 2;
+    const BindResult serial = bind_full(g, dp, driver);
+    ASSERT_EQ(verify_schedule(serial.bound, dp, serial.schedule), "")
+        << "trial " << trial;
+
+    const int threads = rng.uniform_int(2, 8);
+    EvalEngineOptions opts;
+    opts.num_threads = threads;
+    EvalEngine engine(opts);
+    driver.engine = &engine;
+    const BindResult parallel = bind_full(g, dp, driver);
+    ASSERT_EQ(verify_schedule(parallel.bound, dp, parallel.schedule), "")
+        << "trial " << trial << " with " << threads << " threads";
+    EXPECT_EQ(parallel.binding, serial.binding)
+        << "trial " << trial << " with " << threads << " threads";
+    EXPECT_EQ(parallel.schedule.latency, serial.schedule.latency)
+        << "trial " << trial;
+    EXPECT_EQ(parallel.schedule.num_moves, serial.schedule.num_moves)
+        << "trial " << trial;
+    EXPECT_GT(parallel.eval_stats.candidates, 0) << "trial " << trial;
   }
 }
 

@@ -1,0 +1,144 @@
+// ThreadPool contract tests: deterministic result ordering, exception
+// propagation out of tasks, zero-task batches, and pool reuse across
+// many batches (the evaluation engine keeps one pool alive for a whole
+// algorithm run).
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace cvb {
+namespace {
+
+TEST(ThreadPool, RejectsNonPositiveThreadCounts) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
+}
+
+TEST(ThreadPool, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPool, BatchResultsComeBackInSubmissionOrder) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([i] { return i * i; });
+  }
+  const std::vector<int> results = pool.run_batch<int>(std::move(tasks));
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPool, EmptyBatchReturnsEmpty) {
+  ThreadPool pool(2);
+  const std::vector<int> results = pool.run_batch<int>({});
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([] { return 1; });
+  tasks.push_back([]() -> int { throw std::runtime_error("task 1 boom"); });
+  tasks.push_back([] { return 3; });
+  try {
+    (void)pool.run_batch<int>(std::move(tasks));
+    FAIL() << "expected run_batch to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 1 boom");
+  }
+}
+
+TEST(ThreadPool, FirstFailingIndexWinsWhenSeveralThrow) {
+  ThreadPool pool(4);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i]() -> int {
+      if (i >= 2) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+      return i;
+    });
+  }
+  try {
+    (void)pool.run_batch<int>(std::move(tasks));
+    FAIL() << "expected run_batch to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 2");  // lowest failing submission index
+  }
+}
+
+TEST(ThreadPool, UsableAgainAfterAFailedBatch) {
+  ThreadPool pool(2);
+  std::vector<std::function<int()>> failing;
+  failing.push_back([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)pool.run_batch<int>(std::move(failing)),
+               std::runtime_error);
+
+  std::vector<std::function<int()>> fine;
+  fine.push_back([] { return 42; });
+  EXPECT_EQ(pool.run_batch<int>(std::move(fine)).front(), 42);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.push_back([round, i] { return round * 100 + i; });
+    }
+    const std::vector<int> results = pool.run_batch<int>(std::move(tasks));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_EQ(results[static_cast<std::size_t>(i)], round * 100 + i);
+    }
+  }
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> executions{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&executions] { return ++executions; });
+  }
+  const std::vector<int> results = pool.run_batch<int>(std::move(tasks));
+  EXPECT_EQ(executions.load(), 100);
+  // Every execution ticket 1..100 appears exactly once (order is up to
+  // the scheduler; completeness is not).
+  const std::set<int> tickets(results.begin(), results.end());
+  EXPECT_EQ(tickets.size(), 100u);
+  EXPECT_EQ(*tickets.begin(), 1);
+  EXPECT_EQ(*tickets.rbegin(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsAWorkingFuture) {
+  ThreadPool pool(2);
+  std::future<std::string> future =
+      pool.submit([] { return std::string("hello"); });
+  EXPECT_EQ(future.get(), "hello");
+}
+
+TEST(ThreadPool, ManyMoreTasksThanWorkersAllComplete) {
+  ThreadPool pool(2);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 500; ++i) {
+    tasks.push_back([i] { return i; });
+  }
+  const std::vector<int> results = pool.run_batch<int>(std::move(tasks));
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(results[static_cast<std::size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace cvb
