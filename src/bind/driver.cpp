@@ -59,6 +59,12 @@ std::vector<BindResult> initial_sweep(const Dfg& dfg, const Datapath& dp,
       if (reverse && !params.try_reverse) {
         continue;
       }
+      // Anytime contract: always evaluate the first candidate so a
+      // pre-expired deadline still yields a complete binding, then
+      // honour cancellation between candidates.
+      if (!candidates.empty() && params.cancel.stop_requested()) {
+        break;
+      }
       InitialBinderParams init;
       init.profile_latency = lcp + stretch;
       init.reverse = reverse;
@@ -130,11 +136,16 @@ BindResult bind_full(const Dfg& dfg, const Datapath& dp,
   BindResult best;
   bool have_best = false;
   IterImproverStats total_stats;
+  IterImproverParams iter_params = params.iter;
+  iter_params.cancel = params.cancel;  // deadline reaches the climber
   for (int i = 0; i < starts; ++i) {
+    if (have_best && params.cancel.stop_requested()) {
+      break;  // keep the best improved start found so far
+    }
     IterImproverStats stats;
     Binding improved = improve_binding(
         dfg, dp, std::move(candidates[static_cast<std::size_t>(i)].binding),
-        params.iter, &stats, engine);
+        iter_params, &stats, engine);
     total_stats.qu_iterations += stats.qu_iterations;
     total_stats.qm_iterations += stats.qm_iterations;
     total_stats.candidates_evaluated += stats.candidates_evaluated;

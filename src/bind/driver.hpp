@@ -12,6 +12,7 @@
 #include "graph/dfg.hpp"
 #include "machine/datapath.hpp"
 #include "sched/schedule.hpp"
+#include "support/cancel.hpp"
 
 namespace cvb {
 
@@ -44,6 +45,13 @@ struct DriverParams {
   /// identical either way; sharing an engine across calls shares its
   /// schedule cache and aggregates its statistics.
   EvalEngine* engine = nullptr;
+  /// Cooperative cancellation / deadline, polled between sweep
+  /// candidates, B-ITER starts, and hill-climbing rounds. When it fires
+  /// the driver returns the best *complete, schedulable* result found
+  /// so far (the sweep always evaluates at least one candidate). The
+  /// default empty token never fires — behaviour and results are then
+  /// bit-identical to a token-free run.
+  CancelToken cancel;
 };
 
 /// A binding together with its scheduled evaluation.

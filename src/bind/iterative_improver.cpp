@@ -120,6 +120,9 @@ template <typename Quality, typename Extract>
 int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
           EvalEngine& engine, const Extract& extract,
           const IterImproverParams& params, IterImproverStats* stats) {
+  if (params.cancel.stop_requested()) {
+    return 0;  // pre-expired deadline: the input is the best-so-far
+  }
   int improving_steps = 0;
   int total_steps = 0;
   int plateau_steps = 0;
@@ -130,6 +133,9 @@ int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
   std::set<Binding> visited{binding};
 
   while (total_steps < params.max_iterations) {
+    if (params.cancel.stop_requested()) {
+      break;  // anytime exit: fall through to the best-so-far restore
+    }
     const std::vector<Candidate> candidates =
         boundary_candidates(dfg, dp, binding, params.enable_pairs);
     std::vector<Binding> trials;

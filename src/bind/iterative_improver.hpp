@@ -20,6 +20,7 @@
 #include "bind/binding.hpp"
 #include "graph/dfg.hpp"
 #include "machine/datapath.hpp"
+#include "support/cancel.hpp"
 
 namespace cvb {
 
@@ -41,6 +42,11 @@ struct IterImproverParams {
   /// consecutive equal-quality steps to a not-yet-visited binding are
   /// accepted before giving up. 0 reproduces the simple variant.
   int max_plateau_steps = 8;
+  /// Cooperative cancellation: polled once per hill-climbing round.
+  /// When it fires the climber stops and returns the best binding found
+  /// so far (never worse than the input). The default empty token never
+  /// fires, so results stay bit-identical to the uncancellable code.
+  CancelToken cancel;
 };
 
 /// Statistics of one improve_binding() run (for benches/diagnostics).

@@ -24,7 +24,10 @@
 #include "sched/gantt.hpp"
 #include "sched/reg_pressure.hpp"
 #include "sched/verifier.hpp"
+#include "service/protocol.hpp"
+#include "service/status.hpp"
 #include "sim/executor.hpp"
+#include "support/cancel.hpp"
 #include "support/strings.hpp"
 
 namespace cvb {
@@ -53,10 +56,19 @@ options:
   --threads N         candidate-evaluation threads for b-iter/pcc
                       (default 1 = serial; results are identical for
                       any thread count)
+  --deadline-ms N     anytime bound for b-iter/b-init/pcc: return the
+                      best binding found within N ms (0 = expire
+                      immediately, exercising the fastest path)
   --stats             print evaluation-engine statistics (candidates,
                       schedule-cache hits/misses, wall time)
+  --stats-json FILE   write those statistics as JSON to FILE
+                      ('-' = stdout)
   --list-kernels      print the built-in kernel names and exit
   --help              this text
+
+exit codes: 0 ok; 1 invalid input (usage/parse errors); 2 internal
+error; 3 deadline exceeded (the printed result is the verified
+best-so-far binding).
 )";
 }
 
@@ -73,7 +85,9 @@ struct CliOptions {
   std::vector<std::string> outputs = {"summary"};
   std::uint64_t seed = 1;
   int threads = 1;
+  int deadline_ms = -1;  // -1 = no deadline; 0 = already expired
   bool stats = false;
+  std::string stats_json;
   bool list_kernels = false;
   bool help = false;
 };
@@ -114,8 +128,12 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       if (opts.threads < 1) {
         throw std::invalid_argument("--threads must be >= 1");
       }
+    } else if (arg == "--deadline-ms") {
+      opts.deadline_ms = parse_nonnegative_int(value_of(i, arg));
     } else if (arg == "--stats") {
       opts.stats = true;
+    } else if (arg == "--stats-json") {
+      opts.stats_json = value_of(i, arg);
     } else if (!arg.empty() && arg.front() == '-') {
       throw std::invalid_argument("unknown option '" + arg + "'");
     } else if (opts.source.empty()) {
@@ -157,19 +175,27 @@ BindEffort effort_by_name(const std::string& name) {
 BindResult run_algorithm(const std::string& algorithm,
                          const std::string& effort, const Dfg& dfg,
                          const Datapath& dp, std::uint64_t seed,
-                         EvalEngine& engine) {
+                         EvalEngine& engine, const CancelToken& cancel) {
   if (algorithm == "b-iter") {
     DriverParams params = driver_params_for(effort_by_name(effort));
     params.engine = &engine;
+    params.cancel = cancel;
     return bind_full(dfg, dp, params);
   }
   if (algorithm == "b-init") {
     DriverParams params = driver_params_for(effort_by_name(effort));
     params.run_iterative = false;
+    params.cancel = cancel;
     return bind_initial_best(dfg, dp, params);
   }
   if (algorithm == "pcc") {
-    return pcc_binding(dfg, dp, {}, nullptr, &engine);
+    PccParams params;
+    params.cancel = cancel;
+    return pcc_binding(dfg, dp, params, nullptr, &engine);
+  }
+  if (cancel.armed()) {
+    throw std::invalid_argument("--deadline-ms is only supported for "
+                                "b-iter/b-init/pcc");
   }
   if (algorithm == "sa") {
     AnnealingParams params;
@@ -228,13 +254,16 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     EvalEngineOptions engine_opts;
     engine_opts.num_threads = opts.threads;
     EvalEngine engine(engine_opts);
+    const CancelToken cancel =
+        opts.deadline_ms >= 0 ? CancelToken::after_ms(opts.deadline_ms)
+                              : CancelToken();
     const BindResult result = run_algorithm(opts.algorithm, opts.effort, dfg,
-                                            dp, opts.seed, engine);
+                                            dp, opts.seed, engine, cancel);
     if (const std::string verr =
             verify_schedule(result.bound, dp, result.schedule);
         !verr.empty()) {
       err << "cvbind: internal error, illegal schedule: " << verr << '\n';
-      return 1;
+      return exit_code_for(BindStatus::kInternalError);
     }
 
     for (const std::string& output : opts.outputs) {
@@ -267,7 +296,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
                 result.bound, dp, result.schedule, alloc);
             !aerr.empty()) {
           err << "cvbind: internal error, bad allocation: " << aerr << '\n';
-          return 1;
+          return exit_code_for(BindStatus::kInternalError);
         }
         out << "register files:";
         for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
@@ -282,7 +311,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
             check_semantics(dfg, result.bound, dp, result.schedule, inputs);
         if (!cerr_msg.empty()) {
           err << "cvbind: semantic check FAILED: " << cerr_msg << '\n';
-          return 1;
+          return exit_code_for(BindStatus::kInternalError);
         }
         out << "semantic check: scheduled code computes the original "
                "dataflow values\n";
@@ -314,10 +343,33 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           << "eval phases: improver=" << stats.improver_candidates
           << " pcc=" << stats.pcc_candidates << "\n";
     }
+    if (!opts.stats_json.empty()) {
+      const JsonValue stats_doc =
+          eval_stats_to_json(engine.stats(), engine.num_threads());
+      if (opts.stats_json == "-") {
+        stats_doc.write(out, 2);
+        out << '\n';
+      } else {
+        std::ofstream file(opts.stats_json);
+        if (!file) {
+          throw std::invalid_argument("cannot write '" + opts.stats_json +
+                                      "'");
+        }
+        stats_doc.write(file, 2);
+        file << '\n';
+      }
+    }
+    if (cancel.deadline_expired()) {
+      // Typed, distinct from a parse failure (exit 1): the run hit its
+      // deadline and the result above is the verified best-so-far.
+      err << "cvbind: deadline of " << opts.deadline_ms
+          << " ms exceeded; printed the best binding found in time\n";
+      return exit_code_for(BindStatus::kDeadlineExceeded);
+    }
     return 0;
   } catch (const std::exception& e) {
     err << "cvbind: " << e.what() << '\n';
-    return 1;
+    return exit_code_for(BindStatus::kInvalidRequest);
   }
 }
 

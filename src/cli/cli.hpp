@@ -33,4 +33,17 @@ int run_pipe_cli(const std::vector<std::string>& args, std::ostream& out,
 /// Usage text for cvpipe.
 [[nodiscard]] std::string pipe_cli_usage();
 
+/// Runs the cvserve (batched binding service) command line: reads
+/// newline-delimited JSON job requests from `in` (or a Unix-domain
+/// socket with --socket) and writes one JSON response line per job to
+/// `out` in completion order. Same contract as run_cli.
+///
+///   cvserve --workers 4 --queue 128 < jobs.ndjson
+///   cvserve --socket /tmp/cvb.sock --once
+int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
+                  std::ostream& out, std::ostream& err);
+
+/// Usage text for cvserve.
+[[nodiscard]] std::string serve_cli_usage();
+
 }  // namespace cvb

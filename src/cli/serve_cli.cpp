@@ -1,0 +1,288 @@
+// Command-line driver for the `cvserve` binding service front-end.
+// Like cli.cpp, all logic lives in the library so the full request ->
+// service -> response path is unit-testable over string streams;
+// tools/cvserve.cpp is a thin main().
+//
+// Two transports:
+//  * stream mode (default): NDJSON requests on stdin, responses on
+//    stdout in *completion* order (the "id" field correlates them);
+//  * --socket PATH: a Unix-domain stream socket serving one connection
+//    at a time with the same NDJSON protocol (--once exits after the
+//    first connection, which is how the tests drive it).
+#include <atomic>
+#include <condition_variable>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "support/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CVB_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace cvb {
+
+std::string serve_cli_usage() {
+  return R"(usage: cvserve [options]
+
+Batched binding service: reads newline-delimited JSON job requests
+from stdin (or a Unix socket) and writes one JSON response line per
+job, in completion order. See FORMATS.md "Service protocol".
+
+options:
+  --workers N         worker threads executing jobs (default 2)
+  --queue N           queue capacity before shedding (default 64)
+  --overflow P        reject | shed-oldest: what to shed when the
+                      queue is full (default reject)
+  --deadline-ms N     default per-job deadline (0 = none, default 0)
+  --threads N         candidate-evaluation threads of the shared
+                      engine (default 1 = evaluate on the worker)
+  --socket PATH       serve a Unix-domain socket instead of stdio
+  --once              with --socket: exit after the first connection
+  --help              this text
+)";
+}
+
+namespace {
+
+struct ServeOptions {
+  ServiceOptions service;
+  std::string socket_path;
+  bool once = false;
+  bool help = false;
+};
+
+ServeOptions parse_serve_args(const std::vector<std::string>& args) {
+  ServeOptions opts;
+  const auto value_of = [&](std::size_t& i, const std::string& flag) {
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument(flag + " needs a value");
+    }
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--workers") {
+      opts.service.num_workers = parse_nonnegative_int(value_of(i, arg));
+      if (opts.service.num_workers < 1) {
+        throw std::invalid_argument("--workers must be >= 1");
+      }
+    } else if (arg == "--queue") {
+      opts.service.queue_capacity = static_cast<std::size_t>(
+          parse_nonnegative_int(value_of(i, arg)));
+    } else if (arg == "--overflow") {
+      const std::string policy = value_of(i, arg);
+      if (policy == "reject") {
+        opts.service.overflow = OverflowPolicy::kReject;
+      } else if (policy == "shed-oldest") {
+        opts.service.overflow = OverflowPolicy::kShedOldest;
+      } else {
+        throw std::invalid_argument("unknown overflow policy '" + policy +
+                                    "'");
+      }
+    } else if (arg == "--deadline-ms") {
+      opts.service.default_deadline_ms =
+          parse_nonnegative_int(value_of(i, arg));
+    } else if (arg == "--threads") {
+      opts.service.engine.num_threads = parse_nonnegative_int(value_of(i, arg));
+      if (opts.service.engine.num_threads < 1) {
+        throw std::invalid_argument("--threads must be >= 1");
+      }
+    } else if (arg == "--socket") {
+      opts.socket_path = value_of(i, arg);
+    } else if (arg == "--once") {
+      opts.once = true;
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    }
+  }
+  return opts;
+}
+
+/// Reads requests from `in` until EOF or {"cmd":"quit"}, submitting
+/// jobs asynchronously; responses are written (mutex-serialized, one
+/// line each, flushed) as jobs complete. Returns once every submitted
+/// job has been answered.
+void serve_stream(Service& service, std::istream& in, std::ostream& out) {
+  std::mutex out_mutex;
+  std::atomic<long long> outstanding{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const auto respond = [&](const JsonValue& response) {
+    const std::lock_guard<std::mutex> lock(out_mutex);
+    response.write(out);
+    out << '\n';
+    out.flush();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) {
+      continue;
+    }
+    ServeRequest request;
+    try {
+      request = parse_serve_request(line);
+    } catch (const std::exception& e) {
+      respond(invalid_request_json(e.what()));
+      continue;
+    }
+    if (request.kind == ServeRequest::Kind::kQuit) {
+      break;
+    }
+    if (request.kind == ServeRequest::Kind::kMetrics) {
+      respond(service.metrics_snapshot());
+      continue;
+    }
+    outstanding.fetch_add(1, std::memory_order_relaxed);
+    service.submit(std::move(request.job), [&](BindOutcome outcome) {
+      respond(outcome_to_json(outcome));
+      if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] {
+    return outstanding.load(std::memory_order_acquire) == 0;
+  });
+}
+
+#ifdef CVB_HAVE_UNIX_SOCKETS
+
+/// Minimal read/write streambuf over a POSIX file descriptor, so the
+/// socket transport reuses the exact same serve_stream loop as stdio.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_buf_, in_buf_, in_buf_);
+  }
+
+ protected:
+  int underflow() override {
+    const ssize_t n = ::read(fd_, in_buf_, sizeof in_buf_);
+    if (n <= 0) {
+      return traits_type::eof();
+    }
+    setg(in_buf_, in_buf_, in_buf_ + n);
+    return traits_type::to_int_type(in_buf_[0]);
+  }
+
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) {
+      const char byte = static_cast<char>(ch);
+      if (::write(fd_, &byte, 1) != 1) {
+        return traits_type::eof();
+      }
+    }
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* data, std::streamsize count) override {
+    std::streamsize written = 0;
+    while (written < count) {
+      const ssize_t n = ::write(fd_, data + written,
+                                static_cast<std::size_t>(count - written));
+      if (n <= 0) {
+        break;
+      }
+      written += n;
+    }
+    return written;
+  }
+
+ private:
+  int fd_;
+  char in_buf_[4096];
+};
+
+int serve_socket(Service& service, const std::string& path, bool once,
+                 std::ostream& err) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    err << "cvserve: cannot create socket\n";
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    err << "cvserve: socket path too long\n";
+    ::close(listener);
+    return 1;
+  }
+  path.copy(addr.sun_path, path.size());
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 8) != 0) {
+    err << "cvserve: cannot bind/listen on '" << path << "'\n";
+    ::close(listener);
+    return 2;
+  }
+  while (true) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      break;
+    }
+    FdStreambuf buf_in(conn);
+    FdStreambuf buf_out(conn);
+    std::istream in(&buf_in);
+    std::ostream out(&buf_out);
+    serve_stream(service, in, out);
+    ::close(conn);
+    if (once) {
+      break;
+    }
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+#endif  // CVB_HAVE_UNIX_SOCKETS
+
+}  // namespace
+
+int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
+                  std::ostream& out, std::ostream& err) {
+  ServeOptions opts;
+  try {
+    opts = parse_serve_args(args);
+  } catch (const std::invalid_argument& e) {
+    err << "cvserve: " << e.what() << "\n\n" << serve_cli_usage();
+    return 1;
+  }
+  if (opts.help) {
+    out << serve_cli_usage();
+    return 0;
+  }
+
+  Service service(opts.service);
+  if (!opts.socket_path.empty()) {
+#ifdef CVB_HAVE_UNIX_SOCKETS
+    return serve_socket(service, opts.socket_path, opts.once, err);
+#else
+    err << "cvserve: --socket is not supported on this platform\n";
+    return 1;
+#endif
+  }
+  serve_stream(service, in, out);
+  return 0;
+}
+
+}  // namespace cvb

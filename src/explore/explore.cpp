@@ -127,6 +127,9 @@ std::vector<DsePoint> explore_design_space(const Dfg& dfg,
     std::vector<DsePoint> points;
     points.reserve(feasible_dps.size());
     for (const Datapath& dp : feasible_dps) {
+      if (!points.empty() && driver.cancel.stop_requested()) {
+        break;  // anytime: return the points evaluated so far
+      }
       points.push_back(eval_point(dp));
     }
     return points;

@@ -61,6 +61,13 @@ struct DsePoint {
 /// identical for every thread count). Each point's binder runs with a
 /// private serial evaluator to keep the parallelism single-level; its
 /// cache/eval counters are absorbed into `engine`'s statistics.
+///
+/// Cancellation: `driver.cancel` is honoured as an anytime bound. In
+/// serial mode the exploration stops after the in-flight point and
+/// returns the points finished so far; in parallel mode every job's
+/// inner binder degrades to its fastest (sweep-first) path, so the
+/// full-length result vector still returns promptly with valid, if
+/// unimproved, points.
 [[nodiscard]] std::vector<DsePoint> explore_design_space(
     const Dfg& dfg, const DseConstraints& constraints,
     const DriverParams& driver = {}, EvalEngine* engine = nullptr);

@@ -73,7 +73,11 @@ namespace {
 /// a fast approximate scheduler inside the loop; exact evaluation
 /// happens only on the final result.
 Binding pcc_improve(const Dfg& dfg, const Datapath& dp, Binding binding,
-                    int max_iterations, EvalEngine& engine) {
+                    int max_iterations, const CancelToken& cancel,
+                    EvalEngine& engine) {
+  if (cancel.stop_requested()) {
+    return binding;  // anytime: the greedy assignment is the result
+  }
   ListSchedulerOptions approx;
   approx.unbounded_bus = true;
   const auto key = [](const EvalResult& r) {
@@ -83,6 +87,9 @@ Binding pcc_improve(const Dfg& dfg, const Datapath& dp, Binding binding,
   auto current = key(engine.evaluate(dfg, dp, binding, approx,
                                      EvalPhase::kPcc));
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    if (cancel.stop_requested()) {
+      break;  // hill climbing only ever improves: best-so-far is current
+    }
     // Enumerate the round's single-operation moves in the serial scan
     // order (op id ascending, destinations in discovery order), then
     // evaluate them as one batch.
@@ -277,10 +284,13 @@ BindResult pcc_binding(const Dfg& dfg, const Datapath& dp,
   int best_cap = 0;
   int tried = 0;
   for (const int cap : caps) {
+    if (have_best && params.cancel.stop_requested()) {
+      break;  // keep the best completed partition
+    }
     const std::vector<int> label = pcc_partial_components(dfg, cap);
     Binding binding = assign_components(dfg, dp, label, params.load_weight);
     binding = pcc_improve(dfg, dp, std::move(binding), params.max_iterations,
-                          *engine);
+                          params.cancel, *engine);
     BindResult candidate = evaluate_binding(dfg, dp, std::move(binding));
     ++tried;
     const auto key = [](const BindResult& r) {

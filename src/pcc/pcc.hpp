@@ -26,6 +26,7 @@
 #include "bind/driver.hpp"
 #include "graph/dfg.hpp"
 #include "machine/datapath.hpp"
+#include "support/cancel.hpp"
 
 namespace cvb {
 
@@ -41,6 +42,12 @@ struct PccParams {
   double load_weight = 1.0;
   /// Safety cap on improvement steps per partition.
   int max_iterations = 10'000;
+  /// Cooperative cancellation, polled between improvement rounds and
+  /// between component-cap partitions. The first partition is always
+  /// completed (greedy phases 1-2 are fast and the improvement loop
+  /// honours the token), so even a pre-expired deadline returns a
+  /// valid scheduled binding. Empty token = run to completion.
+  CancelToken cancel;
 };
 
 /// Diagnostics of a PCC run.

@@ -1,0 +1,183 @@
+#include "service/protocol.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "io/dfg_text.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/machine_file.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+
+namespace {
+
+const JsonValue* require_kind(const JsonValue& obj, std::string_view key,
+                              JsonValue::Kind kind, const char* kind_name) {
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr) {
+    return nullptr;
+  }
+  if (value->kind() != kind) {
+    throw std::invalid_argument("field '" + std::string(key) + "' must be a " +
+                                kind_name);
+  }
+  return value;
+}
+
+const JsonValue* opt_string(const JsonValue& obj, std::string_view key) {
+  return require_kind(obj, key, JsonValue::Kind::kString, "string");
+}
+
+const JsonValue* opt_number(const JsonValue& obj, std::string_view key) {
+  return require_kind(obj, key, JsonValue::Kind::kNumber, "number");
+}
+
+BindEffort effort_from_name(const std::string& name) {
+  if (name == "fast") {
+    return BindEffort::kFast;
+  }
+  if (name == "balanced") {
+    return BindEffort::kBalanced;
+  }
+  if (name == "max") {
+    return BindEffort::kMax;
+  }
+  throw std::invalid_argument("unknown effort '" + name + "'");
+}
+
+}  // namespace
+
+ServeRequest parse_serve_request(const std::string& line) {
+  const JsonValue doc = JsonValue::parse(line);
+  if (!doc.is_object()) {
+    throw std::invalid_argument("request must be a JSON object");
+  }
+
+  ServeRequest request;
+  if (const JsonValue* cmd = opt_string(doc, "cmd"); cmd != nullptr) {
+    if (cmd->as_string() == "metrics") {
+      request.kind = ServeRequest::Kind::kMetrics;
+      return request;
+    }
+    if (cmd->as_string() == "quit") {
+      request.kind = ServeRequest::Kind::kQuit;
+      return request;
+    }
+    throw std::invalid_argument("unknown cmd '" + cmd->as_string() + "'");
+  }
+
+  request.kind = ServeRequest::Kind::kJob;
+  BindJob& job = request.job;
+  if (const JsonValue* id = opt_string(doc, "id"); id != nullptr) {
+    job.id = id->as_string();
+  }
+
+  const JsonValue* kernel = opt_string(doc, "kernel");
+  const JsonValue* dfg_text = opt_string(doc, "dfg");
+  if ((kernel != nullptr) == (dfg_text != nullptr)) {
+    throw std::invalid_argument(
+        "exactly one of 'kernel' or 'dfg' is required");
+  }
+  if (kernel != nullptr) {
+    job.dfg = benchmark_by_name(kernel->as_string()).dfg;
+  } else {
+    std::istringstream in(dfg_text->as_string());
+    job.dfg = parse_dfg_text(in).dfg;
+  }
+
+  if (const JsonValue* machine = opt_string(doc, "machine");
+      machine != nullptr) {
+    if (doc.find("datapath") != nullptr) {
+      throw std::invalid_argument("'machine' and 'datapath' are exclusive");
+    }
+    std::istringstream in(machine->as_string());
+    job.datapath = parse_machine_file(in).datapath;
+  } else {
+    std::string spec = "[1,1|1,1]";
+    int buses = 2;
+    int move_latency = 1;
+    if (const JsonValue* dp = opt_string(doc, "datapath"); dp != nullptr) {
+      spec = dp->as_string();
+    }
+    if (const JsonValue* b = opt_number(doc, "buses"); b != nullptr) {
+      buses = static_cast<int>(b->as_number());
+    }
+    if (const JsonValue* ml = opt_number(doc, "move_latency");
+        ml != nullptr) {
+      move_latency = static_cast<int>(ml->as_number());
+    }
+    job.datapath = parse_datapath(spec, buses, move_latency);
+  }
+
+  if (const JsonValue* algo = opt_string(doc, "algorithm"); algo != nullptr) {
+    job.algorithm = algo->as_string();
+  }
+  if (const JsonValue* effort = opt_string(doc, "effort"); effort != nullptr) {
+    job.effort = effort_from_name(effort->as_string());
+  }
+  if (const JsonValue* deadline = opt_number(doc, "deadline_ms");
+      deadline != nullptr) {
+    if (deadline->as_number() < 0) {
+      throw std::invalid_argument("'deadline_ms' must be >= 0");
+    }
+    job.deadline_ms = deadline->as_number();
+  }
+  return request;
+}
+
+JsonValue outcome_to_json(const BindOutcome& outcome) {
+  JsonValue out = JsonValue::object();
+  if (!outcome.id.empty()) {
+    out.set("id", outcome.id);
+  }
+  out.set("status", to_string(outcome.status));
+  if (!outcome.error.empty()) {
+    out.set("error", outcome.error);
+  }
+  if (!outcome.binding.empty()) {
+    out.set("latency", outcome.latency);
+    out.set("moves", outcome.moves);
+    JsonValue binding = JsonValue::array();
+    for (const ClusterId c : outcome.binding) {
+      binding.push_back(static_cast<int>(c));
+    }
+    out.set("binding", std::move(binding));
+  }
+  out.set("queue_ms", outcome.queue_ms);
+  out.set("run_ms", outcome.run_ms);
+  return out;
+}
+
+JsonValue invalid_request_json(const std::string& error,
+                               const std::string& id) {
+  JsonValue out = JsonValue::object();
+  if (!id.empty()) {
+    out.set("id", id);
+  }
+  out.set("status", to_string(BindStatus::kInvalidRequest));
+  out.set("error", error);
+  return out;
+}
+
+JsonValue eval_stats_to_json(const EvalStats& stats, int num_threads) {
+  JsonValue out = JsonValue::object();
+  out.set("threads", num_threads);
+  out.set("candidates", stats.candidates);
+  out.set("batches", stats.batches);
+  out.set("cache_hits", stats.cache_hits);
+  out.set("cache_misses", stats.cache_misses);
+  out.set("cache_evictions", stats.cache_evictions);
+  out.set("cache_hit_rate",
+          stats.candidates > 0
+              ? static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(stats.candidates)
+              : 0.0);
+  out.set("improver_candidates", stats.improver_candidates);
+  out.set("pcc_candidates", stats.pcc_candidates);
+  out.set("explore_jobs", stats.explore_jobs);
+  out.set("eval_ms", stats.eval_ms);
+  return out;
+}
+
+}  // namespace cvb

@@ -1,0 +1,57 @@
+// Wire protocol of the binding service front-end (`cvserve`):
+// newline-delimited JSON, one request object per line in, one response
+// object per line out. Documented for users in FORMATS.md ("Service
+// protocol"); this header is the single implementation both the tool
+// and the tests use.
+//
+// Job request:
+//   {"id":"j1","kernel":"EWF","datapath":"[2,1|1,1]","buses":2,
+//    "algorithm":"b-iter","effort":"fast","deadline_ms":50}
+// or with an inline graph instead of a built-in kernel name:
+//   {"id":"j2","dfg":"dfg t\nop 0 add a\n...","datapath":"[1,1|1,1]"}
+// Control requests:
+//   {"cmd":"metrics"}   -> one metrics-snapshot response line
+//   {"cmd":"quit"}      -> drain and close the stream
+//
+// Job response:
+//   {"id":"j1","status":"ok","latency":18,"moves":4,
+//    "binding":[0,1,...],"queue_ms":0.1,"run_ms":42.0}
+// Non-ok statuses (see service/status.hpp) carry "error";
+// "deadline_exceeded" still carries the anytime binding fields.
+#pragma once
+
+#include <string>
+
+#include "bind/eval_engine.hpp"
+#include "service/service.hpp"
+#include "support/json.hpp"
+
+namespace cvb {
+
+/// One parsed request line.
+struct ServeRequest {
+  enum class Kind { kJob, kMetrics, kQuit };
+  Kind kind = Kind::kJob;
+  BindJob job;  // meaningful when kind == kJob
+};
+
+/// Parses one request line. Throws std::invalid_argument (with a
+/// message suitable for an error response) on malformed JSON, unknown
+/// fields of the wrong type, unknown kernels, or bad datapath specs.
+[[nodiscard]] ServeRequest parse_serve_request(const std::string& line);
+
+/// Serializes one outcome as a single-line JSON object (no trailing
+/// newline). Binding fields are included only when present.
+[[nodiscard]] JsonValue outcome_to_json(const BindOutcome& outcome);
+
+/// An error response for a line that could not even be parsed:
+/// {"status":"invalid_request","error":...} (plus "id" when known).
+[[nodiscard]] JsonValue invalid_request_json(const std::string& error,
+                                             const std::string& id = "");
+
+/// Machine-readable form of the evaluation-engine counters — shared by
+/// the service metrics snapshot and `cvbind --stats-json`.
+[[nodiscard]] JsonValue eval_stats_to_json(const EvalStats& stats,
+                                           int num_threads);
+
+}  // namespace cvb

@@ -1,0 +1,287 @@
+#include "service/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+#include "service/protocol.hpp"
+#include "support/stopwatch.hpp"
+
+namespace cvb {
+
+/// One accepted job and everything needed to resolve it. A Pending
+/// lives in exactly one place at a time (queue_, running_, or a local
+/// about-to-finish variable), which makes exactly-once promise
+/// fulfilment structural rather than flag-guarded.
+struct Service::Pending {
+  BindJob job;
+  CancelToken cancel;
+  std::promise<BindOutcome> promise;
+  std::function<void(BindOutcome)> callback;
+  Stopwatch submitted;  ///< started at admission; measures queue wait
+};
+
+BindOutcome run_bind_job(const BindJob& job, EvalEngine& engine,
+                         const CancelToken& cancel) {
+  BindOutcome outcome;
+  outcome.id = job.id;
+  BindResult result;
+  try {
+    if (job.algorithm == "b-iter" || job.algorithm == "b-init") {
+      DriverParams params = driver_params_for(job.effort);
+      params.engine = &engine;
+      params.cancel = cancel;
+      if (job.algorithm == "b-init") {
+        params.run_iterative = false;
+        result = bind_initial_best(job.dfg, job.datapath, params);
+      } else {
+        result = bind_full(job.dfg, job.datapath, params);
+      }
+    } else if (job.algorithm == "pcc") {
+      PccParams params;
+      params.cancel = cancel;
+      result = pcc_binding(job.dfg, job.datapath, params, nullptr, &engine);
+    } else {
+      outcome.status = BindStatus::kInvalidRequest;
+      outcome.error = "unknown algorithm '" + job.algorithm + "'";
+      return outcome;
+    }
+  } catch (const std::invalid_argument& e) {
+    outcome.status = BindStatus::kInvalidRequest;
+    outcome.error = e.what();
+    return outcome;
+  } catch (const std::exception& e) {
+    outcome.status = BindStatus::kInternalError;
+    outcome.error = e.what();
+    return outcome;
+  }
+
+  // Every result leaving the service is re-verified: a scheduler or
+  // cancellation bug degrades to a typed internal error, never to a
+  // silently illegal binding.
+  if (const std::string verr =
+          verify_schedule(result.bound, job.datapath, result.schedule);
+      !verr.empty()) {
+    outcome.status = BindStatus::kInternalError;
+    outcome.error = "illegal schedule: " + verr;
+    return outcome;
+  }
+
+  outcome.binding = std::move(result.binding);
+  outcome.latency = result.schedule.latency;
+  outcome.moves = result.schedule.num_moves;
+  if (cancel.cancelled()) {
+    outcome.status = BindStatus::kCancelled;
+  } else if (cancel.deadline_expired()) {
+    outcome.status = BindStatus::kDeadlineExceeded;
+  } else {
+    outcome.status = BindStatus::kOk;
+  }
+  return outcome;
+}
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {
+  if (options_.num_workers < 1) {
+    throw std::invalid_argument("Service: num_workers must be >= 1");
+  }
+  engine_ = std::make_unique<EvalEngine>(options_.engine);
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { shutdown(true); }
+
+void Service::finish(const std::shared_ptr<Pending>& pending,
+                     BindOutcome outcome) {
+  switch (outcome.status) {
+    case BindStatus::kOk:
+      metrics_.counter("jobs_completed").inc();
+      break;
+    case BindStatus::kDeadlineExceeded:
+      metrics_.counter("jobs_completed").inc();
+      metrics_.counter("jobs_deadline_miss").inc();
+      break;
+    case BindStatus::kCancelled:
+      metrics_.counter("jobs_cancelled").inc();
+      break;
+    case BindStatus::kShed:
+      metrics_.counter("jobs_shed").inc();
+      break;
+    case BindStatus::kInvalidRequest:
+    case BindStatus::kInternalError:
+      metrics_.counter("jobs_failed").inc();
+      break;
+  }
+  // Latency histograms only cover jobs that actually executed; shed
+  // and never-run (shutdown-cancelled) jobs would skew them with zeros.
+  if (outcome.run_ms > 0 || has_result(outcome.status)) {
+    metrics_.histogram("queue_wait_ms").observe(outcome.queue_ms);
+    metrics_.histogram("run_ms").observe(outcome.run_ms);
+  }
+  pending->promise.set_value(outcome);
+  if (pending->callback) {
+    pending->callback(std::move(outcome));
+  }
+}
+
+std::future<BindOutcome> Service::submit(BindJob job) {
+  auto pending = std::make_shared<Pending>();
+  pending->job = std::move(job);
+  std::future<BindOutcome> future = pending->promise.get_future();
+  admit(std::move(pending));
+  return future;
+}
+
+void Service::submit(BindJob job, std::function<void(BindOutcome)> done) {
+  auto pending = std::make_shared<Pending>();
+  pending->job = std::move(job);
+  pending->callback = std::move(done);
+  admit(std::move(pending));
+}
+
+void Service::admit(std::shared_ptr<Pending> pending) {
+  metrics_.counter("jobs_submitted").inc();
+  std::shared_ptr<Pending> shed;  // resolved outside the lock
+  const char* shed_reason = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (pending->job.id.empty()) {
+      pending->job.id = "job-" + std::to_string(next_auto_id_++);
+    }
+    const double deadline_ms = pending->job.deadline_ms > 0
+                                   ? pending->job.deadline_ms
+                                   : options_.default_deadline_ms;
+    pending->cancel = deadline_ms > 0 ? CancelToken::after_ms(deadline_ms)
+                                      : CancelToken::manual();
+    pending->submitted.restart();
+
+    if (stopping_) {
+      shed = std::move(pending);
+      shed_reason = "service is shutting down";
+    } else if (queue_.size() >= options_.queue_capacity) {
+      if (options_.overflow == OverflowPolicy::kReject || queue_.empty()) {
+        // queue_.empty() only with queue_capacity == 0: there is no
+        // older job to drop, so shed-oldest degenerates to reject.
+        shed = std::move(pending);
+        shed_reason = "queue full (reject policy)";
+      } else {
+        shed = queue_.front();  // head drop: oldest queued job
+        shed_reason = "queue full (shed-oldest policy)";
+        queue_.pop_front();
+        queue_.push_back(std::move(pending));
+      }
+    } else {
+      queue_.push_back(std::move(pending));
+    }
+    metrics_.gauge("queue_depth").set(static_cast<long long>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  if (shed != nullptr) {
+    BindOutcome outcome;
+    outcome.id = shed->job.id;
+    outcome.status = BindStatus::kShed;
+    outcome.error = shed_reason;
+    finish(shed, std::move(outcome));
+  }
+}
+
+bool Service::cancel(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<Pending>& pending : queue_) {
+    if (pending->job.id == id) {
+      pending->cancel.request_cancel();
+      return true;
+    }
+  }
+  for (const std::shared_ptr<Pending>& pending : running_) {
+    if (pending->job.id == id) {
+      pending->cancel.request_cancel();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Service::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+JsonValue Service::metrics_snapshot() const {
+  JsonValue out = JsonValue::object();
+  out.set("service", metrics_.snapshot());
+  out.set("eval",
+          eval_stats_to_json(engine_->stats(), engine_->num_threads()));
+  return out;
+}
+
+void Service::worker_loop() {
+  while (true) {
+    std::shared_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      pending = queue_.front();
+      queue_.pop_front();
+      running_.push_back(pending);
+      metrics_.gauge("queue_depth").set(static_cast<long long>(queue_.size()));
+      metrics_.gauge("busy_workers").add(1);
+    }
+
+    const double queue_ms = pending->submitted.elapsed_ms();
+    Stopwatch run_watch;
+    BindOutcome outcome =
+        run_bind_job(pending->job, *engine_, pending->cancel);
+    outcome.queue_ms = queue_ms;
+    outcome.run_ms = run_watch.elapsed_ms();
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      std::erase(running_, pending);
+      metrics_.gauge("busy_workers").add(-1);
+    }
+    finish(pending, std::move(outcome));
+    idle_cv_.notify_all();
+  }
+}
+
+void Service::shutdown(bool drain) {
+  std::deque<std::shared_ptr<Pending>> abandoned;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (drain) {
+      // Workers empty the queue before we flag stop; running jobs are
+      // left to finish naturally (their tokens stay untouched).
+      idle_cv_.wait(lock, [this] { return queue_.empty(); });
+      stopping_ = true;
+    } else {
+      stopping_ = true;
+      abandoned.swap(queue_);
+      for (const std::shared_ptr<Pending>& pending : running_) {
+        pending->cancel.request_cancel();
+      }
+      metrics_.gauge("queue_depth").set(0);
+    }
+  }
+  work_cv_.notify_all();
+  for (const std::shared_ptr<Pending>& pending : abandoned) {
+    BindOutcome outcome;
+    outcome.id = pending->job.id;
+    outcome.status = BindStatus::kCancelled;
+    outcome.error = "service shut down before the job ran";
+    finish(pending, std::move(outcome));
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+}  // namespace cvb

@@ -1,0 +1,177 @@
+// cvb::Service — an embeddable asynchronous binding service.
+//
+// The ROADMAP's deployment model: binding requests (DFG + datapath +
+// options) arrive continuously, and the system must bound both memory
+// (a full queue sheds work instead of growing) and time (per-job
+// deadlines produce an anytime best-so-far answer instead of an
+// unbounded search). The service owns a fixed pool of worker threads
+// that pop jobs FIFO from a bounded queue and run the existing binding
+// drivers (B-ITER / B-INIT / PCC) against one shared EvalEngine, so
+// concurrent jobs over the same kernels share the schedule cache.
+//
+// Production behaviours:
+//  * Admission control / backpressure: `queue_capacity` bounds the
+//    queue. When full, kReject sheds the *new* job and kShedOldest
+//    sheds the oldest *queued* job (head drop) to admit the new one.
+//    Either way the shed job's future resolves with BindStatus::kShed —
+//    a typed outcome, never a lost or hung future.
+//  * Deadlines + cancellation: each job gets a CancelToken, armed with
+//    its deadline (measured from *submission*, covering queue wait).
+//    The token is threaded into the driver loops (bind/driver.cpp,
+//    iterative_improver.cpp, pcc.cpp), which poll it between rounds and
+//    return the best binding found so far; the outcome is then tagged
+//    kDeadlineExceeded or kCancelled. cancel(id) cancels a queued or
+//    running job cooperatively.
+//  * Metrics: every lifecycle edge updates a MetricsRegistry (counters
+//    jobs_submitted/completed/shed/cancelled/deadline_miss/failed,
+//    gauges queue_depth/busy_workers, histograms queue wait and run
+//    latency, plus schedule-cache hit statistics at snapshot time).
+//
+// Every accepted job's promise is fulfilled exactly once; shutdown
+// (drain or abort) resolves all in-flight and queued jobs. There is no
+// code path that drops a future unresolved — tests/service_test.cpp
+// pins this under saturation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "bind/eval_engine.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+#include "machine/parser.hpp"
+#include "service/status.hpp"
+#include "support/cancel.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+
+namespace cvb {
+
+/// What to do with a new job when the queue is at capacity.
+enum class OverflowPolicy {
+  kReject,     ///< shed the incoming job
+  kShedOldest  ///< shed the oldest queued job, admit the incoming one
+};
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Worker threads executing jobs (>= 1).
+  int num_workers = 2;
+  /// Maximum queued (not yet running) jobs before overflow handling.
+  std::size_t queue_capacity = 64;
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  /// Deadline applied to jobs that do not set their own; 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Shared candidate-evaluation engine configuration. The default
+  /// (1 thread) evaluates inline on the worker running the job, which
+  /// is the right shape when num_workers already saturates the cores.
+  EvalEngineOptions engine;
+};
+
+/// One binding request.
+struct BindJob {
+  std::string id;           ///< echoed in the outcome ("" = auto "job-N")
+  Dfg dfg;
+  Datapath datapath = parse_datapath("[1,1|1,1]");
+  std::string algorithm = "b-iter";  ///< b-iter | b-init | pcc
+  BindEffort effort = BindEffort::kBalanced;
+  double deadline_ms = 0.0;  ///< 0 = use the service default
+};
+
+/// The result of one job. `binding`/`latency`/`moves` are meaningful
+/// when has_result(status) — kOk, or kDeadlineExceeded with the
+/// verifier-clean best-so-far binding.
+struct BindOutcome {
+  std::string id;
+  BindStatus status = BindStatus::kInternalError;
+  std::string error;   ///< diagnostic for invalid/internal/shed outcomes
+  Binding binding;
+  int latency = 0;
+  int moves = 0;
+  double queue_ms = 0.0;  ///< submission -> start of execution
+  double run_ms = 0.0;    ///< execution wall time
+};
+
+/// Asynchronous batched binding service. Thread-safe; construct once,
+/// submit from any thread.
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Drains outstanding jobs (equivalent to shutdown(true)).
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submits a job. Always returns a future that resolves: with the
+  /// bound result, a typed shed/cancel outcome, or an error. Never
+  /// blocks on a full queue (see OverflowPolicy).
+  std::future<BindOutcome> submit(BindJob job);
+
+  /// Callback flavour: `done` runs on the worker thread that finished
+  /// the job (or inline on the submitter for shed jobs).
+  void submit(BindJob job, std::function<void(BindOutcome)> done);
+
+  /// Requests cooperative cancellation of a queued or running job.
+  /// Returns false when no such job is live (unknown, or already done).
+  bool cancel(const std::string& id);
+
+  /// Stops the service. drain=true finishes every queued job first;
+  /// drain=false resolves queued jobs with kCancelled and interrupts
+  /// running jobs' tokens (they complete with their anytime result,
+  /// tagged kCancelled). Idempotent.
+  void shutdown(bool drain);
+
+  /// Number of jobs waiting in the queue right now.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// The shared evaluation engine (for stats inspection).
+  [[nodiscard]] const EvalEngine& engine() const { return *engine_; }
+
+  /// Live metrics registry (counters/gauges/histograms).
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+
+  /// Consistent JSON snapshot: the metrics registry plus engine cache
+  /// statistics ({"service":{...},"eval":{...}}).
+  [[nodiscard]] JsonValue metrics_snapshot() const;
+
+ private:
+  struct Pending;
+
+  void worker_loop();
+  void admit(std::shared_ptr<Pending> pending);
+  void finish(const std::shared_ptr<Pending>& pending, BindOutcome outcome);
+
+  ServiceOptions options_;
+  std::unique_ptr<EvalEngine> engine_;
+  MetricsRegistry metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  std::vector<std::shared_ptr<Pending>> running_;
+  bool stopping_ = false;
+  long long next_auto_id_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Runs one job synchronously with `engine` and `cancel` — the
+/// execution core the service workers use, exposed so `cvbind` shares
+/// the exact same dispatch, status classification, and anytime
+/// semantics. Does not fill queue_ms.
+[[nodiscard]] BindOutcome run_bind_job(const BindJob& job, EvalEngine& engine,
+                                       const CancelToken& cancel);
+
+}  // namespace cvb

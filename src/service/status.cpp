@@ -1,0 +1,60 @@
+#include "service/status.hpp"
+
+#include <stdexcept>
+
+namespace cvb {
+
+const char* to_string(BindStatus status) {
+  switch (status) {
+    case BindStatus::kOk:
+      return "ok";
+    case BindStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case BindStatus::kCancelled:
+      return "cancelled";
+    case BindStatus::kShed:
+      return "shed";
+    case BindStatus::kInvalidRequest:
+      return "invalid_request";
+    case BindStatus::kInternalError:
+      return "internal_error";
+  }
+  return "internal_error";
+}
+
+BindStatus bind_status_from_string(std::string_view name) {
+  for (const BindStatus status :
+       {BindStatus::kOk, BindStatus::kDeadlineExceeded, BindStatus::kCancelled,
+        BindStatus::kShed, BindStatus::kInvalidRequest,
+        BindStatus::kInternalError}) {
+    if (name == to_string(status)) {
+      return status;
+    }
+  }
+  throw std::invalid_argument("unknown bind status '" + std::string(name) +
+                              "'");
+}
+
+int exit_code_for(BindStatus status) {
+  switch (status) {
+    case BindStatus::kOk:
+      return 0;
+    case BindStatus::kInvalidRequest:
+      return 1;
+    case BindStatus::kInternalError:
+      return 2;
+    case BindStatus::kDeadlineExceeded:
+      return 3;
+    case BindStatus::kCancelled:
+      return 4;
+    case BindStatus::kShed:
+      return 5;
+  }
+  return 2;
+}
+
+bool has_result(BindStatus status) {
+  return status == BindStatus::kOk || status == BindStatus::kDeadlineExceeded;
+}
+
+}  // namespace cvb

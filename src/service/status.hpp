@@ -1,0 +1,38 @@
+// Typed completion status shared by the binding service and the
+// `cvbind` front-end, so callers (and shell scripts) can distinguish
+// "your input was malformed" from "the binder hit its deadline and
+// returned its best-so-far result" without parsing error prose.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cvb {
+
+/// How a binding request ended.
+enum class BindStatus {
+  kOk,                ///< ran to completion
+  kDeadlineExceeded,  ///< deadline expired; result is the anytime best-so-far
+  kCancelled,         ///< cancelled (explicitly or by service shutdown)
+  kShed,              ///< rejected by admission control (queue full)
+  kInvalidRequest,    ///< malformed input (parse/validation failure)
+  kInternalError,     ///< unexpected failure inside the binder
+};
+
+/// Wire/name form: "ok", "deadline_exceeded", "cancelled", "shed",
+/// "invalid_request", "internal_error".
+[[nodiscard]] const char* to_string(BindStatus status);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] BindStatus bind_status_from_string(std::string_view name);
+
+/// Process exit code for the cvbind front-end: 0 ok, 1 invalid request
+/// (parse/usage errors), 2 internal error, 3 deadline exceeded,
+/// 4 cancelled, 5 shed.
+[[nodiscard]] int exit_code_for(BindStatus status);
+
+/// True for statuses that still carry a usable (verifier-clean)
+/// binding: kOk and kDeadlineExceeded.
+[[nodiscard]] bool has_result(BindStatus status);
+
+}  // namespace cvb

@@ -1,0 +1,57 @@
+#include "support/cancel.hpp"
+
+#include <limits>
+
+namespace cvb {
+
+CancelToken CancelToken::manual() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::at(Clock::time_point deadline) {
+  auto state = std::make_shared<State>();
+  state->has_deadline = true;
+  state->deadline = deadline;
+  return CancelToken(std::move(state));
+}
+
+CancelToken CancelToken::after_ms(double ms) {
+  return at(Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(ms)));
+}
+
+void CancelToken::request_cancel() const {
+  if (state_ != nullptr) {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool CancelToken::cancelled() const {
+  return state_ != nullptr &&
+         state_->cancelled.load(std::memory_order_relaxed);
+}
+
+bool CancelToken::deadline_expired() const {
+  return state_ != nullptr && state_->has_deadline &&
+         Clock::now() >= state_->deadline;
+}
+
+bool CancelToken::stop_requested() const {
+  if (state_ == nullptr) {
+    return false;
+  }
+  return state_->cancelled.load(std::memory_order_relaxed) ||
+         (state_->has_deadline && Clock::now() >= state_->deadline);
+}
+
+double CancelToken::remaining_ms() const {
+  if (state_ == nullptr || !state_->has_deadline) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::chrono::duration<double, std::milli>(state_->deadline -
+                                                   Clock::now())
+      .count();
+}
+
+}  // namespace cvb

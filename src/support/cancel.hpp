@@ -1,0 +1,77 @@
+// Cooperative cancellation for the binding algorithms.
+//
+// A CancelToken is a cheap, copyable handle to shared cancellation
+// state: a manual cancel flag plus an optional wall-clock deadline.
+// Long-running loops (the B-ITER hill climber, PCC's improvement loop,
+// the driver's L_PR sweep, the design-space explorer) poll
+// stop_requested() once per round and, when it fires, return the best
+// result found so far instead of running to completion — the *anytime*
+// contract the binding service relies on for per-job deadlines.
+//
+// A default-constructed token is *empty*: it owns no state, never
+// reports cancellation, and polling it costs one pointer test. All
+// existing call sites therefore behave bit-identically to the
+// pre-cancellation code unless a caller explicitly passes an armed
+// token (see tests/cancel_test.cpp, which pins this).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace cvb {
+
+/// Copyable cancellation handle; all copies share one state.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Empty token: never cancelled, no deadline, no allocation.
+  CancelToken() = default;
+
+  /// A token that can only be cancelled explicitly (request_cancel).
+  [[nodiscard]] static CancelToken manual();
+
+  /// A token that expires `ms` milliseconds from now (0 = already
+  /// expired — useful for exercising the anytime path
+  /// deterministically). It can also be cancelled manually.
+  [[nodiscard]] static CancelToken after_ms(double ms);
+
+  /// A token expiring at an absolute time point.
+  [[nodiscard]] static CancelToken at(Clock::time_point deadline);
+
+  /// True iff this token carries shared state (non-empty).
+  [[nodiscard]] bool armed() const { return state_ != nullptr; }
+
+  /// Requests cancellation; visible to every copy. No-op on an empty
+  /// token. Safe to call from any thread, repeatedly.
+  void request_cancel() const;
+
+  /// True once request_cancel() has been called (manual cancellation
+  /// only — deadline expiry does not set this).
+  [[nodiscard]] bool cancelled() const;
+
+  /// True once the deadline (if any) has passed.
+  [[nodiscard]] bool deadline_expired() const;
+
+  /// The polling predicate: cancelled or past the deadline.
+  [[nodiscard]] bool stop_requested() const;
+
+  /// Milliseconds until the deadline (negative once expired); +infinity
+  /// for tokens without one.
+  [[nodiscard]] double remaining_ms() const;
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace cvb

@@ -1,0 +1,472 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cvb {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want, JsonValue::Kind got) {
+  throw std::logic_error(std::string("JsonValue: expected ") + want +
+                         ", value holds kind " +
+                         std::to_string(static_cast<int>(got)));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) {
+    kind_error("bool", kind_);
+  }
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) {
+    kind_error("number", kind_);
+  }
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) {
+    kind_error("string", kind_);
+  }
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (!is_array()) {
+    kind_error("array", kind_);
+  }
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (!is_object()) {
+    kind_error("object", kind_);
+  }
+  return object_;
+}
+
+JsonValue& JsonValue::push_back(JsonValue value) {
+  if (!is_array()) {
+    kind_error("array", kind_);
+  }
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue value) {
+  if (!is_object()) {
+    kind_error("object", kind_);
+  }
+  for (auto& [existing, member] : object_) {
+    if (existing == key) {
+      member = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const JsonValue* found = nullptr;
+  for (const auto& [existing, member] : object_) {
+    if (existing == key) {
+      found = &member;  // last duplicate wins, matching common parsers
+    }
+  }
+  return found;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::write_impl(std::ostream& out, int indent, int depth) const {
+  const auto newline_pad = [&](int levels) {
+    if (indent > 0) {
+      out << '\n' << std::string(static_cast<std::size_t>(indent * levels), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out << "null";
+      break;
+    case Kind::kBool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber: {
+      // Integral values print without a fraction; everything else uses
+      // enough digits to round-trip a double.
+      if (std::isfinite(number_) && number_ == std::floor(number_) &&
+          std::abs(number_) < 9.007199254740992e15) {
+        out << static_cast<long long>(number_);
+      } else if (std::isfinite(number_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", number_);
+        out << buf;
+      } else {
+        out << "null";  // JSON has no NaN/Inf
+      }
+      break;
+    }
+    case Kind::kString:
+      out << '"' << json_escape(string_) << '"';
+      break;
+    case Kind::kArray: {
+      out << '[';
+      bool first = true;
+      for (const JsonValue& item : array_) {
+        if (!first) {
+          out << ',';
+        }
+        first = false;
+        newline_pad(depth + 1);
+        item.write_impl(out, indent, depth + 1);
+      }
+      if (!array_.empty()) {
+        newline_pad(depth);
+      }
+      out << ']';
+      break;
+    }
+    case Kind::kObject: {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, member] : object_) {
+        if (!first) {
+          out << ',';
+        }
+        first = false;
+        newline_pad(depth + 1);
+        out << '"' << json_escape(key) << "\":";
+        if (indent > 0) {
+          out << ' ';
+        }
+        member.write_impl(out, indent, depth + 1);
+      }
+      if (!object_.empty()) {
+        newline_pad(depth);
+      }
+      out << '}';
+      break;
+    }
+  }
+}
+
+void JsonValue::write(std::ostream& out, int indent) const {
+  write_impl(out, indent, 0);
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream out;
+  write(out, indent);
+  return out.str();
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) {
+      fail(std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char ch = peek();
+      value <<= 4;
+      if (ch >= '0' && ch <= '9') {
+        value |= static_cast<std::uint32_t>(ch - '0');
+      } else if (ch >= 'a' && ch <= 'f') {
+        value |= static_cast<std::uint32_t>(ch - 'a' + 10);
+      } else if (ch >= 'A' && ch <= 'F') {
+        value |= static_cast<std::uint32_t>(ch - 'A' + 10);
+      } else {
+        fail("bad \\u escape digit");
+      }
+      ++pos_;
+    }
+    return value;
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char ch = text_[pos_];
+      if (ch == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (ch != '\\') {
+        out += ch;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume backslash
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require a following \uDC00..\uDFFF.
+            if (!consume_literal("\\u")) {
+              fail("unpaired surrogate");
+            }
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(token, &used);
+      if (used != token.size()) {
+        throw std::invalid_argument(token);
+      }
+      return JsonValue(value);
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("bad number '" + token + "'");
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char ch = peek();
+    if (ch == '{') {
+      ++pos_;
+      JsonValue obj = JsonValue::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return obj;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string_body();
+        skip_ws();
+        expect(':');
+        obj.set(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return obj;
+      }
+    }
+    if (ch == '[') {
+      ++pos_;
+      JsonValue arr = JsonValue::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return arr;
+      }
+      while (true) {
+        arr.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return arr;
+      }
+    }
+    if (ch == '"') {
+      return JsonValue(parse_string_body());
+    }
+    if (consume_literal("true")) {
+      return JsonValue(true);
+    }
+    if (consume_literal("false")) {
+      return JsonValue(false);
+    }
+    if (consume_literal("null")) {
+      return JsonValue();
+    }
+    if (ch == '-' || (ch >= '0' && ch <= '9')) {
+      return parse_number();
+    }
+    fail("unexpected character");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace cvb

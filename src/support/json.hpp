@@ -1,0 +1,102 @@
+// Minimal JSON value, writer, and parser — enough for the binding
+// service's newline-delimited request/response protocol and for
+// machine-readable stats/metrics snapshots, with no external
+// dependency.
+//
+// Deliberate scope cuts: numbers are stored as double (integral values
+// round-trip exactly up to 2^53 and are printed without a fraction);
+// object member order is preserved (insertion order), duplicate keys
+// keep the last value on lookup; \uXXXX escapes are decoded to UTF-8
+// (surrogate pairs included).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cvb {
+
+/// One JSON document node.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  JsonValue(int value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(long value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(long long value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(std::size_t value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(const char* value) : kind_(Kind::kString), string_(value) {}
+  JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::logic_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Appends to an array value (throws std::logic_error otherwise).
+  JsonValue& push_back(JsonValue value);
+
+  /// Sets a member on an object value, replacing an existing key.
+  JsonValue& set(std::string key, JsonValue value);
+
+  /// Looks up an object member; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Serializes compactly (no whitespace). `indent > 0` pretty-prints.
+  void write(std::ostream& out, int indent = 0) const;
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses one complete JSON document; trailing non-whitespace and any
+  /// syntax error throw std::invalid_argument with an offset-tagged
+  /// message.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  friend bool operator==(const JsonValue&, const JsonValue&) = default;
+
+ private:
+  void write_impl(std::ostream& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes
+/// not included).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace cvb

@@ -1,0 +1,136 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+
+namespace cvb {
+
+std::vector<double> Histogram::default_latency_bounds_ms() {
+  return {0.1, 0.2, 0.5, 1,   2,   5,    10,   20,   50,
+          100, 200, 500, 1000, 2000, 5000, 10000};
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  bucket_counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++bucket_counts_[bucket];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+long long Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::quantile(double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  long long seen = 0;
+  for (std::size_t b = 0; b < bucket_counts_.size(); ++b) {
+    if (bucket_counts_[b] == 0) {
+      continue;
+    }
+    const long long next = seen + bucket_counts_[b];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate within [lo, hi); the overflow bucket reports the
+      // observed maximum (its upper bound is infinite).
+      if (b == bounds_.size()) {
+        return max_;
+      }
+      const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+      const double hi = bounds_[b];
+      const double into =
+          (rank - static_cast<double>(seen)) /
+          static_cast<double>(bucket_counts_[b]);
+      // Clamp to the observed maximum: bucket-upper-bound interpolation
+      // must never report a value larger than anything ever observed.
+      return std::min(max_, lo + (hi - lo) * std::clamp(into, 0.0, 1.0));
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+JsonValue Histogram::snapshot() const {
+  JsonValue out = JsonValue::object();
+  out.set("count", count());
+  out.set("sum", sum());
+  out.set("max", max());
+  out.set("p50", quantile(0.50));
+  out.set("p95", quantile(0.95));
+  out.set("p99", quantile(0.99));
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+JsonValue MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, counter] : counters_) {
+    counters.set(name, counter->value());
+  }
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.set(name, gauge->value());
+  }
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms.set(name, histogram->snapshot());
+  }
+  JsonValue out = JsonValue::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace cvb

@@ -1,0 +1,114 @@
+// Process-local metrics registry: named counters, gauges, and latency
+// histograms, snapshotted as JSON.
+//
+// This is the observability substrate of the binding service
+// (src/service/): queue depth, wait/run latency, deadline-miss and
+// shed rates, schedule-cache hit rate all flow through one registry so
+// a single snapshot() call captures a consistent JSON document for
+// dashboards or the `cvserve` `{"cmd":"metrics"}` request.
+//
+// Concurrency: Counter and Gauge are lock-free atomics; Histogram takes
+// a short mutex per observation. Registered instruments live as long as
+// the registry and are returned by reference, so hot paths resolve a
+// name once and then update without any map lookup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace cvb {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(long long delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Instantaneous level (queue depth, busy workers).
+class Gauge {
+ public:
+  void set(long long value) { value_.store(value, std::memory_order_relaxed); }
+  void add(long long delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Latency histogram over fixed bucket upper bounds (plus an implicit
+/// +inf overflow bucket). Percentiles are estimated by linear
+/// interpolation inside the containing bucket — the standard
+/// Prometheus-style estimate, exact at bucket boundaries.
+class Histogram {
+ public:
+  /// Default bounds: 1-2-5 decades from 0.1 ms to 10 s, a useful range
+  /// for binding-job latencies.
+  [[nodiscard]] static std::vector<double> default_latency_bounds_ms();
+
+  explicit Histogram(std::vector<double> bounds = default_latency_bounds_ms());
+
+  void observe(double value);
+
+  [[nodiscard]] long long count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double max() const;
+  /// Estimated value at quantile `q` in [0, 1]; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// {"count":N,"sum":S,"max":M,"p50":..,"p95":..,"p99":..}
+  [[nodiscard]] JsonValue snapshot() const;
+
+ private:
+  std::vector<double> bounds_;          // ascending upper bounds
+  mutable std::mutex mutex_;
+  std::vector<long long> bucket_counts_;  // bounds_.size() + 1 (overflow)
+  long long count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named instrument registry. Thread-safe; instruments are created on
+/// first use and never removed.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. References stay valid for
+  /// the registry's lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// One consistent JSON document:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}.
+  [[nodiscard]] JsonValue snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cvb

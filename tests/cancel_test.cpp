@@ -1,0 +1,175 @@
+// CancelToken semantics plus the anytime contract of every binder:
+// a fired token makes B-ITER / the driver / PCC / the explorer return
+// promptly with a *complete, schedulable* best-so-far result, and an
+// unarmed (or never-firing) token leaves results bit-identical to the
+// pre-cancellation code paths.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bind/driver.hpp"
+#include "bind/iterative_improver.hpp"
+#include "explore/explore.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+#include "support/cancel.hpp"
+
+namespace cvb {
+namespace {
+
+void expect_valid(const Dfg& g, const Datapath& dp, const BindResult& r,
+                  const std::string& label) {
+  EXPECT_EQ(check_binding(g, r.binding, dp), "") << label;
+  EXPECT_EQ(verify_schedule(r.bound, dp, r.schedule), "") << label;
+  EXPECT_GT(r.schedule.latency, 0) << label;
+}
+
+TEST(CancelToken, EmptyTokenNeverFires) {
+  const CancelToken token;
+  EXPECT_FALSE(token.armed());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_GT(token.remaining_ms(), 1e12);
+  token.request_cancel();  // no-op, must not crash
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(CancelToken, ManualCancelSharedAcrossCopies) {
+  const CancelToken token = CancelToken::manual();
+  const CancelToken copy = token;
+  EXPECT_TRUE(token.armed());
+  EXPECT_FALSE(token.stop_requested());
+  copy.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_FALSE(token.deadline_expired());  // manual has no deadline
+}
+
+TEST(CancelToken, ZeroDeadlineIsAlreadyExpired) {
+  const CancelToken token = CancelToken::after_ms(0);
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_LE(token.remaining_ms(), 0.0);
+}
+
+TEST(CancelToken, FarDeadlineDoesNotFire) {
+  const CancelToken token = CancelToken::after_ms(1e9);
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_GT(token.remaining_ms(), 1e8);
+}
+
+TEST(CancelToken, AbsoluteDeadlineExpires) {
+  const CancelToken token =
+      CancelToken::at(CancelToken::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.deadline_expired());
+}
+
+TEST(CancelAnytime, ImproverHonorsPreExpiredToken) {
+  const Dfg g = benchmark_by_name("EWF").dfg;
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding start(g.num_ops(), 0);
+
+  IterImproverParams params;
+  params.cancel = CancelToken::after_ms(0);
+  IterImproverStats stats;
+  const Binding improved = improve_binding(g, dp, start, params, &stats);
+  // Pre-expired: the climber returns before evaluating any candidate,
+  // and the result is the (valid) input binding.
+  EXPECT_EQ(stats.candidates_evaluated, 0);
+  EXPECT_EQ(improved, start);
+}
+
+TEST(CancelAnytime, DriverReturnsValidResultUnderAnyDeadline) {
+  const Dfg g = benchmark_by_name("DCT-DIF").dfg;
+  const Datapath dp = parse_datapath("[2,1|1,1]");
+  for (const double deadline_ms : {0.0, 1.0, 10.0}) {
+    DriverParams params;
+    params.cancel = CancelToken::after_ms(deadline_ms);
+    const BindResult r = bind_full(g, dp, params);
+    expect_valid(g, dp, r, "deadline " + std::to_string(deadline_ms));
+  }
+}
+
+TEST(CancelAnytime, PccReturnsValidResultUnderAnyDeadline) {
+  const Dfg g = benchmark_by_name("ARF").dfg;
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  for (const double deadline_ms : {0.0, 1.0}) {
+    PccParams params;
+    params.cancel = CancelToken::after_ms(deadline_ms);
+    const BindResult r = pcc_binding(g, dp, params);
+    expect_valid(g, dp, r, "pcc deadline " + std::to_string(deadline_ms));
+  }
+}
+
+TEST(CancelAnytime, MidRunCancelReturnsBestSoFar) {
+  // Cancel from another thread while B-ITER climbs a big kernel; the
+  // result must still be complete and verifier-clean.
+  const Dfg g = benchmark_by_name("DCT-DIT-2").dfg;
+  const Datapath dp = parse_datapath("[2,1|2,1]");
+
+  DriverParams params = driver_params_for(BindEffort::kMax);
+  params.cancel = CancelToken::manual();
+  std::thread canceller([token = params.cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.request_cancel();
+  });
+  const BindResult r = bind_full(g, dp, params);
+  canceller.join();
+  expect_valid(g, dp, r, "mid-run cancel");
+}
+
+TEST(CancelAnytime, ExplorerStopsEarlyButReturnsFinishedPoints) {
+  const Dfg g = make_fir(8);
+  DseConstraints constraints;
+  constraints.max_total_fus = 4;
+
+  DriverParams driver;
+  driver.run_iterative = false;
+  const std::vector<DsePoint> all = explore_design_space(g, constraints, driver);
+  ASSERT_GT(all.size(), 1u);
+
+  driver.cancel = CancelToken::after_ms(0);
+  const std::vector<DsePoint> cut = explore_design_space(g, constraints, driver);
+  // Serial exploration evaluates the in-flight point, then stops.
+  ASSERT_FALSE(cut.empty());
+  EXPECT_LT(cut.size(), all.size());
+  for (const DsePoint& p : cut) {
+    EXPECT_GT(p.latency, 0);
+  }
+}
+
+TEST(CancelAnytime, NeverFiringDeadlineIsBitIdentical) {
+  // The satellite guarantee: arming a (far-future) deadline changes
+  // nothing about the result on any Table 1/2 kernel — the cancellation
+  // polls are pure reads on the search path.
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    const Datapath dp = parse_datapath("[2,1|1,1]");
+    DriverParams plain;
+    DriverParams armed;
+    armed.cancel = CancelToken::after_ms(1e9);
+    const BindResult a = bind_full(kernel.dfg, dp, plain);
+    const BindResult b = bind_full(kernel.dfg, dp, armed);
+    EXPECT_EQ(a.binding, b.binding) << kernel.name;
+    EXPECT_EQ(a.schedule.latency, b.schedule.latency) << kernel.name;
+    EXPECT_EQ(a.schedule.num_moves, b.schedule.num_moves) << kernel.name;
+  }
+}
+
+TEST(CancelAnytime, PccNeverFiringDeadlineIsBitIdentical) {
+  const Dfg g = benchmark_by_name("FFT").dfg;
+  const Datapath dp = parse_datapath("[2,1|2,1]");
+  PccParams armed;
+  armed.cancel = CancelToken::after_ms(1e9);
+  const BindResult a = pcc_binding(g, dp);
+  const BindResult b = pcc_binding(g, dp, armed);
+  EXPECT_EQ(a.binding, b.binding);
+  EXPECT_EQ(a.schedule.latency, b.schedule.latency);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "cli/cli.hpp"
+#include "support/json.hpp"
 
 namespace cvb {
 namespace {
@@ -149,6 +150,76 @@ TEST(Cli, EffortPresetsAccepted) {
     EXPECT_EQ(r.code, 0) << effort << ": " << r.err;
   }
   EXPECT_EQ(run({"ARF", "--effort", "heroic"}).code, 1);
+}
+
+TEST(Cli, StatsJsonToStdout) {
+  const CliRun r = run({"ARF", "--stats-json", "-"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // The stats document is appended after the summary; parse it back.
+  const std::size_t start = r.out.find("{");
+  ASSERT_NE(start, std::string::npos);
+  const JsonValue doc = JsonValue::parse(r.out.substr(start));
+  EXPECT_GT(doc.find("candidates")->as_number(), 0.0);
+  EXPECT_EQ(doc.find("threads")->as_number(), 1.0);
+  for (const char* key :
+       {"cache_hits", "cache_misses", "cache_hit_rate", "batches", "eval_ms"}) {
+    EXPECT_NE(doc.find(key), nullptr) << key;
+  }
+}
+
+TEST(Cli, StatsJsonToFile) {
+  const std::string path = "cli_test_stats.json";
+  const CliRun r = run({"EWF", "--stats-json", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  file.close();
+  std::remove(path.c_str());
+  const JsonValue doc = JsonValue::parse(content.str());
+  EXPECT_GT(doc.find("candidates")->as_number(), 0.0);
+}
+
+TEST(Cli, StatsJsonUnwritablePathFails) {
+  EXPECT_EQ(run({"ARF", "--stats-json", "no_such_dir/stats.json"}).code, 1);
+}
+
+TEST(Cli, PreExpiredDeadlineExitsThreeWithValidSummary) {
+  const CliRun r = run({"DCT-DIF", "--deadline-ms", "0"});
+  // Typed deadline exit: distinct from parse failures (1), and the
+  // best-so-far result was still printed in full.
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("L="), std::string::npos);
+  EXPECT_NE(r.err.find("deadline"), std::string::npos);
+}
+
+TEST(Cli, DeadlineAcceptedByAllAnytimeAlgorithms) {
+  for (const std::string algorithm : {"b-iter", "b-init", "pcc"}) {
+    const CliRun r =
+        run({"ARF", "--algorithm", algorithm, "--deadline-ms", "0"});
+    EXPECT_EQ(r.code, 3) << algorithm << ": " << r.err;
+    EXPECT_NE(r.out.find("L="), std::string::npos) << algorithm;
+  }
+}
+
+TEST(Cli, GenerousDeadlineExitsZero) {
+  const CliRun r = run({"ARF", "--deadline-ms", "1000000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+TEST(Cli, DeadlineRejectedForNonAnytimeAlgorithms) {
+  EXPECT_EQ(run({"EWF", "--algorithm", "sa", "--deadline-ms", "10"}).code, 1);
+  EXPECT_EQ(run({"EWF", "--algorithm", "mincut", "--deadline-ms", "10"}).code,
+            1);
+}
+
+TEST(Cli, ParseFailureStillExitsOne) {
+  // Exit-code contract: invalid input is 1 even when deadlines are in
+  // play; 3 is reserved for over-deadline runs.
+  EXPECT_EQ(run({"NoSuchKernel", "--deadline-ms", "0"}).code, 1);
+  EXPECT_EQ(run({"ARF", "--deadline-ms", "-5"}).code, 1);
+  EXPECT_EQ(run({"ARF", "--deadline-ms"}).code, 1);
 }
 
 TEST(Cli, SaSeedIsHonored) {

@@ -1,0 +1,109 @@
+// Unit tests for the minimal JSON value/parser/writer in support/json.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(Json, ScalarKindsAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).as_bool());
+  EXPECT_EQ(JsonValue(2.5).as_number(), 2.5);
+  EXPECT_EQ(JsonValue(42).as_number(), 42.0);
+  EXPECT_EQ(JsonValue(std::size_t{7}).as_number(), 7.0);
+  EXPECT_EQ(JsonValue("hi").as_string(), "hi");
+  EXPECT_THROW((void)JsonValue(true).as_number(), std::logic_error);
+  EXPECT_THROW((void)JsonValue(1.0).as_string(), std::logic_error);
+  EXPECT_THROW((void)JsonValue("x").as_array(), std::logic_error);
+}
+
+TEST(Json, IntegralNumbersPrintWithoutFraction) {
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(-3.0).dump(), "-3");
+  EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+}
+
+TEST(Json, ArrayPushBackAndDump) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(JsonValue());
+  EXPECT_EQ(arr.dump(), "[1,\"two\",null]");
+  EXPECT_EQ(arr.as_array().size(), 3u);
+  EXPECT_THROW((void)JsonValue(1.0).push_back(2), std::logic_error);
+}
+
+TEST(Json, ObjectSetReplacesAndFindLooksUp) {
+  JsonValue obj = JsonValue::object();
+  obj.set("a", 1);
+  obj.set("b", true);
+  obj.set("a", 2);  // replace, not duplicate
+  EXPECT_EQ(obj.as_object().size(), 2u);
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("a")->as_number(), 2.0);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_EQ(obj.dump(), "{\"a\":2,\"b\":true}");
+  EXPECT_EQ(JsonValue(1.0).find("a"), nullptr);  // non-object: absent
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b\\c\n\t").dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(json_escape(std::string("\x01")), "\\u0001");
+}
+
+TEST(Json, ParseRoundTripsDocument) {
+  const std::string text =
+      R"({"name":"EWF","n":34,"ok":true,"none":null,"xs":[1,2.5,-3],)"
+      R"("nested":{"k":"v"}})";
+  const JsonValue doc = JsonValue::parse(text);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("name")->as_string(), "EWF");
+  EXPECT_EQ(doc.find("n")->as_number(), 34.0);
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_TRUE(doc.find("none")->is_null());
+  EXPECT_EQ(doc.find("xs")->as_array()[2].as_number(), -3.0);
+  EXPECT_EQ(doc.find("nested")->find("k")->as_string(), "v");
+  EXPECT_EQ(JsonValue::parse(doc.dump()), doc);
+}
+
+TEST(Json, ParseDecodesEscapesAndSurrogatePairs) {
+  EXPECT_EQ(JsonValue::parse(R"("a\u0041\n")").as_string(), "aA\n");
+  // U+1F600 via a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("\uD83D\uDE00")").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, ParseKeepsLastDuplicateKey) {
+  const JsonValue doc = JsonValue::parse(R"({"k":1,"k":2})");
+  EXPECT_EQ(doc.find("k")->as_number(), 2.0);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\x\"",
+                          "nan", "+1", "\"unterminated", "[1] trailing",
+                          "\"\\uD83D\""}) {
+    EXPECT_THROW((void)JsonValue::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Json, PrettyPrintIndents) {
+  JsonValue obj = JsonValue::object();
+  obj.set("a", 1);
+  std::ostringstream out;
+  obj.write(out, 2);
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(JsonValue::array().dump(), "[]");
+  EXPECT_EQ(JsonValue::object().dump(), "{}");
+  EXPECT_EQ(JsonValue::parse("[]"), JsonValue::array());
+  EXPECT_EQ(JsonValue::parse(" {} "), JsonValue::object());
+}
+
+}  // namespace
+}  // namespace cvb

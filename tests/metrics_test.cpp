@@ -1,0 +1,128 @@
+// Unit tests for the metrics registry: counters, gauges, histogram
+// quantile estimation, and the JSON snapshot shape.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/metrics.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(Metrics, CounterIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge g;
+  g.set(7);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 5);
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10'000; ++i) {
+        c.inc();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), 40'000);
+}
+
+TEST(Metrics, HistogramBasicAccounting) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(Metrics, HistogramQuantilesAreMonotonicAndBounded) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) {
+    h.observe(0.5 + (i % 7));
+  }
+  double prev = 0.0;
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << q;
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+}
+
+TEST(Metrics, HistogramOverflowBucketReportsMax) {
+  Histogram h({1.0});
+  h.observe(100.0);
+  h.observe(250.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 250.0);
+}
+
+TEST(Metrics, HistogramSingleBucketInterpolates) {
+  Histogram h({10.0});
+  for (int i = 0; i < 10; ++i) {
+    h.observe(5.0);
+  }
+  // All mass in [0, 10): the p50 estimate interpolates inside it.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 10.0);
+}
+
+TEST(Metrics, HistogramSnapshotShape) {
+  Histogram h;
+  h.observe(3.0);
+  const JsonValue snap = h.snapshot();
+  for (const char* key : {"count", "sum", "max", "p50", "p95", "p99"}) {
+    EXPECT_NE(snap.find(key), nullptr) << key;
+  }
+  EXPECT_EQ(snap.find("count")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.find("max")->as_number(), 3.0);
+}
+
+TEST(Metrics, RegistryReturnsStableInstruments) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("jobs");
+  a.inc();
+  Counter& b = registry.counter("jobs");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 1);
+  Gauge& g1 = registry.gauge("depth");
+  EXPECT_EQ(&g1, &registry.gauge("depth"));
+  Histogram& h1 = registry.histogram("lat");
+  EXPECT_EQ(&h1, &registry.histogram("lat"));
+}
+
+TEST(Metrics, RegistrySnapshotDocument) {
+  MetricsRegistry registry;
+  registry.counter("done").inc(3);
+  registry.gauge("depth").set(2);
+  registry.histogram("lat").observe(1.5);
+  const JsonValue snap = registry.snapshot();
+  EXPECT_EQ(snap.find("counters")->find("done")->as_number(), 3.0);
+  EXPECT_EQ(snap.find("gauges")->find("depth")->as_number(), 2.0);
+  EXPECT_EQ(snap.find("histograms")->find("lat")->find("count")->as_number(),
+            1.0);
+  // Round-trips through the writer/parser.
+  EXPECT_EQ(JsonValue::parse(snap.dump()), snap);
+}
+
+}  // namespace
+}  // namespace cvb

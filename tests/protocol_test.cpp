@@ -1,0 +1,270 @@
+// Tests of the cvserve wire protocol: request parsing, response
+// serialization, and the full NDJSON serve loop end-to-end over string
+// streams and over a Unix-domain socket.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "kernels/kernels.hpp"
+#include "service/protocol.hpp"
+#include "support/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CVB_TEST_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace cvb {
+namespace {
+
+std::vector<JsonValue> parse_response_lines(const std::string& text) {
+  std::vector<JsonValue> responses;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!trim(line).empty()) {
+      responses.push_back(JsonValue::parse(line));
+    }
+  }
+  return responses;
+}
+
+const JsonValue* response_for(const std::vector<JsonValue>& responses,
+                              const std::string& id) {
+  for (const JsonValue& response : responses) {
+    const JsonValue* rid = response.find("id");
+    if (rid != nullptr && rid->as_string() == id) {
+      return &response;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Protocol, ParsesKernelJobRequest) {
+  const ServeRequest request = parse_serve_request(
+      R"({"id":"j1","kernel":"EWF","datapath":"[2,1|1,1]","buses":1,)"
+      R"("algorithm":"pcc","effort":"fast","deadline_ms":50})");
+  EXPECT_EQ(request.kind, ServeRequest::Kind::kJob);
+  EXPECT_EQ(request.job.id, "j1");
+  EXPECT_EQ(request.job.dfg.num_ops(), benchmark_by_name("EWF").dfg.num_ops());
+  EXPECT_EQ(request.job.datapath.num_clusters(), 2);
+  EXPECT_EQ(request.job.algorithm, "pcc");
+  EXPECT_EQ(request.job.effort, BindEffort::kFast);
+  EXPECT_EQ(request.job.deadline_ms, 50.0);
+}
+
+TEST(Protocol, ParsesInlineDfgWithDefaults) {
+  const ServeRequest request = parse_serve_request(
+      R"({"dfg":"dfg t\nop 0 add s0\nop 1 mul p0\nargs 0 in in\nargs 1 0 0\n"})");
+  EXPECT_EQ(request.kind, ServeRequest::Kind::kJob);
+  EXPECT_EQ(request.job.dfg.num_ops(), 2);
+  EXPECT_EQ(request.job.datapath.num_clusters(), 2);  // default [1,1|1,1]
+  EXPECT_EQ(request.job.algorithm, "b-iter");
+  EXPECT_EQ(request.job.deadline_ms, 0.0);
+}
+
+TEST(Protocol, ParsesControlCommands) {
+  EXPECT_EQ(parse_serve_request(R"({"cmd":"metrics"})").kind,
+            ServeRequest::Kind::kMetrics);
+  EXPECT_EQ(parse_serve_request(R"({"cmd":"quit"})").kind,
+            ServeRequest::Kind::kQuit);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  const char* bad[] = {
+      "not json",
+      "[1,2]",                                    // not an object
+      R"({"cmd":"reboot"})",                      // unknown cmd
+      R"({"datapath":"[1,1|1,1]"})",              // neither kernel nor dfg
+      R"({"kernel":"EWF","dfg":"dfg t\n"})",      // both
+      R"({"kernel":"NOPE"})",                     // unknown kernel
+      R"({"kernel":"EWF","effort":"extreme"})",   // unknown effort
+      R"({"kernel":"EWF","deadline_ms":-1})",     // negative deadline
+      R"({"kernel":"EWF","datapath":"oops"})",    // bad datapath spec
+      R"({"kernel":42})",                         // wrong field type
+      R"({"kernel":"EWF","machine":"m","datapath":"[1,1]"})",  // exclusive
+  };
+  for (const char* line : bad) {
+    EXPECT_THROW((void)parse_serve_request(line), std::invalid_argument)
+        << line;
+  }
+}
+
+TEST(Protocol, OutcomeSerialization) {
+  BindOutcome outcome;
+  outcome.id = "j9";
+  outcome.status = BindStatus::kDeadlineExceeded;
+  outcome.binding = {0, 1, 0};
+  outcome.latency = 7;
+  outcome.moves = 2;
+  outcome.queue_ms = 0.5;
+  outcome.run_ms = 12.0;
+  const JsonValue doc = outcome_to_json(outcome);
+  EXPECT_EQ(doc.find("id")->as_string(), "j9");
+  EXPECT_EQ(doc.find("status")->as_string(), "deadline_exceeded");
+  EXPECT_EQ(doc.find("latency")->as_number(), 7.0);
+  EXPECT_EQ(doc.find("moves")->as_number(), 2.0);
+  EXPECT_EQ(doc.find("binding")->as_array().size(), 3u);
+  EXPECT_EQ(doc.find("error"), nullptr);  // empty error omitted
+
+  BindOutcome shed;
+  shed.status = BindStatus::kShed;
+  shed.error = "queue full";
+  const JsonValue shed_doc = outcome_to_json(shed);
+  EXPECT_EQ(shed_doc.find("status")->as_string(), "shed");
+  EXPECT_EQ(shed_doc.find("error")->as_string(), "queue full");
+  EXPECT_EQ(shed_doc.find("binding"), nullptr);  // no result fields
+}
+
+TEST(Protocol, InvalidRequestJson) {
+  const JsonValue doc = invalid_request_json("bad line", "j3");
+  EXPECT_EQ(doc.find("id")->as_string(), "j3");
+  EXPECT_EQ(doc.find("status")->as_string(), "invalid_request");
+  EXPECT_EQ(doc.find("error")->as_string(), "bad line");
+  EXPECT_EQ(invalid_request_json("x").find("id"), nullptr);
+}
+
+TEST(Protocol, EvalStatsJsonShape) {
+  EvalStats stats;
+  stats.candidates = 10;
+  stats.cache_hits = 4;
+  stats.cache_misses = 6;
+  const JsonValue doc = eval_stats_to_json(stats, 3);
+  EXPECT_EQ(doc.find("threads")->as_number(), 3.0);
+  EXPECT_EQ(doc.find("candidates")->as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(doc.find("cache_hit_rate")->as_number(), 0.4);
+  for (const char* key : {"batches", "cache_evictions", "improver_candidates",
+                          "pcc_candidates", "explore_jobs", "eval_ms"}) {
+    EXPECT_NE(doc.find(key), nullptr) << key;
+  }
+  EXPECT_EQ(eval_stats_to_json(EvalStats{}, 1).find("cache_hit_rate")
+                ->as_number(),
+            0.0);
+}
+
+TEST(ServeCli, EndToEndOverStreams) {
+  std::istringstream in(
+      R"({"id":"a","kernel":"ARF","datapath":"[1,1|1,1]","effort":"fast"})"
+      "\n"
+      "this is not json\n"
+      "\n"  // blank lines are skipped
+      R"({"id":"b","kernel":"FFT","datapath":"[2,1|1,1]","effort":"fast"})"
+      "\n"
+      R"({"cmd":"metrics"})"
+      "\n"
+      R"({"cmd":"quit"})"
+      "\n"
+      R"({"id":"after-quit","kernel":"ARF"})"
+      "\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_serve_cli({"--workers", "2"}, in, out, err);
+  EXPECT_EQ(code, 0);
+
+  const std::vector<JsonValue> responses = parse_response_lines(out.str());
+  // 2 job responses + 1 parse error + 1 metrics; nothing after quit.
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(response_for(responses, "after-quit"), nullptr);
+
+  const JsonValue* a = response_for(responses, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->find("status")->as_string(), "ok");
+  EXPECT_EQ(a->find("binding")->as_array().size(),
+            static_cast<std::size_t>(benchmark_by_name("ARF").dfg.num_ops()));
+  const JsonValue* b = response_for(responses, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->find("status")->as_string(), "ok");
+
+  int errors = 0;
+  int metrics = 0;
+  for (const JsonValue& response : responses) {
+    if (const JsonValue* status = response.find("status");
+        status != nullptr && status->as_string() == "invalid_request") {
+      ++errors;
+    }
+    if (response.find("counters") != nullptr ||
+        response.find("service") != nullptr) {
+      ++metrics;
+    }
+  }
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(metrics, 1);
+}
+
+TEST(ServeCli, HelpAndBadFlags) {
+  std::istringstream in;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_serve_cli({"--help"}, in, out, err), 0);
+  EXPECT_NE(out.str().find("usage: cvserve"), std::string::npos);
+  EXPECT_EQ(run_serve_cli({"--bogus"}, in, out, err), 1);
+  EXPECT_EQ(run_serve_cli({"--workers", "0"}, in, out, err), 1);
+  EXPECT_EQ(run_serve_cli({"--overflow", "maybe"}, in, out, err), 1);
+}
+
+#ifdef CVB_TEST_UNIX_SOCKETS
+
+TEST(ServeCli, SocketRoundTrip) {
+  const std::string path = testing::TempDir() + "cvb_serve_test.sock";
+  std::istringstream unused_in;
+  std::ostringstream unused_out;
+  std::ostringstream err;
+  std::thread server([&] {
+    (void)run_serve_cli({"--socket", path, "--once", "--workers", "1"},
+                        unused_in, unused_out, err);
+  });
+
+  // Connect (retrying until the listener is bound), send two requests,
+  // read responses until the server closes the connection after quit.
+  int fd = -1;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof addr.sun_path);
+    path.copy(addr.sun_path, path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(fd, 0) << "could not connect to " << path;
+
+  const std::string request =
+      R"({"id":"sock","kernel":"ARF","datapath":"[1,1|1,1]","effort":"fast"})"
+      "\n"
+      R"({"cmd":"quit"})"
+      "\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+
+  std::string reply;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+
+  const std::vector<JsonValue> responses = parse_response_lines(reply);
+  const JsonValue* sock = response_for(responses, "sock");
+  ASSERT_NE(sock, nullptr) << reply;
+  EXPECT_EQ(sock->find("status")->as_string(), "ok");
+}
+
+#endif  // CVB_TEST_UNIX_SOCKETS
+
+}  // namespace
+}  // namespace cvb

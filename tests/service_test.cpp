@@ -1,0 +1,315 @@
+// Tests of cvb::Service: result correctness against the direct driver,
+// admission control under saturation (typed shed outcomes, no lost
+// futures), deadlines, cancellation, shutdown, and metrics accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "sched/verifier.hpp"
+#include "service/service.hpp"
+
+namespace cvb {
+namespace {
+
+BindJob make_job(const std::string& kernel, const std::string& dp_spec,
+                 std::string id = "") {
+  BindJob job;
+  job.id = std::move(id);
+  job.dfg = benchmark_by_name(kernel).dfg;
+  job.datapath = parse_datapath(dp_spec);
+  return job;
+}
+
+void expect_valid_result(const BindOutcome& outcome, const Dfg& g,
+                         const Datapath& dp) {
+  ASSERT_TRUE(has_result(outcome.status)) << to_string(outcome.status);
+  EXPECT_EQ(check_binding(g, outcome.binding, dp), "");
+  const BindResult check = evaluate_binding(g, dp, outcome.binding);
+  EXPECT_EQ(verify_schedule(check.bound, dp, check.schedule), "");
+  EXPECT_EQ(check.schedule.latency, outcome.latency);
+  EXPECT_EQ(check.schedule.num_moves, outcome.moves);
+}
+
+TEST(Service, MatchesDirectDriverRun) {
+  Service service;
+  const BindJob job = make_job("EWF", "[1,1|1,1]", "ewf");
+  const BindOutcome outcome = service.submit(job).get();
+  ASSERT_EQ(outcome.status, BindStatus::kOk);
+  EXPECT_EQ(outcome.id, "ewf");
+  expect_valid_result(outcome, job.dfg, job.datapath);
+
+  // Same binding as running the driver directly with the same effort:
+  // the shared engine's cache never changes algorithmic results.
+  const BindResult direct =
+      bind_full(job.dfg, job.datapath, driver_params_for(job.effort));
+  EXPECT_EQ(outcome.binding, direct.binding);
+  EXPECT_EQ(outcome.latency, direct.schedule.latency);
+}
+
+TEST(Service, AutoAssignsJobIds) {
+  Service service;
+  const BindOutcome a = service.submit(make_job("ARF", "[1,1|1,1]")).get();
+  const BindOutcome b = service.submit(make_job("ARF", "[1,1|1,1]")).get();
+  EXPECT_EQ(a.id, "job-0");
+  EXPECT_EQ(b.id, "job-1");
+}
+
+TEST(Service, CallbackFlavourDelivers) {
+  Service service;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  BindOutcome received;
+  service.submit(make_job("FFT", "[2,1|1,1]", "cb"), [&](BindOutcome outcome) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    received = std::move(outcome);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_EQ(received.id, "cb");
+  EXPECT_EQ(received.status, BindStatus::kOk);
+}
+
+TEST(Service, ZeroCapacityShedsEveryJobTyped) {
+  // queue_capacity 0 is the degenerate saturation case: admission
+  // control sheds deterministically, and the future still resolves.
+  for (const OverflowPolicy policy :
+       {OverflowPolicy::kReject, OverflowPolicy::kShedOldest}) {
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.queue_capacity = 0;
+    options.overflow = policy;
+    Service service(options);
+    const BindOutcome outcome =
+        service.submit(make_job("ARF", "[1,1|1,1]", "full")).get();
+    EXPECT_EQ(outcome.status, BindStatus::kShed);
+    EXPECT_FALSE(outcome.error.empty());
+    EXPECT_TRUE(outcome.binding.empty());
+    EXPECT_EQ(service.metrics().counter("jobs_shed").value(), 1);
+  }
+}
+
+TEST(Service, SaturationNeverLosesAJob) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  Service service(options);
+
+  constexpr int kJobs = 12;
+  std::vector<std::future<BindOutcome>> futures;
+  futures.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    futures.push_back(
+        service.submit(make_job("DCT-DIF", "[2,1|1,1]", "j" + std::to_string(i))));
+  }
+  int ok = 0;
+  int shed = 0;
+  for (std::future<BindOutcome>& future : futures) {
+    const BindOutcome outcome = future.get();  // every future resolves
+    if (outcome.status == BindStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(outcome.status, BindStatus::kShed) << outcome.id;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kJobs);
+  EXPECT_GE(ok, 1);  // the worker made progress
+  EXPECT_EQ(service.metrics().counter("jobs_submitted").value(), kJobs);
+  EXPECT_EQ(service.metrics().counter("jobs_completed").value(), ok);
+  EXPECT_EQ(service.metrics().counter("jobs_shed").value(), shed);
+}
+
+TEST(Service, ShedOldestAdmitsTheNewestJob) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.overflow = OverflowPolicy::kShedOldest;
+  Service service(options);
+
+  std::vector<std::future<BindOutcome>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        service.submit(make_job("EWF", "[1,1|1,1]", "s" + std::to_string(i))));
+  }
+  int shed = 0;
+  std::string last_status;
+  for (std::future<BindOutcome>& future : futures) {
+    const BindOutcome outcome = future.get();
+    last_status = to_string(outcome.status);
+    shed += outcome.status == BindStatus::kShed ? 1 : 0;
+  }
+  // The last-submitted job is never the one dropped under head-drop; it
+  // either ran (ok) or was still queued at drain time (ok after drain).
+  EXPECT_EQ(last_status, "ok");
+  EXPECT_EQ(service.metrics().counter("jobs_shed").value(), shed);
+}
+
+TEST(Service, DeadlineJobStillReturnsUsableBinding) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  Service service(options);
+  BindJob job = make_job("DCT-DIT-2", "[2,1|2,1]", "tight");
+  job.effort = BindEffort::kMax;
+  job.deadline_ms = 5;
+  const BindOutcome outcome = service.submit(std::move(job)).get();
+  // Tight budget: either the binder finished in time (ok) or it hit the
+  // deadline — in both cases the binding is complete and verifier-clean.
+  const BenchmarkKernel kernel = benchmark_by_name("DCT-DIT-2");
+  expect_valid_result(outcome, kernel.dfg, parse_datapath("[2,1|2,1]"));
+  if (outcome.status == BindStatus::kDeadlineExceeded) {
+    EXPECT_EQ(service.metrics().counter("jobs_deadline_miss").value(), 1);
+  }
+}
+
+TEST(Service, DefaultDeadlineAppliesWhenJobHasNone) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.default_deadline_ms = 0.001;
+  Service service(options);
+  BindJob job = make_job("DCT-DIT-2", "[2,1|2,1]");
+  job.effort = BindEffort::kMax;
+  const BindOutcome outcome = service.submit(std::move(job)).get();
+  EXPECT_EQ(outcome.status, BindStatus::kDeadlineExceeded);
+  const BenchmarkKernel kernel = benchmark_by_name("DCT-DIT-2");
+  expect_valid_result(outcome, kernel.dfg, parse_datapath("[2,1|2,1]"));
+}
+
+TEST(Service, CancelByIdResolvesCooperatively) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  Service service(options);
+  // Keep the worker busy so "target" sits in the queue when cancelled.
+  BindJob slow = make_job("DCT-DIT-2", "[2,1|2,1]", "slow");
+  slow.effort = BindEffort::kMax;
+  std::future<BindOutcome> slow_future = service.submit(std::move(slow));
+  std::future<BindOutcome> target_future =
+      service.submit(make_job("EWF", "[1,1|1,1]", "target"));
+
+  EXPECT_TRUE(service.cancel("target"));
+  EXPECT_FALSE(service.cancel("no-such-job"));
+
+  const BindOutcome target = target_future.get();
+  // The manual token fires before (queued) or during its run; either
+  // way the outcome is typed kCancelled and the future resolved.
+  EXPECT_EQ(target.status, BindStatus::kCancelled);
+  (void)slow_future.get();
+  EXPECT_GE(service.metrics().counter("jobs_cancelled").value(), 1);
+}
+
+TEST(Service, AbortShutdownResolvesQueuedJobsAsCancelled) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  Service service(options);
+  std::vector<std::future<BindOutcome>> futures;
+  for (int i = 0; i < 5; ++i) {
+    BindJob job = make_job("DCT-DIT-2", "[2,1|2,1]", "a" + std::to_string(i));
+    job.effort = BindEffort::kMax;
+    futures.push_back(service.submit(std::move(job)));
+  }
+  service.shutdown(/*drain=*/false);
+  int cancelled = 0;
+  for (std::future<BindOutcome>& future : futures) {
+    const BindOutcome outcome = future.get();
+    EXPECT_TRUE(outcome.status == BindStatus::kCancelled ||
+                outcome.status == BindStatus::kOk)
+        << to_string(outcome.status);
+    cancelled += outcome.status == BindStatus::kCancelled ? 1 : 0;
+  }
+  EXPECT_GE(cancelled, 3);  // at most the in-flight + finished escape
+
+  // Submissions after shutdown are typed shed, not lost.
+  const BindOutcome late = service.submit(make_job("ARF", "[1,1|1,1]")).get();
+  EXPECT_EQ(late.status, BindStatus::kShed);
+}
+
+TEST(Service, DrainShutdownFinishesQueuedJobs) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 16;
+  Service service(options);
+  std::vector<std::future<BindOutcome>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.submit(make_job("ARF", "[1,1|1,1]")));
+  }
+  service.shutdown(/*drain=*/true);
+  for (std::future<BindOutcome>& future : futures) {
+    EXPECT_EQ(future.get().status, BindStatus::kOk);
+  }
+  EXPECT_EQ(service.metrics().counter("jobs_completed").value(), 6);
+}
+
+TEST(Service, MetricsSnapshotShape) {
+  Service service;
+  (void)service.submit(make_job("FFT", "[2,1|1,1]")).get();
+  const JsonValue snap = service.metrics_snapshot();
+  const JsonValue* svc = snap.find("service");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->find("counters")->find("jobs_submitted")->as_number(), 1.0);
+  EXPECT_NE(svc->find("histograms")->find("run_ms"), nullptr);
+  const JsonValue* eval = snap.find("eval");
+  ASSERT_NE(eval, nullptr);
+  EXPECT_GT(eval->find("candidates")->as_number(), 0.0);
+  EXPECT_NE(eval->find("cache_hit_rate"), nullptr);
+}
+
+TEST(Service, SharedEngineCachesAcrossIdenticalJobs) {
+  Service service;
+  (void)service.submit(make_job("EWF", "[1,1|1,1]")).get();
+  (void)service.submit(make_job("EWF", "[1,1|1,1]")).get();
+  // The second identical job replays the first one's schedule cache.
+  EXPECT_GT(service.engine().stats().cache_hits, 0);
+}
+
+TEST(Service, RunBindJobClassifiesInvalidInput) {
+  EvalEngine engine;
+  BindJob job = make_job("ARF", "[1,1|1,1]");
+  job.algorithm = "no-such-binder";
+  const BindOutcome outcome = run_bind_job(job, engine, CancelToken());
+  EXPECT_EQ(outcome.status, BindStatus::kInvalidRequest);
+  EXPECT_FALSE(outcome.error.empty());
+
+  BindJob empty;
+  empty.datapath = parse_datapath("[1,1|1,1]");
+  EXPECT_EQ(run_bind_job(empty, engine, CancelToken()).status,
+            BindStatus::kInvalidRequest);
+}
+
+TEST(Service, RejectsZeroWorkers) {
+  ServiceOptions options;
+  options.num_workers = 0;
+  EXPECT_THROW(Service{options}, std::invalid_argument);
+}
+
+TEST(ServiceStatus, StringsRoundTripAndExitCodes) {
+  for (const BindStatus status :
+       {BindStatus::kOk, BindStatus::kDeadlineExceeded, BindStatus::kCancelled,
+        BindStatus::kShed, BindStatus::kInvalidRequest,
+        BindStatus::kInternalError}) {
+    EXPECT_EQ(bind_status_from_string(to_string(status)), status);
+  }
+  EXPECT_EQ(exit_code_for(BindStatus::kOk), 0);
+  EXPECT_EQ(exit_code_for(BindStatus::kInvalidRequest), 1);
+  EXPECT_EQ(exit_code_for(BindStatus::kInternalError), 2);
+  EXPECT_EQ(exit_code_for(BindStatus::kDeadlineExceeded), 3);
+  EXPECT_EQ(exit_code_for(BindStatus::kCancelled), 4);
+  EXPECT_EQ(exit_code_for(BindStatus::kShed), 5);
+  EXPECT_TRUE(has_result(BindStatus::kOk));
+  EXPECT_TRUE(has_result(BindStatus::kDeadlineExceeded));
+  EXPECT_FALSE(has_result(BindStatus::kShed));
+  EXPECT_THROW((void)bind_status_from_string("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,13 @@
+// cvserve: batched binding service over NDJSON (stdin/stdout or a
+// Unix-domain socket). All logic lives in src/cli/serve_cli.cpp (unit
+// tested); this is the entry point.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return cvb::run_serve_cli(args, std::cin, std::cout, std::cerr);
+}
