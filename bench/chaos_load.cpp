@@ -1,0 +1,454 @@
+// Chaos harness: drives cvb::Service and the text parsers with every
+// fault-injection site armed in turn (then all at once), and asserts
+// the resilience invariants the service advertises:
+//
+//  * no lost jobs — every submitted future resolves with a typed
+//    outcome, and the metrics accounting balances exactly
+//    (submitted == completed + shed + cancelled + failed);
+//  * exactly-once fulfilment — each future yields exactly one outcome
+//    (a double set_value would throw std::future_error);
+//  * every delivered binding re-verifies — any outcome carrying a
+//    result is re-scheduled from scratch and checked by the verifier;
+//  * the watchdog rescues injected hangs, and repeat-poison job keys
+//    quarantine onto the verified kDegraded fallback.
+//
+// Usage: chaos_load [--jobs N] [--rate R] [--seed S]
+// Runs standalone with no arguments (CI uses the defaults). On a build
+// without -DCVB_FAULT_INJECTION=ON it still runs the fault-free
+// invariant pass and exits 0 with a note.
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "io/dfg_text.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/machine_file.hpp"
+#include "machine/parser.hpp"
+#include "sched/verifier.hpp"
+#include "service/service.hpp"
+#include "support/fault.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+struct ChaosArgs {
+  int jobs = 24;
+  double rate = 0.15;
+  std::uint64_t seed = 0xc4a05u;
+};
+
+ChaosArgs parse_chaos_args(int argc, char** argv) {
+  ChaosArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      args.jobs = cvb::parse_nonnegative_int(value());
+    } else if (arg == "--rate") {
+      args.rate = std::stod(value());
+    } else if (arg == "--seed") {
+      args.seed = static_cast<std::uint64_t>(std::stoull(value()));
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    }
+  }
+  return args;
+}
+
+struct JobSpec {
+  const char* kernel;
+  const char* datapath;
+};
+
+// Small kernels keep each phase fast; two shapes so the schedule cache
+// sees hits and misses under fire.
+const std::vector<JobSpec> kMix = {
+    {"ARF", "[1,1|1,1]"},
+    {"EWF", "[2,1|1,1]"},
+    {"ARF", "[2,1|2,1]"},
+    {"EWF", "[1,1|1,1]"},
+};
+
+cvb::BindJob make_job(int index) {
+  const JobSpec& spec = kMix[static_cast<std::size_t>(index) % kMix.size()];
+  cvb::BindJob job;
+  job.id = "chaos-" + std::to_string(index);
+  job.dfg = cvb::benchmark_by_name(spec.kernel).dfg;
+  job.datapath = cvb::parse_datapath(spec.datapath);
+  // Balanced effort: the fast tier evaluates candidates by load
+  // profile and schedules only the winner directly, so it never enters
+  // the engine — the eval.* sites would be unreachable.
+  job.effort = cvb::BindEffort::kBalanced;
+  return job;
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "chaos_load: FAIL: " << message << '\n';
+  std::exit(1);
+}
+
+/// Re-schedules the delivered binding from scratch and runs the
+/// verifier over it — the bench-side half of the "every delivered
+/// binding re-verifies" invariant.
+void reverify(const cvb::BindJob& job, const cvb::BindOutcome& outcome) {
+  if (!cvb::has_result(outcome.status) || outcome.binding.empty()) {
+    return;
+  }
+  const cvb::BindResult result =
+      cvb::evaluate_binding(job.dfg, job.datapath, outcome.binding);
+  if (const std::string verr =
+          cvb::verify_schedule(result.bound, job.datapath, result.schedule);
+      !verr.empty()) {
+    fail("job " + outcome.id + " delivered an unverifiable binding: " + verr);
+  }
+  if (result.schedule.latency != outcome.latency) {
+    fail("job " + outcome.id + " reported latency " +
+         std::to_string(outcome.latency) + " but re-evaluation gives " +
+         std::to_string(result.schedule.latency));
+  }
+}
+
+/// Submits `jobs` requests, waits for every future, re-verifies every
+/// result, and checks the accounting balance. Returns per-status
+/// counts via out-params of interest.
+struct PhaseResult {
+  int ok = 0;
+  int degraded = 0;
+  int failed = 0;
+  int cancelled = 0;
+  int shed = 0;
+  int other = 0;
+};
+
+PhaseResult run_phase(cvb::Service& service, int jobs) {
+  std::vector<cvb::BindJob> specs;
+  std::vector<std::future<cvb::BindOutcome>> futures;
+  specs.reserve(static_cast<std::size_t>(jobs));
+  futures.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    specs.push_back(make_job(i));
+    futures.push_back(service.submit(specs.back()));
+  }
+  PhaseResult result;
+  for (int i = 0; i < jobs; ++i) {
+    const cvb::BindOutcome outcome = futures[static_cast<std::size_t>(i)]
+                                         .get();  // resolves, or we hang
+    reverify(specs[static_cast<std::size_t>(i)], outcome);
+    switch (outcome.status) {
+      case cvb::BindStatus::kOk:
+        ++result.ok;
+        break;
+      case cvb::BindStatus::kDegraded:
+        ++result.degraded;
+        break;
+      case cvb::BindStatus::kInternalError:
+      case cvb::BindStatus::kInvalidRequest:
+        ++result.failed;
+        break;
+      case cvb::BindStatus::kCancelled:
+        ++result.cancelled;
+        break;
+      case cvb::BindStatus::kShed:
+        ++result.shed;
+        break;
+      default:
+        ++result.other;
+    }
+  }
+  return result;
+}
+
+void check_accounting(cvb::Service& service, int submitted_expected) {
+  const auto counter = [&](const char* name) {
+    return service.metrics().counter(name).value();
+  };
+  const long long submitted = counter("jobs_submitted");
+  const long long accounted = counter("jobs_completed") + counter("jobs_shed") +
+                              counter("jobs_cancelled") +
+                              counter("jobs_failed");
+  if (submitted != submitted_expected || accounted != submitted) {
+    fail("accounting imbalance: submitted=" + std::to_string(submitted) +
+         " (expected " + std::to_string(submitted_expected) +
+         ") accounted=" + std::to_string(accounted));
+  }
+}
+
+/// Round-trips the ARF kernel through the text formats with the parser
+/// sites armed: every parse either succeeds or throws the injected
+/// fault, and the trigger counter matches the failure count exactly.
+void parser_phase(const ChaosArgs& args) {
+  cvb::ScopedFaultInjection scoped(args.seed);
+  cvb::FaultInjector& injector = cvb::FaultInjector::global();
+  cvb::FaultSpec spec;
+  spec.rate = args.rate;
+  spec.fault_class = cvb::FaultClass::kPoison;
+  injector.arm("parse.dfg", spec);
+  injector.arm("parse.machine", spec);
+
+  std::ostringstream dfg_text;
+  cvb::write_dfg_text(dfg_text, cvb::benchmark_by_name("ARF").dfg, "arf");
+  const std::string machine_text = "clusters [2,1|1,1]\nbuses 2\n";
+
+  int failures = 0;
+  const int rounds = 2 * std::max(8, args.jobs);
+  for (int i = 0; i < rounds; ++i) {
+    try {
+      std::istringstream in(dfg_text.str());
+      (void)cvb::parse_dfg_text(in);
+    } catch (const cvb::FaultInjectedError&) {
+      ++failures;
+    }
+    try {
+      std::istringstream in(machine_text);
+      (void)cvb::parse_machine_file(in);
+    } catch (const cvb::FaultInjectedError&) {
+      ++failures;
+    }
+  }
+  const long long triggered =
+      injector.triggered("parse.dfg") + injector.triggered("parse.machine");
+  if (triggered != failures) {
+    fail("parser sites triggered " + std::to_string(triggered) +
+         " times but " + std::to_string(failures) + " parses failed");
+  }
+  if (args.rate > 0 && triggered == 0) {
+    fail("parser sites never fired at rate " + std::to_string(args.rate));
+  }
+  std::cout << "  parse.dfg/parse.machine: " << failures << "/" << 2 * rounds
+            << " parses injected-failed, all typed\n";
+}
+
+/// Arms `site` transient at the configured rate and pushes a job
+/// stream through a retrying service: nothing may be lost, and with
+/// retries most jobs should still succeed.
+void site_phase(const ChaosArgs& args, const std::string& site) {
+  cvb::ScopedFaultInjection scoped(args.seed);
+  cvb::FaultSpec spec;
+  spec.rate = args.rate;
+  spec.fault_class = cvb::FaultClass::kTransient;
+  cvb::FaultInjector::global().arm(site, spec);
+
+  cvb::ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 256;
+  options.resilience.max_attempts = 4;
+  options.resilience.backoff_base_ms = 0.1;
+  options.resilience.backoff_cap_ms = 1.0;
+  options.resilience.quarantine_threshold = 0;  // isolate retry behaviour
+  cvb::Service service(options);
+
+  const PhaseResult result = run_phase(service, args.jobs);
+  check_accounting(service, args.jobs);
+  const long long fired = cvb::FaultInjector::global().triggered(site);
+  const long long retried =
+      service.metrics().counter("jobs_retried").value();
+  if (result.other != 0) {
+    fail(site + ": unexpected outcome status");
+  }
+  // Only assert the site actually fired when the expected fire count is
+  // comfortably high. Per-admission sites draw once per job, so tiny
+  // --jobs runs can legitimately see zero fires at low rates.
+  if (args.rate * args.jobs >= 3 && fired == 0) {
+    fail(site + " never fired at rate " + std::to_string(args.rate));
+  }
+  std::cout << "  " << site << ": fired=" << fired << " retried=" << retried
+            << " ok=" << result.ok << " failed=" << result.failed << "/"
+            << args.jobs << ", zero lost\n";
+}
+
+/// All sites at once (half rate each), shed-oldest on a small queue —
+/// the everything-is-on-fire run.
+void mixed_phase(const ChaosArgs& args) {
+  cvb::ScopedFaultInjection scoped(args.seed ^ 0xa11);
+  cvb::FaultSpec spec;
+  spec.rate = args.rate / 2;
+  spec.fault_class = cvb::FaultClass::kTransient;
+  for (const std::string& site : cvb::fault_sites()) {
+    if (site == "service.hang" || site == "parse.dfg" ||
+        site == "parse.machine") {
+      continue;  // hangs and parsers get dedicated phases
+    }
+    cvb::FaultInjector::global().arm(site, spec);
+  }
+
+  cvb::ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 8;
+  options.overflow = cvb::OverflowPolicy::kShedOldest;
+  options.resilience.max_attempts = 3;
+  options.resilience.backoff_base_ms = 0.1;
+  options.resilience.backoff_cap_ms = 1.0;
+  cvb::Service service(options);
+
+  const int jobs = 2 * args.jobs;
+  const PhaseResult result = run_phase(service, jobs);
+  check_accounting(service, jobs);
+  if (result.other != 0) {
+    fail("mixed phase: unexpected outcome status");
+  }
+  std::cout << "  all sites @ " << args.rate / 2 << ": ok=" << result.ok
+            << " failed=" << result.failed << " shed=" << result.shed
+            << " degraded=" << result.degraded << "/" << jobs
+            << ", accounting balanced\n";
+}
+
+/// Every job hangs (cooperatively) for far longer than the hang
+/// budget; the watchdog must fire the tokens and every job must still
+/// resolve typed.
+void hang_phase(const ChaosArgs& args) {
+  cvb::ScopedFaultInjection scoped(args.seed ^ 0x4a49);
+  cvb::FaultSpec spec;
+  spec.rate = 1.0;
+  spec.hang_ms = 500.0;  // versus a 20 ms budget: the watchdog must act
+  spec.cooperative = true;
+  cvb::FaultInjector::global().arm("service.hang", spec);
+
+  cvb::ServiceOptions options;
+  options.num_workers = 2;
+  options.resilience.max_attempts = 1;
+  options.resilience.hang_budget_ms = 20.0;
+  options.resilience.watchdog_poll_ms = 2.0;
+  cvb::Service service(options);
+
+  const int jobs = std::min(8, args.jobs);
+  const PhaseResult result = run_phase(service, jobs);
+  check_accounting(service, jobs);
+  const long long fired =
+      service.metrics().counter("watchdog_fired").value();
+  if (fired == 0) {
+    fail("watchdog never fired during the hang phase");
+  }
+  std::cout << "  service.hang: watchdog fired " << fired << "x, cancelled="
+            << result.cancelled << " ok=" << result.ok << "/" << jobs
+            << ", zero lost\n";
+}
+
+/// Repeat-poison job key quarantines onto the verified degraded path;
+/// a different key is untouched.
+void quarantine_phase(const ChaosArgs& args) {
+  cvb::ScopedFaultInjection scoped(args.seed ^ 0x9015);
+  cvb::FaultSpec spec;
+  spec.rate = 1.0;
+  spec.fault_class = cvb::FaultClass::kPoison;
+  cvb::FaultInjector::global().arm("eval.task", spec);
+
+  cvb::ServiceOptions options;
+  options.num_workers = 1;  // sequential: deterministic quarantine order
+  options.resilience.max_attempts = 3;
+  options.resilience.quarantine_threshold = 2;
+  cvb::Service service(options);
+
+  const cvb::BindJob poison = make_job(0);
+  for (int i = 0; i < 2; ++i) {
+    const cvb::BindOutcome outcome = service.submit(poison).get();
+    if (outcome.status != cvb::BindStatus::kInternalError ||
+        outcome.fault != cvb::FaultClass::kPoison) {
+      fail("poison submission " + std::to_string(i) +
+           " was not a typed poison failure");
+    }
+    if (outcome.attempts != 1) {
+      fail("poison fault was retried (attempts=" +
+           std::to_string(outcome.attempts) + ")");
+    }
+  }
+  // Third submission: quarantined, degraded, and still verifier-clean
+  // even with the injection site armed (the degraded path schedules
+  // directly, outside the engine).
+  const cvb::BindOutcome degraded = service.submit(poison).get();
+  if (degraded.status != cvb::BindStatus::kDegraded) {
+    fail("quarantined key did not degrade (status " +
+         std::string(cvb::to_string(degraded.status)) + ")");
+  }
+  reverify(poison, degraded);
+  // A different key is unaffected by the quarantine: disarm, then bind.
+  cvb::FaultInjector::global().disarm("eval.task");
+  const cvb::BindOutcome healthy = service.submit(make_job(1)).get();
+  if (healthy.status != cvb::BindStatus::kOk) {
+    fail("healthy key was affected by another key's quarantine");
+  }
+  check_accounting(service, 4);
+  const long long quarantined =
+      service.metrics().counter("jobs_quarantined").value();
+  const long long hits =
+      service.metrics().counter("jobs_quarantine_hits").value();
+  if (quarantined != 1 || hits != 1) {
+    fail("quarantine counters off: quarantined=" +
+         std::to_string(quarantined) + " hits=" + std::to_string(hits));
+  }
+  std::cout << "  quarantine: 2 poison failures -> degraded verified "
+               "fallback (L=" << degraded.latency << "), other keys clean\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosArgs args;
+  try {
+    args = parse_chaos_args(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "chaos_load: " << e.what()
+              << "\nusage: chaos_load [--jobs N] [--rate R] [--seed S]\n";
+    return 1;
+  }
+
+  std::cout << "Chaos harness: " << args.jobs << " jobs/phase, rate "
+            << args.rate << ", seed " << args.seed << "\n\n";
+
+  // Phase 0 always runs: the invariants must hold trivially with no
+  // faults armed.
+  std::cout << "Baseline (no faults armed):\n";
+  {
+    cvb::ScopedFaultInjection scoped(args.seed);
+    cvb::ServiceOptions options;
+    options.num_workers = 2;
+    cvb::Service service(options);
+    const PhaseResult result = run_phase(service, args.jobs);
+    check_accounting(service, args.jobs);
+    if (result.ok != args.jobs) {
+      fail("baseline lost or failed jobs");
+    }
+    std::cout << "  ok=" << result.ok << "/" << args.jobs
+              << ", every binding re-verified\n";
+  }
+
+  if (!cvb::fault_injection_compiled()) {
+    std::cout << "\nFault injection not compiled in "
+                 "(-DCVB_FAULT_INJECTION=OFF); fault-free invariant pass "
+                 "only.\nPASS\n";
+    return 0;
+  }
+
+  std::cout << "\nPer-site chaos (transient @ " << args.rate << "):\n";
+  for (const char* site : {"eval.task", "eval.cache_lookup",
+                           "eval.cache_insert", "service.admit",
+                           "service.worker"}) {
+    site_phase(args, site);
+  }
+
+  std::cout << "\nParser chaos:\n";
+  parser_phase(args);
+
+  std::cout << "\nMixed chaos:\n";
+  mixed_phase(args);
+
+  std::cout << "\nHang + watchdog:\n";
+  hang_phase(args);
+
+  std::cout << "\nPoison + quarantine:\n";
+  quarantine_phase(args);
+
+  std::cout << "\nAll phases held: zero lost jobs, exactly-once "
+               "fulfilment, every delivered binding re-verified.\nPASS\n";
+  return 0;
+}

@@ -30,11 +30,12 @@ DriverParams driver_params_for(BindEffort effort) {
 }
 
 BindResult evaluate_binding(const Dfg& dfg, const Datapath& dp,
-                            Binding binding) {
+                            Binding binding,
+                            const ListSchedulerOptions& sched) {
   BindResult result;
   result.binding = std::move(binding);
   result.bound = build_bound_dfg(dfg, result.binding, dp);
-  result.schedule = list_schedule(result.bound, dp);
+  result.schedule = list_schedule(result.bound, dp, sched);
   return result;
 }
 
@@ -71,8 +72,8 @@ std::vector<BindResult> initial_sweep(const Dfg& dfg, const Datapath& dp,
       init.alpha = params.alpha;
       init.beta = params.beta;
       init.gamma = params.gamma;
-      BindResult candidate =
-          evaluate_binding(dfg, dp, initial_binding(dfg, dp, init));
+      BindResult candidate = evaluate_binding(
+          dfg, dp, initial_binding(dfg, dp, init), params.sched);
       candidate.best_init = init;
       candidates.push_back(std::move(candidate));
     }
@@ -138,6 +139,7 @@ BindResult bind_full(const Dfg& dfg, const Datapath& dp,
   IterImproverStats total_stats;
   IterImproverParams iter_params = params.iter;
   iter_params.cancel = params.cancel;  // deadline reaches the climber
+  iter_params.sched = params.sched;    // so does the step budget
   for (int i = 0; i < starts; ++i) {
     if (have_best && params.cancel.stop_requested()) {
       break;  // keep the best improved start found so far
@@ -149,7 +151,8 @@ BindResult bind_full(const Dfg& dfg, const Datapath& dp,
     total_stats.qu_iterations += stats.qu_iterations;
     total_stats.qm_iterations += stats.qm_iterations;
     total_stats.candidates_evaluated += stats.candidates_evaluated;
-    BindResult result = evaluate_binding(dfg, dp, std::move(improved));
+    BindResult result =
+        evaluate_binding(dfg, dp, std::move(improved), params.sched);
     result.best_init = candidates[static_cast<std::size_t>(i)].best_init;
     if (!have_best || result_key(result) < result_key(best)) {
       best = std::move(result);

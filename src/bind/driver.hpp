@@ -11,6 +11,7 @@
 #include "bind/iterative_improver.hpp"
 #include "graph/dfg.hpp"
 #include "machine/datapath.hpp"
+#include "sched/list_scheduler.hpp"
 #include "sched/schedule.hpp"
 #include "support/cancel.hpp"
 
@@ -52,6 +53,10 @@ struct DriverParams {
   /// default empty token never fires — behaviour and results are then
   /// bit-identical to a token-free run.
   CancelToken cancel;
+  /// Scheduler options for every candidate evaluation (notably the
+  /// `step_budget` resource guard). Defaults preserve the historical
+  /// exact-scheduling behaviour.
+  ListSchedulerOptions sched;
 };
 
 /// A binding together with its scheduled evaluation.
@@ -91,6 +96,7 @@ enum class BindEffort {
 
 /// Convenience: schedule an arbitrary binding and package the result.
 [[nodiscard]] BindResult evaluate_binding(const Dfg& dfg, const Datapath& dp,
-                                          Binding binding);
+                                          Binding binding,
+                                          const ListSchedulerOptions& sched = {});
 
 }  // namespace cvb

@@ -4,6 +4,7 @@
 
 #include "bind/bound_dfg.hpp"
 #include "sched/quality.hpp"
+#include "support/fault.hpp"
 #include "support/stopwatch.hpp"
 
 namespace cvb {
@@ -108,6 +109,7 @@ std::uint64_t EvalEngine::binding_hash(const Binding& binding,
 EvalResult EvalEngine::evaluate_uncached(const Dfg& dfg, const Datapath& dp,
                                          const Binding& binding,
                                          const ListSchedulerOptions& sched) {
+  CVB_INJECT("eval.task");
   const BoundDfg bound = build_bound_dfg(dfg, binding, dp);
   const Schedule schedule = list_schedule(bound, dp, sched);
   QualityU qu = compute_quality_u(bound, dp, schedule);
@@ -120,6 +122,7 @@ EvalResult EvalEngine::evaluate_uncached(const Dfg& dfg, const Datapath& dp,
 
 bool EvalEngine::cache_lookup(std::uint64_t key, std::uint64_t signature,
                               const Binding& binding, EvalResult* out) {
+  CVB_INJECT("eval.cache_lookup");  // before the lock: must not throw held
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(key);
   if (it == cache_.end() || it->second.signature != signature ||
@@ -132,6 +135,7 @@ bool EvalEngine::cache_lookup(std::uint64_t key, std::uint64_t signature,
 
 void EvalEngine::cache_insert(std::uint64_t key, std::uint64_t signature,
                               const Binding& binding, EvalResult result) {
+  CVB_INJECT("eval.cache_insert");  // before the lock: must not throw held
   const std::lock_guard<std::mutex> lock(mutex_);
   if (cache_.contains(key)) {
     // Another thread computed it first, or a hash collision: replace so

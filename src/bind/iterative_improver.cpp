@@ -127,7 +127,8 @@ int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
   int total_steps = 0;
   int plateau_steps = 0;
   Quality current =
-      extract(engine.evaluate(dfg, dp, binding, {}, EvalPhase::kImprover));
+      extract(engine.evaluate(dfg, dp, binding, params.sched,
+                              EvalPhase::kImprover));
   Binding best_binding = binding;
   Quality best_quality = current;
   std::set<Binding> visited{binding};
@@ -148,7 +149,8 @@ int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
       trials.push_back(std::move(trial));
     }
     const std::vector<EvalResult> results =
-        engine.evaluate_batch(dfg, dp, trials, {}, EvalPhase::kImprover);
+        engine.evaluate_batch(dfg, dp, trials, params.sched,
+                              EvalPhase::kImprover);
     if (stats != nullptr) {
       stats->candidates_evaluated += static_cast<long>(trials.size());
     }

@@ -20,6 +20,7 @@
 #include "bind/binding.hpp"
 #include "graph/dfg.hpp"
 #include "machine/datapath.hpp"
+#include "sched/list_scheduler.hpp"
 #include "support/cancel.hpp"
 
 namespace cvb {
@@ -47,6 +48,9 @@ struct IterImproverParams {
   /// so far (never worse than the input). The default empty token never
   /// fires, so results stay bit-identical to the uncancellable code.
   CancelToken cancel;
+  /// Scheduler options for candidate evaluation (step_budget guard
+  /// included). Defaults reproduce the historical behaviour.
+  ListSchedulerOptions sched;
 };
 
 /// Statistics of one improve_binding() run (for benches/diagnostics).

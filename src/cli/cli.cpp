@@ -28,6 +28,7 @@
 #include "service/status.hpp"
 #include "sim/executor.hpp"
 #include "support/cancel.hpp"
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 
 namespace cvb {
@@ -63,12 +64,18 @@ options:
                       schedule-cache hits/misses, wall time)
   --stats-json FILE   write those statistics as JSON to FILE
                       ('-' = stdout)
+  --inject SPEC       arm a fault-injection site for this run, as
+                      site:rate[:class[:hang_ms]] (repeatable), e.g.
+                      "eval.task:0.1:transient" — for local repro of
+                      chaos-found failures; requires a build with
+                      -DCVB_FAULT_INJECTION=ON (warns otherwise)
+  --inject-seed N     seed of the deterministic injection stream
   --list-kernels      print the built-in kernel names and exit
   --help              this text
 
 exit codes: 0 ok; 1 invalid input (usage/parse errors); 2 internal
-error; 3 deadline exceeded (the printed result is the verified
-best-so-far binding).
+error (including injected faults); 3 deadline exceeded (the printed
+result is the verified best-so-far binding).
 )";
 }
 
@@ -88,6 +95,8 @@ struct CliOptions {
   int deadline_ms = -1;  // -1 = no deadline; 0 = already expired
   bool stats = false;
   std::string stats_json;
+  std::vector<std::string> injects;
+  std::uint64_t inject_seed = 0x5eedf417ULL;
   bool list_kernels = false;
   bool help = false;
 };
@@ -134,6 +143,11 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       opts.stats = true;
     } else if (arg == "--stats-json") {
       opts.stats_json = value_of(i, arg);
+    } else if (arg == "--inject") {
+      opts.injects.push_back(value_of(i, arg));
+    } else if (arg == "--inject-seed") {
+      opts.inject_seed = static_cast<std::uint64_t>(
+          parse_nonnegative_int(value_of(i, arg)));
     } else if (!arg.empty() && arg.front() == '-') {
       throw std::invalid_argument("unknown option '" + arg + "'");
     } else if (opts.source.empty()) {
@@ -238,6 +252,18 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   }
 
   try {
+    if (!opts.injects.empty()) {
+      if (!fault_injection_compiled()) {
+        err << "cvbind: warning: --inject ignored; rebuild with "
+               "-DCVB_FAULT_INJECTION=ON\n";
+      }
+      FaultInjector& injector = FaultInjector::global();
+      injector.disarm_all();
+      injector.set_seed(opts.inject_seed);
+      for (const std::string& spec : opts.injects) {
+        injector.arm_from_flag(spec);
+      }
+    }
     std::string name;
     const Dfg dfg = load_source(opts.source, name);
     const Datapath dp = [&] {
@@ -367,6 +393,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return exit_code_for(BindStatus::kDeadlineExceeded);
     }
     return 0;
+  } catch (const FaultInjectedError& e) {
+    // Injected faults are internal errors by construction, not bad
+    // input: keep the exit code honest for chaos-repro scripts.
+    err << "cvbind: injected fault: " << e.what() << '\n';
+    return exit_code_for(BindStatus::kInternalError);
   } catch (const std::exception& e) {
     err << "cvbind: " << e.what() << '\n';
     return exit_code_for(BindStatus::kInvalidRequest);

@@ -48,9 +48,22 @@ options:
   --deadline-ms N     default per-job deadline (0 = none, default 0)
   --threads N         candidate-evaluation threads of the shared
                       engine (default 1 = evaluate on the worker)
+  --retries N         execution attempts per job for transient faults
+                      (default 3; 1 = no retry)
+  --quarantine N      failures of one job key before it degrades to a
+                      trivial verified binding (default 3; 0 = off)
+  --hang-budget-ms N  watchdog: cancel jobs running longer than this
+                      and recycle their worker (default 0 = off)
+  --step-budget N     default scheduler step budget per job
+                      (default 0 = unlimited)
   --socket PATH       serve a Unix-domain socket instead of stdio
   --once              with --socket: exit after the first connection
   --help              this text
+
+Malformed request lines get a structured error response
+({"status":"invalid_request","fault_class":...,"error":...}, with the
+request id echoed when parseable) and the connection stays open.
+Request lines are capped at 1 MiB.
 )";
 }
 
@@ -101,6 +114,21 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
       if (opts.service.engine.num_threads < 1) {
         throw std::invalid_argument("--threads must be >= 1");
       }
+    } else if (arg == "--retries") {
+      opts.service.resilience.max_attempts =
+          parse_nonnegative_int(value_of(i, arg));
+      if (opts.service.resilience.max_attempts < 1) {
+        throw std::invalid_argument("--retries must be >= 1");
+      }
+    } else if (arg == "--quarantine") {
+      opts.service.resilience.quarantine_threshold =
+          parse_nonnegative_int(value_of(i, arg));
+    } else if (arg == "--hang-budget-ms") {
+      opts.service.resilience.hang_budget_ms =
+          parse_nonnegative_int(value_of(i, arg));
+    } else if (arg == "--step-budget") {
+      opts.service.resilience.step_budget =
+          parse_nonnegative_int(value_of(i, arg));
     } else if (arg == "--socket") {
       opts.socket_path = value_of(i, arg);
     } else if (arg == "--once") {
@@ -112,10 +140,38 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
   return opts;
 }
 
+/// Hard cap on one NDJSON request line. A peer that streams an
+/// unbounded line would otherwise grow `line` without limit; past the
+/// cap the rest of the line is drained (keeping the stream
+/// line-aligned) and a structured error is returned instead.
+constexpr std::size_t kMaxRequestLine = 1 << 20;
+
+/// getline with the length cap: returns false at EOF, sets *overflow
+/// (and discards the remainder of the line) when the cap is hit.
+bool read_request_line(std::istream& in, std::string& line, bool* overflow) {
+  *overflow = false;
+  line.clear();
+  char c;
+  while (in.get(c)) {
+    if (c == '\n') {
+      return true;
+    }
+    if (line.size() >= kMaxRequestLine) {
+      *overflow = true;
+      while (in.get(c) && c != '\n') {
+      }
+      return true;
+    }
+    line.push_back(c);
+  }
+  return !line.empty();  // final unterminated line still counts
+}
+
 /// Reads requests from `in` until EOF or {"cmd":"quit"}, submitting
 /// jobs asynchronously; responses are written (mutex-serialized, one
 /// line each, flushed) as jobs complete. Returns once every submitted
-/// job has been answered.
+/// job has been answered. Malformed lines produce one structured error
+/// response each and never abort the stream.
 void serve_stream(Service& service, std::istream& in, std::ostream& out) {
   std::mutex out_mutex;
   std::atomic<long long> outstanding{0};
@@ -130,7 +186,14 @@ void serve_stream(Service& service, std::istream& in, std::ostream& out) {
   };
 
   std::string line;
-  while (std::getline(in, line)) {
+  bool overflow = false;
+  while (read_request_line(in, line, &overflow)) {
+    if (overflow) {
+      respond(invalid_request_json(
+          "request line exceeds " + std::to_string(kMaxRequestLine) +
+          " bytes"));
+      continue;
+    }
     if (trim(line).empty()) {
       continue;
     }
@@ -138,7 +201,7 @@ void serve_stream(Service& service, std::istream& in, std::ostream& out) {
     try {
       request = parse_serve_request(line);
     } catch (const std::exception& e) {
-      respond(invalid_request_json(e.what()));
+      respond(invalid_request_json(e.what(), extract_request_id(line)));
       continue;
     }
     if (request.kind == ServeRequest::Kind::kQuit) {

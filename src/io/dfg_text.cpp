@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 
 namespace cvb {
@@ -41,11 +42,13 @@ OpType op_type_from_name(const std::string& name) {
   throw std::invalid_argument("unknown operation type '" + name + "'");
 }
 
-ParsedDfg parse_dfg_text(std::istream& in) {
+ParsedDfg parse_dfg_text(std::istream& in, const DfgTextLimits& limits) {
+  CVB_INJECT("parse.dfg");
   ParsedDfg result;
   bool have_header = false;
   std::string line;
   int line_number = 0;
+  long long num_edges = 0;
 
   const auto fail = [&](const std::string& message) -> void {
     throw std::invalid_argument("dfg text, line " +
@@ -54,6 +57,13 @@ ParsedDfg parse_dfg_text(std::istream& in) {
 
   while (std::getline(in, line)) {
     ++line_number;
+    if (line_number > limits.max_lines) {
+      fail("too many lines (limit " + std::to_string(limits.max_lines) + ")");
+    }
+    if (line.size() > limits.max_line_length) {
+      fail("line too long (" + std::to_string(line.size()) +
+           " bytes, limit " + std::to_string(limits.max_line_length) + ")");
+    }
     const std::string_view trimmed = trim(line);
     if (trimmed.empty() || trimmed.front() == '#') {
       continue;
@@ -83,6 +93,9 @@ ParsedDfg parse_dfg_text(std::istream& in) {
         fail("op ids must be dense and ascending; got " + std::to_string(id) +
              ", expected " + std::to_string(result.dfg.num_ops()));
       }
+      if (result.dfg.num_ops() >= limits.max_ops) {
+        fail("too many ops (limit " + std::to_string(limits.max_ops) + ")");
+      }
       if (type_name.empty()) {
         fail("missing operation type");
       }
@@ -107,6 +120,14 @@ ParsedDfg parse_dfg_text(std::istream& in) {
       int count = 0;
       while (fields >> token) {
         ++count;
+        if (count > limits.max_operands_per_op) {
+          fail("too many operands on op " + std::to_string(id) + " (limit " +
+               std::to_string(limits.max_operands_per_op) + ")");
+        }
+        if (++num_edges > limits.max_edges) {
+          fail("too many edges (limit " + std::to_string(limits.max_edges) +
+               ")");
+        }
         if (token == "in") {
           result.dfg.add_operand(static_cast<OpId>(id), kNoOp);
           continue;
@@ -137,6 +158,10 @@ ParsedDfg parse_dfg_text(std::istream& in) {
       long from = -1;
       long to = -1;
       fields >> from >> to;
+      if (++num_edges > limits.max_edges) {
+        fail("too many edges (limit " + std::to_string(limits.max_edges) +
+             ")");
+      }
       if (from < 0 || from >= result.dfg.num_ops() || to < 0 ||
           to >= result.dfg.num_ops()) {
         fail("edge references undeclared op (" + std::to_string(from) +

@@ -17,6 +17,7 @@
 // (types, references, acyclicity).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -34,11 +35,25 @@ struct ParsedDfg {
   Dfg dfg;
 };
 
+/// Resource guards on untrusted DFG text. The defaults are far above
+/// any real kernel but bound the memory an adversarial or corrupted
+/// input can make the parser allocate; every violation throws a
+/// line-numbered std::invalid_argument, the same typed failure as a
+/// syntax error (the service classifies both as poison faults).
+struct DfgTextLimits {
+  std::size_t max_line_length = 1 << 16;
+  long long max_lines = 1'000'000;
+  int max_ops = 200'000;
+  int max_operands_per_op = 64;
+  long long max_edges = 1'000'000;
+};
+
 /// Parses the text format. Throws std::invalid_argument with a
 /// line-numbered message on any syntax or consistency error (unknown op
 /// type, non-dense ids, edge to an undeclared op, cycle, duplicate
-/// edge, missing header).
-[[nodiscard]] ParsedDfg parse_dfg_text(std::istream& in);
+/// edge, missing header) or any `limits` violation.
+[[nodiscard]] ParsedDfg parse_dfg_text(std::istream& in,
+                                       const DfgTextLimits& limits = {});
 
 /// Mnemonic -> OpType for the parser ("add", "mul", ...). Throws
 /// std::invalid_argument for unknown names.

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "machine/parser.hpp"
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 
 namespace cvb {
@@ -33,7 +34,9 @@ std::optional<FuType> fu_type_by_name(const std::string& name) {
 
 }  // namespace
 
-ParsedMachine parse_machine_file(std::istream& in) {
+ParsedMachine parse_machine_file(std::istream& in,
+                                 const MachineFileLimits& limits) {
+  CVB_INJECT("parse.machine");
   std::string name;
   std::optional<std::vector<Cluster>> clusters;
   int buses = 2;
@@ -50,6 +53,13 @@ ParsedMachine parse_machine_file(std::istream& in) {
 
   while (std::getline(in, line)) {
     ++line_number;
+    if (line_number > limits.max_lines) {
+      fail("too many lines (limit " + std::to_string(limits.max_lines) + ")");
+    }
+    if (line.size() > limits.max_line_length) {
+      fail("line too long (" + std::to_string(line.size()) +
+           " bytes, limit " + std::to_string(limits.max_line_length) + ")");
+    }
     // Strip comments.
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) {

@@ -15,6 +15,7 @@
 // are rejected with line-numbered errors.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -28,9 +29,18 @@ struct ParsedMachine {
   Datapath datapath;
 };
 
+/// Resource guards on untrusted machine text. Machine descriptions are
+/// tiny, so the limits are tight; violations throw line-numbered
+/// std::invalid_argument like any other parse error.
+struct MachineFileLimits {
+  std::size_t max_line_length = 1 << 12;
+  long long max_lines = 10'000;
+};
+
 /// Parses the machine text format. Throws std::invalid_argument with a
-/// line-numbered message on errors.
-[[nodiscard]] ParsedMachine parse_machine_file(std::istream& in);
+/// line-numbered message on errors or `limits` violations.
+[[nodiscard]] ParsedMachine parse_machine_file(
+    std::istream& in, const MachineFileLimits& limits = {});
 
 /// Writes `dp` in the machine text format (only non-default latencies
 /// and dii values are emitted).

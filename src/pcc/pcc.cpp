@@ -74,12 +74,13 @@ namespace {
 /// happens only on the final result.
 Binding pcc_improve(const Dfg& dfg, const Datapath& dp, Binding binding,
                     int max_iterations, const CancelToken& cancel,
-                    EvalEngine& engine) {
+                    long long step_budget, EvalEngine& engine) {
   if (cancel.stop_requested()) {
     return binding;  // anytime: the greedy assignment is the result
   }
   ListSchedulerOptions approx;
   approx.unbounded_bus = true;
+  approx.step_budget = step_budget;
   const auto key = [](const EvalResult& r) {
     return std::make_pair(r.latency, r.num_moves);
   };
@@ -290,8 +291,11 @@ BindResult pcc_binding(const Dfg& dfg, const Datapath& dp,
     const std::vector<int> label = pcc_partial_components(dfg, cap);
     Binding binding = assign_components(dfg, dp, label, params.load_weight);
     binding = pcc_improve(dfg, dp, std::move(binding), params.max_iterations,
-                          params.cancel, *engine);
-    BindResult candidate = evaluate_binding(dfg, dp, std::move(binding));
+                          params.cancel, params.step_budget, *engine);
+    ListSchedulerOptions exact;
+    exact.step_budget = params.step_budget;
+    BindResult candidate =
+        evaluate_binding(dfg, dp, std::move(binding), exact);
     ++tried;
     const auto key = [](const BindResult& r) {
       return std::make_pair(r.schedule.latency, r.schedule.num_moves);

@@ -48,6 +48,10 @@ struct PccParams {
   /// honours the token), so even a pre-expired deadline returns a
   /// valid scheduled binding. Empty token = run to completion.
   CancelToken cancel;
+  /// Resource guard forwarded to every schedule evaluation (both the
+  /// approximate in-loop scheduler and the exact final one); 0 =
+  /// unlimited. Overruns surface as cvb::ResourceLimitError.
+  long long step_budget = 0;
 };
 
 /// Diagnostics of a PCC run.

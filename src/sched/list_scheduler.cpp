@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/analysis.hpp"
+#include "support/fault.hpp"
 
 namespace cvb {
 
@@ -118,12 +119,18 @@ Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
     cycle_guard += lat_of(lat, g.type(v)) + dp.dii_op(g.type(v));
   }
 
+  long long steps = 0;
   for (int cycle = 0; scheduled < n; ++cycle) {
     if (cycle > cycle_guard) {
       throw std::logic_error("list_schedule: no progress (malformed graph?)");
     }
     std::vector<OpId> newly_ready;
     for (std::size_t i = 0; i < ready.size();) {
+      if (options.step_budget > 0 && ++steps > options.step_budget) {
+        throw ResourceLimitError(
+            "list_schedule: step budget exhausted (" +
+            std::to_string(options.step_budget) + " candidate visits)");
+      }
       const OpId v = ready[i];
       if (ready_at[static_cast<std::size_t>(v)] > cycle) {
         ++i;

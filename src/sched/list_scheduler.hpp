@@ -27,13 +27,21 @@ struct ListSchedulerOptions {
   /// regime Desoli's PCC baseline uses inside its improvement loop;
   /// the paper's own algorithms always schedule exactly.
   bool unbounded_bus = false;
+  /// Resource guard: abort with cvb::ResourceLimitError once the
+  /// scheduler has visited this many ready-candidate steps (0 =
+  /// unlimited). Bounds worst-case scheduling work on adversarial
+  /// inputs; the service classifies the overrun as a poison fault.
+  /// Does not affect results when it does not fire, so it is excluded
+  /// from the EvalEngine cache signature.
+  long long step_budget = 0;
 };
 
 /// Schedules `bound` on `dp`. Always succeeds for a valid bound DFG
 /// (every cluster that has operations placed on it can execute them;
 /// build_bound_dfg guarantees this). Throws std::logic_error if the
 /// graph is malformed (cycle, or an op placed on an unsupported
-/// cluster).
+/// cluster) and cvb::ResourceLimitError when `step_budget` is
+/// exhausted.
 [[nodiscard]] Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
                                      const ListSchedulerOptions& options = {});
 

@@ -123,6 +123,13 @@ ServeRequest parse_serve_request(const std::string& line) {
     }
     job.deadline_ms = deadline->as_number();
   }
+  if (const JsonValue* budget = opt_number(doc, "step_budget");
+      budget != nullptr) {
+    if (budget->as_number() < 0) {
+      throw std::invalid_argument("'step_budget' must be >= 0");
+    }
+    job.step_budget = static_cast<long long>(budget->as_number());
+  }
   return request;
 }
 
@@ -134,6 +141,12 @@ JsonValue outcome_to_json(const BindOutcome& outcome) {
   out.set("status", to_string(outcome.status));
   if (!outcome.error.empty()) {
     out.set("error", outcome.error);
+  }
+  if (outcome.fault != FaultClass::kNone) {
+    out.set("fault_class", to_string(outcome.fault));
+  }
+  if (outcome.attempts > 1) {
+    out.set("attempts", outcome.attempts);
   }
   if (!outcome.binding.empty()) {
     out.set("latency", outcome.latency);
@@ -149,15 +162,32 @@ JsonValue outcome_to_json(const BindOutcome& outcome) {
   return out;
 }
 
-JsonValue invalid_request_json(const std::string& error,
-                               const std::string& id) {
+JsonValue invalid_request_json(const std::string& error, const std::string& id,
+                               FaultClass fault_class) {
   JsonValue out = JsonValue::object();
   if (!id.empty()) {
     out.set("id", id);
   }
   out.set("status", to_string(BindStatus::kInvalidRequest));
+  out.set("fault_class", to_string(fault_class));
   out.set("error", error);
   return out;
+}
+
+std::string extract_request_id(const std::string& line) noexcept {
+  try {
+    const JsonValue doc = JsonValue::parse(line);
+    if (!doc.is_object()) {
+      return "";
+    }
+    const JsonValue* id = doc.find("id");
+    if (id != nullptr && id->kind() == JsonValue::Kind::kString) {
+      return id->as_string();
+    }
+  } catch (...) {
+    // Malformed JSON: no id to recover.
+  }
+  return "";
 }
 
 JsonValue eval_stats_to_json(const EvalStats& stats, int num_threads) {

@@ -45,9 +45,18 @@ struct ServeRequest {
 [[nodiscard]] JsonValue outcome_to_json(const BindOutcome& outcome);
 
 /// An error response for a line that could not even be parsed:
-/// {"status":"invalid_request","error":...} (plus "id" when known).
-[[nodiscard]] JsonValue invalid_request_json(const std::string& error,
-                                             const std::string& id = "");
+/// {"status":"invalid_request","fault_class":...,"error":...} (plus
+/// "id" when known). The fault class tells clients whether resubmitting
+/// the same line could ever help (it cannot for the default, poison).
+[[nodiscard]] JsonValue invalid_request_json(
+    const std::string& error, const std::string& id = "",
+    FaultClass fault_class = FaultClass::kPoison);
+
+/// Best-effort extraction of the "id" field from a (possibly
+/// malformed) request line, so error responses can still echo the
+/// request id whenever the JSON parses that far. Never throws; returns
+/// "" when no id is recoverable.
+[[nodiscard]] std::string extract_request_id(const std::string& line) noexcept;
 
 /// Machine-readable form of the evaluation-engine counters — shared by
 /// the service metrics snapshot and `cvbind --stats-json`.

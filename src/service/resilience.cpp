@@ -1,0 +1,223 @@
+#include "service/resilience.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "bind/driver.hpp"
+#include "sched/verifier.hpp"
+#include "service/service.hpp"
+
+namespace cvb {
+
+namespace {
+
+std::uint64_t fnv1a_text(std::uint64_t hash, std::string_view text) {
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Sleeps `ms`, waking every millisecond to honour cancellation.
+void interruptible_sleep_ms(double ms, const CancelToken& cancel) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cancel.stop_requested()) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+bool Quarantine::record_failure(std::uint64_t key, int threshold) {
+  if (threshold <= 0) {
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const int count = ++failures_[key];
+  return count == threshold;
+}
+
+bool Quarantine::is_quarantined(std::uint64_t key, int threshold) const {
+  if (threshold <= 0) {
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = failures_.find(key);
+  return it != failures_.end() && it->second >= threshold;
+}
+
+int Quarantine::failures(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = failures_.find(key);
+  return it == failures_.end() ? 0 : it->second;
+}
+
+std::size_t Quarantine::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failures_.size();
+}
+
+std::uint64_t quarantine_key(const BindJob& job) {
+  std::uint64_t key =
+      EvalEngine::context_signature(job.dfg, job.datapath, {});
+  key = fnv1a_text(key, job.algorithm);
+  key ^= static_cast<std::uint64_t>(job.effort) + 0x9e3779b97f4a7c15ULL;
+  return key;
+}
+
+double decorrelated_jitter_ms(double base_ms, double cap_ms, double prev_ms,
+                              Rng& rng) {
+  const double base = std::max(0.0, base_ms);
+  const double hi = std::max(base, 3.0 * prev_ms);
+  const double delay = base + rng.uniform01() * (hi - base);
+  return std::min(std::max(0.0, cap_ms), delay);
+}
+
+Binding make_degraded_binding(const Dfg& dfg, const Datapath& dp) {
+  // Operation types the binding must cover.
+  std::vector<OpType> present;
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    if (std::find(present.begin(), present.end(), dfg.type(v)) ==
+        present.end()) {
+      present.push_back(dfg.type(v));
+    }
+  }
+  // Preferred shape: everything on one cluster — zero inter-cluster
+  // moves, trivially schedulable.
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    const bool covers = std::all_of(
+        present.begin(), present.end(),
+        [&](OpType type) { return dp.supports(c, type); });
+    if (covers) {
+      return Binding(static_cast<std::size_t>(dfg.num_ops()), c);
+    }
+  }
+  // Heterogeneous datapath: no single cluster executes every type.
+  // Place each op on the lowest-numbered cluster that supports it.
+  Binding binding(static_cast<std::size_t>(dfg.num_ops()), kNoCluster);
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+      if (dp.supports(c, dfg.type(v))) {
+        binding[static_cast<std::size_t>(v)] = c;
+        break;
+      }
+    }
+    if (binding[static_cast<std::size_t>(v)] == kNoCluster) {
+      throw std::invalid_argument(
+          "make_degraded_binding: no cluster supports op " + dfg.name(v));
+    }
+  }
+  return binding;
+}
+
+BindOutcome run_degraded_job(const BindJob& job) {
+  BindOutcome outcome;
+  outcome.id = job.id;
+  try {
+    // Deliberately no step budget here: the trivial binding is the last
+    // line of defence and must not be failed by the guard meant for the
+    // expensive search paths.
+    BindResult result = evaluate_binding(
+        job.dfg, job.datapath, make_degraded_binding(job.dfg, job.datapath));
+    if (const std::string verr = verify_schedule(
+            result.bound, job.datapath, result.schedule);
+        !verr.empty()) {
+      outcome.status = BindStatus::kInternalError;
+      outcome.fault = FaultClass::kFatal;
+      outcome.error = "degraded binding failed verification: " + verr;
+      return outcome;
+    }
+    outcome.binding = std::move(result.binding);
+    outcome.latency = result.schedule.latency;
+    outcome.moves = result.schedule.num_moves;
+    outcome.status = BindStatus::kDegraded;
+  } catch (const std::invalid_argument& e) {
+    outcome.status = BindStatus::kInvalidRequest;
+    outcome.fault = FaultClass::kPoison;
+    outcome.error = e.what();
+  } catch (const std::exception& e) {
+    outcome.status = BindStatus::kInternalError;
+    outcome.fault = FaultClass::kFatal;
+    outcome.error = std::string("degraded path failed: ") + e.what();
+  }
+  return outcome;
+}
+
+BindOutcome run_bind_job_resilient(const BindJob& job, EvalEngine& engine,
+                                   const CancelToken& cancel,
+                                   const ResilienceOptions& options,
+                                   Quarantine* quarantine,
+                                   MetricsRegistry* metrics) {
+  const std::uint64_t key = quarantine_key(job);
+  if (quarantine != nullptr &&
+      quarantine->is_quarantined(key, options.quarantine_threshold)) {
+    if (metrics != nullptr) {
+      metrics->counter("jobs_quarantine_hits").inc();
+    }
+    BindOutcome outcome = run_degraded_job(job);
+    if (outcome.status == BindStatus::kDegraded) {
+      outcome.error = "job key quarantined after " +
+                      std::to_string(quarantine->failures(key)) +
+                      " failures; degraded single-cluster fallback";
+    }
+    return outcome;
+  }
+
+  BindJob effective = job;
+  if (effective.step_budget == 0) {
+    effective.step_budget = options.step_budget;
+  }
+
+  Rng rng(options.jitter_seed ^ key);
+  double prev_delay_ms = options.backoff_base_ms;
+  const int max_attempts = std::max(1, options.max_attempts);
+  BindOutcome outcome;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      CVB_INJECT("service.worker");
+      CVB_INJECT("service.hang");
+      outcome = run_bind_job(effective, engine, cancel);
+    } catch (const FaultInjectedError& e) {
+      outcome = BindOutcome{};
+      outcome.id = job.id;
+      outcome.status = BindStatus::kInternalError;
+      outcome.fault = e.fault_class();
+      outcome.error = e.what();
+    }
+    outcome.attempts = attempt;
+    const bool failed = outcome.status == BindStatus::kInternalError ||
+                        outcome.status == BindStatus::kInvalidRequest;
+    if (!failed) {
+      return outcome;
+    }
+    const bool retriable = outcome.fault == FaultClass::kTransient &&
+                           attempt < max_attempts && !cancel.stop_requested();
+    if (!retriable) {
+      break;
+    }
+    if (metrics != nullptr) {
+      metrics->counter("jobs_retried").inc();
+    }
+    const double delay_ms = decorrelated_jitter_ms(
+        options.backoff_base_ms, options.backoff_cap_ms, prev_delay_ms, rng);
+    prev_delay_ms = delay_ms;
+    interruptible_sleep_ms(delay_ms, cancel);
+  }
+
+  if (quarantine != nullptr &&
+      quarantine->record_failure(key, options.quarantine_threshold)) {
+    if (metrics != nullptr) {
+      metrics->counter("jobs_quarantined").inc();
+    }
+  }
+  return outcome;
+}
+
+}  // namespace cvb

@@ -1,0 +1,126 @@
+// Recovery machinery for the binding service: retry with backoff,
+// quarantine, and graceful degradation.
+//
+// The paper's driver is already "anytime" — a deadline returns the best
+// complete binding found so far. This layer extends the same
+// degraded-but-correct philosophy to *failures*:
+//
+//  * Transient faults (FaultClass::kTransient) are retried up to
+//    `max_attempts` times with exponential backoff + decorrelated
+//    jitter, the standard fleet-safe retry shape (each delay is drawn
+//    uniformly from [base, 3 * previous], capped) — deterministic here
+//    because the jitter RNG is seeded from the job key.
+//  * Poison and fatal faults are never retried. Every terminal failure
+//    of a job key is counted; once a key crosses
+//    `quarantine_threshold`, further submissions of that key skip the
+//    real binder entirely and take the graceful-degradation path: a
+//    trivial single-cluster binding (PCC's "always return something
+//    legal" contract, applied service-wide), scheduled, verified, and
+//    returned with BindStatus::kDegraded.
+//  * A watchdog (owned by Service, configured here) detects jobs whose
+//    execution exceeds `hang_budget_ms`, fires their CancelToken, and —
+//    past a grace period — abandons the worker, resolves the job
+//    kInternalError, and recycles the worker thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "bind/binding.hpp"
+#include "bind/eval_engine.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+#include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace cvb {
+
+struct BindJob;
+struct BindOutcome;
+
+/// Recovery policy knobs (part of ServiceOptions).
+struct ResilienceOptions {
+  /// Total tries per job (1 = no retry). Only transient failures are
+  /// retried, and never once the job's cancel token has fired.
+  int max_attempts = 3;
+  /// Decorrelated-jitter backoff: delay_i ~ uniform(base, 3 * delay_
+  /// {i-1}), capped. Milliseconds.
+  double backoff_base_ms = 1.0;
+  double backoff_cap_ms = 50.0;
+  /// Terminal failures of one job key before it is quarantined onto the
+  /// degraded path. 0 disables quarantine.
+  int quarantine_threshold = 3;
+  /// Watchdog: a running job older than this is cancelled (0 = watchdog
+  /// off).
+  double hang_budget_ms = 0.0;
+  /// Watchdog poll period.
+  double watchdog_poll_ms = 2.0;
+  /// Extra time past the hang budget before the worker is abandoned and
+  /// recycled; 0 = 3 * hang_budget_ms.
+  double abandon_grace_ms = 0.0;
+  /// Scheduler step budget applied to jobs that do not set their own
+  /// (0 = unlimited).
+  long long step_budget = 0;
+  /// Seed of the (deterministic) backoff jitter stream.
+  std::uint64_t jitter_seed = 0x7e57ab1eULL;
+};
+
+/// Failure history per job key. Thread-safe; shared by all workers of
+/// one Service.
+class Quarantine {
+ public:
+  /// Records one terminal (non-retried) failure of `key`. Returns true
+  /// exactly when this failure crosses `threshold` — the moment the key
+  /// becomes quarantined (threshold <= 0 never quarantines).
+  bool record_failure(std::uint64_t key, int threshold);
+
+  [[nodiscard]] bool is_quarantined(std::uint64_t key, int threshold) const;
+  [[nodiscard]] int failures(std::uint64_t key) const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, int> failures_;
+};
+
+/// The key failures are aggregated under: a hash of the job's DFG
+/// structure, datapath, algorithm, and effort — the inputs that
+/// determine whether the binder fails deterministically. Ids and
+/// deadlines are deliberately excluded so resubmissions of the same
+/// poison workload share one quarantine entry.
+[[nodiscard]] std::uint64_t quarantine_key(const BindJob& job);
+
+/// One decorrelated-jitter delay: uniform in [base_ms, 3 * prev_ms],
+/// capped at cap_ms. `prev_ms` should start at base_ms.
+[[nodiscard]] double decorrelated_jitter_ms(double base_ms, double cap_ms,
+                                            double prev_ms, Rng& rng);
+
+/// The graceful-degradation binding: every operation on one cluster
+/// that supports all operation types present in `dfg` (zero moves —
+/// the communication-free fallback the paper's own cost function
+/// favours at profile latency infinity); when no single cluster
+/// suffices, each operation goes to the lowest-numbered cluster
+/// supporting it. Throws std::invalid_argument when some operation is
+/// supported nowhere.
+[[nodiscard]] Binding make_degraded_binding(const Dfg& dfg,
+                                            const Datapath& dp);
+
+/// Runs the degraded path for `job`: trivial binding, exact schedule,
+/// verification. Returns BindStatus::kDegraded on success (binding /
+/// latency / moves filled) and a typed error outcome when even the
+/// trivial binding cannot be produced.
+[[nodiscard]] BindOutcome run_degraded_job(const BindJob& job);
+
+/// The resilient execution wrapper the service workers run: quarantine
+/// short-circuit, attempt loop with retry-on-transient, and failure
+/// bookkeeping. `quarantine` and `metrics` may be null (both are then
+/// skipped — the bare retry loop remains).
+[[nodiscard]] BindOutcome run_bind_job_resilient(
+    const BindJob& job, EvalEngine& engine, const CancelToken& cancel,
+    const ResilienceOptions& options, Quarantine* quarantine,
+    MetricsRegistry* metrics);
+
+}  // namespace cvb

@@ -13,13 +13,19 @@ namespace cvb {
 /// One accepted job and everything needed to resolve it. A Pending
 /// lives in exactly one place at a time (queue_, running_, or a local
 /// about-to-finish variable), which makes exactly-once promise
-/// fulfilment structural rather than flag-guarded.
+/// fulfilment structural in the common paths; the `fulfilled` flag
+/// additionally covers the one genuinely concurrent resolver — the
+/// watchdog abandoning a job its worker later completes.
 struct Service::Pending {
   BindJob job;
   CancelToken cancel;
   std::promise<BindOutcome> promise;
   std::function<void(BindOutcome)> callback;
-  Stopwatch submitted;  ///< started at admission; measures queue wait
+  Stopwatch submitted;    ///< started at admission; measures queue wait
+  Stopwatch run_started;  ///< restarted when a worker picks the job up
+  std::atomic<bool> fulfilled{false};       ///< promise resolved
+  std::atomic<bool> watchdog_fired{false};  ///< hang budget exceeded
+  std::atomic<bool> abandoned{false};       ///< worker given up on
 };
 
 BindOutcome run_bind_job(const BindJob& job, EvalEngine& engine,
@@ -32,6 +38,7 @@ BindOutcome run_bind_job(const BindJob& job, EvalEngine& engine,
       DriverParams params = driver_params_for(job.effort);
       params.engine = &engine;
       params.cancel = cancel;
+      params.sched.step_budget = job.step_budget;
       if (job.algorithm == "b-init") {
         params.run_iterative = false;
         result = bind_initial_best(job.dfg, job.datapath, params);
@@ -41,18 +48,40 @@ BindOutcome run_bind_job(const BindJob& job, EvalEngine& engine,
     } else if (job.algorithm == "pcc") {
       PccParams params;
       params.cancel = cancel;
+      params.step_budget = job.step_budget;
       result = pcc_binding(job.dfg, job.datapath, params, nullptr, &engine);
     } else {
       outcome.status = BindStatus::kInvalidRequest;
+      outcome.fault = FaultClass::kPoison;
       outcome.error = "unknown algorithm '" + job.algorithm + "'";
       return outcome;
     }
+  } catch (const FaultInjectedError& e) {
+    // The injection site declares its own class — trust it, so chaos
+    // runs exercise exactly the recovery path they intend to.
+    outcome.status = BindStatus::kInternalError;
+    outcome.fault = e.fault_class();
+    outcome.error = e.what();
+    return outcome;
+  } catch (const ResourceLimitError& e) {
+    // The input blew a configured guard: deterministic, never retried.
+    outcome.status = BindStatus::kInvalidRequest;
+    outcome.fault = FaultClass::kPoison;
+    outcome.error = e.what();
+    return outcome;
   } catch (const std::invalid_argument& e) {
     outcome.status = BindStatus::kInvalidRequest;
+    outcome.fault = FaultClass::kPoison;
+    outcome.error = e.what();
+    return outcome;
+  } catch (const std::logic_error& e) {
+    outcome.status = BindStatus::kInternalError;
+    outcome.fault = FaultClass::kFatal;
     outcome.error = e.what();
     return outcome;
   } catch (const std::exception& e) {
     outcome.status = BindStatus::kInternalError;
+    outcome.fault = FaultClass::kTransient;
     outcome.error = e.what();
     return outcome;
   }
@@ -64,6 +93,7 @@ BindOutcome run_bind_job(const BindJob& job, EvalEngine& engine,
           verify_schedule(result.bound, job.datapath, result.schedule);
       !verr.empty()) {
     outcome.status = BindStatus::kInternalError;
+    outcome.fault = FaultClass::kFatal;
     outcome.error = "illegal schedule: " + verr;
     return outcome;
   }
@@ -90,15 +120,28 @@ Service::Service(ServiceOptions options) : options_(std::move(options)) {
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  if (options_.resilience.hang_budget_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 Service::~Service() { shutdown(true); }
 
 void Service::finish(const std::shared_ptr<Pending>& pending,
                      BindOutcome outcome) {
+  // Exactly-once: the watchdog can abandon a job whose worker later
+  // completes it; whichever resolver gets here first wins, the other
+  // becomes a no-op.
+  if (pending->fulfilled.exchange(true)) {
+    return;
+  }
   switch (outcome.status) {
     case BindStatus::kOk:
       metrics_.counter("jobs_completed").inc();
+      break;
+    case BindStatus::kDegraded:
+      metrics_.counter("jobs_completed").inc();
+      metrics_.counter("jobs_degraded").inc();
       break;
     case BindStatus::kDeadlineExceeded:
       metrics_.counter("jobs_completed").inc();
@@ -144,6 +187,19 @@ void Service::submit(BindJob job, std::function<void(BindOutcome)> done) {
 
 void Service::admit(std::shared_ptr<Pending> pending) {
   metrics_.counter("jobs_submitted").inc();
+  try {
+    CVB_INJECT("service.admit");
+  } catch (const FaultInjectedError& e) {
+    // Even an injected admission failure resolves the promise with a
+    // typed outcome — the no-lost-jobs contract has no exceptions.
+    BindOutcome outcome;
+    outcome.id = pending->job.id;
+    outcome.status = BindStatus::kInternalError;
+    outcome.fault = e.fault_class();
+    outcome.error = e.what();
+    finish(pending, std::move(outcome));
+    return;
+  }
   std::shared_ptr<Pending> shed;  // resolved outside the lock
   const char* shed_reason = nullptr;
   {
@@ -229,6 +285,7 @@ void Service::worker_loop() {
       }
       pending = queue_.front();
       queue_.pop_front();
+      pending->run_started.restart();
       running_.push_back(pending);
       metrics_.gauge("queue_depth").set(static_cast<long long>(queue_.size()));
       metrics_.gauge("busy_workers").add(1);
@@ -236,18 +293,99 @@ void Service::worker_loop() {
 
     const double queue_ms = pending->submitted.elapsed_ms();
     Stopwatch run_watch;
+    // Register the job's token so injected cooperative hangs can be
+    // rescued by the watchdog firing it.
+    FaultInjector::set_thread_cancel(&pending->cancel);
     BindOutcome outcome =
-        run_bind_job(pending->job, *engine_, pending->cancel);
+        run_bind_job_resilient(pending->job, *engine_, pending->cancel,
+                               options_.resilience, &quarantine_, &metrics_);
+    FaultInjector::set_thread_cancel(nullptr);
     outcome.queue_ms = queue_ms;
     outcome.run_ms = run_watch.elapsed_ms();
+    if (pending->watchdog_fired.load() && outcome.error.empty()) {
+      outcome.error = "watchdog: hang budget exceeded";
+    }
 
+    bool retired = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      std::erase(running_, pending);
-      metrics_.gauge("busy_workers").add(-1);
+      if (pending->abandoned.load()) {
+        // The watchdog already removed this job from running_, resolved
+        // its promise, fixed the gauges, and spawned a replacement
+        // worker — this thread just retires.
+        retired = true;
+      } else {
+        std::erase(running_, pending);
+        metrics_.gauge("busy_workers").add(-1);
+      }
+    }
+    if (retired) {
+      return;
     }
     finish(pending, std::move(outcome));
     idle_cv_.notify_all();
+  }
+}
+
+void Service::watchdog_loop() {
+  const double budget_ms = options_.resilience.hang_budget_ms;
+  const double grace_ms = options_.resilience.abandon_grace_ms > 0
+                              ? options_.resilience.abandon_grace_ms
+                              : 3 * budget_ms;
+  const auto poll = std::chrono::duration<double, std::milli>(
+      std::max(0.5, options_.resilience.watchdog_poll_ms));
+  while (true) {
+    std::vector<std::shared_ptr<Pending>> abandoned;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      watchdog_cv_.wait_for(lock, poll, [this] { return watchdog_stop_; });
+      if (watchdog_stop_) {
+        return;
+      }
+      for (const std::shared_ptr<Pending>& pending : running_) {
+        const double elapsed = pending->run_started.elapsed_ms();
+        if (elapsed <= budget_ms) {
+          continue;
+        }
+        if (!pending->watchdog_fired.exchange(true)) {
+          // First line of defence: fire the token; a cooperative hang
+          // (or any polling loop) unwinds with its anytime result.
+          pending->cancel.request_cancel();
+          metrics_.counter("watchdog_fired").inc();
+        }
+        if (elapsed > budget_ms + grace_ms &&
+            !pending->abandoned.exchange(true)) {
+          abandoned.push_back(pending);
+        }
+      }
+      for (const std::shared_ptr<Pending>& pending : abandoned) {
+        std::erase(running_, pending);
+        metrics_.gauge("busy_workers").add(-1);
+        metrics_.counter("watchdog_abandoned").inc();
+        if (!stopping_) {
+          // Recycle capacity: the stuck thread stays in workers_ (it
+          // retires itself whenever its hang resolves and is joined at
+          // shutdown); a fresh worker takes its slot now.
+          workers_.emplace_back([this] { worker_loop(); });
+        }
+      }
+    }
+    for (const std::shared_ptr<Pending>& pending : abandoned) {
+      if (quarantine_.record_failure(
+              quarantine_key(pending->job),
+              options_.resilience.quarantine_threshold)) {
+        metrics_.counter("jobs_quarantined").inc();
+      }
+      BindOutcome outcome;
+      outcome.id = pending->job.id;
+      outcome.status = BindStatus::kInternalError;
+      outcome.fault = FaultClass::kTransient;
+      outcome.error = "watchdog: job exceeded hang budget (" +
+                      std::to_string(budget_ms) + " ms) and grace period; "
+                      "worker abandoned";
+      finish(pending, std::move(outcome));
+      idle_cv_.notify_all();
+    }
   }
 }
 
@@ -281,6 +419,16 @@ void Service::shutdown(bool drain) {
     if (worker.joinable()) {
       worker.join();
     }
+  }
+  // The watchdog outlives the workers: a hung worker may need its token
+  // fired to unwind and join at all. Stop it only once they are down.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) {
+    watchdog_.join();
   }
 }
 

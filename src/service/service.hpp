@@ -49,8 +49,10 @@
 #include "graph/dfg.hpp"
 #include "machine/datapath.hpp"
 #include "machine/parser.hpp"
+#include "service/resilience.hpp"
 #include "service/status.hpp"
 #include "support/cancel.hpp"
+#include "support/fault.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
 
@@ -75,6 +77,9 @@ struct ServiceOptions {
   /// (1 thread) evaluates inline on the worker running the job, which
   /// is the right shape when num_workers already saturates the cores.
   EvalEngineOptions engine;
+  /// Recovery policy: retry/backoff, quarantine thresholds, watchdog
+  /// hang budget, default scheduler step budget.
+  ResilienceOptions resilience;
 };
 
 /// One binding request.
@@ -85,6 +90,9 @@ struct BindJob {
   std::string algorithm = "b-iter";  ///< b-iter | b-init | pcc
   BindEffort effort = BindEffort::kBalanced;
   double deadline_ms = 0.0;  ///< 0 = use the service default
+  /// Scheduler step budget for this job; 0 = use the service default
+  /// (ResilienceOptions::step_budget). Overruns fail typed as poison.
+  long long step_budget = 0;
 };
 
 /// The result of one job. `binding`/`latency`/`moves` are meaningful
@@ -99,6 +107,11 @@ struct BindOutcome {
   int moves = 0;
   double queue_ms = 0.0;  ///< submission -> start of execution
   double run_ms = 0.0;    ///< execution wall time
+  /// Failure classification for kInvalidRequest / kInternalError
+  /// outcomes (kNone otherwise) — drives retry and quarantine.
+  FaultClass fault = FaultClass::kNone;
+  /// Execution attempts consumed (> 1 after transient retries).
+  int attempts = 1;
 };
 
 /// Asynchronous batched binding service. Thread-safe; construct once,
@@ -141,6 +154,9 @@ class Service {
   /// Live metrics registry (counters/gauges/histograms).
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
 
+  /// The service's quarantine ledger (for tests and diagnostics).
+  [[nodiscard]] const Quarantine& quarantine() const { return quarantine_; }
+
   /// Consistent JSON snapshot: the metrics registry plus engine cache
   /// statistics ({"service":{...},"eval":{...}}).
   [[nodiscard]] JsonValue metrics_snapshot() const;
@@ -149,22 +165,32 @@ class Service {
   struct Pending;
 
   void worker_loop();
+  void watchdog_loop();
   void admit(std::shared_ptr<Pending> pending);
   void finish(const std::shared_ptr<Pending>& pending, BindOutcome outcome);
 
   ServiceOptions options_;
   std::unique_ptr<EvalEngine> engine_;
   MetricsRegistry metrics_;
+  Quarantine quarantine_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable watchdog_cv_;
   std::deque<std::shared_ptr<Pending>> queue_;
   std::vector<std::shared_ptr<Pending>> running_;
   bool stopping_ = false;
+  bool watchdog_stop_ = false;
   long long next_auto_id_ = 0;
 
+  /// Worker threads. May grow at runtime: when the watchdog abandons a
+  /// hung worker it spawns a replacement here (under mutex_); the
+  /// abandoned thread stays in this vector and is joined at shutdown
+  /// once its (bounded) hang resolves — never detached, so sanitizer
+  /// thread accounting stays clean.
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 };
 
 /// Runs one job synchronously with `engine` and `cancel` — the

@@ -18,6 +18,8 @@ const char* to_string(BindStatus status) {
       return "invalid_request";
     case BindStatus::kInternalError:
       return "internal_error";
+    case BindStatus::kDegraded:
+      return "degraded";
   }
   return "internal_error";
 }
@@ -26,7 +28,7 @@ BindStatus bind_status_from_string(std::string_view name) {
   for (const BindStatus status :
        {BindStatus::kOk, BindStatus::kDeadlineExceeded, BindStatus::kCancelled,
         BindStatus::kShed, BindStatus::kInvalidRequest,
-        BindStatus::kInternalError}) {
+        BindStatus::kInternalError, BindStatus::kDegraded}) {
     if (name == to_string(status)) {
       return status;
     }
@@ -49,12 +51,16 @@ int exit_code_for(BindStatus status) {
       return 4;
     case BindStatus::kShed:
       return 5;
+    case BindStatus::kDegraded:
+      return 6;
   }
   return 2;
 }
 
 bool has_result(BindStatus status) {
-  return status == BindStatus::kOk || status == BindStatus::kDeadlineExceeded;
+  return status == BindStatus::kOk ||
+         status == BindStatus::kDeadlineExceeded ||
+         status == BindStatus::kDegraded;
 }
 
 }  // namespace cvb

@@ -17,10 +17,11 @@ enum class BindStatus {
   kShed,              ///< rejected by admission control (queue full)
   kInvalidRequest,    ///< malformed input (parse/validation failure)
   kInternalError,     ///< unexpected failure inside the binder
+  kDegraded,          ///< quarantine fallback: valid but trivial binding
 };
 
 /// Wire/name form: "ok", "deadline_exceeded", "cancelled", "shed",
-/// "invalid_request", "internal_error".
+/// "invalid_request", "internal_error", "degraded".
 [[nodiscard]] const char* to_string(BindStatus status);
 
 /// Inverse of to_string; throws std::invalid_argument on unknown names.
@@ -28,11 +29,11 @@ enum class BindStatus {
 
 /// Process exit code for the cvbind front-end: 0 ok, 1 invalid request
 /// (parse/usage errors), 2 internal error, 3 deadline exceeded,
-/// 4 cancelled, 5 shed.
+/// 4 cancelled, 5 shed, 6 degraded.
 [[nodiscard]] int exit_code_for(BindStatus status);
 
 /// True for statuses that still carry a usable (verifier-clean)
-/// binding: kOk and kDeadlineExceeded.
+/// binding: kOk, kDeadlineExceeded, and kDegraded.
 [[nodiscard]] bool has_result(BindStatus status);
 
 }  // namespace cvb

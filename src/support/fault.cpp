@@ -1,0 +1,223 @@
+#include "support/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/strings.hpp"
+
+namespace cvb {
+namespace {
+
+// FNV-1a over the site name, so each site gets its own draw stream.
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// SplitMix64 finalizer: one draw per (seed, site, check-index) triple.
+// No shared RNG state means the fire pattern of a site is independent
+// of interleaving with other sites — deterministic even under
+// concurrent checks (the per-site check counter is advanced under the
+// injector lock).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double draw01(std::uint64_t seed, std::uint64_t site_hash,
+              long long check_index) {
+  const std::uint64_t raw =
+      mix(seed ^ mix(site_hash ^ static_cast<std::uint64_t>(check_index)));
+  return static_cast<double>(raw >> 11) * 0x1.0p-53;
+}
+
+thread_local const CancelToken* t_cancel = nullptr;
+
+}  // namespace
+
+const char* to_string(FaultClass fault_class) {
+  switch (fault_class) {
+    case FaultClass::kNone:
+      return "none";
+    case FaultClass::kTransient:
+      return "transient";
+    case FaultClass::kPoison:
+      return "poison";
+    case FaultClass::kFatal:
+      return "fatal";
+  }
+  return "none";
+}
+
+FaultClass fault_class_from_string(std::string_view name) {
+  if (name == "none") return FaultClass::kNone;
+  if (name == "transient") return FaultClass::kTransient;
+  if (name == "poison") return FaultClass::kPoison;
+  if (name == "fatal") return FaultClass::kFatal;
+  throw std::invalid_argument("unknown fault class: \"" + std::string(name) +
+                              "\" (expected none|transient|poison|fatal)");
+}
+
+FaultInjectedError::FaultInjectedError(const std::string& site,
+                                       FaultClass fault_class)
+    : std::runtime_error("injected " + std::string(to_string(fault_class)) +
+                         " fault at site \"" + site + "\""),
+      site_(site),
+      class_(fault_class) {}
+
+const std::vector<std::string>& fault_sites() {
+  static const std::vector<std::string> kSites = {
+      "eval.task",         // EvalEngine::evaluate_uncached entry
+      "eval.cache_lookup",  // schedule-cache probe
+      "eval.cache_insert",  // schedule-cache fill
+      "service.admit",      // Service::admit, before queue mutation
+      "service.worker",     // worker attempt, before dispatch
+      "service.hang",       // worker attempt, hang-flavoured site
+      "parse.dfg",          // parse_dfg_text entry
+      "parse.machine",      // parse_machine_file entry
+  };
+  return kSites;
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  const auto& known = fault_sites();
+  if (std::find(known.begin(), known.end(), site) == known.end()) {
+    std::string message = "unknown fault site: \"" + site + "\" (known:";
+    for (const auto& name : known) message += " " + name;
+    throw std::invalid_argument(message + ")");
+  }
+  if (!(spec.rate >= 0.0 && spec.rate <= 1.0)) {
+    throw std::invalid_argument("fault rate must be in [0, 1]");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (spec.rate == 0.0) {
+    if (it != sites_.end()) {
+      sites_.erase(it);
+      armed_sites_.store(static_cast<int>(sites_.size()),
+                         std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (it == sites_.end()) {
+    sites_.emplace(site, SiteState{spec, 0, 0});
+  } else {
+    it->second.spec = spec;
+  }
+  armed_sites_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_from_flag(const std::string& flag) {
+  const std::vector<std::string> parts = split(flag, ':');
+  if (parts.size() < 2 || parts.size() > 4) {
+    throw std::invalid_argument(
+        "bad --inject value \"" + flag +
+        "\" (expected site:rate[:class[:hang_ms]])");
+  }
+  FaultSpec spec;
+  try {
+    spec.rate = std::stod(parts[1]);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad --inject rate in \"" + flag + "\"");
+  }
+  if (parts.size() >= 3) spec.fault_class = fault_class_from_string(parts[2]);
+  if (parts.size() == 4) {
+    try {
+      spec.hang_ms = std::stod(parts[3]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad --inject hang_ms in \"" + flag + "\"");
+    }
+  }
+  arm(std::string(trim(parts[0])), spec);
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.erase(site);
+  armed_sites_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::set_seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+  total_triggered_ = 0;
+  for (auto& [site, state] : sites_) {
+    state.checks = 0;
+    state.triggered = 0;
+  }
+}
+
+long long FaultInjector::triggered(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.triggered;
+}
+
+long long FaultInjector::total_triggered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_triggered_;
+}
+
+void FaultInjector::check(std::string_view site) {
+  if (!any_armed()) return;
+
+  FaultSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return;
+    SiteState& state = it->second;
+    const long long index = state.checks++;
+    if (state.spec.max_triggers >= 0 &&
+        state.triggered >= state.spec.max_triggers) {
+      return;
+    }
+    if (draw01(seed_, fnv1a(site), index) >= state.spec.rate) return;
+    ++state.triggered;
+    ++total_triggered_;
+    spec = it->second.spec;
+  }
+  // The lock is released before hanging or throwing: a hung site must
+  // not wedge every other site's checks, and throwing with a held lock
+  // would be outright wrong.
+  if (spec.hang_ms > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(spec.hang_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (spec.cooperative && t_cancel != nullptr &&
+          t_cancel->stop_requested()) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return;
+  }
+  throw FaultInjectedError(std::string(site), spec.fault_class);
+}
+
+void FaultInjector::set_thread_cancel(const CancelToken* token) {
+  t_cancel = token;
+}
+
+}  // namespace cvb

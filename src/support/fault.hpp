@@ -1,0 +1,195 @@
+// Deterministic fault injection and the fault taxonomy shared by the
+// whole serving stack.
+//
+// Production binders fail in three distinct ways, and the recovery
+// machinery (src/service/resilience.*) treats each differently:
+//
+//  * kTransient — the operation would likely succeed if repeated (a
+//    worker crash, a flaky cache shard). Retried with exponential
+//    backoff + decorrelated jitter.
+//  * kPoison — the *input* deterministically triggers the failure (a
+//    malformed graph, a request blowing a resource limit). Never
+//    retried; repeated poison failures of the same job key quarantine
+//    that key onto the graceful-degradation path.
+//  * kFatal — an internal invariant broke (verifier rejection, logic
+//    error). Never retried, surfaced immediately.
+//
+// `FaultInjector` is the chaos-testing half: a process-global registry
+// of *named injection sites* compiled into the hot seams (evaluation
+// tasks, schedule-cache lookup/insert, service admission, the worker
+// loop, the text parsers). Each armed site fires deterministically: the
+// n-th check of a site draws from SplitMix64(seed, site, n), so a given
+// (seed, rate) reproduces the same fire/no-fire sequence per site on
+// every run. Sites compile to literal no-ops unless the build enables
+// -DCVB_FAULT_INJECTION=ON (see the top-level CMakeLists), so release
+// binaries pay zero overhead — not even a branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/cancel.hpp"
+
+namespace cvb {
+
+/// How a failure should be treated by the recovery machinery.
+enum class FaultClass {
+  kNone,       ///< not a failure
+  kTransient,  ///< retriable: likely to succeed if repeated
+  kPoison,     ///< input-determined: never retry, quarantine on repeat
+  kFatal,      ///< broken invariant: never retry, surface immediately
+};
+
+/// Wire/name form: "none", "transient", "poison", "fatal".
+[[nodiscard]] const char* to_string(FaultClass fault_class);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] FaultClass fault_class_from_string(std::string_view name);
+
+/// Thrown by an armed injection site. Carries the site name and the
+/// fault class the site was armed with, so the recovery layer can
+/// classify it without string matching.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  FaultInjectedError(const std::string& site, FaultClass fault_class);
+
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  [[nodiscard]] FaultClass fault_class() const noexcept { return class_; }
+
+ private:
+  std::string site_;
+  FaultClass class_;
+};
+
+/// Thrown by resource guards (scheduler step budgets, and any future
+/// admission-size checks) when an input exceeds a configured limit.
+/// Classified kPoison by the recovery layer: the input, not the
+/// system, is at fault, so retrying is pointless.
+class ResourceLimitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What an armed site does when its draw fires.
+struct FaultSpec {
+  /// Per-check fire probability in [0, 1]. 0 disarms the site.
+  double rate = 0.0;
+  /// Class carried by the thrown FaultInjectedError.
+  FaultClass fault_class = FaultClass::kTransient;
+  /// > 0: instead of throwing, sleep this long (simulating a hung
+  /// worker) and then continue normally.
+  double hang_ms = 0.0;
+  /// Hangs only: poll the current job's CancelToken (registered via
+  /// set_thread_cancel) every slice and wake early once it fires — the
+  /// shape of a hang the watchdog can rescue cooperatively. false
+  /// sleeps the full hang_ms regardless, exercising worker abandonment.
+  bool cooperative = true;
+  /// Fire at most this many times (-1 = unlimited). Models a transient
+  /// fault storm that subsides, letting retried jobs eventually
+  /// succeed.
+  long long max_triggers = -1;
+};
+
+/// Every injection site compiled into the tree. arm() rejects names
+/// outside this list so a typo cannot silently never fire.
+[[nodiscard]] const std::vector<std::string>& fault_sites();
+
+/// True when the build compiled the CVB_INJECT sites in
+/// (-DCVB_FAULT_INJECTION=ON).
+[[nodiscard]] constexpr bool fault_injection_compiled() {
+#if defined(CVB_FAULT_INJECTION)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Process-global, thread-safe registry of armed injection sites.
+class FaultInjector {
+ public:
+  /// The process-wide instance every CVB_INJECT site checks.
+  [[nodiscard]] static FaultInjector& global();
+
+  /// Arms (or re-arms) a site. Throws std::invalid_argument for names
+  /// not in fault_sites() or rates outside [0, 1].
+  void arm(const std::string& site, FaultSpec spec);
+
+  /// Arms from the CLI flag form `site:rate[:class[:hang_ms]]`, e.g.
+  /// "eval.task:0.1", "eval.task:0.5:poison",
+  /// "service.hang:1:transient:50". Throws std::invalid_argument on
+  /// malformed input.
+  void arm_from_flag(const std::string& flag);
+
+  void disarm(const std::string& site);
+  void disarm_all();
+
+  /// Reseeds the deterministic draw stream and resets per-site check
+  /// and trigger counters.
+  void set_seed(std::uint64_t seed);
+
+  /// True when at least one site is armed (relaxed fast path).
+  [[nodiscard]] bool any_armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Times the site fired since it was armed / last reseed.
+  [[nodiscard]] long long triggered(const std::string& site) const;
+  [[nodiscard]] long long total_triggered() const;
+
+  /// The hot-path check behind CVB_INJECT: deterministic draw, then
+  /// throw FaultInjectedError or hang per the armed FaultSpec. A
+  /// disarmed injector returns after one relaxed atomic load.
+  void check(std::string_view site);
+
+  /// Registers the cancel token cooperative hangs poll on this thread
+  /// (nullptr to clear). The service worker loop brackets each job with
+  /// this so an injected hang can be rescued by the watchdog.
+  static void set_thread_cancel(const CancelToken* token);
+
+ private:
+  struct SiteState {
+    FaultSpec spec;
+    long long checks = 0;
+    long long triggered = 0;
+  };
+
+  FaultInjector() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+  std::uint64_t seed_ = 0x5eedf417ULL;
+  long long total_triggered_ = 0;
+  std::atomic<int> armed_sites_{0};
+};
+
+/// RAII helper for tests and benches: disarms every site (and
+/// optionally reseeds) on construction and destruction, so one test's
+/// chaos cannot leak into the next.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(std::uint64_t seed = 0x5eedf417ULL) {
+    FaultInjector::global().disarm_all();
+    FaultInjector::global().set_seed(seed);
+  }
+  ~ScopedFaultInjection() { FaultInjector::global().disarm_all(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace cvb
+
+/// A named injection site. Compiles to nothing unless the build sets
+/// CVB_FAULT_INJECTION; when compiled in, costs one relaxed atomic load
+/// while no site is armed.
+#if defined(CVB_FAULT_INJECTION)
+#define CVB_INJECT(site) ::cvb::FaultInjector::global().check(site)
+#else
+#define CVB_INJECT(site) ((void)0)
+#endif

@@ -1,0 +1,221 @@
+// Tests of the fault-injection framework (support/fault.*): the
+// taxonomy strings, site registry, deterministic seeded draws, rate
+// semantics, trigger budgets, CLI flag parsing, and the compiled-in
+// injection sites themselves (the latter gated on
+// -DCVB_FAULT_INJECTION=ON builds).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/dfg_text.hpp"
+#include "kernels/kernels.hpp"
+#include "support/fault.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(FaultClassNames, RoundTrip) {
+  for (const FaultClass fault_class :
+       {FaultClass::kNone, FaultClass::kTransient, FaultClass::kPoison,
+        FaultClass::kFatal}) {
+    EXPECT_EQ(fault_class_from_string(to_string(fault_class)), fault_class);
+  }
+  EXPECT_THROW((void)fault_class_from_string("flaky"), std::invalid_argument);
+}
+
+TEST(FaultSites, RegistryRejectsUnknownNames) {
+  EXPECT_FALSE(fault_sites().empty());
+  ScopedFaultInjection scoped;
+  FaultSpec spec;
+  spec.rate = 0.5;
+  EXPECT_THROW(FaultInjector::global().arm("no.such.site", spec),
+               std::invalid_argument);
+  spec.rate = 1.5;
+  EXPECT_THROW(FaultInjector::global().arm("eval.task", spec),
+               std::invalid_argument);
+  spec.rate = -0.1;
+  EXPECT_THROW(FaultInjector::global().arm("eval.task", spec),
+               std::invalid_argument);
+}
+
+// Calls check() n times and returns the fire pattern. check() is a
+// plain method, so this works on every build — only the CVB_INJECT
+// macro itself is compiled out without the CMake option.
+std::vector<bool> fire_pattern(const std::string& site, int n) {
+  std::vector<bool> fired;
+  fired.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    try {
+      FaultInjector::global().check(site);
+      fired.push_back(false);
+    } catch (const FaultInjectedError&) {
+      fired.push_back(true);
+    }
+  }
+  return fired;
+}
+
+TEST(FaultInjector, SameSeedSameFirePattern) {
+  ScopedFaultInjection scoped(42);
+  FaultSpec spec;
+  spec.rate = 0.5;
+  FaultInjector::global().arm("eval.task", spec);
+  const std::vector<bool> first = fire_pattern("eval.task", 64);
+
+  FaultInjector::global().set_seed(42);  // reset counters + stream
+  const std::vector<bool> second = fire_pattern("eval.task", 64);
+  EXPECT_EQ(first, second);
+
+  FaultInjector::global().set_seed(43);
+  const std::vector<bool> reseeded = fire_pattern("eval.task", 64);
+  EXPECT_NE(first, reseeded);  // 2^-64 false-failure chance
+}
+
+TEST(FaultInjector, SitesDrawIndependently) {
+  // The pattern of one site must not depend on how often other sites
+  // are checked in between (each site keys its own check counter).
+  ScopedFaultInjection scoped(7);
+  FaultSpec spec;
+  spec.rate = 0.5;
+  FaultInjector::global().arm("eval.task", spec);
+  FaultInjector::global().arm("service.worker", spec);
+  const std::vector<bool> alone = [&] {
+    std::vector<bool> fired;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        FaultInjector::global().check("eval.task");
+        fired.push_back(false);
+      } catch (const FaultInjectedError&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  }();
+  FaultInjector::global().set_seed(7);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 32; ++i) {
+    (void)fire_pattern("service.worker", 3);  // noise between checks
+    try {
+      FaultInjector::global().check("eval.task");
+      interleaved.push_back(false);
+    } catch (const FaultInjectedError&) {
+      interleaved.push_back(true);
+    }
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST(FaultInjector, RateEndpointsAndDisarm) {
+  ScopedFaultInjection scoped;
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.fault_class = FaultClass::kPoison;
+  FaultInjector::global().arm("eval.task", spec);
+  EXPECT_TRUE(FaultInjector::global().any_armed());
+  try {
+    FaultInjector::global().check("eval.task");
+    FAIL() << "rate-1.0 site did not fire";
+  } catch (const FaultInjectedError& e) {
+    EXPECT_EQ(e.site(), "eval.task");
+    EXPECT_EQ(e.fault_class(), FaultClass::kPoison);
+  }
+
+  spec.rate = 0.0;  // rate 0 disarms
+  FaultInjector::global().arm("eval.task", spec);
+  EXPECT_FALSE(FaultInjector::global().any_armed());
+  EXPECT_NO_THROW(FaultInjector::global().check("eval.task"));
+  EXPECT_EQ(FaultInjector::global().triggered("eval.task"), 0);
+}
+
+TEST(FaultInjector, MaxTriggersModelsASubsidingStorm) {
+  ScopedFaultInjection scoped;
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.max_triggers = 3;
+  FaultInjector::global().arm("eval.task", spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    try {
+      FaultInjector::global().check("eval.task");
+    } catch (const FaultInjectedError&) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(FaultInjector::global().triggered("eval.task"), 3);
+  EXPECT_EQ(FaultInjector::global().total_triggered(), 3);
+}
+
+TEST(FaultInjector, HangSpecSleepsInsteadOfThrowing) {
+  ScopedFaultInjection scoped;
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.hang_ms = 2.0;  // short: just proves the no-throw path
+  FaultInjector::global().arm("service.hang", spec);
+  EXPECT_NO_THROW(FaultInjector::global().check("service.hang"));
+  EXPECT_EQ(FaultInjector::global().triggered("service.hang"), 1);
+}
+
+TEST(FaultInjector, ArmFromFlagParsesAllForms) {
+  ScopedFaultInjection scoped;
+  FaultInjector& injector = FaultInjector::global();
+
+  injector.arm_from_flag("eval.task:1");
+  try {
+    injector.check("eval.task");
+    FAIL() << "armed site did not fire";
+  } catch (const FaultInjectedError& e) {
+    EXPECT_EQ(e.fault_class(), FaultClass::kTransient);  // the default
+  }
+
+  injector.arm_from_flag("eval.task:1:poison");
+  try {
+    injector.check("eval.task");
+    FAIL() << "armed site did not fire";
+  } catch (const FaultInjectedError& e) {
+    EXPECT_EQ(e.fault_class(), FaultClass::kPoison);
+  }
+
+  injector.arm_from_flag("service.hang:1:transient:2");
+  EXPECT_NO_THROW(injector.check("service.hang"));
+
+  EXPECT_THROW(injector.arm_from_flag("eval.task"), std::invalid_argument);
+  EXPECT_THROW(injector.arm_from_flag("eval.task:nope"),
+               std::invalid_argument);
+  EXPECT_THROW(injector.arm_from_flag("bogus.site:0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(injector.arm_from_flag("eval.task:0.5:flaky"),
+               std::invalid_argument);
+}
+
+TEST(FaultInjector, ScopedGuardDisarmsOnExit) {
+  {
+    ScopedFaultInjection scoped;
+    FaultSpec spec;
+    spec.rate = 1.0;
+    FaultInjector::global().arm("eval.task", spec);
+    EXPECT_TRUE(FaultInjector::global().any_armed());
+  }
+  EXPECT_FALSE(FaultInjector::global().any_armed());
+}
+
+// The compiled-in sites: only meaningful when the build defines
+// CVB_FAULT_INJECTION (the CVB_INJECT macros are no-ops otherwise).
+TEST(FaultInjectionSites, ParserSiteFiresWhenCompiledIn) {
+  if (!fault_injection_compiled()) {
+    GTEST_SKIP() << "build has -DCVB_FAULT_INJECTION=OFF";
+  }
+  ScopedFaultInjection scoped;
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.fault_class = FaultClass::kPoison;
+  FaultInjector::global().arm("parse.dfg", spec);
+  std::istringstream in("dfg t\nop 0 add a\n");
+  EXPECT_THROW((void)parse_dfg_text(in), FaultInjectedError);
+  EXPECT_EQ(FaultInjector::global().triggered("parse.dfg"), 1);
+}
+
+}  // namespace
+}  // namespace cvb

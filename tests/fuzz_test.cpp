@@ -12,6 +12,7 @@
 #include "graph/builder.hpp"
 #include "io/dfg_text.hpp"
 #include "kernels/kernels.hpp"
+#include "machine/machine_file.hpp"
 #include "machine/parser.hpp"
 #include "modulo/expand.hpp"
 #include "modulo/loop_kernels.hpp"
@@ -191,6 +192,100 @@ TEST(FuzzRandomLoop, GeneratorRespectsContracts) {
   RandomLoopParams bad;
   bad.num_ops = 1;
   EXPECT_THROW((void)make_random_loop(bad, rng), std::invalid_argument);
+}
+
+// Expects `parse` to throw std::invalid_argument whose message names
+// the failing line ("..., line N: ..."), the contract resource-limit
+// rejections share with ordinary syntax errors.
+template <typename Fn>
+void expect_line_numbered_failure(Fn parse, const std::string& what) {
+  try {
+    parse();
+    FAIL() << what << ": limit violation was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line "), std::string::npos)
+        << what << ": message lacks a line number: " << e.what();
+  }
+}
+
+TEST(FuzzIoLimits, RandomGraphsAgainstTinyLimitsFailTyped) {
+  // Well-formed random graphs pushed through every DfgTextLimits guard:
+  // each rejection must be a typed std::invalid_argument naming the
+  // line, never a crash, hang, or silent truncation.
+  Rng rng(8181);
+  for (int trial = 0; trial < 12; ++trial) {
+    RandomDagParams params;
+    params.num_ops = rng.uniform_int(6, 40);
+    params.num_layers = rng.uniform_int(2, 6);
+    const Dfg g = make_random_layered(params, rng);
+    std::stringstream buffer;
+    write_dfg_text(buffer, g, "limits");
+    const std::string text = buffer.str();
+
+    DfgTextLimits tight;
+    switch (trial % 4) {
+      case 0:
+        tight.max_lines = rng.uniform_int(1, 4);
+        break;
+      case 1:
+        tight.max_line_length = static_cast<std::size_t>(
+            rng.uniform_int(1, 6));
+        break;
+      case 2:
+        tight.max_ops = rng.uniform_int(1, params.num_ops - 1);
+        break;
+      default:
+        tight.max_edges = rng.uniform_int(0, 2);
+        break;
+    }
+    expect_line_numbered_failure(
+        [&] {
+          std::istringstream in(text);
+          (void)parse_dfg_text(in, tight);
+        },
+        "dfg trial " + std::to_string(trial));
+
+    // The same text under the default (ample) limits still parses.
+    std::istringstream in(text);
+    EXPECT_EQ(parse_dfg_text(in).dfg.num_ops(), g.num_ops());
+  }
+}
+
+TEST(FuzzIoLimits, OperandCountGuardFires) {
+  DfgTextLimits tight;
+  tight.max_operands_per_op = 2;
+  std::istringstream in(
+      "dfg wide\nop 0 add a\nop 1 add b\nop 2 add c\nop 3 add d\n"
+      "args 3 0 1 2\n");
+  expect_line_numbered_failure(
+      [&] { (void)parse_dfg_text(in, tight); }, "operand guard");
+}
+
+TEST(FuzzIoLimits, MachineFileLimitsFailTyped) {
+  const std::string text = "machine m\nclusters [2,1|1,1]\nbuses 2\n";
+  {
+    MachineFileLimits tight;
+    tight.max_lines = 2;
+    expect_line_numbered_failure(
+        [&] {
+          std::istringstream in(text);
+          (void)parse_machine_file(in, tight);
+        },
+        "machine line count");
+  }
+  {
+    MachineFileLimits tight;
+    tight.max_line_length = 8;
+    expect_line_numbered_failure(
+        [&] {
+          std::istringstream in(text);
+          (void)parse_machine_file(in, tight);
+        },
+        "machine line length");
+  }
+  // Ample limits: same text parses.
+  std::istringstream in(text);
+  EXPECT_EQ(parse_machine_file(in).datapath.num_clusters(), 2);
 }
 
 }  // namespace

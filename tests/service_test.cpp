@@ -286,6 +286,65 @@ TEST(Service, RunBindJobClassifiesInvalidInput) {
             BindStatus::kInvalidRequest);
 }
 
+TEST(Service, ShedAndDeadlineRaceFulfilsExactlyOnce) {
+  // Deadlines expire in the same window shed-oldest drops queued jobs:
+  // every future must still resolve with exactly one consistent status.
+  // (A double fulfilment would throw std::future_error out of finish();
+  // the test also pins that the accounting never double-counts.)
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.overflow = OverflowPolicy::kShedOldest;
+  options.default_deadline_ms = 8.0;  // expires while jobs sit queued
+  Service service(options);
+
+  constexpr int kJobs = 24;
+  std::vector<std::future<BindOutcome>> futures;
+  futures.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    futures.push_back(service.submit(
+        make_job("DCT-DIF", "[2,1|1,1]", "race" + std::to_string(i))));
+  }
+  int ok = 0;
+  int shed = 0;
+  int deadline = 0;
+  int cancelled = 0;
+  for (std::future<BindOutcome>& future : futures) {
+    const BindOutcome outcome = future.get();  // resolves exactly once
+    switch (outcome.status) {
+      case BindStatus::kOk:
+        ++ok;
+        break;
+      case BindStatus::kShed:
+        EXPECT_TRUE(outcome.binding.empty()) << outcome.id;
+        ++shed;
+        break;
+      case BindStatus::kDeadlineExceeded:
+        // Anytime contract: a miss still carries a usable binding.
+        EXPECT_FALSE(outcome.binding.empty()) << outcome.id;
+        ++deadline;
+        break;
+      case BindStatus::kCancelled:
+        ++cancelled;
+        break;
+      default:
+        FAIL() << outcome.id << ": unexpected status "
+               << to_string(outcome.status);
+    }
+  }
+  EXPECT_EQ(ok + shed + deadline + cancelled, kJobs);
+  EXPECT_GE(shed, 1);  // capacity 1 with 24 jobs must have dropped some
+  const auto counter = [&](const char* name) {
+    return service.metrics().counter(name).value();
+  };
+  EXPECT_EQ(counter("jobs_submitted"), kJobs);
+  EXPECT_EQ(counter("jobs_completed") + counter("jobs_shed") +
+                counter("jobs_cancelled") + counter("jobs_failed"),
+            kJobs);
+  EXPECT_EQ(counter("jobs_shed"), shed);
+  EXPECT_EQ(counter("jobs_deadline_miss"), deadline);
+}
+
 TEST(Service, RejectsZeroWorkers) {
   ServiceOptions options;
   options.num_workers = 0;
