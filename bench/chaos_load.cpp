@@ -12,12 +12,16 @@
 //  * the watchdog rescues injected hangs, and repeat-poison job keys
 //    quarantine onto the verified kDegraded fallback.
 //
-// Usage: chaos_load [--jobs N] [--rate R] [--seed S]
+// Usage: chaos_load [--jobs N] [--rate R] [--seed S] [--trace-out FILE]
 // Runs standalone with no arguments (CI uses the defaults). On a build
 // without -DCVB_FAULT_INJECTION=ON it still runs the fault-free
-// invariant pass and exits 0 with a note.
+// invariant pass and exits 0 with a note. With --trace-out the whole
+// run is traced, and the emitted Chrome trace is parsed back and
+// sanity-checked before the harness reports PASS — tracing under
+// chaos (and under TSan in CI) is itself an invariant.
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <sstream>
@@ -33,7 +37,9 @@
 #include "sched/verifier.hpp"
 #include "service/service.hpp"
 #include "support/fault.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -41,7 +47,12 @@ struct ChaosArgs {
   int jobs = 24;
   double rate = 0.15;
   std::uint64_t seed = 0xc4a05u;
+  std::string trace_out;
 };
+
+// Armed for the whole run when --trace-out is given; every phase's
+// service records into it.
+cvb::Tracer* g_tracer = nullptr;
 
 ChaosArgs parse_chaos_args(int argc, char** argv) {
   ChaosArgs args;
@@ -59,6 +70,8 @@ ChaosArgs parse_chaos_args(int argc, char** argv) {
       args.rate = std::stod(value());
     } else if (arg == "--seed") {
       args.seed = static_cast<std::uint64_t>(std::stoull(value()));
+    } else if (arg == "--trace-out") {
+      args.trace_out = value();
     } else {
       throw std::invalid_argument("unknown option '" + arg + "'");
     }
@@ -240,6 +253,7 @@ void site_phase(const ChaosArgs& args, const std::string& site) {
   cvb::FaultInjector::global().arm(site, spec);
 
   cvb::ServiceOptions options;
+  options.tracer = g_tracer;
   options.num_workers = 2;
   options.queue_capacity = 256;
   options.resilience.max_attempts = 4;
@@ -283,6 +297,7 @@ void mixed_phase(const ChaosArgs& args) {
   }
 
   cvb::ServiceOptions options;
+  options.tracer = g_tracer;
   options.num_workers = 2;
   options.queue_capacity = 8;
   options.overflow = cvb::OverflowPolicy::kShedOldest;
@@ -315,6 +330,7 @@ void hang_phase(const ChaosArgs& args) {
   cvb::FaultInjector::global().arm("service.hang", spec);
 
   cvb::ServiceOptions options;
+  options.tracer = g_tracer;
   options.num_workers = 2;
   options.resilience.max_attempts = 1;
   options.resilience.hang_budget_ms = 20.0;
@@ -344,6 +360,7 @@ void quarantine_phase(const ChaosArgs& args) {
   cvb::FaultInjector::global().arm("eval.task", spec);
 
   cvb::ServiceOptions options;
+  options.tracer = g_tracer;
   options.num_workers = 1;  // sequential: deterministic quarantine order
   options.resilience.max_attempts = 3;
   options.resilience.quarantine_threshold = 2;
@@ -390,6 +407,53 @@ void quarantine_phase(const ChaosArgs& args) {
                "fallback (L=" << degraded.latency << "), other keys clean\n";
 }
 
+/// Exports the run's trace and parses it back: the trace must survive
+/// chaos (and TSan in CI) as well-formed JSON with real service spans
+/// in it.
+void export_trace(const ChaosArgs& args, cvb::Tracer& tracer) {
+  if (args.trace_out.empty()) {
+    return;
+  }
+  const std::vector<cvb::TraceSpan> spans = tracer.drain();
+  std::ostringstream doc_text;
+  cvb::write_chrome_trace(doc_text, spans, tracer.dropped());
+  cvb::JsonValue doc;
+  try {
+    doc = cvb::JsonValue::parse(doc_text.str());
+  } catch (const std::exception& e) {
+    fail(std::string("exported trace does not parse: ") + e.what());
+  }
+  const cvb::JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) {
+    fail("exported trace has no traceEvents array");
+  }
+  std::size_t num_events = 0;
+  double prev_ts = -1.0;
+  bool saw_service_job = false;
+  for (const cvb::JsonValue& event : events->as_array()) {
+    ++num_events;
+    const double ts = event.find("ts")->as_number();
+    if (ts < prev_ts) {
+      fail("exported trace timestamps are not monotonic");
+    }
+    prev_ts = ts;
+    if (event.find("name")->as_string() == "service.job") {
+      saw_service_job = true;
+    }
+  }
+  if (num_events == 0 || !saw_service_job) {
+    fail("exported trace is missing service.job spans (" +
+         std::to_string(num_events) + " events)");
+  }
+  std::ofstream file(args.trace_out);
+  file << doc_text.str();
+  if (!file.good()) {
+    fail("cannot write '" + args.trace_out + "'");
+  }
+  std::cout << "\nTrace: " << num_events << " spans -> " << args.trace_out
+            << " (parsed back, monotonic)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -398,8 +462,14 @@ int main(int argc, char** argv) {
     args = parse_chaos_args(argc, argv);
   } catch (const std::invalid_argument& e) {
     std::cerr << "chaos_load: " << e.what()
-              << "\nusage: chaos_load [--jobs N] [--rate R] [--seed S]\n";
+              << "\nusage: chaos_load [--jobs N] [--rate R] [--seed S] "
+                 "[--trace-out FILE]\n";
     return 1;
+  }
+
+  cvb::Tracer tracer;
+  if (!args.trace_out.empty()) {
+    g_tracer = &tracer;
   }
 
   std::cout << "Chaos harness: " << args.jobs << " jobs/phase, rate "
@@ -411,6 +481,7 @@ int main(int argc, char** argv) {
   {
     cvb::ScopedFaultInjection scoped(args.seed);
     cvb::ServiceOptions options;
+    options.tracer = g_tracer;
     options.num_workers = 2;
     cvb::Service service(options);
     const PhaseResult result = run_phase(service, args.jobs);
@@ -423,6 +494,7 @@ int main(int argc, char** argv) {
   }
 
   if (!cvb::fault_injection_compiled()) {
+    export_trace(args, tracer);
     std::cout << "\nFault injection not compiled in "
                  "(-DCVB_FAULT_INJECTION=OFF); fault-free invariant pass "
                  "only.\nPASS\n";
@@ -447,6 +519,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nPoison + quarantine:\n";
   quarantine_phase(args);
+
+  export_trace(args, tracer);
 
   std::cout << "\nAll phases held: zero lost jobs, exactly-once "
                "fulfilment, every delivered binding re-verified.\nPASS\n";

@@ -1,0 +1,187 @@
+#include "api/api.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/annealing.hpp"
+#include "baselines/mincut.hpp"
+#include "bind/driver.hpp"
+#include "bind/exhaustive.hpp"
+#include "pcc/pcc.hpp"
+#include "sched/verifier.hpp"
+#include "support/trace.hpp"
+
+namespace cvb {
+
+namespace {
+
+/// Algorithm dispatch: request fields -> internal option structs ->
+/// BindResult. Throws; run_bind_request owns the typed-status ladder.
+BindResult dispatch(const BindRequest& request, const RequestContext& ctx,
+                    EvalEngine& engine) {
+  ListSchedulerOptions sched;
+  sched.step_budget = request.step_budget;
+  sched.tracer = ctx.tracer;
+
+  if (request.algorithm == "b-iter" || request.algorithm == "b-init") {
+    DriverParams params = driver_params_for(request.effort);
+    params.engine = &engine;
+    params.cancel = ctx.cancel;
+    params.sched = sched;
+    if (request.algorithm == "b-init") {
+      params.run_iterative = false;
+      return bind_initial_best(request.dfg, request.datapath, params);
+    }
+    return bind_full(request.dfg, request.datapath, params);
+  }
+  if (request.algorithm == "pcc") {
+    PccParams params;
+    params.cancel = ctx.cancel;
+    params.step_budget = request.step_budget;
+    params.tracer = ctx.tracer;
+    return pcc_binding(request.dfg, request.datapath, params, nullptr,
+                       &engine);
+  }
+
+  const bool known = request.algorithm == "sa" ||
+                     request.algorithm == "mincut" ||
+                     request.algorithm == "exhaustive";
+  if (!known) {
+    throw std::invalid_argument("unknown algorithm '" + request.algorithm +
+                                "'");
+  }
+  // The baselines below have no cancellation polling: an armed token
+  // could never fire, which would silently break the deadline
+  // contract. Reject instead.
+  if (ctx.cancel.armed()) {
+    throw std::invalid_argument("algorithm '" + request.algorithm +
+                                "' does not support deadlines or "
+                                "cancellation");
+  }
+  if (request.algorithm == "sa") {
+    AnnealingParams params;
+    params.seed = request.seed;
+    return annealing_binding(request.dfg, request.datapath, params);
+  }
+  if (request.algorithm == "mincut") {
+    return mincut_binding(request.dfg, request.datapath);
+  }
+  return exhaustive_binding(request.dfg, request.datapath);
+}
+
+}  // namespace
+
+BindResponse run_bind_request(const BindRequest& request,
+                              const RequestContext& ctx, EvalEngine* engine) {
+  BindResponse response;
+  response.id = request.id;
+
+  std::unique_ptr<EvalEngine> private_engine;
+  if (engine == nullptr) {
+    EvalEngineOptions engine_opts;
+    engine_opts.num_threads = request.num_threads;
+    private_engine = std::make_unique<EvalEngine>(engine_opts);
+    engine = private_engine.get();
+  }
+  response.eval_threads = engine->num_threads();
+  const EvalStats before = engine->stats();
+
+  ScopedSpan span(ctx.tracer, "bind.request");
+  if (span.enabled()) {
+    span.attr("algorithm", request.algorithm);
+    span.attr("effort", to_string(request.effort));
+    if (!request.id.empty()) {
+      span.attr("id", request.id);
+    }
+  }
+
+  BindResult result;
+  bool dispatched = false;
+  try {
+    result = dispatch(request, ctx, *engine);
+    dispatched = true;
+  } catch (const FaultInjectedError& e) {
+    // The injection site declares its own class — trust it, so chaos
+    // runs exercise exactly the recovery path they intend to.
+    response.status = BindStatus::kInternalError;
+    response.fault = e.fault_class();
+    response.error = e.what();
+    response.injected = true;
+  } catch (const ResourceLimitError& e) {
+    // The input blew a configured guard: deterministic, never retried.
+    response.status = BindStatus::kInvalidRequest;
+    response.fault = FaultClass::kPoison;
+    response.error = e.what();
+  } catch (const std::invalid_argument& e) {
+    response.status = BindStatus::kInvalidRequest;
+    response.fault = FaultClass::kPoison;
+    response.error = e.what();
+  } catch (const std::logic_error& e) {
+    response.status = BindStatus::kInternalError;
+    response.fault = FaultClass::kFatal;
+    response.error = e.what();
+  } catch (const std::exception& e) {
+    response.status = BindStatus::kInternalError;
+    response.fault = FaultClass::kTransient;
+    response.error = e.what();
+  }
+
+  if (dispatched) {
+    // Every result leaving the api is re-verified: a scheduler or
+    // cancellation bug degrades to a typed internal error, never to a
+    // silently illegal binding.
+    if (const std::string verr =
+            verify_schedule(result.bound, request.datapath, result.schedule);
+        !verr.empty()) {
+      response.status = BindStatus::kInternalError;
+      response.fault = FaultClass::kFatal;
+      response.error = "illegal schedule: " + verr;
+    } else {
+      response.binding = std::move(result.binding);
+      response.latency = result.schedule.latency;
+      response.moves = result.schedule.num_moves;
+      response.bound = std::move(result.bound);
+      response.schedule = std::move(result.schedule);
+      if (ctx.cancel.cancelled()) {
+        response.status = BindStatus::kCancelled;
+      } else if (ctx.cancel.deadline_expired()) {
+        response.status = BindStatus::kDeadlineExceeded;
+      } else {
+        response.status = BindStatus::kOk;
+      }
+    }
+  }
+
+  response.eval_stats = engine->stats().since(before);
+  if (span.enabled()) {
+    span.attr("status", to_string(response.status));
+    span.attr("latency", response.latency);
+    span.attr("moves", response.moves);
+    span.attr("candidates", response.eval_stats.candidates);
+    span.attr("cache_hits", response.eval_stats.cache_hits);
+  }
+  return response;
+}
+
+JsonValue eval_stats_to_json(const EvalStats& stats, int num_threads) {
+  JsonValue out = JsonValue::object();
+  out.set("threads", num_threads);
+  out.set("candidates", stats.candidates);
+  out.set("batches", stats.batches);
+  out.set("cache_hits", stats.cache_hits);
+  out.set("cache_misses", stats.cache_misses);
+  out.set("cache_evictions", stats.cache_evictions);
+  out.set("cache_hit_rate",
+          stats.candidates > 0
+              ? static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(stats.candidates)
+              : 0.0);
+  out.set("improver_candidates", stats.improver_candidates);
+  out.set("pcc_candidates", stats.pcc_candidates);
+  out.set("explore_jobs", stats.explore_jobs);
+  out.set("eval_ms", stats.eval_ms);
+  return out;
+}
+
+}  // namespace cvb

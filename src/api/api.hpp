@@ -1,0 +1,50 @@
+// cvb::api — the one documented entry point for executing a binding
+// request.
+//
+// run_bind_request is the execution core shared by every front-end:
+// cvb::Service workers (via the resilience wrapper), `cvbind`, and
+// `cvserve` all funnel through it, so algorithm dispatch, the
+// exception -> BindStatus/FaultClass ladder, schedule re-verification,
+// and anytime deadline tagging behave identically everywhere. The
+// internal option structs (DriverParams, IterImproverParams,
+// InitialBinderParams, EvalEngineOptions) are constructed here from
+// the request's effort preset and budgets; front-ends never touch
+// them.
+//
+// Tracing: when RequestContext::tracer is set, the request runs under
+// a root "bind.request" span and every layer below it — B-INIT sweep
+// candidates, B-ITER rounds, evaluation batches, individual list-
+// scheduler invocations — records child spans (DESIGN.md §3.10).
+#pragma once
+
+#include "api/request.hpp"
+#include "api/response.hpp"
+#include "support/json.hpp"
+
+namespace cvb {
+
+class EvalEngine;
+
+/// Historical spellings: the service's job/outcome types are the api
+/// types (field-layout compatible with the pre-api structs).
+using BindJob = BindRequest;
+using BindOutcome = BindResponse;
+
+/// Executes one request synchronously. Never throws for request-level
+/// failures: invalid algorithms, resource-guard overruns, injected
+/// faults, and scheduler bugs all come back as typed statuses with a
+/// FaultClass. `engine` is the shared candidate-evaluation engine to
+/// use; null means a private engine with `request.num_threads` workers
+/// is created for this call. The response's binding/schedule have been
+/// re-verified whenever has_result(status).
+[[nodiscard]] BindResponse run_bind_request(const BindRequest& request,
+                                            const RequestContext& ctx,
+                                            EvalEngine* engine = nullptr);
+
+/// Machine-readable form of the evaluation-engine counters — shared by
+/// the service metrics snapshot, the NDJSON protocol, and
+/// `cvbind --stats-json`.
+[[nodiscard]] JsonValue eval_stats_to_json(const EvalStats& stats,
+                                           int num_threads);
+
+}  // namespace cvb

@@ -1,0 +1,77 @@
+// cvb::BindRequest / cvb::RequestContext — the public description of
+// one binding request.
+//
+// Everything a caller can ask of the binder is expressed here; the
+// internal tuning structs (DriverParams, IterImproverParams,
+// InitialBinderParams, EvalEngineOptions) are derived from these
+// fields by the api layer and are an implementation detail. `cvbind`,
+// `cvserve`, and cvb::Service all build one of these and hand it to
+// run_bind_request (api/api.hpp).
+//
+// The request (BindRequest) is the *what*: graph, machine, algorithm,
+// effort, budgets. The context (RequestContext) is the *how* of this
+// particular execution: cancellation/deadline token, tracer, fault
+// injector — the cross-cutting plumbing that previously travelled as
+// five parallel parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bind/effort.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+#include "machine/parser.hpp"
+#include "support/cancel.hpp"
+
+namespace cvb {
+
+class Tracer;
+class FaultInjector;
+
+/// Cross-cutting execution context for one request. Copyable and
+/// cheap; default-constructed means "no deadline, no tracing, default
+/// injection".
+struct RequestContext {
+  /// Cooperative cancellation / deadline token. Armed tokens make
+  /// b-iter / b-init / pcc anytime (best verified result so far);
+  /// algorithms without anytime support reject armed tokens as
+  /// invalid requests.
+  CancelToken cancel;
+  /// Span recorder for this request (support/trace.hpp); null =
+  /// tracing off, with a strictly one-branch fast path everywhere.
+  Tracer* tracer = nullptr;
+  /// The fault injector armed for this request, recorded so service
+  /// layers can rearm or introspect it. Injection *sites* always
+  /// consult FaultInjector::global(); null simply means the caller did
+  /// not arm anything.
+  FaultInjector* injector = nullptr;
+};
+
+/// One binding request. The first seven fields are the service's
+/// historical BindJob layout (service/service.hpp aliases BindJob to
+/// this type), so existing designated-initializer call sites keep
+/// working.
+struct BindRequest {
+  std::string id;  ///< echoed in the response ("" = service auto-id)
+  Dfg dfg;
+  Datapath datapath = parse_datapath("[1,1|1,1]");
+  /// b-iter | b-init | pcc, plus the non-anytime baselines
+  /// sa | mincut | exhaustive.
+  std::string algorithm = "b-iter";
+  BindEffort effort = BindEffort::kBalanced;  ///< preset for b-iter/b-init
+  /// Admission-level deadline used by cvb::Service (0 = service
+  /// default). Synchronous callers arm RequestContext::cancel instead.
+  double deadline_ms = 0.0;
+  /// Scheduler step budget; 0 = caller default (service: resilience
+  /// policy). Overruns fail typed as poison.
+  long long step_budget = 0;
+  /// Random seed for the stochastic baselines (sa).
+  std::uint64_t seed = 1;
+  /// Candidate-evaluation threads when the api creates a private
+  /// engine (ignored when the caller supplies a shared one). Results
+  /// are identical for any thread count.
+  int num_threads = 1;
+};
+
+}  // namespace cvb

@@ -1,0 +1,56 @@
+// cvb::BindResponse — the public result of one binding request.
+//
+// `binding` / `latency` / `moves` (and the full `bound` / `schedule`
+// pair for presentation layers) are meaningful when
+// has_result(status): kOk, kDegraded, or kDeadlineExceeded with the
+// verifier-clean best-so-far binding. Every response leaving
+// run_bind_request has been re-verified — there is no status under
+// which an illegal schedule is returned.
+#pragma once
+
+#include <string>
+
+#include "bind/binding.hpp"
+#include "bind/bound_dfg.hpp"
+#include "bind/eval_engine.hpp"
+#include "sched/schedule.hpp"
+#include "service/status.hpp"
+#include "support/fault.hpp"
+
+namespace cvb {
+
+/// One binding response. The first ten fields are the service's
+/// historical BindOutcome layout (service/service.hpp aliases
+/// BindOutcome to this type).
+struct BindResponse {
+  std::string id;
+  BindStatus status = BindStatus::kInternalError;
+  std::string error;  ///< diagnostic for invalid/internal/shed outcomes
+  Binding binding;
+  int latency = 0;
+  int moves = 0;
+  double queue_ms = 0.0;  ///< submission -> start of execution (service)
+  double run_ms = 0.0;    ///< execution wall time (service)
+  /// Failure classification for kInvalidRequest / kInternalError
+  /// responses (kNone otherwise) — drives retry and quarantine.
+  FaultClass fault = FaultClass::kNone;
+  /// Execution attempts consumed (> 1 after transient retries).
+  int attempts = 1;
+
+  // --- fields beyond the historical BindOutcome layout ---
+
+  /// The bound graph (original ops + inserted moves) and its verified
+  /// schedule; empty unless has_result(status).
+  BoundDfg bound;
+  Schedule schedule;
+  /// Evaluation-engine counters attributable to this request
+  /// (candidates, schedule-cache hits, eval wall time).
+  EvalStats eval_stats;
+  /// Threads of the engine that served the request.
+  int eval_threads = 1;
+  /// True when the failure came from an armed fault-injection site
+  /// (chaos testing) rather than organic code paths.
+  bool injected = false;
+};
+
+}  // namespace cvb

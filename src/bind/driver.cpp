@@ -8,6 +8,7 @@
 #include "graph/analysis.hpp"
 #include "sched/list_scheduler.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace cvb {
 
@@ -52,6 +53,7 @@ std::vector<BindResult> initial_sweep(const Dfg& dfg, const Datapath& dp,
   if (dfg.num_ops() == 0) {
     throw std::invalid_argument("initial_sweep: empty DFG");
   }
+  ScopedSpan sweep(params.sched.tracer, "b-init.sweep");
   const int lcp = critical_path_length(dfg, dp.latencies());
 
   std::vector<BindResult> candidates;
@@ -66,6 +68,7 @@ std::vector<BindResult> initial_sweep(const Dfg& dfg, const Datapath& dp,
       if (!candidates.empty() && params.cancel.stop_requested()) {
         break;
       }
+      ScopedSpan candidate_span(params.sched.tracer, "b-init.candidate");
       InitialBinderParams init;
       init.profile_latency = lcp + stretch;
       init.reverse = reverse;
@@ -75,8 +78,17 @@ std::vector<BindResult> initial_sweep(const Dfg& dfg, const Datapath& dp,
       BindResult candidate = evaluate_binding(
           dfg, dp, initial_binding(dfg, dp, init), params.sched);
       candidate.best_init = init;
+      if (candidate_span.enabled()) {
+        candidate_span.attr("profile_latency", init.profile_latency);
+        candidate_span.attr("reverse", init.reverse);
+        candidate_span.attr("latency", candidate.schedule.latency);
+        candidate_span.attr("moves", candidate.schedule.num_moves);
+      }
       candidates.push_back(std::move(candidate));
     }
+  }
+  if (sweep.enabled()) {
+    sweep.attr("candidates", candidates.size());
   }
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const BindResult& a, const BindResult& b) {
@@ -144,6 +156,7 @@ BindResult bind_full(const Dfg& dfg, const Datapath& dp,
     if (have_best && params.cancel.stop_requested()) {
       break;  // keep the best improved start found so far
     }
+    ScopedSpan start_span(params.sched.tracer, "b-iter.start");
     IterImproverStats stats;
     Binding improved = improve_binding(
         dfg, dp, std::move(candidates[static_cast<std::size_t>(i)].binding),
@@ -154,6 +167,12 @@ BindResult bind_full(const Dfg& dfg, const Datapath& dp,
     BindResult result =
         evaluate_binding(dfg, dp, std::move(improved), params.sched);
     result.best_init = candidates[static_cast<std::size_t>(i)].best_init;
+    if (start_span.enabled()) {
+      start_span.attr("start", i);
+      start_span.attr("candidates", stats.candidates_evaluated);
+      start_span.attr("latency", result.schedule.latency);
+      start_span.attr("moves", result.schedule.num_moves);
+    }
     if (!have_best || result_key(result) < result_key(best)) {
       best = std::move(result);
       have_best = true;

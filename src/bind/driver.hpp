@@ -6,6 +6,7 @@
 
 #include "bind/binding.hpp"
 #include "bind/bound_dfg.hpp"
+#include "bind/effort.hpp"
 #include "bind/eval_engine.hpp"
 #include "bind/initial_binder.hpp"
 #include "bind/iterative_improver.hpp"
@@ -71,17 +72,7 @@ struct BindResult {
   EvalStats eval_stats;      ///< evaluation-engine counters (cache, batches)
 };
 
-/// Effort presets mapping to DriverParams — the compile-time/quality
-/// tradeoff the paper frames in its introduction (B-INIT alone "when
-/// compilation time is very critical", the full algorithm "when code
-/// performance is the major goal").
-enum class BindEffort {
-  kFast,      ///< B-INIT sweep only, narrow stretch
-  kBalanced,  ///< the defaults: full sweep + multi-start B-ITER
-  kMax,       ///< widest sweep, most seeds, deepest plateau walking
-};
-
-/// The DriverParams corresponding to an effort preset.
+/// The DriverParams corresponding to an effort preset (bind/effort.hpp).
 [[nodiscard]] DriverParams driver_params_for(BindEffort effort);
 
 /// B-INIT sweep only (phase 1 + parameter exploration): the paper's

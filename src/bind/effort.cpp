@@ -1,0 +1,32 @@
+#include "bind/effort.hpp"
+
+#include <stdexcept>
+
+namespace cvb {
+
+std::string to_string(BindEffort effort) {
+  switch (effort) {
+    case BindEffort::kFast:
+      return "fast";
+    case BindEffort::kBalanced:
+      return "balanced";
+    case BindEffort::kMax:
+      return "max";
+  }
+  return "balanced";
+}
+
+BindEffort bind_effort_from_string(std::string_view name) {
+  if (name == "fast") {
+    return BindEffort::kFast;
+  }
+  if (name == "balanced") {
+    return BindEffort::kBalanced;
+  }
+  if (name == "max") {
+    return BindEffort::kMax;
+  }
+  throw std::invalid_argument("unknown effort '" + std::string(name) + "'");
+}
+
+}  // namespace cvb

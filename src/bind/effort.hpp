@@ -1,0 +1,28 @@
+// Effort presets — the compile-time/quality tradeoff the paper frames
+// in its introduction (B-INIT alone "when compilation time is very
+// critical", the full algorithm "when code performance is the major
+// goal"). Split out of driver.hpp so the public api layer and the
+// NDJSON protocol can name an effort without pulling in the driver's
+// internal parameter structs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cvb {
+
+/// Effort presets mapping to DriverParams (see driver_params_for).
+enum class BindEffort {
+  kFast,      ///< B-INIT sweep only, narrow stretch
+  kBalanced,  ///< the defaults: full sweep + multi-start B-ITER
+  kMax,       ///< widest sweep, most seeds, deepest plateau walking
+};
+
+/// "fast" | "balanced" | "max".
+[[nodiscard]] std::string to_string(BindEffort effort);
+
+/// Inverse of to_string; throws std::invalid_argument
+/// ("unknown effort '<name>'") for anything else.
+[[nodiscard]] BindEffort bind_effort_from_string(std::string_view name);
+
+}  // namespace cvb

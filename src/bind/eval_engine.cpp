@@ -6,6 +6,7 @@
 #include "sched/quality.hpp"
 #include "support/fault.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace cvb {
 
@@ -156,6 +157,7 @@ std::vector<EvalResult> EvalEngine::evaluate_batch(
     const Dfg& dfg, const Datapath& dp, const std::vector<Binding>& bindings,
     const ListSchedulerOptions& sched, EvalPhase phase) {
   Stopwatch watch;
+  ScopedSpan span(sched.tracer, "eval.batch", sched.trace_parent);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.batches;
@@ -202,13 +204,24 @@ std::vector<EvalResult> EvalEngine::evaluate_batch(
     stats_.cache_hits += hits;
     stats_.cache_misses += static_cast<long long>(misses.size());
   }
+  if (span.enabled()) {
+    span.attr("candidates", bindings.size());
+    span.attr("cache_hits", hits);
+    span.attr("misses", misses.size());
+    span.attr("phase", static_cast<int>(phase));
+  }
+
+  // Scheduler invocations below are children of this batch span; pool
+  // tasks run on other threads, so the link must be explicit.
+  ListSchedulerOptions task_sched = sched;
+  task_sched.trace_parent = span.id();
 
   if (pool_ != nullptr && misses.size() > 1) {
     std::vector<std::function<EvalResult()>> tasks;
     tasks.reserve(misses.size());
     for (const std::size_t i : misses) {
-      tasks.push_back([&dfg, &dp, &binding = bindings[i], &sched] {
-        return evaluate_uncached(dfg, dp, binding, sched);
+      tasks.push_back([&dfg, &dp, &binding = bindings[i], &task_sched] {
+        return evaluate_uncached(dfg, dp, binding, task_sched);
       });
     }
     std::vector<EvalResult> computed =
@@ -218,7 +231,7 @@ std::vector<EvalResult> EvalEngine::evaluate_batch(
     }
   } else {
     for (const std::size_t i : misses) {
-      results[i] = evaluate_uncached(dfg, dp, bindings[i], sched);
+      results[i] = evaluate_uncached(dfg, dp, bindings[i], task_sched);
     }
   }
 

@@ -8,6 +8,7 @@
 
 #include "bind/eval_engine.hpp"
 #include "sched/quality.hpp"
+#include "support/trace.hpp"
 
 namespace cvb {
 
@@ -137,6 +138,7 @@ int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
     if (params.cancel.stop_requested()) {
       break;  // anytime exit: fall through to the best-so-far restore
     }
+    ScopedSpan round(params.sched.tracer, "b-iter.round");
     const std::vector<Candidate> candidates =
         boundary_candidates(dfg, dp, binding, params.enable_pairs);
     std::vector<Binding> trials;
@@ -153,6 +155,22 @@ int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
                               EvalPhase::kImprover);
     if (stats != nullptr) {
       stats->candidates_evaluated += static_cast<long>(trials.size());
+    }
+    if (round.enabled()) {
+      round.attr("pass", total_steps);
+      round.attr("candidates", trials.size());
+      int best_latency = 0;
+      int best_moves = 0;
+      for (const EvalResult& r : results) {
+        if (best_latency == 0 ||
+            std::pair(r.latency, r.num_moves) <
+                std::pair(best_latency, best_moves)) {
+          best_latency = r.latency;
+          best_moves = r.num_moves;
+        }
+      }
+      round.attr("best_latency", best_latency);
+      round.attr("best_moves", best_moves);
     }
 
     bool have_improvement = false;
@@ -227,15 +245,19 @@ Binding improve_binding(const Dfg& dfg, const Datapath& dp, Binding start,
   };
 
   if (params.use_qu_phase) {
+    ScopedSpan phase(params.sched.tracer, "b-iter.qu");
     const int steps = climb<QualityU>(dfg, dp, start, *engine, extract_qu,
                                       params, stats);
+    phase.attr("improving_steps", steps);
     if (stats != nullptr) {
       stats->qu_iterations = steps;
     }
   }
   if (params.use_qm_phase) {
+    ScopedSpan phase(params.sched.tracer, "b-iter.qm");
     const int steps = climb<QualityM>(dfg, dp, start, *engine, extract_qm,
                                       params, stats);
+    phase.attr("improving_steps", steps);
     if (stats != nullptr) {
       stats->qm_iterations = steps;
     }

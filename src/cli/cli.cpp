@@ -2,34 +2,25 @@
 
 #include <fstream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 
-#include "baselines/annealing.hpp"
-#include "baselines/mincut.hpp"
-#include "bind/driver.hpp"
-#include "bind/eval_engine.hpp"
-#include "bind/exhaustive.hpp"
+#include "api/api.hpp"
 #include "bind/lower_bounds.hpp"
 #include "bind/report.hpp"
-#include "graph/analysis.hpp"
+#include "cli/flags.hpp"
 #include "graph/dot.hpp"
 #include "io/dfg_text.hpp"
 #include "kernels/kernels.hpp"
 #include "machine/machine_file.hpp"
-#include "machine/parser.hpp"
-#include "pcc/pcc.hpp"
 #include "regalloc/regalloc.hpp"
 #include "sched/emit.hpp"
 #include "sched/gantt.hpp"
 #include "sched/reg_pressure.hpp"
-#include "sched/verifier.hpp"
-#include "service/protocol.hpp"
 #include "service/status.hpp"
 #include "sim/executor.hpp"
-#include "support/cancel.hpp"
 #include "support/fault.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace cvb {
 
@@ -64,6 +55,9 @@ options:
                       schedule-cache hits/misses, wall time)
   --stats-json FILE   write those statistics as JSON to FILE
                       ('-' = stdout)
+  --trace-out FILE    write a Chrome trace_event JSON profile of this
+                      run to FILE ('-' = stdout); open it in Perfetto
+                      or chrome://tracing (see FORMATS.md)
   --inject SPEC       arm a fault-injection site for this run, as
                       site:rate[:class[:hang_ms]] (repeatable), e.g.
                       "eval.task:0.1:transient" — for local repro of
@@ -95,6 +89,7 @@ struct CliOptions {
   int deadline_ms = -1;  // -1 = no deadline; 0 = already expired
   bool stats = false;
   std::string stats_json;
+  std::string trace_out;
   std::vector<std::string> injects;
   std::uint64_t inject_seed = 0x5eedf417ULL;
   bool list_kernels = false;
@@ -103,59 +98,51 @@ struct CliOptions {
 
 CliOptions parse_args(const std::vector<std::string>& args) {
   CliOptions opts;
-  const auto value_of = [&](std::size_t& i, const std::string& flag) {
-    if (i + 1 >= args.size()) {
-      throw std::invalid_argument(flag + " needs a value");
-    }
-    return args[++i];
-  };
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    if (arg == "--help" || arg == "-h") {
-      opts.help = true;
-    } else if (arg == "--list-kernels") {
-      opts.list_kernels = true;
-    } else if (arg == "--datapath") {
-      opts.datapath = value_of(i, arg);
-    } else if (arg == "--machine") {
-      opts.machine_file = value_of(i, arg);
-    } else if (arg == "--buses") {
-      opts.buses = parse_nonnegative_int(value_of(i, arg));
-    } else if (arg == "--move-latency") {
-      opts.move_latency = parse_nonnegative_int(value_of(i, arg));
-    } else if (arg == "--algorithm") {
-      opts.algorithm = value_of(i, arg);
-    } else if (arg == "--effort") {
-      opts.effort = value_of(i, arg);
-    } else if (arg == "--output") {
-      opts.outputs = split(value_of(i, arg), ',');
-    } else if (arg == "--seed") {
-      opts.seed = static_cast<std::uint64_t>(
-          parse_nonnegative_int(value_of(i, arg)));
-    } else if (arg == "--threads") {
-      opts.threads = parse_nonnegative_int(value_of(i, arg));
-      if (opts.threads < 1) {
-        throw std::invalid_argument("--threads must be >= 1");
-      }
-    } else if (arg == "--deadline-ms") {
-      opts.deadline_ms = parse_nonnegative_int(value_of(i, arg));
-    } else if (arg == "--stats") {
-      opts.stats = true;
-    } else if (arg == "--stats-json") {
-      opts.stats_json = value_of(i, arg);
-    } else if (arg == "--inject") {
-      opts.injects.push_back(value_of(i, arg));
-    } else if (arg == "--inject-seed") {
-      opts.inject_seed = static_cast<std::uint64_t>(
-          parse_nonnegative_int(value_of(i, arg)));
-    } else if (!arg.empty() && arg.front() == '-') {
-      throw std::invalid_argument("unknown option '" + arg + "'");
-    } else if (opts.source.empty()) {
-      opts.source = arg;
-    } else {
+  FlagSet flags;
+  flags.on_flag("--help", [&] { opts.help = true; });
+  flags.on_flag("-h", [&] { opts.help = true; });
+  flags.on_flag("--list-kernels", [&] { opts.list_kernels = true; });
+  flags.on_flag("--stats", [&] { opts.stats = true; });
+  flags.on_value("--datapath",
+                 [&](const std::string& v) { opts.datapath = v; });
+  flags.on_value("--machine",
+                 [&](const std::string& v) { opts.machine_file = v; });
+  flags.on_value("--buses", [&](const std::string& v) {
+    opts.buses = parse_nonnegative_int(v);
+  });
+  flags.on_value("--move-latency", [&](const std::string& v) {
+    opts.move_latency = parse_nonnegative_int(v);
+  });
+  flags.on_value("--algorithm",
+                 [&](const std::string& v) { opts.algorithm = v; });
+  flags.on_value("--effort", [&](const std::string& v) { opts.effort = v; });
+  flags.on_value("--output",
+                 [&](const std::string& v) { opts.outputs = split(v, ','); });
+  flags.on_value("--seed", [&](const std::string& v) {
+    opts.seed = static_cast<std::uint64_t>(parse_nonnegative_int(v));
+  });
+  flags.on_value("--threads", [&](const std::string& v) {
+    opts.threads = parse_int_at_least(v, 1, "--threads");
+  });
+  flags.on_value("--deadline-ms", [&](const std::string& v) {
+    opts.deadline_ms = parse_nonnegative_int(v);
+  });
+  flags.on_value("--stats-json",
+                 [&](const std::string& v) { opts.stats_json = v; });
+  flags.on_value("--trace-out",
+                 [&](const std::string& v) { opts.trace_out = v; });
+  flags.on_value("--inject",
+                 [&](const std::string& v) { opts.injects.push_back(v); });
+  flags.on_value("--inject-seed", [&](const std::string& v) {
+    opts.inject_seed = static_cast<std::uint64_t>(parse_nonnegative_int(v));
+  });
+  flags.on_positional([&](const std::string& arg) {
+    if (!opts.source.empty()) {
       throw std::invalid_argument("unexpected argument '" + arg + "'");
     }
-  }
+    opts.source = arg;
+  });
+  flags.parse(args);
   return opts;
 }
 
@@ -173,56 +160,19 @@ Dfg load_source(const std::string& source, std::string& name) {
   return benchmark_by_name(source).dfg;
 }
 
-BindEffort effort_by_name(const std::string& name) {
-  if (name == "fast") {
-    return BindEffort::kFast;
+/// Writes the drained spans as one Chrome trace_event JSON document to
+/// `path` ('-' = stdout).
+void write_trace_output(const std::string& path, Tracer& tracer,
+                        std::ostream& out) {
+  if (path == "-") {
+    write_chrome_trace(out, tracer.drain(), tracer.dropped());
+    return;
   }
-  if (name == "balanced") {
-    return BindEffort::kBalanced;
+  std::ofstream file(path);
+  if (!file) {
+    throw std::invalid_argument("cannot write '" + path + "'");
   }
-  if (name == "max") {
-    return BindEffort::kMax;
-  }
-  throw std::invalid_argument("unknown effort '" + name + "'");
-}
-
-BindResult run_algorithm(const std::string& algorithm,
-                         const std::string& effort, const Dfg& dfg,
-                         const Datapath& dp, std::uint64_t seed,
-                         EvalEngine& engine, const CancelToken& cancel) {
-  if (algorithm == "b-iter") {
-    DriverParams params = driver_params_for(effort_by_name(effort));
-    params.engine = &engine;
-    params.cancel = cancel;
-    return bind_full(dfg, dp, params);
-  }
-  if (algorithm == "b-init") {
-    DriverParams params = driver_params_for(effort_by_name(effort));
-    params.run_iterative = false;
-    params.cancel = cancel;
-    return bind_initial_best(dfg, dp, params);
-  }
-  if (algorithm == "pcc") {
-    PccParams params;
-    params.cancel = cancel;
-    return pcc_binding(dfg, dp, params, nullptr, &engine);
-  }
-  if (cancel.armed()) {
-    throw std::invalid_argument("--deadline-ms is only supported for "
-                                "b-iter/b-init/pcc");
-  }
-  if (algorithm == "sa") {
-    AnnealingParams params;
-    params.seed = seed;
-    return annealing_binding(dfg, dp, params);
-  }
-  if (algorithm == "mincut") {
-    return mincut_binding(dfg, dp);
-  }
-  if (algorithm == "exhaustive") {
-    return exhaustive_binding(dfg, dp);
-  }
-  throw std::invalid_argument("unknown algorithm '" + algorithm + "'");
+  write_chrome_trace(file, tracer.drain(), tracer.dropped());
 }
 
 }  // namespace
@@ -252,64 +202,83 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   }
 
   try {
-    if (!opts.injects.empty()) {
-      if (!fault_injection_compiled()) {
-        err << "cvbind: warning: --inject ignored; rebuild with "
-               "-DCVB_FAULT_INJECTION=ON\n";
-      }
-      FaultInjector& injector = FaultInjector::global();
-      injector.disarm_all();
-      injector.set_seed(opts.inject_seed);
-      for (const std::string& spec : opts.injects) {
-        injector.arm_from_flag(spec);
-      }
-    }
-    std::string name;
-    const Dfg dfg = load_source(opts.source, name);
-    const Datapath dp = [&] {
-      if (opts.machine_file.empty()) {
-        return parse_datapath(opts.datapath, opts.buses, opts.move_latency);
-      }
+    arm_injection_flags("cvbind", opts.injects, opts.inject_seed, err);
+
+    BindRequest request;
+    request.dfg = load_source(opts.source, request.id);
+    if (opts.machine_file.empty()) {
+      request.datapath =
+          parse_datapath(opts.datapath, opts.buses, opts.move_latency);
+    } else {
       std::ifstream file(opts.machine_file);
       if (!file) {
         throw std::invalid_argument("cannot open '" + opts.machine_file +
                                     "'");
       }
-      return parse_machine_file(file).datapath;
-    }();
-    EvalEngineOptions engine_opts;
-    engine_opts.num_threads = opts.threads;
-    EvalEngine engine(engine_opts);
-    const CancelToken cancel =
-        opts.deadline_ms >= 0 ? CancelToken::after_ms(opts.deadline_ms)
-                              : CancelToken();
-    const BindResult result = run_algorithm(opts.algorithm, opts.effort, dfg,
-                                            dp, opts.seed, engine, cancel);
-    if (const std::string verr =
-            verify_schedule(result.bound, dp, result.schedule);
-        !verr.empty()) {
-      err << "cvbind: internal error, illegal schedule: " << verr << '\n';
-      return exit_code_for(BindStatus::kInternalError);
+      request.datapath = parse_machine_file(file).datapath;
+    }
+    request.algorithm = opts.algorithm;
+    request.effort = bind_effort_from_string(opts.effort);
+    request.seed = opts.seed;
+    request.num_threads = opts.threads;
+
+    const bool anytime = opts.algorithm == "b-iter" ||
+                         opts.algorithm == "b-init" ||
+                         opts.algorithm == "pcc";
+    if (opts.deadline_ms >= 0 && !anytime) {
+      throw std::invalid_argument("--deadline-ms is only supported for "
+                                  "b-iter/b-init/pcc");
     }
 
+    Tracer tracer;
+    RequestContext ctx;
+    if (opts.deadline_ms >= 0) {
+      ctx.cancel = CancelToken::after_ms(opts.deadline_ms);
+    }
+    if (!opts.trace_out.empty()) {
+      ctx.tracer = &tracer;
+    }
+
+    const BindResponse response = run_bind_request(request, ctx);
+    if (!opts.trace_out.empty()) {
+      write_trace_output(opts.trace_out, tracer, out);
+    }
+    if (response.status == BindStatus::kInvalidRequest) {
+      err << "cvbind: " << response.error << '\n';
+      return exit_code_for(response.status);
+    }
+    if (response.status == BindStatus::kInternalError) {
+      if (response.injected) {
+        // Injected faults are internal errors by construction, not bad
+        // input: keep the exit code honest for chaos-repro scripts.
+        err << "cvbind: injected fault: " << response.error << '\n';
+      } else {
+        err << "cvbind: internal error, " << response.error << '\n';
+      }
+      return exit_code_for(response.status);
+    }
+
+    const Dfg& dfg = request.dfg;
+    const Datapath& dp = request.datapath;
     for (const std::string& output : opts.outputs) {
       if (output == "summary") {
         const LatencyLowerBound lb = latency_lower_bound(dfg, dp);
-        out << name << " on " << dp.to_string() << " (" << dp.num_buses()
-            << " buses, lat(move)=" << dp.move_latency() << ", "
-            << opts.algorithm << "): L=" << result.schedule.latency
-            << " cycles, M=" << result.schedule.num_moves
+        out << request.id << " on " << dp.to_string() << " ("
+            << dp.num_buses() << " buses, lat(move)=" << dp.move_latency()
+            << ", " << opts.algorithm << "): L=" << response.schedule.latency
+            << " cycles, M=" << response.schedule.num_moves
             << " transfers, lower bound " << lb.combined << '\n';
       } else if (output == "report") {
         write_binding_report(
-            out, make_binding_report(result.bound, dp, result.schedule), dp);
+            out, make_binding_report(response.bound, dp, response.schedule),
+            dp);
       } else if (output == "gantt") {
-        write_gantt(out, result.bound, dp, result.schedule);
+        write_gantt(out, response.bound, dp, response.schedule);
       } else if (output == "asm") {
-        emit_vliw_asm(out, result.bound, dp, result.schedule);
+        emit_vliw_asm(out, response.bound, dp, response.schedule);
       } else if (output == "pressure") {
         const RegPressure p =
-            compute_reg_pressure(result.bound, dp, result.schedule);
+            compute_reg_pressure(response.bound, dp, response.schedule);
         out << "register pressure: centralized " << p.centralized_max_live;
         for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
           out << ", c" << c << " " << p.max_live[static_cast<std::size_t>(c)];
@@ -317,9 +286,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         out << '\n';
       } else if (output == "regalloc") {
         const RegAllocation alloc =
-            allocate_registers(result.bound, dp, result.schedule);
+            allocate_registers(response.bound, dp, response.schedule);
         if (const std::string aerr = verify_allocation(
-                result.bound, dp, result.schedule, alloc);
+                response.bound, dp, response.schedule, alloc);
             !aerr.empty()) {
           err << "cvbind: internal error, bad allocation: " << aerr << '\n';
           return exit_code_for(BindStatus::kInternalError);
@@ -333,8 +302,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       } else if (output == "check") {
         const std::vector<std::int64_t> inputs = {3,  -7, 11, 2,  -1, 5,
                                                   13, -4, 9,  6,  -8, 1};
-        const std::string cerr_msg =
-            check_semantics(dfg, result.bound, dp, result.schedule, inputs);
+        const std::string cerr_msg = check_semantics(
+            dfg, response.bound, dp, response.schedule, inputs);
         if (!cerr_msg.empty()) {
           err << "cvbind: semantic check FAILED: " << cerr_msg << '\n';
           return exit_code_for(BindStatus::kInternalError);
@@ -342,26 +311,26 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         out << "semantic check: scheduled code computes the original "
                "dataflow values\n";
       } else if (output == "dot") {
-        std::vector<int> place(result.bound.place.begin(),
-                               result.bound.place.end());
-        write_dot_bound(out, result.bound.graph, place, "bound");
+        std::vector<int> place(response.bound.place.begin(),
+                               response.bound.place.end());
+        write_dot_bound(out, response.bound.graph, place, "bound");
       } else if (output == "dfg") {
-        write_dfg_text(out, dfg, name);
+        write_dfg_text(out, dfg, request.id);
       } else {
         err << "cvbind: unknown output '" << output << "'\n";
         return 1;
       }
     }
     if (opts.stats) {
-      const EvalStats stats = engine.stats();
+      const EvalStats& stats = response.eval_stats;
       const double hit_pct =
           stats.candidates > 0
               ? 100.0 * static_cast<double>(stats.cache_hits) /
                     static_cast<double>(stats.candidates)
               : 0.0;
       out << "eval stats: " << stats.candidates << " candidates in "
-          << stats.batches << " batches on " << engine.num_threads()
-          << (engine.num_threads() == 1 ? " thread" : " threads") << ", "
+          << stats.batches << " batches on " << response.eval_threads
+          << (response.eval_threads == 1 ? " thread" : " threads") << ", "
           << format_sig(stats.eval_ms, 3) << " ms\n"
           << "eval cache: " << stats.cache_hits << " hits ("
           << format_sig(hit_pct, 3) << "%), " << stats.cache_misses
@@ -371,7 +340,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     if (!opts.stats_json.empty()) {
       const JsonValue stats_doc =
-          eval_stats_to_json(engine.stats(), engine.num_threads());
+          eval_stats_to_json(response.eval_stats, response.eval_threads);
       if (opts.stats_json == "-") {
         stats_doc.write(out, 2);
         out << '\n';
@@ -385,17 +354,17 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         file << '\n';
       }
     }
-    if (cancel.deadline_expired()) {
+    if (response.status == BindStatus::kDeadlineExceeded) {
       // Typed, distinct from a parse failure (exit 1): the run hit its
       // deadline and the result above is the verified best-so-far.
       err << "cvbind: deadline of " << opts.deadline_ms
           << " ms exceeded; printed the best binding found in time\n";
-      return exit_code_for(BindStatus::kDeadlineExceeded);
+      return exit_code_for(response.status);
     }
     return 0;
   } catch (const FaultInjectedError& e) {
-    // Injected faults are internal errors by construction, not bad
-    // input: keep the exit code honest for chaos-repro scripts.
+    // Faults injected outside run_bind_request (e.g. while parsing
+    // inputs) are still internal errors, not bad input.
     err << "cvbind: injected fault: " << e.what() << '\n';
     return exit_code_for(BindStatus::kInternalError);
   } catch (const std::exception& e) {

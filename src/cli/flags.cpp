@@ -1,0 +1,73 @@
+#include "cli/flags.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "support/fault.hpp"
+#include "support/strings.hpp"
+
+namespace cvb {
+
+void FlagSet::on_value(const std::string& name, ValueHandler handler) {
+  value_flags_[name] = std::move(handler);
+}
+
+void FlagSet::on_flag(const std::string& name, BoolHandler handler) {
+  bool_flags_[name] = std::move(handler);
+}
+
+void FlagSet::on_positional(ValueHandler handler) {
+  positional_ = std::move(handler);
+}
+
+void FlagSet::parse(const std::vector<std::string>& args) const {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (const auto it = bool_flags_.find(arg); it != bool_flags_.end()) {
+      it->second();
+      continue;
+    }
+    if (const auto it = value_flags_.find(arg); it != value_flags_.end()) {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      it->second(args[++i]);
+      continue;
+    }
+    if (positional_ && (arg.empty() || arg.front() != '-')) {
+      positional_(arg);
+      continue;
+    }
+    throw std::invalid_argument("unknown option '" + arg + "'");
+  }
+}
+
+int parse_int_at_least(const std::string& text, int min,
+                       const std::string& flag) {
+  const int value = parse_nonnegative_int(text);
+  if (value < min) {
+    throw std::invalid_argument(flag + " must be >= " + std::to_string(min));
+  }
+  return value;
+}
+
+void arm_injection_flags(const char* tool,
+                         const std::vector<std::string>& specs,
+                         std::uint64_t seed, std::ostream& err) {
+  if (specs.empty()) {
+    return;
+  }
+  if (!fault_injection_compiled()) {
+    err << tool << ": warning: --inject ignored; rebuild with "
+           "-DCVB_FAULT_INJECTION=ON\n";
+  }
+  FaultInjector& injector = FaultInjector::global();
+  injector.disarm_all();
+  injector.set_seed(seed);
+  for (const std::string& spec : specs) {
+    injector.arm_from_flag(spec);
+  }
+}
+
+}  // namespace cvb

@@ -1,0 +1,71 @@
+// Shared command-line parsing for the three front-ends (cvbind,
+// cvserve, cvpipe). Each tool used to hand-roll the same loop — flag
+// matching, "--x needs a value", unknown-option rejection — with
+// slightly drifting error text. FlagSet is that loop, once: tools
+// declare their flags with callbacks and get identical diagnostics.
+//
+//   FlagSet flags;
+//   flags.on_flag("--help", [&] { opts.help = true; });
+//   flags.on_value("--threads", [&](const std::string& v) { ... });
+//   flags.on_positional([&](const std::string& v) { ... });
+//   flags.parse(args);  // throws std::invalid_argument on bad input
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cvb {
+
+/// A declarative flag table. Parsing errors (unknown options, missing
+/// values, handler-thrown validation failures) surface as
+/// std::invalid_argument with the historical message texts:
+///   "<flag> needs a value"
+///   "unknown option '<arg>'"
+///   "unexpected argument '<arg>'" (from positional handlers)
+class FlagSet {
+ public:
+  using ValueHandler = std::function<void(const std::string&)>;
+  using BoolHandler = std::function<void()>;
+
+  /// Registers a flag that consumes the following argument. Register
+  /// aliases (e.g. "-h" for "--help") as separate entries.
+  void on_value(const std::string& name, ValueHandler handler);
+
+  /// Registers a flag with no value.
+  void on_flag(const std::string& name, BoolHandler handler);
+
+  /// Registers the handler for non-flag arguments. Without one, every
+  /// unmatched argument — dashed or not — is an unknown option (the
+  /// cvserve behaviour); with one, only dashed arguments are.
+  void on_positional(ValueHandler handler);
+
+  /// Parses `args` front to back, invoking handlers in order. Throws
+  /// std::invalid_argument on the first error.
+  void parse(const std::vector<std::string>& args) const;
+
+ private:
+  std::map<std::string, ValueHandler> value_flags_;
+  std::map<std::string, BoolHandler> bool_flags_;
+  ValueHandler positional_;
+};
+
+/// Parses a non-negative integer flag value and enforces a lower
+/// bound, throwing "<flag> must be >= <min>" below it.
+[[nodiscard]] int parse_int_at_least(const std::string& text, int min,
+                                     const std::string& flag);
+
+/// Arms the global fault injector from repeated --inject specs exactly
+/// the way all tools do it: warn on a build without
+/// -DCVB_FAULT_INJECTION=ON ("<tool>: warning: --inject ignored;
+/// rebuild with -DCVB_FAULT_INJECTION=ON"), disarm previous sites, set
+/// the seed, then arm each spec (throws std::invalid_argument on a
+/// malformed spec). No-op when `specs` is empty.
+void arm_injection_flags(const char* tool,
+                         const std::vector<std::string>& specs,
+                         std::uint64_t seed, std::ostream& err);
+
+}  // namespace cvb

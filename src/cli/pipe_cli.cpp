@@ -2,6 +2,7 @@
 #include <stdexcept>
 
 #include "cli/cli.hpp"
+#include "cli/flags.hpp"
 #include "machine/parser.hpp"
 #include "modulo/expand.hpp"
 #include "modulo/loop_kernels.hpp"
@@ -64,38 +65,37 @@ int run_pipe_cli(const std::vector<std::string>& args, std::ostream& out,
   int buses = 2;
   int move_latency = 1;
   int iterations = 0;
+  bool help = false;
+  bool list_loops = false;
   try {
-    for (std::size_t i = 0; i < args.size(); ++i) {
-      const std::string& arg = args[i];
-      const auto value = [&] {
-        if (i + 1 >= args.size()) {
-          throw std::invalid_argument(arg + " needs a value");
-        }
-        return args[++i];
-      };
-      if (arg == "--help" || arg == "-h") {
-        out << pipe_cli_usage();
-        return 0;
-      }
-      if (arg == "--list-loops") {
-        out << "dot dot4 biquad cmac lattice2 lattice3\n";
-        return 0;
-      }
-      if (arg == "--datapath") {
-        datapath = value();
-      } else if (arg == "--buses") {
-        buses = parse_nonnegative_int(value());
-      } else if (arg == "--move-latency") {
-        move_latency = parse_nonnegative_int(value());
-      } else if (arg == "--iterations") {
-        iterations = parse_nonnegative_int(value());
-      } else if (!arg.empty() && arg.front() == '-') {
-        throw std::invalid_argument("unknown option '" + arg + "'");
-      } else if (loop_name.empty()) {
-        loop_name = arg;
-      } else {
+    FlagSet flags;
+    flags.on_flag("--help", [&] { help = true; });
+    flags.on_flag("-h", [&] { help = true; });
+    flags.on_flag("--list-loops", [&] { list_loops = true; });
+    flags.on_value("--datapath", [&](const std::string& v) { datapath = v; });
+    flags.on_value("--buses", [&](const std::string& v) {
+      buses = parse_nonnegative_int(v);
+    });
+    flags.on_value("--move-latency", [&](const std::string& v) {
+      move_latency = parse_nonnegative_int(v);
+    });
+    flags.on_value("--iterations", [&](const std::string& v) {
+      iterations = parse_nonnegative_int(v);
+    });
+    flags.on_positional([&](const std::string& arg) {
+      if (!loop_name.empty()) {
         throw std::invalid_argument("unexpected argument '" + arg + "'");
       }
+      loop_name = arg;
+    });
+    flags.parse(args);
+    if (help) {
+      out << pipe_cli_usage();
+      return 0;
+    }
+    if (list_loops) {
+      out << "dot dot4 biquad cmac lattice2 lattice3\n";
+      return 0;
     }
     if (loop_name.empty()) {
       throw std::invalid_argument("no loop name given");

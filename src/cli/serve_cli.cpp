@@ -9,8 +9,14 @@
 //  * --socket PATH: a Unix-domain stream socket serving one connection
 //    at a time with the same NDJSON protocol (--once exits after the
 //    first connection, which is how the tests drive it).
+//
+// Observability: --trace arms a Tracer shared by every job the
+// service runs; {"cmd":"trace"} drains it over the wire, --trace-out
+// writes whatever is left at exit, and --metrics-text exports the
+// metrics registry as Prometheus text at exit.
 #include <atomic>
 #include <condition_variable>
+#include <fstream>
 #include <istream>
 #include <mutex>
 #include <ostream>
@@ -20,9 +26,11 @@
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "cli/flags.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CVB_HAVE_UNIX_SOCKETS 1
@@ -56,6 +64,19 @@ options:
                       and recycle their worker (default 0 = off)
   --step-budget N     default scheduler step budget per job
                       (default 0 = unlimited)
+  --trace             record spans for every job; {"cmd":"trace"}
+                      returns (and drains) them as one Chrome
+                      trace_event JSON response line
+  --trace-out FILE    at exit, write the remaining spans as Chrome
+                      trace_event JSON to FILE ('-' = stdout);
+                      implies --trace
+  --metrics-text FILE at exit, write the metrics registry in
+                      Prometheus text format to FILE ('-' = stdout)
+  --inject SPEC       arm a fault-injection site, as
+                      site:rate[:class[:hang_ms]] (repeatable);
+                      requires -DCVB_FAULT_INJECTION=ON (warns
+                      otherwise)
+  --inject-seed N     seed of the deterministic injection stream
   --socket PATH       serve a Unix-domain socket instead of stdio
   --once              with --socket: exit after the first connection
   --help              this text
@@ -73,70 +94,69 @@ struct ServeOptions {
   ServiceOptions service;
   std::string socket_path;
   bool once = false;
+  bool trace = false;
+  std::string trace_out;
+  std::string metrics_text;
+  std::vector<std::string> injects;
+  std::uint64_t inject_seed = 0x5eedf417ULL;
   bool help = false;
 };
 
 ServeOptions parse_serve_args(const std::vector<std::string>& args) {
   ServeOptions opts;
-  const auto value_of = [&](std::size_t& i, const std::string& flag) {
-    if (i + 1 >= args.size()) {
-      throw std::invalid_argument(flag + " needs a value");
-    }
-    return args[++i];
-  };
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    if (arg == "--help" || arg == "-h") {
-      opts.help = true;
-    } else if (arg == "--workers") {
-      opts.service.num_workers = parse_nonnegative_int(value_of(i, arg));
-      if (opts.service.num_workers < 1) {
-        throw std::invalid_argument("--workers must be >= 1");
-      }
-    } else if (arg == "--queue") {
-      opts.service.queue_capacity = static_cast<std::size_t>(
-          parse_nonnegative_int(value_of(i, arg)));
-    } else if (arg == "--overflow") {
-      const std::string policy = value_of(i, arg);
-      if (policy == "reject") {
-        opts.service.overflow = OverflowPolicy::kReject;
-      } else if (policy == "shed-oldest") {
-        opts.service.overflow = OverflowPolicy::kShedOldest;
-      } else {
-        throw std::invalid_argument("unknown overflow policy '" + policy +
-                                    "'");
-      }
-    } else if (arg == "--deadline-ms") {
-      opts.service.default_deadline_ms =
-          parse_nonnegative_int(value_of(i, arg));
-    } else if (arg == "--threads") {
-      opts.service.engine.num_threads = parse_nonnegative_int(value_of(i, arg));
-      if (opts.service.engine.num_threads < 1) {
-        throw std::invalid_argument("--threads must be >= 1");
-      }
-    } else if (arg == "--retries") {
-      opts.service.resilience.max_attempts =
-          parse_nonnegative_int(value_of(i, arg));
-      if (opts.service.resilience.max_attempts < 1) {
-        throw std::invalid_argument("--retries must be >= 1");
-      }
-    } else if (arg == "--quarantine") {
-      opts.service.resilience.quarantine_threshold =
-          parse_nonnegative_int(value_of(i, arg));
-    } else if (arg == "--hang-budget-ms") {
-      opts.service.resilience.hang_budget_ms =
-          parse_nonnegative_int(value_of(i, arg));
-    } else if (arg == "--step-budget") {
-      opts.service.resilience.step_budget =
-          parse_nonnegative_int(value_of(i, arg));
-    } else if (arg == "--socket") {
-      opts.socket_path = value_of(i, arg);
-    } else if (arg == "--once") {
-      opts.once = true;
+  FlagSet flags;
+  flags.on_flag("--help", [&] { opts.help = true; });
+  flags.on_flag("-h", [&] { opts.help = true; });
+  flags.on_flag("--once", [&] { opts.once = true; });
+  flags.on_flag("--trace", [&] { opts.trace = true; });
+  flags.on_value("--workers", [&](const std::string& v) {
+    opts.service.num_workers = parse_int_at_least(v, 1, "--workers");
+  });
+  flags.on_value("--queue", [&](const std::string& v) {
+    opts.service.queue_capacity =
+        static_cast<std::size_t>(parse_nonnegative_int(v));
+  });
+  flags.on_value("--overflow", [&](const std::string& policy) {
+    if (policy == "reject") {
+      opts.service.overflow = OverflowPolicy::kReject;
+    } else if (policy == "shed-oldest") {
+      opts.service.overflow = OverflowPolicy::kShedOldest;
     } else {
-      throw std::invalid_argument("unknown option '" + arg + "'");
+      throw std::invalid_argument("unknown overflow policy '" + policy +
+                                  "'");
     }
-  }
+  });
+  flags.on_value("--deadline-ms", [&](const std::string& v) {
+    opts.service.default_deadline_ms = parse_nonnegative_int(v);
+  });
+  flags.on_value("--threads", [&](const std::string& v) {
+    opts.service.engine.num_threads = parse_int_at_least(v, 1, "--threads");
+  });
+  flags.on_value("--retries", [&](const std::string& v) {
+    opts.service.resilience.max_attempts =
+        parse_int_at_least(v, 1, "--retries");
+  });
+  flags.on_value("--quarantine", [&](const std::string& v) {
+    opts.service.resilience.quarantine_threshold = parse_nonnegative_int(v);
+  });
+  flags.on_value("--hang-budget-ms", [&](const std::string& v) {
+    opts.service.resilience.hang_budget_ms = parse_nonnegative_int(v);
+  });
+  flags.on_value("--step-budget", [&](const std::string& v) {
+    opts.service.resilience.step_budget = parse_nonnegative_int(v);
+  });
+  flags.on_value("--trace-out",
+                 [&](const std::string& v) { opts.trace_out = v; });
+  flags.on_value("--metrics-text",
+                 [&](const std::string& v) { opts.metrics_text = v; });
+  flags.on_value("--inject",
+                 [&](const std::string& v) { opts.injects.push_back(v); });
+  flags.on_value("--inject-seed", [&](const std::string& v) {
+    opts.inject_seed = static_cast<std::uint64_t>(parse_nonnegative_int(v));
+  });
+  flags.on_value("--socket",
+                 [&](const std::string& v) { opts.socket_path = v; });
+  flags.parse(args);
   return opts;
 }
 
@@ -171,8 +191,10 @@ bool read_request_line(std::istream& in, std::string& line, bool* overflow) {
 /// jobs asynchronously; responses are written (mutex-serialized, one
 /// line each, flushed) as jobs complete. Returns once every submitted
 /// job has been answered. Malformed lines produce one structured error
-/// response each and never abort the stream.
-void serve_stream(Service& service, std::istream& in, std::ostream& out) {
+/// response each and never abort the stream. `tracer` answers
+/// {"cmd":"trace"} (null = tracing disabled, a structured error).
+void serve_stream(Service& service, Tracer* tracer, std::istream& in,
+                  std::ostream& out) {
   std::mutex out_mutex;
   std::atomic<long long> outstanding{0};
   std::mutex done_mutex;
@@ -209,6 +231,15 @@ void serve_stream(Service& service, std::istream& in, std::ostream& out) {
     }
     if (request.kind == ServeRequest::Kind::kMetrics) {
       respond(service.metrics_snapshot());
+      continue;
+    }
+    if (request.kind == ServeRequest::Kind::kTrace) {
+      if (tracer == nullptr) {
+        respond(invalid_request_json(
+            "tracing is not enabled; restart cvserve with --trace"));
+      } else {
+        respond(chrome_trace_json(tracer->drain(), tracer->dropped()));
+      }
       continue;
     }
     outstanding.fetch_add(1, std::memory_order_relaxed);
@@ -274,8 +305,8 @@ class FdStreambuf : public std::streambuf {
   char in_buf_[4096];
 };
 
-int serve_socket(Service& service, const std::string& path, bool once,
-                 std::ostream& err) {
+int serve_socket(Service& service, Tracer* tracer, const std::string& path,
+                 bool once, std::ostream& err) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     err << "cvserve: cannot create socket\n";
@@ -306,7 +337,7 @@ int serve_socket(Service& service, const std::string& path, bool once,
     FdStreambuf buf_out(conn);
     std::istream in(&buf_in);
     std::ostream out(&buf_out);
-    serve_stream(service, in, out);
+    serve_stream(service, tracer, in, out);
     ::close(conn);
     if (once) {
       break;
@@ -318,6 +349,23 @@ int serve_socket(Service& service, const std::string& path, bool once,
 }
 
 #endif  // CVB_HAVE_UNIX_SOCKETS
+
+/// Writes `text` to `path` ('-' = `out`). Returns false (after a
+/// message on `err`) when the file cannot be opened.
+bool write_text_output(const std::string& path, const std::string& text,
+                       std::ostream& out, std::ostream& err) {
+  if (path == "-") {
+    out << text;
+    return true;
+  }
+  std::ofstream file(path);
+  if (!file) {
+    err << "cvserve: cannot write '" << path << "'\n";
+    return false;
+  }
+  file << text;
+  return true;
+}
 
 }  // namespace
 
@@ -334,18 +382,49 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
     out << serve_cli_usage();
     return 0;
   }
+  try {
+    arm_injection_flags("cvserve", opts.injects, opts.inject_seed, err);
+  } catch (const std::invalid_argument& e) {
+    err << "cvserve: " << e.what() << '\n';
+    return 1;
+  }
+
+  Tracer tracer;
+  const bool tracing = opts.trace || !opts.trace_out.empty();
+  Tracer* trace_ptr = tracing ? &tracer : nullptr;
+  opts.service.tracer = trace_ptr;
 
   Service service(opts.service);
+  int rc = 0;
   if (!opts.socket_path.empty()) {
 #ifdef CVB_HAVE_UNIX_SOCKETS
-    return serve_socket(service, opts.socket_path, opts.once, err);
+    rc = serve_socket(service, trace_ptr, opts.socket_path, opts.once, err);
 #else
     err << "cvserve: --socket is not supported on this platform\n";
     return 1;
 #endif
+  } else {
+    serve_stream(service, trace_ptr, in, out);
   }
-  serve_stream(service, in, out);
-  return 0;
+
+  // Exit-time exports. The service is still alive (workers idle), so
+  // both reads are race-free and complete.
+  if (!opts.trace_out.empty()) {
+    std::ostringstream text;
+    write_chrome_trace(text, tracer.drain(), tracer.dropped());
+    if (!write_text_output(opts.trace_out, text.str(), out, err) &&
+        rc == 0) {
+      rc = 1;
+    }
+  }
+  if (!opts.metrics_text.empty()) {
+    if (!write_text_output(opts.metrics_text,
+                           service.metrics().prometheus_text(), out, err) &&
+        rc == 0) {
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace cvb

@@ -9,6 +9,7 @@
 #include "bind/eval_engine.hpp"
 #include "graph/analysis.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace cvb {
 
@@ -74,13 +75,15 @@ namespace {
 /// happens only on the final result.
 Binding pcc_improve(const Dfg& dfg, const Datapath& dp, Binding binding,
                     int max_iterations, const CancelToken& cancel,
-                    long long step_budget, EvalEngine& engine) {
+                    long long step_budget, Tracer* tracer,
+                    EvalEngine& engine) {
   if (cancel.stop_requested()) {
     return binding;  // anytime: the greedy assignment is the result
   }
   ListSchedulerOptions approx;
   approx.unbounded_bus = true;
   approx.step_budget = step_budget;
+  approx.tracer = tracer;
   const auto key = [](const EvalResult& r) {
     return std::make_pair(r.latency, r.num_moves);
   };
@@ -288,15 +291,23 @@ BindResult pcc_binding(const Dfg& dfg, const Datapath& dp,
     if (have_best && params.cancel.stop_requested()) {
       break;  // keep the best completed partition
     }
+    ScopedSpan partition(params.tracer, "pcc.partition");
     const std::vector<int> label = pcc_partial_components(dfg, cap);
     Binding binding = assign_components(dfg, dp, label, params.load_weight);
     binding = pcc_improve(dfg, dp, std::move(binding), params.max_iterations,
-                          params.cancel, params.step_budget, *engine);
+                          params.cancel, params.step_budget, params.tracer,
+                          *engine);
     ListSchedulerOptions exact;
     exact.step_budget = params.step_budget;
+    exact.tracer = params.tracer;
     BindResult candidate =
         evaluate_binding(dfg, dp, std::move(binding), exact);
     ++tried;
+    if (partition.enabled()) {
+      partition.attr("cap", cap);
+      partition.attr("latency", candidate.schedule.latency);
+      partition.attr("moves", candidate.schedule.num_moves);
+    }
     const auto key = [](const BindResult& r) {
       return std::make_pair(r.schedule.latency, r.schedule.num_moves);
     };

@@ -31,6 +31,7 @@
 namespace cvb {
 
 class EvalEngine;
+class Tracer;
 
 /// PCC configuration.
 struct PccParams {
@@ -52,6 +53,9 @@ struct PccParams {
   /// approximate in-loop scheduler and the exact final one); 0 =
   /// unlimited. Overruns surface as cvb::ResourceLimitError.
   long long step_budget = 0;
+  /// Span recorder ("pcc.partition" per component cap, plus the
+  /// scheduler/eval spans underneath); null = tracing off.
+  Tracer* tracer = nullptr;
 };
 
 /// Diagnostics of a PCC run.

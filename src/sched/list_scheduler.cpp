@@ -7,6 +7,7 @@
 
 #include "graph/analysis.hpp"
 #include "support/fault.hpp"
+#include "support/trace.hpp"
 
 namespace cvb {
 
@@ -48,6 +49,7 @@ class ResourcePool {
 
 Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
                        const ListSchedulerOptions& options) {
+  ScopedSpan span(options.tracer, "sched.list", options.trace_parent);
   const Dfg& g = bound.graph;
   const int n = g.num_ops();
   const LatencyTable& lat = dp.latencies();
@@ -161,6 +163,11 @@ Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
   }
 
   sched.latency = schedule_latency(bound, sched.start, lat);
+  if (span.enabled()) {
+    span.attr("latency", sched.latency);
+    span.attr("moves", sched.num_moves);
+    span.attr("steps", steps);
+  }
   return sched;
 }
 

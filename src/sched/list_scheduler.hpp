@@ -14,11 +14,15 @@
 // order, computed on the *bound* graph.
 #pragma once
 
+#include <cstdint>
+
 #include "bind/bound_dfg.hpp"
 #include "machine/datapath.hpp"
 #include "sched/schedule.hpp"
 
 namespace cvb {
+
+class Tracer;
 
 /// Scheduler accuracy knobs.
 struct ListSchedulerOptions {
@@ -34,6 +38,15 @@ struct ListSchedulerOptions {
   /// Does not affect results when it does not fire, so it is excluded
   /// from the EvalEngine cache signature.
   long long step_budget = 0;
+  /// Span recorder for this invocation ("sched.list" spans with
+  /// latency/moves/steps attributes). Null = tracing off. Like
+  /// step_budget, tracing never changes results and is excluded from
+  /// the EvalEngine cache signature.
+  Tracer* tracer = nullptr;
+  /// Parent span id for sched.list spans when the scheduler runs on a
+  /// different thread than the logical parent (EvalEngine pool tasks);
+  /// 0 = use the calling thread's innermost open span.
+  std::uint64_t trace_parent = 0;
 };
 
 /// Schedules `bound` on `dp`. Always succeeds for a valid bound DFG

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "bind/effort.hpp"
 #include "io/dfg_text.hpp"
 #include "kernels/kernels.hpp"
 #include "machine/machine_file.hpp"
@@ -33,19 +34,6 @@ const JsonValue* opt_number(const JsonValue& obj, std::string_view key) {
   return require_kind(obj, key, JsonValue::Kind::kNumber, "number");
 }
 
-BindEffort effort_from_name(const std::string& name) {
-  if (name == "fast") {
-    return BindEffort::kFast;
-  }
-  if (name == "balanced") {
-    return BindEffort::kBalanced;
-  }
-  if (name == "max") {
-    return BindEffort::kMax;
-  }
-  throw std::invalid_argument("unknown effort '" + name + "'");
-}
-
 }  // namespace
 
 ServeRequest parse_serve_request(const std::string& line) {
@@ -58,6 +46,10 @@ ServeRequest parse_serve_request(const std::string& line) {
   if (const JsonValue* cmd = opt_string(doc, "cmd"); cmd != nullptr) {
     if (cmd->as_string() == "metrics") {
       request.kind = ServeRequest::Kind::kMetrics;
+      return request;
+    }
+    if (cmd->as_string() == "trace") {
+      request.kind = ServeRequest::Kind::kTrace;
       return request;
     }
     if (cmd->as_string() == "quit") {
@@ -114,7 +106,7 @@ ServeRequest parse_serve_request(const std::string& line) {
     job.algorithm = algo->as_string();
   }
   if (const JsonValue* effort = opt_string(doc, "effort"); effort != nullptr) {
-    job.effort = effort_from_name(effort->as_string());
+    job.effort = bind_effort_from_string(effort->as_string());
   }
   if (const JsonValue* deadline = opt_number(doc, "deadline_ms");
       deadline != nullptr) {
@@ -159,6 +151,14 @@ JsonValue outcome_to_json(const BindOutcome& outcome) {
   }
   out.set("queue_ms", outcome.queue_ms);
   out.set("run_ms", outcome.run_ms);
+  // Per-response timing breakdown: where this request's wall time went
+  // (queue wait vs execution vs scheduler evaluation inside it).
+  JsonValue timings = JsonValue::object();
+  timings.set("queue_ms", outcome.queue_ms);
+  timings.set("run_ms", outcome.run_ms);
+  timings.set("eval_ms", outcome.eval_stats.eval_ms);
+  timings.set("eval_candidates", outcome.eval_stats.candidates);
+  out.set("timings", std::move(timings));
   return out;
 }
 
@@ -188,26 +188,6 @@ std::string extract_request_id(const std::string& line) noexcept {
     // Malformed JSON: no id to recover.
   }
   return "";
-}
-
-JsonValue eval_stats_to_json(const EvalStats& stats, int num_threads) {
-  JsonValue out = JsonValue::object();
-  out.set("threads", num_threads);
-  out.set("candidates", stats.candidates);
-  out.set("batches", stats.batches);
-  out.set("cache_hits", stats.cache_hits);
-  out.set("cache_misses", stats.cache_misses);
-  out.set("cache_evictions", stats.cache_evictions);
-  out.set("cache_hit_rate",
-          stats.candidates > 0
-              ? static_cast<double>(stats.cache_hits) /
-                    static_cast<double>(stats.candidates)
-              : 0.0);
-  out.set("improver_candidates", stats.improver_candidates);
-  out.set("pcc_candidates", stats.pcc_candidates);
-  out.set("explore_jobs", stats.explore_jobs);
-  out.set("eval_ms", stats.eval_ms);
-  return out;
 }
 
 }  // namespace cvb

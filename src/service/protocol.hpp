@@ -11,11 +11,15 @@
 //   {"id":"j2","dfg":"dfg t\nop 0 add a\n...","datapath":"[1,1|1,1]"}
 // Control requests:
 //   {"cmd":"metrics"}   -> one metrics-snapshot response line
+//   {"cmd":"trace"}     -> one Chrome trace_event JSON line (drains the
+//                          tracer; invalid_request when tracing is off)
 //   {"cmd":"quit"}      -> drain and close the stream
 //
 // Job response:
 //   {"id":"j1","status":"ok","latency":18,"moves":4,
-//    "binding":[0,1,...],"queue_ms":0.1,"run_ms":42.0}
+//    "binding":[0,1,...],"queue_ms":0.1,"run_ms":42.0,
+//    "timings":{"queue_ms":...,"run_ms":...,"eval_ms":...,
+//               "eval_candidates":...}}
 // Non-ok statuses (see service/status.hpp) carry "error";
 // "deadline_exceeded" still carries the anytime binding fields.
 #pragma once
@@ -30,7 +34,7 @@ namespace cvb {
 
 /// One parsed request line.
 struct ServeRequest {
-  enum class Kind { kJob, kMetrics, kQuit };
+  enum class Kind { kJob, kMetrics, kTrace, kQuit };
   Kind kind = Kind::kJob;
   BindJob job;  // meaningful when kind == kJob
 };
@@ -57,10 +61,5 @@ struct ServeRequest {
 /// request id whenever the JSON parses that far. Never throws; returns
 /// "" when no id is recoverable.
 [[nodiscard]] std::string extract_request_id(const std::string& line) noexcept;
-
-/// Machine-readable form of the evaluation-engine counters — shared by
-/// the service metrics snapshot and `cvbind --stats-json`.
-[[nodiscard]] JsonValue eval_stats_to_json(const EvalStats& stats,
-                                           int num_threads);
 
 }  // namespace cvb

@@ -8,6 +8,7 @@
 #include "bind/driver.hpp"
 #include "sched/verifier.hpp"
 #include "service/service.hpp"
+#include "support/trace.hpp"
 
 namespace cvb {
 
@@ -154,13 +155,14 @@ BindOutcome run_bind_job_resilient(const BindJob& job, EvalEngine& engine,
                                    const CancelToken& cancel,
                                    const ResilienceOptions& options,
                                    Quarantine* quarantine,
-                                   MetricsRegistry* metrics) {
+                                   MetricsRegistry* metrics, Tracer* tracer) {
   const std::uint64_t key = quarantine_key(job);
   if (quarantine != nullptr &&
       quarantine->is_quarantined(key, options.quarantine_threshold)) {
     if (metrics != nullptr) {
       metrics->counter("jobs_quarantine_hits").inc();
     }
+    ScopedSpan degraded(tracer, "service.degraded");
     BindOutcome outcome = run_degraded_job(job);
     if (outcome.status == BindStatus::kDegraded) {
       outcome.error = "job key quarantined after " +
@@ -174,22 +176,30 @@ BindOutcome run_bind_job_resilient(const BindJob& job, EvalEngine& engine,
   if (effective.step_budget == 0) {
     effective.step_budget = options.step_budget;
   }
+  RequestContext ctx;
+  ctx.cancel = cancel;
+  ctx.tracer = tracer;
 
   Rng rng(options.jitter_seed ^ key);
   double prev_delay_ms = options.backoff_base_ms;
   const int max_attempts = std::max(1, options.max_attempts);
   BindOutcome outcome;
   for (int attempt = 1;; ++attempt) {
-    try {
-      CVB_INJECT("service.worker");
-      CVB_INJECT("service.hang");
-      outcome = run_bind_job(effective, engine, cancel);
-    } catch (const FaultInjectedError& e) {
-      outcome = BindOutcome{};
-      outcome.id = job.id;
-      outcome.status = BindStatus::kInternalError;
-      outcome.fault = e.fault_class();
-      outcome.error = e.what();
+    {
+      ScopedSpan attempt_span(tracer, "service.attempt");
+      attempt_span.attr("attempt", attempt);
+      try {
+        CVB_INJECT("service.worker");
+        CVB_INJECT("service.hang");
+        outcome = run_bind_request(effective, ctx, &engine);
+      } catch (const FaultInjectedError& e) {
+        outcome = BindOutcome{};
+        outcome.id = job.id;
+        outcome.status = BindStatus::kInternalError;
+        outcome.fault = e.fault_class();
+        outcome.error = e.what();
+        outcome.injected = true;
+      }
     }
     outcome.attempts = attempt;
     const bool failed = outcome.status == BindStatus::kInternalError ||
@@ -208,6 +218,8 @@ BindOutcome run_bind_job_resilient(const BindJob& job, EvalEngine& engine,
     const double delay_ms = decorrelated_jitter_ms(
         options.backoff_base_ms, options.backoff_cap_ms, prev_delay_ms, rng);
     prev_delay_ms = delay_ms;
+    ScopedSpan backoff(tracer, "service.backoff");
+    backoff.attr("delay_ms", delay_ms);
     interruptible_sleep_ms(delay_ms, cancel);
   }
 

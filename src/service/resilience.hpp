@@ -28,6 +28,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "api/api.hpp"
 #include "bind/binding.hpp"
 #include "bind/eval_engine.hpp"
 #include "graph/dfg.hpp"
@@ -38,8 +39,7 @@
 
 namespace cvb {
 
-struct BindJob;
-struct BindOutcome;
+class Tracer;
 
 /// Recovery policy knobs (part of ServiceOptions).
 struct ResilienceOptions {
@@ -117,10 +117,12 @@ class Quarantine {
 /// The resilient execution wrapper the service workers run: quarantine
 /// short-circuit, attempt loop with retry-on-transient, and failure
 /// bookkeeping. `quarantine` and `metrics` may be null (both are then
-/// skipped — the bare retry loop remains).
+/// skipped — the bare retry loop remains); `tracer` records
+/// service.attempt / service.backoff / service.degraded spans when
+/// set.
 [[nodiscard]] BindOutcome run_bind_job_resilient(
     const BindJob& job, EvalEngine& engine, const CancelToken& cancel,
     const ResilienceOptions& options, Quarantine* quarantine,
-    MetricsRegistry* metrics);
+    MetricsRegistry* metrics, Tracer* tracer = nullptr);
 
 }  // namespace cvb

@@ -3,10 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
-#include "pcc/pcc.hpp"
-#include "sched/verifier.hpp"
-#include "service/protocol.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace cvb {
 
@@ -30,85 +28,11 @@ struct Service::Pending {
 
 BindOutcome run_bind_job(const BindJob& job, EvalEngine& engine,
                          const CancelToken& cancel) {
-  BindOutcome outcome;
-  outcome.id = job.id;
-  BindResult result;
-  try {
-    if (job.algorithm == "b-iter" || job.algorithm == "b-init") {
-      DriverParams params = driver_params_for(job.effort);
-      params.engine = &engine;
-      params.cancel = cancel;
-      params.sched.step_budget = job.step_budget;
-      if (job.algorithm == "b-init") {
-        params.run_iterative = false;
-        result = bind_initial_best(job.dfg, job.datapath, params);
-      } else {
-        result = bind_full(job.dfg, job.datapath, params);
-      }
-    } else if (job.algorithm == "pcc") {
-      PccParams params;
-      params.cancel = cancel;
-      params.step_budget = job.step_budget;
-      result = pcc_binding(job.dfg, job.datapath, params, nullptr, &engine);
-    } else {
-      outcome.status = BindStatus::kInvalidRequest;
-      outcome.fault = FaultClass::kPoison;
-      outcome.error = "unknown algorithm '" + job.algorithm + "'";
-      return outcome;
-    }
-  } catch (const FaultInjectedError& e) {
-    // The injection site declares its own class — trust it, so chaos
-    // runs exercise exactly the recovery path they intend to.
-    outcome.status = BindStatus::kInternalError;
-    outcome.fault = e.fault_class();
-    outcome.error = e.what();
-    return outcome;
-  } catch (const ResourceLimitError& e) {
-    // The input blew a configured guard: deterministic, never retried.
-    outcome.status = BindStatus::kInvalidRequest;
-    outcome.fault = FaultClass::kPoison;
-    outcome.error = e.what();
-    return outcome;
-  } catch (const std::invalid_argument& e) {
-    outcome.status = BindStatus::kInvalidRequest;
-    outcome.fault = FaultClass::kPoison;
-    outcome.error = e.what();
-    return outcome;
-  } catch (const std::logic_error& e) {
-    outcome.status = BindStatus::kInternalError;
-    outcome.fault = FaultClass::kFatal;
-    outcome.error = e.what();
-    return outcome;
-  } catch (const std::exception& e) {
-    outcome.status = BindStatus::kInternalError;
-    outcome.fault = FaultClass::kTransient;
-    outcome.error = e.what();
-    return outcome;
-  }
-
-  // Every result leaving the service is re-verified: a scheduler or
-  // cancellation bug degrades to a typed internal error, never to a
-  // silently illegal binding.
-  if (const std::string verr =
-          verify_schedule(result.bound, job.datapath, result.schedule);
-      !verr.empty()) {
-    outcome.status = BindStatus::kInternalError;
-    outcome.fault = FaultClass::kFatal;
-    outcome.error = "illegal schedule: " + verr;
-    return outcome;
-  }
-
-  outcome.binding = std::move(result.binding);
-  outcome.latency = result.schedule.latency;
-  outcome.moves = result.schedule.num_moves;
-  if (cancel.cancelled()) {
-    outcome.status = BindStatus::kCancelled;
-  } else if (cancel.deadline_expired()) {
-    outcome.status = BindStatus::kDeadlineExceeded;
-  } else {
-    outcome.status = BindStatus::kOk;
-  }
-  return outcome;
+  // Thin compatibility wrapper: the execution core (dispatch, typed
+  // status ladder, re-verification) lives in api/api.cpp.
+  RequestContext ctx;
+  ctx.cancel = cancel;
+  return run_bind_request(job, ctx, &engine);
 }
 
 Service::Service(ServiceOptions options) : options_(std::move(options)) {
@@ -187,6 +111,10 @@ void Service::submit(BindJob job, std::function<void(BindOutcome)> done) {
 
 void Service::admit(std::shared_ptr<Pending> pending) {
   metrics_.counter("jobs_submitted").inc();
+  ScopedSpan span(options_.tracer, "service.admit");
+  if (span.enabled() && !pending->job.id.empty()) {
+    span.attr("id", pending->job.id);
+  }
   try {
     CVB_INJECT("service.admit");
   } catch (const FaultInjectedError& e) {
@@ -293,15 +221,22 @@ void Service::worker_loop() {
 
     const double queue_ms = pending->submitted.elapsed_ms();
     Stopwatch run_watch;
+    ScopedSpan job_span(options_.tracer, "service.job");
+    if (job_span.enabled()) {
+      job_span.attr("id", pending->job.id);
+      job_span.attr("algorithm", pending->job.algorithm);
+      job_span.attr("queue_ms", queue_ms);
+    }
     // Register the job's token so injected cooperative hangs can be
     // rescued by the watchdog firing it.
     FaultInjector::set_thread_cancel(&pending->cancel);
-    BindOutcome outcome =
-        run_bind_job_resilient(pending->job, *engine_, pending->cancel,
-                               options_.resilience, &quarantine_, &metrics_);
+    BindOutcome outcome = run_bind_job_resilient(
+        pending->job, *engine_, pending->cancel, options_.resilience,
+        &quarantine_, &metrics_, options_.tracer);
     FaultInjector::set_thread_cancel(nullptr);
     outcome.queue_ms = queue_ms;
     outcome.run_ms = run_watch.elapsed_ms();
+    job_span.finish();
     if (pending->watchdog_fired.load() && outcome.error.empty()) {
       outcome.error = "watchdog: hang budget exceeded";
     }

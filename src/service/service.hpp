@@ -44,11 +44,8 @@
 #include <thread>
 #include <vector>
 
-#include "bind/driver.hpp"
+#include "api/api.hpp"
 #include "bind/eval_engine.hpp"
-#include "graph/dfg.hpp"
-#include "machine/datapath.hpp"
-#include "machine/parser.hpp"
 #include "service/resilience.hpp"
 #include "service/status.hpp"
 #include "support/cancel.hpp"
@@ -57,6 +54,8 @@
 #include "support/metrics.hpp"
 
 namespace cvb {
+
+class Tracer;
 
 /// What to do with a new job when the queue is at capacity.
 enum class OverflowPolicy {
@@ -80,39 +79,16 @@ struct ServiceOptions {
   /// Recovery policy: retry/backoff, quarantine thresholds, watchdog
   /// hang budget, default scheduler step budget.
   ResilienceOptions resilience;
+  /// Span recorder covering the service's whole lifetime (admission,
+  /// queue wait, worker runs, retries, and everything beneath); null =
+  /// tracing off. Not owned; must outlive the service.
+  Tracer* tracer = nullptr;
 };
 
-/// One binding request.
-struct BindJob {
-  std::string id;           ///< echoed in the outcome ("" = auto "job-N")
-  Dfg dfg;
-  Datapath datapath = parse_datapath("[1,1|1,1]");
-  std::string algorithm = "b-iter";  ///< b-iter | b-init | pcc
-  BindEffort effort = BindEffort::kBalanced;
-  double deadline_ms = 0.0;  ///< 0 = use the service default
-  /// Scheduler step budget for this job; 0 = use the service default
-  /// (ResilienceOptions::step_budget). Overruns fail typed as poison.
-  long long step_budget = 0;
-};
-
-/// The result of one job. `binding`/`latency`/`moves` are meaningful
-/// when has_result(status) — kOk, or kDeadlineExceeded with the
-/// verifier-clean best-so-far binding.
-struct BindOutcome {
-  std::string id;
-  BindStatus status = BindStatus::kInternalError;
-  std::string error;   ///< diagnostic for invalid/internal/shed outcomes
-  Binding binding;
-  int latency = 0;
-  int moves = 0;
-  double queue_ms = 0.0;  ///< submission -> start of execution
-  double run_ms = 0.0;    ///< execution wall time
-  /// Failure classification for kInvalidRequest / kInternalError
-  /// outcomes (kNone otherwise) — drives retry and quarantine.
-  FaultClass fault = FaultClass::kNone;
-  /// Execution attempts consumed (> 1 after transient retries).
-  int attempts = 1;
-};
+// The service's job/outcome types are the public api types — BindJob /
+// BindOutcome are aliases of cvb::BindRequest / cvb::BindResponse
+// declared in api/api.hpp. Jobs use the request's first seven fields;
+// queue_ms/run_ms of the response are filled by the worker loop.
 
 /// Asynchronous batched binding service. Thread-safe; construct once,
 /// submit from any thread.

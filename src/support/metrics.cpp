@@ -1,6 +1,7 @@
 #include "support/metrics.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace cvb {
 
@@ -85,6 +86,21 @@ JsonValue Histogram::snapshot() const {
   return out;
 }
 
+HistogramSnapshot Histogram::buckets() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.cumulative.reserve(bucket_counts_.size());
+  long long running = 0;
+  for (const long long bucket : bucket_counts_) {
+    running += bucket;
+    snap.cumulative.push_back(running);
+  }
+  snap.count = count_;
+  snap.sum = sum_;
+  return snap;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
@@ -110,6 +126,66 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
     slot = std::make_unique<Histogram>();
   }
   return *slot;
+}
+
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; registry names
+/// use dots (service.jobs_completed), which map to underscores.
+std::string prometheus_name(const std::string& prefix,
+                            const std::string& name) {
+  std::string out = prefix;
+  out.reserve(prefix.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void append_double(std::ostringstream& os, double value) {
+  const auto old_precision = os.precision(15);
+  os << value;
+  os.precision(old_precision);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text(const std::string& prefix) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    const std::string metric = prometheus_name(prefix, name);
+    os << "# TYPE " << metric << " counter\n";
+    os << metric << ' ' << counter->value() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string metric = prometheus_name(prefix, name);
+    os << "# TYPE " << metric << " gauge\n";
+    os << metric << ' ' << gauge->value() << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string metric = prometheus_name(prefix, name);
+    const HistogramSnapshot snap = histogram->buckets();
+    os << "# TYPE " << metric << " histogram\n";
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      os << metric << "_bucket{le=\"";
+      append_double(os, snap.bounds[b]);
+      os << "\"} " << snap.cumulative[b] << '\n';
+    }
+    os << metric << "_bucket{le=\"+Inf\"} "
+       << (snap.cumulative.empty() ? snap.count : snap.cumulative.back())
+       << '\n';
+    os << metric << "_sum ";
+    append_double(os, snap.sum);
+    os << '\n';
+    os << metric << "_count " << snap.count << '\n';
+  }
+  return os.str();
 }
 
 JsonValue MetricsRegistry::snapshot() const {

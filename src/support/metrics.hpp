@@ -54,6 +54,17 @@ class Gauge {
   std::atomic<long long> value_{0};
 };
 
+/// Point-in-time copy of a histogram's buckets, in the cumulative form
+/// the Prometheus text format expects: cumulative[i] counts every
+/// observation <= bounds[i], and cumulative.back() (the +inf bucket)
+/// equals count.
+struct HistogramSnapshot {
+  std::vector<double> bounds;        ///< ascending upper bounds
+  std::vector<long long> cumulative;  ///< bounds.size() + 1 entries
+  long long count = 0;
+  double sum = 0.0;
+};
+
 /// Latency histogram over fixed bucket upper bounds (plus an implicit
 /// +inf overflow bucket). Percentiles are estimated by linear
 /// interpolation inside the containing bucket — the standard
@@ -76,6 +87,9 @@ class Histogram {
 
   /// {"count":N,"sum":S,"max":M,"p50":..,"p95":..,"p99":..}
   [[nodiscard]] JsonValue snapshot() const;
+
+  /// Consistent cumulative-bucket copy (one lock acquisition).
+  [[nodiscard]] HistogramSnapshot buckets() const;
 
  private:
   std::vector<double> bounds_;          // ascending upper bounds
@@ -103,6 +117,14 @@ class MetricsRegistry {
   /// One consistent JSON document:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}.
   [[nodiscard]] JsonValue snapshot() const;
+
+  /// Prometheus text exposition (version 0.0.4) of every instrument.
+  /// Instrument names are prefixed with `prefix` and sanitized to
+  /// [a-zA-Z0-9_:]; histograms expand to the conventional cumulative
+  /// `_bucket{le="..."}` series plus `_sum` and `_count`
+  /// (FORMATS.md "Prometheus metrics").
+  [[nodiscard]] std::string prometheus_text(
+      const std::string& prefix = "cvb_") const;
 
  private:
   mutable std::mutex mutex_;

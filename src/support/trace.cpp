@@ -1,0 +1,243 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+namespace cvb {
+
+namespace internal {
+
+/// One thread's recording state for one tracer. `spans` is shared with
+/// drainers and guarded by `mutex`; `stack` (the open-span stack for
+/// implicit parenting) is touched only by the owning thread and needs
+/// no lock.
+struct TraceThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceSpan> spans;      // guarded by mutex
+  std::vector<std::uint64_t> stack;  // owning thread only
+  std::uint64_t thread_index = 0;
+};
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_uid{1};
+
+/// Thread-local cache mapping tracer uid -> this thread's buffer.
+/// Uids are never reused, so an entry for a destroyed tracer can never
+/// match a live one (its dangling pointer is never dereferenced). The
+/// size cap only evicts when one thread records into many tracers'
+/// lifetimes — the stale-entry case the cap exists for.
+struct TlsEntry {
+  std::uint64_t uid = 0;
+  internal::TraceThreadBuffer* buffer = nullptr;
+};
+
+thread_local std::vector<TlsEntry> t_buffers;
+
+constexpr std::size_t kMaxTlsEntries = 32;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t max_spans_per_thread)
+    : max_spans_per_thread_(std::max<std::size_t>(1, max_spans_per_thread)),
+      uid_(g_next_tracer_uid.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+internal::TraceThreadBuffer& Tracer::buffer() {
+  for (const TlsEntry& entry : t_buffers) {
+    if (entry.uid == uid_) {
+      return *entry.buffer;
+    }
+  }
+  auto owned = std::make_unique<internal::TraceThreadBuffer>();
+  internal::TraceThreadBuffer* raw = owned.get();
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    raw->thread_index = static_cast<std::uint64_t>(buffers_.size());
+    buffers_.push_back(std::move(owned));
+  }
+  if (t_buffers.size() >= kMaxTlsEntries) {
+    t_buffers.erase(t_buffers.begin());  // oldest entry is the stalest
+  }
+  t_buffers.push_back(TlsEntry{uid_, raw});
+  return *raw;
+}
+
+std::uint64_t Tracer::current_span() {
+  const std::vector<std::uint64_t>& stack = buffer().stack;
+  return stack.empty() ? 0 : stack.back();
+}
+
+void Tracer::push_span(std::uint64_t id) { buffer().stack.push_back(id); }
+
+void Tracer::pop_span(std::uint64_t id) {
+  std::vector<std::uint64_t>& stack = buffer().stack;
+  if (!stack.empty() && stack.back() == id) {
+    stack.pop_back();
+    return;
+  }
+  // Out-of-order close (possible only after a TLS cache eviction split
+  // one thread's stack): drop the matching entry wherever it is.
+  const auto it = std::find(stack.rbegin(), stack.rend(), id);
+  if (it != stack.rend()) {
+    stack.erase(std::next(it).base());
+  }
+}
+
+void Tracer::record(TraceSpan span) {
+  internal::TraceThreadBuffer& buf = buffer();
+  span.thread = buf.thread_index;
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.spans.size() >= max_spans_per_thread_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.spans.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> Tracer::collect(bool clear) const {
+  std::vector<TraceSpan> all;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const std::unique_ptr<internal::TraceThreadBuffer>& buf : buffers_) {
+      const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      if (clear) {
+        all.insert(all.end(), std::make_move_iterator(buf->spans.begin()),
+                   std::make_move_iterator(buf->spans.end()));
+        buf->spans.clear();
+      } else {
+        all.insert(all.end(), buf->spans.begin(), buf->spans.end());
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return std::pair(a.start_us, a.id) < std::pair(b.start_us, b.id);
+            });
+  return all;
+}
+
+std::vector<TraceSpan> Tracer::drain() { return collect(true); }
+
+std::vector<TraceSpan> Tracer::snapshot() const { return collect(false); }
+
+void ScopedSpan::attr(const char* key, long long value) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  TraceAttr a;
+  a.key = key;
+  a.kind = TraceAttr::Kind::kInt;
+  a.int_value = value;
+  attrs_.push_back(std::move(a));
+}
+
+void ScopedSpan::attr(const char* key, double value) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  TraceAttr a;
+  a.key = key;
+  a.kind = TraceAttr::Kind::kDouble;
+  a.double_value = value;
+  attrs_.push_back(std::move(a));
+}
+
+void ScopedSpan::attr(const char* key, std::string value) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  TraceAttr a;
+  a.key = key;
+  a.kind = TraceAttr::Kind::kString;
+  a.string_value = std::move(value);
+  attrs_.push_back(std::move(a));
+}
+
+void ScopedSpan::finish() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  TraceSpan span;
+  span.id = id_;
+  span.parent = parent_;
+  span.name = name_;
+  span.start_us = start_us_;
+  span.end_us = std::max(tracer_->now_us(), start_us_);
+  span.attrs = std::move(attrs_);
+  tracer_->pop_span(id_);
+  tracer_->record(std::move(span));
+  tracer_ = nullptr;
+}
+
+JsonValue chrome_trace_json(const std::vector<TraceSpan>& spans,
+                            long long dropped) {
+  std::vector<const TraceSpan*> ordered;
+  ordered.reserve(spans.size());
+  for (const TraceSpan& span : spans) {
+    ordered.push_back(&span);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TraceSpan* a, const TraceSpan* b) {
+              return std::pair(a->start_us, a->id) <
+                     std::pair(b->start_us, b->id);
+            });
+
+  JsonValue events = JsonValue::array();
+  for (const TraceSpan* span : ordered) {
+    JsonValue event = JsonValue::object();
+    event.set("ph", "X");
+    event.set("cat", "cvb");
+    event.set("name", span->name);
+    event.set("ts", static_cast<long long>(span->start_us));
+    event.set("dur", static_cast<long long>(span->end_us - span->start_us));
+    event.set("pid", 1);
+    event.set("tid", static_cast<long long>(span->thread));
+    JsonValue args = JsonValue::object();
+    args.set("span", static_cast<long long>(span->id));
+    if (span->parent != 0) {
+      args.set("parent", static_cast<long long>(span->parent));
+    }
+    for (const TraceAttr& a : span->attrs) {
+      switch (a.kind) {
+        case TraceAttr::Kind::kInt:
+          args.set(a.key, a.int_value);
+          break;
+        case TraceAttr::Kind::kDouble:
+          args.set(a.key, a.double_value);
+          break;
+        case TraceAttr::Kind::kString:
+          args.set(a.key, a.string_value);
+          break;
+      }
+    }
+    event.set("args", std::move(args));
+    events.push_back(std::move(event));
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  doc.set("droppedSpans", dropped);
+  return doc;
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceSpan>& spans,
+                        long long dropped) {
+  chrome_trace_json(spans, dropped).write(out, 2);
+  out << '\n';
+}
+
+}  // namespace cvb

@@ -1,0 +1,217 @@
+// cvb::Tracer — lightweight span recording for end-to-end request
+// profiling.
+//
+// The paper's central trade-off is *where time goes*: B-ITER buys
+// schedule quality with scheduler invocations (Section 5 costs the
+// algorithm exactly by them). This layer makes that measurable on a
+// live system: every layer of a binding request — service admission,
+// queue wait, worker execution, retry attempts, the B-INIT sweep, each
+// B-ITER hill-climbing round, each candidate batch of the evaluation
+// engine, and each individual list-scheduler invocation — records one
+// span with start/end timestamps, an explicit parent link, and typed
+// attributes (pass index, candidates evaluated, cache hits, best L/M
+// so far).
+//
+// Design constraints, in order:
+//  1. Zero cost when disabled. Tracing is off when the Tracer pointer
+//     threaded through the option structs is null; ScopedSpan's
+//     constructor then reduces to one branch and records nothing —
+//     no allocation, no clock read, no atomic.
+//  2. Cheap when enabled. Spans are appended to *per-thread* buffers,
+//     each with its own mutex that only its owning thread and a
+//     drainer ever touch, so recording never contends with other
+//     workers. Names and attribute keys must be string literals so
+//     recording allocates only the attribute vector.
+//  3. Thread-safe snapshots. drain()/snapshot() collect every thread's
+//     spans under the per-buffer locks and return them sorted by start
+//     time; a bounded per-thread capacity turns pathological volume
+//     into a counted drop, never unbounded memory.
+//
+// Parenting: same-thread nesting is implicit (each thread keeps a
+// stack of open spans); work handed to another thread (the evaluation
+// engine's pool tasks) passes the parent span id explicitly. Exporters
+// are free functions: chrome_trace_json() emits the Chrome trace_event
+// JSON loadable in chrome://tracing and Perfetto (FORMATS.md "Trace
+// output").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace cvb {
+
+namespace internal {
+struct TraceThreadBuffer;
+}  // namespace internal
+
+/// One typed key/value attribute on a span. `key` must be a string
+/// literal (static storage): attributes are recorded on hot paths and
+/// must not copy the key.
+struct TraceAttr {
+  enum class Kind { kInt, kDouble, kString };
+  const char* key = "";
+  Kind kind = Kind::kInt;
+  long long int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+};
+
+/// One completed span. Timestamps are microseconds since the owning
+/// tracer's epoch (its construction), so a span's interval always
+/// contains its same-trace children's intervals.
+struct TraceSpan {
+  std::uint64_t id = 0;        ///< unique within the tracer, 1-based
+  std::uint64_t parent = 0;    ///< parent span id; 0 = root
+  const char* name = "";      ///< string literal (static storage)
+  std::uint64_t thread = 0;    ///< dense tracer-local thread index
+  std::uint64_t start_us = 0;  ///< µs since the tracer epoch
+  std::uint64_t end_us = 0;    ///< µs since the tracer epoch, >= start
+  std::vector<TraceAttr> attrs;
+};
+
+/// Thread-safe span recorder. Construct one per traced run (tool
+/// invocation or service lifetime) and pass `&tracer` through the
+/// option structs; a null pointer everywhere means tracing is off.
+class Tracer {
+ public:
+  /// `max_spans_per_thread` bounds memory per recording thread; spans
+  /// past the cap are counted in dropped() and discarded.
+  explicit Tracer(std::size_t max_spans_per_thread = std::size_t{1} << 20);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Allocates a fresh span id (never 0, never reused).
+  [[nodiscard]] std::uint64_t next_span_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since this tracer's epoch.
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// The calling thread's innermost open span (0 = none) — the implicit
+  /// parent for same-thread nesting.
+  [[nodiscard]] std::uint64_t current_span();
+  void push_span(std::uint64_t id);
+  void pop_span(std::uint64_t id);
+
+  /// Appends a completed span to the calling thread's buffer (fills
+  /// span.thread). Past the per-thread cap the span is dropped and
+  /// counted instead.
+  void record(TraceSpan span);
+
+  /// Moves every buffered span out (all threads), sorted by
+  /// (start_us, id). Subsequent drains return only newer spans.
+  [[nodiscard]] std::vector<TraceSpan> drain();
+
+  /// Copies every buffered span without clearing, same order.
+  [[nodiscard]] std::vector<TraceSpan> snapshot() const;
+
+  /// Spans discarded because a per-thread buffer hit its cap.
+  [[nodiscard]] long long dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  internal::TraceThreadBuffer& buffer();
+  [[nodiscard]] std::vector<TraceSpan> collect(bool clear) const;
+
+  const std::size_t max_spans_per_thread_;
+  const std::uint64_t uid_;  ///< never-reused key of the thread-local cache
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<long long> dropped_{0};
+
+  mutable std::mutex registry_mutex_;  ///< guards buffers_ (the vector)
+  std::vector<std::unique_ptr<internal::TraceThreadBuffer>> buffers_;
+};
+
+/// RAII span: records [construction, destruction) on `tracer`, or is a
+/// complete no-op (one branch, no allocation) when `tracer` is null.
+/// `name` must be a string literal. `parent` overrides the implicit
+/// same-thread parent — pass it when the span runs on a different
+/// thread than its logical parent (e.g. thread-pool tasks).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, std::uint64_t parent = 0)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) {
+      return;  // disabled fast path: nothing else runs
+    }
+    name_ = name;
+    id_ = tracer_->next_span_id();
+    parent_ = parent != 0 ? parent : tracer_->current_span();
+    tracer_->push_span(id_);
+    start_us_ = tracer_->now_us();
+  }
+
+  ~ScopedSpan() { finish(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  [[nodiscard]] bool enabled() const { return tracer_ != nullptr; }
+
+  /// This span's id (0 when disabled) — the explicit parent for work
+  /// dispatched to other threads.
+  [[nodiscard]] std::uint64_t id() const {
+    return tracer_ != nullptr ? id_ : 0;
+  }
+
+  /// Attach an attribute; no-ops (without allocating) when disabled.
+  /// Keys must be string literals.
+  void attr(const char* key, long long value);
+  void attr(const char* key, int value) {
+    attr(key, static_cast<long long>(value));
+  }
+  void attr(const char* key, long value) {
+    attr(key, static_cast<long long>(value));
+  }
+  void attr(const char* key, std::size_t value) {
+    attr(key, static_cast<long long>(value));
+  }
+  void attr(const char* key, bool value) {
+    attr(key, static_cast<long long>(value ? 1 : 0));
+  }
+  void attr(const char* key, double value);
+  void attr(const char* key, std::string value);
+  void attr(const char* key, const char* value) {
+    attr(key, std::string(value));
+  }
+
+  /// Ends the span now (idempotent; the destructor otherwise does it).
+  void finish();
+
+ private:
+  Tracer* tracer_;
+  const char* name_ = "";
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_us_ = 0;
+  std::vector<TraceAttr> attrs_;
+};
+
+/// Chrome trace_event JSON ("Trace Event Format", complete events):
+/// {"traceEvents":[{"ph":"X","name":...,"ts":...,"dur":...,"pid":1,
+/// "tid":...,"args":{...}}],"displayTimeUnit":"ms","droppedSpans":N}.
+/// Events are sorted by timestamp; span id and parent id appear in
+/// "args" alongside the recorded attributes. Loadable in
+/// chrome://tracing and Perfetto.
+[[nodiscard]] JsonValue chrome_trace_json(const std::vector<TraceSpan>& spans,
+                                          long long dropped = 0);
+
+/// Writes chrome_trace_json(spans) to `out` (pretty-printed, trailing
+/// newline).
+void write_chrome_trace(std::ostream& out, const std::vector<TraceSpan>& spans,
+                        long long dropped = 0);
+
+}  // namespace cvb

@@ -1,0 +1,182 @@
+// Unit tests for the cvb::api facade (api/api.hpp): run_bind_request
+// dispatch, the exception -> typed-status ladder, anytime deadline
+// tagging, per-request eval-stat deltas on a shared engine, and the
+// root bind.request span.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "api/api.hpp"
+#include "bind/eval_engine.hpp"
+#include "kernels/kernels.hpp"
+#include "service/status.hpp"
+#include "support/trace.hpp"
+
+namespace cvb {
+namespace {
+
+BindRequest ewf_request(const std::string& algorithm) {
+  BindRequest request;
+  request.id = "t1";
+  request.dfg = benchmark_by_name("EWF").dfg;
+  request.datapath = parse_datapath("[2,1|1,1]");
+  request.algorithm = algorithm;
+  request.effort = BindEffort::kFast;
+  return request;
+}
+
+TEST(Api, EveryAlgorithmDispatches) {
+  for (const std::string algorithm :
+       {"b-iter", "b-init", "pcc", "sa", "mincut"}) {
+    BindRequest request = ewf_request(algorithm);
+    if (algorithm == "mincut") {
+      // The Capitanio-style partitioner only handles homogeneous
+      // clusters.
+      request.datapath = parse_datapath("[1,1|1,1]");
+    }
+    const BindResponse response = run_bind_request(request, RequestContext{});
+    EXPECT_EQ(response.status, BindStatus::kOk) << algorithm << ": "
+                                                << response.error;
+    EXPECT_TRUE(has_result(response.status));
+    EXPECT_EQ(response.id, "t1");
+    EXPECT_FALSE(response.binding.empty()) << algorithm;
+    EXPECT_GT(response.latency, 0) << algorithm;
+    EXPECT_EQ(response.schedule.latency, response.latency) << algorithm;
+  }
+}
+
+TEST(Api, UnknownAlgorithmIsTypedInvalidRequest) {
+  const BindResponse response =
+      run_bind_request(ewf_request("bogus"), RequestContext{});
+  EXPECT_EQ(response.status, BindStatus::kInvalidRequest);
+  EXPECT_EQ(response.fault, FaultClass::kPoison);
+  EXPECT_NE(response.error.find("unknown algorithm 'bogus'"),
+            std::string::npos)
+      << response.error;
+  EXPECT_TRUE(response.binding.empty());
+}
+
+TEST(Api, BaselinesRejectArmedCancelTokens) {
+  RequestContext ctx;
+  ctx.cancel = CancelToken::after_ms(10'000);
+  const BindResponse response = run_bind_request(ewf_request("sa"), ctx);
+  EXPECT_EQ(response.status, BindStatus::kInvalidRequest);
+  EXPECT_NE(response.error.find("does not support deadlines"),
+            std::string::npos)
+      << response.error;
+}
+
+TEST(Api, ExpiredDeadlineStillReturnsVerifiedAnytimeResult) {
+  RequestContext ctx;
+  ctx.cancel = CancelToken::after_ms(0);
+  const BindResponse response = run_bind_request(ewf_request("b-iter"), ctx);
+  EXPECT_EQ(response.status, BindStatus::kDeadlineExceeded);
+  EXPECT_TRUE(has_result(response.status));
+  // The anytime contract: a real (re-verified) binding came back.
+  EXPECT_FALSE(response.binding.empty());
+  EXPECT_GT(response.latency, 0);
+}
+
+TEST(Api, SharedEngineStatsArePerRequestDeltas) {
+  // kFast skips the iterative pass (and with it the eval engine), so
+  // this test needs the balanced preset.
+  BindRequest request = ewf_request("b-iter");
+  request.effort = BindEffort::kBalanced;
+  EvalEngine engine;
+  const BindResponse first =
+      run_bind_request(request, RequestContext{}, &engine);
+  const BindResponse second =
+      run_bind_request(request, RequestContext{}, &engine);
+  ASSERT_EQ(first.status, BindStatus::kOk) << first.error;
+  ASSERT_EQ(second.status, BindStatus::kOk) << second.error;
+  EXPECT_GT(first.eval_stats.candidates, 0);
+  EXPECT_GT(second.eval_stats.candidates, 0);
+  // Deltas, not cumulative: the engine's total covers both requests.
+  EXPECT_EQ(engine.stats().candidates,
+            first.eval_stats.candidates + second.eval_stats.candidates);
+  // Identical back-to-back requests hit the shared schedule cache.
+  EXPECT_GT(second.eval_stats.cache_hits, 0);
+}
+
+TEST(Api, TracerRecordsRequestHierarchy) {
+  BindRequest request = ewf_request("b-iter");
+  request.effort = BindEffort::kBalanced;  // kFast skips the eval engine
+  Tracer tracer;
+  RequestContext ctx;
+  ctx.tracer = &tracer;
+  const BindResponse response = run_bind_request(request, ctx);
+  ASSERT_EQ(response.status, BindStatus::kOk) << response.error;
+  const std::vector<TraceSpan> spans = tracer.drain();
+  ASSERT_FALSE(spans.empty());
+  const auto named = [&](const char* name) {
+    return std::count_if(spans.begin(), spans.end(), [&](const TraceSpan& s) {
+      return std::string(s.name) == name;
+    });
+  };
+  EXPECT_EQ(named("bind.request"), 1);
+  EXPECT_GT(named("eval.batch"), 0);
+  EXPECT_GT(named("sched.list"), 0);
+  // The root span carries the request summary attributes.
+  const auto root = std::find_if(
+      spans.begin(), spans.end(),
+      [](const TraceSpan& s) { return std::string(s.name) == "bind.request"; });
+  ASSERT_NE(root, spans.end());
+  EXPECT_EQ(root->parent, 0u);
+  bool saw_status = false;
+  for (const TraceAttr& attr : root->attrs) {
+    if (std::string(attr.key) == "status") {
+      saw_status = true;
+      EXPECT_EQ(attr.string_value, "ok");
+    }
+  }
+  EXPECT_TRUE(saw_status);
+}
+
+TEST(Api, PccRecordsPartitionSpans) {
+  Tracer tracer;
+  RequestContext ctx;
+  ctx.tracer = &tracer;
+  const BindResponse response = run_bind_request(ewf_request("pcc"), ctx);
+  ASSERT_EQ(response.status, BindStatus::kOk) << response.error;
+  const std::vector<TraceSpan> spans = tracer.drain();
+  EXPECT_NE(std::find_if(spans.begin(), spans.end(),
+                         [](const TraceSpan& s) {
+                           return std::string(s.name) == "pcc.partition";
+                         }),
+            spans.end());
+}
+
+TEST(Api, ServiceAliasesStayLayoutCompatible) {
+  // The service spells these BindJob / BindOutcome; both must be the
+  // api types so the two layers cannot drift apart.
+  static_assert(std::is_same_v<BindJob, BindRequest>);
+  static_assert(std::is_same_v<BindOutcome, BindResponse>);
+  BindJob job = ewf_request("b-init");
+  const BindOutcome outcome = run_bind_request(job, RequestContext{});
+  EXPECT_EQ(outcome.status, BindStatus::kOk) << outcome.error;
+}
+
+TEST(Api, EvalStatsJsonShape) {
+  BindRequest request = ewf_request("b-iter");
+  request.effort = BindEffort::kBalanced;  // kFast skips the eval engine
+  EvalEngine engine;
+  const BindResponse response =
+      run_bind_request(request, RequestContext{}, &engine);
+  ASSERT_EQ(response.status, BindStatus::kOk);
+  const JsonValue doc =
+      eval_stats_to_json(response.eval_stats, response.eval_threads);
+  for (const char* key :
+       {"threads", "candidates", "batches", "cache_hits", "cache_misses",
+        "cache_evictions", "cache_hit_rate", "improver_candidates",
+        "pcc_candidates", "explore_jobs", "eval_ms"}) {
+    EXPECT_NE(doc.find(key), nullptr) << key;
+  }
+  EXPECT_EQ(doc.find("threads")->as_number(), 1.0);
+  EXPECT_GT(doc.find("candidates")->as_number(), 0.0);
+}
+
+}  // namespace
+}  // namespace cvb

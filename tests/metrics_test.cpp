@@ -2,6 +2,8 @@
 // quantile estimation, and the JSON snapshot shape.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -122,6 +124,66 @@ TEST(Metrics, RegistrySnapshotDocument) {
             1.0);
   // Round-trips through the writer/parser.
   EXPECT_EQ(JsonValue::parse(snap.dump()), snap);
+}
+
+TEST(Metrics, HistogramBucketsAreCumulative) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(100.0);
+  const HistogramSnapshot snap = h.buckets();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.cumulative.size(), 4u);
+  EXPECT_EQ(snap.cumulative[0], 1);  // <= 1.0
+  EXPECT_EQ(snap.cumulative[1], 2);  // <= 2.0
+  EXPECT_EQ(snap.cumulative[2], 3);  // <= 4.0
+  EXPECT_EQ(snap.cumulative[3], 4);  // +inf
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.sum, 105.0);
+}
+
+TEST(Metrics, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.counter("jobs_completed").inc(3);
+  registry.gauge("queue_depth").set(2);
+  Histogram& h = registry.histogram("run_ms");
+  h.observe(0.05);
+  h.observe(42.0);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE cvb_jobs_completed counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cvb_jobs_completed 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE cvb_queue_depth gauge"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cvb_queue_depth 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE cvb_run_ms histogram"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cvb_run_ms_bucket{le=\"0.1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cvb_run_ms_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cvb_run_ms_count 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("cvb_run_ms_sum 42.05"), std::string::npos) << text;
+  // Every line is either a comment or "name{labels} value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(Metrics, PrometheusNamesAreSanitized) {
+  MetricsRegistry registry;
+  registry.counter("cache.hit-rate total").inc();
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("cvb_cache_hit_rate_total 1"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("cache.hit"), std::string::npos);
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 // streams and over a Unix-domain socket.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -196,6 +199,113 @@ TEST(ServeCli, EndToEndOverStreams) {
   }
   EXPECT_EQ(errors, 1);
   EXPECT_EQ(metrics, 1);
+}
+
+TEST(Protocol, ParsesTraceCommand) {
+  EXPECT_EQ(parse_serve_request(R"({"cmd":"trace"})").kind,
+            ServeRequest::Kind::kTrace);
+}
+
+TEST(Protocol, OutcomeCarriesTimingsBreakdown) {
+  BindOutcome outcome;
+  outcome.id = "t";
+  outcome.status = BindStatus::kOk;
+  outcome.queue_ms = 0.25;
+  outcome.run_ms = 3.5;
+  outcome.eval_stats.eval_ms = 2.0;
+  outcome.eval_stats.candidates = 11;
+  const JsonValue doc = outcome_to_json(outcome);
+  const JsonValue* timings = doc.find("timings");
+  ASSERT_NE(timings, nullptr);
+  EXPECT_DOUBLE_EQ(timings->find("queue_ms")->as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(timings->find("run_ms")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(timings->find("eval_ms")->as_number(), 2.0);
+  EXPECT_EQ(timings->find("eval_candidates")->as_number(), 11.0);
+}
+
+TEST(ServeCli, TraceCommandWithoutTracingIsStructuredError) {
+  std::istringstream in(
+      "{\"cmd\":\"trace\"}\n"
+      "{\"cmd\":\"quit\"}\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(run_serve_cli({"--workers", "1"}, in, out, err), 0);
+  const std::vector<JsonValue> responses = parse_response_lines(out.str());
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].find("status")->as_string(), "invalid_request");
+  EXPECT_NE(responses[0].find("error")->as_string().find("--trace"),
+            std::string::npos);
+}
+
+TEST(ServeCli, TraceCommandReturnsChromeTraceLine) {
+  std::istringstream in(
+      "{\"cmd\":\"trace\"}\n"
+      "{\"cmd\":\"quit\"}\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(run_serve_cli({"--workers", "1", "--trace"}, in, out, err), 0);
+  const std::vector<JsonValue> responses = parse_response_lines(out.str());
+  ASSERT_EQ(responses.size(), 1u);
+  // A valid (possibly empty) Chrome trace document on one line.
+  EXPECT_NE(responses[0].find("traceEvents"), nullptr);
+  EXPECT_NE(responses[0].find("displayTimeUnit"), nullptr);
+}
+
+TEST(ServeCli, ExitExportsTraceAndPrometheusMetrics) {
+  const std::string trace_path = testing::TempDir() + "cvb_serve_trace.json";
+  const std::string metrics_path =
+      testing::TempDir() + "cvb_serve_metrics.prom";
+  std::istringstream in(
+      R"({"id":"a","kernel":"ARF","datapath":"[1,1|1,1]","effort":"balanced"})"
+      "\n"
+      R"({"cmd":"quit"})"
+      "\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(run_serve_cli({"--workers", "1", "--trace-out", trace_path,
+                           "--metrics-text", metrics_path},
+                          in, out, err),
+            0)
+      << err.str();
+
+  // The job response carries the per-request timing breakdown.
+  const std::vector<JsonValue> responses = parse_response_lines(out.str());
+  const JsonValue* a = response_for(responses, "a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(a->find("timings"), nullptr);
+  EXPECT_GT(a->find("timings")->find("eval_candidates")->as_number(), 0.0);
+
+  // The exit trace holds the service-layer spans around the request.
+  std::ifstream trace_file(trace_path);
+  ASSERT_TRUE(trace_file.good());
+  std::stringstream trace_text;
+  trace_text << trace_file.rdbuf();
+  const JsonValue trace = JsonValue::parse(trace_text.str());
+  std::vector<std::string> names;
+  for (const JsonValue& event : trace.find("traceEvents")->as_array()) {
+    names.push_back(event.find("name")->as_string());
+  }
+  for (const char* expected :
+       {"service.admit", "service.job", "service.attempt", "bind.request"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+
+  // The Prometheus export has typed counters and histogram series.
+  std::ifstream metrics_file(metrics_path);
+  ASSERT_TRUE(metrics_file.good());
+  std::stringstream metrics_text;
+  metrics_text << metrics_file.rdbuf();
+  const std::string text = metrics_text.str();
+  EXPECT_NE(text.find("# TYPE cvb_jobs_completed counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cvb_jobs_completed 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("cvb_run_ms_bucket{le=\"+Inf\"}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cvb_run_ms_count 1"), std::string::npos) << text;
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
 }
 
 TEST(ServeCli, HelpAndBadFlags) {

@@ -1,0 +1,72 @@
+// Table-driven tests of the BindStatus module (service/status.hpp):
+// the single source of truth for status names, cvbind exit codes, and
+// the has-result predicate shared by cvbind, cvserve, and the service.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "service/status.hpp"
+
+namespace cvb {
+namespace {
+
+struct StatusRow {
+  BindStatus status;
+  const char* name;
+  int exit_code;
+  bool has_result;
+};
+
+// One row per enumerator; exit codes 0-6 are a stable shell contract.
+constexpr StatusRow kStatusTable[] = {
+    {BindStatus::kOk, "ok", 0, true},
+    {BindStatus::kInvalidRequest, "invalid_request", 1, false},
+    {BindStatus::kInternalError, "internal_error", 2, false},
+    {BindStatus::kDeadlineExceeded, "deadline_exceeded", 3, true},
+    {BindStatus::kCancelled, "cancelled", 4, false},
+    {BindStatus::kShed, "shed", 5, false},
+    {BindStatus::kDegraded, "degraded", 6, true},
+};
+
+TEST(Status, TableCoversEveryEnumerator) {
+  // 7 statuses, exit codes exactly {0,...,6}, each used once.
+  bool seen[7] = {};
+  for (const StatusRow& row : kStatusTable) {
+    ASSERT_GE(row.exit_code, 0);
+    ASSERT_LE(row.exit_code, 6);
+    EXPECT_FALSE(seen[row.exit_code]) << row.name;
+    seen[row.exit_code] = true;
+  }
+  for (int code = 0; code < 7; ++code) {
+    EXPECT_TRUE(seen[code]) << code;
+  }
+}
+
+TEST(Status, ExitCodesMatchTable) {
+  for (const StatusRow& row : kStatusTable) {
+    EXPECT_EQ(exit_code_for(row.status), row.exit_code) << row.name;
+  }
+}
+
+TEST(Status, NamesRoundTrip) {
+  for (const StatusRow& row : kStatusTable) {
+    EXPECT_STREQ(to_string(row.status), row.name);
+    EXPECT_EQ(bind_status_from_string(row.name), row.status) << row.name;
+  }
+}
+
+TEST(Status, HasResultMatchesTable) {
+  for (const StatusRow& row : kStatusTable) {
+    EXPECT_EQ(has_result(row.status), row.has_result) << row.name;
+  }
+}
+
+TEST(Status, UnknownNameThrows) {
+  EXPECT_THROW((void)bind_status_from_string("not_a_status"),
+               std::invalid_argument);
+  EXPECT_THROW((void)bind_status_from_string(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,265 @@
+// Unit tests for the tracing layer (support/trace.hpp): span
+// recording and nesting, cross-thread parent links, the disabled-path
+// zero-allocation guarantee, drop accounting, the Chrome trace_event
+// exporter, and the end-to-end `cvbind --trace-out` golden run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "support/json.hpp"
+#include "support/trace.hpp"
+
+// Global allocation counter for the zero-cost-when-disabled test. A
+// TU-local definition of the replaceable global operator new covers
+// the whole test binary; gtest_discover_tests runs each test in its
+// own process, so the counter is quiescent while a test body runs.
+namespace {
+std::atomic<long long> g_allocations{0};
+}  // namespace
+
+// GCC pairs call sites of the replaced operator new with the default
+// deallocator during inlining and emits a false-positive
+// -Wmismatched-new-delete; the pairing here is malloc/free throughout.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace cvb {
+namespace {
+
+TEST(Trace, SameThreadNestingIsImplicit) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    {
+      ScopedSpan inner(&tracer, "inner");
+      inner.attr("k", 7);
+    }
+    outer.attr("done", true);
+  }
+  const std::vector<TraceSpan> spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start time: outer opened first.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_LE(spans[0].start_us, spans[1].start_us);
+  EXPECT_GE(spans[0].end_us, spans[1].end_us);
+  ASSERT_EQ(spans[1].attrs.size(), 1u);
+  EXPECT_STREQ(spans[1].attrs[0].key, "k");
+  EXPECT_EQ(spans[1].attrs[0].int_value, 7);
+}
+
+TEST(Trace, CrossThreadSpansUseExplicitParent) {
+  Tracer tracer;
+  {
+    ScopedSpan root(&tracer, "root");
+    const std::uint64_t root_id = root.id();
+    std::thread worker([&tracer, root_id] {
+      ScopedSpan task(&tracer, "task", root_id);
+      task.attr("on_pool", true);
+    });
+    worker.join();
+  }
+  const std::vector<TraceSpan> spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceSpan& root = spans[0];
+  const TraceSpan& task = spans[1];
+  EXPECT_STREQ(root.name, "root");
+  EXPECT_STREQ(task.name, "task");
+  EXPECT_EQ(task.parent, root.id);
+  // Different recording threads get different dense indices.
+  EXPECT_NE(task.thread, root.thread);
+}
+
+TEST(Trace, DisabledSpanIsFreeAndAllocationFree) {
+  long long enabled_ids = 0;
+  const long long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    ScopedSpan span(nullptr, "disabled");
+    span.attr("count", 42);
+    span.attr("ratio", 0.5);
+    if (span.enabled()) {
+      // The string overloads allocate at the call site; instrumented
+      // code guards them exactly like this.
+      span.attr("name", std::string("guarded"));
+      ++enabled_ids;
+    }
+    enabled_ids += span.id() != 0 ? 1 : 0;
+    span.finish();
+  }
+  const long long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(enabled_ids, 0);
+}
+
+TEST(Trace, PerThreadCapDropsAndCounts) {
+  Tracer tracer(/*max_spans_per_thread=*/2);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span(&tracer, "burst");
+  }
+  EXPECT_EQ(tracer.dropped(), 3);
+  EXPECT_EQ(tracer.drain().size(), 2u);
+}
+
+TEST(Trace, DrainClearsSnapshotDoesNot) {
+  Tracer tracer;
+  { ScopedSpan span(&tracer, "one"); }
+  EXPECT_EQ(tracer.snapshot().size(), 1u);
+  EXPECT_EQ(tracer.snapshot().size(), 1u);
+  EXPECT_EQ(tracer.drain().size(), 1u);
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(Trace, FinishIsIdempotentAndOutOfOrderCloseIsSafe) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    ScopedSpan inner(&tracer, "inner");
+    outer.finish();  // closed before inner, and again by its destructor
+    outer.finish();
+  }
+  const std::vector<TraceSpan> spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+}
+
+TEST(Trace, ChromeExportIsValidJson) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    ScopedSpan inner(&tracer, "inner");
+    inner.attr("hits", 3);
+    inner.attr("label", std::string("batch"));
+  }
+  const JsonValue doc = chrome_trace_json(tracer.drain(), /*dropped=*/1);
+  // Round-trips through the project's own JSON parser.
+  const JsonValue reparsed = JsonValue::parse(doc.dump());
+  EXPECT_EQ(reparsed, doc);
+  const JsonValue* events_value = reparsed.find("traceEvents");
+  ASSERT_NE(events_value, nullptr);
+  const auto& events = events_value->as_array();
+  ASSERT_EQ(events.size(), 2u);
+  double prev_ts = -1.0;
+  for (const JsonValue& event : events) {
+    EXPECT_EQ(event.find("ph")->as_string(), "X");
+    EXPECT_GE(event.find("dur")->as_number(), 0.0);
+    const double ts = event.find("ts")->as_number();
+    EXPECT_GE(ts, prev_ts);  // sorted by timestamp
+    prev_ts = ts;
+    ASSERT_NE(event.find("args"), nullptr);
+    EXPECT_NE(event.find("args")->find("span"), nullptr);
+  }
+  EXPECT_EQ(reparsed.find("droppedSpans")->as_number(), 1.0);
+  // The inner span carries its attributes and its parent link.
+  const JsonValue& inner = events[1];
+  EXPECT_EQ(inner.find("name")->as_string(), "inner");
+  EXPECT_EQ(inner.find("args")->find("hits")->as_number(), 3.0);
+  EXPECT_EQ(inner.find("args")->find("label")->as_string(), "batch");
+  EXPECT_EQ(inner.find("args")->find("parent")->as_number(),
+            events[0].find("args")->find("span")->as_number());
+}
+
+// Golden end-to-end run: `cvbind EWF --datapath [2,1|1,1] --trace-out`
+// must produce a well-formed Chrome trace with the full span hierarchy
+// of a b-iter run and monotonically ordered, properly nested
+// timestamps.
+TEST(Trace, CvbindTraceOutGolden) {
+  const std::string path = "trace_test_golden.json";
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli({"EWF", "--datapath", "[2,1|1,1]", "--trace-out",
+                            path},
+                           out, err);
+  ASSERT_EQ(code, 0) << err.str();
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream text;
+  text << file.rdbuf();
+  const JsonValue doc = JsonValue::parse(text.str());
+  const JsonValue* events_value = doc.find("traceEvents");
+  ASSERT_NE(events_value, nullptr);
+  const auto& events = events_value->as_array();
+  ASSERT_GT(events.size(), 0u);
+
+  std::unordered_map<long long, std::pair<double, double>> interval;
+  std::vector<std::string> names;
+  double prev_ts = -1.0;
+  for (const JsonValue& event : events) {
+    const double ts = event.find("ts")->as_number();
+    const double dur = event.find("dur")->as_number();
+    EXPECT_GE(ts, prev_ts) << "events must be sorted by timestamp";
+    prev_ts = ts;
+    names.push_back(event.find("name")->as_string());
+    const long long span =
+        static_cast<long long>(event.find("args")->find("span")->as_number());
+    interval[span] = {ts, ts + dur};
+  }
+  // The whole request hierarchy is present.
+  for (const char* expected :
+       {"bind.request", "b-init.sweep", "b-init.candidate", "b-iter.start",
+        "b-iter.round", "eval.batch", "sched.list"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  // Exactly one root, and every parented span nests inside its parent's
+  // interval.
+  int roots = 0;
+  for (const JsonValue& event : events) {
+    const JsonValue* parent = event.find("args")->find("parent");
+    if (parent == nullptr) {
+      ++roots;
+      EXPECT_EQ(event.find("name")->as_string(), "bind.request");
+      continue;
+    }
+    const auto it = interval.find(static_cast<long long>(parent->as_number()));
+    ASSERT_NE(it, interval.end());
+    const double ts = event.find("ts")->as_number();
+    const double end = ts + event.find("dur")->as_number();
+    EXPECT_GE(ts, it->second.first);
+    EXPECT_LE(end, it->second.second);
+  }
+  EXPECT_EQ(roots, 1);
+  // Evaluation batches expose their cache-hit counters.
+  bool saw_cache_attr = false;
+  for (const JsonValue& event : events) {
+    if (event.find("name")->as_string() == "eval.batch" &&
+        event.find("args")->find("cache_hits") != nullptr) {
+      saw_cache_attr = true;
+    }
+  }
+  EXPECT_TRUE(saw_cache_attr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cvb
