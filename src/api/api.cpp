@@ -51,13 +51,15 @@ BindResult dispatch(const BindRequest& request, const RequestContext& ctx,
     throw std::invalid_argument("unknown algorithm '" + request.algorithm +
                                 "'");
   }
-  // The baselines below have no cancellation polling: an armed token
-  // could never fire, which would silently break the deadline
-  // contract. Reject instead.
-  if (ctx.cancel.armed()) {
+  // The baselines below run to completion without cancellation
+  // polling: a deadline could never fire mid-run, which would silently
+  // break the deadline contract, so deadline tokens are rejected. A
+  // manual-only token (what cvb::Service arms when no deadline is
+  // configured) is fine — run_bind_request polls its cancel flag after
+  // the run and reports kCancelled with the completed result.
+  if (ctx.cancel.has_deadline()) {
     throw std::invalid_argument("algorithm '" + request.algorithm +
-                                "' does not support deadlines or "
-                                "cancellation");
+                                "' does not support deadlines");
   }
   if (request.algorithm == "sa") {
     AnnealingParams params;

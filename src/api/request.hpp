@@ -34,9 +34,11 @@ class FaultInjector;
 /// injection".
 struct RequestContext {
   /// Cooperative cancellation / deadline token. Armed tokens make
-  /// b-iter / b-init / pcc anytime (best verified result so far);
-  /// algorithms without anytime support reject armed tokens as
-  /// invalid requests.
+  /// b-iter / b-init / pcc anytime (best verified result so far).
+  /// The baselines (sa | mincut | exhaustive) never poll mid-run:
+  /// deadline tokens are rejected as invalid requests, while manual
+  /// cancellation is honoured after the run completes (kCancelled
+  /// with the finished result).
   CancelToken cancel;
   /// Span recorder for this request (support/trace.hpp); null =
   /// tracing off, with a strictly one-branch fast path everywhere.

@@ -43,8 +43,12 @@ struct BindResponse {
   /// schedule; empty unless has_result(status).
   BoundDfg bound;
   Schedule schedule;
-  /// Evaluation-engine counters attributable to this request
-  /// (candidates, schedule-cache hits, eval wall time).
+  /// Evaluation-engine counters for this request (candidates,
+  /// schedule-cache hits, eval wall time), measured as a before/after
+  /// delta on the serving engine. Exact for a private engine or a
+  /// single-worker service; with several workers sharing one engine,
+  /// concurrently running requests' work lands in whichever deltas
+  /// overlap them, so treat the numbers as approximate attribution.
   EvalStats eval_stats;
   /// Threads of the engine that served the request.
   int eval_threads = 1;

@@ -14,7 +14,6 @@
 // service runs; {"cmd":"trace"} drains it over the wire, --trace-out
 // writes whatever is left at exit, and --metrics-text exports the
 // metrics registry as Prometheus text at exit.
-#include <atomic>
 #include <condition_variable>
 #include <fstream>
 #include <istream>
@@ -196,7 +195,10 @@ bool read_request_line(std::istream& in, std::string& line, bool* overflow) {
 void serve_stream(Service& service, Tracer* tracer, std::istream& in,
                   std::ostream& out) {
   std::mutex out_mutex;
-  std::atomic<long long> outstanding{0};
+  // Guarded by done_mutex (including the completion callbacks'
+  // decrement) so the final wait below cannot observe 0 and destroy
+  // the mutex/cv while a worker is still mid-notify.
+  long long outstanding = 0;
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
@@ -242,19 +244,23 @@ void serve_stream(Service& service, Tracer* tracer, std::istream& in,
       }
       continue;
     }
-    outstanding.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      ++outstanding;
+    }
     service.submit(std::move(request.job), [&](BindOutcome outcome) {
       respond(outcome_to_json(outcome));
-      if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        const std::lock_guard<std::mutex> lock(done_mutex);
+      // Decrement and notify under the mutex: once the waiter sees 0
+      // it holds done_mutex, which proves this callback has released
+      // it, so serve_stream's locals are safe to destroy.
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      if (--outstanding == 0) {
         done_cv.notify_all();
       }
     });
   }
   std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] {
-    return outstanding.load(std::memory_order_acquire) == 0;
-  });
+  done_cv.wait(lock, [&] { return outstanding == 0; });
 }
 
 #ifdef CVB_HAVE_UNIX_SOCKETS

@@ -32,6 +32,10 @@ bool CancelToken::cancelled() const {
          state_->cancelled.load(std::memory_order_relaxed);
 }
 
+bool CancelToken::has_deadline() const {
+  return state_ != nullptr && state_->has_deadline;
+}
+
 bool CancelToken::deadline_expired() const {
   return state_ != nullptr && state_->has_deadline &&
          Clock::now() >= state_->deadline;

@@ -43,6 +43,10 @@ class CancelToken {
   /// True iff this token carries shared state (non-empty).
   [[nodiscard]] bool armed() const { return state_ != nullptr; }
 
+  /// True iff this token carries a wall-clock deadline (after_ms / at).
+  /// Manual tokens and empty tokens return false.
+  [[nodiscard]] bool has_deadline() const;
+
   /// Requests cancellation; visible to every copy. No-op on an empty
   /// token. Safe to call from any thread, repeatedly.
   void request_cancel() const;

@@ -1,6 +1,7 @@
 #include "support/trace.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <ostream>
 #include <utility>
 
@@ -25,11 +26,14 @@ namespace {
 
 std::atomic<std::uint64_t> g_next_tracer_uid{1};
 
-/// Thread-local cache mapping tracer uid -> this thread's buffer.
-/// Uids are never reused, so an entry for a destroyed tracer can never
-/// match a live one (its dangling pointer is never dereferenced). The
-/// size cap only evicts when one thread records into many tracers'
-/// lifetimes — the stale-entry case the cap exists for.
+/// Thread-local cache mapping tracer uid -> this thread's buffer,
+/// kept in LRU order (most recently used at the back). Uids are never
+/// reused, so an entry for a destroyed tracer can never match a live
+/// one (its dangling pointer is never dereferenced). The size cap
+/// evicts the *least recently used* entry, so a long-lived tracer this
+/// thread keeps recording into is never displaced by a burst of
+/// short-lived ones — eviction of a live tracer's entry would split
+/// its open-span stack and allocate it a fresh thread index.
 struct TlsEntry {
   std::uint64_t uid = 0;
   internal::TraceThreadBuffer* buffer = nullptr;
@@ -56,9 +60,16 @@ std::uint64_t Tracer::now_us() const {
 }
 
 internal::TraceThreadBuffer& Tracer::buffer() {
-  for (const TlsEntry& entry : t_buffers) {
-    if (entry.uid == uid_) {
-      return *entry.buffer;
+  // Scan newest-first: the common case is one hot tracer, which LRU
+  // ordering keeps at the back.
+  for (std::size_t i = t_buffers.size(); i-- > 0;) {
+    if (t_buffers[i].uid == uid_) {
+      if (i + 1 != t_buffers.size()) {
+        const TlsEntry hit = t_buffers[i];
+        t_buffers.erase(t_buffers.begin() + static_cast<std::ptrdiff_t>(i));
+        t_buffers.push_back(hit);
+      }
+      return *t_buffers.back().buffer;
     }
   }
   auto owned = std::make_unique<internal::TraceThreadBuffer>();
@@ -69,7 +80,7 @@ internal::TraceThreadBuffer& Tracer::buffer() {
     buffers_.push_back(std::move(owned));
   }
   if (t_buffers.size() >= kMaxTlsEntries) {
-    t_buffers.erase(t_buffers.begin());  // oldest entry is the stalest
+    t_buffers.erase(t_buffers.begin());  // front = least recently used
   }
   t_buffers.push_back(TlsEntry{uid_, raw});
   return *raw;

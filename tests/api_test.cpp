@@ -59,7 +59,7 @@ TEST(Api, UnknownAlgorithmIsTypedInvalidRequest) {
   EXPECT_TRUE(response.binding.empty());
 }
 
-TEST(Api, BaselinesRejectArmedCancelTokens) {
+TEST(Api, BaselinesRejectDeadlineTokens) {
   RequestContext ctx;
   ctx.cancel = CancelToken::after_ms(10'000);
   const BindResponse response = run_bind_request(ewf_request("sa"), ctx);
@@ -67,6 +67,28 @@ TEST(Api, BaselinesRejectArmedCancelTokens) {
   EXPECT_NE(response.error.find("does not support deadlines"),
             std::string::npos)
       << response.error;
+}
+
+TEST(Api, BaselinesAcceptManualTokens) {
+  // cvb::Service arms a manual token when no deadline is configured;
+  // baselines must still run in that case (the guard rejects only
+  // tokens that carry a deadline).
+  RequestContext ctx;
+  ctx.cancel = CancelToken::manual();
+  const BindResponse response = run_bind_request(ewf_request("sa"), ctx);
+  EXPECT_EQ(response.status, BindStatus::kOk) << response.error;
+  EXPECT_FALSE(response.binding.empty());
+}
+
+TEST(Api, BaselineManualCancelReportsCancelledWithResult) {
+  RequestContext ctx;
+  ctx.cancel = CancelToken::manual();
+  ctx.cancel.request_cancel();
+  const BindResponse response = run_bind_request(ewf_request("sa"), ctx);
+  // Baselines never poll mid-run: the flag is honoured afterwards, so
+  // the completed (verified) result comes back tagged kCancelled.
+  EXPECT_EQ(response.status, BindStatus::kCancelled);
+  EXPECT_FALSE(response.binding.empty());
 }
 
 TEST(Api, ExpiredDeadlineStillReturnsVerifiedAnytimeResult) {

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <new>
 #include <sstream>
 #include <string>
@@ -98,6 +99,39 @@ TEST(Trace, CrossThreadSpansUseExplicitParent) {
   EXPECT_EQ(task.parent, root.id);
   // Different recording threads get different dense indices.
   EXPECT_NE(task.thread, root.thread);
+}
+
+TEST(Trace, HotTracerSurvivesTlsCacheChurn) {
+  // Regression: the per-thread tracer cache evicts least-recently-used
+  // entries, so touching many short-lived tracers must not displace a
+  // tracer this thread keeps recording into — eviction would split its
+  // open-span stack (breaking implicit parenting) and allocate it a
+  // second thread index.
+  Tracer hot;
+  ScopedSpan root(&hot, "root");
+  const std::uint64_t root_id = root.id();
+  for (int burst = 0; burst < 4; ++burst) {
+    // Each burst pushes 16 fresh tracer entries into the TLS cache
+    // (cap 32); re-touching `hot` between bursts keeps it recent.
+    std::vector<std::unique_ptr<Tracer>> churn;
+    for (int i = 0; i < 16; ++i) {
+      churn.push_back(std::make_unique<Tracer>());
+      ScopedSpan s(churn.back().get(), "churn");
+    }
+    ScopedSpan keepalive(&hot, "keepalive");
+  }
+  { ScopedSpan child(&hot, "child"); }
+  root.finish();
+  const std::vector<TraceSpan> spans = hot.drain();
+  ASSERT_FALSE(spans.empty());
+  for (const TraceSpan& span : spans) {
+    // One recording thread -> one dense thread index, throughout.
+    EXPECT_EQ(span.thread, spans[0].thread) << span.name;
+    // Implicit nesting intact: everything under the still-open root.
+    if (span.id != root_id) {
+      EXPECT_EQ(span.parent, root_id) << span.name;
+    }
+  }
 }
 
 TEST(Trace, DisabledSpanIsFreeAndAllocationFree) {
