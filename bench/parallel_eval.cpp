@@ -2,18 +2,29 @@
 // bindings evaluated by cvb::EvalEngine at 1/2/4/8 threads, on the
 // Table 1/Table 2 kernels. Reports per-thread-count wall time and the
 // speedup over 1 thread, verifies every configuration returns
-// bit-identical results, and shows the schedule cache's effect on a
-// repeated B-ITER-style workload.
+// bit-identical results, shows the incremental (delta) evaluation
+// path's speedup over full re-evaluation, sweeps the sharded schedule
+// cache under concurrent callers (reporting per-shard contention), and
+// shows the cache's effect on a repeated B-ITER-style workload.
 //
 // The candidate batches mimic what B-ITER submits per round: single-op
 // re-bindings of the B-INIT binding (every op x every feasible
 // cluster), which is also the dominant workload of the paper's own
 // complexity analysis (Section 5).
+//
+// `parallel_eval --check` runs a reduced smoke configuration and exits
+// nonzero if the sharded cache regresses hit rate or throughput
+// against the single-mutex (1-shard, no-L1) baseline, or if the delta
+// path diverges from full evaluation — CI runs this mode.
+#include <algorithm>
+#include <atomic>
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bind/delta_eval.hpp"
 #include "bind/driver.hpp"
 #include "bind/eval_engine.hpp"
 #include "kernels/kernels.hpp"
@@ -40,29 +51,156 @@ const std::vector<Config> kConfigs = {
 
 const std::vector<int> kThreadCounts = {1, 2, 4, 8};
 
-/// B-ITER-style candidate batch: every (op, feasible cluster) single
-/// re-binding of `base`.
-std::vector<cvb::Binding> single_move_candidates(const cvb::Dfg& dfg,
-                                                 const cvb::Datapath& dp,
-                                                 const cvb::Binding& base) {
-  std::vector<cvb::Binding> out;
+/// B-ITER-style candidate deltas: every (op, feasible cluster) single
+/// re-binding of `base`, as deltas against it.
+std::vector<cvb::BindingDelta> single_move_deltas(const cvb::Dfg& dfg,
+                                                  const cvb::Datapath& dp,
+                                                  const cvb::Binding& base) {
+  std::vector<cvb::BindingDelta> out;
   for (cvb::OpId v = 0; v < dfg.num_ops(); ++v) {
     for (const cvb::ClusterId c : dp.target_set(dfg.type(v))) {
       if (c == base[static_cast<std::size_t>(v)]) {
         continue;
       }
-      cvb::Binding trial = base;
-      trial[static_cast<std::size_t>(v)] = c;
-      out.push_back(std::move(trial));
+      out.push_back({{v, c}});
     }
   }
   return out;
 }
 
+/// The same candidates as full binding vectors.
+std::vector<cvb::Binding> materialize(const cvb::Binding& base,
+                                      const std::vector<cvb::BindingDelta>& ds) {
+  std::vector<cvb::Binding> out;
+  out.reserve(ds.size());
+  for (const cvb::BindingDelta& delta : ds) {
+    cvb::Binding trial = base;
+    for (const auto& [v, c] : delta) {
+      trial[static_cast<std::size_t>(v)] = c;
+    }
+    out.push_back(std::move(trial));
+  }
+  return out;
+}
+
+struct CacheSweep {
+  double ms = 0.0;
+  double per_sec = 0.0;  // candidates per second
+  double hit_rate = 0.0;
+  cvb::EvalStats stats;
+  long long max_shard_contended = 0;
+};
+
+/// `callers` external threads hammer one shared engine with the same
+/// batch `reps` times each — the caller-side cache probes are where
+/// shard locks contend (pool workers only schedule misses).
+CacheSweep run_cache_sweep(const cvb::Dfg& dfg, const cvb::Datapath& dp,
+                           const std::vector<cvb::Binding>& batch, int callers,
+                           std::size_t shards, std::size_t l1_capacity,
+                           int reps,
+                           const std::vector<cvb::EvalResult>& reference) {
+  cvb::EvalEngineOptions opts;
+  opts.num_threads = 1;  // contention under test is between callers
+  opts.cache_shards = shards;
+  opts.l1_capacity = l1_capacity;
+  cvb::EvalEngine engine(opts);
+  std::atomic<bool> mismatch{false};
+  cvb::Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(callers));
+  for (int t = 0; t < callers; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < reps; ++rep) {
+        if (engine.evaluate_batch(dfg, dp, batch) != reference) {
+          mismatch = true;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  if (mismatch.load()) {
+    throw std::logic_error("cache sweep changed evaluation results");
+  }
+  CacheSweep out;
+  out.ms = watch.elapsed_ms();
+  out.stats = engine.stats();
+  out.per_sec = out.ms > 0.0
+                    ? 1000.0 * static_cast<double>(out.stats.candidates) / out.ms
+                    : 0.0;
+  out.hit_rate = out.stats.candidates > 0
+                     ? static_cast<double>(out.stats.cache_hits) /
+                           static_cast<double>(out.stats.candidates)
+                     : 0.0;
+  for (const cvb::EvalShardStats& shard : engine.shard_stats()) {
+    out.max_shard_contended = std::max(out.max_shard_contended, shard.contended);
+  }
+  return out;
+}
+
+int run_check() {
+  using cvb::format_sig;
+  const cvb::BenchmarkKernel kernel = cvb::benchmark_by_name("DCT-DIT-2");
+  const cvb::Datapath dp = cvb::parse_datapath("[3,1|2,2|1,3]");
+  cvb::DriverParams init_only;
+  init_only.run_iterative = false;
+  const cvb::BindResult seed = cvb::bind_initial_best(kernel.dfg, dp, init_only);
+  const std::vector<cvb::BindingDelta> deltas =
+      single_move_deltas(kernel.dfg, dp, seed.binding);
+  const std::vector<cvb::Binding> batch = materialize(seed.binding, deltas);
+
+  // Reference + delta-vs-full differential on the way.
+  cvb::EvalEngineOptions uncached;
+  uncached.cache_capacity = 0;
+  cvb::EvalEngine serial(uncached);
+  const std::vector<cvb::EvalResult> reference =
+      serial.evaluate_batch(kernel.dfg, dp, batch);
+  const std::vector<cvb::EvalResult> via_delta =
+      serial.evaluate_batch_delta(kernel.dfg, dp, seed.binding, deltas);
+  bool ok = true;
+  if (via_delta != reference) {
+    std::cout << "FAIL: delta evaluation diverges from full evaluation\n";
+    ok = false;
+  }
+
+  constexpr int kCallers = 8;
+  constexpr int kReps = 12;
+  const CacheSweep single = run_cache_sweep(kernel.dfg, dp, batch, kCallers,
+                                            /*shards=*/1, /*l1=*/0, kReps,
+                                            reference);
+  const CacheSweep sharded = run_cache_sweep(kernel.dfg, dp, batch, kCallers,
+                                             /*shards=*/8, /*l1=*/64, kReps,
+                                             reference);
+  std::cout << "single-mutex baseline: " << format_sig(single.per_sec, 3)
+            << " cand/s, hit rate " << format_sig(100.0 * single.hit_rate, 3)
+            << "%, max shard contended " << single.max_shard_contended << "\n"
+            << "sharded (8) + L1:      " << format_sig(sharded.per_sec, 3)
+            << " cand/s, hit rate " << format_sig(100.0 * sharded.hit_rate, 3)
+            << "%, max shard contended " << sharded.max_shard_contended << "\n";
+  if (sharded.hit_rate + 1e-9 < single.hit_rate) {
+    std::cout << "FAIL: sharded cache hit rate below single-mutex baseline\n";
+    ok = false;
+  }
+  // Generous tolerance: the identical work should never be 40% slower
+  // just from lock splitting, on any core count.
+  if (single.per_sec > 0.0 && sharded.per_sec < 0.6 * single.per_sec) {
+    std::cout << "FAIL: sharded cache throughput regressed vs single mutex ("
+              << format_sig(sharded.per_sec / single.per_sec, 3) << "x)\n";
+    ok = false;
+  }
+  std::cout << (ok ? "parallel_eval --check: PASS\n"
+                   : "parallel_eval --check: FAIL\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using cvb::format_sig;
+  if (argc > 1 && std::string(argv[1]) == "--check") {
+    return run_check();
+  }
 
   std::cout << "Parallel candidate evaluation: one B-ITER-style batch per\n"
                "kernel, evaluated at 1/2/4/8 threads (cache disabled so the\n"
@@ -79,8 +217,9 @@ int main() {
     init_only.run_iterative = false;
     const cvb::BindResult seed =
         cvb::bind_initial_best(kernel.dfg, dp, init_only);
-    const std::vector<cvb::Binding> batch =
-        single_move_candidates(kernel.dfg, dp, seed.binding);
+    const std::vector<cvb::BindingDelta> deltas =
+        single_move_deltas(kernel.dfg, dp, seed.binding);
+    const std::vector<cvb::Binding> batch = materialize(seed.binding, deltas);
 
     std::vector<double> ms;
     std::vector<cvb::EvalResult> reference;
@@ -112,6 +251,106 @@ int main() {
                    format_sig(ms[3], 3), format_sig(ms[0] / ms[2], 3)});
   }
   table.print(std::cout);
+
+  // Incremental (delta) evaluation vs full re-evaluation, serial, cache
+  // off: isolates the per-candidate BoundDfg/arena savings.
+  std::cout << "\nIncremental (delta) vs full evaluation (serial, cache "
+               "off, bit-identical results):\n";
+  cvb::TablePrinter delta_table(
+      {"kernel", "datapath", "batch", "full ms", "delta ms", "speedup"});
+  for (const Config& config : kConfigs) {
+    const cvb::BenchmarkKernel kernel = cvb::benchmark_by_name(config.kernel);
+    const cvb::Datapath dp = cvb::parse_datapath(config.datapath);
+    cvb::DriverParams init_only;
+    init_only.run_iterative = false;
+    const cvb::BindResult seed =
+        cvb::bind_initial_best(kernel.dfg, dp, init_only);
+    const std::vector<cvb::BindingDelta> deltas =
+        single_move_deltas(kernel.dfg, dp, seed.binding);
+    const std::vector<cvb::Binding> batch = materialize(seed.binding, deltas);
+
+    cvb::EvalEngineOptions opts;
+    opts.cache_capacity = 0;
+    cvb::EvalEngine engine(opts);
+    constexpr int kReps = 5;
+    (void)engine.evaluate_batch(kernel.dfg, dp, batch);  // warm-up
+    cvb::Stopwatch full_watch;
+    std::vector<cvb::EvalResult> full;
+    for (int rep = 0; rep < kReps; ++rep) {
+      full = engine.evaluate_batch(kernel.dfg, dp, batch);
+    }
+    const double full_ms = full_watch.elapsed_ms() / kReps;
+    (void)engine.evaluate_batch_delta(kernel.dfg, dp, seed.binding, deltas);
+    cvb::Stopwatch delta_watch;
+    std::vector<cvb::EvalResult> incremental;
+    for (int rep = 0; rep < kReps; ++rep) {
+      incremental =
+          engine.evaluate_batch_delta(kernel.dfg, dp, seed.binding, deltas);
+    }
+    const double delta_ms = delta_watch.elapsed_ms() / kReps;
+    if (incremental != full) {
+      throw std::logic_error("delta evaluation diverged on " + config.kernel);
+    }
+    delta_table.add_row({config.kernel, config.datapath,
+                         std::to_string(batch.size()), format_sig(full_ms, 3),
+                         format_sig(delta_ms, 3),
+                         format_sig(delta_ms > 0 ? full_ms / delta_ms : 0.0,
+                                    3)});
+  }
+  delta_table.print(std::cout);
+
+  // Sharded-cache contention sweep: concurrent caller threads sharing
+  // one warm engine; all work after round one is cache probes, so the
+  // cache organization dominates.
+  std::cout << "\nSharded-cache contention sweep (DCT-DIT-2, [3,1|2,2|1,3];\n"
+               "N caller threads re-probing one shared engine; single = 1 "
+               "shard,\nno L1 — the pre-shard organization):\n";
+  {
+    const cvb::BenchmarkKernel kernel = cvb::benchmark_by_name("DCT-DIT-2");
+    const cvb::Datapath dp = cvb::parse_datapath("[3,1|2,2|1,3]");
+    cvb::DriverParams init_only;
+    init_only.run_iterative = false;
+    const cvb::BindResult seed =
+        cvb::bind_initial_best(kernel.dfg, dp, init_only);
+    const std::vector<cvb::BindingDelta> deltas =
+        single_move_deltas(kernel.dfg, dp, seed.binding);
+    const std::vector<cvb::Binding> batch = materialize(seed.binding, deltas);
+    cvb::EvalEngineOptions uncached;
+    uncached.cache_capacity = 0;
+    cvb::EvalEngine serial(uncached);
+    const std::vector<cvb::EvalResult> reference =
+        serial.evaluate_batch(kernel.dfg, dp, batch);
+
+    cvb::TablePrinter sweep({"callers", "config", "ms", "kcand/s", "hit %",
+                             "L1 %", "max shard cont."});
+    constexpr int kReps = 8;
+    for (const int callers : kThreadCounts) {
+      struct Variant {
+        const char* name;
+        std::size_t shards;
+        std::size_t l1;
+      };
+      const Variant variants[] = {{"single mutex", 1, 0},
+                                  {"8 shards", 8, 0},
+                                  {"8 shards + L1", 8, 64}};
+      for (const Variant& variant : variants) {
+        const CacheSweep r =
+            run_cache_sweep(kernel.dfg, dp, batch, callers, variant.shards,
+                            variant.l1, kReps, reference);
+        const double l1_pct =
+            r.stats.candidates > 0
+                ? 100.0 * static_cast<double>(r.stats.l1_hits) /
+                      static_cast<double>(r.stats.candidates)
+                : 0.0;
+        sweep.add_row({std::to_string(callers), variant.name,
+                       format_sig(r.ms, 3), format_sig(r.per_sec / 1000.0, 3),
+                       format_sig(100.0 * r.hit_rate, 3),
+                       format_sig(l1_pct, 3),
+                       std::to_string(r.max_shard_contended)});
+      }
+    }
+    sweep.print(std::cout);
+  }
 
   // Cache effect: the full driver on DCT-DIT-2, cold vs shared engine.
   std::cout << "\nSchedule-cache effect (full B-ITER on DCT-DIT-2, "

@@ -172,8 +172,12 @@ JsonValue eval_stats_to_json(const EvalStats& stats, int num_threads) {
   out.set("candidates", stats.candidates);
   out.set("batches", stats.batches);
   out.set("cache_hits", stats.cache_hits);
+  out.set("l1_hits", stats.l1_hits);
+  out.set("batch_dedup", stats.batch_dedup);
   out.set("cache_misses", stats.cache_misses);
   out.set("cache_evictions", stats.cache_evictions);
+  out.set("cache_collisions", stats.cache_collisions);
+  out.set("cache_contended", stats.cache_contended);
   out.set("cache_hit_rate",
           stats.candidates > 0
               ? static_cast<double>(stats.cache_hits) /

@@ -1,0 +1,181 @@
+#include "bind/delta_eval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bind/eval_engine.hpp"
+#include "sched/list_scheduler_core.hpp"
+#include "sched/quality.hpp"
+#include "support/fault.hpp"
+
+namespace cvb {
+
+namespace {
+
+/// Reverts the applied binding delta on scope exit (including unwinds
+/// from the scheduler: step-budget overruns, injected faults), so the
+/// evaluator's incumbent state can never be corrupted by a failed
+/// candidate.
+class ScopedRevert {
+ public:
+  ScopedRevert(Binding& binding, std::vector<ClusterId>& place,
+               const BindingDelta& changes, std::vector<ClusterId>& saved)
+      : binding_(binding), place_(place), changes_(changes), saved_(saved) {}
+
+  ~ScopedRevert() {
+    // Reverse order, so an op repeated in `changes` restores its
+    // original cluster (boundary_candidates never repeats ops, but the
+    // contract should not depend on that).
+    for (std::size_t i = changes_.size(); i-- > 0;) {
+      const auto sv = static_cast<std::size_t>(changes_[i].first);
+      binding_[sv] = saved_[i];
+      if (sv < place_.size()) {
+        place_[sv] = saved_[i];
+      }
+    }
+  }
+
+ private:
+  Binding& binding_;
+  std::vector<ClusterId>& place_;
+  const BindingDelta& changes_;
+  std::vector<ClusterId>& saved_;
+};
+
+}  // namespace
+
+std::string FlatBound::op_name(OpId v) const {
+  if (v >= num_original_) {
+    return "t" + std::to_string(v - num_original_ + 1);
+  }
+  return "op" + std::to_string(v);
+}
+
+void DeltaEvaluator::set_incumbent(const Dfg& dfg, const Datapath& dp,
+                                   const Binding& binding) {
+  require_valid_binding(dfg, binding, dp);
+  dfg_ = &dfg;
+  dp_ = &dp;
+  binding_ = binding;
+
+  const int n = dfg.num_ops();
+  flat_.num_original_ = n;
+  flat_.num_ops_ = n;
+  flat_.num_moves_ = 0;
+  flat_.type_.assign(dfg.types().begin(), dfg.types().end());
+  flat_.place_.assign(binding_.begin(), binding_.end());
+  if (flat_.preds_.size() < static_cast<std::size_t>(n)) {
+    flat_.preds_.resize(static_cast<std::size_t>(n));
+    flat_.succs_.resize(static_cast<std::size_t>(n));
+  }
+  const auto slots =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(dp.num_clusters());
+  move_slot_.assign(slots, kNoOp);
+  move_gen_.assign(slots, 0);
+  gen_ = 0;
+}
+
+void DeltaEvaluator::rebuild_overlay() {
+  const Dfg& dfg = *dfg_;
+  const int n = flat_.num_original_;
+  ++gen_;
+  flat_.num_ops_ = n;
+  flat_.num_moves_ = 0;
+  flat_.type_.resize(static_cast<std::size_t>(n));
+  flat_.place_.resize(static_cast<std::size_t>(n));
+  for (OpId v = 0; v < n; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    flat_.preds_[sv].clear();
+    flat_.succs_[sv].clear();
+    flat_.place_[sv] = binding_[sv];
+  }
+
+  const auto num_clusters = static_cast<std::size_t>(dp_->num_clusters());
+  // Mirrors build_bound_dfg's lazy move creation: a move op is created
+  // at the first cross-cluster use of (producer, dest) during the scan
+  // below, which assigns it the same id a fresh build would.
+  const auto get_move = [&](OpId producer, ClusterId dest) -> OpId {
+    const std::size_t slot =
+        static_cast<std::size_t>(producer) * num_clusters +
+        static_cast<std::size_t>(dest);
+    if (move_gen_[slot] == gen_) {
+      return move_slot_[slot];
+    }
+    const OpId m = flat_.num_ops_++;
+    ++flat_.num_moves_;
+    flat_.type_.push_back(OpType::kMove);
+    flat_.place_.push_back(kNoCluster);
+    const auto sm = static_cast<std::size_t>(m);
+    if (sm >= flat_.preds_.size()) {
+      flat_.preds_.emplace_back();
+      flat_.succs_.emplace_back();
+    } else {
+      flat_.preds_[sm].clear();
+      flat_.succs_[sm].clear();
+    }
+    flat_.preds_[sm].push_back(producer);
+    flat_.succs_[static_cast<std::size_t>(producer)].push_back(m);
+    move_gen_[slot] = gen_;
+    move_slot_[slot] = m;
+    return m;
+  };
+
+  // Operand rewrite in the same scan order as build_bound_dfg, with
+  // Dfg::add_operand's dedup semantics (an edge appears once however
+  // many operand slots repeat the producer).
+  for (OpId v = 0; v < n; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    const ClusterId cv = binding_[sv];
+    for (const OpId u : dfg.operands(v)) {
+      if (u == kNoOp) {
+        continue;  // external live-in: no edge
+      }
+      const OpId p =
+          binding_[static_cast<std::size_t>(u)] == cv ? u : get_move(u, cv);
+      auto& pv = flat_.preds_[sv];
+      if (std::find(pv.begin(), pv.end(), p) == pv.end()) {
+        pv.push_back(p);
+        flat_.succs_[static_cast<std::size_t>(p)].push_back(v);
+      }
+    }
+  }
+}
+
+EvalResult DeltaEvaluator::evaluate(const BindingDelta& changes,
+                                    const ListSchedulerOptions& sched) {
+  if (dfg_ == nullptr) {
+    throw std::logic_error("DeltaEvaluator: set_incumbent not called");
+  }
+  CVB_INJECT("eval.task");  // same chaos site as evaluate_uncached
+
+  // Validate before touching any state (mirrors require_valid_binding).
+  for (const auto& [v, c] : changes) {
+    if (!dfg_->is_valid(v)) {
+      throw std::logic_error("DeltaEvaluator: invalid op id " +
+                             std::to_string(v));
+    }
+    if (c < 0 || c >= dp_->num_clusters() || !dp_->supports(c, dfg_->type(v))) {
+      throw std::logic_error("DeltaEvaluator: op " + std::to_string(v) +
+                             " cannot run on cluster " + std::to_string(c));
+    }
+  }
+
+  saved_.clear();
+  for (const auto& [v, c] : changes) {
+    saved_.push_back(binding_[static_cast<std::size_t>(v)]);
+    binding_[static_cast<std::size_t>(v)] = c;
+  }
+  const ScopedRevert revert(binding_, flat_.place_, changes, saved_);
+
+  rebuild_overlay();
+  detail::list_schedule_core(flat_, *dp_, sched, arena_, sched_scratch_);
+  QualityU qu = compute_quality_u(flat_.types(), flat_.num_original_ops(),
+                                  *dp_, sched_scratch_);
+  EvalResult result;
+  result.latency = sched_scratch_.latency;
+  result.num_moves = sched_scratch_.num_moves;
+  result.tail_counts = std::move(qu.tail_counts);
+  return result;
+}
+
+}  // namespace cvb

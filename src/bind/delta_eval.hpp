@@ -1,0 +1,125 @@
+// Incremental candidate evaluation for B-ITER-style move batches.
+//
+// Every candidate in a B-ITER round differs from the incumbent binding
+// in one op's cluster (or two, for the pair perturbations), yet the
+// baseline path re-derives the whole evaluation from scratch per
+// candidate: a fresh BoundDfg (N + M heap-allocated ops with formatted
+// move names, a std::map of move slots), fresh timing vectors, and a
+// fresh scheduler state. DeltaEvaluator removes all of that steady-state
+// allocation:
+//
+//  * the binding delta is applied and reverted in O(|changes|) on a
+//    retained incumbent copy;
+//  * the move overlay is re-derived into a retained FlatBound scratch —
+//    an O(V + E) integer scan with zero allocations and no strings (the
+//    overlay cannot be patched in place, because move op ids are
+//    assigned in first-use order and the scheduler's priority
+//    tie-breaks on op id: changing one op's cluster renumbers every
+//    later move, so id-exact reconstruction of the overlay is required
+//    for bit-identical results);
+//  * scheduling runs through the shared template core
+//    (sched/list_scheduler_core.hpp) on a retained SchedArena.
+//
+// Contract: evaluate() is bit-identical to
+// EvalEngine::evaluate_uncached(dfg, dp, incumbent ⊕ changes, sched) —
+// same (L, M), same Q_U tail vector — for every candidate, which the
+// differential tests assert across all Table 1/2 benchmark DFGs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bind/binding.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace cvb {
+
+/// One candidate as a set of (operation, new cluster) re-bindings
+/// relative to an incumbent binding (B-ITER's singles and pairs).
+using BindingDelta = std::vector<std::pair<OpId, ClusterId>>;
+
+/// Arena-backed bound graph: the same structure build_bound_dfg
+/// produces (original ops 0..N-1, moves appended in first-use order),
+/// stored in reusable flat buffers and satisfying the scheduler core's
+/// view interface. Only DeltaEvaluator writes it.
+class FlatBound {
+ public:
+  [[nodiscard]] int num_ops() const { return num_ops_; }
+  [[nodiscard]] OpType type(OpId v) const {
+    return type_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::span<const OpId> preds(OpId v) const {
+    return preds_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::span<const OpId> succs(OpId v) const {
+    return succs_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] ClusterId place(OpId v) const {
+    return place_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int num_moves() const { return num_moves_; }
+  [[nodiscard]] int num_original_ops() const { return num_original_; }
+  [[nodiscard]] std::span<const OpType> types() const {
+    return {type_.data(), static_cast<std::size_t>(num_ops_)};
+  }
+  /// Error-path only (scheduler diagnostics); moves synthesize "t<k>".
+  [[nodiscard]] std::string op_name(OpId v) const;
+
+ private:
+  friend class DeltaEvaluator;
+
+  int num_ops_ = 0;
+  int num_original_ = 0;
+  int num_moves_ = 0;
+  std::vector<OpType> type_;
+  std::vector<ClusterId> place_;
+  std::vector<std::vector<OpId>> preds_;
+  std::vector<std::vector<OpId>> succs_;
+};
+
+struct EvalResult;
+
+/// Reusable per-worker context for incremental candidate evaluation.
+/// Not thread-safe: one evaluator per thread (EvalEngine keeps a pool).
+class DeltaEvaluator {
+ public:
+  /// Re-targets the evaluator at (dfg, dp, incumbent). O(N) — done once
+  /// per B-ITER round per worker; evaluations against the previous
+  /// incumbent's scratch are discarded.
+  void set_incumbent(const Dfg& dfg, const Datapath& dp,
+                     const Binding& binding);
+
+  /// Evaluates incumbent ⊕ changes. Each change must name a valid op
+  /// and a cluster supporting its type (throws std::logic_error
+  /// otherwise, mirroring require_valid_binding). The incumbent is
+  /// restored before returning, including on exception.
+  [[nodiscard]] EvalResult evaluate(const BindingDelta& changes,
+                                    const ListSchedulerOptions& sched);
+
+  /// The incumbent binding currently applied (for tests).
+  [[nodiscard]] const Binding& incumbent() const { return binding_; }
+
+ private:
+  void rebuild_overlay();
+
+  const Dfg* dfg_ = nullptr;
+  const Datapath* dp_ = nullptr;
+  Binding binding_;  // incumbent; deltas applied then reverted
+  std::vector<ClusterId> saved_;  // pre-delta clusters, for the revert
+  FlatBound flat_;
+  SchedArena arena_;
+  Schedule sched_scratch_;
+  // (producer, dest cluster) -> move id, generation-stamped so the
+  // table never needs clearing between candidates.
+  std::vector<OpId> move_slot_;
+  std::vector<std::uint64_t> move_gen_;
+  std::uint64_t gen_ = 0;
+};
+
+}  // namespace cvb

@@ -1,5 +1,8 @@
 #include "bind/eval_engine.hpp"
 
+#include <algorithm>
+#include <array>
+#include <stdexcept>
 #include <utility>
 
 #include "bind/bound_dfg.hpp"
@@ -24,13 +27,88 @@ std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
   return hash;
 }
 
+std::size_t round_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+EvalEngineOptions normalize_options(EvalEngineOptions o) {
+  if (o.num_threads < 1) {
+    throw std::invalid_argument("EvalEngine: num_threads must be >= 1");
+  }
+  o.cache_shards = round_pow2(std::max<std::size_t>(1, o.cache_shards));
+  if (o.l1_capacity > 0) {
+    o.l1_capacity = round_pow2(o.l1_capacity);
+  }
+  return o;
+}
+
+std::uint64_t next_engine_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// ---- Thread-local L1 ----------------------------------------------------
+//
+// Each thread keeps two small direct-mapped tables, tagged by engine id
+// (monotonic, never reused — a table can never serve stale entries for
+// a recycled engine address). Two tables cover the common pattern of
+// one run-lifetime engine plus one nested/shared engine per thread
+// while keeping per-thread memory bounded no matter how many engines a
+// process creates; a third engine simply steals the least recently
+// used table.
+
+struct L1Slot {
+  std::uint64_t key = 0;
+  std::uint64_t signature = 0;
+  bool valid = false;
+  Binding binding;
+  EvalResult result;
+};
+
+struct L1Table {
+  std::uint64_t engine = 0;  // 0 = unused
+  std::uint64_t last_used = 0;
+  std::vector<L1Slot> slots;
+};
+
+thread_local std::array<L1Table, 2> tl_l1_tables;
+thread_local std::uint64_t tl_l1_clock = 0;
+
+L1Table& l1_table_for(std::uint64_t engine, std::size_t slots) {
+  L1Table* victim = &tl_l1_tables[0];
+  for (L1Table& table : tl_l1_tables) {
+    if (table.engine == engine) {
+      table.last_used = ++tl_l1_clock;
+      if (table.slots.size() != slots) {
+        table.slots.assign(slots, L1Slot{});
+      }
+      return table;
+    }
+    if (table.last_used < victim->last_used) {
+      victim = &table;
+    }
+  }
+  victim->engine = engine;
+  victim->last_used = ++tl_l1_clock;
+  victim->slots.assign(slots, L1Slot{});
+  return *victim;
+}
+
 }  // namespace
 
 void EvalStats::merge(const EvalStats& other) {
   candidates += other.candidates;
   cache_hits += other.cache_hits;
+  l1_hits += other.l1_hits;
+  batch_dedup += other.batch_dedup;
   cache_misses += other.cache_misses;
   cache_evictions += other.cache_evictions;
+  cache_collisions += other.cache_collisions;
+  cache_contended += other.cache_contended;
   batches += other.batches;
   improver_candidates += other.improver_candidates;
   pcc_candidates += other.pcc_candidates;
@@ -42,8 +120,12 @@ EvalStats EvalStats::since(const EvalStats& baseline) const {
   EvalStats delta = *this;
   delta.candidates -= baseline.candidates;
   delta.cache_hits -= baseline.cache_hits;
+  delta.l1_hits -= baseline.l1_hits;
+  delta.batch_dedup -= baseline.batch_dedup;
   delta.cache_misses -= baseline.cache_misses;
   delta.cache_evictions -= baseline.cache_evictions;
+  delta.cache_collisions -= baseline.cache_collisions;
+  delta.cache_contended -= baseline.cache_contended;
   delta.batches -= baseline.batches;
   delta.improver_candidates -= baseline.improver_candidates;
   delta.pcc_candidates -= baseline.pcc_candidates;
@@ -52,10 +134,12 @@ EvalStats EvalStats::since(const EvalStats& baseline) const {
   return delta;
 }
 
-EvalEngine::EvalEngine(EvalEngineOptions options) : options_(options) {
-  if (options_.num_threads < 1) {
-    throw std::invalid_argument("EvalEngine: num_threads must be >= 1");
-  }
+EvalEngine::EvalEngine(EvalEngineOptions options)
+    : options_(normalize_options(options)),
+      engine_id_(next_engine_id()),
+      shards_(options_.cache_shards) {
+  shard_capacity_ =
+      std::max<std::size_t>(1, options_.cache_capacity / shards_.size());
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -124,12 +208,19 @@ EvalResult EvalEngine::evaluate_uncached(const Dfg& dfg, const Datapath& dp,
 bool EvalEngine::cache_lookup(std::uint64_t key, std::uint64_t signature,
                               const Binding& binding, EvalResult* out) {
   CVB_INJECT("eval.cache_lookup");  // before the lock: must not throw held
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = cache_.find(key);
-  if (it == cache_.end() || it->second.signature != signature ||
+  CacheShard& shard = shard_for(key);
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.contended.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.signature != signature ||
       it->second.binding != binding) {
     return false;
   }
+  // Touch: a hit makes the entry most recently used.
+  shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
   *out = it->second.result;
   return true;
 }
@@ -137,20 +228,67 @@ bool EvalEngine::cache_lookup(std::uint64_t key, std::uint64_t signature,
 void EvalEngine::cache_insert(std::uint64_t key, std::uint64_t signature,
                               const Binding& binding, EvalResult result) {
   CVB_INJECT("eval.cache_insert");  // before the lock: must not throw held
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (cache_.contains(key)) {
-    // Another thread computed it first, or a hash collision: replace so
-    // the latest context wins; `order_` keeps its single key entry.
-    cache_[key] = CacheEntry{signature, binding, std::move(result)};
+  CacheShard& shard = shard_for(key);
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.contended.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    if (it->second.signature == signature && it->second.binding == binding) {
+      // Another thread computed the same candidate first. A replace is
+      // a use: refresh the entry's LRU position along with the result,
+      // or a hot entry re-inserted at capacity evicts as if untouched.
+      it->second.result = std::move(result);
+      shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+    } else {
+      // Key collision between distinct bindings: keep the resident
+      // entry. Lookups verify the stored binding, so overwriting would
+      // silently drop a still-reachable result in favor of one the
+      // resident key can no longer serve both of.
+      ++shard.collisions;
+    }
     return;
   }
-  while (cache_.size() >= options_.cache_capacity && !order_.empty()) {
-    cache_.erase(order_.front());
-    order_.pop_front();
-    ++stats_.cache_evictions;
+  while (shard.map.size() >= shard_capacity_ && !shard.lru.empty()) {
+    shard.map.erase(shard.lru.front());
+    shard.lru.pop_front();
+    ++shard.evictions;
   }
-  cache_.emplace(key, CacheEntry{signature, binding, std::move(result)});
-  order_.push_back(key);
+  shard.lru.push_back(key);
+  const auto lru_it = std::prev(shard.lru.end());
+  shard.map.emplace(key,
+                    CacheEntry{signature, binding, std::move(result), lru_it});
+}
+
+bool EvalEngine::l1_lookup(std::uint64_t key, std::uint64_t signature,
+                           const Binding& binding, EvalResult* out) {
+  if (options_.l1_capacity == 0) {
+    return false;
+  }
+  L1Table& table = l1_table_for(engine_id_, options_.l1_capacity);
+  const L1Slot& slot = table.slots[key & (table.slots.size() - 1)];
+  if (!slot.valid || slot.key != key || slot.signature != signature ||
+      slot.binding != binding) {
+    return false;
+  }
+  *out = slot.result;
+  return true;
+}
+
+void EvalEngine::l1_insert(std::uint64_t key, std::uint64_t signature,
+                           const Binding& binding, const EvalResult& result) {
+  if (options_.l1_capacity == 0) {
+    return;
+  }
+  L1Table& table = l1_table_for(engine_id_, options_.l1_capacity);
+  L1Slot& slot = table.slots[key & (table.slots.size() - 1)];
+  slot.key = key;
+  slot.signature = signature;
+  slot.binding = binding;
+  slot.result = result;
+  slot.valid = true;
 }
 
 std::vector<EvalResult> EvalEngine::evaluate_batch(
@@ -159,7 +297,7 @@ std::vector<EvalResult> EvalEngine::evaluate_batch(
   Stopwatch watch;
   ScopedSpan span(sched.tracer, "eval.batch", sched.trace_parent);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.batches;
     stats_.candidates += static_cast<long long>(bindings.size());
     if (phase == EvalPhase::kImprover) {
@@ -178,6 +316,8 @@ std::vector<EvalResult> EvalEngine::evaluate_batch(
   std::vector<std::pair<std::size_t, std::size_t>> duplicates;
   std::unordered_map<std::uint64_t, std::size_t> first_miss;
   long long hits = 0;
+  long long l1 = 0;
+  long long dedup = 0;
   misses.reserve(bindings.size());
   for (std::size_t i = 0; i < bindings.size(); ++i) {
     if (!use_cache) {
@@ -185,28 +325,40 @@ std::vector<EvalResult> EvalEngine::evaluate_batch(
       continue;
     }
     keys[i] = binding_hash(bindings[i], signature);
+    if (l1_lookup(keys[i], signature, bindings[i], &results[i])) {
+      ++hits;
+      ++l1;
+      continue;
+    }
     if (cache_lookup(keys[i], signature, bindings[i], &results[i])) {
       ++hits;
+      l1_insert(keys[i], signature, bindings[i], results[i]);
       continue;
     }
     const auto it = first_miss.find(keys[i]);
     if (it != first_miss.end() && bindings[it->second] == bindings[i]) {
       // Same candidate earlier in this batch: share its computation.
+      // Not a cache hit — nothing was served from the cache — so it is
+      // counted separately (batch_dedup) to keep hit rates honest.
       duplicates.emplace_back(i, it->second);
-      ++hits;
+      ++dedup;
     } else {
       first_miss.emplace(keys[i], i);
       misses.push_back(i);
     }
   }
   if (use_cache) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.cache_hits += hits;
+    stats_.l1_hits += l1;
+    stats_.batch_dedup += dedup;
     stats_.cache_misses += static_cast<long long>(misses.size());
   }
   if (span.enabled()) {
     span.attr("candidates", bindings.size());
     span.attr("cache_hits", hits);
+    span.attr("l1_hits", l1);
+    span.attr("batch_dedup", dedup);
     span.attr("misses", misses.size());
     span.attr("phase", static_cast<int>(phase));
   }
@@ -242,11 +394,166 @@ std::vector<EvalResult> EvalEngine::evaluate_batch(
   if (use_cache) {
     for (const std::size_t i : misses) {
       cache_insert(keys[i], signature, bindings[i], results[i]);
+      l1_insert(keys[i], signature, bindings[i], results[i]);
     }
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.eval_ms += watch.elapsed_ms();
+  }
+  return results;
+}
+
+std::vector<EvalResult> EvalEngine::evaluate_batch_delta(
+    const Dfg& dfg, const Datapath& dp, const Binding& incumbent,
+    const std::vector<BindingDelta>& deltas, const ListSchedulerOptions& sched,
+    EvalPhase phase) {
+  if (static_cast<int>(incumbent.size()) != dfg.num_ops()) {
+    throw std::logic_error(
+        "evaluate_batch_delta: incumbent binding size mismatch");
+  }
+  Stopwatch watch;
+  ScopedSpan span(sched.tracer, "eval.batch_delta", sched.trace_parent);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    stats_.candidates += static_cast<long long>(deltas.size());
+    if (phase == EvalPhase::kImprover) {
+      stats_.improver_candidates += static_cast<long long>(deltas.size());
+    } else if (phase == EvalPhase::kPcc) {
+      stats_.pcc_candidates += static_cast<long long>(deltas.size());
+    }
+  }
+
+  const bool use_cache = options_.cache_capacity > 0;
+  const std::uint64_t signature = context_signature(dfg, dp, sched);
+  std::vector<EvalResult> results(deltas.size());
+  std::vector<std::uint64_t> keys(deltas.size());
+  std::vector<std::size_t> misses;         // result indices to compute
+  std::vector<Binding> miss_bindings;      // parallel to `misses` (for insert)
+  std::vector<std::pair<std::size_t, std::size_t>> duplicates;
+  std::unordered_map<std::uint64_t, std::size_t> first_miss;  // key -> slot
+  long long hits = 0;
+  long long l1 = 0;
+  long long dedup = 0;
+
+  // Materialize each candidate transiently on one scratch binding: the
+  // cache key and stored binding must be byte-identical to what the
+  // full-binding path would produce for incumbent ⊕ delta.
+  Binding scratch = incumbent;
+  std::vector<ClusterId> saved;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    saved.clear();
+    for (const auto& [v, c] : deltas[i]) {
+      if (!dfg.is_valid(v)) {
+        throw std::logic_error("evaluate_batch_delta: invalid op id " +
+                               std::to_string(v));
+      }
+      saved.push_back(scratch[static_cast<std::size_t>(v)]);
+      scratch[static_cast<std::size_t>(v)] = c;
+    }
+    if (use_cache) {
+      keys[i] = binding_hash(scratch, signature);
+      if (l1_lookup(keys[i], signature, scratch, &results[i])) {
+        ++hits;
+        ++l1;
+      } else if (cache_lookup(keys[i], signature, scratch, &results[i])) {
+        ++hits;
+        l1_insert(keys[i], signature, scratch, results[i]);
+      } else {
+        const auto it = first_miss.find(keys[i]);
+        if (it != first_miss.end() && miss_bindings[it->second] == scratch) {
+          duplicates.emplace_back(i, misses[it->second]);
+          ++dedup;
+        } else {
+          first_miss.emplace(keys[i], misses.size());
+          misses.push_back(i);
+          miss_bindings.push_back(scratch);
+        }
+      }
+    } else {
+      misses.push_back(i);
+      miss_bindings.push_back(scratch);
+    }
+    for (std::size_t j = deltas[i].size(); j-- > 0;) {
+      scratch[static_cast<std::size_t>(deltas[i][j].first)] = saved[j];
+    }
+  }
+
+  if (use_cache) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.cache_hits += hits;
+    stats_.l1_hits += l1;
+    stats_.batch_dedup += dedup;
+    stats_.cache_misses += static_cast<long long>(misses.size());
+  }
+  if (span.enabled()) {
+    span.attr("candidates", deltas.size());
+    span.attr("cache_hits", hits);
+    span.attr("l1_hits", l1);
+    span.attr("batch_dedup", dedup);
+    span.attr("misses", misses.size());
+    span.attr("phase", static_cast<int>(phase));
+  }
+
+  ListSchedulerOptions task_sched = sched;
+  task_sched.trace_parent = span.id();
+
+  // Misses run on retained incremental evaluators: contiguous chunks,
+  // one per worker, so set_incumbent's O(N) setup amortizes over the
+  // chunk. Each result is pure, so chunking cannot change any output.
+  std::vector<EvalResult> computed(misses.size());
+  const auto run_chunk = [this, &dfg, &dp, &incumbent, &deltas, &misses,
+                          &computed, &task_sched](std::size_t begin,
+                                                  std::size_t end) {
+    std::unique_ptr<DeltaEvaluator> ev = acquire_delta_evaluator();
+    struct Release {  // return the evaluator even if a candidate throws
+      EvalEngine* engine;
+      std::unique_ptr<DeltaEvaluator>* ev;
+      ~Release() { engine->release_delta_evaluator(std::move(*ev)); }
+    } release{this, &ev};
+    ev->set_incumbent(dfg, dp, incumbent);
+    for (std::size_t k = begin; k < end; ++k) {
+      computed[k] = ev->evaluate(deltas[misses[k]], task_sched);
+    }
+  };
+  if (pool_ != nullptr && misses.size() > 1) {
+    const std::size_t num_chunks = std::min<std::size_t>(
+        static_cast<std::size_t>(options_.num_threads), misses.size());
+    std::vector<std::function<long()>> tasks;
+    tasks.reserve(num_chunks);
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const std::size_t begin = misses.size() * chunk / num_chunks;
+      const std::size_t end = misses.size() * (chunk + 1) / num_chunks;
+      tasks.push_back([&run_chunk, begin, end] {
+        run_chunk(begin, end);
+        return static_cast<long>(end - begin);
+      });
+    }
+    pool_->run_batch<long>(std::move(tasks));
+  } else if (!misses.empty()) {
+    run_chunk(0, misses.size());
+  }
+  for (std::size_t k = 0; k < misses.size(); ++k) {
+    results[misses[k]] = std::move(computed[k]);
+  }
+
+  for (const auto& [dup, rep] : duplicates) {
+    results[dup] = results[rep];
+  }
+
+  if (use_cache) {
+    for (std::size_t k = 0; k < misses.size(); ++k) {
+      cache_insert(keys[misses[k]], signature, miss_bindings[k],
+                   results[misses[k]]);
+      l1_insert(keys[misses[k]], signature, miss_bindings[k],
+                results[misses[k]]);
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.eval_ms += watch.elapsed_ms();
   }
   return results;
@@ -259,23 +566,69 @@ EvalResult EvalEngine::evaluate(const Dfg& dfg, const Datapath& dp,
   return evaluate_batch(dfg, dp, {binding}, sched, phase).front();
 }
 
+std::unique_ptr<DeltaEvaluator> EvalEngine::acquire_delta_evaluator() {
+  {
+    const std::lock_guard<std::mutex> lock(delta_mutex_);
+    if (!delta_pool_.empty()) {
+      std::unique_ptr<DeltaEvaluator> ev = std::move(delta_pool_.back());
+      delta_pool_.pop_back();
+      return ev;
+    }
+  }
+  return std::make_unique<DeltaEvaluator>();
+}
+
+void EvalEngine::release_delta_evaluator(std::unique_ptr<DeltaEvaluator> ev) {
+  if (ev == nullptr) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(delta_mutex_);
+  delta_pool_.push_back(std::move(ev));
+}
+
 EvalStats EvalEngine::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  EvalStats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  for (const CacheShard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    snapshot.cache_evictions += shard.evictions;
+    snapshot.cache_collisions += shard.collisions;
+    snapshot.cache_contended += shard.contended.load(std::memory_order_relaxed);
+  }
+  return snapshot;
 }
 
 void EvalEngine::absorb(const EvalStats& other) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.merge(other);
 }
 
 std::size_t EvalEngine::cache_size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.size();
+  std::size_t total = 0;
+  for (const CacheShard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::vector<EvalShardStats> EvalEngine::shard_stats() const {
+  std::vector<EvalShardStats> out;
+  out.reserve(shards_.size());
+  for (const CacheShard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    out.push_back(EvalShardStats{
+        shard.map.size(), shard.evictions, shard.collisions,
+        shard.contended.load(std::memory_order_relaxed)});
+  }
+  return out;
 }
 
 void EvalEngine::note_jobs(long long count) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.batches;
   stats_.explore_jobs += count;
 }

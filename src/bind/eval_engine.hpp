@@ -1,11 +1,12 @@
-// Parallel candidate-evaluation engine with a memoizing schedule cache.
+// Parallel candidate-evaluation engine with a two-level memoizing
+// schedule cache and an incremental (delta) evaluation path.
 //
 // B-ITER, PCC, and the design-space explorer spend essentially all of
 // their time evaluating candidate bindings — each evaluation builds the
 // bound DFG and list-schedules it (the paper's Section 5 complexity
 // analysis identifies exactly this as the dominant cost). Every such
 // evaluation is *pure*: the result depends only on (DFG, datapath,
-// binding, scheduler options). That makes two optimizations safe:
+// binding, scheduler options). That makes three optimizations safe:
 //
 //  1. Batch parallelism: a round's candidates are evaluated
 //     concurrently on a fixed-size thread pool, and the results are
@@ -13,29 +14,44 @@
 //     scans results in that order reproduces its serial tie-breaking
 //     bit for bit. Thread count never changes any algorithmic output.
 //
-//  2. Memoization: results are cached under a 64-bit FNV-1a hash of the
-//     binding vector combined with a signature of the DFG, datapath and
-//     scheduler options. Hill climbers re-visit bindings constantly
-//     (the Q_U and Q_M phases of B-ITER walk overlapping neighborhoods
-//     of the same points), so hits are common. Entries store the full
-//     binding and signature and verify them on lookup, so a hash
-//     collision degrades to a miss rather than a wrong result.
+//  2. Two-level memoization. The L2 cache is sharded: each shard owns
+//     its own mutex, hash map and LRU ring, and a key's shard is fixed
+//     by its upper hash bits, so concurrent batches contend only when
+//     they touch the same shard (try_lock failures are counted per
+//     shard). In front of it, each calling thread keeps a small
+//     direct-mapped L1 tagged by engine id — the hill climbers re-probe
+//     the same neighborhood keys every round, and those repeats are
+//     served without touching any lock. Entries at both levels store
+//     the full binding and signature and verify them on lookup, so a
+//     hash collision degrades to a miss rather than a wrong result;
+//     on insert, a resident entry under a colliding key is kept (the
+//     newcomer is dropped and counted in `cache_collisions`).
 //
-// Determinism contract: for identical inputs, evaluate()/
-// evaluate_batch() return identical results for every thread count and
-// cache capacity (including 0 = caching disabled). Only the wall-time
-// and hit/miss statistics vary.
+//  3. Incremental evaluation: evaluate_batch_delta() takes candidates
+//     as (op, cluster) deltas against an incumbent binding and runs
+//     them through retained per-worker DeltaEvaluator scratch (see
+//     bind/delta_eval.hpp), eliminating the per-candidate BoundDfg/
+//     Schedule construction cost. Results and cache keys are
+//     bit-identical to the full-binding path.
+//
+// Determinism contract: for identical inputs, evaluate(),
+// evaluate_batch() and evaluate_batch_delta() return identical results
+// for every thread count, shard count, and cache capacity (including
+// 0 = caching disabled). Only the wall-time and hit/miss statistics
+// vary.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "bind/binding.hpp"
+#include "bind/delta_eval.hpp"
 #include "graph/dfg.hpp"
 #include "machine/datapath.hpp"
 #include "sched/list_scheduler.hpp"
@@ -61,12 +77,20 @@ enum class EvalPhase { kGeneric, kImprover, kPcc, kExplore };
 
 /// Aggregate counters of one engine's lifetime (printed by
 /// `cvbind --stats` and threaded through BindResult).
+///
+/// Invariant: candidates == cache_hits + batch_dedup + cache_misses
+/// whenever the cache is enabled (l1_hits is the L1 share of
+/// cache_hits, not an additional term).
 struct EvalStats {
-  long long candidates = 0;       ///< evaluations requested
-  long long cache_hits = 0;       ///< served from the cache
-  long long cache_misses = 0;     ///< actually scheduled
-  long long cache_evictions = 0;  ///< entries dropped at capacity
-  long long batches = 0;          ///< evaluate_batch / run_jobs calls
+  long long candidates = 0;    ///< evaluations requested
+  long long cache_hits = 0;    ///< served from the cache (L1 or L2)
+  long long l1_hits = 0;       ///< subset of cache_hits served lock-free
+  long long batch_dedup = 0;   ///< intra-batch duplicates (shared, not hits)
+  long long cache_misses = 0;  ///< actually scheduled
+  long long cache_evictions = 0;   ///< entries dropped at shard capacity
+  long long cache_collisions = 0;  ///< colliding inserts dropped (kept resident)
+  long long cache_contended = 0;   ///< shard lock acquisitions that waited
+  long long batches = 0;           ///< evaluate_batch / run_jobs calls
   long long improver_candidates = 0;  ///< B-ITER share of `candidates`
   long long pcc_candidates = 0;       ///< PCC share of `candidates`
   long long explore_jobs = 0;         ///< design points run via run_jobs
@@ -80,13 +104,29 @@ struct EvalStats {
   [[nodiscard]] EvalStats since(const EvalStats& baseline) const;
 };
 
+/// Point-in-time counters of one L2 cache shard (for the contention
+/// sweep in bench/parallel_eval and for tests).
+struct EvalShardStats {
+  std::size_t size = 0;       ///< live entries
+  long long evictions = 0;    ///< entries dropped at capacity
+  long long collisions = 0;   ///< colliding inserts dropped
+  long long contended = 0;    ///< lock acquisitions that had to wait
+};
+
 /// Engine configuration.
 struct EvalEngineOptions {
   /// Worker threads for batch evaluation. 1 = serial (evaluations run
   /// inline on the caller's thread; no pool is created).
   int num_threads = 1;
-  /// Maximum cached schedule results; 0 disables memoization entirely.
+  /// Maximum cached schedule results across all shards; 0 disables
+  /// memoization entirely (both levels).
   std::size_t cache_capacity = 1 << 16;
+  /// L2 shard count; rounded up to a power of two, minimum 1. Each
+  /// shard holds cache_capacity / shards entries (at least 1).
+  std::size_t cache_shards = 8;
+  /// Per-thread L1 slots (direct-mapped); rounded up to a power of
+  /// two. 0 disables the L1.
+  std::size_t l1_capacity = 64;
 };
 
 /// Thread-pool-backed, memoizing evaluator of candidate bindings.
@@ -116,6 +156,17 @@ class EvalEngine {
       const ListSchedulerOptions& sched = {},
       EvalPhase phase = EvalPhase::kGeneric);
 
+  /// Delta form of evaluate_batch: candidate i is `incumbent` with
+  /// deltas[i] applied. Results, cache keys and statistics are
+  /// bit-identical to calling evaluate_batch on the materialized
+  /// bindings; misses run through retained per-worker incremental
+  /// evaluators instead of rebuilding a BoundDfg per candidate.
+  std::vector<EvalResult> evaluate_batch_delta(
+      const Dfg& dfg, const Datapath& dp, const Binding& incumbent,
+      const std::vector<BindingDelta>& deltas,
+      const ListSchedulerOptions& sched = {},
+      EvalPhase phase = EvalPhase::kImprover);
+
   /// Single-candidate convenience wrapper over evaluate_batch.
   EvalResult evaluate(const Dfg& dfg, const Datapath& dp,
                       const Binding& binding,
@@ -141,15 +192,24 @@ class EvalEngine {
     return pool_->run_batch<R>(std::move(jobs));
   }
 
-  /// Snapshot of the engine's counters so far.
+  /// Snapshot of the engine's counters so far. Shard-level counters
+  /// (evictions, collisions, contention) are aggregated on demand.
   [[nodiscard]] EvalStats stats() const;
 
   /// Merges counters from a nested run (e.g. a per-design-point serial
   /// engine) into this engine's stats. Thread-safe.
   void absorb(const EvalStats& other);
 
-  /// Number of live cache entries (for tests).
+  /// Number of live L2 cache entries across all shards (for tests).
   [[nodiscard]] std::size_t cache_size() const;
+
+  /// Number of L2 shards after rounding (always a power of two).
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards_.size());
+  }
+
+  /// Per-shard counters, index = shard number.
+  [[nodiscard]] std::vector<EvalShardStats> shard_stats() const;
 
   /// Signature of an evaluation context: a 64-bit hash of the DFG
   /// structure, the datapath configuration, and the scheduler options.
@@ -168,26 +228,67 @@ class EvalEngine {
       const Dfg& dfg, const Datapath& dp, const Binding& binding,
       const ListSchedulerOptions& sched = {});
 
+  /// Test-only: direct L2 insert under an arbitrary key, bypassing the
+  /// batch path. Lets tests force two distinct bindings onto one key
+  /// to exercise the collision policy.
+  void test_cache_insert(std::uint64_t key, std::uint64_t signature,
+                         const Binding& binding, EvalResult result) {
+    cache_insert(key, signature, binding, std::move(result));
+  }
+
+  /// Test-only: direct L2 lookup counterpart of test_cache_insert.
+  bool test_cache_lookup(std::uint64_t key, std::uint64_t signature,
+                         const Binding& binding, EvalResult* out) {
+    return cache_lookup(key, signature, binding, out);
+  }
+
  private:
   struct CacheEntry {
     std::uint64_t signature = 0;
     Binding binding;  // verified on lookup: collisions degrade to misses
     EvalResult result;
+    std::list<std::uint64_t>::iterator lru_it;
   };
+
+  /// One L2 shard: independent map + LRU ring + lock. `contended` is
+  /// atomic so it can be bumped before blocking on the mutex.
+  struct CacheShard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, CacheEntry> map;
+    std::list<std::uint64_t> lru;  // front = least recently used
+    long long evictions = 0;
+    long long collisions = 0;
+    mutable std::atomic<long long> contended{0};
+  };
+
+  [[nodiscard]] CacheShard& shard_for(std::uint64_t key) {
+    return shards_[(key >> 32) & (shards_.size() - 1)];
+  }
 
   bool cache_lookup(std::uint64_t key, std::uint64_t signature,
                     const Binding& binding, EvalResult* out);
   void cache_insert(std::uint64_t key, std::uint64_t signature,
                     const Binding& binding, EvalResult result);
+  bool l1_lookup(std::uint64_t key, std::uint64_t signature,
+                 const Binding& binding, EvalResult* out);
+  void l1_insert(std::uint64_t key, std::uint64_t signature,
+                 const Binding& binding, const EvalResult& result);
   void note_jobs(long long count);
 
-  EvalEngineOptions options_;
-  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+  [[nodiscard]] std::unique_ptr<DeltaEvaluator> acquire_delta_evaluator();
+  void release_delta_evaluator(std::unique_ptr<DeltaEvaluator> ev);
 
-  mutable std::mutex mutex_;  // guards cache_, order_, stats_
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;
-  std::deque<std::uint64_t> order_;  // FIFO eviction order
+  EvalEngineOptions options_;  // normalized: shard/L1 sizes power of two
+  const std::uint64_t engine_id_;      // tags thread-local L1 tables
+  std::size_t shard_capacity_ = 0;     // per-shard LRU capacity
+  std::unique_ptr<ThreadPool> pool_;   // null when num_threads == 1
+  std::vector<CacheShard> shards_;
+
+  mutable std::mutex stats_mutex_;  // guards stats_ (batch-level counters)
   EvalStats stats_;
+
+  std::mutex delta_mutex_;  // guards delta_pool_
+  std::vector<std::unique_ptr<DeltaEvaluator>> delta_pool_;
 };
 
 }  // namespace cvb

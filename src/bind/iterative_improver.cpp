@@ -141,24 +141,18 @@ int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
     ScopedSpan round(params.sched.tracer, "b-iter.round");
     const std::vector<Candidate> candidates =
         boundary_candidates(dfg, dp, binding, params.enable_pairs);
-    std::vector<Binding> trials;
-    trials.reserve(candidates.size());
-    for (const Candidate& cand : candidates) {
-      Binding trial = binding;
-      for (const auto& [v, c] : cand) {
-        trial[static_cast<std::size_t>(v)] = c;
-      }
-      trials.push_back(std::move(trial));
-    }
-    const std::vector<EvalResult> results =
-        engine.evaluate_batch(dfg, dp, trials, params.sched,
-                              EvalPhase::kImprover);
+    // Candidates go to the engine as deltas against the incumbent: the
+    // incremental path skips the per-candidate bound-DFG rebuild while
+    // returning bit-identical results (and cache entries) to
+    // evaluate_batch on materialized bindings.
+    const std::vector<EvalResult> results = engine.evaluate_batch_delta(
+        dfg, dp, binding, candidates, params.sched, EvalPhase::kImprover);
     if (stats != nullptr) {
-      stats->candidates_evaluated += static_cast<long>(trials.size());
+      stats->candidates_evaluated += static_cast<long>(candidates.size());
     }
     if (round.enabled()) {
       round.attr("pass", total_steps);
-      round.attr("candidates", trials.size());
+      round.attr("candidates", candidates.size());
       int best_latency = 0;
       int best_moves = 0;
       for (const EvalResult& r : results) {
@@ -184,10 +178,16 @@ int climb(const Dfg& dfg, const Datapath& dp, Binding& binding,
         step_quality = q;
         step_candidate = candidates[i];
         have_improvement = true;
-      } else if (!have_improvement && !have_lateral && q == current &&
-                 !visited.contains(trials[i])) {
-        have_lateral = true;
-        lateral_binding = trials[i];
+      } else if (!have_improvement && !have_lateral && q == current) {
+        // Materialize the trial binding only for this (rare) case.
+        Binding trial = binding;
+        for (const auto& [v, c] : candidates[i]) {
+          trial[static_cast<std::size_t>(v)] = c;
+        }
+        if (!visited.contains(trial)) {
+          have_lateral = true;
+          lateral_binding = std::move(trial);
+        }
       }
     }
 

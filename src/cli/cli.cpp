@@ -333,8 +333,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           << (response.eval_threads == 1 ? " thread" : " threads") << ", "
           << format_sig(stats.eval_ms, 3) << " ms\n"
           << "eval cache: " << stats.cache_hits << " hits ("
-          << format_sig(hit_pct, 3) << "%), " << stats.cache_misses
-          << " misses, " << stats.cache_evictions << " evictions\n"
+          << format_sig(hit_pct, 3) << "%, " << stats.l1_hits << " via L1), "
+          << stats.batch_dedup << " batch-deduped, " << stats.cache_misses
+          << " misses, " << stats.cache_evictions << " evictions, "
+          << stats.cache_collisions << " collisions\n"
           << "eval phases: improver=" << stats.improver_candidates
           << " pcc=" << stats.pcc_candidates << "\n";
     }

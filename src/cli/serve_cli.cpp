@@ -424,8 +424,8 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
     }
   }
   if (!opts.metrics_text.empty()) {
-    if (!write_text_output(opts.metrics_text,
-                           service.metrics().prometheus_text(), out, err) &&
+    if (!write_text_output(opts.metrics_text, service.prometheus_text(), out,
+                           err) &&
         rc == 0) {
       rc = 1;
     }

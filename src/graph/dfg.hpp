@@ -69,6 +69,9 @@ class Dfg {
     return type_[static_cast<std::size_t>(v)];
   }
 
+  /// All operation types, indexed by op id (contiguous view).
+  [[nodiscard]] std::span<const OpType> types() const { return type_; }
+
   /// Human-readable name of `v`.
   [[nodiscard]] const std::string& name(OpId v) const {
     check_id(v);

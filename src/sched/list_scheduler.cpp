@@ -1,173 +1,20 @@
 #include "sched/list_scheduler.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-#include <tuple>
-#include <vector>
-
-#include "graph/analysis.hpp"
-#include "support/fault.hpp"
-#include "support/trace.hpp"
+#include "sched/list_scheduler_core.hpp"
 
 namespace cvb {
 
-namespace {
-
-/// Issue bookkeeping for one resource pool (one (cluster, FU type)
-/// pair, or the bus): counts issues per cycle so the dii window
-/// constraint can be checked in O(dii).
-class ResourcePool {
- public:
-  ResourcePool(int capacity, int dii) : capacity_(capacity), dii_(dii) {}
-
-  /// True if one more operation may be issued at `cycle`.
-  [[nodiscard]] bool can_issue(int cycle) const {
-    int in_flight = 0;
-    const int lo = std::max(0, cycle - dii_ + 1);
-    for (int s = lo; s <= cycle; ++s) {
-      if (s < static_cast<int>(issues_.size())) {
-        in_flight += issues_[static_cast<std::size_t>(s)];
-      }
-    }
-    return in_flight < capacity_;
-  }
-
-  void issue(int cycle) {
-    if (cycle >= static_cast<int>(issues_.size())) {
-      issues_.resize(static_cast<std::size_t>(cycle) + 1, 0);
-    }
-    ++issues_[static_cast<std::size_t>(cycle)];
-  }
-
- private:
-  int capacity_;
-  int dii_;
-  std::vector<int> issues_;
-};
-
-}  // namespace
-
 Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
                        const ListSchedulerOptions& options) {
-  ScopedSpan span(options.tracer, "sched.list", options.trace_parent);
-  const Dfg& g = bound.graph;
-  const int n = g.num_ops();
-  const LatencyTable& lat = dp.latencies();
+  SchedArena arena;
+  return list_schedule(bound, dp, options, arena);
+}
 
-  // Priorities from the bound graph's own timing (target = its L_CP).
-  const Timing timing = compute_timing(g, lat, 0);
-  const std::vector<int> consumers = consumer_counts(g);
-  const auto priority_less = [&](OpId a, OpId b) {
-    const auto sa = static_cast<std::size_t>(a);
-    const auto sb = static_cast<std::size_t>(b);
-    return std::make_tuple(timing.alap[sa], timing.mobility[sa],
-                           -consumers[sa], a) <
-           std::make_tuple(timing.alap[sb], timing.mobility[sb],
-                           -consumers[sb], b);
-  };
-
-  // Resource pools: per cluster per cluster-FU-type, plus the bus.
-  // pool index = cluster * kNumClusterFuTypes + fu_type; bus at the end.
-  const int num_cluster_pools = dp.num_clusters() * kNumClusterFuTypes;
-  std::vector<ResourcePool> pools;
-  pools.reserve(static_cast<std::size_t>(num_cluster_pools) + 1);
-  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
-    for (int t = 0; t < kNumClusterFuTypes; ++t) {
-      pools.emplace_back(dp.fu_count(c, static_cast<FuType>(t)),
-                         dp.dii(static_cast<FuType>(t)));
-    }
-  }
-  const int bus_capacity = options.unbounded_bus
-                               ? bound.graph.num_ops() + 1
-                               : dp.num_buses();
-  pools.emplace_back(bus_capacity, dp.dii(FuType::kBus));
-  const auto pool_index = [&](OpId v) -> int {
-    const FuType t = fu_type_of(g.type(v));
-    if (t == FuType::kBus) {
-      return num_cluster_pools;
-    }
-    const ClusterId c = bound.place[static_cast<std::size_t>(v)];
-    if (c < 0 || c >= dp.num_clusters()) {
-      throw std::logic_error("list_schedule: op " + g.name(v) +
-                             " has no cluster placement");
-    }
-    if (dp.fu_count(c, t) == 0) {
-      throw std::logic_error("list_schedule: op " + g.name(v) +
-                             " placed on cluster without a " +
-                             std::string(fu_type_name(t)));
-    }
-    return c * kNumClusterFuTypes + static_cast<int>(t);
-  };
-
+Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
+                       const ListSchedulerOptions& options, SchedArena& arena) {
   Schedule sched;
-  sched.start.assign(static_cast<std::size_t>(n), -1);
-  sched.num_moves = bound.num_moves;
-
-  std::vector<int> pending(static_cast<std::size_t>(n));
-  std::vector<int> ready_at(static_cast<std::size_t>(n), 0);
-  std::vector<OpId> ready;  // dependency-free, kept in priority order
-  for (OpId v = 0; v < n; ++v) {
-    pending[static_cast<std::size_t>(v)] = static_cast<int>(g.preds(v).size());
-    if (pending[static_cast<std::size_t>(v)] == 0) {
-      ready.push_back(v);
-    }
-  }
-  std::sort(ready.begin(), ready.end(), priority_less);
-
-  int scheduled = 0;
-  // Upper bound on useful cycles: fully serial execution on one unit.
-  long cycle_guard = 16;
-  for (OpId v = 0; v < n; ++v) {
-    cycle_guard += lat_of(lat, g.type(v)) + dp.dii_op(g.type(v));
-  }
-
-  long long steps = 0;
-  for (int cycle = 0; scheduled < n; ++cycle) {
-    if (cycle > cycle_guard) {
-      throw std::logic_error("list_schedule: no progress (malformed graph?)");
-    }
-    std::vector<OpId> newly_ready;
-    for (std::size_t i = 0; i < ready.size();) {
-      if (options.step_budget > 0 && ++steps > options.step_budget) {
-        throw ResourceLimitError(
-            "list_schedule: step budget exhausted (" +
-            std::to_string(options.step_budget) + " candidate visits)");
-      }
-      const OpId v = ready[i];
-      if (ready_at[static_cast<std::size_t>(v)] > cycle) {
-        ++i;
-        continue;
-      }
-      const int pool = pool_index(v);
-      if (!pools[static_cast<std::size_t>(pool)].can_issue(cycle)) {
-        ++i;
-        continue;
-      }
-      pools[static_cast<std::size_t>(pool)].issue(cycle);
-      sched.start[static_cast<std::size_t>(v)] = cycle;
-      ++scheduled;
-      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
-      const int done = cycle + lat_of(lat, g.type(v));
-      for (const OpId s : g.succs(v)) {
-        const auto ss = static_cast<std::size_t>(s);
-        ready_at[ss] = std::max(ready_at[ss], done);
-        if (--pending[ss] == 0) {
-          newly_ready.push_back(s);
-        }
-      }
-    }
-    if (!newly_ready.empty()) {
-      ready.insert(ready.end(), newly_ready.begin(), newly_ready.end());
-      std::sort(ready.begin(), ready.end(), priority_less);
-    }
-  }
-
-  sched.latency = schedule_latency(bound, sched.start, lat);
-  if (span.enabled()) {
-    span.attr("latency", sched.latency);
-    span.attr("moves", sched.num_moves);
-    span.attr("steps", steps);
-  }
+  detail::list_schedule_core(detail::BoundDfgView{&bound}, dp, options, arena,
+                             sched);
   return sched;
 }
 

@@ -49,6 +49,31 @@ struct ListSchedulerOptions {
   std::uint64_t trace_parent = 0;
 };
 
+/// Reusable scratch buffers for the scheduler (and its priority
+/// computation). One arena serves any number of sequential
+/// list_schedule calls on one thread; after the first call on graphs of
+/// similar size, scheduling performs no heap allocation. The incremental
+/// candidate evaluator (bind/delta_eval.hpp) keeps one arena per worker
+/// so B-ITER's per-candidate evaluations stop allocating entirely.
+/// Contents are scratch only — never read results out of an arena.
+struct SchedArena {
+  // compute_priorities scratch (graph/analysis equivalents).
+  std::vector<int> topo_pending;
+  std::vector<OpId> topo;
+  std::vector<OpId> frontier;
+  std::vector<int> asap;
+  std::vector<int> tail;
+  std::vector<int> alap;
+  std::vector<int> mobility;
+  std::vector<int> consumers;
+  // Scheduling-loop scratch.
+  std::vector<int> pending;
+  std::vector<int> ready_at;
+  std::vector<OpId> ready;
+  std::vector<OpId> newly_ready;
+  std::vector<std::vector<int>> pool_issues;  // per resource pool
+};
+
 /// Schedules `bound` on `dp`. Always succeeds for a valid bound DFG
 /// (every cluster that has operations placed on it can execute them;
 /// build_bound_dfg guarantees this). Throws std::logic_error if the
@@ -57,5 +82,12 @@ struct ListSchedulerOptions {
 /// exhausted.
 [[nodiscard]] Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
                                      const ListSchedulerOptions& options = {});
+
+/// Same, reusing `arena`'s buffers instead of allocating. Results are
+/// bit-identical to the arena-free overload; only allocation behaviour
+/// differs.
+[[nodiscard]] Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
+                                     const ListSchedulerOptions& options,
+                                     SchedArena& arena);
 
 }  // namespace cvb

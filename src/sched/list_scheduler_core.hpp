@@ -1,0 +1,312 @@
+// Graph-generic core of the cluster/bus-aware list scheduler, plus the
+// reusable scratch arena that makes repeated invocations allocation-free.
+//
+// The scheduling algorithm (see list_scheduler.hpp for the contract) is
+// a template over a *bound-graph view* so two representations can share
+// one implementation bit for bit:
+//
+//  * `BoundDfg` — the canonical, self-contained form every external
+//    caller uses (adapted by BoundDfgView below); and
+//  * `FlatBound` (bind/delta_eval.hpp) — the arena-backed scratch form
+//    the incremental candidate evaluator rebuilds per candidate without
+//    allocating.
+//
+// A view type G must provide:
+//   int num_ops();            OpType type(OpId v);
+//   std::span<const OpId> preds(OpId v);  std::span<const OpId> succs(OpId v);
+//   ClusterId place(OpId v);  int num_moves();
+//   std::string op_name(OpId v);   // error messages only
+// with the same dedup semantics as Dfg::add_operand (an edge appears
+// once in preds/succs however many operand slots repeat it).
+//
+// Determinism: the candidate priority (ALAP, mobility, -consumers, id)
+// is a strict total order (the id tie-break), so every sort below has a
+// unique result and the schedule is a pure function of the view — the
+// incremental evaluator's results are bit-identical to a fresh
+// build_bound_dfg + list_schedule of the same candidate.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "machine/datapath.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+#include "support/fault.hpp"
+#include "support/trace.hpp"
+
+namespace cvb::detail {
+
+/// Adapter giving BoundDfg the view interface.
+struct BoundDfgView {
+  const BoundDfg* bound;
+
+  [[nodiscard]] int num_ops() const { return bound->graph.num_ops(); }
+  [[nodiscard]] OpType type(OpId v) const { return bound->graph.type(v); }
+  [[nodiscard]] std::span<const OpId> preds(OpId v) const {
+    return bound->graph.preds(v);
+  }
+  [[nodiscard]] std::span<const OpId> succs(OpId v) const {
+    return bound->graph.succs(v);
+  }
+  [[nodiscard]] ClusterId place(OpId v) const {
+    return bound->place[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int num_moves() const { return bound->num_moves; }
+  [[nodiscard]] std::string op_name(OpId v) const {
+    return bound->graph.name(v);
+  }
+};
+
+/// Issue bookkeeping for one resource pool (one (cluster, FU type)
+/// pair, or the bus): counts issues per cycle so the dii window
+/// constraint can be checked in O(dii). The per-cycle counters live in
+/// an arena-owned vector so pools are allocation-free across calls.
+class ResourcePool {
+ public:
+  ResourcePool(int capacity, int dii, std::vector<int>* issues)
+      : capacity_(capacity), dii_(dii), issues_(issues) {}
+
+  /// True if one more operation may be issued at `cycle`.
+  [[nodiscard]] bool can_issue(int cycle) const {
+    int in_flight = 0;
+    const int lo = std::max(0, cycle - dii_ + 1);
+    for (int s = lo; s <= cycle; ++s) {
+      if (s < static_cast<int>(issues_->size())) {
+        in_flight += (*issues_)[static_cast<std::size_t>(s)];
+      }
+    }
+    return in_flight < capacity_;
+  }
+
+  void issue(int cycle) {
+    if (cycle >= static_cast<int>(issues_->size())) {
+      issues_->resize(static_cast<std::size_t>(cycle) + 1, 0);
+    }
+    ++(*issues_)[static_cast<std::size_t>(cycle)];
+  }
+
+ private:
+  int capacity_;
+  int dii_;
+  std::vector<int>* issues_;
+};
+
+/// Recomputes `arena.alap/mobility/consumers` for the bound graph,
+/// matching compute_timing(g, lat, 0) / consumer_counts(g) from
+/// graph/analysis.hpp exactly (target latency = the graph's own L_CP).
+template <typename G>
+void compute_priorities(const G& g, const LatencyTable& lat,
+                        SchedArena& arena) {
+  const int n = g.num_ops();
+  const auto sn = static_cast<std::size_t>(n);
+
+  // Topological order (Kahn; the visit order does not affect the
+  // resulting ASAP/ALAP values).
+  arena.topo_pending.assign(sn, 0);
+  arena.topo.clear();
+  arena.topo.reserve(sn);
+  arena.frontier.clear();
+  for (OpId v = 0; v < n; ++v) {
+    arena.topo_pending[static_cast<std::size_t>(v)] =
+        static_cast<int>(g.preds(v).size());
+    if (arena.topo_pending[static_cast<std::size_t>(v)] == 0) {
+      arena.frontier.push_back(v);
+    }
+  }
+  while (!arena.frontier.empty()) {
+    const OpId v = arena.frontier.back();
+    arena.frontier.pop_back();
+    arena.topo.push_back(v);
+    for (const OpId s : g.succs(v)) {
+      if (--arena.topo_pending[static_cast<std::size_t>(s)] == 0) {
+        arena.frontier.push_back(s);
+      }
+    }
+  }
+  if (static_cast<int>(arena.topo.size()) != n) {
+    throw std::logic_error("list_schedule: graph has a cycle");
+  }
+
+  // ASAP and the critical path (the ALAP target).
+  arena.asap.assign(sn, 0);
+  int lcp = 0;
+  for (const OpId v : arena.topo) {
+    const auto sv = static_cast<std::size_t>(v);
+    int start = 0;
+    for (const OpId p : g.preds(v)) {
+      start = std::max(start, arena.asap[static_cast<std::size_t>(p)] +
+                                  lat_of(lat, g.type(p)));
+    }
+    arena.asap[sv] = start;
+    lcp = std::max(lcp, start + lat_of(lat, g.type(v)));
+  }
+
+  // tail(v): longest completion path starting at v (inclusive);
+  // ALAP = L_CP - tail, mobility = ALAP - ASAP.
+  arena.tail.assign(sn, 0);
+  for (auto it = arena.topo.rbegin(); it != arena.topo.rend(); ++it) {
+    const OpId v = *it;
+    int longest_succ = 0;
+    for (const OpId s : g.succs(v)) {
+      longest_succ =
+          std::max(longest_succ, arena.tail[static_cast<std::size_t>(s)]);
+    }
+    arena.tail[static_cast<std::size_t>(v)] =
+        lat_of(lat, g.type(v)) + longest_succ;
+  }
+  arena.alap.resize(sn);
+  arena.mobility.resize(sn);
+  arena.consumers.resize(sn);
+  for (OpId v = 0; v < n; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    arena.alap[sv] = lcp - arena.tail[sv];
+    arena.mobility[sv] = arena.alap[sv] - arena.asap[sv];
+    arena.consumers[sv] = static_cast<int>(g.succs(v).size());
+  }
+}
+
+/// The scheduling loop. Fills `out` (start/latency/num_moves); `out`'s
+/// vector is reused across calls when the caller keeps the Schedule.
+template <typename G>
+void list_schedule_core(const G& g, const Datapath& dp,
+                        const ListSchedulerOptions& options, SchedArena& arena,
+                        Schedule& out) {
+  ScopedSpan span(options.tracer, "sched.list", options.trace_parent);
+  const int n = g.num_ops();
+  const LatencyTable& lat = dp.latencies();
+
+  // Priorities from the bound graph's own timing (target = its L_CP).
+  compute_priorities(g, lat, arena);
+  const auto priority_less = [&arena](OpId a, OpId b) {
+    const auto sa = static_cast<std::size_t>(a);
+    const auto sb = static_cast<std::size_t>(b);
+    return std::make_tuple(arena.alap[sa], arena.mobility[sa],
+                           -arena.consumers[sa], a) <
+           std::make_tuple(arena.alap[sb], arena.mobility[sb],
+                           -arena.consumers[sb], b);
+  };
+
+  // Resource pools: per cluster per cluster-FU-type, plus the bus.
+  // pool index = cluster * kNumClusterFuTypes + fu_type; bus at the end.
+  const int num_cluster_pools = dp.num_clusters() * kNumClusterFuTypes;
+  const auto num_pools = static_cast<std::size_t>(num_cluster_pools) + 1;
+  if (arena.pool_issues.size() < num_pools) {
+    arena.pool_issues.resize(num_pools);
+  }
+  std::vector<ResourcePool> pools;  // small; capacity/dii pairs per call
+  pools.reserve(num_pools);
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    for (int t = 0; t < kNumClusterFuTypes; ++t) {
+      auto& issues =
+          arena.pool_issues[static_cast<std::size_t>(pools.size())];
+      issues.clear();
+      pools.emplace_back(dp.fu_count(c, static_cast<FuType>(t)),
+                         dp.dii(static_cast<FuType>(t)), &issues);
+    }
+  }
+  const int bus_capacity =
+      options.unbounded_bus ? n + 1 : dp.num_buses();
+  auto& bus_issues = arena.pool_issues[static_cast<std::size_t>(pools.size())];
+  bus_issues.clear();
+  pools.emplace_back(bus_capacity, dp.dii(FuType::kBus), &bus_issues);
+  const auto pool_index = [&](OpId v) -> int {
+    const FuType t = fu_type_of(g.type(v));
+    if (t == FuType::kBus) {
+      return num_cluster_pools;
+    }
+    const ClusterId c = g.place(v);
+    if (c < 0 || c >= dp.num_clusters()) {
+      throw std::logic_error("list_schedule: op " + g.op_name(v) +
+                             " has no cluster placement");
+    }
+    if (dp.fu_count(c, t) == 0) {
+      throw std::logic_error("list_schedule: op " + g.op_name(v) +
+                             " placed on cluster without a " +
+                             std::string(fu_type_name(t)));
+    }
+    return c * kNumClusterFuTypes + static_cast<int>(t);
+  };
+
+  out.start.assign(static_cast<std::size_t>(n), -1);
+  out.num_moves = g.num_moves();
+
+  arena.pending.assign(static_cast<std::size_t>(n), 0);
+  arena.ready_at.assign(static_cast<std::size_t>(n), 0);
+  auto& ready = arena.ready;  // dependency-free, kept in priority order
+  ready.clear();
+  for (OpId v = 0; v < n; ++v) {
+    arena.pending[static_cast<std::size_t>(v)] =
+        static_cast<int>(g.preds(v).size());
+    if (arena.pending[static_cast<std::size_t>(v)] == 0) {
+      ready.push_back(v);
+    }
+  }
+  std::sort(ready.begin(), ready.end(), priority_less);
+
+  int scheduled = 0;
+  // Upper bound on useful cycles: fully serial execution on one unit.
+  long cycle_guard = 16;
+  for (OpId v = 0; v < n; ++v) {
+    cycle_guard += lat_of(lat, g.type(v)) + dp.dii_op(g.type(v));
+  }
+
+  long long steps = 0;
+  auto& newly_ready = arena.newly_ready;
+  for (int cycle = 0; scheduled < n; ++cycle) {
+    if (cycle > cycle_guard) {
+      throw std::logic_error("list_schedule: no progress (malformed graph?)");
+    }
+    newly_ready.clear();
+    for (std::size_t i = 0; i < ready.size();) {
+      if (options.step_budget > 0 && ++steps > options.step_budget) {
+        throw ResourceLimitError(
+            "list_schedule: step budget exhausted (" +
+            std::to_string(options.step_budget) + " candidate visits)");
+      }
+      const OpId v = ready[i];
+      if (arena.ready_at[static_cast<std::size_t>(v)] > cycle) {
+        ++i;
+        continue;
+      }
+      const int pool = pool_index(v);
+      if (!pools[static_cast<std::size_t>(pool)].can_issue(cycle)) {
+        ++i;
+        continue;
+      }
+      pools[static_cast<std::size_t>(pool)].issue(cycle);
+      out.start[static_cast<std::size_t>(v)] = cycle;
+      ++scheduled;
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+      const int done = cycle + lat_of(lat, g.type(v));
+      for (const OpId s : g.succs(v)) {
+        const auto ss = static_cast<std::size_t>(s);
+        arena.ready_at[ss] = std::max(arena.ready_at[ss], done);
+        if (--arena.pending[ss] == 0) {
+          newly_ready.push_back(s);
+        }
+      }
+    }
+    if (!newly_ready.empty()) {
+      ready.insert(ready.end(), newly_ready.begin(), newly_ready.end());
+      std::sort(ready.begin(), ready.end(), priority_less);
+    }
+  }
+
+  int latency = 0;
+  for (OpId v = 0; v < n; ++v) {
+    latency = std::max(latency, out.start[static_cast<std::size_t>(v)] +
+                                    lat_of(lat, g.type(v)));
+  }
+  out.latency = latency;
+  if (span.enabled()) {
+    span.attr("latency", out.latency);
+    span.attr("moves", out.num_moves);
+    span.attr("steps", steps);
+  }
+}
+
+}  // namespace cvb::detail

@@ -21,16 +21,19 @@ std::strong_ordering operator<=>(const QualityU& a, const QualityU& b) {
 
 QualityU compute_quality_u(const BoundDfg& bound, const Datapath& dp,
                            const Schedule& sched) {
+  return compute_quality_u(bound.graph.types(), bound.num_original_ops(), dp,
+                           sched);
+}
+
+QualityU compute_quality_u(std::span<const OpType> type, int num_original_ops,
+                           const Datapath& dp, const Schedule& sched) {
   QualityU q;
   q.latency = sched.latency;
   q.tail_counts.assign(static_cast<std::size_t>(sched.latency), 0);
   const LatencyTable& lat = dp.latencies();
-  for (OpId v = 0; v < bound.graph.num_ops(); ++v) {
-    if (bound.is_move_op(v)) {
-      continue;
-    }
+  for (OpId v = 0; v < num_original_ops; ++v) {
     const int done = sched.start[static_cast<std::size_t>(v)] +
-                     lat_of(lat, bound.graph.type(v));
+                     lat_of(lat, type[static_cast<std::size_t>(v)]);
     const int i = sched.latency - done;  // U_i index
     if (i >= 0 && i < static_cast<int>(q.tail_counts.size())) {
       ++q.tail_counts[static_cast<std::size_t>(i)];

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <compare>
+#include <span>
 #include <vector>
 
 #include "bind/bound_dfg.hpp"
@@ -46,6 +47,15 @@ struct QualityM {
 /// from the tail counts, per the paper: "U_i is the number of regular
 /// operations completed at step L-i").
 [[nodiscard]] QualityU compute_quality_u(const BoundDfg& bound,
+                                         const Datapath& dp,
+                                         const Schedule& sched);
+
+/// Representation-free form: `type` covers every bound-graph op (ids
+/// 0..type.size()-1, moves appended after the first `num_original_ops`
+/// entries). The BoundDfg overload forwards here; the incremental
+/// evaluator's flat scratch graphs use it directly.
+[[nodiscard]] QualityU compute_quality_u(std::span<const OpType> type,
+                                         int num_original_ops,
                                          const Datapath& dp,
                                          const Schedule& sched);
 

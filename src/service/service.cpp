@@ -202,6 +202,36 @@ JsonValue Service::metrics_snapshot() const {
   return out;
 }
 
+void Service::publish_eval_metrics() {
+  const EvalStats stats = engine_->stats();
+  EvalStats delta;
+  {
+    const std::lock_guard<std::mutex> lock(eval_published_mutex_);
+    delta = stats.since(eval_published_);
+    eval_published_ = stats;
+  }
+  const auto publish = [this](const char* name, long long value) {
+    if (value > 0) {
+      metrics_.counter(name).inc(value);
+    }
+  };
+  publish("eval_candidates", delta.candidates);
+  publish("eval_cache_hits", delta.cache_hits);
+  publish("eval_l1_hits", delta.l1_hits);
+  publish("eval_batch_dedup", delta.batch_dedup);
+  publish("eval_cache_misses", delta.cache_misses);
+  publish("eval_cache_evictions", delta.cache_evictions);
+  publish("eval_cache_collisions", delta.cache_collisions);
+  publish("eval_cache_contended", delta.cache_contended);
+  metrics_.gauge("eval_cache_entries")
+      .set(static_cast<long long>(engine_->cache_size()));
+}
+
+std::string Service::prometheus_text(const std::string& prefix) {
+  publish_eval_metrics();
+  return metrics_.prometheus_text(prefix);
+}
+
 void Service::worker_loop() {
   while (true) {
     std::shared_ptr<Pending> pending;

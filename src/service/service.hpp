@@ -137,6 +137,17 @@ class Service {
   /// statistics ({"service":{...},"eval":{...}}).
   [[nodiscard]] JsonValue metrics_snapshot() const;
 
+  /// Publishes the engine's evaluation/cache counters into the metrics
+  /// registry as eval_* counters plus an eval_cache_entries gauge.
+  /// Delta-based: each call adds only what accumulated since the last,
+  /// so it is safe to call any number of times.
+  void publish_eval_metrics();
+
+  /// Prometheus text exposition of the registry with the engine's
+  /// eval_* series refreshed first (what scrapers should call, instead
+  /// of metrics().prometheus_text() which would miss the eval stats).
+  [[nodiscard]] std::string prometheus_text(const std::string& prefix = "cvb_");
+
  private:
   struct Pending;
 
@@ -149,6 +160,9 @@ class Service {
   std::unique_ptr<EvalEngine> engine_;
   MetricsRegistry metrics_;
   Quarantine quarantine_;
+
+  std::mutex eval_published_mutex_;  // guards eval_published_
+  EvalStats eval_published_;  // engine stats already pushed to metrics_
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;

@@ -1,0 +1,190 @@
+// Differential tests for incremental candidate evaluation: the
+// DeltaEvaluator and the engine's evaluate_batch_delta entry point must
+// be bit-identical — same (L, M), same Q_U tail vector, same tie-break
+// outcomes — to the from-scratch evaluate_uncached path, on every
+// bundled benchmark DFG. bind_full through the sharded, multi-threaded
+// delta pipeline must reproduce the serial cache-off result exactly.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "bind/delta_eval.hpp"
+#include "bind/driver.hpp"
+#include "bind/eval_engine.hpp"
+#include "bind/initial_binder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+
+namespace cvb {
+namespace {
+
+const char* const kDatapaths[] = {"[1,1]", "[1,1|1,1]", "[2,1|1,2]"};
+
+/// All single-op re-bindings of `base` (the B-ITER move neighbourhood).
+std::vector<BindingDelta> single_move_deltas(const Dfg& dfg,
+                                             const Datapath& dp,
+                                             const Binding& base) {
+  std::vector<BindingDelta> deltas;
+  for (OpId v = 0; v < dfg.num_ops(); ++v) {
+    for (const ClusterId c : dp.target_set(dfg.type(v))) {
+      if (c != base[static_cast<std::size_t>(v)]) {
+        deltas.push_back({{v, c}});
+      }
+    }
+  }
+  return deltas;
+}
+
+Binding materialize(const Binding& base, const BindingDelta& delta) {
+  Binding out = base;
+  for (const auto& [v, c] : delta) {
+    out[static_cast<std::size_t>(v)] = c;
+  }
+  return out;
+}
+
+TEST(EvalEngineDelta, EvaluatorMatchesUncachedOnAllBenchmarks) {
+  const ListSchedulerOptions sched;
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    for (const char* dp_text : kDatapaths) {
+      const Datapath dp = parse_datapath(dp_text);
+      const Binding base = initial_binding(kernel.dfg, dp);
+      DeltaEvaluator ev;
+      ev.set_incumbent(kernel.dfg, dp, base);
+
+      std::vector<BindingDelta> deltas =
+          single_move_deltas(kernel.dfg, dp, base);
+      // A sample of pair deltas (B-ITER's plateau perturbations).
+      for (std::size_t i = 0; i + 1 < deltas.size(); i += 5) {
+        BindingDelta pair = deltas[i];
+        pair.push_back(deltas[i + 1][0]);
+        deltas.push_back(std::move(pair));
+      }
+      // The empty delta re-evaluates the incumbent itself.
+      deltas.push_back({});
+
+      for (const BindingDelta& delta : deltas) {
+        const EvalResult got = ev.evaluate(delta, sched);
+        const EvalResult want = EvalEngine::evaluate_uncached(
+            kernel.dfg, dp, materialize(base, delta), sched);
+        ASSERT_EQ(got, want)
+            << kernel.name << " on " << dp_text << ", delta size "
+            << delta.size();
+        ASSERT_EQ(ev.incumbent(), base) << "incumbent must be restored";
+      }
+    }
+  }
+}
+
+TEST(EvalEngineDelta, InvalidDeltaThrowsAndPreservesIncumbent) {
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding base = initial_binding(kernel.dfg, dp);
+  DeltaEvaluator ev;
+  ev.set_incumbent(kernel.dfg, dp, base);
+
+  const ListSchedulerOptions sched;
+  EXPECT_THROW((void)ev.evaluate({{kernel.dfg.num_ops(), 0}}, sched),
+               std::logic_error)
+      << "out-of-range op id";
+  EXPECT_THROW((void)ev.evaluate({{0, dp.num_clusters()}}, sched),
+               std::logic_error)
+      << "out-of-range cluster";
+  EXPECT_EQ(ev.incumbent(), base);
+
+  // The evaluator still works after a rejected delta.
+  const EvalResult got = ev.evaluate({{0, 1 - base[0]}}, sched);
+  EXPECT_EQ(got, EvalEngine::evaluate_uncached(kernel.dfg, dp,
+                                               materialize(base, {{0, 1 - base[0]}}),
+                                               sched));
+}
+
+TEST(EvalEngineDelta, EvaluatorRetargetsAcrossIncumbents) {
+  const BenchmarkKernel arf = benchmark_by_name("ARF");
+  const BenchmarkKernel ewf = benchmark_by_name("EWF");
+  const Datapath dp = parse_datapath("[2,1|1,2]");
+  const ListSchedulerOptions sched;
+  DeltaEvaluator ev;
+
+  for (const BenchmarkKernel* kernel : {&arf, &ewf, &arf}) {
+    const Binding base = initial_binding(kernel->dfg, dp);
+    ev.set_incumbent(kernel->dfg, dp, base);
+    const BindingDelta delta = {{0, 1 - base[0]}};
+    EXPECT_EQ(ev.evaluate(delta, sched),
+              EvalEngine::evaluate_uncached(kernel->dfg, dp,
+                                            materialize(base, delta), sched))
+        << kernel->name;
+  }
+}
+
+TEST(EvalEngineDelta, BatchDeltaMatchesBatchFull) {
+  const BenchmarkKernel kernel = benchmark_by_name("DCT-LEE");
+  const Datapath dp = parse_datapath("[2,1|1,2]");
+  const Binding base = initial_binding(kernel.dfg, dp);
+  const std::vector<BindingDelta> deltas =
+      single_move_deltas(kernel.dfg, dp, base);
+  std::vector<Binding> materialized;
+  materialized.reserve(deltas.size());
+  for (const BindingDelta& delta : deltas) {
+    materialized.push_back(materialize(base, delta));
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    EvalEngineOptions opts;
+    opts.num_threads = threads;
+    EvalEngine full_engine(opts);
+    EvalEngine delta_engine(opts);
+
+    const std::vector<EvalResult> full =
+        full_engine.evaluate_batch(kernel.dfg, dp, materialized);
+    const std::vector<EvalResult> cold =
+        delta_engine.evaluate_batch_delta(kernel.dfg, dp, base, deltas);
+    EXPECT_EQ(cold, full) << threads << " threads, cold cache";
+    const std::vector<EvalResult> warm =
+        delta_engine.evaluate_batch_delta(kernel.dfg, dp, base, deltas);
+    EXPECT_EQ(warm, full) << threads << " threads, warm cache";
+
+    // Identical accounting too: the delta path classifies candidates
+    // exactly like the materialized path.
+    const EvalStats fs = full_engine.stats();
+    const EvalStats ds = delta_engine.stats();
+    EXPECT_EQ(ds.cache_hits + ds.batch_dedup + ds.cache_misses,
+              ds.candidates);
+    EXPECT_EQ(ds.cache_misses, fs.cache_misses) << threads << " threads";
+  }
+}
+
+TEST(EvalEngineDelta, BindFullShardedMatchesSerialUncached) {
+  DriverParams params;
+  params.max_stretch = 2;
+  params.iter_starts = 2;
+
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    const Datapath dp = parse_datapath("[1,1|1,1]");
+
+    EvalEngineOptions serial_opts;
+    serial_opts.num_threads = 1;
+    serial_opts.cache_capacity = 0;  // every candidate from scratch
+    EvalEngine serial_engine(serial_opts);
+    DriverParams serial_params = params;
+    serial_params.engine = &serial_engine;
+    const BindResult want = bind_full(kernel.dfg, dp, serial_params);
+
+    EvalEngineOptions fast_opts;
+    fast_opts.num_threads = 8;  // sharded cache + L1 + delta pipeline
+    EvalEngine fast_engine(fast_opts);
+    DriverParams fast_params = params;
+    fast_params.engine = &fast_engine;
+    const BindResult got = bind_full(kernel.dfg, dp, fast_params);
+
+    EXPECT_EQ(got.binding, want.binding) << kernel.name;
+    EXPECT_EQ(got.schedule.latency, want.schedule.latency) << kernel.name;
+    EXPECT_EQ(got.schedule.num_moves, want.schedule.num_moves) << kernel.name;
+    EXPECT_EQ(got.schedule.start, want.schedule.start) << kernel.name;
+  }
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,309 @@
+// Regression tests for the two-level schedule cache: LRU ordering
+// (refresh on replace, touch on hit), the keep-resident collision
+// policy, dedup-vs-hit accounting, shard aggregation, and L1/L2
+// consistency when faults are injected at the cache sites.
+//
+// The LRU/collision tests drive the L2 directly through the
+// test_cache_insert/test_cache_lookup hooks: that makes eviction order
+// deterministic (no hashing in the way) and lets a test force two
+// distinct bindings onto one key, which real FNV-1a keys won't do on
+// demand.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bind/eval_engine.hpp"
+#include "bind/initial_binder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "support/fault.hpp"
+
+namespace cvb {
+namespace {
+
+constexpr std::uint64_t kSig = 0x5157'0000'0000'0042ULL;
+
+EvalResult make_result(int latency) {
+  EvalResult r;
+  r.latency = latency;
+  r.num_moves = latency + 1;
+  r.tail_counts.assign(static_cast<std::size_t>(latency), 1);
+  return r;
+}
+
+/// Keys whose upper-32 shard bits are distinct, so the single-shard
+/// tests stay meaningful if re-run with more shards.
+std::uint64_t key(int i) { return 0x1000ULL + static_cast<std::uint64_t>(i); }
+
+EvalEngine make_small_cache(std::size_t capacity) {
+  EvalEngineOptions opts;
+  opts.cache_capacity = capacity;
+  opts.cache_shards = 1;  // one LRU ring: eviction order is global
+  return EvalEngine(opts);
+}
+
+TEST(EvalEngineCache, ReplaceRefreshesLruPosition) {
+  EvalEngine engine = make_small_cache(2);
+  const Binding a{0};
+  const Binding b{1};
+  const Binding c{2};
+  engine.test_cache_insert(key(1), kSig, a, make_result(1));
+  engine.test_cache_insert(key(2), kSig, b, make_result(2));
+  // Re-insert key 1 (same binding): the replace path must move it to
+  // most-recently-used. Before the fix it kept its stale position and
+  // was evicted next, despite being the most recently written entry.
+  engine.test_cache_insert(key(1), kSig, a, make_result(3));
+  engine.test_cache_insert(key(3), kSig, c, make_result(4));  // evicts one
+
+  EvalResult out;
+  EXPECT_TRUE(engine.test_cache_lookup(key(1), kSig, a, &out));
+  EXPECT_EQ(out.latency, 3);  // replace also refreshed the stored result
+  EXPECT_FALSE(engine.test_cache_lookup(key(2), kSig, b, &out))
+      << "key 2 was the least recently used entry and must be the evictee";
+  EXPECT_TRUE(engine.test_cache_lookup(key(3), kSig, c, &out));
+  EXPECT_EQ(engine.stats().cache_evictions, 1);
+}
+
+TEST(EvalEngineCache, HitRefreshesLruPosition) {
+  EvalEngine engine = make_small_cache(2);
+  const Binding a{0};
+  const Binding b{1};
+  const Binding c{2};
+  engine.test_cache_insert(key(1), kSig, a, make_result(1));
+  engine.test_cache_insert(key(2), kSig, b, make_result(2));
+  EvalResult out;
+  ASSERT_TRUE(engine.test_cache_lookup(key(1), kSig, a, &out));  // touch 1
+  engine.test_cache_insert(key(3), kSig, c, make_result(3));     // evicts 2
+
+  EXPECT_TRUE(engine.test_cache_lookup(key(1), kSig, a, &out))
+      << "the just-hit entry must not be the evictee";
+  EXPECT_FALSE(engine.test_cache_lookup(key(2), kSig, b, &out));
+  EXPECT_TRUE(engine.test_cache_lookup(key(3), kSig, c, &out));
+}
+
+TEST(EvalEngineCache, CollisionKeepsResidentEntry) {
+  EvalEngine engine = make_small_cache(8);
+  const Binding resident{0, 1};
+  const Binding newcomer{1, 0};
+  engine.test_cache_insert(key(7), kSig, resident, make_result(1));
+  // Same key, different binding: before the fix this overwrote the
+  // resident entry, silently dropping a result that lookups for
+  // `resident` could still have served.
+  engine.test_cache_insert(key(7), kSig, newcomer, make_result(2));
+
+  EvalResult out;
+  EXPECT_TRUE(engine.test_cache_lookup(key(7), kSig, resident, &out));
+  EXPECT_EQ(out.latency, 1);
+  EXPECT_FALSE(engine.test_cache_lookup(key(7), kSig, newcomer, &out))
+      << "the colliding newcomer is dropped, not stored";
+  EXPECT_EQ(engine.stats().cache_collisions, 1);
+  EXPECT_EQ(engine.stats().cache_evictions, 0);
+  EXPECT_EQ(engine.cache_size(), 1u);
+}
+
+TEST(EvalEngineCache, SignatureMismatchIsACollisionToo) {
+  EvalEngine engine = make_small_cache(8);
+  const Binding b{0};
+  engine.test_cache_insert(key(9), kSig, b, make_result(1));
+  engine.test_cache_insert(key(9), kSig + 1, b, make_result(2));
+  EvalResult out;
+  EXPECT_TRUE(engine.test_cache_lookup(key(9), kSig, b, &out));
+  EXPECT_EQ(out.latency, 1);
+  EXPECT_FALSE(engine.test_cache_lookup(key(9), kSig + 1, b, &out));
+  EXPECT_EQ(engine.stats().cache_collisions, 1);
+}
+
+TEST(EvalEngineCache, DedupCountsSeparatelyFromHits) {
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding base = initial_binding(kernel.dfg, dp);
+  Binding other = base;
+  other[0] = 1 - other[0];
+
+  EvalEngine engine;
+  // Cold batch [X, X, Y]: X is computed once and shared intra-batch.
+  const std::vector<EvalResult> first =
+      engine.evaluate_batch(kernel.dfg, dp, {base, base, other});
+  EXPECT_EQ(first[0], first[1]);
+  EvalStats stats = engine.stats();
+  EXPECT_EQ(stats.candidates, 3);
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.batch_dedup, 1);
+  EXPECT_EQ(stats.cache_misses, 2);
+  EXPECT_EQ(stats.candidates,
+            stats.cache_hits + stats.batch_dedup + stats.cache_misses);
+
+  // Warm identical batch: everything is served from the cache now, and
+  // the repeated X counts as a hit (it IS served from the cache).
+  const std::vector<EvalResult> second =
+      engine.evaluate_batch(kernel.dfg, dp, {base, base, other});
+  EXPECT_EQ(second, first);
+  stats = engine.stats();
+  EXPECT_EQ(stats.candidates, 6);
+  EXPECT_EQ(stats.cache_hits, 3);
+  EXPECT_EQ(stats.batch_dedup, 1);
+  EXPECT_EQ(stats.cache_misses, 2);
+  EXPECT_LE(stats.l1_hits, stats.cache_hits);
+  EXPECT_GT(stats.l1_hits, 0) << "the warm repeats should be L1-resident";
+}
+
+TEST(EvalEngineCache, ShardStatsAggregateConsistently) {
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding base = initial_binding(kernel.dfg, dp);
+  std::vector<Binding> batch;
+  for (OpId v = 0; v < kernel.dfg.num_ops(); ++v) {
+    Binding trial = base;
+    trial[static_cast<std::size_t>(v)] = 1 - trial[static_cast<std::size_t>(v)];
+    batch.push_back(std::move(trial));
+  }
+
+  EvalEngineOptions opts;
+  opts.cache_shards = 5;  // rounds up to 8
+  EvalEngine engine(opts);
+  EXPECT_EQ(engine.num_shards(), 8);
+  (void)engine.evaluate_batch(kernel.dfg, dp, batch);
+
+  const std::vector<EvalShardStats> shards = engine.shard_stats();
+  ASSERT_EQ(shards.size(), 8u);
+  std::size_t total = 0;
+  long long evictions = 0;
+  for (const EvalShardStats& shard : shards) {
+    total += shard.size;
+    evictions += shard.evictions;
+  }
+  EXPECT_EQ(total, engine.cache_size());
+  EXPECT_EQ(evictions, engine.stats().cache_evictions);
+  EXPECT_EQ(engine.cache_size(),
+            static_cast<std::size_t>(engine.stats().cache_misses));
+}
+
+// --- Fault injection at the cache sites: a fault that unwinds a batch
+// mid-flight must leave both cache levels consistent — the next,
+// un-faulted evaluation returns the uncached truth. ---
+
+class EvalEngineCacheFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault_injection_compiled()) {
+      GTEST_SKIP() << "build has -DCVB_FAULT_INJECTION=OFF";
+    }
+  }
+};
+
+TEST_F(EvalEngineCacheFaults, LookupFaultLeavesCacheConsistent) {
+  ScopedFaultInjection scoped;
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding binding = initial_binding(kernel.dfg, dp);
+
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.fault_class = FaultClass::kTransient;
+  spec.max_triggers = 1;
+  FaultInjector::global().arm("eval.cache_lookup", spec);
+
+  EvalEngine engine;
+  EXPECT_THROW((void)engine.evaluate(kernel.dfg, dp, binding),
+               FaultInjectedError);
+  // The faulted batch counted its candidate but neither hit nor missed
+  // (it unwound before classification): candidates >= hits+dedup+misses.
+  EvalStats stats = engine.stats();
+  EXPECT_GE(stats.candidates,
+            stats.cache_hits + stats.batch_dedup + stats.cache_misses);
+
+  // Fault exhausted: the engine serves the correct result and the
+  // books balance from here on.
+  const EvalResult after = engine.evaluate(kernel.dfg, dp, binding);
+  EXPECT_EQ(after, EvalEngine::evaluate_uncached(kernel.dfg, dp, binding));
+  const EvalResult warm = engine.evaluate(kernel.dfg, dp, binding);
+  EXPECT_EQ(warm, after);
+  stats = engine.stats();
+  EXPECT_GT(stats.cache_hits, 0);
+}
+
+TEST_F(EvalEngineCacheFaults, InsertFaultLeavesCacheConsistent) {
+  ScopedFaultInjection scoped;
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  const Binding binding = initial_binding(kernel.dfg, dp);
+
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.fault_class = FaultClass::kTransient;
+  spec.max_triggers = 1;
+  FaultInjector::global().arm("eval.cache_insert", spec);
+
+  EvalEngine engine;
+  // The batch computes the miss, then faults while publishing it: the
+  // entry must not be half-inserted into either level.
+  EXPECT_THROW((void)engine.evaluate(kernel.dfg, dp, binding),
+               FaultInjectedError);
+  EXPECT_EQ(engine.cache_size(), 0u);
+
+  const EvalResult after = engine.evaluate(kernel.dfg, dp, binding);
+  EXPECT_EQ(after, EvalEngine::evaluate_uncached(kernel.dfg, dp, binding));
+  EXPECT_EQ(engine.cache_size(), 1u);
+  const EvalResult warm = engine.evaluate(kernel.dfg, dp, binding);
+  EXPECT_EQ(warm, after);
+}
+
+TEST_F(EvalEngineCacheFaults, DeltaBatchSurvivesCacheFaults) {
+  ScopedFaultInjection scoped;
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  const Datapath dp = parse_datapath("[2,1|1,2]");
+  const Binding base = initial_binding(kernel.dfg, dp);
+  std::vector<BindingDelta> deltas;
+  for (OpId v = 0; v < kernel.dfg.num_ops(); ++v) {
+    for (const ClusterId c : dp.target_set(kernel.dfg.type(v))) {
+      if (c != base[static_cast<std::size_t>(v)]) {
+        deltas.push_back({{v, c}});
+      }
+    }
+  }
+
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.fault_class = FaultClass::kTransient;
+  spec.max_triggers = 2;  // one lookup fault, then one insert fault
+  FaultInjector::global().arm("eval.cache_lookup", spec);
+  FaultSpec insert_spec = spec;
+  insert_spec.max_triggers = 1;
+  FaultInjector::global().arm("eval.cache_insert", insert_spec);
+
+  EvalEngine engine;
+  EXPECT_THROW(
+      (void)engine.evaluate_batch_delta(kernel.dfg, dp, base, deltas),
+      FaultInjectedError);
+  // Storms over: the full batch must now match the uncached truth and
+  // leave L1/L2 agreeing with each other (re-run is all hits).
+  std::vector<EvalResult> results;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    try {
+      results = engine.evaluate_batch_delta(kernel.dfg, dp, base, deltas);
+      break;
+    } catch (const FaultInjectedError&) {
+      continue;  // residual armed triggers
+    }
+  }
+  ASSERT_EQ(results.size(), deltas.size());
+  for (std::size_t i = 0; i < deltas.size(); i += 7) {
+    Binding trial = base;
+    for (const auto& [v, c] : deltas[i]) {
+      trial[static_cast<std::size_t>(v)] = c;
+    }
+    EXPECT_EQ(results[i], EvalEngine::evaluate_uncached(kernel.dfg, dp, trial))
+        << "delta index " << i;
+  }
+  const std::vector<EvalResult> warm =
+      engine.evaluate_batch_delta(kernel.dfg, dp, base, deltas);
+  EXPECT_EQ(warm, results);
+  const EvalStats stats = engine.stats();
+  EXPECT_GE(stats.candidates,
+            stats.cache_hits + stats.batch_dedup + stats.cache_misses);
+}
+
+}  // namespace
+}  // namespace cvb

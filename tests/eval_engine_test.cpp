@@ -107,15 +107,20 @@ TEST(EvalEngine, StatsCountersAreConsistent) {
     batch.push_back(trial);
   }
   batch.push_back(base);
-  batch.push_back(base);  // duplicate: second occurrence must hit
+  batch.push_back(base);  // duplicate: second occurrence is deduped
 
   EvalEngine engine;
   (void)engine.evaluate_batch(kernel.dfg, dp, batch, {},
                               EvalPhase::kImprover);
   const EvalStats stats = engine.stats();
   EXPECT_EQ(stats.candidates, static_cast<long long>(batch.size()));
-  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.candidates);
-  EXPECT_EQ(stats.cache_hits, 1);  // the duplicated base binding
+  EXPECT_EQ(stats.cache_hits + stats.batch_dedup + stats.cache_misses,
+            stats.candidates);
+  // The duplicated base binding shares its representative's computation
+  // within the batch; nothing was served from the cache, so it must
+  // count as batch_dedup rather than inflate the hit rate.
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.batch_dedup, 1);
   EXPECT_EQ(stats.batches, 1);
   EXPECT_EQ(stats.improver_candidates, stats.candidates);
   EXPECT_EQ(stats.pcc_candidates, 0);
@@ -130,6 +135,7 @@ TEST(EvalEngine, EvictsAtCapacityAndStaysCorrect) {
 
   EvalEngineOptions opts;
   opts.cache_capacity = 2;
+  opts.cache_shards = 1;  // one LRU ring, so the global capacity is exact
   EvalEngine engine(opts);
   std::vector<Binding> distinct;
   for (OpId v = 0; v < 5; ++v) {
