@@ -3,6 +3,11 @@
 // (DFG, datapath) experiment and formats Table 1/2-style rows.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -14,6 +19,89 @@
 #include "support/strings.hpp"
 
 namespace cvb::bench {
+
+/// Per-sample latency collector for the micro benches. Uses
+/// steady_clock exclusively (never the wall clock, which can step
+/// backwards under NTP and once produced negative samples here) and
+/// derives percentiles from the sorted sample vector rather than any
+/// streaming approximation, so p50/p99 are exact for the collected run.
+class LatencySampler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void reserve(std::size_t samples) { ns_.reserve(samples); }
+
+  /// Times one call and records it as a single sample.
+  template <typename Fn>
+  void sample(Fn&& fn) {
+    const Clock::time_point begin = Clock::now();
+    fn();
+    ns_.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             begin)
+            .count()));
+  }
+
+  void add_ns(std::uint64_t ns) { ns_.push_back(ns); }
+  [[nodiscard]] std::size_t count() const { return ns_.size(); }
+  [[nodiscard]] std::uint64_t ns(std::size_t i) const { return ns_[i]; }
+
+  /// Exact percentile (0..100) via the nearest-rank method on a sorted
+  /// copy of the samples. Throws if no samples were collected.
+  [[nodiscard]] double percentile_ns(double pct) const {
+    if (ns_.empty()) {
+      throw std::logic_error("LatencySampler: no samples collected");
+    }
+    std::vector<std::uint64_t> sorted = ns_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return static_cast<double>(sorted[lo]) +
+           frac * (static_cast<double>(sorted[hi]) -
+                   static_cast<double>(sorted[lo]));
+  }
+
+  [[nodiscard]] double p50_ns() const { return percentile_ns(50.0); }
+  [[nodiscard]] double p99_ns() const { return percentile_ns(99.0); }
+
+  [[nodiscard]] double mean_ns() const {
+    if (ns_.empty()) {
+      throw std::logic_error("LatencySampler: no samples collected");
+    }
+    double total = 0.0;
+    for (const std::uint64_t sample : ns_) {
+      total += static_cast<double>(sample);
+    }
+    return total / static_cast<double>(ns_.size());
+  }
+
+  /// Throughput implied by the mean per-sample latency.
+  [[nodiscard]] double per_sec() const {
+    const double mean = mean_ns();
+    return mean > 0.0 ? 1e9 / mean : 0.0;
+  }
+
+ private:
+  std::vector<std::uint64_t> ns_;
+};
+
+/// Geometric mean of positive ratios (aggregate speedup across
+/// configurations — robust to one config dominating).
+[[nodiscard]] inline double geomean(const std::vector<double>& ratios) {
+  if (ratios.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (const double r : ratios) {
+    if (r <= 0.0) {
+      throw std::invalid_argument("geomean: non-positive ratio");
+    }
+    log_sum += std::log(r);
+  }
+  return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
 
 /// Results of one experiment row (one datapath configuration).
 struct ExperimentRow {

@@ -105,6 +105,10 @@ class DeltaEvaluator {
   /// The incumbent binding currently applied (for tests).
   [[nodiscard]] const Binding& incumbent() const { return binding_; }
 
+  /// The retained scheduler arena (for the arena-reuse tests, which
+  /// assert its grow count is stable once the evaluator is warm).
+  [[nodiscard]] const SchedArena& sched_arena() const { return arena_; }
+
  private:
   void rebuild_overlay();
 

@@ -78,6 +78,20 @@ struct L1Table {
 thread_local std::array<L1Table, 2> tl_l1_tables;
 thread_local std::uint64_t tl_l1_clock = 0;
 
+// Direct-mapped slot index. The cache key is FNV-1a, whose low bits
+// disperse poorly (the trailing multiply leaves the keys of
+// neighbouring bindings in a handful of low-bit classes — observed as
+// a whole candidate batch collapsing onto two slots and evicting
+// itself every round), so the index runs the key through a 64-bit
+// finalizer (murmur3 fmix64) before masking.
+std::size_t l1_slot_index(std::uint64_t key, std::size_t size) {
+  std::uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h) & (size - 1);
+}
+
 L1Table& l1_table_for(std::uint64_t engine, std::size_t slots) {
   L1Table* victim = &tl_l1_tables[0];
   for (L1Table& table : tl_l1_tables) {
@@ -268,7 +282,7 @@ bool EvalEngine::l1_lookup(std::uint64_t key, std::uint64_t signature,
     return false;
   }
   L1Table& table = l1_table_for(engine_id_, options_.l1_capacity);
-  const L1Slot& slot = table.slots[key & (table.slots.size() - 1)];
+  const L1Slot& slot = table.slots[l1_slot_index(key, table.slots.size())];
   if (!slot.valid || slot.key != key || slot.signature != signature ||
       slot.binding != binding) {
     return false;
@@ -283,7 +297,7 @@ void EvalEngine::l1_insert(std::uint64_t key, std::uint64_t signature,
     return;
   }
   L1Table& table = l1_table_for(engine_id_, options_.l1_capacity);
-  L1Slot& slot = table.slots[key & (table.slots.size() - 1)];
+  L1Slot& slot = table.slots[l1_slot_index(key, table.slots.size())];
   slot.key = key;
   slot.signature = signature;
   slot.binding = binding;

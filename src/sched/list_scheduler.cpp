@@ -18,4 +18,11 @@ Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
   return sched;
 }
 
+void list_schedule_into(const BoundDfg& bound, const Datapath& dp,
+                        const ListSchedulerOptions& options, SchedArena& arena,
+                        Schedule& out) {
+  detail::list_schedule_core(detail::BoundDfgView{&bound}, dp, options, arena,
+                             out);
+}
+
 }  // namespace cvb

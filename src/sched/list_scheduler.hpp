@@ -18,6 +18,7 @@
 
 #include "bind/bound_dfg.hpp"
 #include "machine/datapath.hpp"
+#include "sched/occupancy.hpp"
 #include "sched/schedule.hpp"
 
 namespace cvb {
@@ -50,28 +51,71 @@ struct ListSchedulerOptions {
 };
 
 /// Reusable scratch buffers for the scheduler (and its priority
-/// computation). One arena serves any number of sequential
-/// list_schedule calls on one thread; after the first call on graphs of
-/// similar size, scheduling performs no heap allocation. The incremental
-/// candidate evaluator (bind/delta_eval.hpp) keeps one arena per worker
-/// so B-ITER's per-candidate evaluations stop allocating entirely.
-/// Contents are scratch only — never read results out of an arena.
+/// computation), laid out structure-of-arrays so the inner loop walks
+/// flat fixed-width integer arrays. One arena serves any number of
+/// sequential list_schedule calls on one thread; after the first call
+/// on graphs of similar size, scheduling performs no heap allocation
+/// (`total_grows()` is the hook the reuse tests assert on). The
+/// incremental candidate evaluator (bind/delta_eval.hpp) keeps one
+/// arena per worker so B-ITER's per-candidate evaluations stop
+/// allocating entirely. Contents are scratch only — never read results
+/// out of an arena.
 struct SchedArena {
-  // compute_priorities scratch (graph/analysis equivalents).
-  std::vector<int> topo_pending;
+  // SoA op descriptors, filled once per schedule from the graph view:
+  // latency, resource pool (cluster x FU class, bus last), static
+  // indegree.
+  std::vector<std::int32_t> op_latency;
+  std::vector<std::int32_t> op_pool;
+  std::vector<std::int32_t> indegree;
+  // CSR copy of the bound graph's successor edges. The source graphs
+  // keep one heap vector per op, so every edge sweep there is pointer
+  // chasing; the core copies successors once per schedule into these
+  // contiguous arrays and every later sweep (topo, ASAP relaxation,
+  // tails, the cycle loop's wakeups) streams flat int32 data.
+  // Predecessor lists are never copied: ASAP is computed by relaxing
+  // successors in topological order.
+  std::vector<std::int32_t> succ_offset;  // n + 1 entries
+  std::vector<OpId> succ_data;
+  // Priority ranks: the candidate order (ALAP, mobility, -consumers,
+  // id) is a strict total order over ops, so it is materialized once
+  // per schedule as a permutation instead of re-sorting a ready vector
+  // every cycle. When every field fits 16 bits (graphs up to 65535 ops
+  // and critical paths up to 65535 cycles — everything real) the order
+  // is packed into one uint64 key per op and sorted with branch-free
+  // integer compares; `keys` is that scratch.
+  std::vector<std::uint64_t> keys;
+  std::vector<std::int32_t> rank_of;   // op -> rank
+  std::vector<OpId> op_of_rank;        // rank -> op
+  // compute_priorities scratch (graph/analysis equivalents). `topo`
+  // doubles as the Kahn work queue (appended sources, head scan).
   std::vector<OpId> topo;
-  std::vector<OpId> frontier;
-  std::vector<int> asap;
-  std::vector<int> tail;
-  std::vector<int> alap;
-  std::vector<int> mobility;
-  std::vector<int> consumers;
-  // Scheduling-loop scratch.
-  std::vector<int> pending;
-  std::vector<int> ready_at;
-  std::vector<OpId> ready;
+  std::vector<std::int32_t> topo_pending;
+  std::vector<std::int32_t> asap;
+  std::vector<std::int32_t> tail;
+  // Scheduling-loop scratch. The ready set is a bitmask over ranks
+  // (bit r set = the op with priority rank r is dependency-free and
+  // unscheduled): insertion is a branchless OR, and scanning words in
+  // ascending rank order reproduces the sorted ready vector exactly.
+  std::vector<std::int32_t> pending;
+  std::vector<std::int32_t> ready_at;
+  std::vector<std::uint64_t> ready_words;
   std::vector<OpId> newly_ready;
-  std::vector<std::vector<int>> pool_issues;  // per resource pool
+  // Bitmask occupancy rows, one table per resource pool (see
+  // sched/occupancy.hpp); buffers persist across calls.
+  std::vector<BitOccupancy> pools;
+
+  /// Buffer growths across all arena-owned storage (including the
+  /// occupancy tables): stable once the arena is warmed up on the
+  /// workload's largest graph. Test hook for the zero-steady-state-
+  /// allocation contract.
+  std::uint64_t grows = 0;
+  [[nodiscard]] std::uint64_t total_grows() const {
+    std::uint64_t total = grows;
+    for (const BitOccupancy& pool : pools) {
+      total += pool.grow_count();
+    }
+    return total;
+  }
 };
 
 /// Schedules `bound` on `dp`. Always succeeds for a valid bound DFG
@@ -89,5 +133,13 @@ struct SchedArena {
 [[nodiscard]] Schedule list_schedule(const BoundDfg& bound, const Datapath& dp,
                                      const ListSchedulerOptions& options,
                                      SchedArena& arena);
+
+/// Fully allocation-free form: schedules into `out`, reusing both the
+/// arena and the schedule's own buffers. After one warm-up call on a
+/// graph of the workload's largest size, repeated invocations perform
+/// no heap allocation at all (bench/sched_core's steady-state path).
+void list_schedule_into(const BoundDfg& bound, const Datapath& dp,
+                        const ListSchedulerOptions& options, SchedArena& arena,
+                        Schedule& out);
 
 }  // namespace cvb

@@ -19,21 +19,58 @@
 // with the same dedup semantics as Dfg::add_operand (an edge appears
 // once in preds/succs however many operand slots repeat it).
 //
-// Determinism: the candidate priority (ALAP, mobility, -consumers, id)
-// is a strict total order (the id tie-break), so every sort below has a
-// unique result and the schedule is a pure function of the view — the
-// incremental evaluator's results are bit-identical to a fresh
-// build_bound_dfg + list_schedule of the same candidate.
+// Data-oriented organization (PR 6 rewrite; the pre-rewrite core lives
+// on as the differential oracle in tests/reference_scheduler.hpp):
+//
+//  * One descriptor pass per schedule copies everything the scheduler
+//    will touch into flat arena arrays: per-op latency, resource pool
+//    index, indegree, and a CSR copy of the successor edges. The
+//    source graphs keep one heap vector per op, so sweeping edges
+//    there is pointer chasing; after the copy, the four edge sweeps
+//    (topological order, ASAP by forward successor relaxation, tails,
+//    and the cycle loop's successor wakeups) all stream contiguous
+//    int32 data. Predecessor lists are read only for their lengths
+//    (the indegrees) and never copied.
+//  * Resource legality is a bitmask occupancy table per pool
+//    (sched/occupancy.hpp): `uint64_t` words per cycle row, issue =
+//    claim the lowest free unit bit across the dii-cycle span. This is
+//    exactly equivalent to the old counted trailing-window check (see
+//    occupancy.hpp for the argument) but costs a word scan instead of
+//    an O(dii) loop, with no per-issue resize.
+//  * The ready set is a bitmask over *priority ranks*. The candidate
+//    priority (ALAP, mobility, -consumers, id) is a strict total order
+//    with keys fixed before the cycle loop, so it is sorted once into
+//    a rank permutation; thereafter "keep the ready vector sorted"
+//    degenerates to "set bit rank_of[v]" (branchless insertion, op-id
+//    tie-break baked into the rank), and scanning set bits in word
+//    order visits candidates in exactly the old sorted order. The sort
+//    itself runs on packed 64-bit keys (alap | mobility | ~consumers |
+//    id, 16 bits each) whenever the fields fit, turning the 4-way
+//    comparator into one integer compare; graphs too large for the
+//    packing fall back to the comparator with identical ordering.
+//  * Zero per-step allocation: every buffer is arena-owned and only
+//    grows (counted in SchedArena::grows) until the arena has seen the
+//    workload's largest graph.
+//
+// Determinism: the priority is a strict total order (the id tie-break),
+// so the rank permutation is unique and the schedule is a pure function
+// of the view — the incremental evaluator's results are bit-identical
+// to a fresh build_bound_dfg + list_schedule of the same candidate, and
+// both are bit-identical to the pre-rewrite reference core (enforced by
+// tests/sched_core_diff_test.cpp and `bench/sched_core --check`).
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "machine/datapath.hpp"
 #include "sched/list_scheduler.hpp"
+#include "sched/occupancy.hpp"
 #include "sched/schedule.hpp"
 #include "support/fault.hpp"
 #include "support/trace.hpp"
@@ -61,112 +98,23 @@ struct BoundDfgView {
   }
 };
 
-/// Issue bookkeeping for one resource pool (one (cluster, FU type)
-/// pair, or the bus): counts issues per cycle so the dii window
-/// constraint can be checked in O(dii). The per-cycle counters live in
-/// an arena-owned vector so pools are allocation-free across calls.
-class ResourcePool {
- public:
-  ResourcePool(int capacity, int dii, std::vector<int>* issues)
-      : capacity_(capacity), dii_(dii), issues_(issues) {}
+/// resize() that counts reallocations into the arena's grow hook.
+template <typename T>
+void arena_size(std::vector<T>& v, std::size_t n, std::uint64_t& grows) {
+  if (n > v.capacity()) {
+    ++grows;
+  }
+  v.resize(n);
+}
 
-  /// True if one more operation may be issued at `cycle`.
-  [[nodiscard]] bool can_issue(int cycle) const {
-    int in_flight = 0;
-    const int lo = std::max(0, cycle - dii_ + 1);
-    for (int s = lo; s <= cycle; ++s) {
-      if (s < static_cast<int>(issues_->size())) {
-        in_flight += (*issues_)[static_cast<std::size_t>(s)];
-      }
-    }
-    return in_flight < capacity_;
+/// assign() that counts reallocations into the arena's grow hook.
+template <typename T>
+void arena_fill(std::vector<T>& v, std::size_t n, T value,
+                std::uint64_t& grows) {
+  if (n > v.capacity()) {
+    ++grows;
   }
-
-  void issue(int cycle) {
-    if (cycle >= static_cast<int>(issues_->size())) {
-      issues_->resize(static_cast<std::size_t>(cycle) + 1, 0);
-    }
-    ++(*issues_)[static_cast<std::size_t>(cycle)];
-  }
-
- private:
-  int capacity_;
-  int dii_;
-  std::vector<int>* issues_;
-};
-
-/// Recomputes `arena.alap/mobility/consumers` for the bound graph,
-/// matching compute_timing(g, lat, 0) / consumer_counts(g) from
-/// graph/analysis.hpp exactly (target latency = the graph's own L_CP).
-template <typename G>
-void compute_priorities(const G& g, const LatencyTable& lat,
-                        SchedArena& arena) {
-  const int n = g.num_ops();
-  const auto sn = static_cast<std::size_t>(n);
-
-  // Topological order (Kahn; the visit order does not affect the
-  // resulting ASAP/ALAP values).
-  arena.topo_pending.assign(sn, 0);
-  arena.topo.clear();
-  arena.topo.reserve(sn);
-  arena.frontier.clear();
-  for (OpId v = 0; v < n; ++v) {
-    arena.topo_pending[static_cast<std::size_t>(v)] =
-        static_cast<int>(g.preds(v).size());
-    if (arena.topo_pending[static_cast<std::size_t>(v)] == 0) {
-      arena.frontier.push_back(v);
-    }
-  }
-  while (!arena.frontier.empty()) {
-    const OpId v = arena.frontier.back();
-    arena.frontier.pop_back();
-    arena.topo.push_back(v);
-    for (const OpId s : g.succs(v)) {
-      if (--arena.topo_pending[static_cast<std::size_t>(s)] == 0) {
-        arena.frontier.push_back(s);
-      }
-    }
-  }
-  if (static_cast<int>(arena.topo.size()) != n) {
-    throw std::logic_error("list_schedule: graph has a cycle");
-  }
-
-  // ASAP and the critical path (the ALAP target).
-  arena.asap.assign(sn, 0);
-  int lcp = 0;
-  for (const OpId v : arena.topo) {
-    const auto sv = static_cast<std::size_t>(v);
-    int start = 0;
-    for (const OpId p : g.preds(v)) {
-      start = std::max(start, arena.asap[static_cast<std::size_t>(p)] +
-                                  lat_of(lat, g.type(p)));
-    }
-    arena.asap[sv] = start;
-    lcp = std::max(lcp, start + lat_of(lat, g.type(v)));
-  }
-
-  // tail(v): longest completion path starting at v (inclusive);
-  // ALAP = L_CP - tail, mobility = ALAP - ASAP.
-  arena.tail.assign(sn, 0);
-  for (auto it = arena.topo.rbegin(); it != arena.topo.rend(); ++it) {
-    const OpId v = *it;
-    int longest_succ = 0;
-    for (const OpId s : g.succs(v)) {
-      longest_succ =
-          std::max(longest_succ, arena.tail[static_cast<std::size_t>(s)]);
-    }
-    arena.tail[static_cast<std::size_t>(v)] =
-        lat_of(lat, g.type(v)) + longest_succ;
-  }
-  arena.alap.resize(sn);
-  arena.mobility.resize(sn);
-  arena.consumers.resize(sn);
-  for (OpId v = 0; v < n; ++v) {
-    const auto sv = static_cast<std::size_t>(v);
-    arena.alap[sv] = lcp - arena.tail[sv];
-    arena.mobility[sv] = arena.alap[sv] - arena.asap[sv];
-    arena.consumers[sv] = static_cast<int>(g.succs(v).size());
-  }
+  v.assign(n, value);
 }
 
 /// The scheduling loop. Fills `out` (start/latency/num_moves); `out`'s
@@ -177,129 +125,288 @@ void list_schedule_core(const G& g, const Datapath& dp,
                         Schedule& out) {
   ScopedSpan span(options.tracer, "sched.list", options.trace_parent);
   const int n = g.num_ops();
+  const auto sn = static_cast<std::size_t>(n);
   const LatencyTable& lat = dp.latencies();
 
-  // Priorities from the bound graph's own timing (target = its L_CP).
-  compute_priorities(g, lat, arena);
-  const auto priority_less = [&arena](OpId a, OpId b) {
-    const auto sa = static_cast<std::size_t>(a);
-    const auto sb = static_cast<std::size_t>(b);
-    return std::make_tuple(arena.alap[sa], arena.mobility[sa],
-                           -arena.consumers[sa], a) <
-           std::make_tuple(arena.alap[sb], arena.mobility[sb],
-                           -arena.consumers[sb], b);
-  };
-
-  // Resource pools: per cluster per cluster-FU-type, plus the bus.
-  // pool index = cluster * kNumClusterFuTypes + fu_type; bus at the end.
+  // Descriptor pass: SoA latency / resource pool / indegree plus the
+  // CSR successor copy, in ONE sweep over the view (per-op vector
+  // headers are only touched once). Pool index = cluster *
+  // kNumClusterFuTypes + fu_type; the bus pool is last. Placement
+  // errors surface here, before any scheduling state is touched, with
+  // the same messages the scheduler always threw. succ_data grows
+  // geometrically while copying, so in the steady state (arena warmed
+  // on the workload's largest graph) the pass never allocates.
   const int num_cluster_pools = dp.num_clusters() * kNumClusterFuTypes;
-  const auto num_pools = static_cast<std::size_t>(num_cluster_pools) + 1;
-  if (arena.pool_issues.size() < num_pools) {
-    arena.pool_issues.resize(num_pools);
+  arena_size(arena.op_latency, sn, arena.grows);
+  arena_size(arena.op_pool, sn, arena.grows);
+  arena_fill(arena.indegree, sn, std::int32_t{0}, arena.grows);
+  arena_size(arena.succ_offset, sn + 1, arena.grows);
+  long cycle_guard = 16;
+  std::int32_t num_succ_edges = 0;
+  for (OpId v = 0; v < n; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    const OpType op = g.type(v);
+    arena.op_latency[sv] = lat_of(lat, op);
+    const FuType t = fu_type_of(op);
+    if (t == FuType::kBus) {
+      arena.op_pool[sv] = num_cluster_pools;
+    } else {
+      const ClusterId c = g.place(v);
+      if (c < 0 || c >= dp.num_clusters()) {
+        throw std::logic_error("list_schedule: op " + g.op_name(v) +
+                               " has no cluster placement");
+      }
+      if (dp.fu_count(c, t) == 0) {
+        throw std::logic_error("list_schedule: op " + g.op_name(v) +
+                               " placed on cluster without a " +
+                               std::string(fu_type_name(t)));
+      }
+      arena.op_pool[sv] = c * kNumClusterFuTypes + static_cast<int>(t);
+    }
+    cycle_guard += arena.op_latency[sv] + dp.dii(t);
+    const std::span<const OpId> succs = g.succs(v);
+    arena.succ_offset[sv] = num_succ_edges;
+    const auto needed =
+        static_cast<std::size_t>(num_succ_edges) + succs.size();
+    if (needed > arena.succ_data.size()) {
+      arena_size(arena.succ_data, std::max(needed, arena.succ_data.size() * 2),
+                 arena.grows);
+    }
+    if (!succs.empty()) {
+      std::memcpy(arena.succ_data.data() + num_succ_edges, succs.data(),
+                  succs.size() * sizeof(OpId));
+    }
+    num_succ_edges += static_cast<std::int32_t>(succs.size());
   }
-  std::vector<ResourcePool> pools;  // small; capacity/dii pairs per call
-  pools.reserve(num_pools);
+  arena.succ_offset[sn] = num_succ_edges;
+  // Indegrees from one contiguous sweep of the CSR copy: preds/succs
+  // are two faces of the same deduped edge set, so the number of times
+  // v appears in successor lists equals preds(v).size(). This is the
+  // only thing the scheduler ever needed predecessor lists for, so the
+  // view's preds() is never called at all.
+  for (std::int32_t e = 0; e < num_succ_edges; ++e) {
+    ++arena.indegree[static_cast<std::size_t>(
+        arena.succ_data[static_cast<std::size_t>(e)])];
+  }
+
+  // Topological order (Kahn; `topo` doubles as the work queue — the
+  // visit order does not affect the resulting ASAP/ALAP values), with
+  // the ASAP forward relaxation fused into the same sweep: when the
+  // queue pops v every predecessor has already been popped, so asap[v]
+  // is final and pushing asap[v] + lat[v] into every successor needs
+  // no predecessor lists at all (the values are identical to the
+  // max-over-preds formulation). lcp accumulates the critical path.
+  arena_size(arena.topo, sn, arena.grows);
+  arena_size(arena.topo_pending, sn, arena.grows);
+  arena_fill(arena.asap, sn, std::int32_t{0}, arena.grows);
+  if (n > 0) {
+    std::memcpy(arena.topo_pending.data(), arena.indegree.data(),
+                sn * sizeof(std::int32_t));
+  }
+  int queued = 0;
+  for (OpId v = 0; v < n; ++v) {
+    if (arena.indegree[static_cast<std::size_t>(v)] == 0) {
+      arena.topo[static_cast<std::size_t>(queued++)] = v;
+    }
+  }
+  const int num_sources = queued;
+  std::int32_t lcp = 0;
+  for (int head = 0; head < queued; ++head) {
+    const auto sv = static_cast<std::size_t>(arena.topo[static_cast<std::size_t>(head)]);
+    const std::int32_t done = arena.asap[sv] + arena.op_latency[sv];
+    lcp = std::max(lcp, done);
+    const std::int32_t begin = arena.succ_offset[sv];
+    const std::int32_t end = arena.succ_offset[sv + 1];
+    for (std::int32_t e = begin; e < end; ++e) {
+      const auto ss = static_cast<std::size_t>(arena.succ_data[static_cast<std::size_t>(e)]);
+      arena.asap[ss] = std::max(arena.asap[ss], done);
+      if (--arena.topo_pending[ss] == 0) {
+        arena.topo[static_cast<std::size_t>(queued++)] = static_cast<OpId>(ss);
+      }
+    }
+  }
+  if (queued != n) {
+    throw std::logic_error("list_schedule: graph has a cycle");
+  }
+
+  // Priority ranks: one sort per schedule over (ALAP, mobility,
+  // -consumers, id) — the same lexicographic order the ready vector
+  // used to be re-sorted by every cycle. ALAP = L_CP - tail(v) (the
+  // longest completion path starting at v) and mobility = ALAP - ASAP
+  // are folded straight into the keys during the backward tail sweep
+  // instead of materialized per op. When every field fits 16 bits the
+  // order is one packed uint64 per op (inverted consumer count so
+  // "more consumers first" becomes an ascending field) and the sort is
+  // branch-free integer compares.
+  arena_size(arena.op_of_rank, sn, arena.grows);
+  arena_size(arena.rank_of, sn, arena.grows);
+  arena_size(arena.tail, sn, arena.grows);
+  const bool packed_keys = n <= 0xFFFF && lcp <= 0xFFFF;
+  if (packed_keys) {
+    arena_size(arena.keys, sn, arena.grows);
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    const auto sv =
+        static_cast<std::size_t>(arena.topo[static_cast<std::size_t>(i)]);
+    std::int32_t longest_succ = 0;
+    const std::int32_t begin = arena.succ_offset[sv];
+    const std::int32_t end = arena.succ_offset[sv + 1];
+    for (std::int32_t e = begin; e < end; ++e) {
+      longest_succ = std::max(
+          longest_succ,
+          arena.tail[static_cast<std::size_t>(arena.succ_data[static_cast<std::size_t>(e)])]);
+    }
+    const std::int32_t tail = arena.op_latency[sv] + longest_succ;
+    arena.tail[sv] = tail;
+    if (packed_keys) {
+      const auto alap = static_cast<std::uint64_t>(lcp - tail);
+      const std::uint64_t mobility =
+          alap - static_cast<std::uint64_t>(arena.asap[sv]);
+      const auto consumers = static_cast<std::uint64_t>(end - begin);
+      arena.keys[sv] = (alap << 48) | (mobility << 32) |
+                       ((0xFFFF - consumers) << 16) |
+                       static_cast<std::uint64_t>(sv);
+    }
+  }
+  if (packed_keys) {
+    std::sort(arena.keys.begin(), arena.keys.end());
+    for (int r = 0; r < n; ++r) {
+      const auto v = static_cast<OpId>(arena.keys[static_cast<std::size_t>(r)] &
+                                       0xFFFF);
+      arena.op_of_rank[static_cast<std::size_t>(r)] = v;
+      arena.rank_of[static_cast<std::size_t>(v)] = r;
+    }
+  } else {
+    for (OpId v = 0; v < n; ++v) {
+      arena.op_of_rank[static_cast<std::size_t>(v)] = v;
+    }
+    std::sort(arena.op_of_rank.begin(), arena.op_of_rank.end(),
+              [&arena, lcp](OpId a, OpId b) {
+                const auto sa = static_cast<std::size_t>(a);
+                const auto sb = static_cast<std::size_t>(b);
+                const std::int32_t alap_a = lcp - arena.tail[sa];
+                const std::int32_t alap_b = lcp - arena.tail[sb];
+                if (alap_a != alap_b) {
+                  return alap_a < alap_b;
+                }
+                const std::int32_t mob_a = alap_a - arena.asap[sa];
+                const std::int32_t mob_b = alap_b - arena.asap[sb];
+                if (mob_a != mob_b) {
+                  return mob_a < mob_b;
+                }
+                const std::int32_t cons_a =
+                    arena.succ_offset[sa + 1] - arena.succ_offset[sa];
+                const std::int32_t cons_b =
+                    arena.succ_offset[sb + 1] - arena.succ_offset[sb];
+                if (cons_a != cons_b) {
+                  return cons_a > cons_b;
+                }
+                return a < b;
+              });
+    for (int r = 0; r < n; ++r) {
+      arena.rank_of[static_cast<std::size_t>(
+          arena.op_of_rank[static_cast<std::size_t>(r)])] = r;
+    }
+  }
+
+  // Bitmask occupancy tables: per cluster per cluster-FU-type, bus last.
+  const auto num_pools = static_cast<std::size_t>(num_cluster_pools) + 1;
+  if (arena.pools.size() < num_pools) {
+    ++arena.grows;
+    arena.pools.resize(num_pools);
+  }
+  std::size_t pool_idx = 0;
   for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
     for (int t = 0; t < kNumClusterFuTypes; ++t) {
-      auto& issues =
-          arena.pool_issues[static_cast<std::size_t>(pools.size())];
-      issues.clear();
-      pools.emplace_back(dp.fu_count(c, static_cast<FuType>(t)),
-                         dp.dii(static_cast<FuType>(t)), &issues);
+      arena.pools[pool_idx++].reset(dp.fu_count(c, static_cast<FuType>(t)),
+                                    dp.dii(static_cast<FuType>(t)));
     }
   }
-  const int bus_capacity =
-      options.unbounded_bus ? n + 1 : dp.num_buses();
-  auto& bus_issues = arena.pool_issues[static_cast<std::size_t>(pools.size())];
-  bus_issues.clear();
-  pools.emplace_back(bus_capacity, dp.dii(FuType::kBus), &bus_issues);
-  const auto pool_index = [&](OpId v) -> int {
-    const FuType t = fu_type_of(g.type(v));
-    if (t == FuType::kBus) {
-      return num_cluster_pools;
-    }
-    const ClusterId c = g.place(v);
-    if (c < 0 || c >= dp.num_clusters()) {
-      throw std::logic_error("list_schedule: op " + g.op_name(v) +
-                             " has no cluster placement");
-    }
-    if (dp.fu_count(c, t) == 0) {
-      throw std::logic_error("list_schedule: op " + g.op_name(v) +
-                             " placed on cluster without a " +
-                             std::string(fu_type_name(t)));
-    }
-    return c * kNumClusterFuTypes + static_cast<int>(t);
-  };
+  const int bus_capacity = options.unbounded_bus ? n + 1 : dp.num_buses();
+  arena.pools[pool_idx].reset(bus_capacity, dp.dii(FuType::kBus));
 
-  out.start.assign(static_cast<std::size_t>(n), -1);
+  out.start.assign(sn, -1);
   out.num_moves = g.num_moves();
 
-  arena.pending.assign(static_cast<std::size_t>(n), 0);
-  arena.ready_at.assign(static_cast<std::size_t>(n), 0);
-  auto& ready = arena.ready;  // dependency-free, kept in priority order
-  ready.clear();
-  for (OpId v = 0; v < n; ++v) {
-    arena.pending[static_cast<std::size_t>(v)] =
-        static_cast<int>(g.preds(v).size());
-    if (arena.pending[static_cast<std::size_t>(v)] == 0) {
-      ready.push_back(v);
-    }
+  // pending starts as the static indegree; ready bit r = the op of
+  // rank r is dependency-free and unscheduled.
+  arena_size(arena.pending, sn, arena.grows);
+  if (n > 0) {
+    std::memcpy(arena.pending.data(), arena.indegree.data(),
+                sn * sizeof(std::int32_t));
   }
-  std::sort(ready.begin(), ready.end(), priority_less);
+  arena_fill(arena.ready_at, sn, std::int32_t{0}, arena.grows);
+  const std::size_t num_words = (sn + 63) / 64;
+  arena_fill(arena.ready_words, num_words, std::uint64_t{0}, arena.grows);
+  // The indegree-0 ops are exactly the prefix of `topo` queued before
+  // the Kahn sweep ran.
+  for (int i = 0; i < num_sources; ++i) {
+    const auto sv = static_cast<std::size_t>(arena.topo[static_cast<std::size_t>(i)]);
+    const auto r = static_cast<std::uint32_t>(arena.rank_of[sv]);
+    arena.ready_words[r >> 6] |= std::uint64_t{1} << (r & 63);
+  }
 
   int scheduled = 0;
-  // Upper bound on useful cycles: fully serial execution on one unit.
-  long cycle_guard = 16;
-  for (OpId v = 0; v < n; ++v) {
-    cycle_guard += lat_of(lat, g.type(v)) + dp.dii_op(g.type(v));
-  }
-
   long long steps = 0;
   auto& newly_ready = arena.newly_ready;
+  arena_size(newly_ready, sn, arena.grows);  // pre-size: pushes never grow
   for (int cycle = 0; scheduled < n; ++cycle) {
     if (cycle > cycle_guard) {
       throw std::logic_error("list_schedule: no progress (malformed graph?)");
     }
     newly_ready.clear();
-    for (std::size_t i = 0; i < ready.size();) {
-      if (options.step_budget > 0 && ++steps > options.step_budget) {
-        throw ResourceLimitError(
-            "list_schedule: step budget exhausted (" +
-            std::to_string(options.step_budget) + " candidate visits)");
-      }
-      const OpId v = ready[i];
-      if (arena.ready_at[static_cast<std::size_t>(v)] > cycle) {
-        ++i;
-        continue;
-      }
-      const int pool = pool_index(v);
-      if (!pools[static_cast<std::size_t>(pool)].can_issue(cycle)) {
-        ++i;
-        continue;
-      }
-      pools[static_cast<std::size_t>(pool)].issue(cycle);
-      out.start[static_cast<std::size_t>(v)] = cycle;
-      ++scheduled;
-      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
-      const int done = cycle + lat_of(lat, g.type(v));
-      for (const OpId s : g.succs(v)) {
-        const auto ss = static_cast<std::size_t>(s);
-        arena.ready_at[ss] = std::max(arena.ready_at[ss], done);
-        if (--arena.pending[ss] == 0) {
-          newly_ready.push_back(s);
+    for (std::size_t w = 0; w < num_words; ++w) {
+      // Snapshot the word: bits set during this cycle (newly ready
+      // successors) are buffered and inserted after the scan, exactly
+      // like the old newly_ready list, so the per-cycle candidate set
+      // — and the step-budget accounting — match the reference core.
+      std::uint64_t bits = arena.ready_words[w];
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        if (options.step_budget > 0 && ++steps > options.step_budget) {
+          throw ResourceLimitError(
+              "list_schedule: step budget exhausted (" +
+              std::to_string(options.step_budget) + " candidate visits)");
+        }
+        const OpId v = arena.op_of_rank[(w << 6) + static_cast<std::size_t>(
+                                                       bit)];
+        const auto sv = static_cast<std::size_t>(v);
+        if (arena.ready_at[sv] > cycle) {
+          continue;
+        }
+        BitOccupancy& pool =
+            arena.pools[static_cast<std::size_t>(arena.op_pool[sv])];
+        if (pool.try_issue(cycle) < 0) {
+          continue;
+        }
+        arena.ready_words[w] &= ~(std::uint64_t{1} << bit);
+        out.start[sv] = cycle;
+        ++scheduled;
+        const int done = cycle + arena.op_latency[sv];
+        const std::int32_t begin = arena.succ_offset[sv];
+        const std::int32_t end = arena.succ_offset[sv + 1];
+        for (std::int32_t e = begin; e < end; ++e) {
+          const auto ss = static_cast<std::size_t>(
+              arena.succ_data[static_cast<std::size_t>(e)]);
+          arena.ready_at[ss] =
+              std::max(arena.ready_at[ss], static_cast<std::int32_t>(done));
+          if (--arena.pending[ss] == 0) {
+            newly_ready.push_back(static_cast<OpId>(ss));
+          }
         }
       }
     }
-    if (!newly_ready.empty()) {
-      ready.insert(ready.end(), newly_ready.begin(), newly_ready.end());
-      std::sort(ready.begin(), ready.end(), priority_less);
+    for (const OpId s : newly_ready) {
+      const auto r =
+          static_cast<std::uint32_t>(arena.rank_of[static_cast<std::size_t>(s)]);
+      arena.ready_words[r >> 6] |= std::uint64_t{1} << (r & 63);
     }
   }
 
-  int latency = 0;
-  for (OpId v = 0; v < n; ++v) {
-    latency = std::max(latency, out.start[static_cast<std::size_t>(v)] +
-                                    lat_of(lat, g.type(v)));
+  std::int32_t latency = 0;
+  for (std::size_t v = 0; v < sn; ++v) {
+    latency = std::max(latency, out.start[v] + arena.op_latency[v]);
   }
   out.latency = latency;
   if (span.enabled()) {

@@ -1,0 +1,197 @@
+// Fixed-width bitmask occupancy table for one scheduler resource pool
+// (one (cluster, FU type) pair, or the bus).
+//
+// Layout: one *row* of ceil(capacity / 64) `uint64_t` words per cycle,
+// stored in a single flat vector; bit u of a row means "unit u of this
+// pool is busy in that cycle". Issuing an operation at cycle c claims
+// the lowest free unit of row c and marks it busy across the rows
+// [c, c + dii), so the legality test is a branch-free word scan of one
+// row instead of the pre-rewrite O(dii) issue-count walk.
+//
+// Equivalence with the counted-window model the scheduler used before
+// (at most `capacity` issues inside any trailing dii-cycle window):
+// under the list scheduler's discipline — issues happen only at the
+// current cycle, and the current cycle never decreases — a unit that is
+// busy in row c' > c was issued at some s <= c with s + dii > c', hence
+// it is also busy in row c. Row occupancies therefore shrink into the
+// future, the lowest unit free at row c is free across the whole
+// [c, c + dii) span, and `can_issue(c)` <=> "row c has a free unit" <=>
+// "fewer than `capacity` issues in the window (c - dii, c]". The
+// property tests (tests/occupancy_test.cpp) check this equivalence
+// against the counting model on randomized traffic, and the
+// differential suite checks the resulting schedules bit-for-bit.
+//
+// The row buffer is retained across reset() calls, so a pool that lives
+// in a SchedArena performs no allocation once warmed up; `grow_count()`
+// exposes buffer growths for the arena-reuse tests.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace cvb {
+
+/// Per-cycle bitmask occupancy for one resource pool.
+class BitOccupancy {
+ public:
+  /// Reconfigures the pool for a new scheduling run: sets capacity (>= 0
+  /// units; 0 = nothing can ever issue) and dii (>= 1 cycles a unit
+  /// stays busy per issue), and clears every previously touched word.
+  /// The buffer is kept, so repeated runs of similar depth do not
+  /// allocate.
+  void reset(int capacity, int dii) {
+    if (capacity < 0 || dii < 1) {
+      throw std::invalid_argument("BitOccupancy: capacity >= 0, dii >= 1");
+    }
+    std::fill(words_.begin(),
+              words_.begin() + static_cast<std::ptrdiff_t>(touched_), 0);
+    touched_ = 0;
+    capacity_ = capacity;
+    dii_ = dii;
+    words_per_row_ = (capacity + 63) / 64;
+    const int tail_bits = capacity % 64;
+    last_word_mask_ = tail_bits == 0 ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << tail_bits) - 1;
+  }
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int dii() const { return dii_; }
+
+  /// True if one more operation may be issued at `cycle` (some unit is
+  /// free in row `cycle`).
+  [[nodiscard]] bool can_issue(int cycle) const {
+    if (capacity_ == 0) {
+      return false;
+    }
+    const std::size_t row = row_offset(cycle);
+    std::uint64_t free_bits = 0;
+    for (int w = 0; w < words_per_row_; ++w) {
+      const std::size_t idx = row + static_cast<std::size_t>(w);
+      // Rows past the touched high-water mark are all-zero (either
+      // value-initialized or cleared by reset), so an out-of-buffer
+      // word is simply free.
+      const std::uint64_t word = idx < words_.size() ? words_[idx] : 0;
+      free_bits |= ~word & word_mask(w);
+    }
+    return free_bits != 0;
+  }
+
+  /// Claims the lowest free unit of row `cycle`, marking it busy for
+  /// cycles [cycle, cycle + dii). Returns the unit index. Throws
+  /// std::logic_error if the row is full (callers gate on can_issue).
+  int issue(int cycle) {
+    const int unit = try_issue(cycle);
+    if (unit < 0) {
+      throw std::logic_error("BitOccupancy::issue: pool full at cycle " +
+                             std::to_string(cycle));
+    }
+    return unit;
+  }
+
+  /// Fused can_issue + issue: claims the lowest free unit of row
+  /// `cycle` and returns its index, or returns -1 (claiming nothing)
+  /// when the row is full. One word scan instead of the two a
+  /// can_issue/issue pair costs; the accept/reject decision is
+  /// identical ("some unit free in row cycle"), and a rejection is
+  /// read-only exactly like can_issue (mark grows the buffer only on
+  /// the success path).
+  int try_issue(int cycle) {
+    if (capacity_ == 0) {
+      return -1;
+    }
+    const std::size_t row = row_offset(cycle);
+    for (int w = 0; w < words_per_row_; ++w) {
+      const std::size_t idx = row + static_cast<std::size_t>(w);
+      const std::uint64_t word = idx < words_.size() ? words_[idx] : 0;
+      const std::uint64_t free_bits = ~word & word_mask(w);
+      if (free_bits != 0) {
+        const int unit = w * 64 + std::countr_zero(free_bits);
+        mark(cycle, unit);
+        return unit;
+      }
+    }
+    return -1;
+  }
+
+  /// Marks `unit` busy for cycles [cycle, cycle + dii). Idempotent: the
+  /// per-row OR makes re-marking a busy unit a no-op.
+  void mark(int cycle, int unit) {
+    if (unit < 0 || unit >= capacity_) {
+      throw std::invalid_argument("BitOccupancy::mark: unit out of range");
+    }
+    ensure_rows(cycle + dii_);
+    const std::size_t word = static_cast<std::size_t>(unit / 64);
+    const std::uint64_t bit = std::uint64_t{1} << (unit % 64);
+    const auto wpr = static_cast<std::size_t>(words_per_row_);
+    std::size_t idx = row_offset(cycle) + word;
+    for (int r = 0; r < dii_; ++r, idx += wpr) {
+      words_[idx] |= bit;
+    }
+  }
+
+  /// True if `unit` is busy in row `cycle`.
+  [[nodiscard]] bool is_busy(int cycle, int unit) const {
+    if (unit < 0 || unit >= capacity_) {
+      return false;
+    }
+    const std::size_t idx =
+        row_offset(cycle) + static_cast<std::size_t>(unit / 64);
+    return idx < words_.size() &&
+           (words_[idx] >> (unit % 64) & std::uint64_t{1}) != 0;
+  }
+
+  /// Number of busy units in row `cycle` (popcount across the row).
+  [[nodiscard]] int occupied(int cycle) const {
+    int busy = 0;
+    const std::size_t row = row_offset(cycle);
+    for (int w = 0; w < words_per_row_; ++w) {
+      const std::size_t idx = row + static_cast<std::size_t>(w);
+      if (idx < words_.size()) {
+        busy += std::popcount(words_[idx]);
+      }
+    }
+    return busy;
+  }
+
+  /// Buffer growths since construction (the allocation-counting hook
+  /// the arena-reuse tests assert on: stable after warm-up).
+  [[nodiscard]] std::uint64_t grow_count() const { return grows_; }
+
+ private:
+  [[nodiscard]] std::size_t row_offset(int cycle) const {
+    return static_cast<std::size_t>(cycle) *
+           static_cast<std::size_t>(words_per_row_);
+  }
+
+  [[nodiscard]] std::uint64_t word_mask(int w) const {
+    return w + 1 == words_per_row_ ? last_word_mask_ : ~std::uint64_t{0};
+  }
+
+  void ensure_rows(int rows) {
+    const std::size_t needed = static_cast<std::size_t>(rows) *
+                               static_cast<std::size_t>(words_per_row_);
+    if (needed > words_.size()) {
+      // Geometric growth so repeated one-row extensions stay amortized
+      // O(1); new words are value-initialized to zero (all free).
+      const std::size_t target = std::max(needed, words_.size() * 2);
+      if (target > words_.capacity()) {
+        ++grows_;
+      }
+      words_.resize(target);
+    }
+    touched_ = std::max(touched_, needed);
+  }
+
+  int capacity_ = 0;
+  int dii_ = 1;
+  int words_per_row_ = 0;
+  std::uint64_t last_word_mask_ = 0;
+  std::size_t touched_ = 0;  // words written since reset; cleared lazily
+  std::uint64_t grows_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cvb

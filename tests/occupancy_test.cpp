@@ -1,0 +1,206 @@
+// Property tests for the bitmask occupancy tables
+// (src/sched/occupancy.hpp): per-cycle occupancy never exceeds
+// capacity, mark() is idempotent, word-boundary capacities (63/64/65
+// units) behave exactly like interior ones, and the bitmask legality
+// check is equivalent to the pre-rewrite counted trailing-window model
+// under the scheduler's issue discipline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/occupancy.hpp"
+#include "support/rng.hpp"
+
+namespace cvb {
+namespace {
+
+TEST(Occupancy, SingleCycleCapacityBound) {
+  // 63/64/65 straddle the word boundary; 1/2 exercise the tiny masks;
+  // 127/128/130 need two or three words per row.
+  for (const int capacity : {1, 2, 63, 64, 65, 127, 128, 130}) {
+    BitOccupancy pool;
+    pool.reset(capacity, /*dii=*/1);
+    std::vector<int> units;
+    for (int k = 0; k < capacity; ++k) {
+      ASSERT_TRUE(pool.can_issue(0)) << "capacity " << capacity << " k " << k;
+      units.push_back(pool.issue(0));
+      EXPECT_EQ(pool.occupied(0), k + 1) << "capacity " << capacity;
+    }
+    EXPECT_FALSE(pool.can_issue(0)) << "capacity " << capacity;
+    EXPECT_THROW((void)pool.issue(0), std::logic_error);
+    // Units are claimed lowest-first and never repeat.
+    std::vector<int> expected(units.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      expected[i] = static_cast<int>(i);
+    }
+    EXPECT_EQ(units, expected) << "capacity " << capacity;
+    // Occupancy never exceeds capacity, and other cycles are untouched.
+    EXPECT_EQ(pool.occupied(0), capacity);
+    EXPECT_EQ(pool.occupied(1), 0);
+    EXPECT_TRUE(pool.can_issue(1));
+  }
+}
+
+TEST(Occupancy, WordBoundaryCyclesAcrossDiiSpans) {
+  // Word-boundary capacities with a multi-cycle dii: the claimed unit
+  // must be busy across the whole [c, c + dii) span, including when
+  // the unit's bit lives in the last (partial) word.
+  for (const int capacity : {63, 64, 65}) {
+    BitOccupancy pool;
+    pool.reset(capacity, /*dii=*/3);
+    // Fill cycle 5 completely.
+    for (int k = 0; k < capacity; ++k) {
+      ASSERT_TRUE(pool.can_issue(5));
+      const int unit = pool.issue(5);
+      for (int cycle = 5; cycle < 8; ++cycle) {
+        EXPECT_TRUE(pool.is_busy(cycle, unit))
+            << "capacity " << capacity << " unit " << unit;
+      }
+    }
+    for (int cycle = 5; cycle < 8; ++cycle) {
+      EXPECT_EQ(pool.occupied(cycle), capacity) << "capacity " << capacity;
+      EXPECT_FALSE(pool.can_issue(cycle)) << "capacity " << capacity;
+    }
+    EXPECT_TRUE(pool.can_issue(8)) << "capacity " << capacity;
+    EXPECT_EQ(pool.occupied(8), 0) << "capacity " << capacity;
+  }
+}
+
+TEST(Occupancy, DiiWindowBlocksFollowingCycles) {
+  BitOccupancy pool;
+  pool.reset(/*capacity=*/2, /*dii=*/3);
+  EXPECT_EQ(pool.issue(0), 0);
+  EXPECT_EQ(pool.issue(0), 1);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    EXPECT_FALSE(pool.can_issue(cycle)) << "cycle " << cycle;
+    EXPECT_EQ(pool.occupied(cycle), 2) << "cycle " << cycle;
+  }
+  ASSERT_TRUE(pool.can_issue(3));
+  EXPECT_EQ(pool.issue(3), 0);  // lowest unit free again
+  EXPECT_TRUE(pool.can_issue(3));
+  EXPECT_EQ(pool.occupied(4), 1);
+}
+
+TEST(Occupancy, MarkIsIdempotent) {
+  BitOccupancy pool;
+  pool.reset(/*capacity=*/65, /*dii=*/2);
+  for (const int unit : {0, 63, 64}) {  // both words of the row
+    pool.mark(7, unit);
+    const int once = pool.occupied(7);
+    const int once_next = pool.occupied(8);
+    pool.mark(7, unit);  // re-marking a busy unit must change nothing
+    EXPECT_EQ(pool.occupied(7), once) << "unit " << unit;
+    EXPECT_EQ(pool.occupied(8), once_next) << "unit " << unit;
+    EXPECT_TRUE(pool.is_busy(7, unit));
+    EXPECT_TRUE(pool.is_busy(8, unit));
+    EXPECT_FALSE(pool.is_busy(9, unit));
+  }
+  EXPECT_EQ(pool.occupied(7), 3);
+  EXPECT_THROW(pool.mark(0, 65), std::invalid_argument);
+  EXPECT_THROW(pool.mark(0, -1), std::invalid_argument);
+}
+
+/// The pre-rewrite model: count issues inside the trailing dii-window.
+class CountedWindowModel {
+ public:
+  CountedWindowModel(int capacity, int dii) : capacity_(capacity), dii_(dii) {}
+
+  [[nodiscard]] bool can_issue(int cycle) const {
+    int in_flight = 0;
+    const int lo = std::max(0, cycle - dii_ + 1);
+    for (int s = lo; s <= cycle; ++s) {
+      if (s < static_cast<int>(issues_.size())) {
+        in_flight += issues_[static_cast<std::size_t>(s)];
+      }
+    }
+    return in_flight < capacity_;
+  }
+
+  void issue(int cycle) {
+    if (cycle >= static_cast<int>(issues_.size())) {
+      issues_.resize(static_cast<std::size_t>(cycle) + 1, 0);
+    }
+    ++issues_[static_cast<std::size_t>(cycle)];
+  }
+
+ private:
+  int capacity_;
+  int dii_;
+  std::vector<int> issues_;
+};
+
+TEST(Occupancy, MatchesCountedWindowModelOnRandomTraffic) {
+  // Random issue traffic under the scheduler's discipline (issues only
+  // at the current, non-decreasing cycle): the bitmask table must agree
+  // with the counted-window model on every legality query, and its
+  // per-cycle occupancy must never exceed capacity anywhere.
+  Rng rng(61001);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int capacity =
+        std::vector<int>{1, 2, 3, 5, 63, 64, 65}[static_cast<std::size_t>(
+            rng.uniform_int(0, 6))];
+    const int dii = rng.uniform_int(1, 4);
+    BitOccupancy pool;
+    pool.reset(capacity, dii);
+    CountedWindowModel model(capacity, dii);
+    int max_cycle = 0;
+    for (int cycle = 0; cycle < 30; ++cycle) {
+      const int attempts = rng.uniform_int(0, capacity + 2);
+      for (int a = 0; a < attempts; ++a) {
+        const bool bitmask_ok = pool.can_issue(cycle);
+        const bool model_ok = model.can_issue(cycle);
+        ASSERT_EQ(bitmask_ok, model_ok)
+            << "trial " << trial << " cycle " << cycle << " capacity "
+            << capacity << " dii " << dii;
+        if (bitmask_ok) {
+          (void)pool.issue(cycle);
+          model.issue(cycle);
+          max_cycle = std::max(max_cycle, cycle + dii);
+        }
+      }
+    }
+    for (int cycle = 0; cycle <= max_cycle + 1; ++cycle) {
+      EXPECT_LE(pool.occupied(cycle), capacity)
+          << "trial " << trial << " cycle " << cycle;
+    }
+  }
+}
+
+TEST(Occupancy, ResetReusesBufferWithoutGrowth) {
+  BitOccupancy pool;
+  const auto run = [&pool] {
+    pool.reset(/*capacity=*/65, /*dii=*/2);
+    for (int cycle = 0; cycle < 12; ++cycle) {
+      for (int k = 0; k < 65 && pool.can_issue(cycle); ++k) {
+        (void)pool.issue(cycle);
+      }
+    }
+  };
+  run();
+  const std::uint64_t warm_grows = pool.grow_count();
+  EXPECT_GT(warm_grows, 0u);  // the first run had to allocate
+  run();
+  EXPECT_EQ(pool.grow_count(), warm_grows);  // steady state: no growth
+  // And reset really cleared the rows: a fresh reset sees empty cycles.
+  pool.reset(65, 2);
+  for (int cycle = 0; cycle < 14; ++cycle) {
+    EXPECT_EQ(pool.occupied(cycle), 0) << "cycle " << cycle;
+  }
+  // Reconfiguring to a different geometry reuses the same buffer.
+  pool.reset(3, 4);
+  EXPECT_EQ(pool.grow_count(), warm_grows);
+  EXPECT_TRUE(pool.can_issue(0));
+  EXPECT_EQ(pool.occupied(0), 0);
+}
+
+TEST(Occupancy, ZeroCapacityNeverIssues) {
+  BitOccupancy pool;
+  pool.reset(/*capacity=*/0, /*dii=*/1);
+  EXPECT_FALSE(pool.can_issue(0));
+  EXPECT_FALSE(pool.can_issue(100));
+  EXPECT_EQ(pool.occupied(0), 0);
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,300 @@
+// Frozen reference implementation of the list-scheduler core, exactly
+// as it stood before the data-oriented rewrite (PR 6) of
+// src/sched/list_scheduler_core.hpp.
+//
+// This copy is the *differential oracle*: the rewritten core must
+// produce bit-identical schedules (same per-op start cycles, same
+// latency, same move placement) for every input, and the tests in
+// sched_core_diff_test.cpp plus the `bench/sched_core --check` gate
+// compare the two implementations schedule-by-schedule on the bundled
+// benchmark DFGs and on fuzzed DFG/machine pairs. bench/sched_core also
+// times this core to report the rewrite's speedup, so the perf
+// trajectory in BENCH_PR<N>.json is always measured against the same
+// frozen baseline.
+//
+// Do not "improve" this file. It intentionally preserves the old
+// algorithmic structure (AoS ready vector re-sorted per cycle, counted
+// per-cycle resource windows, per-call pool construction); its only
+// edits relative to the original are the cvb::testref namespace, the
+// Ref-prefixed type names, and the removal of tracing spans (tracing
+// never affected results).
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/list_scheduler_core.hpp"
+#include "sched/schedule.hpp"
+#include "support/fault.hpp"
+
+namespace cvb::testref {
+
+/// The pre-rewrite scheduler scratch (AoS ready vector, per-pool
+/// issue-count vectors).
+struct RefSchedArena {
+  std::vector<int> topo_pending;
+  std::vector<OpId> topo;
+  std::vector<OpId> frontier;
+  std::vector<int> asap;
+  std::vector<int> tail;
+  std::vector<int> alap;
+  std::vector<int> mobility;
+  std::vector<int> consumers;
+  std::vector<int> pending;
+  std::vector<int> ready_at;
+  std::vector<OpId> ready;
+  std::vector<OpId> newly_ready;
+  std::vector<std::vector<int>> pool_issues;  // per resource pool
+};
+
+/// Issue bookkeeping for one resource pool, checked by counting issues
+/// inside the trailing dii-cycle window (the pre-rewrite organization).
+class RefResourcePool {
+ public:
+  RefResourcePool(int capacity, int dii, std::vector<int>* issues)
+      : capacity_(capacity), dii_(dii), issues_(issues) {}
+
+  [[nodiscard]] bool can_issue(int cycle) const {
+    int in_flight = 0;
+    const int lo = std::max(0, cycle - dii_ + 1);
+    for (int s = lo; s <= cycle; ++s) {
+      if (s < static_cast<int>(issues_->size())) {
+        in_flight += (*issues_)[static_cast<std::size_t>(s)];
+      }
+    }
+    return in_flight < capacity_;
+  }
+
+  void issue(int cycle) {
+    if (cycle >= static_cast<int>(issues_->size())) {
+      issues_->resize(static_cast<std::size_t>(cycle) + 1, 0);
+    }
+    ++(*issues_)[static_cast<std::size_t>(cycle)];
+  }
+
+ private:
+  int capacity_;
+  int dii_;
+  std::vector<int>* issues_;
+};
+
+/// Pre-rewrite priority computation (identical math to the live core).
+template <typename G>
+void ref_compute_priorities(const G& g, const LatencyTable& lat,
+                            RefSchedArena& arena) {
+  const int n = g.num_ops();
+  const auto sn = static_cast<std::size_t>(n);
+
+  arena.topo_pending.assign(sn, 0);
+  arena.topo.clear();
+  arena.topo.reserve(sn);
+  arena.frontier.clear();
+  for (OpId v = 0; v < n; ++v) {
+    arena.topo_pending[static_cast<std::size_t>(v)] =
+        static_cast<int>(g.preds(v).size());
+    if (arena.topo_pending[static_cast<std::size_t>(v)] == 0) {
+      arena.frontier.push_back(v);
+    }
+  }
+  while (!arena.frontier.empty()) {
+    const OpId v = arena.frontier.back();
+    arena.frontier.pop_back();
+    arena.topo.push_back(v);
+    for (const OpId s : g.succs(v)) {
+      if (--arena.topo_pending[static_cast<std::size_t>(s)] == 0) {
+        arena.frontier.push_back(s);
+      }
+    }
+  }
+  if (static_cast<int>(arena.topo.size()) != n) {
+    throw std::logic_error("list_schedule: graph has a cycle");
+  }
+
+  arena.asap.assign(sn, 0);
+  int lcp = 0;
+  for (const OpId v : arena.topo) {
+    const auto sv = static_cast<std::size_t>(v);
+    int start = 0;
+    for (const OpId p : g.preds(v)) {
+      start = std::max(start, arena.asap[static_cast<std::size_t>(p)] +
+                                  lat_of(lat, g.type(p)));
+    }
+    arena.asap[sv] = start;
+    lcp = std::max(lcp, start + lat_of(lat, g.type(v)));
+  }
+
+  arena.tail.assign(sn, 0);
+  for (auto it = arena.topo.rbegin(); it != arena.topo.rend(); ++it) {
+    const OpId v = *it;
+    int longest_succ = 0;
+    for (const OpId s : g.succs(v)) {
+      longest_succ =
+          std::max(longest_succ, arena.tail[static_cast<std::size_t>(s)]);
+    }
+    arena.tail[static_cast<std::size_t>(v)] =
+        lat_of(lat, g.type(v)) + longest_succ;
+  }
+  arena.alap.resize(sn);
+  arena.mobility.resize(sn);
+  arena.consumers.resize(sn);
+  for (OpId v = 0; v < n; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    arena.alap[sv] = lcp - arena.tail[sv];
+    arena.mobility[sv] = arena.alap[sv] - arena.asap[sv];
+    arena.consumers[sv] = static_cast<int>(g.succs(v).size());
+  }
+}
+
+/// The pre-rewrite scheduling loop, byte-for-byte the old algorithm.
+template <typename G>
+void ref_list_schedule_core(const G& g, const Datapath& dp,
+                            const ListSchedulerOptions& options,
+                            RefSchedArena& arena, Schedule& out) {
+  const int n = g.num_ops();
+  const LatencyTable& lat = dp.latencies();
+
+  ref_compute_priorities(g, lat, arena);
+  const auto priority_less = [&arena](OpId a, OpId b) {
+    const auto sa = static_cast<std::size_t>(a);
+    const auto sb = static_cast<std::size_t>(b);
+    return std::make_tuple(arena.alap[sa], arena.mobility[sa],
+                           -arena.consumers[sa], a) <
+           std::make_tuple(arena.alap[sb], arena.mobility[sb],
+                           -arena.consumers[sb], b);
+  };
+
+  const int num_cluster_pools = dp.num_clusters() * kNumClusterFuTypes;
+  const auto num_pools = static_cast<std::size_t>(num_cluster_pools) + 1;
+  if (arena.pool_issues.size() < num_pools) {
+    arena.pool_issues.resize(num_pools);
+  }
+  std::vector<RefResourcePool> pools;
+  pools.reserve(num_pools);
+  for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
+    for (int t = 0; t < kNumClusterFuTypes; ++t) {
+      auto& issues = arena.pool_issues[static_cast<std::size_t>(pools.size())];
+      issues.clear();
+      pools.emplace_back(dp.fu_count(c, static_cast<FuType>(t)),
+                         dp.dii(static_cast<FuType>(t)), &issues);
+    }
+  }
+  const int bus_capacity = options.unbounded_bus ? n + 1 : dp.num_buses();
+  auto& bus_issues = arena.pool_issues[static_cast<std::size_t>(pools.size())];
+  bus_issues.clear();
+  pools.emplace_back(bus_capacity, dp.dii(FuType::kBus), &bus_issues);
+  const auto pool_index = [&](OpId v) -> int {
+    const FuType t = fu_type_of(g.type(v));
+    if (t == FuType::kBus) {
+      return num_cluster_pools;
+    }
+    const ClusterId c = g.place(v);
+    if (c < 0 || c >= dp.num_clusters()) {
+      throw std::logic_error("list_schedule: op " + g.op_name(v) +
+                             " has no cluster placement");
+    }
+    if (dp.fu_count(c, t) == 0) {
+      throw std::logic_error("list_schedule: op " + g.op_name(v) +
+                             " placed on cluster without a " +
+                             std::string(fu_type_name(t)));
+    }
+    return c * kNumClusterFuTypes + static_cast<int>(t);
+  };
+
+  out.start.assign(static_cast<std::size_t>(n), -1);
+  out.num_moves = g.num_moves();
+
+  arena.pending.assign(static_cast<std::size_t>(n), 0);
+  arena.ready_at.assign(static_cast<std::size_t>(n), 0);
+  auto& ready = arena.ready;
+  ready.clear();
+  for (OpId v = 0; v < n; ++v) {
+    arena.pending[static_cast<std::size_t>(v)] =
+        static_cast<int>(g.preds(v).size());
+    if (arena.pending[static_cast<std::size_t>(v)] == 0) {
+      ready.push_back(v);
+    }
+  }
+  std::sort(ready.begin(), ready.end(), priority_less);
+
+  int scheduled = 0;
+  long cycle_guard = 16;
+  for (OpId v = 0; v < n; ++v) {
+    cycle_guard += lat_of(lat, g.type(v)) + dp.dii_op(g.type(v));
+  }
+
+  long long steps = 0;
+  auto& newly_ready = arena.newly_ready;
+  for (int cycle = 0; scheduled < n; ++cycle) {
+    if (cycle > cycle_guard) {
+      throw std::logic_error("list_schedule: no progress (malformed graph?)");
+    }
+    newly_ready.clear();
+    for (std::size_t i = 0; i < ready.size();) {
+      if (options.step_budget > 0 && ++steps > options.step_budget) {
+        throw ResourceLimitError(
+            "list_schedule: step budget exhausted (" +
+            std::to_string(options.step_budget) + " candidate visits)");
+      }
+      const OpId v = ready[i];
+      if (arena.ready_at[static_cast<std::size_t>(v)] > cycle) {
+        ++i;
+        continue;
+      }
+      const int pool = pool_index(v);
+      if (!pools[static_cast<std::size_t>(pool)].can_issue(cycle)) {
+        ++i;
+        continue;
+      }
+      pools[static_cast<std::size_t>(pool)].issue(cycle);
+      out.start[static_cast<std::size_t>(v)] = cycle;
+      ++scheduled;
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+      const int done = cycle + lat_of(lat, g.type(v));
+      for (const OpId s : g.succs(v)) {
+        const auto ss = static_cast<std::size_t>(s);
+        arena.ready_at[ss] = std::max(arena.ready_at[ss], done);
+        if (--arena.pending[ss] == 0) {
+          newly_ready.push_back(s);
+        }
+      }
+    }
+    if (!newly_ready.empty()) {
+      ready.insert(ready.end(), newly_ready.begin(), newly_ready.end());
+      std::sort(ready.begin(), ready.end(), priority_less);
+    }
+  }
+
+  int latency = 0;
+  for (OpId v = 0; v < n; ++v) {
+    latency = std::max(latency, out.start[static_cast<std::size_t>(v)] +
+                                    lat_of(lat, g.type(v)));
+  }
+  out.latency = latency;
+}
+
+/// Convenience wrapper matching cvb::list_schedule's shape.
+[[nodiscard]] inline Schedule ref_list_schedule(
+    const BoundDfg& bound, const Datapath& dp,
+    const ListSchedulerOptions& options = {}) {
+  RefSchedArena arena;
+  Schedule sched;
+  ref_list_schedule_core(cvb::detail::BoundDfgView{&bound}, dp, options, arena,
+                         sched);
+  return sched;
+}
+
+/// Arena-reusing wrapper (for the bench's steady-state timing).
+inline void ref_list_schedule_into(const BoundDfg& bound, const Datapath& dp,
+                                   const ListSchedulerOptions& options,
+                                   RefSchedArena& arena, Schedule& out) {
+  ref_list_schedule_core(cvb::detail::BoundDfgView{&bound}, dp, options, arena,
+                         out);
+}
+
+}  // namespace cvb::testref

@@ -1,0 +1,122 @@
+// SchedArena reuse tests: after one warm-up evaluation, neither the
+// full scheduling path (list_schedule_into) nor the DeltaEvaluator
+// overlay path may allocate again — asserted through the arena's
+// grow-count hook (SchedArena::total_grows aggregates vector capacity
+// growth and every occupancy table's row growth).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bind/bound_dfg.hpp"
+#include "bind/delta_eval.hpp"
+#include "bind/driver.hpp"
+#include "bind/eval_engine.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace cvb {
+namespace {
+
+Binding init_binding(const Dfg& dfg, const Datapath& dp) {
+  DriverParams init_only;
+  init_only.run_iterative = false;
+  return bind_initial_best(dfg, dp, init_only).binding;
+}
+
+TEST(SchedArena, FullPathNoReallocationAfterWarmUp) {
+  // Per-kernel steady state: repeated scheduling of the same bound DFG
+  // into a retained arena must not grow anything after the first call.
+  const Datapath dp = parse_datapath("[2,1|1,2]");
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    const Binding binding = init_binding(kernel.dfg, dp);
+    const BoundDfg bound = build_bound_dfg(kernel.dfg, binding, dp);
+    SchedArena arena;
+    Schedule sched;
+    list_schedule_into(bound, dp, {}, arena, sched);
+    const std::uint64_t warm = arena.total_grows();
+    const Schedule first = sched;
+    for (int round = 0; round < 5; ++round) {
+      list_schedule_into(bound, dp, {}, arena, sched);
+      EXPECT_EQ(arena.total_grows(), warm)
+          << kernel.name << " round " << round;
+      EXPECT_EQ(sched.start, first.start) << kernel.name;
+    }
+  }
+}
+
+TEST(SchedArena, FullPathSharedArenaAcrossWholeSuite) {
+  // A single arena serving the whole benchmark suite (the EvalEngine
+  // worker pattern): once every kernel has been seen, a second sweep
+  // must be allocation-free.
+  const Datapath dp = parse_datapath("[3,1|2,2|1,3]");
+  SchedArena arena;
+  Schedule sched;
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    const BoundDfg bound =
+        build_bound_dfg(kernel.dfg, init_binding(kernel.dfg, dp), dp);
+    list_schedule_into(bound, dp, {}, arena, sched);
+  }
+  const std::uint64_t warm = arena.total_grows();
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    const BoundDfg bound =
+        build_bound_dfg(kernel.dfg, init_binding(kernel.dfg, dp), dp);
+    list_schedule_into(bound, dp, {}, arena, sched);
+    EXPECT_EQ(arena.total_grows(), warm) << kernel.name;
+  }
+}
+
+TEST(SchedArena, DeltaPathNoReallocationAfterWarmUp) {
+  // The overlay path: candidates differ in move count, so the arena
+  // may legitimately grow during the first sweep of the candidate set
+  // (the warm-up round of a B-ITER iteration). A second sweep of the
+  // same candidates must then run entirely out of the retained arena.
+  for (const std::string name : {"EWF", "DCT-LEE", "FFT"}) {
+    const BenchmarkKernel kernel = benchmark_by_name(name);
+    const Datapath dp = parse_datapath("[2,1|1,2]");
+    const Binding incumbent = init_binding(kernel.dfg, dp);
+    DeltaEvaluator evaluator;
+    evaluator.set_incumbent(kernel.dfg, dp, incumbent);
+
+    const auto sweep = [&](const char* round, std::uint64_t* freeze) {
+      int evaluated = 0;
+      for (OpId v = 0; v < kernel.dfg.num_ops(); ++v) {
+        for (const ClusterId c : dp.target_set(kernel.dfg.type(v))) {
+          if (c == incumbent[static_cast<std::size_t>(v)]) {
+            continue;
+          }
+          (void)evaluator.evaluate({{v, c}}, {});
+          ++evaluated;
+          if (freeze != nullptr) {
+            EXPECT_EQ(evaluator.sched_arena().total_grows(), *freeze)
+                << name << " " << round << " op " << v << " -> cluster " << c;
+          }
+        }
+      }
+      return evaluated;
+    };
+    EXPECT_GT(sweep("warm-up", nullptr), 1) << name;
+    std::uint64_t warm = evaluator.sched_arena().total_grows();
+    sweep("steady", &warm);
+  }
+}
+
+TEST(SchedArena, GrowCountIncludesOccupancyTables) {
+  // total_grows must see growth inside the occupancy tables, not just
+  // the arena's own vectors: scheduling a much deeper graph after
+  // warm-up forces new cycle rows and must be visible in the count.
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  SchedArena arena;
+  Schedule sched;
+  const BoundDfg small =
+      build_bound_dfg(make_fir(3), init_binding(make_fir(3), dp), dp);
+  list_schedule_into(small, dp, {}, arena, sched);
+  const std::uint64_t warm = arena.total_grows();
+  const Dfg big = make_fir(48);  // serial spine: far more cycle rows
+  const BoundDfg big_bound = build_bound_dfg(big, init_binding(big, dp), dp);
+  list_schedule_into(big_bound, dp, {}, arena, sched);
+  EXPECT_GT(arena.total_grows(), warm);
+}
+
+}  // namespace
+}  // namespace cvb

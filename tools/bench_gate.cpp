@@ -1,0 +1,121 @@
+// CI perf gate for the scheduler-core bench trajectory.
+//
+//   bench_gate BASELINE.json CURRENT.json [--max-p99-regress F]
+//              [--min-speedup F]
+//
+// Both files are "cvb-bench-sched-core-v1" reports written by
+// bench/sched_core. The gate compares only *normalized* aggregates —
+// new-core p99 divided by the frozen reference core's p99 measured in
+// the same run — so a committed baseline from one machine remains
+// meaningful on CI hosts of a different speed. It fails (exit 1) when:
+//
+//  * the current normalized p99 (full or delta path) exceeds the
+//    baseline's by more than --max-p99-regress (default 0.10, the
+//    ">10% p99 regression" budget), or
+//  * the current aggregate full-path speedup over the reference core
+//    falls below --min-speedup (default 1.2 — a conservative floor
+//    under the 1.5x acceptance measurement, leaving headroom for noisy
+//    shared CI runners).
+//
+// Exit codes: 0 pass, 1 gate failure, 2 usage/parse error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+cvb::JsonValue load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const cvb::JsonValue report = cvb::JsonValue::parse(text.str());
+  const cvb::JsonValue* schema = report.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "cvb-bench-sched-core-v1") {
+    throw std::invalid_argument(path +
+                                ": not a cvb-bench-sched-core-v1 report");
+  }
+  return report;
+}
+
+double aggregate_of(const cvb::JsonValue& report, const std::string& key,
+                    const std::string& path) {
+  const cvb::JsonValue* aggregate = report.find("aggregate");
+  if (aggregate == nullptr) {
+    throw std::invalid_argument(path + ": missing aggregate object");
+  }
+  const cvb::JsonValue* value = aggregate->find(key);
+  if (value == nullptr || !value->is_number()) {
+    throw std::invalid_argument(path + ": missing aggregate." + key);
+  }
+  return value->as_number();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cvb::format_sig;
+  std::string baseline_path;
+  std::string current_path;
+  double max_regress = 0.10;
+  double min_speedup = 1.2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-p99-regress" && i + 1 < argc) {
+      max_regress = std::stod(argv[++i]);
+    } else if (arg == "--min-speedup" && i + 1 < argc) {
+      min_speedup = std::stod(argv[++i]);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::cerr << "usage: bench_gate BASELINE.json CURRENT.json "
+                   "[--max-p99-regress F] [--min-speedup F]\n";
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "usage: bench_gate BASELINE.json CURRENT.json "
+                 "[--max-p99-regress F] [--min-speedup F]\n";
+    return 2;
+  }
+
+  try {
+    const cvb::JsonValue baseline = load_report(baseline_path);
+    const cvb::JsonValue current = load_report(current_path);
+
+    bool ok = true;
+    for (const std::string key :
+         {"normalized_full_p99", "normalized_delta_p99"}) {
+      const double base = aggregate_of(baseline, key, baseline_path);
+      const double cur = aggregate_of(current, key, current_path);
+      const double budget = base * (1.0 + max_regress);
+      const bool pass = cur <= budget;
+      std::cout << (pass ? "PASS" : "FAIL") << " " << key << ": baseline "
+                << format_sig(base, 4) << ", current " << format_sig(cur, 4)
+                << " (budget " << format_sig(budget, 4) << ")\n";
+      ok = ok && pass;
+    }
+    const double speedup =
+        aggregate_of(current, "full_speedup_vs_reference", current_path);
+    const bool fast_enough = speedup >= min_speedup;
+    std::cout << (fast_enough ? "PASS" : "FAIL")
+              << " full_speedup_vs_reference: " << format_sig(speedup, 4)
+              << " (floor " << format_sig(min_speedup, 4) << ")\n";
+    ok = ok && fast_enough;
+
+    std::cout << (ok ? "bench_gate: PASS\n" : "bench_gate: FAIL\n");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_gate: " << e.what() << "\n";
+    return 2;
+  }
+}
