@@ -1,0 +1,361 @@
+// net_load — throughput of the epoll binary-frame transport vs the
+// PR 2 blocking NDJSON socket loop, plus a backpressure demonstration.
+//
+// Phase 1 (acceptance): 8 closed-loop clients each issue the same
+// small binding job N times, pausing a few milliseconds of "think
+// time" between requests like any interactive or batched caller. The
+// blocking transport serves one connection at a time, so it
+// serializes not just the compute but every client's idle gaps — 8
+// sessions of think time, end to end. The epoll server multiplexes
+// all 8 onto one loop and the shared worker pool, so idle connections
+// cost nothing. Reported speedup must be >= 4x (and is, even on a
+// single-core host, where compute itself cannot parallelize).
+//
+// Phase 2: a deliberately slow reader floods jobs at a server with a
+// small write budget and a tiny service queue. The server pauses
+// reads once the write backlog crosses the budget (bounded memory)
+// and overload surfaces as the service's typed shed responses — the
+// bench prints both counters.
+//
+// Runs standalone with no arguments; exits 1 if the speedup floor or
+// the backpressure invariants fail, so CI can gate on it.
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+
+#if defined(CVB_HAVE_EPOLL)
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cli/serve_transport.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+#include "support/json.hpp"
+
+namespace cvb::net {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 20;
+/// Client think time between closed-loop requests.
+constexpr std::chrono::milliseconds kThink{10};
+constexpr const char* kJob =
+    R"({"id":"x","kernel":"ARF","datapath":"[1,1|1,1]","effort":"fast"})";
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int connect_unix_retry(const std::string& path) {
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      return -1;
+    }
+    path.copy(addr.sun_path, path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One closed-loop NDJSON session: request, wait for the response
+/// line, repeat. Returns completed request count.
+int ndjson_session(int fd, int requests) {
+  int done = 0;
+  std::string buf;
+  char chunk[4096];
+  for (int i = 0; i < requests; ++i) {
+    std::this_thread::sleep_for(kThink);
+    if (!send_all(fd, std::string(kJob) + "\n")) {
+      return done;
+    }
+    while (buf.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n <= 0) {
+        return done;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    buf.erase(0, buf.find('\n') + 1);
+    ++done;
+  }
+  return done;
+}
+
+/// One closed-loop binary-frame session over the same job.
+int binary_session(int fd, int requests) {
+  int done = 0;
+  std::string buf;
+  char chunk[4096];
+  std::string wire;
+  append_frame(wire, FrameType::kRequest, kJob);
+  for (int i = 0; i < requests; ++i) {
+    std::this_thread::sleep_for(kThink);
+    if (!send_all(fd, wire)) {
+      return done;
+    }
+    while (true) {
+      const DecodeResult decoded = decode_frame(buf);
+      if (decoded.status == DecodeStatus::kFrame) {
+        buf.erase(0, decoded.consumed);
+        ++done;
+        break;
+      }
+      if (decoded.status != DecodeStatus::kNeedMore) {
+        return done;
+      }
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n <= 0) {
+        return done;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  return done;
+}
+
+/// 8 closed-loop sessions through the PR 2 blocking loop. The loop
+/// serves one connection to completion before accepting the next, so
+/// the sessions are run back to back — that serialization IS the
+/// baseline being measured.
+double run_blocking_baseline(int* completed) {
+  ServiceOptions sopts;
+  sopts.num_workers = kClients;
+  Service service(sopts);
+  const std::string path = "/tmp/cvb_net_load_blocking.sock";
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    std::ostringstream err;
+    std::thread server([&] {
+      (void)serve_socket_blocking(service, nullptr, path, /*once=*/true, err);
+    });
+    const int fd = connect_unix_retry(path);
+    if (fd < 0) {
+      std::cerr << "net_load: blocking connect failed\n" << err.str();
+      server.join();
+      return -1.0;
+    }
+    *completed += ndjson_session(fd, kRequestsPerClient);
+    send_all(fd, "{\"cmd\":\"quit\"}\n");
+    ::close(fd);
+    server.join();
+  }
+  return seconds_since(start);
+}
+
+/// 8 concurrent closed-loop binary sessions through the epoll server.
+double run_epoll_binary(int* completed) {
+  ServiceOptions sopts;
+  sopts.num_workers = kClients;
+  Service service(sopts);
+  const std::string path = "/tmp/cvb_net_load_epoll.sock";
+  NetServerOptions nopts;
+  nopts.socket_path = path;
+  NetServer server(service, nopts);
+  std::ostringstream err;
+  std::thread serving([&] { (void)server.run(err); });
+  if (!server.wait_until_listening()) {
+    std::cerr << "net_load: epoll server failed to listen\n" << err.str();
+    serving.join();
+    return -1.0;
+  }
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  std::vector<int> done(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_unix_retry(path);
+      if (fd < 0) {
+        return;
+      }
+      done[static_cast<std::size_t>(c)] =
+          binary_session(fd, kRequestsPerClient);
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  const double elapsed = seconds_since(start);
+  server.request_shutdown();
+  serving.join();
+  for (const int d : done) {
+    *completed += d;
+  }
+  return elapsed;
+}
+
+/// Slow reader: flood jobs, stall, then drain. Prints the typed
+/// response mix plus the server's pause/resume counters.
+bool run_slow_reader_demo() {
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  sopts.queue_capacity = 4;  // tiny queue: overload must shed, typed
+  Service service(sopts);
+  const std::string path = "/tmp/cvb_net_load_slow.sock";
+  NetServerOptions nopts;
+  nopts.socket_path = path;
+  nopts.write_budget_bytes = 16 * 1024;
+  NetServer server(service, nopts);
+  std::ostringstream err;
+  std::thread serving([&] { (void)server.run(err); });
+  if (!server.wait_until_listening()) {
+    std::cerr << "net_load: slow-reader server failed to listen\n";
+    serving.join();
+    return false;
+  }
+  const int fd = connect_unix_retry(path);
+  if (fd < 0) {
+    std::cerr << "net_load: slow-reader connect failed\n";
+    server.request_shutdown();
+    serving.join();
+    return false;
+  }
+  constexpr int kFlood = 2000;
+  std::thread writer([&] {
+    std::string burst;
+    for (int i = 0; i < kFlood; ++i) {
+      burst += kJob;
+      burst += '\n';
+    }
+    send_all(fd, burst);
+    ::shutdown(fd, SHUT_WR);
+  });
+  // Stall: let the write backlog build against the budget.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  int ok = 0;
+  int typed_errors = 0;
+  std::string buf;
+  char chunk[8192];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t eol = 0;
+    while ((eol = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, eol);
+      buf.erase(0, eol + 1);
+      try {
+        const JsonValue response = JsonValue::parse(line);
+        if (response.find("status")->as_string() == "ok") {
+          ++ok;
+        } else {
+          ++typed_errors;
+        }
+      } catch (const std::exception&) {
+        ++typed_errors;
+      }
+    }
+  }
+  writer.join();
+  ::close(fd);
+  server.request_shutdown();
+  serving.join();
+
+  const long long pauses =
+      service.metrics().counter("net_backpressure_pauses").value();
+  const long long resumes =
+      service.metrics().counter("net_backpressure_resumes").value();
+  std::cout << "slow reader:    " << kFlood << " flooded, " << ok
+            << " served ok, " << typed_errors
+            << " typed shed/reject responses\n"
+            << "backpressure:   " << pauses << " pauses, " << resumes
+            << " resumes (budget " << nopts.write_budget_bytes
+            << " bytes)\n";
+  const bool responded_all = ok + typed_errors == kFlood;
+  if (!responded_all) {
+    std::cerr << "net_load: FAIL — " << kFlood - ok - typed_errors
+              << " requests got no response\n";
+  }
+  if (typed_errors == 0) {
+    std::cerr << "net_load: FAIL — overload produced no typed shed\n";
+  }
+  if (pauses == 0) {
+    std::cerr << "net_load: FAIL — slow reader never paused\n";
+  }
+  return responded_all && typed_errors > 0 && pauses > 0;
+}
+
+int run() {
+  std::cout << "# net_load: " << kClients << " connections x "
+            << kRequestsPerClient << " closed-loop jobs, "
+            << kThink.count() << " ms think time (" << kJob << ")\n";
+  int blocking_done = 0;
+  const double blocking_s = run_blocking_baseline(&blocking_done);
+  if (blocking_s < 0.0) {
+    return 1;
+  }
+  std::cout << "blocking ndjson: " << blocking_done << " jobs in "
+            << blocking_s << " s  ("
+            << static_cast<long long>(blocking_done / blocking_s)
+            << " jobs/s)\n";
+  int epoll_done = 0;
+  const double epoll_s = run_epoll_binary(&epoll_done);
+  if (epoll_s < 0.0) {
+    return 1;
+  }
+  std::cout << "epoll binary:    " << epoll_done << " jobs in " << epoll_s
+            << " s  (" << static_cast<long long>(epoll_done / epoll_s)
+            << " jobs/s)\n";
+  if (blocking_done != epoll_done || epoll_done == 0) {
+    std::cerr << "net_load: FAIL — transports completed different job "
+                 "counts\n";
+    return 1;
+  }
+  const double speedup = blocking_s / epoll_s;
+  std::cout << "speedup:         " << speedup << "x  (floor 4x)\n\n";
+  const bool shed_ok = run_slow_reader_demo();
+  if (speedup < 4.0) {
+    std::cerr << "net_load: FAIL — epoll speedup " << speedup << "x < 4x\n";
+    return 1;
+  }
+  return shed_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cvb::net
+
+int main() { return cvb::net::run(); }
+
+#else
+
+#include <iostream>
+int main() {
+  std::cout << "net_load requires epoll (Linux); skipping\n";
+  return 0;
+}
+
+#endif  // CVB_HAVE_EPOLL

@@ -8,24 +8,13 @@
 #include "bind/bound_dfg.hpp"
 #include "sched/quality.hpp"
 #include "support/fault.hpp"
+#include "support/hash.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
 namespace cvb {
 
 namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
-  // Mix all 8 bytes so nearby integers diverge.
-  for (int byte = 0; byte < 8; ++byte) {
-    hash ^= (value >> (8 * byte)) & 0xffU;
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
 
 std::size_t round_pow2(std::size_t v) {
   std::size_t p = 1;
@@ -82,14 +71,10 @@ thread_local std::uint64_t tl_l1_clock = 0;
 // disperse poorly (the trailing multiply leaves the keys of
 // neighbouring bindings in a handful of low-bit classes — observed as
 // a whole candidate batch collapsing onto two slots and evicting
-// itself every round), so the index runs the key through a 64-bit
-// finalizer (murmur3 fmix64) before masking.
+// itself every round), so the index runs the key through the shared
+// murmur3-fmix64 finalizer (support/hash.hpp) before masking.
 std::size_t l1_slot_index(std::uint64_t key, std::size_t size) {
-  std::uint64_t h = key;
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  return static_cast<std::size_t>(h) & (size - 1);
+  return static_cast<std::size_t>(fmix64(key)) & (size - 1);
 }
 
 L1Table& l1_table_for(std::uint64_t engine, std::size_t slots) {
@@ -639,6 +624,37 @@ std::vector<EvalShardStats> EvalEngine::shard_stats() const {
         shard.contended.load(std::memory_order_relaxed)});
   }
   return out;
+}
+
+std::vector<CacheExportEntry> EvalEngine::export_cache() const {
+  std::vector<CacheExportEntry> entries;
+  for (const CacheShard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    entries.reserve(entries.size() + shard.map.size());
+    for (const std::uint64_t key : shard.lru) {
+      const auto it = shard.map.find(key);
+      entries.push_back(CacheExportEntry{key, it->second.signature,
+                                         it->second.binding,
+                                         it->second.result});
+    }
+  }
+  return entries;
+}
+
+std::size_t EvalEngine::import_cache(
+    const std::vector<CacheExportEntry>& entries) {
+  if (options_.cache_capacity == 0) {
+    return 0;
+  }
+  std::size_t imported = 0;
+  for (const CacheExportEntry& entry : entries) {
+    if (binding_hash(entry.binding, entry.signature) != entry.key) {
+      continue;  // corrupt/foreign entry: lookups could never serve it
+    }
+    cache_insert(entry.key, entry.signature, entry.binding, entry.result);
+    ++imported;
+  }
+  return imported;
 }
 
 void EvalEngine::note_jobs(long long count) {

@@ -113,6 +113,17 @@ struct EvalShardStats {
   long long contended = 0;    ///< lock acquisitions that had to wait
 };
 
+/// One exported L2 cache entry — the unit of the warm-start snapshot
+/// (net/snapshot.hpp defines the on-disk form). Key and signature are
+/// the engine's own hashes; the binding rides along so an import can
+/// verify each entry the same way lookups do.
+struct CacheExportEntry {
+  std::uint64_t key = 0;
+  std::uint64_t signature = 0;
+  Binding binding;
+  EvalResult result;
+};
+
 /// Engine configuration.
 struct EvalEngineOptions {
   /// Worker threads for batch evaluation. 1 = serial (evaluations run
@@ -210,6 +221,18 @@ class EvalEngine {
 
   /// Per-shard counters, index = shard number.
   [[nodiscard]] std::vector<EvalShardStats> shard_stats() const;
+
+  /// Copies every live L2 entry out, per shard in LRU order (oldest
+  /// first), so re-importing in file order replays each shard's
+  /// recency order. Thread-safe; locks one shard at a time.
+  [[nodiscard]] std::vector<CacheExportEntry> export_cache() const;
+
+  /// Inserts exported entries through the normal insert path (LRU,
+  /// capacity, collision policy all apply). Entries whose key is not
+  /// binding_hash(binding, signature) are rejected — a corrupt or
+  /// foreign entry can never be served, so it is never admitted.
+  /// Returns the number of entries accepted (0 when caching is off).
+  std::size_t import_cache(const std::vector<CacheExportEntry>& entries);
 
   /// Signature of an evaluation context: a 64-bit hash of the DFG
   /// structure, the datapath configuration, and the scheduler options.

@@ -46,4 +46,15 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
 /// Usage text for cvserve.
 [[nodiscard]] std::string serve_cli_usage();
 
+/// Runs the cvrouter (consistent-hash request router) command line:
+/// listens on a Unix socket and fans requests out over N `cvserve
+/// --socket` workers by schedule-cache key. Same contract as run_cli.
+///
+///   cvrouter --listen /tmp/cvb.sock --worker /tmp/w0.sock --worker /tmp/w1.sock
+int run_router_cli(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err);
+
+/// Usage text for cvrouter.
+[[nodiscard]] std::string router_cli_usage();
+
 }  // namespace cvb

@@ -1,0 +1,91 @@
+// Command-line driver for `cvrouter`, the consistent-hash request
+// router (net/router.hpp). All logic lives in the library so tests can
+// run a router in-process; tools/cvrouter.cpp is a thin main().
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "cli/flags.hpp"
+#include "net/router.hpp"
+
+namespace cvb {
+
+std::string router_cli_usage() {
+  return R"(usage: cvrouter --listen PATH --worker PATH [--worker PATH ...]
+
+Consistent-hash request router over a fleet of `cvserve --socket`
+workers. Clients connect to --listen with either protocol (NDJSON or
+binary frames, auto-detected per connection); each request is hashed
+by its schedule-cache key (kernel/dfg + machine/datapath/buses/
+move_latency) onto a virtual-node hash ring, so the same workload
+always lands on the same worker and keeps its eval cache hot.
+Responses are forwarded verbatim — byte-identical to a direct worker
+connection. See FORMATS.md "Router hashing contract".
+
+Unhealthy workers (failed kPing probes) are skipped on the ring; when
+every worker looks down the router fails open and routes by hash
+anyway. Requests lost to a dying worker connection get a typed
+{"status":"internal_error","fault_class":"transient"} response.
+{"cmd":"shutdown"} through the router shuts down every worker, then
+the router itself.
+
+options:
+  --listen PATH          Unix socket to serve clients on (required)
+  --worker PATH          one worker's cvserve socket (repeatable,
+                         at least one required)
+  --vnodes N             virtual nodes per worker on the hash ring
+                         (default 64)
+  --health-interval-ms N health-probe period (default 250)
+  --health-timeout-ms N  per-probe reply timeout (default 1000)
+  --retries N            connect attempts per upstream before a
+                         request is failed transient (default 3)
+  --help                 this text
+)";
+}
+
+int run_router_cli(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err) {
+  net::RouterOptions opts;
+  bool help = false;
+  FlagSet flags;
+  flags.on_flag("--help", [&] { help = true; });
+  flags.on_flag("-h", [&] { help = true; });
+  flags.on_value("--listen",
+                 [&](const std::string& v) { opts.listen_path = v; });
+  flags.on_value("--worker",
+                 [&](const std::string& v) { opts.workers.push_back(v); });
+  flags.on_value("--vnodes", [&](const std::string& v) {
+    opts.vnodes = parse_int_at_least(v, 1, "--vnodes");
+  });
+  flags.on_value("--health-interval-ms", [&](const std::string& v) {
+    opts.health_interval_ms = parse_int_at_least(v, 1, "--health-interval-ms");
+  });
+  flags.on_value("--health-timeout-ms", [&](const std::string& v) {
+    opts.health_timeout_ms = parse_int_at_least(v, 1, "--health-timeout-ms");
+  });
+  flags.on_value("--retries", [&](const std::string& v) {
+    opts.max_connect_attempts = parse_int_at_least(v, 1, "--retries");
+  });
+  try {
+    flags.parse(args);
+    if (!help && opts.listen_path.empty()) {
+      throw std::invalid_argument("--listen is required");
+    }
+    if (!help && opts.workers.empty()) {
+      throw std::invalid_argument("at least one --worker is required");
+    }
+  } catch (const std::invalid_argument& e) {
+    err << "cvrouter: " << e.what() << "\n\n" << router_cli_usage();
+    return 1;
+  }
+  if (help) {
+    out << router_cli_usage();
+    return 0;
+  }
+  net::Router router(std::move(opts));
+  return router.run(err);
+}
+
+}  // namespace cvb

@@ -6,14 +6,19 @@
 // Two transports:
 //  * stream mode (default): NDJSON requests on stdin, responses on
 //    stdout in *completion* order (the "id" field correlates them);
-//  * --socket PATH: a Unix-domain stream socket serving one connection
-//    at a time with the same NDJSON protocol (--once exits after the
-//    first connection, which is how the tests drive it).
+//  * --socket PATH: a Unix-domain stream socket. On Linux this is the
+//    epoll server (net/server.hpp): any number of concurrent
+//    connections, NDJSON and binary-frame clients auto-detected on the
+//    same socket, per-connection write-budget backpressure. Elsewhere
+//    it falls back to the original one-connection-at-a-time blocking
+//    loop. --once exits after the first connection fully drains in
+//    both cases.
 //
 // Observability: --trace arms a Tracer shared by every job the
 // service runs; {"cmd":"trace"} drains it over the wire, --trace-out
 // writes whatever is left at exit, and --metrics-text exports the
-// metrics registry as Prometheus text at exit.
+// metrics registry as Prometheus text at exit. --warm-start seeds the
+// eval cache from a {"cmd":"snapshot"} file before serving.
 #include <condition_variable>
 #include <fstream>
 #include <istream>
@@ -26,6 +31,9 @@
 
 #include "cli/cli.hpp"
 #include "cli/flags.hpp"
+#include "cli/serve_transport.hpp"
+#include "net/server.hpp"
+#include "net/snapshot.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "support/strings.hpp"
@@ -76,8 +84,17 @@ options:
                       requires -DCVB_FAULT_INJECTION=ON (warns
                       otherwise)
   --inject-seed N     seed of the deterministic injection stream
-  --socket PATH       serve a Unix-domain socket instead of stdio
+  --socket PATH       serve a Unix-domain socket instead of stdio; on
+                      Linux this multiplexes any number of concurrent
+                      connections (epoll) and auto-detects NDJSON vs
+                      binary-frame clients per connection (FORMATS.md
+                      "Binary frame protocol")
   --once              with --socket: exit after the first connection
+  --write-budget N    per-connection write-buffer bytes before a slow
+                      reader is paused (default 1048576)
+  --warm-start FILE   seed the eval cache from a {"cmd":"snapshot"}
+                      file before serving (see FORMATS.md "Eval-cache
+                      snapshot file")
   --help              this text
 
 Malformed request lines get a structured error response
@@ -92,6 +109,8 @@ namespace {
 struct ServeOptions {
   ServiceOptions service;
   std::string socket_path;
+  std::string warm_start;
+  std::size_t write_budget = std::size_t{1} << 20;
   bool once = false;
   bool trace = false;
   std::string trace_out;
@@ -155,6 +174,12 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
   });
   flags.on_value("--socket",
                  [&](const std::string& v) { opts.socket_path = v; });
+  flags.on_value("--warm-start",
+                 [&](const std::string& v) { opts.warm_start = v; });
+  flags.on_value("--write-budget", [&](const std::string& v) {
+    opts.write_budget = static_cast<std::size_t>(
+        parse_int_at_least(v, 1, "--write-budget"));
+  });
   flags.parse(args);
   return opts;
 }
@@ -186,14 +211,17 @@ bool read_request_line(std::istream& in, std::string& line, bool* overflow) {
   return !line.empty();  // final unterminated line still counts
 }
 
+}  // namespace
+
 /// Reads requests from `in` until EOF or {"cmd":"quit"}, submitting
 /// jobs asynchronously; responses are written (mutex-serialized, one
 /// line each, flushed) as jobs complete. Returns once every submitted
 /// job has been answered. Malformed lines produce one structured error
 /// response each and never abort the stream. `tracer` answers
 /// {"cmd":"trace"} (null = tracing disabled, a structured error).
-void serve_stream(Service& service, Tracer* tracer, std::istream& in,
-                  std::ostream& out) {
+/// {"cmd":"shutdown"} on a plain stream is the same as quit.
+void serve_ndjson_stream(Service& service, Tracer* tracer, std::istream& in,
+                         std::ostream& out) {
   std::mutex out_mutex;
   // Guarded by done_mutex (including the completion callbacks'
   // decrement) so the final wait below cannot observe 0 and destroy
@@ -228,11 +256,33 @@ void serve_stream(Service& service, Tracer* tracer, std::istream& in,
       respond(invalid_request_json(e.what(), extract_request_id(line)));
       continue;
     }
-    if (request.kind == ServeRequest::Kind::kQuit) {
+    if (request.kind == ServeRequest::Kind::kQuit ||
+        request.kind == ServeRequest::Kind::kShutdown) {
       break;
     }
     if (request.kind == ServeRequest::Kind::kMetrics) {
       respond(service.metrics_snapshot());
+      continue;
+    }
+    if (request.kind == ServeRequest::Kind::kSnapshot) {
+      // A snapshot is a barrier: it must reflect every job already
+      // submitted on this stream, so drain in-flight work first.
+      {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.wait(lock, [&] { return outstanding == 0; });
+      }
+      try {
+        const std::vector<CacheExportEntry> entries = service.snapshot_cache();
+        net::save_cache_snapshot(request.path, entries);
+        JsonValue ok = JsonValue::object();
+        ok.set("status", "ok");
+        ok.set("cmd", "snapshot");
+        ok.set("path", request.path);
+        ok.set("entries", static_cast<long long>(entries.size()));
+        respond(ok);
+      } catch (const std::exception& e) {
+        respond(invalid_request_json(e.what()));
+      }
       continue;
     }
     if (request.kind == ServeRequest::Kind::kTrace) {
@@ -265,8 +315,11 @@ void serve_stream(Service& service, Tracer* tracer, std::istream& in,
 
 #ifdef CVB_HAVE_UNIX_SOCKETS
 
+namespace {
+
 /// Minimal read/write streambuf over a POSIX file descriptor, so the
-/// socket transport reuses the exact same serve_stream loop as stdio.
+/// blocking socket transport reuses the exact same serve_ndjson_stream
+/// loop as stdio.
 class FdStreambuf : public std::streambuf {
  public:
   explicit FdStreambuf(int fd) : fd_(fd) {
@@ -311,8 +364,11 @@ class FdStreambuf : public std::streambuf {
   char in_buf_[4096];
 };
 
-int serve_socket(Service& service, Tracer* tracer, const std::string& path,
-                 bool once, std::ostream& err) {
+}  // namespace
+
+int serve_socket_blocking(Service& service, Tracer* tracer,
+                          const std::string& path, bool once,
+                          std::ostream& err) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     err << "cvserve: cannot create socket\n";
@@ -343,7 +399,7 @@ int serve_socket(Service& service, Tracer* tracer, const std::string& path,
     FdStreambuf buf_out(conn);
     std::istream in(&buf_in);
     std::ostream out(&buf_out);
-    serve_stream(service, tracer, in, out);
+    serve_ndjson_stream(service, tracer, in, out);
     ::close(conn);
     if (once) {
       break;
@@ -355,6 +411,8 @@ int serve_socket(Service& service, Tracer* tracer, const std::string& path,
 }
 
 #endif  // CVB_HAVE_UNIX_SOCKETS
+
+namespace {
 
 /// Writes `text` to `path` ('-' = `out`). Returns false (after a
 /// message on `err`) when the file cannot be opened.
@@ -401,16 +459,36 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
   opts.service.tracer = trace_ptr;
 
   Service service(opts.service);
+  if (!opts.warm_start.empty()) {
+    try {
+      const std::size_t accepted =
+          service.warm_start(net::load_cache_snapshot(opts.warm_start));
+      err << "cvserve: warm-start: " << accepted << " cache entries from '"
+          << opts.warm_start << "'\n";
+    } catch (const std::exception& e) {
+      err << "cvserve: warm-start: " << e.what() << '\n';
+      return 1;
+    }
+  }
   int rc = 0;
   if (!opts.socket_path.empty()) {
-#ifdef CVB_HAVE_UNIX_SOCKETS
-    rc = serve_socket(service, trace_ptr, opts.socket_path, opts.once, err);
+#if defined(CVB_HAVE_EPOLL)
+    net::NetServerOptions net_opts;
+    net_opts.socket_path = opts.socket_path;
+    net_opts.once = opts.once;
+    net_opts.write_budget_bytes = opts.write_budget;
+    net_opts.tracer = trace_ptr;
+    net::NetServer server(service, net_opts);
+    rc = server.run(err);
+#elif defined(CVB_HAVE_UNIX_SOCKETS)
+    rc = serve_socket_blocking(service, trace_ptr, opts.socket_path,
+                               opts.once, err);
 #else
     err << "cvserve: --socket is not supported on this platform\n";
     return 1;
 #endif
   } else {
-    serve_stream(service, trace_ptr, in, out);
+    serve_ndjson_stream(service, trace_ptr, in, out);
   }
 
   // Exit-time exports. The service is still alive (workers idle), so

@@ -1,0 +1,32 @@
+// The cvserve transports, exposed for tests and benchmarks.
+//
+// run_serve_cli() picks between these; bench/net_load additionally
+// drives the PR 2 blocking loop directly as the baseline the epoll
+// server (net/server.hpp) is measured against.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace cvb {
+
+class Service;
+class Tracer;
+
+/// The PR 2 NDJSON request/response loop over generic streams: reads
+/// request lines from `in` until EOF or {"cmd":"quit"}, writes one
+/// response line per request in completion order, returns once every
+/// submitted job has been answered. Also the stdio stream mode of
+/// `cvserve`.
+void serve_ndjson_stream(Service& service, Tracer* tracer, std::istream& in,
+                         std::ostream& out);
+
+/// The PR 2 blocking Unix-socket transport: accepts one connection at
+/// a time and serves it with serve_ndjson_stream. Kept as the
+/// non-Linux fallback and as the baseline bench/net_load compares the
+/// epoll server against. Only defined where Unix sockets exist.
+int serve_socket_blocking(Service& service, Tracer* tracer,
+                          const std::string& path, bool once,
+                          std::ostream& err);
+
+}  // namespace cvb

@@ -1,0 +1,134 @@
+#include "net/event_loop.hpp"
+
+#if defined(__linux__)
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace cvb::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw_errno("epoll_create1");
+  }
+  event_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (event_fd_ < 0) {
+    const int saved = errno;
+    ::close(epoll_fd_);
+    errno = saved;
+    throw_errno("eventfd");
+  }
+  ::epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = event_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
+    const int saved = errno;
+    ::close(event_fd_);
+    ::close(epoll_fd_);
+    errno = saved;
+    throw_errno("epoll_ctl(eventfd)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (event_fd_ >= 0) {
+    ::close(event_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+}
+
+void EventLoop::add(int fd, std::uint32_t events, FdCallback callback) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(add)");
+  }
+  callbacks_[fd] = std::make_shared<FdCallback>(std::move(callback));
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(mod)");
+  }
+}
+
+void EventLoop::remove(int fd) {
+  // The fd may already be gone from the kernel set (peer closed); only
+  // surface errors other than "not registered".
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0 &&
+      errno != ENOENT && errno != EBADF) {
+    throw_errno("epoll_ctl(del)");
+  }
+  callbacks_.erase(fd);
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  std::array<::epoll_event, 64> events{};
+  while (!stopped_) {
+    const int ready = ::epoll_wait(epoll_fd_, events.data(),
+                                   static_cast<int>(events.size()), -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < ready && !stopped_; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+      if (fd == event_fd_) {
+        std::uint64_t drained = 0;
+        while (::read(event_fd_, &drained, sizeof(drained)) ==
+               static_cast<ssize_t>(sizeof(drained))) {
+        }
+        if (wakeup_handler_) {
+          wakeup_handler_();
+        }
+        continue;
+      }
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) {
+        continue;  // removed by an earlier callback in this same batch
+      }
+      // Pin the callback: it may remove(fd) (erasing the map entry)
+      // while running.
+      const std::shared_ptr<FdCallback> callback = it->second;
+      (*callback)(mask);
+    }
+  }
+}
+
+void EventLoop::wakeup() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending
+  // wakeup, so the write result only matters for real failures, which
+  // have no recovery here anyway.
+  [[maybe_unused]] const ssize_t rc = ::write(event_fd_, &one, sizeof(one));
+}
+
+}  // namespace cvb::net
+
+#endif  // __linux__

@@ -1,0 +1,78 @@
+// Thin epoll wrapper for the async serving loop (Linux only; the
+// CVB_HAVE_EPOLL guard lets callers fall back to the blocking
+// transport elsewhere).
+//
+// Scope: level-triggered fd callbacks on one thread, plus a
+// thread-safe wakeup channel (an eventfd) so other threads — the
+// service's worker pool completing jobs — can hand results back to the
+// loop thread without touching any connection state themselves. That
+// single-threaded ownership rule is the whole concurrency design of
+// the net server: every Connection is only ever read or written on the
+// loop thread, so none of it needs locks.
+#pragma once
+
+#if defined(__linux__)
+#define CVB_HAVE_EPOLL 1
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace cvb::net {
+
+/// One epoll instance + eventfd. Not thread-safe except where noted
+/// (wakeup()); everything else must run on the thread calling run().
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(std::uint32_t events)>;
+
+  /// Throws std::runtime_error when the kernel refuses epoll/eventfd.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (non-blocking, caller-owned) for `events`
+  /// (EPOLLIN/EPOLLOUT/...). The callback runs on the loop thread and
+  /// may add/modify/remove fds, including its own.
+  void add(int fd, std::uint32_t events, FdCallback callback);
+
+  /// Changes the interest mask of a registered fd.
+  void modify(int fd, std::uint32_t events);
+
+  /// Unregisters `fd`. Does not close it. Safe to call from the fd's
+  /// own callback (the in-flight callback object stays alive).
+  void remove(int fd);
+
+  /// Dispatches events until stop(). Returns after the current batch
+  /// when stopped.
+  void run();
+
+  /// Ends run() (call from a callback or the wakeup handler).
+  void stop() { stopped_ = true; }
+
+  /// Thread-safe: signals the eventfd; the loop thread then invokes
+  /// the wakeup handler. Coalesces (N wakeups may yield one handler
+  /// call), so handlers must drain queues, not count signals.
+  void wakeup();
+
+  /// Handler run on the loop thread after wakeup() (set before run()).
+  void set_wakeup_handler(std::function<void()> handler) {
+    wakeup_handler_ = std::move(handler);
+  }
+
+ private:
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  bool stopped_ = false;
+  std::function<void()> wakeup_handler_;
+  // shared_ptr so dispatch can pin the callback it is invoking while
+  // the callback itself remove()s the fd (erasing the map entry).
+  std::unordered_map<int, std::shared_ptr<FdCallback>> callbacks_;
+};
+
+}  // namespace cvb::net
+
+#endif  // __linux__

@@ -1,0 +1,112 @@
+#include "net/frame.hpp"
+
+#include <stdexcept>
+
+namespace cvb::net {
+
+bool is_known_frame_type(std::uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kRequest:
+    case FrameType::kResponse:
+    case FrameType::kError:
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kSnapshotHeader:
+    case FrameType::kSnapshotEntry:
+      return true;
+  }
+  return false;
+}
+
+bool is_decode_error(DecodeStatus status) {
+  return status != DecodeStatus::kFrame && status != DecodeStatus::kNeedMore;
+}
+
+const char* decode_status_message(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kFrame:
+    case DecodeStatus::kNeedMore:
+      return "";
+    case DecodeStatus::kBadMagic:
+      return "bad frame magic";
+    case DecodeStatus::kBadVersion:
+      return "unsupported frame protocol version";
+    case DecodeStatus::kBadType:
+      return "unknown frame type";
+    case DecodeStatus::kOversized:
+      return "frame payload exceeds the 1 MiB cap";
+  }
+  return "";
+}
+
+DecodeResult decode_frame(std::string_view buffer) {
+  DecodeResult result;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(buffer.data());
+  // Validate the header prefix byte by byte, so garbage is rejected as
+  // soon as it can be (a 1-byte buffer with the wrong first byte is
+  // kBadMagic, not kNeedMore — NDJSON auto-detection depends on that).
+  if (buffer.empty()) {
+    return result;  // kNeedMore
+  }
+  if (bytes[0] != kFrameMagic0) {
+    result.status = DecodeStatus::kBadMagic;
+    return result;
+  }
+  if (buffer.size() >= 2 && bytes[1] != kFrameMagic1) {
+    result.status = DecodeStatus::kBadMagic;
+    return result;
+  }
+  if (buffer.size() >= 3 && bytes[2] != kFrameVersion) {
+    result.status = DecodeStatus::kBadVersion;
+    return result;
+  }
+  if (buffer.size() >= 4 && !is_known_frame_type(bytes[3])) {
+    result.status = DecodeStatus::kBadType;
+    return result;
+  }
+  if (buffer.size() < kFrameHeaderSize) {
+    return result;  // kNeedMore: header prefix is valid so far
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(bytes[4]) |
+                               (static_cast<std::uint32_t>(bytes[5]) << 8) |
+                               (static_cast<std::uint32_t>(bytes[6]) << 16) |
+                               (static_cast<std::uint32_t>(bytes[7]) << 24);
+  if (length > kMaxFramePayload) {
+    result.status = DecodeStatus::kOversized;
+    return result;
+  }
+  const std::size_t total = kFrameHeaderSize + length;
+  if (buffer.size() < total) {
+    return result;  // kNeedMore: payload still in flight
+  }
+  result.status = DecodeStatus::kFrame;
+  result.frame.type = static_cast<FrameType>(bytes[3]);
+  result.frame.payload = buffer.substr(kFrameHeaderSize, length);
+  result.consumed = total;
+  return result;
+}
+
+void append_frame(std::string& out, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument("frame payload exceeds the 1 MiB cap");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  out.reserve(out.size() + kFrameHeaderSize + payload.size());
+  out.push_back(static_cast<char>(kFrameMagic0));
+  out.push_back(static_cast<char>(kFrameMagic1));
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back(static_cast<char>(length & 0xffU));
+  out.push_back(static_cast<char>((length >> 8) & 0xffU));
+  out.push_back(static_cast<char>((length >> 16) & 0xffU));
+  out.push_back(static_cast<char>((length >> 24) & 0xffU));
+  out.append(payload);
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out;
+  append_frame(out, type, payload);
+  return out;
+}
+
+}  // namespace cvb::net

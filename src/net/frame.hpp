@@ -1,0 +1,111 @@
+// Binary wire framing for the binding service (FORMATS.md "Binary
+// frame protocol").
+//
+// The NDJSON protocol spends a measurable share of every request on
+// line scanning and forces the reader to touch each byte twice (once
+// to find the newline, once to parse). Frames replace the newline with
+// an 8-byte length-prefixed header so the receiver knows exactly how
+// many bytes to wait for, hands the payload out as a zero-copy
+// std::string_view into the receive buffer, and can carry payloads
+// that themselves contain newlines (the snapshot format relies on
+// this).
+//
+//   offset  size  field
+//   0       1     magic0 = 0xC5   (never a valid NDJSON first byte)
+//   1       1     magic1 = 0x76   ('v')
+//   2       1     version = 0x01
+//   3       1     type            (FrameType)
+//   4       4     payload length, little-endian u32, <= 1 MiB
+//   8       len   payload
+//
+// Decoding is strict: wrong magic, unknown version, unknown type, or a
+// length beyond the 1 MiB cap are typed, unrecoverable errors (there
+// is no reliable way to resynchronize a byte stream after a corrupt
+// header). A short buffer is simply kNeedMore — the decoder never
+// reads past the view it is given and never allocates.
+//
+// Protocol auto-detection: the first byte of a connection decides the
+// transport. 0xC5 (magic0) is binary; anything else — '{', whitespace,
+// any ASCII — is NDJSON. 0xC5 is not valid UTF-8 JSON start and not
+// whitespace, so no legal NDJSON request can be mistaken for a frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cvb::net {
+
+inline constexpr unsigned char kFrameMagic0 = 0xC5;
+inline constexpr unsigned char kFrameMagic1 = 0x76;
+inline constexpr unsigned char kFrameVersion = 0x01;
+inline constexpr std::size_t kFrameHeaderSize = 8;
+/// Payload cap, matching the NDJSON 1 MiB request-line cap.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 20;
+
+/// Frame types on the wire and in snapshot files.
+enum class FrameType : std::uint8_t {
+  kRequest = 0x01,   ///< JSON request object (same schema as one NDJSON line)
+  kResponse = 0x02,  ///< JSON response object
+  kError = 0x03,     ///< JSON error object (invalid_request / protocol errors)
+  kPing = 0x04,      ///< liveness probe (empty payload)
+  kPong = 0x05,      ///< liveness reply (payload echoed from the ping)
+  kSnapshotHeader = 0x10,  ///< eval-cache snapshot file header record
+  kSnapshotEntry = 0x11,   ///< one eval-cache entry record
+};
+
+/// True for the byte values decode_frame() accepts as a type.
+[[nodiscard]] bool is_known_frame_type(std::uint8_t type);
+
+/// One decoded frame; `payload` is a view into the caller's buffer and
+/// is valid only until that buffer is mutated.
+struct FrameView {
+  FrameType type = FrameType::kRequest;
+  std::string_view payload;
+};
+
+enum class DecodeStatus {
+  kFrame,       ///< one complete frame decoded
+  kNeedMore,    ///< buffer holds only a frame prefix; read more bytes
+  kBadMagic,    ///< first bytes are not the frame magic
+  kBadVersion,  ///< unsupported protocol version
+  kBadType,     ///< unknown frame type
+  kOversized,   ///< declared payload length exceeds kMaxFramePayload
+};
+
+/// True for the statuses that poison the stream (everything except
+/// kFrame / kNeedMore).
+[[nodiscard]] bool is_decode_error(DecodeStatus status);
+
+/// Human-readable reason for an error status ("" for kFrame/kNeedMore).
+[[nodiscard]] const char* decode_status_message(DecodeStatus status);
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  FrameView frame;           ///< meaningful only when status == kFrame
+  std::size_t consumed = 0;  ///< bytes of `buffer` this frame occupied
+};
+
+/// Decodes the frame at the start of `buffer`. Never reads outside
+/// `buffer`, never allocates. On kFrame, `frame.payload` points into
+/// `buffer` and `consumed` is kFrameHeaderSize + payload size; on
+/// kNeedMore nothing was consumed; on an error status the stream is
+/// unrecoverable and must be closed.
+[[nodiscard]] DecodeResult decode_frame(std::string_view buffer);
+
+/// Appends one encoded frame to `out`. Throws std::invalid_argument
+/// when `payload` exceeds kMaxFramePayload.
+void append_frame(std::string& out, FrameType type, std::string_view payload);
+
+/// One encoded frame as a fresh string.
+[[nodiscard]] std::string encode_frame(FrameType type,
+                                       std::string_view payload);
+
+/// Transport sniff on the first byte of a connection: binary iff the
+/// byte is kFrameMagic0.
+[[nodiscard]] inline bool looks_binary(unsigned char first_byte) {
+  return first_byte == kFrameMagic0;
+}
+
+}  // namespace cvb::net

@@ -1,0 +1,722 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/hash.hpp"
+#include "support/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CVB_ROUTER_HAVE_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <string_view>
+#include <thread>
+
+#include "net/frame.hpp"
+#include "service/protocol.hpp"
+#include "service/resilience.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#endif
+
+namespace cvb::net {
+
+// ---- Hash ring ----------------------------------------------------------
+
+HashRing::HashRing(const std::vector<std::string>& workers, int vnodes) {
+  num_workers_ = workers.size();
+  if (vnodes < 1) {
+    vnodes = 1;
+  }
+  points_.reserve(workers.size() * static_cast<std::size_t>(vnodes));
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    const std::uint64_t base = fnv1a_bytes(kFnvOffset, workers[w]);
+    for (int v = 0; v < vnodes; ++v) {
+      points_.emplace_back(fmix64(fnv1a(base, static_cast<std::uint64_t>(v))),
+                           static_cast<int>(w));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+int HashRing::pick(std::uint64_t key, const std::vector<bool>& healthy) const {
+  if (points_.empty()) {
+    return -1;
+  }
+  const bool any_healthy =
+      std::find(healthy.begin(), healthy.end(), true) != healthy.end();
+  const auto eligible = [&](int worker) {
+    if (!any_healthy) {
+      return true;  // fail-open: a wrong health verdict must not 404
+    }
+    return static_cast<std::size_t>(worker) < healthy.size() &&
+           healthy[static_cast<std::size_t>(worker)];
+  };
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const std::pair<std::uint64_t, int>& p, std::uint64_t k) {
+        return p.first < k;
+      });
+  for (std::size_t step = 0; step < points_.size(); ++step) {
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    if (eligible(it->second)) {
+      return it->second;
+    }
+    ++it;
+  }
+  return points_.begin()->second;  // all ineligible: fail-open anyway
+}
+
+std::uint64_t request_route_key(const std::string& request_json) {
+  try {
+    const JsonValue doc = JsonValue::parse(request_json);
+    if (!doc.is_object() || doc.find("cmd") != nullptr) {
+      return 0;
+    }
+    std::uint64_t h = kFnvOffset;
+    const auto fold = [&h](std::string_view tag, std::string_view value) {
+      h = fnv1a_bytes(h, tag);
+      h = fnv1a_bytes(h, value);
+    };
+    const auto str_field = [&doc](const char* key) -> const JsonValue* {
+      const JsonValue* v = doc.find(key);
+      return (v != nullptr && v->kind() == JsonValue::Kind::kString) ? v
+                                                                     : nullptr;
+    };
+    const auto num_field = [&doc](const char* key, int fallback) {
+      const JsonValue* v = doc.find(key);
+      return (v != nullptr && v->kind() == JsonValue::Kind::kNumber)
+                 ? static_cast<int>(v->as_number())
+                 : fallback;
+    };
+    if (const JsonValue* kernel = str_field("kernel"); kernel != nullptr) {
+      fold("kernel", kernel->as_string());
+    } else if (const JsonValue* dfg = str_field("dfg"); dfg != nullptr) {
+      fold("dfg", dfg->as_string());
+    }
+    if (const JsonValue* machine = str_field("machine"); machine != nullptr) {
+      fold("machine", machine->as_string());
+    } else {
+      // Apply the protocol's defaults so spelled-out defaults hash the
+      // same as omitted ones (service/protocol.cpp).
+      const JsonValue* dp = str_field("datapath");
+      fold("datapath", dp != nullptr ? dp->as_string() : "[1,1|1,1]");
+      h = fnv1a(h, static_cast<std::uint64_t>(num_field("buses", 2)));
+      h = fnv1a(h, static_cast<std::uint64_t>(num_field("move_latency", 1)));
+    }
+    return fmix64(h);
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+#if defined(CVB_ROUTER_HAVE_SOCKETS)
+
+namespace {
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+/// Blocking connect to a Unix socket; -1 on failure.
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return -1;
+  }
+  path.copy(addr.sun_path, path.size());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking read of the next complete frame from `fd`, buffering
+/// partial data in `buf` across calls. Returns false on EOF, a socket
+/// error, or a framing error (the stream is then unusable).
+bool read_frame_blocking(int fd, std::string& buf, FrameType* type,
+                         std::string* payload) {
+  while (true) {
+    const DecodeResult decoded = decode_frame(buf);
+    if (decoded.status == DecodeStatus::kFrame) {
+      *type = decoded.frame.type;
+      payload->assign(decoded.frame.payload);
+      buf.erase(0, decoded.consumed);
+      return true;
+    }
+    if (decoded.status != DecodeStatus::kNeedMore) {
+      return false;
+    }
+    char chunk[kReadChunk];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// The typed answer for a request the router accepted but could not
+/// get answered by its worker: transient, so the client may resubmit.
+std::string worker_lost_json(const std::string& id,
+                             const std::string& worker) {
+  return invalid_request_json("worker '" + worker + "' unavailable", id,
+                              FaultClass::kTransient)
+      .dump();
+}
+
+}  // namespace
+
+struct Router::Impl {
+  explicit Impl(RouterOptions opts) : options(std::move(opts)) {}
+
+  RouterOptions options;
+  HashRing ring{options.workers, options.vnodes};
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool listening = false;
+  bool run_done = false;
+  bool stopping = false;
+  int listener = -1;
+  std::vector<int> session_fds;          // live client fds (for shutdown)
+  std::vector<bool> health;              // guarded by mutex
+  std::vector<std::thread> sessions;
+
+  std::thread health_thread;
+
+  // ---- health ----------------------------------------------------------
+
+  [[nodiscard]] std::vector<bool> health_snapshot() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return health;
+  }
+
+  /// One kPing round trip on a fresh connection, bounded by
+  /// health_timeout_ms.
+  [[nodiscard]] bool probe(const std::string& path) const {
+    const int fd = connect_unix(path);
+    if (fd < 0) {
+      return false;
+    }
+    bool ok = false;
+    if (send_all(fd, encode_frame(FrameType::kPing, "hc"))) {
+      std::string buf;
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(
+              static_cast<long long>(options.health_timeout_ms));
+      while (std::chrono::steady_clock::now() < deadline) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 10);
+        if (ready < 0) {
+          break;
+        }
+        if (ready == 0) {
+          continue;
+        }
+        char chunk[256];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0) {
+          break;
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+        const DecodeResult decoded = decode_frame(buf);
+        if (decoded.status == DecodeStatus::kFrame) {
+          ok = decoded.frame.type == FrameType::kPong;
+          break;
+        }
+        if (decoded.status != DecodeStatus::kNeedMore) {
+          break;
+        }
+      }
+    }
+    ::close(fd);
+    return ok;
+  }
+
+  void health_loop() {
+    while (true) {
+      for (std::size_t w = 0; w < options.workers.size(); ++w) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          if (stopping) {
+            return;
+          }
+        }
+        const bool up = probe(options.workers[w]);
+        const std::lock_guard<std::mutex> lock(mutex);
+        health[w] = up;
+      }
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait_for(lock,
+                  std::chrono::milliseconds(static_cast<long long>(
+                      options.health_interval_ms)),
+                  [&] { return stopping; });
+      if (stopping) {
+        return;
+      }
+    }
+  }
+
+  // ---- per-session upstream state -------------------------------------
+
+  struct Upstream {
+    int fd = -1;
+    std::thread reader;
+    /// Ids of requests sent and not yet answered; multiset because ids
+    /// may repeat (or be empty). Guarded by Session::mutex.
+    std::multiset<std::string> pending;
+    bool dead = false;  ///< reader saw EOF/error; guarded by Session::mutex
+  };
+
+  struct Session {
+    int client_fd = -1;
+    bool client_binary = false;
+    std::mutex mutex;  ///< guards client writes, pending sets, dead flags
+    std::vector<Upstream> upstreams;
+  };
+
+  /// Serializes one response to the client in its own protocol.
+  /// Returns false when the client is gone (callers just keep
+  /// draining; the session loop notices EOF itself).
+  bool send_to_client(Session& session, const std::string& json) {
+    std::string wire;
+    if (session.client_binary) {
+      try {
+        append_frame(wire, FrameType::kResponse, json);
+      } catch (const std::invalid_argument&) {
+        return false;
+      }
+    } else {
+      wire = json;
+      wire += '\n';
+    }
+    return send_all(session.client_fd, wire);
+  }
+
+  /// Forwards every kResponse/kError frame from worker `w` to the
+  /// client until the upstream dies; then answers whatever is still
+  /// pending with a typed transient error.
+  void upstream_reader(Session& session, std::size_t w) {
+    Upstream& up = session.upstreams[w];
+    std::string buf;
+    FrameType type = FrameType::kResponse;
+    std::string payload;
+    while (read_frame_blocking(up.fd, buf, &type, &payload)) {
+      if (type == FrameType::kPong) {
+        continue;
+      }
+      if (type != FrameType::kResponse && type != FrameType::kError) {
+        break;  // a worker never sends anything else; stream is corrupt
+      }
+      const std::lock_guard<std::mutex> lock(session.mutex);
+      const auto it = up.pending.find(extract_request_id(payload));
+      if (it != up.pending.end()) {
+        up.pending.erase(it);
+      }
+      send_to_client(session, payload);
+    }
+    // Upstream gone: every request still pending gets a typed answer.
+    const std::lock_guard<std::mutex> lock(session.mutex);
+    up.dead = true;
+    for (const std::string& id : up.pending) {
+      send_to_client(session, worker_lost_json(id, options.workers[w]));
+    }
+    up.pending.clear();
+  }
+
+  /// Connects (or reconnects) session's upstream to worker `w`, with
+  /// bounded transient retries and decorrelated-jitter backoff.
+  /// Returns false when every attempt failed.
+  bool ensure_upstream(Session& session, std::size_t w) {
+    Upstream& up = session.upstreams[w];
+    {
+      const std::lock_guard<std::mutex> lock(session.mutex);
+      if (up.fd >= 0 && !up.dead) {
+        return true;
+      }
+    }
+    // A dead previous connection: reap its reader before reconnecting.
+    if (up.reader.joinable()) {
+      up.reader.join();
+    }
+    if (up.fd >= 0) {
+      ::close(up.fd);
+      up.fd = -1;
+    }
+    Rng rng(options.jitter_seed ^ fmix64(w + 1));
+    double delay_ms = options.backoff_base_ms;
+    for (int attempt = 0; attempt < std::max(1, options.max_connect_attempts);
+         ++attempt) {
+      if (attempt > 0) {
+        delay_ms = decorrelated_jitter_ms(options.backoff_base_ms,
+                                          options.backoff_cap_ms, delay_ms,
+                                          rng);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+      const int fd = connect_unix(options.workers[w]);
+      if (fd >= 0) {
+        {
+          const std::lock_guard<std::mutex> lock(session.mutex);
+          up.fd = fd;
+          up.dead = false;
+        }
+        up.reader = std::thread([this, &session, w] {
+          upstream_reader(session, w);
+        });
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Routes one JSON request unit from the client.
+  void route_request(Session& session, const std::string& text) {
+    ScopedSpan span(options.tracer, "router.route");
+    const std::uint64_t key = request_route_key(text);
+    const int picked = ring.pick(key, health_snapshot());
+    span.attr("key", static_cast<long long>(key));
+    span.attr("worker", picked);
+    const std::string id = extract_request_id(text);
+    if (picked < 0) {
+      send_to_client_locked(session, worker_lost_json(id, "(none)"));
+      return;
+    }
+    const auto w = static_cast<std::size_t>(picked);
+    if (!ensure_upstream(session, w)) {
+      const std::lock_guard<std::mutex> lock(session.mutex);
+      send_to_client(session, worker_lost_json(id, options.workers[w]));
+      return;
+    }
+    Upstream& up = session.upstreams[w];
+    {
+      const std::lock_guard<std::mutex> lock(session.mutex);
+      up.pending.insert(id);
+    }
+    if (!send_all(up.fd, encode_frame(FrameType::kRequest, text))) {
+      const std::lock_guard<std::mutex> lock(session.mutex);
+      // The reader will answer pending ids when it notices the death;
+      // answer this one only if the reader has not already done so.
+      if (!up.dead) {
+        const auto it = up.pending.find(id);
+        if (it != up.pending.end()) {
+          up.pending.erase(it);
+          send_to_client(session, worker_lost_json(id, options.workers[w]));
+        }
+      }
+    }
+  }
+
+  void send_to_client_locked(Session& session, const std::string& json) {
+    const std::lock_guard<std::mutex> lock(session.mutex);
+    send_to_client(session, json);
+  }
+
+  /// Best-effort {"cmd":"shutdown"} to every worker (used when a
+  /// client asks the *fleet* to shut down through the router).
+  void broadcast_shutdown() {
+    for (const std::string& path : options.workers) {
+      const int fd = connect_unix(path);
+      if (fd < 0) {
+        continue;
+      }
+      send_all(fd, encode_frame(FrameType::kRequest, "{\"cmd\":\"shutdown\"}"));
+      ::close(fd);
+    }
+  }
+
+  /// Handles one request unit; returns false when the session must end
+  /// (quit / shutdown).
+  bool handle_unit(Session& session, const std::string& text) {
+    // Only quit/shutdown change the router's own behaviour; every
+    // other request (jobs, metrics, trace, snapshot) is routed.
+    try {
+      const JsonValue doc = JsonValue::parse(text);
+      if (doc.is_object()) {
+        if (const JsonValue* cmd = doc.find("cmd");
+            cmd != nullptr && cmd->kind() == JsonValue::Kind::kString) {
+          if (cmd->as_string() == "quit") {
+            return false;
+          }
+          if (cmd->as_string() == "shutdown") {
+            broadcast_shutdown();
+            JsonValue ok = JsonValue::object();
+            ok.set("status", "ok");
+            ok.set("cmd", "shutdown");
+            send_to_client_locked(session, ok.dump());
+            request_shutdown_impl();
+            return false;
+          }
+        }
+      }
+    } catch (const std::exception&) {
+      // Unparseable: still routed — the worker owns error reporting,
+      // so direct and routed clients get byte-identical diagnostics.
+    }
+    route_request(session, text);
+    return true;
+  }
+
+  void session_loop(int client_fd) {
+    Session session;
+    session.client_fd = client_fd;
+    session.upstreams = std::vector<Upstream>(options.workers.size());
+    ScopedSpan span(options.tracer, "router.session");
+
+    std::string buf;
+    bool sniffed = false;
+    bool running = true;
+    while (running) {
+      // Extract complete units from buf, then refill.
+      if (sniffed && session.client_binary) {
+        const DecodeResult decoded = decode_frame(buf);
+        if (decoded.status == DecodeStatus::kFrame) {
+          if (decoded.frame.type == FrameType::kPing) {
+            const std::lock_guard<std::mutex> lock(session.mutex);
+            send_all(client_fd,
+                     encode_frame(FrameType::kPong, decoded.frame.payload));
+          } else if (decoded.frame.type == FrameType::kRequest) {
+            running = handle_unit(session, std::string(decoded.frame.payload));
+          } else {
+            running = false;  // unexpected type: drop the session
+          }
+          buf.erase(0, decoded.consumed);
+          continue;
+        }
+        if (decoded.status != DecodeStatus::kNeedMore) {
+          const std::lock_guard<std::mutex> lock(session.mutex);
+          std::string err_frame;
+          append_frame(err_frame, FrameType::kError,
+                       invalid_request_json(
+                           decode_status_message(decoded.status))
+                           .dump());
+          send_all(client_fd, err_frame);
+          break;
+        }
+      } else if (sniffed) {
+        const std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+          const std::string line = buf.substr(0, nl);
+          buf.erase(0, nl + 1);
+          if (!trim(line).empty()) {
+            running = handle_unit(session, line);
+          }
+          continue;
+        }
+        if (buf.size() > options.max_request_bytes) {
+          send_to_client_locked(
+              session, invalid_request_json("request line exceeds " +
+                                            std::to_string(
+                                                options.max_request_bytes) +
+                                            " bytes")
+                           .dump());
+          break;
+        }
+      }
+      char chunk[kReadChunk];
+      const ssize_t n = ::read(client_fd, chunk, sizeof chunk);
+      if (n <= 0) {
+        // EOF: a final unterminated NDJSON line still counts.
+        if (sniffed && !session.client_binary && !trim(buf).empty()) {
+          handle_unit(session, buf);
+        }
+        break;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+      if (!sniffed && !buf.empty()) {
+        session.client_binary =
+            looks_binary(static_cast<unsigned char>(buf.front()));
+        sniffed = true;
+      }
+    }
+
+    // Drain: half-close every upstream so workers finish in-flight
+    // jobs and respond; readers forward those responses, then exit.
+    for (Upstream& up : session.upstreams) {
+      if (up.fd >= 0) {
+        ::shutdown(up.fd, SHUT_WR);
+      }
+    }
+    for (Upstream& up : session.upstreams) {
+      if (up.reader.joinable()) {
+        up.reader.join();
+      }
+      if (up.fd >= 0) {
+        ::close(up.fd);
+      }
+    }
+    ::close(client_fd);
+    const std::lock_guard<std::mutex> lock(mutex);
+    session_fds.erase(
+        std::remove(session_fds.begin(), session_fds.end(), client_fd),
+        session_fds.end());
+  }
+
+  // ---- lifecycle -------------------------------------------------------
+
+  void request_shutdown_impl() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (stopping) {
+      return;
+    }
+    stopping = true;
+    if (listener >= 0) {
+      ::shutdown(listener, SHUT_RDWR);
+    }
+    for (const int fd : session_fds) {
+      ::shutdown(fd, SHUT_RD);  // unblock session reads; writes drain
+    }
+    cv.notify_all();
+  }
+
+  int run(std::ostream& err) {
+    const auto fail = [&](const std::string& message) {
+      err << "cvrouter: " << message << '\n';
+      const std::lock_guard<std::mutex> lock(mutex);
+      run_done = true;
+      cv.notify_all();
+      return 2;
+    };
+    if (options.workers.empty()) {
+      return fail("at least one --worker is required");
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return fail("cannot create socket");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.listen_path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      return fail("socket path too long");
+    }
+    options.listen_path.copy(addr.sun_path, options.listen_path.size());
+    ::unlink(options.listen_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+            0 ||
+        ::listen(fd, 64) != 0) {
+      ::close(fd);
+      return fail("cannot bind/listen on '" + options.listen_path + "'");
+    }
+    bool already_stopping = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      listener = fd;
+      listening = true;
+      // Workers start presumed-healthy: until the first probe lands,
+      // routing must follow the pure hash verdict, or early requests
+      // skip not-yet-probed workers and break cache affinity.
+      health.assign(options.workers.size(), true);
+      already_stopping = stopping;
+    }
+    cv.notify_all();
+
+    health_thread = std::thread([this] { health_loop(); });
+
+    while (!already_stopping) {
+      const int client = ::accept(listener, nullptr, nullptr);
+      if (client < 0) {
+        break;  // listener shut down (or a fatal accept error)
+      }
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (stopping) {
+        ::close(client);
+        break;
+      }
+      session_fds.push_back(client);
+      sessions.emplace_back([this, client] { session_loop(client); });
+    }
+
+    request_shutdown_impl();
+    for (std::thread& t : sessions) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    if (health_thread.joinable()) {
+      health_thread.join();
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    if (listener >= 0) {
+      ::close(listener);
+      listener = -1;
+    }
+    ::unlink(options.listen_path.c_str());
+    listening = false;
+    run_done = true;
+    cv.notify_all();
+    return 0;
+  }
+};
+
+Router::Router(RouterOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Router::~Router() = default;
+
+int Router::run(std::ostream& err) { return impl_->run(err); }
+
+void Router::request_shutdown() { impl_->request_shutdown_impl(); }
+
+bool Router::wait_until_listening() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->cv.wait(lock, [&] { return impl_->listening || impl_->run_done; });
+  return impl_->listening;
+}
+
+#else  // !CVB_ROUTER_HAVE_SOCKETS
+
+struct Router::Impl {
+  RouterOptions options;
+};
+
+Router::Router(RouterOptions options)
+    : impl_(std::make_unique<Impl>(Impl{std::move(options)})) {}
+
+Router::~Router() = default;
+
+int Router::run(std::ostream& err) {
+  err << "cvrouter: Unix sockets are not supported on this platform\n";
+  return 1;
+}
+
+void Router::request_shutdown() {}
+
+bool Router::wait_until_listening() { return false; }
+
+#endif  // CVB_ROUTER_HAVE_SOCKETS
+
+}  // namespace cvb::net

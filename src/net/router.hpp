@@ -1,0 +1,130 @@
+// cvb::net::Router — a consistent-hash request router over a fleet of
+// `cvserve` workers (the `cvrouter` tool).
+//
+// Why routing by cache key: a worker's throughput is dominated by its
+// sharded schedule cache (bind/eval_engine.hpp), and cache hits only
+// happen when the *same* DFG+machine workload keeps landing on the
+// *same* worker. The router therefore hashes each job request by
+// exactly the inputs that determine cache reuse — kernel/dfg text and
+// machine/datapath/buses/move_latency, with the protocol's defaults
+// applied so {"kernel":"EWF"} and {"kernel":"EWF","buses":2} land
+// together — finalized with the murmur3 fmix64 mixer, and places it on
+// a virtual-node hash ring. Adding or removing a worker remaps only
+// ~1/N of the key space (the consistent-hashing property), so a fleet
+// resize keeps most workers' caches hot.
+//
+// Topology: one router Unix socket in front, N worker Unix sockets
+// behind. Clients speak either protocol (NDJSON or binary frames,
+// sniffed per connection exactly like the server); the router talks
+// binary frames upstream. Each client session gets its own lazy
+// upstream connection per worker, so responses on an upstream belong
+// to exactly one client and are forwarded verbatim — ids never need
+// rewriting, and the end-to-end bytes are identical to a direct
+// worker connection (the differential test pins this).
+//
+// Failure handling reuses the service's fault taxonomy:
+//  * a dead upstream is reconnected with bounded retries and
+//    decorrelated-jitter backoff (service/resilience.hpp) — connect
+//    failures are transient faults;
+//  * requests in flight on a connection that dies get a typed
+//    {"status":"internal_error","fault_class":"transient"} response,
+//    never silence — the client may resubmit;
+//  * a health-check thread kPings every worker on its own connection
+//    (answered on the worker's loop thread, so a busy queue does not
+//    fail the probe) and routing skips unhealthy workers;
+//  * fail-open: when *every* worker looks unhealthy the router routes
+//    by hash anyway — a wrong health verdict must degrade to "try it",
+//    not to a self-inflicted outage. With one worker this reduces to
+//    plain pass-through.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/trace.hpp"
+
+namespace cvb::net {
+
+/// Consistent-hash ring: `vnodes` points per worker, placed by hashing
+/// the worker's socket path with each virtual-node index (FNV-1a +
+/// fmix64). Immutable after construction.
+class HashRing {
+ public:
+  HashRing(const std::vector<std::string>& workers, int vnodes);
+
+  /// The worker owning `key`: the first ring point clockwise from the
+  /// key whose worker is healthy. `healthy` is indexed like the worker
+  /// list; when it is empty or all-false every worker is eligible
+  /// (fail-open). Returns -1 only for an empty ring.
+  [[nodiscard]] int pick(std::uint64_t key,
+                         const std::vector<bool>& healthy) const;
+
+  [[nodiscard]] std::size_t num_workers() const { return num_workers_; }
+
+ private:
+  std::vector<std::pair<std::uint64_t, int>> points_;  ///< sorted by hash
+  std::size_t num_workers_ = 0;
+};
+
+/// The routing key of one JSON request: a hash over the fields that
+/// determine schedule-cache reuse (kernel|dfg, machine|datapath, buses,
+/// move_latency) with the protocol's defaults applied. Control
+/// requests ({"cmd":...}) and unparseable lines return 0, which the
+/// router maps onto the ring like any other key — every cmd lands on
+/// one stable worker.
+[[nodiscard]] std::uint64_t request_route_key(const std::string& request_json);
+
+struct RouterOptions {
+  /// Unix socket the router listens on (required).
+  std::string listen_path;
+  /// Worker `cvserve --socket` paths (at least one required).
+  std::vector<std::string> workers;
+  /// Virtual nodes per worker on the ring.
+  int vnodes = 64;
+  /// Health-check probe period and per-probe reply timeout.
+  double health_interval_ms = 250.0;
+  double health_timeout_ms = 1000.0;
+  /// Upstream connect retries (transient faults) with decorrelated
+  /// jitter in [backoff_base_ms, backoff_cap_ms].
+  int max_connect_attempts = 3;
+  double backoff_base_ms = 1.0;
+  double backoff_cap_ms = 50.0;
+  std::uint64_t jitter_seed = 0x7e57ab1eULL;
+  /// Cap on one request unit from a client.
+  std::size_t max_request_bytes = std::size_t{1} << 20;
+  Tracer* tracer = nullptr;  ///< router.session / router.route spans
+};
+
+/// One router instance: construct, run() on the serving thread.
+/// request_shutdown() and wait_until_listening() are thread-safe.
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds and serves until {"cmd":"shutdown"} or request_shutdown().
+  /// Returns 0 after an orderly drain, 2 on bind failure (message on
+  /// `err`).
+  int run(std::ostream& err);
+
+  /// Thread-safe graceful stop: closes the listener, unblocks every
+  /// session, lets in-flight requests finish. Idempotent.
+  void request_shutdown();
+
+  /// Thread-safe: blocks until run() is accepting (true) or failed /
+  /// finished (false).
+  bool wait_until_listening();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cvb::net

@@ -1,0 +1,665 @@
+#include "net/server.hpp"
+
+#if defined(CVB_HAVE_EPOLL)
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "net/frame.hpp"
+#include "net/snapshot.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "support/strings.hpp"
+#include "support/trace.hpp"
+
+namespace cvb::net {
+
+namespace {
+
+/// Bytes read per EPOLLIN dispatch. Level-triggered epoll re-arms when
+/// more data is pending, so one bounded chunk per dispatch keeps every
+/// connection's share of the loop fair.
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+}  // namespace
+
+NetServer::NetServer(Service& service, NetServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.max_request_bytes > kMaxFramePayload) {
+    options_.max_request_bytes = kMaxFramePayload;
+  }
+}
+
+NetServer::~NetServer() = default;
+
+void NetServer::request_shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_requested_ = true;
+  }
+  loop_.wakeup();
+}
+
+bool NetServer::wait_until_listening() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return listening_ || run_done_; });
+  return listening_;
+}
+
+int NetServer::run(std::ostream& err) {
+  const auto fail = [&](const std::string& message) {
+    err << "cvserve: " << message << '\n';
+    const std::lock_guard<std::mutex> lock(mutex_);
+    run_done_ = true;
+    cv_.notify_all();
+    return 2;
+  };
+
+  listener_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listener_ < 0) {
+    return fail("cannot create socket");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof addr.sun_path) {
+    ::close(listener_);
+    return fail("socket path too long");
+  }
+  options_.socket_path.copy(addr.sun_path, options_.socket_path.size());
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listener_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener_, options_.listen_backlog) != 0) {
+    ::close(listener_);
+    return fail("cannot bind/listen on '" + options_.socket_path + "'");
+  }
+  listener_open_ = true;
+
+  loop_.set_wakeup_handler([this] { on_wakeup(); });
+  loop_.add(listener_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
+
+  bool start = true;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    listening_ = true;
+    if (shutdown_requested_) {
+      start = false;  // shut down before we ever served
+    }
+  }
+  cv_.notify_all();
+
+  int rc = 0;
+  if (start) {
+    try {
+      loop_.run();
+    } catch (const std::exception& e) {
+      err << "cvserve: event loop failed: " << e.what() << '\n';
+      rc = 2;
+    }
+  }
+
+  // Loop is done: tear down fds (normal exits already drained every
+  // connection; this only matters on the error path).
+  for (auto& [id, conn] : conns_) {
+    ::close(conn->fd);
+  }
+  conns_.clear();
+  if (listener_open_) {
+    ::close(listener_);
+    listener_open_ = false;
+  }
+  ::unlink(options_.socket_path.c_str());
+
+  // Wait for every outstanding job's completion callback to finish.
+  // The callbacks touch this object (queue, eventfd) and the predicate
+  // is checked under the same mutex they release last, so once this
+  // wait returns no callback can still reference the server.
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return inflight_jobs_ == 0; });
+  completions_.clear();
+  listening_ = false;
+  run_done_ = true;
+  cv_.notify_all();
+  return rc;
+}
+
+void NetServer::on_accept() {
+  while (listener_open_) {
+    const int fd =
+        ::accept4(listener_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      break;  // EAGAIN: burst drained (or a transient accept error)
+    }
+    if (shutting_down_) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->interest = EPOLLIN;
+    const std::uint64_t id = conn->id;
+    {
+      ScopedSpan span(options_.tracer, "net.accept");
+      span.attr("conn", id);
+    }
+    service_.metrics().counter("net_accepted").inc();
+    service_.metrics().gauge("net_open_connections").add(1);
+    loop_.add(fd, EPOLLIN,
+              [this, id](std::uint32_t events) { on_conn_event(id, events); });
+    conns_.emplace(id, std::move(conn));
+    if (options_.once) {
+      // --once: this is the one connection we serve. Closing the
+      // listener now preserves the PR 2 contract (exit after it
+      // drains) under epoll.
+      once_served_ = true;
+      loop_.remove(listener_);
+      ::close(listener_);
+      listener_open_ = false;
+      break;
+    }
+  }
+}
+
+void NetServer::on_conn_event(std::uint64_t id, std::uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  Connection& conn = *it->second;
+  if ((events & EPOLLERR) != 0) {
+    close_conn(id);
+    return;
+  }
+  if ((events & (EPOLLIN | EPOLLHUP)) != 0 && !conn.paused && !conn.closing) {
+    char chunk[kReadChunk];
+    const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+    if (n > 0) {
+      service_.metrics().counter("net_bytes_in").inc(n);
+      conn.read_buf.append(chunk, static_cast<std::size_t>(n));
+      consume_input(conn);
+      if (conns_.find(id) == conns_.end()) {
+        return;  // consume_input closed it (protocol error)
+      }
+    } else if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+      // EOF (or a dead peer): stop reading. An NDJSON stream's final
+      // unterminated line still counts as a request, matching the
+      // blocking transport's getline semantics.
+      conn.closing = true;
+      if (conn.proto == Proto::kNdjson && !conn.discarding &&
+          !trim(conn.read_buf).empty()) {
+        const std::string line = std::move(conn.read_buf);
+        conn.read_buf.clear();
+        if (line.size() > options_.max_request_bytes) {
+          send_text(conn, invalid_request_json(
+                              "request line exceeds " +
+                              std::to_string(options_.max_request_bytes) +
+                              " bytes")
+                              .dump());
+        } else {
+          handle_request_text(conn, line);
+        }
+      } else if (conn.proto == Proto::kBinary && !conn.read_buf.empty()) {
+        service_.metrics().counter("net_protocol_errors").inc();
+      }
+      if (conns_.find(id) == conns_.end()) {
+        return;
+      }
+      conn.read_buf.clear();
+      update_interest(conn);
+      maybe_close(conn);
+      return;
+    }
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flush_writes(conn);
+  }
+}
+
+void NetServer::consume_input(Connection& conn) {
+  if (conn.proto == Proto::kUnknown) {
+    if (conn.read_buf.empty()) {
+      return;
+    }
+    conn.proto =
+        looks_binary(static_cast<unsigned char>(conn.read_buf.front()))
+            ? Proto::kBinary
+            : Proto::kNdjson;
+    service_.metrics()
+        .counter(conn.proto == Proto::kBinary ? "net_conns_binary"
+                                              : "net_conns_ndjson")
+        .inc();
+  }
+  if (conn.proto == Proto::kBinary) {
+    consume_binary(conn);
+  } else {
+    consume_ndjson(conn);
+  }
+}
+
+void NetServer::consume_ndjson(Connection& conn) {
+  const std::uint64_t id = conn.id;
+  std::size_t start = 0;
+  while (start < conn.read_buf.size()) {
+    const std::size_t nl = conn.read_buf.find('\n', start);
+    if (nl == std::string::npos) {
+      break;
+    }
+    if (conn.discarding) {
+      conn.discarding = false;  // the overlong line finally ended
+      start = nl + 1;
+      continue;
+    }
+    const std::string line = conn.read_buf.substr(start, nl - start);
+    start = nl + 1;
+    if (trim(line).empty()) {
+      continue;
+    }
+    if (line.size() > options_.max_request_bytes) {
+      service_.metrics().counter("net_overlong_lines").inc();
+      send_text(conn, invalid_request_json(
+                          "request line exceeds " +
+                          std::to_string(options_.max_request_bytes) +
+                          " bytes")
+                          .dump());
+    } else {
+      service_.metrics().counter("net_lines_in").inc();
+      handle_request_text(conn, line);
+    }
+    if (conns_.find(id) == conns_.end()) {
+      return;  // request closed the connection (quit/shutdown drain)
+    }
+    if (conn.closing) {
+      break;  // quit: ignore anything pipelined after it
+    }
+  }
+  conn.read_buf.erase(0, start);
+  // A partial line beyond the cap: answer once, then drop bytes until
+  // its newline arrives (keeps the stream line-aligned, bounds memory).
+  if (!conn.discarding && !conn.closing &&
+      conn.read_buf.size() > options_.max_request_bytes) {
+    service_.metrics().counter("net_overlong_lines").inc();
+    conn.discarding = true;
+    conn.read_buf.clear();
+    send_text(conn, invalid_request_json(
+                        "request line exceeds " +
+                        std::to_string(options_.max_request_bytes) + " bytes")
+                        .dump());
+  } else if (conn.discarding) {
+    conn.read_buf.clear();
+  }
+}
+
+void NetServer::consume_binary(Connection& conn) {
+  const std::uint64_t id = conn.id;
+  std::size_t start = 0;
+  while (true) {
+    const DecodeResult decoded =
+        decode_frame(std::string_view(conn.read_buf).substr(start));
+    if (decoded.status == DecodeStatus::kNeedMore) {
+      break;
+    }
+    if (is_decode_error(decoded.status)) {
+      conn.read_buf.erase(0, start);
+      protocol_error(conn, decode_status_message(decoded.status));
+      return;
+    }
+    service_.metrics().counter("net_frames_in").inc();
+    switch (decoded.frame.type) {
+      case FrameType::kRequest:
+        if (decoded.frame.payload.size() > options_.max_request_bytes) {
+          conn.read_buf.erase(0, start);
+          protocol_error(conn, "frame payload exceeds request cap");
+          return;
+        }
+        handle_request_text(conn, std::string(decoded.frame.payload));
+        break;
+      case FrameType::kPing: {
+        // Health probe: answered on the loop thread, never queued
+        // behind jobs — a busy worker still reports alive.
+        service_.metrics().counter("net_pings").inc();
+        std::string pong;
+        append_frame(pong, FrameType::kPong, decoded.frame.payload);
+        conn.write_buf += pong;
+        break;
+      }
+      default:
+        conn.read_buf.erase(0, start);
+        protocol_error(conn, "unexpected frame type from client");
+        return;
+    }
+    if (conns_.find(id) == conns_.end()) {
+      return;
+    }
+    start += decoded.consumed;
+    if (conn.closing) {
+      break;
+    }
+  }
+  conn.read_buf.erase(0, start);
+  if (flush_writes(conn)) {
+    // Pongs bypass send_text, so a ping flood against a slow reader
+    // must hit the same budget check here.
+    apply_backpressure(conn);
+  }
+}
+
+void NetServer::handle_request_text(Connection& conn,
+                                    const std::string& text) {
+  ScopedSpan span(options_.tracer, "net.frame");
+  span.attr("conn", conn.id);
+  span.attr("proto", conn.proto == Proto::kBinary ? "binary" : "ndjson");
+  span.attr("bytes", text.size());
+
+  ServeRequest request;
+  try {
+    request = parse_serve_request(text);
+  } catch (const std::exception& e) {
+    send_text(conn, invalid_request_json(e.what(), extract_request_id(text))
+                        .dump());
+    return;
+  }
+  switch (request.kind) {
+    case ServeRequest::Kind::kQuit:
+      conn.closing = true;
+      update_interest(conn);
+      maybe_close(conn);
+      return;
+    case ServeRequest::Kind::kShutdown: {
+      JsonValue ok = JsonValue::object();
+      ok.set("status", "ok");
+      ok.set("cmd", "shutdown");
+      send_text(conn, ok.dump());
+      begin_shutdown();
+      return;
+    }
+    case ServeRequest::Kind::kMetrics:
+      send_text(conn, service_.metrics_snapshot().dump());
+      return;
+    case ServeRequest::Kind::kTrace:
+      if (options_.tracer == nullptr) {
+        send_text(conn,
+                  invalid_request_json(
+                      "tracing is not enabled; restart cvserve with --trace")
+                      .dump());
+      } else {
+        send_text(conn, chrome_trace_json(options_.tracer->drain(),
+                                          options_.tracer->dropped())
+                            .dump());
+      }
+      return;
+    case ServeRequest::Kind::kSnapshot:
+      // A snapshot is a barrier: it must reflect every job this
+      // connection already sent, so defer it until they all complete.
+      if (conn.inflight > 0) {
+        conn.pending_snapshots.push_back(request.path);
+      } else {
+        take_snapshot(conn, request.path);
+      }
+      return;
+    case ServeRequest::Kind::kJob:
+      break;
+  }
+
+  ++conn.inflight;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++inflight_jobs_;
+  }
+  service_.submit(
+      std::move(request.job), [this, id = conn.id](BindOutcome outcome) {
+        // Runs on a Service worker thread (or inline on the loop
+        // thread for shed jobs). Only this queue and the eventfd are
+        // touched; the loop thread does all per-connection work.
+        std::string json = outcome_to_json(outcome).dump();
+        const std::lock_guard<std::mutex> lock(mutex_);
+        completions_.emplace_back(id, std::move(json));
+        loop_.wakeup();
+        if (--inflight_jobs_ == 0) {
+          cv_.notify_all();
+        }
+      });
+}
+
+void NetServer::on_wakeup() {
+  std::vector<std::pair<std::uint64_t, std::string>> done;
+  bool want_shutdown = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    done.swap(completions_);
+    want_shutdown = shutdown_requested_;
+  }
+  for (auto& [id, json] : done) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      // The connection died while its job ran; the outcome has nowhere
+      // to go (the service already counted the job itself).
+      service_.metrics().counter("net_orphaned_responses").inc();
+      continue;
+    }
+    Connection& conn = *it->second;
+    --conn.inflight;
+    send_text(conn, json);
+    // send_text can close the connection (dead peer), so re-resolve it
+    // before draining any snapshot barrier that was waiting on this job.
+    while (true) {
+      const auto again = conns_.find(id);
+      if (again == conns_.end()) {
+        break;
+      }
+      Connection& drained = *again->second;
+      if (drained.inflight != 0 || drained.pending_snapshots.empty()) {
+        break;
+      }
+      const std::string path = drained.pending_snapshots.front();
+      drained.pending_snapshots.erase(drained.pending_snapshots.begin());
+      take_snapshot(drained, path);
+    }
+  }
+  if (want_shutdown) {
+    begin_shutdown();
+  }
+}
+
+void NetServer::take_snapshot(Connection& conn, const std::string& path) {
+  try {
+    const std::vector<CacheExportEntry> entries = service_.snapshot_cache();
+    save_cache_snapshot(path, entries);
+    JsonValue ok = JsonValue::object();
+    ok.set("status", "ok");
+    ok.set("cmd", "snapshot");
+    ok.set("path", path);
+    ok.set("entries", static_cast<long long>(entries.size()));
+    send_text(conn, ok.dump());
+  } catch (const std::exception& e) {
+    send_text(conn, invalid_request_json(e.what()).dump());
+  }
+}
+
+void NetServer::send_text(Connection& conn, const std::string& json_text) {
+  service_.metrics().counter("net_responses_out").inc();
+  if (conn.proto == Proto::kBinary) {
+    try {
+      append_frame(conn.write_buf, FrameType::kResponse, json_text);
+    } catch (const std::invalid_argument&) {
+      protocol_error(conn, "response exceeds frame payload cap");
+      return;
+    }
+  } else {
+    conn.write_buf += json_text;
+    conn.write_buf += '\n';
+  }
+  if (!flush_writes(conn)) {
+    return;
+  }
+  apply_backpressure(conn);
+}
+
+void NetServer::apply_backpressure(Connection& conn) {
+  if (!conn.paused && !conn.closing &&
+      write_backlog(conn) > options_.write_budget_bytes) {
+    // Slow reader: stop reading (and thus admitting) from this client
+    // until it drains below half the budget. Memory stays bounded;
+    // overload turns into typed shed responses upstream, not growth.
+    conn.paused = true;
+    service_.metrics().counter("net_backpressure_pauses").inc();
+    update_interest(conn);
+  }
+}
+
+void NetServer::protocol_error(Connection& conn, const std::string& message) {
+  service_.metrics().counter("net_protocol_errors").inc();
+  const std::string json =
+      invalid_request_json(message).dump();
+  if (conn.proto == Proto::kBinary) {
+    // A framing violation is unrecoverable (no resync point): send one
+    // typed error frame, then close once it flushes.
+    try {
+      append_frame(conn.write_buf, FrameType::kError, json);
+    } catch (const std::invalid_argument&) {
+    }
+  } else {
+    conn.write_buf += json;
+    conn.write_buf += '\n';
+  }
+  conn.closing = true;
+  if (!flush_writes(conn)) {
+    return;
+  }
+  update_interest(conn);
+  maybe_close(conn);
+}
+
+bool NetServer::flush_writes(Connection& conn) {
+  if (write_backlog(conn) == 0) {
+    maybe_close(conn);
+    return conns_.find(conn.id) != conns_.end();
+  }
+  ScopedSpan span(options_.tracer, "net.flush");
+  span.attr("conn", conn.id);
+  std::size_t written = 0;
+  while (conn.write_pos < conn.write_buf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.write_buf.data() + conn.write_pos,
+               conn.write_buf.size() - conn.write_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.write_pos += static_cast<std::size_t>(n);
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;  // kernel buffer full; EPOLLOUT will resume us
+    }
+    span.attr("bytes", written);
+    const std::uint64_t id = conn.id;
+    close_conn(id);  // peer is gone (EPIPE/ECONNRESET)
+    return false;
+  }
+  span.attr("bytes", written);
+  if (written > 0) {
+    service_.metrics().counter("net_bytes_out").inc(
+        static_cast<long long>(written));
+  }
+  if (conn.write_pos == conn.write_buf.size()) {
+    conn.write_buf.clear();
+    conn.write_pos = 0;
+  } else if (conn.write_pos > options_.write_budget_bytes) {
+    // Reclaim the sent prefix so a long-lived slow conn can't pin 2x
+    // the budget.
+    conn.write_buf.erase(0, conn.write_pos);
+    conn.write_pos = 0;
+  }
+  if (conn.paused && write_backlog(conn) <= options_.write_budget_bytes / 2) {
+    conn.paused = false;
+    service_.metrics().counter("net_backpressure_resumes").inc();
+  }
+  update_interest(conn);
+  // maybe_close can erase (and free) the connection — grab the id
+  // first; reading conn.id afterwards would be a use-after-free.
+  const std::uint64_t id = conn.id;
+  maybe_close(conn);
+  return conns_.find(id) != conns_.end();
+}
+
+void NetServer::update_interest(Connection& conn) {
+  std::uint32_t mask = 0;
+  if (!conn.paused && !conn.closing) {
+    mask |= EPOLLIN;
+  }
+  if (write_backlog(conn) > 0) {
+    mask |= EPOLLOUT;
+  }
+  if (mask != conn.interest) {
+    loop_.modify(conn.fd, mask);
+    conn.interest = mask;
+  }
+}
+
+void NetServer::maybe_close(Connection& conn) {
+  if (conn.closing && conn.inflight == 0 && write_backlog(conn) == 0) {
+    close_conn(conn.id);
+  }
+}
+
+void NetServer::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  loop_.remove(it->second->fd);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  service_.metrics().counter("net_closed").inc();
+  service_.metrics().gauge("net_open_connections").add(-1);
+  if (conns_.empty() && !listener_open_) {
+    // --once drained, or a graceful shutdown finished its last
+    // connection: the loop has nothing left to wait for.
+    loop_.stop();
+  }
+}
+
+void NetServer::begin_shutdown() {
+  if (shutting_down_) {
+    return;
+  }
+  shutting_down_ = true;
+  if (listener_open_) {
+    loop_.remove(listener_);
+    ::close(listener_);
+    listener_open_ = false;
+    ::unlink(options_.socket_path.c_str());
+  }
+  // Graceful drain: stop reading everywhere, let in-flight jobs finish
+  // and their responses flush, then close each connection.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) {
+    ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      continue;
+    }
+    Connection& conn = *it->second;
+    conn.closing = true;
+    update_interest(conn);
+    maybe_close(conn);
+  }
+  if (conns_.empty()) {
+    loop_.stop();
+  }
+}
+
+}  // namespace cvb::net
+
+#endif  // CVB_HAVE_EPOLL

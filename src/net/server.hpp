@@ -1,0 +1,174 @@
+// cvb::net::NetServer — the asynchronous socket front-end of the
+// binding service.
+//
+// PR 2's `--socket` transport accepted one connection at a time and
+// served it with blocking reads, so a fleet router could not fan
+// requests across workers. This server multiplexes any number of
+// Unix-domain connections onto one epoll loop (net/event_loop.hpp) and
+// one shared cvb::Service, speaking both wire protocols on the same
+// port:
+//
+//  * NDJSON (PR 2): one JSON request per line, one JSON response line
+//    per job, completion order.
+//  * Binary frames (net/frame.hpp): the same JSON payloads wrapped in
+//    length-prefixed frames — no line scanning, payloads may contain
+//    newlines, and kPing/kPong frames give routers a health probe that
+//    never touches the job queue.
+//
+// The protocol is sniffed per connection from its first byte (0xC5 is
+// never valid leading JSON), so old NDJSON clients keep working
+// unchanged next to binary ones.
+//
+// Concurrency model: every connection object is owned by the loop
+// thread alone. Service workers finish jobs on their own threads and
+// only append {connection, response-JSON} pairs to a mutex-guarded
+// completion queue, then wake the loop via eventfd; the loop thread
+// encodes the response in the connection's own protocol and writes it.
+// No connection state is ever touched off-loop, so none of it is
+// locked.
+//
+// Backpressure: each connection has a bounded write buffer
+// (`write_budget_bytes`). A slow reader whose buffer exceeds the
+// budget stops being *read* (its fd drops out of the EPOLLIN set)
+// until the buffer drains below half the budget — so a stalled client
+// holds at most budget + one read chunk of memory, and overload beyond
+// that surfaces as the service's own typed shed/reject responses,
+// never as unbounded buffering.
+#pragma once
+
+#include "net/event_loop.hpp"
+
+#if defined(CVB_HAVE_EPOLL)
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cvb {
+class Service;
+class Tracer;
+}  // namespace cvb
+
+namespace cvb::net {
+
+struct NetServerOptions {
+  /// Unix-domain socket path to bind (required). An existing file at
+  /// the path is unlinked first, like the PR 2 transport.
+  std::string socket_path;
+  /// Exit after the first accepted connection fully drains (the
+  /// original --once contract; later connects are refused because the
+  /// listener closes as soon as the first connection arrives).
+  bool once = false;
+  /// Per-connection write-buffer budget before the reader is paused.
+  std::size_t write_budget_bytes = std::size_t{1} << 20;
+  /// Cap on one request unit (NDJSON line or binary frame payload).
+  /// Must not exceed kMaxFramePayload.
+  std::size_t max_request_bytes = std::size_t{1} << 20;
+  int listen_backlog = 64;
+  /// Span recorder for net.accept / net.frame / net.flush (null = off).
+  Tracer* tracer = nullptr;
+};
+
+/// One server instance: construct, then run() on the serving thread.
+/// request_shutdown() and wait_until_listening() are thread-safe;
+/// everything else belongs to the run() thread.
+class NetServer {
+ public:
+  NetServer(Service& service, NetServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and serves until --once completion, a
+  /// {"cmd":"shutdown"} request, or request_shutdown(). Returns the
+  /// process exit code (0 = served and drained; 2 = could not bind,
+  /// message on `err`). Does not return until every submitted job's
+  /// completion callback has finished, so the server may be destroyed
+  /// immediately afterwards.
+  int run(std::ostream& err);
+
+  /// Thread-safe: begins a graceful drain (stop accepting, finish
+  /// in-flight jobs, flush, close). Idempotent; safe before run().
+  void request_shutdown();
+
+  /// Thread-safe: blocks until run() is listening (true) or failed to
+  /// bind / already returned (false). Lets tests start client threads
+  /// without racing the bind.
+  bool wait_until_listening();
+
+ private:
+  enum class Proto { kUnknown, kNdjson, kBinary };
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    Proto proto = Proto::kUnknown;
+    std::string read_buf;
+    std::string write_buf;   ///< unsent bytes (front = next to send)
+    std::size_t write_pos = 0;  ///< sent prefix of write_buf
+    long long inflight = 0;  ///< jobs submitted, not yet responded
+    bool paused = false;     ///< EPOLLIN off: write budget exceeded
+    bool closing = false;    ///< no more reads; close once drained
+    bool discarding = false;  ///< NDJSON overlong line: drop to newline
+    std::uint32_t interest = 0;  ///< current epoll mask
+    /// Snapshot requests deferred until inflight drains (snapshot is a
+    /// barrier over the jobs this connection already sent).
+    std::vector<std::string> pending_snapshots;
+  };
+
+  void on_accept();
+  void on_conn_event(std::uint64_t id, std::uint32_t events);
+  void on_wakeup();
+  void consume_input(Connection& conn);
+  void consume_ndjson(Connection& conn);
+  void consume_binary(Connection& conn);
+  void handle_request_text(Connection& conn, const std::string& text);
+  void take_snapshot(Connection& conn, const std::string& path);
+  void send_text(Connection& conn, const std::string& json_text);
+  void protocol_error(Connection& conn, const std::string& message);
+  /// Returns false when the flush closed the connection (dead peer).
+  bool flush_writes(Connection& conn);
+  void apply_backpressure(Connection& conn);
+  void update_interest(Connection& conn);
+  void maybe_close(Connection& conn);
+  void close_conn(std::uint64_t id);
+  void begin_shutdown();
+
+  [[nodiscard]] std::size_t write_backlog(const Connection& conn) const {
+    return conn.write_buf.size() - conn.write_pos;
+  }
+
+  Service& service_;
+  NetServerOptions options_;
+  EventLoop loop_;
+  int listener_ = -1;
+  bool listener_open_ = false;
+  bool shutting_down_ = false;
+  bool once_served_ = false;  ///< --once: the one connection arrived
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+
+  // Cross-thread state: completion queue + lifecycle flags. Everything
+  // a Service worker callback touches is guarded by mutex_; the final
+  // wait in run() acquires it too, which proves no callback still
+  // holds a reference to this server once run() returns.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::pair<std::uint64_t, std::string>> completions_;
+  long long inflight_jobs_ = 0;
+  bool shutdown_requested_ = false;
+  bool listening_ = false;
+  bool run_done_ = false;
+};
+
+}  // namespace cvb::net
+
+#endif  // CVB_HAVE_EPOLL

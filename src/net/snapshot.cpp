@@ -1,0 +1,206 @@
+#include "net/snapshot.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/frame.hpp"
+
+namespace cvb::net {
+
+namespace {
+
+// ---- Little-endian scalar encoding --------------------------------------
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int byte = 0; byte < 4; ++byte) {
+    out.push_back(static_cast<char>((value >> (8 * byte)) & 0xffU));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    out.push_back(static_cast<char>((value >> (8 * byte)) & 0xffU));
+  }
+}
+
+void put_i32(std::string& out, std::int32_t value) {
+  put_u32(out, static_cast<std::uint32_t>(value));
+}
+
+/// Bounds-checked read cursor over one frame payload. Every getter
+/// throws rather than read past the payload, so a truncated or
+/// corrupted entry can never cause an out-of-bounds read.
+struct Cursor {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  void need(std::size_t bytes) const {
+    if (data.size() - pos < bytes) {
+      throw std::invalid_argument("snapshot: truncated record");
+    }
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int byte = 0; byte < 4; ++byte) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(data[pos + byte]))
+               << (8 * byte);
+    }
+    pos += 4;
+    return value;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(data[pos + byte]))
+               << (8 * byte);
+    }
+    pos += 8;
+    return value;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  [[nodiscard]] bool done() const { return pos == data.size(); }
+};
+
+std::string encode_entry(const CacheExportEntry& entry) {
+  std::string payload;
+  put_u64(payload, entry.key);
+  put_u64(payload, entry.signature);
+  put_i32(payload, entry.result.latency);
+  put_i32(payload, entry.result.num_moves);
+  put_u32(payload, static_cast<std::uint32_t>(entry.result.tail_counts.size()));
+  for (const int count : entry.result.tail_counts) {
+    put_i32(payload, count);
+  }
+  put_u32(payload, static_cast<std::uint32_t>(entry.binding.size()));
+  for (const ClusterId cluster : entry.binding) {
+    put_i32(payload, cluster);
+  }
+  return payload;
+}
+
+CacheExportEntry decode_entry(std::string_view payload) {
+  Cursor cursor{payload};
+  CacheExportEntry entry;
+  entry.key = cursor.u64();
+  entry.signature = cursor.u64();
+  entry.result.latency = cursor.i32();
+  entry.result.num_moves = cursor.i32();
+  const std::uint32_t tail_len = cursor.u32();
+  cursor.need(std::size_t{tail_len} * 4);  // reject bogus lengths up front
+  entry.result.tail_counts.reserve(tail_len);
+  for (std::uint32_t i = 0; i < tail_len; ++i) {
+    entry.result.tail_counts.push_back(cursor.i32());
+  }
+  const std::uint32_t binding_len = cursor.u32();
+  cursor.need(std::size_t{binding_len} * 4);
+  entry.binding.reserve(binding_len);
+  for (std::uint32_t i = 0; i < binding_len; ++i) {
+    entry.binding.push_back(cursor.i32());
+  }
+  if (!cursor.done()) {
+    throw std::invalid_argument("snapshot: trailing bytes in entry record");
+  }
+  return entry;
+}
+
+}  // namespace
+
+void write_cache_snapshot(std::ostream& out,
+                          const std::vector<CacheExportEntry>& entries) {
+  std::string header;
+  put_u32(header, kSnapshotVersion);
+  put_u64(header, static_cast<std::uint64_t>(entries.size()));
+  std::string frame;
+  append_frame(frame, FrameType::kSnapshotHeader, header);
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  for (const CacheExportEntry& entry : entries) {
+    frame.clear();
+    append_frame(frame, FrameType::kSnapshotEntry, encode_entry(entry));
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  }
+}
+
+std::vector<CacheExportEntry> read_cache_snapshot(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  std::string_view rest = bytes;
+
+  const auto next_frame = [&rest](FrameType expected) -> std::string_view {
+    const DecodeResult decoded = decode_frame(rest);
+    if (decoded.status == DecodeStatus::kNeedMore) {
+      throw std::invalid_argument("snapshot: truncated file");
+    }
+    if (is_decode_error(decoded.status)) {
+      throw std::invalid_argument(std::string("snapshot: ") +
+                                  decode_status_message(decoded.status));
+    }
+    if (decoded.frame.type != expected) {
+      throw std::invalid_argument("snapshot: unexpected frame type");
+    }
+    rest = rest.substr(decoded.consumed);
+    return decoded.frame.payload;
+  };
+
+  Cursor header{next_frame(FrameType::kSnapshotHeader)};
+  const std::uint32_t version = header.u32();
+  if (version != kSnapshotVersion) {
+    throw std::invalid_argument(
+        "snapshot: unsupported version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  const std::uint64_t count = header.u64();
+  if (!header.done()) {
+    throw std::invalid_argument("snapshot: trailing bytes in header record");
+  }
+
+  // Each entry occupies at least one frame header, so a count beyond
+  // rest.size() / kFrameHeaderSize cannot be honest — reject before
+  // reserving anything (a hostile header must not size an allocation).
+  if (count > rest.size() / kFrameHeaderSize) {
+    throw std::invalid_argument("snapshot: truncated file");
+  }
+  std::vector<CacheExportEntry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    entries.push_back(decode_entry(next_frame(FrameType::kSnapshotEntry)));
+  }
+  if (!rest.empty()) {
+    throw std::invalid_argument("snapshot: trailing bytes after last entry");
+  }
+  return entries;
+}
+
+void save_cache_snapshot(const std::string& path,
+                         const std::vector<CacheExportEntry>& entries) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::invalid_argument("cannot write '" + path + "'");
+  }
+  write_cache_snapshot(out, entries);
+  out.flush();
+  if (!out) {
+    throw std::invalid_argument("write to '" + path + "' failed");
+  }
+}
+
+std::vector<CacheExportEntry> load_cache_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("cannot open '" + path + "'");
+  }
+  return read_cache_snapshot(in);
+}
+
+}  // namespace cvb::net

@@ -1,0 +1,54 @@
+// Eval-cache snapshot files: warm-starting a restarted worker.
+//
+// A `cvserve` worker's value to the fleet is its hot sharded schedule
+// cache for its key range (the router sends it the same DFG+machine
+// keys every time). A restart used to throw that away; this format
+// lets `{"cmd":"snapshot","path":...}` persist the L2 entries and
+// `--warm-start PATH` reload them before serving.
+//
+// The file is a sequence of binary frames in the PR 7 wire codec
+// (net/frame.hpp) — one kSnapshotHeader frame followed by exactly the
+// declared number of kSnapshotEntry frames. All integers are
+// little-endian fixed width. See FORMATS.md "Eval-cache snapshot
+// file" for the byte-level layout.
+//
+// Reading is strict: a wrong snapshot version, a truncated file, an
+// entry-count mismatch, trailing bytes, or a malformed entry all throw
+// std::invalid_argument — a restarted worker must refuse a snapshot it
+// cannot fully trust (entries additionally re-verify against the
+// engine's own key scheme on import, see EvalEngine::import_cache).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bind/eval_engine.hpp"
+
+namespace cvb::net {
+
+/// Schema version of the snapshot *payloads* (the frame codec has its
+/// own wire version byte). Bump when the entry layout changes.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Writes header + entries to `out`. Throws std::invalid_argument when
+/// an entry is too large for one frame (1 MiB payload cap — a binding
+/// would need >100k operations to hit it).
+void write_cache_snapshot(std::ostream& out,
+                          const std::vector<CacheExportEntry>& entries);
+
+/// Parses a complete snapshot stream; throws std::invalid_argument on
+/// any structural problem (version mismatch, truncation, count
+/// mismatch, trailing bytes).
+[[nodiscard]] std::vector<CacheExportEntry> read_cache_snapshot(
+    std::istream& in);
+
+/// File convenience wrappers; throw std::invalid_argument on I/O
+/// failure too ("cannot open ...").
+void save_cache_snapshot(const std::string& path,
+                         const std::vector<CacheExportEntry>& entries);
+[[nodiscard]] std::vector<CacheExportEntry> load_cache_snapshot(
+    const std::string& path);
+
+}  // namespace cvb::net

@@ -56,6 +56,20 @@ ServeRequest parse_serve_request(const std::string& line) {
       request.kind = ServeRequest::Kind::kQuit;
       return request;
     }
+    if (cmd->as_string() == "shutdown") {
+      request.kind = ServeRequest::Kind::kShutdown;
+      return request;
+    }
+    if (cmd->as_string() == "snapshot") {
+      request.kind = ServeRequest::Kind::kSnapshot;
+      const JsonValue* path = opt_string(doc, "path");
+      if (path == nullptr || path->as_string().empty()) {
+        throw std::invalid_argument(
+            "cmd 'snapshot' requires a non-empty 'path' string field");
+      }
+      request.path = path->as_string();
+      return request;
+    }
     throw std::invalid_argument("unknown cmd '" + cmd->as_string() + "'");
   }
 

@@ -14,6 +14,13 @@
 //   {"cmd":"trace"}     -> one Chrome trace_event JSON line (drains the
 //                          tracer; invalid_request when tracing is off)
 //   {"cmd":"quit"}      -> drain and close the stream
+//   {"cmd":"snapshot","path":"..."} -> persist the eval cache to a
+//                          versioned snapshot file (FORMATS.md
+//                          "Eval-cache snapshot file"); responds
+//                          {"status":"ok","cmd":"snapshot","entries":N}
+//   {"cmd":"shutdown"}  -> drain the whole server (every connection in
+//                          socket mode), then exit; same as quit on a
+//                          plain stdio stream
 //
 // Job response:
 //   {"id":"j1","status":"ok","latency":18,"moves":4,
@@ -34,9 +41,10 @@ namespace cvb {
 
 /// One parsed request line.
 struct ServeRequest {
-  enum class Kind { kJob, kMetrics, kTrace, kQuit };
+  enum class Kind { kJob, kMetrics, kTrace, kQuit, kSnapshot, kShutdown };
   Kind kind = Kind::kJob;
-  BindJob job;  // meaningful when kind == kJob
+  BindJob job;       // meaningful when kind == kJob
+  std::string path;  // meaningful when kind == kSnapshot
 };
 
 /// Parses one request line. Throws std::invalid_argument (with a

@@ -127,6 +127,19 @@ class Service {
   /// The shared evaluation engine (for stats inspection).
   [[nodiscard]] const EvalEngine& engine() const { return *engine_; }
 
+  /// Exports the engine's L2 schedule-cache entries for persistence
+  /// ({"cmd":"snapshot"} / net::save_cache_snapshot).
+  [[nodiscard]] std::vector<CacheExportEntry> snapshot_cache() const {
+    return engine_->export_cache();
+  }
+
+  /// Seeds the engine's schedule cache from previously exported
+  /// entries (--warm-start). Returns how many entries were accepted
+  /// (entries failing the engine's key re-verification are skipped).
+  std::size_t warm_start(const std::vector<CacheExportEntry>& entries) {
+    return engine_->import_cache(entries);
+  }
+
   /// Live metrics registry (counters/gauges/histograms).
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
 

@@ -1,0 +1,59 @@
+// Shared non-cryptographic hash primitives.
+//
+// Exactly two hash functions exist in this codebase, both here so every
+// subsystem agrees on them:
+//
+//  * fnv1a(): 64-bit FNV-1a, folded one byte at a time. The evaluation
+//    engine keys its schedule cache with it (bind/eval_engine.cpp) and
+//    the consistent-hash router keys requests with it (net/router.cpp),
+//    which is what keeps a worker's sharded cache hot for its key
+//    range: both sides hash the same request fields the same way.
+//  * fmix64(): the murmur3 64-bit finalizer. FNV-1a's low bits disperse
+//    poorly (the trailing multiply leaves neighbouring keys in a
+//    handful of low-bit classes — PR 6 observed a direct-mapped cache
+//    collapsing onto two slots because of it), so every place that
+//    *indexes* with an FNV key (L1 slot tables, the router's hash
+//    ring) runs it through this finalizer first.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cvb {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Folds all 8 bytes of `value` into `hash` (FNV-1a), so nearby
+/// integers diverge.
+[[nodiscard]] inline std::uint64_t fnv1a(std::uint64_t hash,
+                                         std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffU;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Folds a byte string into `hash` (FNV-1a).
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(std::uint64_t hash,
+                                               std::string_view bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// murmur3's 64-bit finalizer: a bijective avalanche, so the result's
+/// low bits depend on every input bit. Use before masking/modulo.
+[[nodiscard]] inline std::uint64_t fmix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace cvb

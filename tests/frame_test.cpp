@@ -1,0 +1,223 @@
+// Unit + property tests for the binary frame codec (net/frame.hpp).
+// The decoder fronts an untrusted byte stream, so the suite leans on
+// adversarial inputs: truncation at every byte boundary, oversized
+// declared lengths, garbage headers, and the NDJSON/binary
+// auto-detection boundary. The chunked-feeding property pins the
+// incremental-decode contract the server relies on: feeding a stream
+// byte-by-byte must yield exactly the same frames as feeding it whole.
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cvb::net {
+namespace {
+
+TEST(Frame, RoundTripAllTypes) {
+  const FrameType types[] = {
+      FrameType::kRequest,        FrameType::kResponse, FrameType::kError,
+      FrameType::kPing,           FrameType::kPong,     FrameType::kSnapshotHeader,
+      FrameType::kSnapshotEntry,
+  };
+  for (const FrameType type : types) {
+    const std::string payload = "hello\nworld\x00 with\nnewlines";
+    const std::string wire = encode_frame(type, payload);
+    ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+    const DecodeResult decoded = decode_frame(wire);
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.type, type);
+    EXPECT_EQ(decoded.frame.payload, payload);
+    EXPECT_EQ(decoded.consumed, wire.size());
+  }
+}
+
+TEST(Frame, EmptyPayload) {
+  const std::string wire = encode_frame(FrameType::kPing, "");
+  ASSERT_EQ(wire.size(), kFrameHeaderSize);
+  const DecodeResult decoded = decode_frame(wire);
+  ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+  EXPECT_TRUE(decoded.frame.payload.empty());
+}
+
+TEST(Frame, TruncatedAtEveryBoundary) {
+  const std::string wire = encode_frame(FrameType::kRequest, "{\"id\":\"x\"}");
+  // Every proper prefix must be kNeedMore — never a frame, never an
+  // error, never a read past the buffer.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const DecodeResult decoded = decode_frame(std::string_view(wire).substr(0, len));
+    EXPECT_EQ(decoded.status, DecodeStatus::kNeedMore) << "prefix " << len;
+    EXPECT_EQ(decoded.consumed, 0u);
+  }
+}
+
+TEST(Frame, BadMagicRejectedImmediately) {
+  // Auto-detection depends on a wrong *first* byte failing without
+  // waiting for a full header: one byte of '{' must already be
+  // kBadMagic, not kNeedMore.
+  EXPECT_EQ(decode_frame("{").status, DecodeStatus::kBadMagic);
+  EXPECT_EQ(decode_frame(" ").status, DecodeStatus::kBadMagic);
+  // Right magic0, wrong magic1: rejected as soon as byte 2 arrives.
+  std::string wire = encode_frame(FrameType::kRequest, "x");
+  wire[1] = 'X';
+  EXPECT_EQ(decode_frame(wire).status, DecodeStatus::kBadMagic);
+  EXPECT_EQ(decode_frame(wire.substr(0, 2)).status, DecodeStatus::kBadMagic);
+}
+
+TEST(Frame, BadVersionAndTypeRejected) {
+  std::string wire = encode_frame(FrameType::kRequest, "x");
+  std::string bad_version = wire;
+  bad_version[2] = 0x7F;
+  EXPECT_EQ(decode_frame(bad_version).status, DecodeStatus::kBadVersion);
+  // Progressive: version is validated before the rest of the header
+  // arrives.
+  EXPECT_EQ(decode_frame(bad_version.substr(0, 3)).status,
+            DecodeStatus::kBadVersion);
+  std::string bad_type = wire;
+  bad_type[3] = 0x7E;
+  EXPECT_EQ(decode_frame(bad_type).status, DecodeStatus::kBadType);
+}
+
+TEST(Frame, OversizedLengthRejectedWithoutAllocating) {
+  // Header declaring a payload beyond the cap: rejected from the
+  // header alone; the decoder must not wait for (or try to buffer)
+  // the declared bytes.
+  std::string header;
+  header.push_back(static_cast<char>(kFrameMagic0));
+  header.push_back(static_cast<char>(kFrameMagic1));
+  header.push_back(static_cast<char>(kFrameVersion));
+  header.push_back(0x01);
+  const std::uint32_t huge = (1u << 20) + 1;
+  for (int byte = 0; byte < 4; ++byte) {
+    header.push_back(static_cast<char>((huge >> (8 * byte)) & 0xffU));
+  }
+  EXPECT_EQ(decode_frame(header).status, DecodeStatus::kOversized);
+  // 0xFFFFFFFF too.
+  for (int byte = 0; byte < 4; ++byte) {
+    header[4 + byte] = static_cast<char>(0xff);
+  }
+  EXPECT_EQ(decode_frame(header).status, DecodeStatus::kOversized);
+}
+
+TEST(Frame, EncodeRejectsOversizedPayload) {
+  const std::string big(kMaxFramePayload + 1, 'x');
+  std::string out;
+  EXPECT_THROW(append_frame(out, FrameType::kRequest, big),
+               std::invalid_argument);
+  // Exactly at the cap is legal.
+  const std::string max(kMaxFramePayload, 'x');
+  append_frame(out, FrameType::kRequest, max);
+  EXPECT_EQ(decode_frame(out).status, DecodeStatus::kFrame);
+}
+
+TEST(Frame, AutoDetectionBoundary) {
+  // 0xC5 and only 0xC5 selects the binary transport. Every byte a
+  // legal NDJSON line can start with (whitespace, '{', digits, ASCII)
+  // must sniff as NDJSON.
+  EXPECT_TRUE(looks_binary(kFrameMagic0));
+  for (int byte = 0; byte < 256; ++byte) {
+    if (byte == kFrameMagic0) {
+      continue;
+    }
+    EXPECT_FALSE(looks_binary(static_cast<unsigned char>(byte))) << byte;
+  }
+}
+
+TEST(Frame, ErrorStatusClassification) {
+  EXPECT_FALSE(is_decode_error(DecodeStatus::kFrame));
+  EXPECT_FALSE(is_decode_error(DecodeStatus::kNeedMore));
+  EXPECT_TRUE(is_decode_error(DecodeStatus::kBadMagic));
+  EXPECT_TRUE(is_decode_error(DecodeStatus::kBadVersion));
+  EXPECT_TRUE(is_decode_error(DecodeStatus::kBadType));
+  EXPECT_TRUE(is_decode_error(DecodeStatus::kOversized));
+  EXPECT_STREQ(decode_status_message(DecodeStatus::kFrame), "");
+  EXPECT_NE(std::string(decode_status_message(DecodeStatus::kBadMagic)), "");
+}
+
+/// Decodes a whole buffer into (type, payload) pairs in one pass.
+std::vector<std::pair<FrameType, std::string>> decode_all(
+    const std::string& bytes) {
+  std::vector<std::pair<FrameType, std::string>> frames;
+  std::string_view rest = bytes;
+  while (true) {
+    const DecodeResult decoded = decode_frame(rest);
+    if (decoded.status != DecodeStatus::kFrame) {
+      EXPECT_EQ(decoded.status, DecodeStatus::kNeedMore);
+      EXPECT_TRUE(rest.empty());
+      break;
+    }
+    frames.emplace_back(decoded.frame.type, std::string(decoded.frame.payload));
+    rest = rest.substr(decoded.consumed);
+  }
+  return frames;
+}
+
+TEST(Frame, ChunkedFeedingEqualsWholeBuffer) {
+  // Property: however a frame stream is fragmented (mid-header,
+  // mid-payload, several frames per chunk), incremental decoding
+  // yields exactly the frames of a one-shot decode. This is the
+  // mid-frame-disconnect / short-read contract the epoll server uses.
+  Rng rng(0xF4A3E5ULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string stream;
+    std::vector<std::pair<FrameType, std::string>> expected;
+    const int num_frames = 1 + static_cast<int>(rng.next_u64() % 8);
+    for (int i = 0; i < num_frames; ++i) {
+      const FrameType type =
+          (rng.next_u64() % 2 == 0) ? FrameType::kRequest : FrameType::kPing;
+      std::string payload(rng.next_u64() % 300, '\0');
+      for (char& c : payload) {
+        c = static_cast<char>(rng.next_u64() & 0xff);  // any byte, incl. 0xC5
+      }
+      append_frame(stream, type, payload);
+      expected.emplace_back(type, payload);
+    }
+    // Feed in random chunks, buffering like a socket reader.
+    std::string buf;
+    std::vector<std::pair<FrameType, std::string>> got;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t chunk =
+          1 + static_cast<std::size_t>(rng.next_u64() % 17);
+      const std::size_t take = std::min(chunk, stream.size() - pos);
+      buf.append(stream, pos, take);
+      pos += take;
+      while (true) {
+        const DecodeResult decoded = decode_frame(buf);
+        if (decoded.status != DecodeStatus::kFrame) {
+          ASSERT_EQ(decoded.status, DecodeStatus::kNeedMore);
+          break;
+        }
+        got.emplace_back(decoded.frame.type,
+                         std::string(decoded.frame.payload));
+        buf.erase(0, decoded.consumed);
+      }
+    }
+    EXPECT_TRUE(buf.empty()) << "trial " << trial;
+    EXPECT_EQ(got, expected) << "trial " << trial;
+    EXPECT_EQ(decode_all(stream), expected) << "trial " << trial;
+  }
+}
+
+TEST(Frame, GarbageNeverDecodesAndNeverOverreads) {
+  // Random byte salad: the decoder must return *something* sane for
+  // every prefix and never claim to consume more than it was given.
+  Rng rng(0xBADF00DULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string junk(rng.next_u64() % 64, '\0');
+    for (char& c : junk) {
+      c = static_cast<char>(rng.next_u64() & 0xff);
+    }
+    const DecodeResult decoded = decode_frame(junk);
+    EXPECT_LE(decoded.consumed, junk.size());
+    if (decoded.status == DecodeStatus::kFrame) {
+      EXPECT_LE(kFrameHeaderSize + decoded.frame.payload.size(), junk.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvb::net

@@ -1,0 +1,286 @@
+// The PR acceptance differential: every bundled benchmark DFG ×
+// machine shape, submitted through
+//   (1) the in-process NDJSON stream loop   (ground truth),
+//   (2) the epoll socket server, NDJSON     protocol,
+//   (3) the epoll socket server, binary     frames,
+//   (4) cvrouter fronting two workers,      NDJSON,
+// must produce byte-identical response JSON per request id once the
+// wall-clock timing fields (queue_ms / run_ms / timings) are stripped.
+// Anything else — float formatting, field order, binding contents,
+// status strings — differing between transports is a wire-protocol bug.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "kernels/kernels.hpp"
+#include "support/json.hpp"
+
+#if defined(__linux__)
+#define CVB_TEST_NET_DIFFERENTIAL 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "net/frame.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+#endif
+
+#if defined(CVB_TEST_NET_DIFFERENTIAL)
+
+namespace cvb::net {
+namespace {
+
+/// Re-dumps a response line with the nondeterministic timing fields
+/// removed, preserving every other field and their order.
+std::string canonicalize(const std::string& line) {
+  const JsonValue parsed = JsonValue::parse(line);
+  JsonValue out = JsonValue::object();
+  for (const auto& [key, value] : parsed.as_object()) {
+    if (key == "queue_ms" || key == "run_ms" || key == "timings") {
+      continue;
+    }
+    out.set(key, value);
+  }
+  return out.dump();
+}
+
+/// id -> canonical response text, from a blob of NDJSON lines.
+std::map<std::string, std::string> canonical_by_id(const std::string& text) {
+  std::map<std::string, std::string> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const JsonValue parsed = JsonValue::parse(line);
+    const JsonValue* id = parsed.find("id");
+    if (id == nullptr) {
+      continue;  // shutdown/snapshot acks
+    }
+    out[id->as_string()] = canonicalize(line);
+  }
+  return out;
+}
+
+int connect_unix_retry(const std::string& path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      return -1;
+    }
+    path.copy(addr.sun_path, path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[8192];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// Every benchmark kernel × machine shape as NDJSON request lines.
+std::vector<std::string> request_lines() {
+  const char* machines[] = {"[1,1|1,1]", "[2,2|2,1]"};
+  std::vector<std::string> lines;
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    for (int m = 0; m < 2; ++m) {
+      lines.push_back(R"({"id":")" + kernel.name + "@" + std::to_string(m) +
+                      R"(","kernel":")" + kernel.name +
+                      R"(","datapath":")" + machines[m] +
+                      R"(","effort":"fast"})");
+    }
+  }
+  return lines;
+}
+
+std::map<std::string, std::string> ground_truth(
+    const std::vector<std::string>& lines) {
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line + "\n";
+  }
+  text += "{\"cmd\":\"quit\"}\n";
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_serve_cli({"--workers", "1"}, in, out, err), 0) << err.str();
+  return canonical_by_id(out.str());
+}
+
+void expect_same_responses(const std::map<std::string, std::string>& truth,
+                           const std::map<std::string, std::string>& got,
+                           const char* transport) {
+  EXPECT_EQ(got.size(), truth.size()) << transport;
+  for (const auto& [id, expected] : truth) {
+    const auto it = got.find(id);
+    if (it == got.end()) {
+      ADD_FAILURE() << transport << ": no response for " << id;
+      continue;
+    }
+    EXPECT_EQ(it->second, expected) << transport << ": " << id;
+  }
+}
+
+TEST(NetDifferential, AllTransportsMatchStreamLoop) {
+  const std::vector<std::string> lines = request_lines();
+  ASSERT_GE(lines.size(), 10u);
+  const std::map<std::string, std::string> truth = ground_truth(lines);
+  ASSERT_EQ(truth.size(), lines.size());
+
+  // --- (2) + (3): one epoll server, an NDJSON and a binary client.
+  {
+    const std::string path = testing::TempDir() + "cvb_diff_direct.sock";
+    ServiceOptions sopts;
+    sopts.num_workers = 1;
+    Service service(sopts);
+    NetServerOptions nopts;
+    nopts.socket_path = path;
+    NetServer server(service, nopts);
+    std::ostringstream err;
+    std::thread serving([&] { (void)server.run(err); });
+    ASSERT_TRUE(server.wait_until_listening()) << err.str();
+
+    {
+      const int fd = connect_unix_retry(path);
+      ASSERT_GE(fd, 0);
+      std::string text;
+      for (const std::string& line : lines) {
+        text += line + "\n";
+      }
+      text += "{\"cmd\":\"quit\"}\n";
+      ASSERT_TRUE(send_all(fd, text));
+      const std::map<std::string, std::string> got =
+          canonical_by_id(read_to_eof(fd));
+      ::close(fd);
+      expect_same_responses(truth, got, "socket-ndjson");
+    }
+    {
+      const int fd = connect_unix_retry(path);
+      ASSERT_GE(fd, 0);
+      std::string wire;
+      for (const std::string& line : lines) {
+        append_frame(wire, FrameType::kRequest, line);
+      }
+      append_frame(wire, FrameType::kRequest, R"({"cmd":"quit"})");
+      ASSERT_TRUE(send_all(fd, wire));
+      // Collect response frames until the server closes after quit.
+      const std::string raw = read_to_eof(fd);
+      ::close(fd);
+      std::string ndjson;
+      std::string_view rest = raw;
+      while (!rest.empty()) {
+        const DecodeResult decoded = decode_frame(rest);
+        ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+        ASSERT_EQ(decoded.frame.type, FrameType::kResponse);
+        ndjson += std::string(decoded.frame.payload) + "\n";
+        rest = rest.substr(decoded.consumed);
+      }
+      expect_same_responses(truth, canonical_by_id(ndjson), "socket-binary");
+    }
+
+    server.request_shutdown();
+    serving.join();
+  }
+
+  // --- (4): router in front of two workers, NDJSON client.
+  {
+    const std::string w0_path = testing::TempDir() + "cvb_diff_w0.sock";
+    const std::string w1_path = testing::TempDir() + "cvb_diff_w1.sock";
+    const std::string front = testing::TempDir() + "cvb_diff_front.sock";
+    ServiceOptions sopts;
+    sopts.num_workers = 1;
+    Service s0(sopts);
+    Service s1(sopts);
+    NetServerOptions n0;
+    n0.socket_path = w0_path;
+    NetServerOptions n1;
+    n1.socket_path = w1_path;
+    NetServer worker0(s0, n0);
+    NetServer worker1(s1, n1);
+    std::ostringstream err0;
+    std::ostringstream err1;
+    std::thread t0([&] { (void)worker0.run(err0); });
+    std::thread t1([&] { (void)worker1.run(err1); });
+    ASSERT_TRUE(worker0.wait_until_listening()) << err0.str();
+    ASSERT_TRUE(worker1.wait_until_listening()) << err1.str();
+
+    RouterOptions ropts;
+    ropts.listen_path = front;
+    ropts.workers = {w0_path, w1_path};
+    Router router(ropts);
+    std::ostringstream rerr;
+    std::thread rt([&] { (void)router.run(rerr); });
+    ASSERT_TRUE(router.wait_until_listening()) << rerr.str();
+
+    const int fd = connect_unix_retry(front);
+    ASSERT_GE(fd, 0);
+    std::string text;
+    for (const std::string& line : lines) {
+      text += line + "\n";
+    }
+    text += "{\"cmd\":\"quit\"}\n";
+    ASSERT_TRUE(send_all(fd, text));
+    const std::map<std::string, std::string> got =
+        canonical_by_id(read_to_eof(fd));
+    ::close(fd);
+    expect_same_responses(truth, got, "router-2-workers");
+
+    router.request_shutdown();
+    rt.join();
+    worker0.request_shutdown();
+    worker1.request_shutdown();
+    t0.join();
+    t1.join();
+    // The router actually spread the suite: both workers served jobs.
+    const long long jobs0 = s0.metrics().counter("net_responses_out").value();
+    const long long jobs1 = s1.metrics().counter("net_responses_out").value();
+    EXPECT_EQ(jobs0 + jobs1, static_cast<long long>(lines.size()));
+  }
+}
+
+}  // namespace
+}  // namespace cvb::net
+
+#else
+
+TEST(NetDifferential, SkippedWithoutEpoll) { GTEST_SKIP(); }
+
+#endif  // CVB_TEST_NET_DIFFERENTIAL

@@ -1,0 +1,370 @@
+// End-to-end tests of the epoll NetServer: concurrent connections,
+// the --once contract, mixed NDJSON/binary clients on one listener,
+// framing-violation handling, and backpressure against a slow reader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "net/frame.hpp"
+#include "support/json.hpp"
+
+#if defined(__linux__)
+#define CVB_TEST_NET_SERVER 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "net/server.hpp"
+#include "service/service.hpp"
+#endif
+
+#if defined(CVB_TEST_NET_SERVER)
+
+namespace cvb::net {
+namespace {
+
+int connect_unix_retry(const std::string& path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      return -1;
+    }
+    path.copy(addr.sun_path, path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+struct OwnedFrame {
+  FrameType type;
+  std::string payload;
+};
+
+/// Reads exactly `count` frames off `fd` (blocking).
+std::vector<OwnedFrame> read_frames(int fd, std::size_t count) {
+  std::vector<OwnedFrame> frames;
+  std::string buf;
+  char chunk[4096];
+  while (frames.size() < count) {
+    const DecodeResult decoded = decode_frame(buf);
+    if (decoded.status == DecodeStatus::kFrame) {
+      frames.push_back(
+          OwnedFrame{decoded.frame.type, std::string(decoded.frame.payload)});
+      buf.erase(0, decoded.consumed);
+      continue;
+    }
+    if (decoded.status != DecodeStatus::kNeedMore) {
+      ADD_FAILURE() << "decode error: "
+                    << decode_status_message(decoded.status);
+      break;
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      ADD_FAILURE() << "EOF after " << frames.size() << " frames";
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  return frames;
+}
+
+std::string job_line(const std::string& id) {
+  return R"({"id":")" + id +
+         R"(","kernel":"ARF","datapath":"[1,1|1,1]","effort":"fast"})" "\n";
+}
+
+TEST(NetServer, ConcurrentConnectionsAllServed) {
+  const std::string path = testing::TempDir() + "cvb_net_concurrent.sock";
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  Service service(sopts);
+  NetServerOptions nopts;
+  nopts.socket_path = path;
+  NetServer server(service, nopts);
+  std::ostringstream err;
+  std::thread serving([&] { (void)server.run(err); });
+  ASSERT_TRUE(server.wait_until_listening()) << err.str();
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 3;
+  std::vector<std::thread> clients;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_unix_retry(path);
+      ASSERT_GE(fd, 0);
+      std::string request;
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        request += job_line("c" + std::to_string(c) + "-" + std::to_string(j));
+      }
+      request += "{\"cmd\":\"quit\"}\n";
+      ASSERT_TRUE(send_all(fd, request));
+      const std::string reply = read_to_eof(fd);
+      ::close(fd);
+      std::istringstream lines(reply);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (line.empty()) {
+          continue;
+        }
+        const JsonValue response = JsonValue::parse(line);
+        const JsonValue* id = response.find("id");
+        ASSERT_NE(id, nullptr) << line;
+        EXPECT_EQ(id->as_string().substr(0, 2), "c" + std::to_string(c))
+            << "response crossed connections: " << line;
+        if (response.find("status")->as_string() == "ok") {
+          ++ok_counts[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  server.request_shutdown();
+  serving.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok_counts[c], kJobsPerClient) << "client " << c;
+  }
+  EXPECT_GE(service.metrics().counter("net_accepted").value(), kClients);
+  EXPECT_EQ(service.metrics().gauge("net_open_connections").value(), 0);
+}
+
+TEST(NetServer, OnceServesFirstConnectionThenExits) {
+  // The PR 2 --once contract, now on the epoll path: serve exactly the
+  // first connection to completion, then return 0 without needing a
+  // quit command or an explicit shutdown.
+  const std::string path = testing::TempDir() + "cvb_net_once.sock";
+  std::istringstream unused_in;
+  std::ostringstream unused_out;
+  std::ostringstream err;
+  int rc = -1;
+  std::thread serving([&] {
+    rc = run_serve_cli({"--socket", path, "--once", "--workers", "1"},
+                       unused_in, unused_out, err);
+  });
+  const int fd = connect_unix_retry(path);
+  ASSERT_GE(fd, 0) << err.str();
+  ASSERT_TRUE(send_all(fd, job_line("once")));
+  // Half-close: the server must still deliver the response, then close.
+  ::shutdown(fd, SHUT_WR);
+  const std::string reply = read_to_eof(fd);
+  ::close(fd);
+  serving.join();
+  EXPECT_EQ(rc, 0) << err.str();
+  const JsonValue response = JsonValue::parse(reply);
+  EXPECT_EQ(response.find("id")->as_string(), "once");
+  EXPECT_EQ(response.find("status")->as_string(), "ok");
+}
+
+TEST(NetServer, MixedBinaryAndNdjsonClients) {
+  const std::string path = testing::TempDir() + "cvb_net_mixed.sock";
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  Service service(sopts);
+  NetServerOptions nopts;
+  nopts.socket_path = path;
+  NetServer server(service, nopts);
+  std::ostringstream err;
+  std::thread serving([&] { (void)server.run(err); });
+  ASSERT_TRUE(server.wait_until_listening()) << err.str();
+
+  // Binary client: ping, then a job request, as frames.
+  const int bin_fd = connect_unix_retry(path);
+  ASSERT_GE(bin_fd, 0);
+  std::string wire;
+  append_frame(wire, FrameType::kPing, "probe-7");
+  append_frame(wire, FrameType::kRequest,
+               R"({"id":"bin","kernel":"EWF","datapath":"[2,1|1,1]",)"
+               R"("effort":"fast"})");
+  ASSERT_TRUE(send_all(bin_fd, wire));
+
+  // NDJSON client on the same listener at the same time.
+  const int txt_fd = connect_unix_retry(path);
+  ASSERT_GE(txt_fd, 0);
+  ASSERT_TRUE(send_all(txt_fd, job_line("txt") + "{\"cmd\":\"quit\"}\n"));
+
+  const std::vector<OwnedFrame> frames = read_frames(bin_fd, 2);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kPong);
+  EXPECT_EQ(frames[0].payload, "probe-7");
+  EXPECT_EQ(frames[1].type, FrameType::kResponse);
+  const JsonValue bin_response = JsonValue::parse(frames[1].payload);
+  EXPECT_EQ(bin_response.find("id")->as_string(), "bin");
+  EXPECT_EQ(bin_response.find("status")->as_string(), "ok");
+  ::close(bin_fd);
+
+  const std::string txt_reply = read_to_eof(txt_fd);
+  ::close(txt_fd);
+  const JsonValue txt_response = JsonValue::parse(txt_reply);
+  EXPECT_EQ(txt_response.find("id")->as_string(), "txt");
+  EXPECT_EQ(txt_response.find("status")->as_string(), "ok");
+
+  server.request_shutdown();
+  serving.join();
+  EXPECT_GE(service.metrics().counter("net_conns_binary").value(), 1);
+  EXPECT_GE(service.metrics().counter("net_conns_ndjson").value(), 1);
+  EXPECT_GE(service.metrics().counter("net_pings").value(), 1);
+}
+
+TEST(NetServer, FramingViolationGetsTypedErrorThenClose) {
+  const std::string path = testing::TempDir() + "cvb_net_badframe.sock";
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  Service service(sopts);
+  NetServerOptions nopts;
+  nopts.socket_path = path;
+  NetServer server(service, nopts);
+  std::ostringstream err;
+  std::thread serving([&] { (void)server.run(err); });
+  ASSERT_TRUE(server.wait_until_listening()) << err.str();
+
+  const int fd = connect_unix_retry(path);
+  ASSERT_GE(fd, 0);
+  // Valid magic, bogus version: sniffed as binary, then rejected.
+  const std::string bad = {static_cast<char>(kFrameMagic0),
+                           static_cast<char>(kFrameMagic1),
+                           static_cast<char>(0x7F)};
+  ASSERT_TRUE(send_all(fd, bad));
+  const std::string reply = read_to_eof(fd);  // error frame, then EOF
+  ::close(fd);
+  const DecodeResult decoded = decode_frame(reply);
+  ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+  EXPECT_EQ(decoded.frame.type, FrameType::kError);
+  EXPECT_EQ(decoded.consumed, reply.size());
+  const JsonValue error = JsonValue::parse(std::string(decoded.frame.payload));
+  EXPECT_EQ(error.find("status")->as_string(), "invalid_request");
+
+  server.request_shutdown();
+  serving.join();
+  EXPECT_GE(service.metrics().counter("net_protocol_errors").value(), 1);
+}
+
+TEST(NetServer, SlowReaderTriggersBackpressurePauseAndRecovers) {
+  const std::string path = testing::TempDir() + "cvb_net_slow.sock";
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  Service service(sopts);
+  NetServerOptions nopts;
+  nopts.socket_path = path;
+  nopts.write_budget_bytes = 16 * 1024;
+  NetServer server(service, nopts);
+  std::ostringstream err;
+  std::thread serving([&] { (void)server.run(err); });
+  ASSERT_TRUE(server.wait_until_listening()) << err.str();
+
+  const int fd = connect_unix_retry(path);
+  ASSERT_GE(fd, 0);
+  // 2 MiB of pong traffic against a 16 KiB budget: once kernel socket
+  // buffers fill, the server's write backlog crosses the budget and it
+  // must stop reading us instead of buffering without bound.
+  constexpr int kPings = 4096;
+  const std::string payload(512, 'p');
+  std::thread writer([&] {
+    std::string wire;
+    append_frame(wire, FrameType::kPing, payload);
+    for (int i = 0; i < kPings; ++i) {
+      if (!send_all(fd, wire)) {
+        return;
+      }
+    }
+  });
+  // Let the backlog build while we (the slow reader) sit idle.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const std::vector<OwnedFrame> pongs = read_frames(fd, kPings);
+  writer.join();
+  ::close(fd);
+  server.request_shutdown();
+  serving.join();
+
+  ASSERT_EQ(pongs.size(), static_cast<std::size_t>(kPings));
+  for (const OwnedFrame& pong : pongs) {
+    ASSERT_EQ(pong.type, FrameType::kPong);
+    ASSERT_EQ(pong.payload, payload);
+  }
+  EXPECT_GE(service.metrics().counter("net_backpressure_pauses").value(), 1);
+  EXPECT_GE(service.metrics().counter("net_backpressure_resumes").value(), 1);
+}
+
+TEST(NetServer, ShutdownCommandDrainsAndStops) {
+  const std::string path = testing::TempDir() + "cvb_net_shutdown.sock";
+  std::istringstream unused_in;
+  std::ostringstream unused_out;
+  std::ostringstream err;
+  int rc = -1;
+  std::thread serving([&] {
+    rc = run_serve_cli({"--socket", path, "--workers", "1"}, unused_in,
+                       unused_out, err);
+  });
+  const int fd = connect_unix_retry(path);
+  ASSERT_GE(fd, 0) << err.str();
+  ASSERT_TRUE(send_all(fd, job_line("last") + "{\"cmd\":\"shutdown\"}\n"));
+  const std::string reply = read_to_eof(fd);
+  ::close(fd);
+  serving.join();
+  EXPECT_EQ(rc, 0) << err.str();
+  // Both the job response and the shutdown ack arrive before close.
+  std::istringstream lines(reply);
+  std::string line;
+  bool saw_job = false;
+  bool saw_ack = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const JsonValue response = JsonValue::parse(line);
+    const JsonValue* id = response.find("id");
+    if (id != nullptr && id->as_string() == "last") {
+      saw_job = response.find("status")->as_string() == "ok";
+    }
+    const JsonValue* cmd = response.find("cmd");
+    if (cmd != nullptr && cmd->as_string() == "shutdown") {
+      saw_ack = true;
+    }
+  }
+  EXPECT_TRUE(saw_job) << reply;
+  EXPECT_TRUE(saw_ack) << reply;
+}
+
+}  // namespace
+}  // namespace cvb::net
+
+#endif  // CVB_TEST_NET_SERVER

@@ -1,0 +1,235 @@
+// Eval-cache snapshot/restore (net/snapshot.hpp + EvalEngine
+// export/import): round-trips, strict rejection of damaged or
+// wrong-version files, and the import-side re-verification that keeps
+// corrupt entries out of the cache.
+#include "net/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "bind/eval_engine.hpp"
+#include "cli/cli.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "net/frame.hpp"
+#include "service/service.hpp"
+
+namespace cvb {
+namespace {
+
+/// Populates an engine's cache with real evaluations of `kernel`.
+std::vector<CacheExportEntry> populated_export(EvalEngine& engine) {
+  const Dfg dfg = benchmark_by_name("EWF").dfg;
+  const Datapath dp = parse_datapath("[2,1|1,1]", 2, 1);
+  Binding binding(dfg.num_ops(), 0);
+  (void)engine.evaluate(dfg, dp, binding);
+  for (std::size_t i = 0; i < binding.size(); i += 3) {
+    binding[i] = 1;
+  }
+  (void)engine.evaluate(dfg, dp, binding);
+  return engine.export_cache();
+}
+
+TEST(Snapshot, EngineExportImportRoundTrip) {
+  EvalEngine source;
+  const std::vector<CacheExportEntry> entries = populated_export(source);
+  ASSERT_GE(entries.size(), 2u);
+
+  EvalEngine fresh;
+  EXPECT_EQ(fresh.import_cache(entries), entries.size());
+  // The warmed engine serves the same results from cache: hits climb,
+  // and a re-export contains the same keys.
+  const std::vector<CacheExportEntry> round = fresh.export_cache();
+  ASSERT_EQ(round.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(round[i].key, entries[i].key);
+    EXPECT_EQ(round[i].signature, entries[i].signature);
+    EXPECT_EQ(round[i].binding, entries[i].binding);
+    EXPECT_EQ(round[i].result, entries[i].result);
+  }
+}
+
+TEST(Snapshot, ImportRejectsCorruptEntries) {
+  EvalEngine source;
+  std::vector<CacheExportEntry> entries = populated_export(source);
+  ASSERT_GE(entries.size(), 2u);
+  // Corrupt one entry's binding: its key no longer matches
+  // binding_hash(binding, signature), so import must skip exactly it.
+  entries[0].binding[0] = static_cast<ClusterId>(entries[0].binding[0] + 1);
+  EvalEngine fresh;
+  EXPECT_EQ(fresh.import_cache(entries), entries.size() - 1);
+}
+
+TEST(Snapshot, ImportIsNoOpWhenCachingDisabled) {
+  EvalEngine source;
+  const std::vector<CacheExportEntry> entries = populated_export(source);
+  EvalEngineOptions no_cache;
+  no_cache.cache_capacity = 0;
+  EvalEngine disabled(no_cache);
+  EXPECT_EQ(disabled.import_cache(entries), 0u);
+}
+
+TEST(Snapshot, StreamRoundTrip) {
+  EvalEngine source;
+  const std::vector<CacheExportEntry> entries = populated_export(source);
+  std::ostringstream out;
+  net::write_cache_snapshot(out, entries);
+  std::istringstream in(out.str());
+  const std::vector<CacheExportEntry> read =
+      net::read_cache_snapshot(in);
+  ASSERT_EQ(read.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(read[i].key, entries[i].key);
+    EXPECT_EQ(read[i].signature, entries[i].signature);
+    EXPECT_EQ(read[i].binding, entries[i].binding);
+    EXPECT_EQ(read[i].result, entries[i].result);
+  }
+}
+
+TEST(Snapshot, EmptySnapshotRoundTrips) {
+  std::ostringstream out;
+  net::write_cache_snapshot(out, {});
+  std::istringstream in(out.str());
+  EXPECT_TRUE(net::read_cache_snapshot(in).empty());
+}
+
+TEST(Snapshot, RejectsVersionMismatch) {
+  std::ostringstream out;
+  net::write_cache_snapshot(out, {});
+  std::string bytes = out.str();
+  // The header payload starts right after the frame header; bump its
+  // u32 version field.
+  ASSERT_GT(bytes.size(), net::kFrameHeaderSize);
+  bytes[net::kFrameHeaderSize] = static_cast<char>(net::kSnapshotVersion + 1);
+  std::istringstream in(bytes);
+  EXPECT_THROW((void)net::read_cache_snapshot(in), std::invalid_argument);
+}
+
+TEST(Snapshot, RejectsTruncationAndTrailingBytes) {
+  EvalEngine source;
+  const std::vector<CacheExportEntry> entries = populated_export(source);
+  std::ostringstream out;
+  net::write_cache_snapshot(out, entries);
+  const std::string bytes = out.str();
+
+  // Truncation anywhere (drop the tail) must throw, not return a
+  // partial cache.
+  for (const std::size_t cut :
+       {bytes.size() - 1, bytes.size() / 2, net::kFrameHeaderSize + 2,
+        std::size_t{3}}) {
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_THROW((void)net::read_cache_snapshot(in), std::invalid_argument)
+        << "cut " << cut;
+  }
+  // Trailing garbage after the declared entries must throw too.
+  std::istringstream in(bytes + "x");
+  EXPECT_THROW((void)net::read_cache_snapshot(in), std::invalid_argument);
+}
+
+TEST(Snapshot, RejectsHostileEntryCount) {
+  // A header declaring 2^40 entries over an empty body must be
+  // rejected before any allocation is sized from it.
+  std::string header_payload;
+  for (const std::uint32_t v : {net::kSnapshotVersion}) {
+    for (int byte = 0; byte < 4; ++byte) {
+      header_payload.push_back(static_cast<char>((v >> (8 * byte)) & 0xffU));
+    }
+  }
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  for (int byte = 0; byte < 8; ++byte) {
+    header_payload.push_back(static_cast<char>((huge >> (8 * byte)) & 0xffU));
+  }
+  const std::string bytes =
+      net::encode_frame(net::FrameType::kSnapshotHeader, header_payload);
+  std::istringstream in(bytes);
+  EXPECT_THROW((void)net::read_cache_snapshot(in), std::invalid_argument);
+}
+
+TEST(Snapshot, FileRoundTripAndServiceWarmStart) {
+  const std::string path = testing::TempDir() + "cvb_snapshot_test.bin";
+  std::vector<CacheExportEntry> entries;
+  {
+    ServiceOptions opts;
+    opts.num_workers = 1;
+    Service service(opts);
+    BindJob job;
+    job.id = "warm";
+    job.dfg = benchmark_by_name("EWF").dfg;
+    job.datapath = parse_datapath("[2,1|1,1]", 2, 1);
+    const BindOutcome outcome = service.submit(std::move(job)).get();
+    ASSERT_EQ(outcome.status, BindStatus::kOk);
+    entries = service.snapshot_cache();
+    ASSERT_FALSE(entries.empty());
+    net::save_cache_snapshot(path, entries);
+  }
+  {
+    ServiceOptions opts;
+    opts.num_workers = 1;
+    Service service(opts);
+    const std::size_t accepted =
+        service.warm_start(net::load_cache_snapshot(path));
+    EXPECT_EQ(accepted, entries.size());
+    EXPECT_EQ(service.snapshot_cache().size(), entries.size());
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW((void)net::load_cache_snapshot(path), std::invalid_argument);
+}
+
+TEST(Snapshot, ServeCliSnapshotCommandAndWarmStart) {
+  const std::string path = testing::TempDir() + "cvb_snapshot_cli.bin";
+  // First serve run: do a job, snapshot the warmed cache to disk.
+  {
+    std::istringstream in(
+        R"({"id":"a","kernel":"EWF","datapath":"[2,1|1,1]"})"
+        "\n"
+        R"({"cmd":"snapshot","path":")" +
+        path + R"("})" "\n" R"({"cmd":"quit"})" "\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(run_serve_cli({"--workers", "1"}, in, out, err), 0)
+        << err.str();
+    // The snapshot ack reports a non-empty entry count.
+    bool saw_snapshot = false;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("\"snapshot\"") == std::string::npos) {
+        continue;
+      }
+      const JsonValue ack = JsonValue::parse(line);
+      EXPECT_EQ(ack.find("status")->as_string(), "ok");
+      EXPECT_GT(ack.find("entries")->as_number(), 0.0);
+      saw_snapshot = true;
+    }
+    EXPECT_TRUE(saw_snapshot) << out.str();
+  }
+  // Second run warm-starts from the file and keeps serving normally.
+  {
+    std::istringstream in(
+        R"({"id":"b","kernel":"EWF","datapath":"[2,1|1,1]","effort":"fast"})"
+        "\n" R"({"cmd":"quit"})" "\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(run_serve_cli({"--workers", "1", "--warm-start", path}, in, out,
+                            err),
+              0)
+        << err.str();
+    EXPECT_NE(err.str().find("warm-start"), std::string::npos) << err.str();
+    EXPECT_NE(out.str().find("\"ok\""), std::string::npos) << out.str();
+  }
+  std::remove(path.c_str());
+  // A missing/corrupt warm-start file is a startup error, not a serve.
+  {
+    std::istringstream in;
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(run_serve_cli({"--warm-start", path}, in, out, err), 1);
+    EXPECT_FALSE(err.str().empty());
+  }
+}
+
+}  // namespace
+}  // namespace cvb

@@ -1,0 +1,182 @@
+// bench_compare — cross-PR performance trend over the committed
+// bench/sched_core reports (BENCH_PR*.json at the repo root).
+//
+// bench_gate compares exactly two reports and fails CI on regression;
+// this tool reads *every* BENCH_PR<N>.json it can find (or the paths
+// given on the command line), orders them by PR number, and prints a
+// markdown trajectory table: geomean eval speedup vs the differential
+// reference scheduler (full and delta paths) and the normalized p99
+// tail, per PR, with the per-PR change. A single data point is a valid
+// trajectory — the table simply has one row until more PRs land.
+//
+//   bench_compare                 # globs BENCH_PR*.json in .
+//   bench_compare --dir ../repo   # globs elsewhere
+//   bench_compare a.json b.json   # explicit reports
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+struct Report {
+  int pr = 0;
+  std::string path;
+  double full_speedup = 0.0;
+  double delta_speedup = 0.0;
+  double full_p99 = 0.0;
+  double delta_p99 = 0.0;
+  double cache_hit_rate = -1.0;  ///< -1 = not recorded in this report
+};
+
+double number_or(const cvb::JsonValue* value, double fallback) {
+  return value != nullptr && value->is_number() ? value->as_number() : fallback;
+}
+
+bool parse_report(const std::string& file, Report* out, std::string* error) {
+  std::ifstream in(file);
+  if (!in) {
+    *error = "cannot open '" + file + "'";
+    return false;
+  }
+  std::stringstream text;
+  text << in.rdbuf();
+  cvb::JsonValue doc;
+  try {
+    doc = cvb::JsonValue::parse(text.str());
+  } catch (const std::exception& e) {
+    *error = file + ": " + e.what();
+    return false;
+  }
+  const cvb::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr ||
+      schema->as_string() != "cvb-bench-sched-core-v1") {
+    *error = file + ": not a cvb-bench-sched-core-v1 report";
+    return false;
+  }
+  const cvb::JsonValue* aggregate = doc.find("aggregate");
+  if (aggregate == nullptr) {
+    *error = file + ": missing aggregate section";
+    return false;
+  }
+  out->path = file;
+  out->pr = static_cast<int>(number_or(doc.find("pr"), 0.0));
+  out->full_speedup =
+      number_or(aggregate->find("full_speedup_vs_reference"), 0.0);
+  out->delta_speedup =
+      number_or(aggregate->find("delta_speedup_vs_reference"), 0.0);
+  out->full_p99 = number_or(aggregate->find("normalized_full_p99"), 0.0);
+  out->delta_p99 = number_or(aggregate->find("normalized_delta_p99"), 0.0);
+  const cvb::JsonValue* cache = doc.find("cache");
+  if (cache != nullptr) {
+    out->cache_hit_rate = number_or(cache->find("hit_rate"), -1.0);
+  }
+  return true;
+}
+
+std::string fixed(double value, int places) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(places);
+  out << value;
+  return out.str();
+}
+
+/// "+3.2%" / "-1.4%" change vs the previous row; "—" for the first.
+std::string change_cell(double current, double previous, bool first) {
+  if (first || previous <= 0.0) {
+    return "—";
+  }
+  const double pct = (current / previous - 1.0) * 100.0;
+  return (pct >= 0.0 ? "+" : "") + fixed(pct, 1) + "%";
+}
+
+int run(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  std::string dir = ".";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--dir" && i + 1 < args.size()) {
+      dir = args[++i];
+    } else if (args[i] == "--help" || args[i] == "-h") {
+      std::cout
+          << "usage: bench_compare [--dir DIR | REPORT.json ...]\n"
+             "Prints a markdown performance-trend table over the\n"
+             "committed BENCH_PR*.json scheduler benchmark reports.\n";
+      return 0;
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.empty()) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_PR", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::cerr << "bench_compare: cannot list '" << dir
+                << "': " << ec.message() << "\n";
+      return 1;
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "bench_compare: no BENCH_PR*.json reports found in '" << dir
+              << "'\n";
+    return 1;
+  }
+
+  std::vector<Report> reports;
+  for (const std::string& file : files) {
+    Report report;
+    std::string error;
+    if (!parse_report(file, &report, &error)) {
+      std::cerr << "bench_compare: " << error << "\n";
+      return 1;
+    }
+    reports.push_back(std::move(report));
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const Report& a, const Report& b) { return a.pr < b.pr; });
+
+  std::cout << "# sched_core performance trajectory\n\n"
+            << "Geomean eval throughput vs the reference scheduler\n"
+            << "(higher is better) and p99 latency normalized to the\n"
+            << "reference (lower is better), per committed report.\n\n";
+  std::cout << "| PR | full speedup | Δ | delta speedup | Δ | norm. full "
+               "p99 | norm. delta p99 | cache hit rate |\n";
+  std::cout << "|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Report& r = reports[i];
+    const bool first = i == 0;
+    const Report& prev = reports[first ? i : i - 1];
+    std::cout << "| " << r.pr << " | " << fixed(r.full_speedup, 3) << "x | "
+              << change_cell(r.full_speedup, prev.full_speedup, first)
+              << " | " << fixed(r.delta_speedup, 3) << "x | "
+              << change_cell(r.delta_speedup, prev.delta_speedup, first)
+              << " | " << fixed(r.full_p99, 3) << " | "
+              << fixed(r.delta_p99, 3) << " | "
+              << (r.cache_hit_rate < 0.0
+                      ? std::string("—")
+                      : fixed(r.cache_hit_rate * 100.0, 1) + "%")
+              << " |\n";
+  }
+  if (reports.size() == 1) {
+    std::cout << "\nOne report so far; deltas appear once a second "
+                 "BENCH_PR*.json lands.\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(std::vector<std::string>(argv + 1, argv + argc));
+}

@@ -1,0 +1,210 @@
+// cvclient — a minimal cvserve/cvrouter client for smoke tests and
+// scripting.
+//
+// Client mode reads NDJSON requests from stdin, ships them over a Unix
+// socket in either wire protocol, and prints one JSON response per
+// line:
+//
+//   cvclient --socket /tmp/cvb.sock          < jobs.ndjson   # NDJSON
+//   cvclient --socket /tmp/cvb.sock --binary < jobs.ndjson   # frames
+//
+// Filter mode (no socket) canonicalizes NDJSON on stdin by stripping
+// the wall-clock timing fields (queue_ms / run_ms / timings), which is
+// what the CI router-smoke job uses to byte-compare transports:
+//
+//   cvclient --canonicalize < responses.ndjson
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "support/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CVCLIENT_HAVE_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+/// Strips queue_ms / run_ms / timings, keeping all other fields and
+/// their order; non-object lines pass through re-dumped.
+std::string canonicalize_line(const std::string& line) {
+  const cvb::JsonValue parsed = cvb::JsonValue::parse(line);
+  if (!parsed.is_object()) {
+    return parsed.dump();
+  }
+  cvb::JsonValue out = cvb::JsonValue::object();
+  for (const auto& [key, value] : parsed.as_object()) {
+    if (key == "queue_ms" || key == "run_ms" || key == "timings") {
+      continue;
+    }
+    out.set(key, value);
+  }
+  return out.dump();
+}
+
+int run_canonicalize() {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    try {
+      std::cout << canonicalize_line(line) << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "cvclient: bad JSON line: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+#if defined(CVCLIENT_HAVE_SOCKETS)
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int run_client(const std::string& path, bool binary, bool canonical) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "cvclient: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::cerr << "cvclient: socket path too long\n";
+    ::close(fd);
+    return 1;
+  }
+  path.copy(addr.sun_path, path.size());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    std::cerr << "cvclient: connect '" << path
+              << "': " << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+
+  // Ship every stdin line, then half-close so the server sees EOF once
+  // it has drained our requests.
+  std::string wire;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (binary) {
+      cvb::net::append_frame(wire, cvb::net::FrameType::kRequest, line);
+    } else {
+      wire += line;
+      wire += '\n';
+    }
+  }
+  if (!send_all(fd, wire)) {
+    std::cerr << "cvclient: send failed: " << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  std::string buf;
+  char chunk[8192];
+  ssize_t n = 0;
+  int rc = 0;
+  const auto emit = [&](const std::string& response) {
+    try {
+      std::cout << (canonical ? canonicalize_line(response) : response)
+                << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "cvclient: bad response JSON: " << e.what() << "\n";
+      rc = 1;
+    }
+  };
+  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (binary) {
+      while (true) {
+        const cvb::net::DecodeResult decoded = cvb::net::decode_frame(buf);
+        if (decoded.status == cvb::net::DecodeStatus::kNeedMore) {
+          break;
+        }
+        if (cvb::net::is_decode_error(decoded.status)) {
+          std::cerr << "cvclient: "
+                    << cvb::net::decode_status_message(decoded.status) << "\n";
+          ::close(fd);
+          return 1;
+        }
+        emit(std::string(decoded.frame.payload));
+        buf.erase(0, decoded.consumed);
+      }
+    } else {
+      std::size_t eol = 0;
+      while ((eol = buf.find('\n')) != std::string::npos) {
+        emit(buf.substr(0, eol));
+        buf.erase(0, eol + 1);
+      }
+    }
+  }
+  ::close(fd);
+  if (!buf.empty()) {
+    std::cerr << "cvclient: connection closed mid-"
+              << (binary ? "frame" : "line") << "\n";
+    return 1;
+  }
+  return rc;
+}
+
+#endif  // CVCLIENT_HAVE_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool binary = false;
+  bool canonical = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--binary") {
+      binary = true;
+    } else if (arg == "--canonicalize") {
+      canonical = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: cvclient [--socket PATH [--binary]] "
+                   "[--canonicalize]\n";
+      return 0;
+    } else {
+      std::cerr << "cvclient: unknown argument '" << arg << "'\n";
+      return 1;
+    }
+  }
+  if (socket_path.empty()) {
+    if (binary) {
+      std::cerr << "cvclient: --binary requires --socket\n";
+      return 1;
+    }
+    return run_canonicalize();
+  }
+#if defined(CVCLIENT_HAVE_SOCKETS)
+  return run_client(socket_path, binary, canonical);
+#else
+  std::cerr << "cvclient: sockets unsupported on this platform\n";
+  return 1;
+#endif
+}

@@ -1,0 +1,12 @@
+// cvrouter: consistent-hash request router over cvserve workers.
+// All logic is in src/cli/router_cli.cpp (library) for testability.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return cvb::run_router_cli(args, std::cout, std::cerr);
+}
