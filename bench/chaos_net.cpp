@@ -1,0 +1,606 @@
+// chaos_net — the network-layer chaos invariant harness (DESIGN §3.13).
+//
+// Topology: two in-process `cvserve` worker fleets (Service +
+// NetServer each) behind one Router with circuit breakers and hedged
+// retry enabled, with every network fault-injection site armed —
+// torn reads and writes, injected EINTR/ECONNRESET/EAGAIN, mid-frame
+// connection drops, delayed eventfd wakeups, torn upstream writes,
+// connect failures — plus cooperative service hangs that force the
+// hedger to fire. Mid-run one worker is killed outright and then
+// restarted, so the breaker must trip open and recover half-open via
+// the kPing prober.
+//
+// A fleet of closed-loop NDJSON clients pushes >= 1000 requests
+// through the storm and asserts, per request:
+//
+//  * exactly one terminal response, carrying the request's own id —
+//    hedged duplicates must be deduplicated away (after the last
+//    response each session also proves the socket stays silent);
+//  * a successful response is canonicalized-byte-identical to the
+//    fault-free baseline for that payload (faults may slow or fail a
+//    request, never corrupt one);
+//  * a failed response is typed {"fault_class":"transient"};
+//  * the workers never exceed their write budget
+//    (net_write_backlog_peak_bytes).
+//
+// Whole-run assertions: the killed worker's breaker opened and later
+// closed again, and hedged retries both fired and won at least once.
+//
+// Usage: chaos_net [--requests N] [--seed S]. Runs standalone with no
+// arguments (CI uses the defaults). On a build without
+// -DCVB_FAULT_INJECTION=ON it runs the fault-free invariant pass
+// (including the kill/restart breaker cycle) and exits 0 with a note.
+#include <iostream>
+
+#include "net/event_loop.hpp"
+
+#if defined(CVB_HAVE_EPOLL)
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/flags.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+#include "support/fault.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+
+namespace cvb::net {
+namespace {
+
+struct ChaosNetArgs {
+  int requests = 1200;  // total across the client fleet
+  std::uint64_t seed = 0xc4a05e7ULL;
+};
+
+constexpr int kClients = 4;
+constexpr std::size_t kWriteBudget = std::size_t{1} << 20;
+constexpr const char* kRouterPath = "/tmp/cvb_chaos_net_router.sock";
+
+/// Request payloads (id attached per request). Two kernels and two
+/// datapaths so the schedule caches see both hits and misses.
+const std::vector<std::string> kPayloads = {
+    R"("kernel":"ARF","datapath":"[1,1|1,1]","effort":"fast")",
+    R"("kernel":"EWF","datapath":"[2,1|1,1]","effort":"fast")",
+    R"("kernel":"ARF","datapath":"[2,1|2,1]","effort":"fast")",
+    R"("kernel":"EWF","datapath":"[1,1|1,1]","effort":"fast")",
+};
+
+ChaosNetArgs parse_args(int argc, char** argv) {
+  ChaosNetArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--requests") {
+      args.requests = parse_int_at_least(value(), kClients, "--requests");
+    } else if (arg == "--seed") {
+      args.seed = static_cast<std::uint64_t>(std::stoull(value()));
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    }
+  }
+  return args;
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "chaos_net: FAIL: " << message << '\n';
+  std::exit(1);
+}
+
+int connect_unix_retry(const std::string& path) {
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      return -1;
+    }
+    path.copy(addr.sun_path, path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one NDJSON line into `line` (spilling extra bytes into
+/// `buf`), waiting at most `timeout_ms`. A timeout is a lost-response
+/// invariant violation surfaced as false, never a hang.
+bool read_line_timeout(int fd, std::string& buf, std::string& line,
+                       int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const std::size_t eol = buf.find('\n');
+    if (eol != std::string::npos) {
+      line = buf.substr(0, eol);
+      buf.erase(0, eol + 1);
+      return true;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) {
+      return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready < 0 && errno == EINTR) {
+      continue;
+    }
+    if (ready <= 0) {
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// Canonical response text: the deterministic fields only. id is
+/// stripped (every request carries a fresh one), attempts and the
+/// wall-clock timings are stripped (faults legitimately change them);
+/// status/latency/moves/binding must be byte-stable.
+std::string canonicalize(const std::string& line) {
+  const JsonValue parsed = JsonValue::parse(line);
+  JsonValue out = JsonValue::object();
+  for (const auto& [key, value] : parsed.as_object()) {
+    if (key == "id" || key == "attempts" || key == "queue_ms" ||
+        key == "run_ms" || key == "timings") {
+      continue;
+    }
+    out.set(key, value);
+  }
+  return out.dump();
+}
+
+ServiceOptions worker_service_options() {
+  ServiceOptions sopts;
+  sopts.num_workers = 2;
+  sopts.queue_capacity = 256;
+  sopts.resilience.max_attempts = 3;
+  sopts.resilience.backoff_base_ms = 0.1;
+  sopts.resilience.backoff_cap_ms = 1.0;
+  return sopts;
+}
+
+/// One worker node: its service outlives server kill/restart cycles,
+/// so a restarted worker comes back with its cache warm.
+struct WorkerNode {
+  explicit WorkerNode(const std::string& socket_path)
+      : path(socket_path), service(worker_service_options()) {}
+
+  bool start() {
+    NetServerOptions nopts;
+    nopts.socket_path = path;
+    nopts.write_budget_bytes = kWriteBudget;
+    server = std::make_unique<NetServer>(service, nopts);
+    thread = std::thread([s = server.get()] {
+      std::ostringstream err;
+      (void)s->run(err);
+    });
+    if (!server->wait_until_listening()) {
+      thread.join();
+      server.reset();
+      return false;
+    }
+    return true;
+  }
+
+  void stop() {
+    if (server != nullptr) {
+      server->request_shutdown();
+      thread.join();
+      server.reset();
+    }
+  }
+
+  std::string path;
+  Service service;
+  std::unique_ptr<NetServer> server;
+  std::thread thread;
+};
+
+void arm_network_chaos(std::uint64_t /*seed*/) {
+  FaultInjector& injector = FaultInjector::global();
+  const auto transient = [&](const char* site, double rate) {
+    FaultSpec spec;
+    spec.rate = rate;
+    spec.fault_class = FaultClass::kTransient;
+    injector.arm(site, spec);
+  };
+  const auto hang = [&](const char* site, double rate, double hang_ms,
+                        bool cooperative) {
+    FaultSpec spec;
+    spec.rate = rate;
+    spec.hang_ms = hang_ms;
+    spec.cooperative = cooperative;
+    injector.arm(site, spec);
+  };
+  // EINTR/short/EAGAIN sites are invisible when handled right; keep
+  // rates well below 1.0 so retry loops always terminate.
+  transient("net.read.eintr", 0.05);
+  transient("net.read.short", 0.10);
+  transient("net.write.eintr", 0.05);
+  transient("net.write.short", 0.10);
+  transient("net.write.eagain", 0.05);
+  transient("router.upstream_read.eintr", 0.10);
+  transient("router.upstream_write.eintr", 0.10);
+  transient("router.upstream_write.torn", 0.10);
+  // Destructive sites (each firing costs a connection or a request)
+  // stay rare so the run still makes progress.
+  transient("net.read.reset", 0.002);
+  transient("net.frame_drop", 0.002);
+  transient("router.upstream_read.eof", 0.002);
+  transient("router.upstream_write.drop", 0.002);
+  transient("router.connect", 0.05);
+  // Delayed wakeups and slow decodes: latency, never failure.
+  hang("net.wakeup", 0.05, 10.0, false);
+  hang("net.frame.decode", 0.02, 2.0, false);
+  // Cooperative worker hangs far past the hedge budget: the hedger
+  // must rescue these onto the other worker.
+  hang("service.hang", 0.03, 150.0, true);
+}
+
+struct ClientStats {
+  int ok = 0;
+  int transient = 0;
+};
+
+/// One closed-loop client session. Appends to `errors` (mutex-held)
+/// instead of failing fast so every session drains cleanly.
+void client_session(const std::string& router_path, int client, int requests,
+                    const std::vector<std::string>& baseline,
+                    std::atomic<int>& completed, std::mutex& errors_mutex,
+                    std::vector<std::string>& errors, ClientStats& stats) {
+  const auto report = [&](const std::string& message) {
+    const std::lock_guard<std::mutex> lock(errors_mutex);
+    errors.push_back("client " + std::to_string(client) + ": " + message);
+  };
+  const int fd = connect_unix_retry(router_path);
+  if (fd < 0) {
+    report("cannot connect to router");
+    return;
+  }
+  std::string buf;
+  std::string line;
+  for (int i = 0; i < requests; ++i) {
+    const std::size_t payload =
+        static_cast<std::size_t>(client + i) % kPayloads.size();
+    const std::string id =
+        "cn-" + std::to_string(client) + "-" + std::to_string(i);
+    const std::string request =
+        "{\"id\":\"" + id + "\"," + kPayloads[payload] + "}\n";
+    if (!send_all(fd, request)) {
+      report("send failed at request " + std::to_string(i));
+      break;
+    }
+    if (!read_line_timeout(fd, buf, line, 15000)) {
+      report("no response for " + id + " (lost request)");
+      break;
+    }
+    JsonValue response;
+    try {
+      response = JsonValue::parse(line);
+    } catch (const std::exception& e) {
+      report("unparseable response for " + id + ": " + e.what());
+      break;
+    }
+    const JsonValue* rid = response.find("id");
+    if (rid == nullptr || rid->as_string() != id) {
+      report("response id mismatch for " + id + " (duplicate or reorder): " +
+             line);
+      break;
+    }
+    const JsonValue* status = response.find("status");
+    if (status != nullptr && status->as_string() == "ok") {
+      const std::string canonical = canonicalize(line);
+      if (canonical != baseline[payload]) {
+        report("ok response for " + id +
+               " differs from fault-free baseline:\n  got      " + canonical +
+               "\n  expected " + baseline[payload]);
+        break;
+      }
+      ++stats.ok;
+    } else {
+      const JsonValue* fault = response.find("fault_class");
+      if (fault == nullptr || fault->as_string() != "transient") {
+        report("failed response for " + id + " is not typed transient: " +
+               line);
+        break;
+      }
+      ++stats.transient;
+    }
+    completed.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The dedup proof: after the last matched response this session's
+  // socket must stay silent — a hedge loser that leaked through would
+  // show up here as an extra line.
+  if (!buf.empty()) {
+    report("extra bytes after final response (duplicate leaked): " + buf);
+  } else {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 300) > 0) {
+      char chunk[256];
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n > 0) {
+        report("late bytes after final response (duplicate leaked): " +
+               std::string(chunk, static_cast<std::size_t>(n)));
+      }
+    }
+  }
+  ::close(fd);
+}
+
+/// Polls a counter until it reaches `floor` or ~10 s pass.
+bool wait_counter_at_least(MetricsRegistry& metrics, const char* name,
+                           long long floor) {
+  for (int i = 0; i < 1000; ++i) {
+    if (metrics.counter(name).value() >= floor) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return metrics.counter(name).value() >= floor;
+}
+
+int run(const ChaosNetArgs& args) {
+  const bool injecting = fault_injection_compiled();
+  std::cout << "# chaos_net: " << args.requests << " requests, " << kClients
+            << " clients, seed " << args.seed
+            << (injecting ? ", network fault injection ON"
+                          : ", fault injection not compiled in — "
+                            "fault-free invariant pass")
+            << "\n";
+
+  ScopedFaultInjection scoped(args.seed);
+
+  WorkerNode worker1("/tmp/cvb_chaos_net_w1.sock");
+  WorkerNode worker2("/tmp/cvb_chaos_net_w2.sock");
+  if (!worker1.start() || !worker2.start()) {
+    fail("worker failed to listen");
+  }
+
+  MetricsRegistry router_metrics;
+  RouterOptions ropts;
+  ropts.listen_path = kRouterPath;
+  ropts.workers = {worker1.path, worker2.path};
+  ropts.vnodes = 32;
+  ropts.health_interval_ms = 25.0;
+  ropts.health_timeout_ms = 250.0;
+  ropts.backoff_base_ms = 1.0;
+  ropts.backoff_cap_ms = 20.0;
+  ropts.hedge_budget_ms = 40.0;
+  ropts.metrics = &router_metrics;
+  Router router(std::move(ropts));
+  std::ostringstream router_err;
+  std::thread routing([&] { (void)router.run(router_err); });
+  if (!router.wait_until_listening()) {
+    routing.join();
+    fail("router failed to listen:\n" + router_err.str());
+  }
+
+  // Fault-free baseline: one canonical response per payload, taken
+  // through the very same router path the chaos run will use.
+  std::vector<std::string> baseline;
+  {
+    const int fd = connect_unix_retry(kRouterPath);
+    if (fd < 0) {
+      fail("baseline connect failed");
+    }
+    std::string buf;
+    std::string line;
+    for (std::size_t p = 0; p < kPayloads.size(); ++p) {
+      const std::string request = "{\"id\":\"base-" + std::to_string(p) +
+                                  "\"," + kPayloads[p] + "}\n";
+      if (!send_all(fd, request) ||
+          !read_line_timeout(fd, buf, line, 15000)) {
+        fail("baseline request " + std::to_string(p) + " got no response");
+      }
+      const JsonValue response = JsonValue::parse(line);
+      if (response.find("status")->as_string() != "ok") {
+        fail("baseline request " + std::to_string(p) + " failed: " + line);
+      }
+      baseline.push_back(canonicalize(line));
+    }
+    ::close(fd);
+  }
+
+  if (injecting) {
+    arm_network_chaos(args.seed);
+  }
+
+  // Client fleet, with a controller that kills worker 2 mid-run and
+  // restarts it: the breaker must open, half-open via probes, and
+  // close again while traffic keeps flowing.
+  std::atomic<int> completed{0};
+  std::mutex errors_mutex;
+  std::vector<std::string> errors;
+  std::vector<ClientStats> stats(kClients);
+  const int per_client = args.requests / kClients;
+  const int kill_at = (per_client * kClients * 2) / 5;
+
+  std::atomic<bool> clients_done{false};
+  std::thread controller([&] {
+    while (completed.load(std::memory_order_relaxed) < kill_at &&
+           !clients_done.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    worker2.stop();
+    if (!wait_counter_at_least(router_metrics, "net_breaker_open_total", 1)) {
+      return;  // main thread reports the metric assertion failure
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!worker2.start()) {
+      const std::lock_guard<std::mutex> lock(errors_mutex);
+      errors.push_back("controller: worker 2 failed to restart");
+    }
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      client_session(kRouterPath, c, per_client, baseline, completed,
+                     errors_mutex, errors, stats[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  clients_done.store(true, std::memory_order_relaxed);
+  controller.join();
+
+  // The breaker must have completed its full cycle: open on the kill,
+  // closed again after the restart's probes.
+  const bool opened =
+      router_metrics.counter("net_breaker_open_total").value() >= 1;
+  const bool closed_again =
+      opened && wait_counter_at_least(router_metrics,
+                                      "net_breaker_close_total", 1);
+
+  router.request_shutdown();
+  routing.join();
+  worker1.stop();
+  worker2.stop();
+
+  if (!errors.empty()) {
+    for (const std::string& error : errors) {
+      std::cerr << "chaos_net: " << error << '\n';
+    }
+    fail(std::to_string(errors.size()) + " invariant violations");
+  }
+  int ok = 0;
+  int transient = 0;
+  for (const ClientStats& s : stats) {
+    ok += s.ok;
+    transient += s.transient;
+  }
+  const int total = per_client * kClients;
+  if (ok + transient != total) {
+    fail("only " + std::to_string(ok + transient) + "/" +
+         std::to_string(total) + " requests completed");
+  }
+  if (!opened) {
+    fail("killing a worker never opened its breaker");
+  }
+  if (!closed_again) {
+    fail("restarted worker's breaker never closed again");
+  }
+  const long long peak1 =
+      worker1.service.metrics().gauge("net_write_backlog_peak_bytes").value();
+  const long long peak2 =
+      worker2.service.metrics().gauge("net_write_backlog_peak_bytes").value();
+  const long long budget_ceiling =
+      static_cast<long long>(kWriteBudget) + 256 * 1024;
+  if (peak1 > budget_ceiling || peak2 > budget_ceiling) {
+    fail("write backlog peak " + std::to_string(std::max(peak1, peak2)) +
+         " exceeded the budget ceiling " + std::to_string(budget_ceiling));
+  }
+  const long long hedge_fired =
+      router_metrics.counter("net_hedge_fired_total").value();
+  const long long hedge_dropped =
+      router_metrics.counter("net_hedge_dedup_dropped_total").value();
+  const long long transient_total =
+      router_metrics.counter("net_router_transient_total").value();
+  std::cout << "requests:    " << ok << " ok + " << transient
+            << " typed transient = " << total << " (zero lost, zero "
+            << "duplicated)\n"
+            << "breaker:     open=" <<
+      router_metrics.counter("net_breaker_open_total").value()
+            << " half_open="
+            << router_metrics.counter("net_breaker_half_open_total").value()
+            << " close="
+            << router_metrics.counter("net_breaker_close_total").value()
+            << " fail_open="
+            << router_metrics.counter("net_breaker_fail_open_total").value()
+            << "\n"
+            << "hedging:     fired=" << hedge_fired << " wins="
+            << router_metrics.counter("net_hedge_wins_total").value()
+            << " dedup_dropped=" << hedge_dropped << "\n"
+            << "router:      transient_answers=" << transient_total
+            << " unmatched_dropped="
+            << router_metrics.counter("net_router_unmatched_responses").value()
+            << "\n"
+            << "write peaks: w1=" << peak1 << " w2=" << peak2 << " (budget "
+            << kWriteBudget << ")\n";
+  if (injecting && hedge_fired == 0) {
+    fail("hedged retry never fired under injected worker hangs");
+  }
+  std::cout << "PASS\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace cvb::net
+
+int main(int argc, char** argv) {
+  cvb::net::ChaosNetArgs args;
+  try {
+    args = cvb::net::parse_args(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "chaos_net: " << e.what()
+              << "\nusage: chaos_net [--requests N] [--seed S]\n";
+    return 1;
+  }
+  return cvb::net::run(args);
+}
+
+#else
+
+int main() {
+  std::cout << "chaos_net requires epoll (Linux); skipping\n";
+  return 0;
+}
+
+#endif  // CVB_HAVE_EPOLL

@@ -1,6 +1,7 @@
 // Command-line driver for `cvrouter`, the consistent-hash request
 // router (net/router.hpp). All logic lives in the library so tests can
 // run a router in-process; tools/cvrouter.cpp is a thin main().
+#include <fstream>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -9,6 +10,8 @@
 #include "cli/cli.hpp"
 #include "cli/flags.hpp"
 #include "net/router.hpp"
+#include "support/metrics.hpp"
+#include "support/strings.hpp"
 
 namespace cvb {
 
@@ -24,12 +27,16 @@ always lands on the same worker and keeps its eval cache hot.
 Responses are forwarded verbatim — byte-identical to a direct worker
 connection. See FORMATS.md "Router hashing contract".
 
-Unhealthy workers (failed kPing probes) are skipped on the ring; when
-every worker looks down the router fails open and routes by hash
-anyway. Requests lost to a dying worker connection get a typed
-{"status":"internal_error","fault_class":"transient"} response.
-{"cmd":"shutdown"} through the router shuts down every worker, then
-the router itself.
+Every worker sits behind a circuit breaker: request/probe failures
+trip it open, the kPing prober half-opens and re-closes it, and the
+ring is walked past workers whose breaker refuses traffic (when every
+breaker refuses, the router fails open and routes the hash owner as
+an extra trial). Job requests unanswered past the hedge budget are
+re-sent to the next ring worker; the first terminal response wins and
+the loser is deduplicated. Requests lost to a dying worker connection
+get a typed {"status":"internal_error","fault_class":"transient"}
+response. {"cmd":"shutdown"} through the router shuts down every
+worker, then the router itself.
 
 options:
   --listen PATH          Unix socket to serve clients on (required)
@@ -41,6 +48,18 @@ options:
   --health-timeout-ms N  per-probe reply timeout (default 1000)
   --retries N            connect attempts per upstream before a
                          request is failed transient (default 3)
+  --breaker-threshold N  consecutive failures that open a worker's
+                         circuit breaker (default 3)
+  --breaker-window N     rolling outcome window for the error-rate
+                         trip (default 16)
+  --half-open-trials N   trial successes needed to close a half-open
+                         breaker (default 2)
+  --hedge-budget-ms N    re-send a job unanswered for N ms to the
+                         next ring worker; first terminal response
+                         wins (default 250, 0 = off)
+  --metrics-text FILE    at exit, write net_breaker_*/net_hedge_*/
+                         net_router_* metrics as Prometheus text to
+                         FILE ('-' = stdout)
   --help                 this text
 )";
 }
@@ -68,6 +87,23 @@ int run_router_cli(const std::vector<std::string>& args, std::ostream& out,
   flags.on_value("--retries", [&](const std::string& v) {
     opts.max_connect_attempts = parse_int_at_least(v, 1, "--retries");
   });
+  flags.on_value("--breaker-threshold", [&](const std::string& v) {
+    opts.breaker.failure_threshold =
+        parse_int_at_least(v, 1, "--breaker-threshold");
+  });
+  flags.on_value("--breaker-window", [&](const std::string& v) {
+    opts.breaker.window = parse_int_at_least(v, 1, "--breaker-window");
+  });
+  flags.on_value("--half-open-trials", [&](const std::string& v) {
+    opts.breaker.half_open_trials =
+        parse_int_at_least(v, 1, "--half-open-trials");
+  });
+  flags.on_value("--hedge-budget-ms", [&](const std::string& v) {
+    opts.hedge_budget_ms = parse_nonnegative_int(v);
+  });
+  std::string metrics_text;
+  flags.on_value("--metrics-text",
+                 [&](const std::string& v) { metrics_text = v; });
   try {
     flags.parse(args);
     if (!help && opts.listen_path.empty()) {
@@ -84,8 +120,24 @@ int run_router_cli(const std::vector<std::string>& args, std::ostream& out,
     out << router_cli_usage();
     return 0;
   }
+  MetricsRegistry metrics;
+  opts.metrics = &metrics;
   net::Router router(std::move(opts));
-  return router.run(err);
+  const int rc = router.run(err);
+  if (!metrics_text.empty()) {
+    const std::string text = metrics.prometheus_text();
+    if (metrics_text == "-") {
+      out << text;
+    } else {
+      std::ofstream file(metrics_text);
+      if (!file) {
+        err << "cvrouter: cannot write '" << metrics_text << "'\n";
+        return rc == 0 ? 1 : rc;
+      }
+      file << text;
+    }
+  }
+  return rc;
 }
 
 }  // namespace cvb

@@ -19,6 +19,7 @@
 // writes whatever is left at exit, and --metrics-text exports the
 // metrics registry as Prometheus text at exit. --warm-start seeds the
 // eval cache from a {"cmd":"snapshot"} file before serving.
+#include <chrono>
 #include <condition_variable>
 #include <fstream>
 #include <istream>
@@ -27,6 +28,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/cli.hpp"
@@ -44,6 +46,8 @@
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <cerrno>
 #endif
 
 namespace cvb {
@@ -94,7 +98,16 @@ options:
                       reader is paused (default 1048576)
   --warm-start FILE   seed the eval cache from a {"cmd":"snapshot"}
                       file before serving (see FORMATS.md "Eval-cache
-                      snapshot file")
+                      snapshot file"); a missing or corrupt file logs
+                      a structured warning and serving continues with
+                      a cold cache
+  --snapshot-path FILE
+                      destination for periodic and exit snapshots
+                      (default: the --warm-start path)
+  --snapshot-every-s N
+                      persist the eval cache every N seconds and once
+                      at exit (atomic tmp + fsync + rename; 0 = off);
+                      needs --snapshot-path or --warm-start
   --help              this text
 
 Malformed request lines get a structured error response
@@ -110,6 +123,8 @@ struct ServeOptions {
   ServiceOptions service;
   std::string socket_path;
   std::string warm_start;
+  std::string snapshot_path;
+  int snapshot_every_s = 0;
   std::size_t write_budget = std::size_t{1} << 20;
   bool once = false;
   bool trace = false;
@@ -176,6 +191,11 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
                  [&](const std::string& v) { opts.socket_path = v; });
   flags.on_value("--warm-start",
                  [&](const std::string& v) { opts.warm_start = v; });
+  flags.on_value("--snapshot-path",
+                 [&](const std::string& v) { opts.snapshot_path = v; });
+  flags.on_value("--snapshot-every-s", [&](const std::string& v) {
+    opts.snapshot_every_s = parse_nonnegative_int(v);
+  });
   flags.on_value("--write-budget", [&](const std::string& v) {
     opts.write_budget = static_cast<std::size_t>(
         parse_int_at_least(v, 1, "--write-budget"));
@@ -327,8 +347,14 @@ class FdStreambuf : public std::streambuf {
   }
 
  protected:
+  // All three primitives retry EINTR: a signal mid-read/-write is not
+  // end-of-stream, and a false EOF here silently drops the rest of a
+  // client's session.
   int underflow() override {
-    const ssize_t n = ::read(fd_, in_buf_, sizeof in_buf_);
+    ssize_t n;
+    do {
+      n = ::read(fd_, in_buf_, sizeof in_buf_);
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) {
       return traits_type::eof();
     }
@@ -339,7 +365,11 @@ class FdStreambuf : public std::streambuf {
   int overflow(int ch) override {
     if (ch != traits_type::eof()) {
       const char byte = static_cast<char>(ch);
-      if (::write(fd_, &byte, 1) != 1) {
+      ssize_t n;
+      do {
+        n = ::write(fd_, &byte, 1);
+      } while (n < 0 && errno == EINTR);
+      if (n != 1) {
         return traits_type::eof();
       }
     }
@@ -351,6 +381,9 @@ class FdStreambuf : public std::streambuf {
     while (written < count) {
       const ssize_t n = ::write(fd_, data + written,
                                 static_cast<std::size_t>(count - written));
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
       if (n <= 0) {
         break;
       }
@@ -460,15 +493,70 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
 
   Service service(opts.service);
   if (!opts.warm_start.empty()) {
+    // Warm-start is crash-only (DESIGN §3.13): the snapshot is an
+    // optimization, so a missing/torn/corrupt file degrades to a cold
+    // cache with a structured warning — it must never abort startup.
+    const auto warn = [&](const std::string& error, long long salvaged,
+                          bool transient) {
+      JsonValue warning = JsonValue::object();
+      warning.set("status", "warning");
+      warning.set("cmd", "warm-start");
+      warning.set("path", opts.warm_start);
+      if (transient) {
+        warning.set("fault_class", "transient");
+      }
+      warning.set("error", error);
+      warning.set("salvaged", salvaged);
+      warning.write(err);
+      err << '\n';
+    };
     try {
+      net::SnapshotRestore restored =
+          net::restore_cache_snapshot_file(opts.warm_start);
+      if (!restored.complete) {
+        warn(restored.warning,
+             static_cast<long long>(restored.entries.size()), false);
+      }
       const std::size_t accepted =
-          service.warm_start(net::load_cache_snapshot(opts.warm_start));
+          service.warm_start(std::move(restored.entries));
       err << "cvserve: warm-start: " << accepted << " cache entries from '"
           << opts.warm_start << "'\n";
     } catch (const std::exception& e) {
-      err << "cvserve: warm-start: " << e.what() << '\n';
+      warn(e.what(), 0, true);
+      err << "cvserve: warm-start: continuing with a cold cache\n";
+    }
+  }
+
+  // Periodic crash-safe persistence: a background thread snapshots the
+  // eval cache every N seconds (atomic tmp + fsync + rename, so a
+  // crash mid-save leaves the previous good file) plus once at exit.
+  const std::string snap_path =
+      opts.snapshot_path.empty() ? opts.warm_start : opts.snapshot_path;
+  std::mutex snap_mutex;
+  std::condition_variable snap_cv;
+  bool snap_stop = false;
+  std::thread snap_thread;
+  if (opts.snapshot_every_s > 0) {
+    if (snap_path.empty()) {
+      err << "cvserve: --snapshot-every-s needs --snapshot-path or "
+             "--warm-start\n";
       return 1;
     }
+    snap_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(snap_mutex);
+      while (!snap_cv.wait_for(lock,
+                               std::chrono::seconds(opts.snapshot_every_s),
+                               [&] { return snap_stop; })) {
+        lock.unlock();
+        try {
+          net::save_cache_snapshot(snap_path, service.snapshot_cache());
+        } catch (const std::exception&) {
+          // Best-effort: a disk hiccup must not kill the serving path;
+          // the next tick (and the exit save) retry.
+        }
+        lock.lock();
+      }
+    });
   }
   int rc = 0;
   if (!opts.socket_path.empty()) {
@@ -489,6 +577,20 @@ int run_serve_cli(const std::vector<std::string>& args, std::istream& in,
 #endif
   } else {
     serve_ndjson_stream(service, trace_ptr, in, out);
+  }
+
+  if (snap_thread.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(snap_mutex);
+      snap_stop = true;
+    }
+    snap_cv.notify_all();
+    snap_thread.join();
+    try {
+      net::save_cache_snapshot(snap_path, service.snapshot_cache());
+    } catch (const std::exception& e) {
+      err << "cvserve: snapshot: " << e.what() << '\n';
+    }
   }
 
   // Exit-time exports. The service is still alive (workers idle), so

@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/fault.hpp"
+
 namespace cvb::net {
 
 namespace {
@@ -122,6 +124,11 @@ void EventLoop::run() {
 }
 
 void EventLoop::wakeup() {
+  // Chaos site for delayed cross-thread wakeups. Arm the hang flavour
+  // only: callers (worker completion callbacks) may hold server state
+  // locks, so a delay is safe but an exception here would be a lost
+  // wakeup — a liveness bug this site exists to prove we don't have.
+  CVB_INJECT("net.wakeup");
   const std::uint64_t one = 1;
   // A full eventfd counter (EAGAIN) already guarantees a pending
   // wakeup, so the write result only matters for real failures, which

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "support/fault.hpp"
+
 namespace cvb::net {
 
 bool is_known_frame_type(std::uint8_t type) {
@@ -13,6 +15,7 @@ bool is_known_frame_type(std::uint8_t type) {
     case FrameType::kPong:
     case FrameType::kSnapshotHeader:
     case FrameType::kSnapshotEntry:
+    case FrameType::kSnapshotTrailer:
       return true;
   }
   return false;
@@ -40,6 +43,11 @@ const char* decode_status_message(DecodeStatus status) {
 }
 
 DecodeResult decode_frame(std::string_view buffer) {
+  // Chaos site for the decode hot path. Only the hang flavour is
+  // supported (decode is called inside event-loop dispatch, where an
+  // exception would tear down the whole server rather than one
+  // connection); it models a stalled parser / scheduling hiccup.
+  CVB_INJECT("net.frame.decode");
   DecodeResult result;
   const auto* bytes = reinterpret_cast<const unsigned char*>(buffer.data());
   // Validate the header prefix byte by byte, so garbage is rejected as

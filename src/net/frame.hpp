@@ -53,6 +53,7 @@ enum class FrameType : std::uint8_t {
   kPong = 0x05,      ///< liveness reply (payload echoed from the ping)
   kSnapshotHeader = 0x10,  ///< eval-cache snapshot file header record
   kSnapshotEntry = 0x11,   ///< one eval-cache entry record
+  kSnapshotTrailer = 0x12,  ///< snapshot whole-file checksum trailer
 };
 
 /// True for the byte values decode_frame() accepts as a type.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/fault.hpp"
 #include "support/hash.hpp"
 #include "support/json.hpp"
+#include "support/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CVB_ROUTER_HAVE_SOCKETS 1
@@ -16,9 +18,9 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <list>
 #include <mutex>
 #include <ostream>
-#include <set>
 #include <string_view>
 #include <thread>
 
@@ -77,6 +79,233 @@ int HashRing::pick(std::uint64_t key, const std::vector<bool>& healthy) const {
     ++it;
   }
   return points_.begin()->second;  // all ineligible: fail-open anyway
+}
+
+std::vector<int> HashRing::pick_sequence(std::uint64_t key) const {
+  std::vector<int> order;
+  if (points_.empty()) {
+    return order;
+  }
+  order.reserve(num_workers_);
+  std::vector<bool> seen(num_workers_, false);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const std::pair<std::uint64_t, int>& p, std::uint64_t k) {
+        return p.first < k;
+      });
+  for (std::size_t step = 0;
+       step < points_.size() && order.size() < num_workers_; ++step) {
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    const auto w = static_cast<std::size_t>(it->second);
+    if (!seen[w]) {
+      seen[w] = true;
+      order.push_back(it->second);
+    }
+    ++it;
+  }
+  return order;
+}
+
+// ---- Circuit breakers ---------------------------------------------------
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "closed";
+}
+
+BreakerBoard::BreakerBoard(std::size_t num_workers, BreakerOptions options,
+                           MetricsRegistry* metrics, Tracer* tracer)
+    : options_(options), metrics_(metrics), tracer_(tracer) {
+  options_.failure_threshold = std::max(1, options_.failure_threshold);
+  options_.window = std::max(1, options_.window);
+  options_.half_open_trials = std::max(1, options_.half_open_trials);
+  slots_.resize(num_workers);
+  for (Slot& slot : slots_) {
+    slot.window.assign(static_cast<std::size_t>(options_.window), 0);
+  }
+}
+
+void BreakerBoard::transition(Slot& slot, std::size_t w, BreakerState to) {
+  if (slot.state == to) {
+    return;
+  }
+  {
+    ScopedSpan span(tracer_, "router.breaker");
+    span.attr("worker", static_cast<long long>(w));
+    span.attr("from", to_string(slot.state));
+    span.attr("to", to_string(to));
+  }
+  if (metrics_ != nullptr) {
+    switch (to) {
+      case BreakerState::kOpen:
+        metrics_->counter("net_breaker_open_total").inc();
+        break;
+      case BreakerState::kHalfOpen:
+        metrics_->counter("net_breaker_half_open_total").inc();
+        break;
+      case BreakerState::kClosed:
+        metrics_->counter("net_breaker_close_total").inc();
+        break;
+    }
+    metrics_->gauge("net_breaker_state_w" + std::to_string(w))
+        .set(to == BreakerState::kClosed ? 0
+                                         : (to == BreakerState::kHalfOpen ? 1
+                                                                          : 2));
+  }
+  slot.state = to;
+  slot.consecutive_failures = 0;
+  std::fill(slot.window.begin(), slot.window.end(),
+            static_cast<unsigned char>(0));
+  slot.window_pos = 0;
+  slot.window_fill = 0;
+  slot.window_errors = 0;
+  slot.trials_granted = 0;
+  slot.trial_successes = 0;
+}
+
+void BreakerBoard::note_outcome(Slot& slot, std::size_t w, bool ok) {
+  // Closed-state bookkeeping: the consecutive counter catches a hard
+  // outage, the rolling window catches a worker failing a fraction of
+  // everything it touches.
+  slot.consecutive_failures = ok ? 0 : slot.consecutive_failures + 1;
+  slot.window_errors -= slot.window[slot.window_pos];
+  slot.window[slot.window_pos] = ok ? 0 : 1;
+  slot.window_errors += slot.window[slot.window_pos];
+  slot.window_pos = (slot.window_pos + 1) % slot.window.size();
+  slot.window_fill = std::min(slot.window_fill + 1, slot.window.size());
+  const bool window_trips =
+      slot.window_fill == slot.window.size() &&
+      static_cast<double>(slot.window_errors) >=
+          options_.error_rate_threshold *
+              static_cast<double>(slot.window.size());
+  if (slot.consecutive_failures >= options_.failure_threshold ||
+      window_trips) {
+    transition(slot, w, BreakerState::kOpen);
+  }
+}
+
+void BreakerBoard::record_success(std::size_t w) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (w >= slots_.size()) {
+    return;
+  }
+  Slot& slot = slots_[w];
+  switch (slot.state) {
+    case BreakerState::kClosed:
+      note_outcome(slot, w, true);
+      break;
+    case BreakerState::kHalfOpen:
+      slot.trials_granted = std::max(0, slot.trials_granted - 1);
+      if (++slot.trial_successes >= options_.half_open_trials) {
+        transition(slot, w, BreakerState::kClosed);
+      }
+      break;
+    case BreakerState::kOpen:
+      // A straggler response from before the trip; the probe owns the
+      // open -> half-open edge.
+      break;
+  }
+}
+
+void BreakerBoard::record_failure(std::size_t w) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (w >= slots_.size()) {
+    return;
+  }
+  Slot& slot = slots_[w];
+  switch (slot.state) {
+    case BreakerState::kClosed:
+      note_outcome(slot, w, false);
+      break;
+    case BreakerState::kHalfOpen:
+      transition(slot, w, BreakerState::kOpen);  // trial failed
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+void BreakerBoard::on_probe(std::size_t w, bool ok) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (w >= slots_.size()) {
+    return;
+  }
+  Slot& slot = slots_[w];
+  if (ok) {
+    switch (slot.state) {
+      case BreakerState::kOpen:
+        transition(slot, w, BreakerState::kHalfOpen);
+        break;
+      case BreakerState::kHalfOpen:
+        // Probes count as trial successes so a recovered worker closes
+        // its breaker even with zero client traffic.
+        if (++slot.trial_successes >= options_.half_open_trials) {
+          transition(slot, w, BreakerState::kClosed);
+        }
+        break;
+      case BreakerState::kClosed:
+        slot.consecutive_failures = 0;  // liveness proven
+        break;
+    }
+  } else {
+    switch (slot.state) {
+      case BreakerState::kClosed:
+        note_outcome(slot, w, false);  // trips idle dead workers too
+        break;
+      case BreakerState::kHalfOpen:
+        transition(slot, w, BreakerState::kOpen);
+        break;
+      case BreakerState::kOpen:
+        break;
+    }
+  }
+}
+
+bool BreakerBoard::allow(std::size_t w) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (w >= slots_.size()) {
+    return false;
+  }
+  Slot& slot = slots_[w];
+  switch (slot.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      if (slot.trials_granted < options_.half_open_trials) {
+        ++slot.trials_granted;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+BreakerState BreakerBoard::state(std::size_t w) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return w < slots_.size() ? slots_[w].state : BreakerState::kOpen;
+}
+
+std::vector<bool> BreakerBoard::eligibility() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<bool> out(slots_.size(), false);
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    const Slot& slot = slots_[w];
+    out[w] = slot.state == BreakerState::kClosed ||
+             (slot.state == BreakerState::kHalfOpen &&
+              slot.trials_granted < options_.half_open_trials);
+  }
+  return out;
 }
 
 std::uint64_t request_route_key(const std::string& request_json) {
@@ -154,6 +383,43 @@ bool send_all(int fd, std::string_view bytes) {
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;  // interrupted, nothing sent: retry
+    }
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// send_all for the router -> worker direction, with the upstream
+/// fault sites compiled in. The injected mid-frame drop shuts the
+/// socket down after a partial send: leaving it open would desync the
+/// frame stream (the worker would swallow the next frame's header as
+/// payload), which no real kernel failure can cause — a torn send is
+/// always followed by the connection dying.
+bool send_all_upstream(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    if (CVB_INJECT_DRAW("router.upstream_write.eintr") != 0) {
+      continue;  // exactly a real EINTR: retry with nothing consumed
+    }
+    if (CVB_INJECT_DRAW("router.upstream_write.drop") != 0) {
+      const std::size_t half = (bytes.size() - sent + 1) / 2;
+      (void)::send(fd, bytes.data() + sent, half, MSG_NOSIGNAL);
+      ::shutdown(fd, SHUT_RDWR);
+      return false;
+    }
+    std::size_t len = bytes.size() - sent;
+    if (CVB_INJECT_DRAW("router.upstream_write.torn") != 0) {
+      len = 1;  // torn write: one byte per syscall
+    }
+    const ssize_t n = ::send(fd, bytes.data() + sent, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
     if (n <= 0) {
       return false;
     }
@@ -179,7 +445,18 @@ bool read_frame_blocking(int fd, std::string& buf, FrameType* type,
       return false;
     }
     char chunk[kReadChunk];
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    ssize_t n;
+    if (CVB_INJECT_DRAW("router.upstream_read.eintr") != 0) {
+      n = -1;
+      errno = EINTR;
+    } else if (CVB_INJECT_DRAW("router.upstream_read.eof") != 0) {
+      n = 0;  // spurious EOF: the upstream connection looks dropped
+    } else {
+      n = ::read(fd, chunk, sizeof chunk);
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
     if (n <= 0) {
       return false;
     }
@@ -203,6 +480,13 @@ struct Router::Impl {
 
   RouterOptions options;
   HashRing ring{options.workers, options.vnodes};
+  /// Private fallback registry so breaker/hedge accounting always has
+  /// somewhere to go; options.metrics overrides it for export.
+  MetricsRegistry owned_metrics;
+  MetricsRegistry* metrics =
+      options.metrics != nullptr ? options.metrics : &owned_metrics;
+  BreakerBoard breakers{options.workers.size(), options.breaker, metrics,
+                        options.tracer};
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -211,17 +495,11 @@ struct Router::Impl {
   bool stopping = false;
   int listener = -1;
   std::vector<int> session_fds;          // live client fds (for shutdown)
-  std::vector<bool> health;              // guarded by mutex
   std::vector<std::thread> sessions;
 
   std::thread health_thread;
 
   // ---- health ----------------------------------------------------------
-
-  [[nodiscard]] std::vector<bool> health_snapshot() {
-    const std::lock_guard<std::mutex> lock(mutex);
-    return health;
-  }
 
   /// One kPing round trip on a fresh connection, bounded by
   /// health_timeout_ms.
@@ -241,6 +519,9 @@ struct Router::Impl {
         pollfd pfd{fd, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, 10);
         if (ready < 0) {
+          if (errno == EINTR) {
+            continue;  // interrupted poll is not a failed probe
+          }
           break;
         }
         if (ready == 0) {
@@ -248,6 +529,9 @@ struct Router::Impl {
         }
         char chunk[256];
         const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
         if (n <= 0) {
           break;
         }
@@ -275,9 +559,7 @@ struct Router::Impl {
             return;
           }
         }
-        const bool up = probe(options.workers[w]);
-        const std::lock_guard<std::mutex> lock(mutex);
-        health[w] = up;
+        breakers.on_probe(w, probe(options.workers[w]));
       }
       std::unique_lock<std::mutex> lock(mutex);
       cv.wait_for(lock,
@@ -295,18 +577,52 @@ struct Router::Impl {
   struct Upstream {
     int fd = -1;
     std::thread reader;
-    /// Ids of requests sent and not yet answered; multiset because ids
-    /// may repeat (or be empty). Guarded by Session::mutex.
-    std::multiset<std::string> pending;
     bool dead = false;  ///< reader saw EOF/error; guarded by Session::mutex
+  };
+
+  /// One request the session accepted and has not fully resolved. The
+  /// per-session ledger (insertion == arrival order) is what makes
+  /// hedging safe: `answered` flips exactly once, so however many
+  /// workers eventually respond, the client sees exactly one terminal
+  /// response, and the loser is counted and dropped.
+  struct PendingReq {
+    std::uint64_t seq = 0;     ///< session-unique handle (list-scan key)
+    std::string id;            ///< request id (may be empty / repeated)
+    std::string text;          ///< original request JSON (for hedging)
+    std::uint64_t key = 0;     ///< route key (for the hedge ring walk)
+    std::chrono::steady_clock::time_point enqueued;
+    std::size_t primary = 0;   ///< worker the request was routed to
+    std::vector<std::size_t> waiting_on;  ///< workers yet to answer
+    bool answered = false;     ///< a terminal response was forwarded
+    bool hedged = false;       ///< hedge decision made (fired or not)
   };
 
   struct Session {
     int client_fd = -1;
     bool client_binary = false;
-    std::mutex mutex;  ///< guards client writes, pending sets, dead flags
+    /// Guards client writes, the ledger, and upstream dead flags.
+    std::mutex mutex;
+    /// Serializes ensure_upstream between the session thread and the
+    /// hedge thread (connect+backoff must not run twice for one slot;
+    /// it sleeps, so it cannot hold `mutex`).
+    std::mutex connect_mutex;
     std::vector<Upstream> upstreams;
+    std::list<PendingReq> ledger;
+    std::uint64_t next_seq = 1;
+    bool closing = false;  ///< hedge thread exit flag, guarded by mutex
+    std::condition_variable hedge_cv;
+    std::thread hedge_thread;
   };
+
+  /// Ledger entry by seq, or end(). Callers hold Session::mutex.
+  static std::list<PendingReq>::iterator find_seq(Session& session,
+                                                  std::uint64_t seq) {
+    auto it = session.ledger.begin();
+    while (it != session.ledger.end() && it->seq != seq) {
+      ++it;
+    }
+    return it;
+  }
 
   /// Serializes one response to the client in its own protocol.
   /// Returns false when the client is gone (callers just keep
@@ -327,8 +643,9 @@ struct Router::Impl {
   }
 
   /// Forwards every kResponse/kError frame from worker `w` to the
-  /// client until the upstream dies; then answers whatever is still
-  /// pending with a typed transient error.
+  /// client until the upstream dies; then resolves whatever was still
+  /// waiting on `w` (typed transient answer unless a hedge already
+  /// answered or another worker is still racing).
   void upstream_reader(Session& session, std::size_t w) {
     Upstream& up = session.upstreams[w];
     std::string buf;
@@ -341,26 +658,78 @@ struct Router::Impl {
       if (type != FrameType::kResponse && type != FrameType::kError) {
         break;  // a worker never sends anything else; stream is corrupt
       }
+      const std::string rid = extract_request_id(payload);
       const std::lock_guard<std::mutex> lock(session.mutex);
-      const auto it = up.pending.find(extract_request_id(payload));
-      if (it != up.pending.end()) {
-        up.pending.erase(it);
+      // Oldest unresolved entry with this id that is waiting on us.
+      auto match = session.ledger.end();
+      for (auto it = session.ledger.begin(); it != session.ledger.end();
+           ++it) {
+        if (it->id == rid &&
+            std::find(it->waiting_on.begin(), it->waiting_on.end(), w) !=
+                it->waiting_on.end()) {
+          match = it;
+          break;
+        }
       }
-      send_to_client(session, payload);
+      if (match == session.ledger.end()) {
+        // A response nothing is waiting for (e.g. the request's entry
+        // was resolved by a send-failure path): count it, drop it —
+        // forwarding it would duplicate a terminal response.
+        metrics->counter("net_router_unmatched_responses").inc();
+        continue;
+      }
+      match->waiting_on.erase(std::find(match->waiting_on.begin(),
+                                        match->waiting_on.end(), w));
+      breakers.record_success(w);
+      if (!match->answered) {
+        match->answered = true;
+        if (w != match->primary) {
+          metrics->counter("net_hedge_wins_total").inc();
+        }
+        send_to_client(session, payload);
+      } else {
+        // The race's loser: proven-deduplicated, never forwarded.
+        metrics->counter("net_hedge_dedup_dropped_total").inc();
+      }
+      if (match->waiting_on.empty()) {
+        session.ledger.erase(match);
+      }
     }
-    // Upstream gone: every request still pending gets a typed answer.
+    // Upstream gone: resolve everything still waiting on this worker.
     const std::lock_guard<std::mutex> lock(session.mutex);
     up.dead = true;
-    for (const std::string& id : up.pending) {
-      send_to_client(session, worker_lost_json(id, options.workers[w]));
+    bool had_pending = false;
+    for (auto it = session.ledger.begin(); it != session.ledger.end();) {
+      const auto pos =
+          std::find(it->waiting_on.begin(), it->waiting_on.end(), w);
+      if (pos == it->waiting_on.end()) {
+        ++it;
+        continue;
+      }
+      had_pending = true;
+      it->waiting_on.erase(pos);
+      if (it->waiting_on.empty()) {
+        if (!it->answered) {
+          metrics->counter("net_router_transient_total").inc();
+          send_to_client(session,
+                         worker_lost_json(it->id, options.workers[w]));
+        }
+        it = session.ledger.erase(it);
+      } else {
+        ++it;  // a hedge is still racing; it owns the final verdict
+      }
     }
-    up.pending.clear();
+    if (had_pending) {
+      breakers.record_failure(w);
+    }
   }
 
   /// Connects (or reconnects) session's upstream to worker `w`, with
   /// bounded transient retries and decorrelated-jitter backoff.
-  /// Returns false when every attempt failed.
+  /// Returns false when every attempt failed. Thread-safe between the
+  /// session thread and the hedge thread via Session::connect_mutex.
   bool ensure_upstream(Session& session, std::size_t w) {
+    const std::lock_guard<std::mutex> connect_lock(session.connect_mutex);
     Upstream& up = session.upstreams[w];
     {
       const std::lock_guard<std::mutex> lock(session.mutex);
@@ -387,7 +756,10 @@ struct Router::Impl {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(delay_ms));
       }
-      const int fd = connect_unix(options.workers[w]);
+      int fd = -1;
+      if (CVB_INJECT_DRAW("router.connect") == 0) {
+        fd = connect_unix(options.workers[w]);
+      }
       if (fd >= 0) {
         {
           const std::lock_guard<std::mutex> lock(session.mutex);
@@ -403,40 +775,173 @@ struct Router::Impl {
     return false;
   }
 
-  /// Routes one JSON request unit from the client.
+  /// Routes one JSON request unit from the client: walk the ring from
+  /// the key's owner, take the first worker whose breaker allows
+  /// traffic (fail-open to the owner when none does), enter it in the
+  /// dedup ledger, send.
   void route_request(Session& session, const std::string& text) {
     ScopedSpan span(options.tracer, "router.route");
+    metrics->counter("net_router_requests_total").inc();
     const std::uint64_t key = request_route_key(text);
-    const int picked = ring.pick(key, health_snapshot());
-    span.attr("key", static_cast<long long>(key));
-    span.attr("worker", picked);
     const std::string id = extract_request_id(text);
-    if (picked < 0) {
+    const std::vector<int> order = ring.pick_sequence(key);
+    if (order.empty()) {
+      metrics->counter("net_router_transient_total").inc();
       send_to_client_locked(session, worker_lost_json(id, "(none)"));
       return;
     }
+    int picked = -1;
+    for (const int candidate : order) {
+      if (breakers.allow(static_cast<std::size_t>(candidate))) {
+        picked = candidate;
+        break;
+      }
+    }
+    if (picked < 0) {
+      // Every breaker refuses: fail-open through the hash owner as an
+      // extra trial — a wrong verdict must degrade to "try it".
+      picked = order.front();
+      metrics->counter("net_breaker_fail_open_total").inc();
+    }
+    span.attr("key", static_cast<long long>(key));
+    span.attr("worker", picked);
     const auto w = static_cast<std::size_t>(picked);
     if (!ensure_upstream(session, w)) {
-      const std::lock_guard<std::mutex> lock(session.mutex);
-      send_to_client(session, worker_lost_json(id, options.workers[w]));
+      breakers.record_failure(w);
+      metrics->counter("net_router_transient_total").inc();
+      send_to_client_locked(session, worker_lost_json(id, options.workers[w]));
       return;
     }
-    Upstream& up = session.upstreams[w];
+    std::uint64_t seq = 0;
+    int up_fd = -1;
     {
       const std::lock_guard<std::mutex> lock(session.mutex);
-      up.pending.insert(id);
+      PendingReq entry;
+      entry.seq = seq = session.next_seq++;
+      entry.id = id;
+      entry.text = text;
+      entry.key = key;
+      entry.enqueued = std::chrono::steady_clock::now();
+      entry.primary = w;
+      entry.waiting_on.push_back(w);
+      // Control requests (key 0) carry side effects — snapshot writes,
+      // metric reads — that must not run twice; pre-marking them
+      // hedged keeps the hedge thread away.
+      entry.hedged = key == 0;
+      session.ledger.push_back(std::move(entry));
+      up_fd = session.upstreams[w].fd;
     }
-    if (!send_all(up.fd, encode_frame(FrameType::kRequest, text))) {
+    if (!send_all_upstream(up_fd, encode_frame(FrameType::kRequest, text))) {
+      breakers.record_failure(w);
       const std::lock_guard<std::mutex> lock(session.mutex);
-      // The reader will answer pending ids when it notices the death;
-      // answer this one only if the reader has not already done so.
-      if (!up.dead) {
-        const auto it = up.pending.find(id);
-        if (it != up.pending.end()) {
-          up.pending.erase(it);
-          send_to_client(session, worker_lost_json(id, options.workers[w]));
+      // The reader resolves the ledger when it notices the death;
+      // resolve here only if it has not already done so.
+      const auto it = find_seq(session, seq);
+      if (it != session.ledger.end()) {
+        const auto pos =
+            std::find(it->waiting_on.begin(), it->waiting_on.end(), w);
+        if (pos != it->waiting_on.end()) {
+          it->waiting_on.erase(pos);
+        }
+        if (it->waiting_on.empty()) {
+          if (!it->answered) {
+            metrics->counter("net_router_transient_total").inc();
+            send_to_client(session, worker_lost_json(id, options.workers[w]));
+          }
+          session.ledger.erase(it);
         }
       }
+    }
+  }
+
+  /// The per-session hedge clock: wakes a few times per budget, fires
+  /// each over-budget unanswered job to the next distinct ring worker
+  /// whose breaker allows it (at most one hedge per request).
+  void hedge_loop(Session& session) {
+    const auto budget =
+        std::chrono::duration<double, std::milli>(options.hedge_budget_ms);
+    const auto poll_ms = std::chrono::milliseconds(std::clamp(
+        static_cast<long long>(options.hedge_budget_ms / 4.0), 1LL, 50LL));
+    struct Fire {
+      std::uint64_t seq;
+      std::string id;
+      std::string text;
+      std::size_t target;
+    };
+    std::unique_lock<std::mutex> lock(session.mutex);
+    while (!session.closing) {
+      session.hedge_cv.wait_for(lock, poll_ms);
+      if (session.closing) {
+        return;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<Fire> fires;
+      for (PendingReq& entry : session.ledger) {
+        if (entry.answered || entry.hedged || now - entry.enqueued < budget) {
+          continue;
+        }
+        entry.hedged = true;  // one hedge decision per request, ever
+        for (const int candidate : ring.pick_sequence(entry.key)) {
+          const auto target = static_cast<std::size_t>(candidate);
+          if (target == entry.primary || !breakers.allow(target)) {
+            continue;
+          }
+          fires.push_back({entry.seq, entry.id, entry.text, target});
+          break;
+        }
+      }
+      if (fires.empty()) {
+        continue;
+      }
+      lock.unlock();
+      for (const Fire& fire : fires) {
+        if (!ensure_upstream(session, fire.target)) {
+          breakers.record_failure(fire.target);
+          continue;  // primary still owes the answer; nothing is lost
+        }
+        int up_fd = -1;
+        {
+          const std::lock_guard<std::mutex> relock(session.mutex);
+          const auto it = find_seq(session, fire.seq);
+          if (it == session.ledger.end() || it->answered) {
+            continue;  // resolved while we connected; skip the send
+          }
+          it->waiting_on.push_back(fire.target);
+          up_fd = session.upstreams[fire.target].fd;
+        }
+        metrics->counter("net_hedge_fired_total").inc();
+        {
+          ScopedSpan span(options.tracer, "router.hedge");
+          span.attr("worker", static_cast<long long>(fire.target));
+          span.attr("id", fire.id);
+        }
+        if (!send_all_upstream(
+                up_fd, encode_frame(FrameType::kRequest, fire.text))) {
+          breakers.record_failure(fire.target);
+          const std::lock_guard<std::mutex> relock(session.mutex);
+          const auto it = find_seq(session, fire.seq);
+          if (it != session.ledger.end()) {
+            const auto pos = std::find(it->waiting_on.begin(),
+                                       it->waiting_on.end(), fire.target);
+            if (pos != it->waiting_on.end()) {
+              it->waiting_on.erase(pos);
+            }
+            // Usually the primary leg still owes the answer — but if
+            // its reader died while this hedge was connecting, the
+            // failed hedge was the last leg and owes the transient.
+            if (it->waiting_on.empty()) {
+              if (!it->answered) {
+                metrics->counter("net_router_transient_total").inc();
+                send_to_client(session,
+                               worker_lost_json(
+                                   it->id, options.workers[fire.target]));
+              }
+              session.ledger.erase(it);
+            }
+          }
+        }
+      }
+      lock.lock();
     }
   }
 
@@ -495,6 +1000,10 @@ struct Router::Impl {
     session.client_fd = client_fd;
     session.upstreams = std::vector<Upstream>(options.workers.size());
     ScopedSpan span(options.tracer, "router.session");
+    if (options.hedge_budget_ms > 0 && options.workers.size() > 1) {
+      session.hedge_thread =
+          std::thread([this, &session] { hedge_loop(session); });
+    }
 
     std::string buf;
     bool sniffed = false;
@@ -563,6 +1072,16 @@ struct Router::Impl {
       }
     }
 
+    // Stop the hedge clock first: once joined it can no longer open
+    // fresh upstream connections behind the drain below.
+    {
+      const std::lock_guard<std::mutex> lock(session.mutex);
+      session.closing = true;
+    }
+    session.hedge_cv.notify_all();
+    if (session.hedge_thread.joinable()) {
+      session.hedge_thread.join();
+    }
     // Drain: half-close every upstream so workers finish in-flight
     // jobs and respond; readers forward those responses, then exit.
     for (Upstream& up : session.upstreams) {
@@ -636,10 +1155,10 @@ struct Router::Impl {
       const std::lock_guard<std::mutex> lock(mutex);
       listener = fd;
       listening = true;
-      // Workers start presumed-healthy: until the first probe lands,
-      // routing must follow the pure hash verdict, or early requests
-      // skip not-yet-probed workers and break cache affinity.
-      health.assign(options.workers.size(), true);
+      // Breakers start closed (the analogue of presumed-healthy):
+      // until evidence arrives, routing follows the pure hash verdict,
+      // or early requests would skip not-yet-probed workers and break
+      // cache affinity.
       already_stopping = stopping;
     }
     cv.notify_all();
@@ -649,6 +1168,9 @@ struct Router::Impl {
     while (!already_stopping) {
       const int client = ::accept(listener, nullptr, nullptr);
       if (client < 0) {
+        if (errno == EINTR) {
+          continue;  // a signal must not take down the accept loop
+        }
         break;  // listener shut down (or a fatal accept error)
       }
       const std::lock_guard<std::mutex> lock(mutex);

@@ -29,23 +29,33 @@
 //  * requests in flight on a connection that dies get a typed
 //    {"status":"internal_error","fault_class":"transient"} response,
 //    never silence — the client may resubmit;
-//  * a health-check thread kPings every worker on its own connection
-//    (answered on the worker's loop thread, so a busy queue does not
-//    fail the probe) and routing skips unhealthy workers;
-//  * fail-open: when *every* worker looks unhealthy the router routes
-//    by hash anyway — a wrong health verdict must degrade to "try it",
-//    not to a self-inflicted outage. With one worker this reduces to
-//    plain pass-through.
+//  * every worker has a circuit breaker (BreakerBoard): request and
+//    probe failures drive closed -> open, the kPing prober drives
+//    open -> half-open -> closed, and routing walks the ring past
+//    workers whose breaker refuses traffic (DESIGN §3.13);
+//  * bounded hedged retry: a job unanswered past the per-route latency
+//    budget is re-sent to the next distinct ring worker; the first
+//    terminal response wins and the loser is discarded by the
+//    session's dedup ledger (exactly one response per request);
+//  * fail-open: when *every* breaker refuses, the router routes the
+//    hash-owner anyway as an extra trial — a wrong verdict must
+//    degrade to "try it", not to a self-inflicted outage. With one
+//    worker this reduces to plain pass-through.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "support/trace.hpp"
+
+namespace cvb {
+class MetricsRegistry;
+}  // namespace cvb
 
 namespace cvb::net {
 
@@ -63,6 +73,11 @@ class HashRing {
   [[nodiscard]] int pick(std::uint64_t key,
                          const std::vector<bool>& healthy) const;
 
+  /// Every distinct worker in clockwise ring order starting at `key`'s
+  /// owner — the preference order routing and hedging walk. The first
+  /// element always equals pick(key, {}).
+  [[nodiscard]] std::vector<int> pick_sequence(std::uint64_t key) const;
+
   [[nodiscard]] std::size_t num_workers() const { return num_workers_; }
 
  private:
@@ -77,6 +92,83 @@ class HashRing {
 /// router maps onto the ring like any other key — every cmd lands on
 /// one stable worker.
 [[nodiscard]] std::uint64_t request_route_key(const std::string& request_json);
+
+/// Circuit-breaker state of one upstream worker (DESIGN §3.13).
+enum class BreakerState {
+  kClosed,    ///< healthy: all traffic allowed
+  kOpen,      ///< tripped: no traffic until a probe succeeds
+  kHalfOpen,  ///< probing recovery: a bounded number of trial requests
+};
+
+/// Wire/name form: "closed", "open", "half_open".
+[[nodiscard]] const char* to_string(BreakerState state);
+
+struct BreakerOptions {
+  /// Consecutive request/probe failures that trip closed -> open.
+  int failure_threshold = 3;
+  /// Rolling outcome window per worker for the error-rate trip.
+  int window = 16;
+  /// Trip closed -> open when the full window's error fraction reaches
+  /// this (belt-and-braces next to the consecutive counter: a worker
+  /// failing every other request never hits the consecutive threshold).
+  double error_rate_threshold = 0.5;
+  /// Trial requests admitted while half-open; this many successes
+  /// (trial responses or clean probes) close the breaker again.
+  int half_open_trials = 2;
+};
+
+/// Per-upstream circuit breakers for the router fleet. Thread-safe:
+/// session threads record request outcomes and consume half-open
+/// trials while the prober reports liveness. State changes emit
+/// net_breaker_* metrics and router.breaker tracer spans.
+class BreakerBoard {
+ public:
+  BreakerBoard(std::size_t num_workers, BreakerOptions options,
+               MetricsRegistry* metrics = nullptr, Tracer* tracer = nullptr);
+
+  /// A request on worker `w` got a terminal response / failed to get
+  /// one (connect failure, send failure, or upstream death).
+  void record_success(std::size_t w);
+  void record_failure(std::size_t w);
+
+  /// Outcome of one kPing health probe. A clean probe half-opens an
+  /// open breaker (and counts as a trial success while half-open), so
+  /// a recovered worker re-enters the ring without waiting for
+  /// traffic; a failed probe trips an idle worker's breaker too.
+  void on_probe(std::size_t w, bool ok);
+
+  /// May traffic go to `w` right now? Consumes one half-open trial
+  /// slot when the breaker is half-open (call only when the caller
+  /// will actually send).
+  [[nodiscard]] bool allow(std::size_t w);
+
+  [[nodiscard]] BreakerState state(std::size_t w) const;
+
+  /// Non-consuming routing view: true per worker iff allow() could
+  /// grant it traffic right now.
+  [[nodiscard]] std::vector<bool> eligibility() const;
+
+ private:
+  struct Slot {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    std::vector<unsigned char> window;  ///< outcome ring, 1 = failure
+    std::size_t window_pos = 0;
+    std::size_t window_fill = 0;
+    int window_errors = 0;
+    int trials_granted = 0;   ///< half-open: allow() slots handed out
+    int trial_successes = 0;  ///< half-open: successes seen so far
+  };
+
+  void note_outcome(Slot& slot, std::size_t w, bool ok);
+  void transition(Slot& slot, std::size_t w, BreakerState to);
+
+  mutable std::mutex mutex_;
+  BreakerOptions options_;
+  std::vector<Slot> slots_;
+  MetricsRegistry* metrics_;
+  Tracer* tracer_;
+};
 
 struct RouterOptions {
   /// Unix socket the router listens on (required).
@@ -96,6 +188,17 @@ struct RouterOptions {
   std::uint64_t jitter_seed = 0x7e57ab1eULL;
   /// Cap on one request unit from a client.
   std::size_t max_request_bytes = std::size_t{1} << 20;
+  /// Per-upstream circuit-breaker thresholds.
+  BreakerOptions breaker;
+  /// Hedged retry: a job request unanswered for this long is re-sent
+  /// to the next distinct ring worker whose breaker allows it; the
+  /// first terminal response wins, the loser is deduplicated away.
+  /// 0 disables hedging. Control requests are never hedged.
+  double hedge_budget_ms = 250.0;
+  /// Destination for net_breaker_*/net_hedge_*/net_router_* series
+  /// (null = a router-private registry, series still counted but not
+  /// exported).
+  MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;  ///< router.session / router.route spans
 };
 

@@ -18,6 +18,7 @@
 #include "net/snapshot.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 #include "support/trace.hpp"
 
@@ -137,6 +138,9 @@ void NetServer::on_accept() {
     const int fd =
         ::accept4(listener_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
+      if (errno == EINTR) {
+        continue;  // interrupted mid-burst: the pending peer is still there
+      }
       break;  // EAGAIN: burst drained (or a transient accept error)
     }
     if (shutting_down_) {
@@ -182,7 +186,21 @@ void NetServer::on_conn_event(std::uint64_t id, std::uint32_t events) {
   }
   if ((events & (EPOLLIN | EPOLLHUP)) != 0 && !conn.paused && !conn.closing) {
     char chunk[kReadChunk];
-    const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+    std::size_t want = sizeof chunk;
+    ssize_t n;
+    if (CVB_INJECT_DRAW("net.read.eintr") != 0) {
+      n = -1;
+      errno = EINTR;
+    } else if (CVB_INJECT_DRAW("net.read.reset") != 0) {
+      n = -1;
+      errno = ECONNRESET;
+    } else {
+      if (const std::uint64_t draw = CVB_INJECT_DRAW("net.read.short");
+          draw != 0) {
+        want = 1 + static_cast<std::size_t>(draw % 7);  // torn delivery
+      }
+      n = ::read(conn.fd, chunk, want);
+    }
     if (n > 0) {
       service_.metrics().counter("net_bytes_in").inc(n);
       conn.read_buf.append(chunk, static_cast<std::size_t>(n));
@@ -190,7 +208,12 @@ void NetServer::on_conn_event(std::uint64_t id, std::uint32_t events) {
       if (conns_.find(id) == conns_.end()) {
         return;  // consume_input closed it (protocol error)
       }
-    } else if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+    } else if (n < 0 &&
+               (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      // Nothing consumed. EINTR is NOT a dead peer: level-triggered
+      // epoll re-raises EPOLLIN for the still-pending bytes, so simply
+      // returning retries the read on the next dispatch.
+    } else {
       // EOF (or a dead peer): stop reading. An NDJSON stream's final
       // unterminated line still counts as a request, matching the
       // blocking transport's getline semantics.
@@ -540,6 +563,7 @@ void NetServer::protocol_error(Connection& conn, const std::string& message) {
 }
 
 bool NetServer::flush_writes(Connection& conn) {
+  note_backlog_peak(conn);
   if (write_backlog(conn) == 0) {
     maybe_close(conn);
     return conns_.find(conn.id) != conns_.end();
@@ -548,13 +572,36 @@ bool NetServer::flush_writes(Connection& conn) {
   span.attr("conn", conn.id);
   std::size_t written = 0;
   while (conn.write_pos < conn.write_buf.size()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.write_buf.data() + conn.write_pos,
-               conn.write_buf.size() - conn.write_pos, MSG_NOSIGNAL);
+    if (CVB_INJECT_DRAW("net.frame_drop") != 0) {
+      // Mid-frame connection drop: the peer vanishes with part of a
+      // frame (backlog is nonzero here) never delivered.
+      span.attr("bytes", written);
+      const std::uint64_t id = conn.id;
+      close_conn(id);
+      return false;
+    }
+    std::size_t len = conn.write_buf.size() - conn.write_pos;
+    ssize_t n;
+    if (CVB_INJECT_DRAW("net.write.eintr") != 0) {
+      n = -1;
+      errno = EINTR;
+    } else if (CVB_INJECT_DRAW("net.write.eagain") != 0) {
+      n = -1;
+      errno = EAGAIN;
+    } else {
+      if (CVB_INJECT_DRAW("net.write.short") != 0) {
+        len = 1;  // torn write: one byte per syscall
+      }
+      n = ::send(conn.fd, conn.write_buf.data() + conn.write_pos, len,
+                 MSG_NOSIGNAL);
+    }
     if (n > 0) {
       conn.write_pos += static_cast<std::size_t>(n);
       written += static_cast<std::size_t>(n);
       continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;  // interrupted, nothing sent: retry immediately
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       break;  // kernel buffer full; EPOLLOUT will resume us
@@ -588,6 +635,15 @@ bool NetServer::flush_writes(Connection& conn) {
   const std::uint64_t id = conn.id;
   maybe_close(conn);
   return conns_.find(id) != conns_.end();
+}
+
+void NetServer::note_backlog_peak(const Connection& conn) {
+  const std::size_t backlog = write_backlog(conn);
+  if (backlog > write_backlog_peak_) {
+    write_backlog_peak_ = backlog;
+    service_.metrics().gauge("net_write_backlog_peak_bytes").set(
+        static_cast<long long>(backlog));
+  }
 }
 
 void NetServer::update_interest(Connection& conn) {

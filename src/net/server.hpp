@@ -141,6 +141,11 @@ class NetServer {
   void maybe_close(Connection& conn);
   void close_conn(std::uint64_t id);
   void begin_shutdown();
+  /// Tracks the high-water write backlog across all connections in the
+  /// `net_write_backlog_peak_bytes` gauge — the observable the chaos
+  /// harness uses to prove the write budget is never violated. Loop
+  /// thread only.
+  void note_backlog_peak(const Connection& conn);
 
   [[nodiscard]] std::size_t write_backlog(const Connection& conn) const {
     return conn.write_buf.size() - conn.write_pos;
@@ -154,6 +159,7 @@ class NetServer {
   bool shutting_down_ = false;
   bool once_served_ = false;  ///< --once: the one connection arrived
   std::uint64_t next_conn_id_ = 1;
+  std::size_t write_backlog_peak_ = 0;
   std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
 
   // Cross-thread state: completion queue + lifecycle flags. Everything

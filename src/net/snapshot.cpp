@@ -1,11 +1,22 @@
 #include "net/snapshot.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "net/frame.hpp"
+#include "support/hash.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CVB_SNAPSHOT_HAVE_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
 
 namespace cvb::net {
 
@@ -117,42 +128,54 @@ CacheExportEntry decode_entry(std::string_view payload) {
 
 void write_cache_snapshot(std::ostream& out,
                           const std::vector<CacheExportEntry>& entries) {
+  // The trailer checksum covers every file byte before it (frame
+  // headers included), accumulated as the frames are written.
+  std::uint64_t hash = kFnvOffset;
+  const auto emit = [&](const std::string& frame) {
+    hash = fnv1a_bytes(hash, frame);
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  };
   std::string header;
   put_u32(header, kSnapshotVersion);
   put_u64(header, static_cast<std::uint64_t>(entries.size()));
   std::string frame;
   append_frame(frame, FrameType::kSnapshotHeader, header);
-  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  emit(frame);
   for (const CacheExportEntry& entry : entries) {
     frame.clear();
     append_frame(frame, FrameType::kSnapshotEntry, encode_entry(entry));
-    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    emit(frame);
   }
+  std::string checksum;
+  put_u64(checksum, fmix64(hash));
+  frame.clear();
+  append_frame(frame, FrameType::kSnapshotTrailer, checksum);
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
 }
 
-std::vector<CacheExportEntry> read_cache_snapshot(std::istream& in) {
+SnapshotRestore restore_cache_snapshot(std::istream& in) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string bytes = buffer.str();
   std::string_view rest = bytes;
+  std::uint64_t hash = kFnvOffset;
 
-  const auto next_frame = [&rest](FrameType expected) -> std::string_view {
-    const DecodeResult decoded = decode_frame(rest);
-    if (decoded.status == DecodeStatus::kNeedMore) {
-      throw std::invalid_argument("snapshot: truncated file");
-    }
-    if (is_decode_error(decoded.status)) {
-      throw std::invalid_argument(std::string("snapshot: ") +
-                                  decode_status_message(decoded.status));
-    }
-    if (decoded.frame.type != expected) {
-      throw std::invalid_argument("snapshot: unexpected frame type");
-    }
-    rest = rest.substr(decoded.consumed);
-    return decoded.frame.payload;
-  };
-
-  Cursor header{next_frame(FrameType::kSnapshotHeader)};
+  // The header is held to the strict standard: a crash during an
+  // atomic save never produces a file with a good magic but a torn
+  // header (rename is all-or-nothing), so a bad header means the file
+  // is not a snapshot at all.
+  DecodeResult decoded = decode_frame(rest);
+  if (decoded.status == DecodeStatus::kNeedMore) {
+    throw std::invalid_argument("snapshot: truncated file");
+  }
+  if (is_decode_error(decoded.status)) {
+    throw std::invalid_argument(std::string("snapshot: ") +
+                                decode_status_message(decoded.status));
+  }
+  if (decoded.frame.type != FrameType::kSnapshotHeader) {
+    throw std::invalid_argument("snapshot: unexpected frame type");
+  }
+  Cursor header{decoded.frame.payload};
   const std::uint32_t version = header.u32();
   if (version != kSnapshotVersion) {
     throw std::invalid_argument(
@@ -164,35 +187,138 @@ std::vector<CacheExportEntry> read_cache_snapshot(std::istream& in) {
   if (!header.done()) {
     throw std::invalid_argument("snapshot: trailing bytes in header record");
   }
+  hash = fnv1a_bytes(hash, rest.substr(0, decoded.consumed));
+  rest = rest.substr(decoded.consumed);
 
-  // Each entry occupies at least one frame header, so a count beyond
-  // rest.size() / kFrameHeaderSize cannot be honest — reject before
-  // reserving anything (a hostile header must not size an allocation).
-  if (count > rest.size() / kFrameHeaderSize) {
-    throw std::invalid_argument("snapshot: truncated file");
-  }
-  std::vector<CacheExportEntry> entries;
-  entries.reserve(static_cast<std::size_t>(count));
+  SnapshotRestore out;
+  // Clamp the reservation by what the remaining bytes could honestly
+  // hold — a hostile count must not size an allocation.
+  out.entries.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, rest.size() / kFrameHeaderSize)));
+  const auto torn = [&](std::uint64_t parsed, const std::string& why) {
+    out.complete = false;
+    out.dropped = count - parsed;
+    out.warning = why + " (salvaged " + std::to_string(parsed) + " of " +
+                  std::to_string(count) + " entries)";
+  };
   for (std::uint64_t i = 0; i < count; ++i) {
-    entries.push_back(decode_entry(next_frame(FrameType::kSnapshotEntry)));
+    decoded = decode_frame(rest);
+    if (decoded.status != DecodeStatus::kFrame ||
+        decoded.frame.type != FrameType::kSnapshotEntry) {
+      torn(i, "truncated file");
+      return out;
+    }
+    try {
+      out.entries.push_back(decode_entry(decoded.frame.payload));
+    } catch (const std::exception&) {
+      torn(i, "malformed entry record");
+      return out;
+    }
+    hash = fnv1a_bytes(hash, rest.substr(0, decoded.consumed));
+    rest = rest.substr(decoded.consumed);
   }
+  decoded = decode_frame(rest);
+  if (decoded.status != DecodeStatus::kFrame ||
+      decoded.frame.type != FrameType::kSnapshotTrailer) {
+    torn(count, "missing or torn checksum trailer");
+    return out;
+  }
+  Cursor trailer{decoded.frame.payload};
+  const std::uint64_t expected = trailer.u64();
+  if (!trailer.done()) {
+    torn(count, "malformed checksum trailer");
+    return out;
+  }
+  if (expected != fmix64(hash)) {
+    // A complete trailer with the wrong sum is silent corruption, not
+    // a crash artifact — the entries cannot be trusted either.
+    throw std::invalid_argument("snapshot: checksum mismatch");
+  }
+  rest = rest.substr(decoded.consumed);
   if (!rest.empty()) {
-    throw std::invalid_argument("snapshot: trailing bytes after last entry");
+    throw std::invalid_argument("snapshot: trailing bytes after trailer");
   }
-  return entries;
+  return out;
+}
+
+SnapshotRestore restore_cache_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("cannot open '" + path + "'");
+  }
+  return restore_cache_snapshot(in);
+}
+
+std::vector<CacheExportEntry> read_cache_snapshot(std::istream& in) {
+  SnapshotRestore restored = restore_cache_snapshot(in);
+  if (!restored.complete) {
+    throw std::invalid_argument("snapshot: " + restored.warning);
+  }
+  return std::move(restored.entries);
 }
 
 void save_cache_snapshot(const std::string& path,
                          const std::vector<CacheExportEntry>& entries) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw std::invalid_argument("cannot write '" + path + "'");
+  std::ostringstream buffer;
+  write_cache_snapshot(buffer, entries);
+  const std::string bytes = buffer.str();
+  const std::string tmp = path + ".tmp";
+#if defined(CVB_SNAPSHOT_HAVE_FSYNC)
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::invalid_argument("cannot write '" + tmp + "'");
   }
-  write_cache_snapshot(out, entries);
-  out.flush();
-  if (!out) {
-    throw std::invalid_argument("write to '" + path + "' failed");
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::invalid_argument("write to '" + tmp + "' failed");
+    }
+    done += static_cast<std::size_t>(n);
   }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    ::unlink(tmp.c_str());
+    throw std::invalid_argument("fsync of '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::invalid_argument("rename to '" + path + "' failed");
+  }
+  // Persist the rename itself: fsync the containing directory (best
+  // effort — some filesystems refuse directory fds).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::invalid_argument("cannot write '" + tmp + "'");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::invalid_argument("write to '" + tmp + "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::invalid_argument("rename to '" + path + "' failed");
+  }
+#endif
 }
 
 std::vector<CacheExportEntry> load_cache_snapshot(const std::string& path) {

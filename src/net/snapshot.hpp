@@ -7,16 +7,26 @@
 // `--warm-start PATH` reload them before serving.
 //
 // The file is a sequence of binary frames in the PR 7 wire codec
-// (net/frame.hpp) — one kSnapshotHeader frame followed by exactly the
-// declared number of kSnapshotEntry frames. All integers are
-// little-endian fixed width. See FORMATS.md "Eval-cache snapshot
-// file" for the byte-level layout.
+// (net/frame.hpp) — one kSnapshotHeader frame, exactly the declared
+// number of kSnapshotEntry frames, then one kSnapshotTrailer frame
+// carrying an fmix64-finalized FNV-1a checksum over every preceding
+// file byte. All integers are little-endian fixed width. See
+// FORMATS.md "Eval-cache snapshot file" for the byte-level layout.
 //
-// Reading is strict: a wrong snapshot version, a truncated file, an
-// entry-count mismatch, trailing bytes, or a malformed entry all throw
-// std::invalid_argument — a restarted worker must refuse a snapshot it
-// cannot fully trust (entries additionally re-verify against the
-// engine's own key scheme on import, see EvalEngine::import_cache).
+// Crash-only persistence (DESIGN §3.13): save_cache_snapshot writes to
+// `path + ".tmp"`, fsyncs, renames over `path`, and fsyncs the
+// directory — a crash at any point leaves either the old complete file
+// or the new complete file, never a torn mix. Restoring is two-tier:
+//  * read_cache_snapshot is strict — any structural problem (version
+//    mismatch, truncation, count mismatch, checksum mismatch, trailing
+//    bytes, malformed entry) throws std::invalid_argument;
+//  * restore_cache_snapshot is crash-tolerant — a torn tail (the
+//    signature a crash mid-write leaves when rename was bypassed)
+//    salvages the complete entry prefix and reports it, while silent
+//    corruption (a present-but-wrong trailer checksum) still throws.
+// Entries additionally re-verify against the engine's own key scheme
+// on import (EvalEngine::import_cache), so even a salvaged prefix
+// cannot poison the cache.
 #pragma once
 
 #include <cstdint>
@@ -30,22 +40,41 @@ namespace cvb::net {
 
 /// Schema version of the snapshot *payloads* (the frame codec has its
 /// own wire version byte). Bump when the entry layout changes.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Version 2 added the kSnapshotTrailer checksum frame.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
-/// Writes header + entries to `out`. Throws std::invalid_argument when
-/// an entry is too large for one frame (1 MiB payload cap — a binding
-/// would need >100k operations to hit it).
+/// Writes header + entries + checksum trailer to `out`. Throws
+/// std::invalid_argument when an entry is too large for one frame
+/// (1 MiB payload cap — a binding would need >100k operations to hit
+/// it).
 void write_cache_snapshot(std::ostream& out,
                           const std::vector<CacheExportEntry>& entries);
 
-/// Parses a complete snapshot stream; throws std::invalid_argument on
-/// any structural problem (version mismatch, truncation, count
-/// mismatch, trailing bytes).
+/// Result of a crash-tolerant restore.
+struct SnapshotRestore {
+  std::vector<CacheExportEntry> entries;  ///< complete parsed prefix
+  bool complete = true;   ///< false: torn tail salvaged, warning set
+  std::uint64_t dropped = 0;  ///< declared entries lost to the torn tail
+  std::string warning;    ///< human-readable reason when !complete
+};
+
+/// Crash-tolerant parse: salvages the complete entry prefix of a
+/// torn-tail file (complete=false + warning), but still throws
+/// std::invalid_argument on anything that cannot be a crash artifact —
+/// garbage/short header, version mismatch, a trailer whose checksum
+/// does not match (silent corruption), or trailing bytes.
+[[nodiscard]] SnapshotRestore restore_cache_snapshot(std::istream& in);
+[[nodiscard]] SnapshotRestore restore_cache_snapshot_file(
+    const std::string& path);
+
+/// Strict parse: like restore_cache_snapshot but a torn tail also
+/// throws. Used where a snapshot must be fully trusted.
 [[nodiscard]] std::vector<CacheExportEntry> read_cache_snapshot(
     std::istream& in);
 
 /// File convenience wrappers; throw std::invalid_argument on I/O
-/// failure too ("cannot open ...").
+/// failure too ("cannot open ..."). save_cache_snapshot is atomic:
+/// tmp + fsync + rename (+ directory fsync).
 void save_cache_snapshot(const std::string& path,
                          const std::vector<CacheExportEntry>& entries);
 [[nodiscard]] std::vector<CacheExportEntry> load_cache_snapshot(

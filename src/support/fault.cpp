@@ -82,6 +82,24 @@ const std::vector<std::string>& fault_sites() {
       "service.hang",       // worker attempt, hang-flavoured site
       "parse.dfg",          // parse_dfg_text entry
       "parse.machine",      // parse_machine_file entry
+      // -- network sites (checked via CVB_INJECT_DRAW; the caller fakes
+      // the syscall result instead of unwinding, so fault_class is
+      // ignored for these unless noted) --
+      "net.read.eintr",    // NetServer read: simulated EINTR
+      "net.read.short",    // NetServer read: torn delivery (tiny chunk)
+      "net.read.reset",    // NetServer read: injected ECONNRESET
+      "net.write.eintr",   // NetServer flush: simulated EINTR
+      "net.write.short",   // NetServer flush: torn 1-byte send
+      "net.write.eagain",  // NetServer flush: spurious EAGAIN
+      "net.frame_drop",    // NetServer flush: close the conn mid-frame
+      "net.wakeup",        // EventLoop::wakeup — arm hang-flavoured only
+      "net.frame.decode",  // frame decode — arm hang-flavoured only
+      "router.connect",              // router upstream connect failure
+      "router.upstream_read.eintr",  // router reader: simulated EINTR
+      "router.upstream_read.eof",    // router reader: spurious EOF
+      "router.upstream_write.eintr",  // router send: simulated EINTR
+      "router.upstream_write.torn",   // router send: torn 1-byte writes
+      "router.upstream_write.drop",   // router send: drop conn mid-frame
   };
   return kSites;
 }
@@ -214,6 +232,24 @@ void FaultInjector::check(std::string_view site) {
     return;
   }
   throw FaultInjectedError(std::string(site), spec.fault_class);
+}
+
+std::uint64_t FaultInjector::check_draw(std::string_view site) {
+  if (!any_armed()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return 0;
+  SiteState& state = it->second;
+  const long long index = state.checks++;
+  if (state.spec.max_triggers >= 0 &&
+      state.triggered >= state.spec.max_triggers) {
+    return 0;
+  }
+  if (draw01(seed_, fnv1a(site), index) >= state.spec.rate) return 0;
+  ++state.triggered;
+  ++total_triggered_;
+  // | 1 guarantees a fired site never reads as "did not fire".
+  return mix(seed_ ^ fnv1a(site) ^ static_cast<std::uint64_t>(index)) | 1ULL;
 }
 
 void FaultInjector::set_thread_cancel(const CancelToken* token) {

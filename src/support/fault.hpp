@@ -147,6 +147,15 @@ class FaultInjector {
   /// disarmed injector returns after one relaxed atomic load.
   void check(std::string_view site);
 
+  /// The hot-path check behind CVB_INJECT_DRAW: advances the same
+  /// per-site counters as check(), but never throws or hangs — it
+  /// returns 0 when the site does not fire and a nonzero deterministic
+  /// value when it does. Network seams use this form because a socket
+  /// fault is expressed as a faked syscall result (errno, short count),
+  /// not an exception; the returned draw additionally seeds derived
+  /// quantities such as torn-read chunk sizes.
+  [[nodiscard]] std::uint64_t check_draw(std::string_view site);
+
   /// Registers the cancel token cooperative hangs poll on this thread
   /// (nullptr to clear). The service worker loop brackets each job with
   /// this so an injected hang can be rescued by the watchdog.
@@ -192,4 +201,14 @@ class ScopedFaultInjection {
 #define CVB_INJECT(site) ::cvb::FaultInjector::global().check(site)
 #else
 #define CVB_INJECT(site) ((void)0)
+#endif
+
+/// The draw-valued form used by the network seams: evaluates to 0 when
+/// the site does not fire (or injection is compiled out — the constant
+/// lets the compiler delete the entire fault arm), else to a nonzero
+/// deterministic value derived from (seed, site, check-index).
+#if defined(CVB_FAULT_INJECTION)
+#define CVB_INJECT_DRAW(site) (::cvb::FaultInjector::global().check_draw(site))
+#else
+#define CVB_INJECT_DRAW(site) (std::uint64_t{0})
 #endif

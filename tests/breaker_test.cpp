@@ -1,0 +1,238 @@
+// Circuit-breaker unit tests (net/router.hpp BreakerBoard): the
+// closed -> open -> half-open -> closed lifecycle driven by request
+// outcomes and kPing probes, the half-open trial budget, ring
+// preference order, and the reconnect backoff's decorrelated-jitter
+// bounds. All pure in-process state-machine tests — the E2E
+// kill/restart recovery lives in router_test.cpp.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/router.hpp"
+#include "service/resilience.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace cvb::net {
+namespace {
+
+BreakerOptions small_breaker() {
+  BreakerOptions opts;
+  opts.failure_threshold = 3;
+  opts.window = 8;
+  opts.error_rate_threshold = 0.5;
+  opts.half_open_trials = 2;
+  return opts;
+}
+
+TEST(RouterBreaker, StartsClosedAndAllowsTraffic) {
+  BreakerBoard board(2, small_breaker());
+  EXPECT_EQ(board.state(0), BreakerState::kClosed);
+  EXPECT_EQ(board.state(1), BreakerState::kClosed);
+  EXPECT_TRUE(board.allow(0));
+  EXPECT_TRUE(board.allow(1));
+  const std::vector<bool> eligible = board.eligibility();
+  EXPECT_TRUE(eligible[0]);
+  EXPECT_TRUE(eligible[1]);
+}
+
+TEST(RouterBreaker, ConsecutiveFailuresOpen) {
+  BreakerBoard board(2, small_breaker());
+  board.record_failure(0);
+  board.record_failure(0);
+  EXPECT_EQ(board.state(0), BreakerState::kClosed) << "opened one early";
+  board.record_failure(0);
+  EXPECT_EQ(board.state(0), BreakerState::kOpen);
+  EXPECT_FALSE(board.allow(0));
+  // The other worker is untouched.
+  EXPECT_EQ(board.state(1), BreakerState::kClosed);
+  EXPECT_TRUE(board.allow(1));
+}
+
+TEST(RouterBreaker, SuccessResetsConsecutiveCount) {
+  // Disable the window rule (a 2-in-3 failure mix is over 0.5) so this
+  // isolates the consecutive-failure counter.
+  BreakerOptions opts = small_breaker();
+  opts.error_rate_threshold = 1.0;
+  BreakerBoard board(1, opts);
+  for (int round = 0; round < 5; ++round) {
+    board.record_failure(0);
+    board.record_failure(0);
+    board.record_success(0);  // breaks the streak every time
+  }
+  EXPECT_EQ(board.state(0), BreakerState::kClosed);
+}
+
+TEST(RouterBreaker, ErrorRateOverFullWindowOpens) {
+  // A worker failing every other request never reaches 3 consecutive
+  // failures; the rolling-window error rate must catch it instead.
+  BreakerOptions opts = small_breaker();
+  opts.failure_threshold = 100;  // isolate the window rule
+  BreakerBoard board(1, opts);
+  for (int i = 0; i < 4; ++i) {
+    board.record_success(0);
+    board.record_failure(0);
+  }
+  EXPECT_EQ(board.state(0), BreakerState::kOpen);
+}
+
+TEST(RouterBreaker, ErrorRateNeedsFullWindow) {
+  BreakerOptions opts = small_breaker();
+  opts.failure_threshold = 100;
+  BreakerBoard board(1, opts);
+  // 2 failures in 3 outcomes is over the rate but the window (8) is
+  // not full yet — a cold worker must not trip on its first wobble.
+  board.record_failure(0);
+  board.record_success(0);
+  board.record_failure(0);
+  EXPECT_EQ(board.state(0), BreakerState::kClosed);
+}
+
+TEST(RouterBreaker, ProbeFailuresTripIdleWorker) {
+  // No traffic at all: failed kPing probes alone must open the
+  // breaker, so a dead idle worker is fenced before a request burns
+  // its connect budget on it.
+  BreakerBoard board(1, small_breaker());
+  board.on_probe(0, false);
+  board.on_probe(0, false);
+  board.on_probe(0, false);
+  EXPECT_EQ(board.state(0), BreakerState::kOpen);
+}
+
+TEST(RouterBreaker, ProbeRecoveryHalfOpensThenCloses) {
+  BreakerBoard board(1, small_breaker());
+  for (int i = 0; i < 3; ++i) {
+    board.record_failure(0);
+  }
+  ASSERT_EQ(board.state(0), BreakerState::kOpen);
+  // First clean probe: open -> half-open.
+  board.on_probe(0, true);
+  EXPECT_EQ(board.state(0), BreakerState::kHalfOpen);
+  // Probes count as trial successes, so a recovered worker closes
+  // without waiting for client traffic (half_open_trials = 2).
+  board.on_probe(0, true);
+  board.on_probe(0, true);
+  EXPECT_EQ(board.state(0), BreakerState::kClosed);
+  EXPECT_TRUE(board.allow(0));
+}
+
+TEST(RouterBreaker, TrialSuccessesClose) {
+  BreakerBoard board(1, small_breaker());
+  for (int i = 0; i < 3; ++i) {
+    board.record_failure(0);
+  }
+  board.on_probe(0, true);
+  ASSERT_EQ(board.state(0), BreakerState::kHalfOpen);
+  // Two trial requests succeed: closed again.
+  ASSERT_TRUE(board.allow(0));
+  board.record_success(0);
+  ASSERT_TRUE(board.allow(0));
+  board.record_success(0);
+  EXPECT_EQ(board.state(0), BreakerState::kClosed);
+}
+
+TEST(RouterBreaker, HalfOpenTrialBudgetIsBounded) {
+  BreakerBoard board(1, small_breaker());
+  for (int i = 0; i < 3; ++i) {
+    board.record_failure(0);
+  }
+  board.on_probe(0, true);
+  ASSERT_EQ(board.state(0), BreakerState::kHalfOpen);
+  // Exactly half_open_trials slots, then the tap closes until an
+  // outcome or probe moves the state.
+  EXPECT_TRUE(board.allow(0));
+  EXPECT_TRUE(board.allow(0));
+  EXPECT_FALSE(board.allow(0));
+  // eligibility() is non-consuming: it reported true before the slots
+  // ran out and false after, without ever taking a slot itself.
+  EXPECT_FALSE(board.eligibility()[0]);
+}
+
+TEST(RouterBreaker, TrialFailureReopens) {
+  BreakerBoard board(1, small_breaker());
+  for (int i = 0; i < 3; ++i) {
+    board.record_failure(0);
+  }
+  board.on_probe(0, true);
+  ASSERT_EQ(board.state(0), BreakerState::kHalfOpen);
+  board.record_failure(0);
+  EXPECT_EQ(board.state(0), BreakerState::kOpen);
+  // A failed probe while half-open re-opens too.
+  board.on_probe(0, true);
+  ASSERT_EQ(board.state(0), BreakerState::kHalfOpen);
+  board.on_probe(0, false);
+  EXPECT_EQ(board.state(0), BreakerState::kOpen);
+}
+
+TEST(RouterBreaker, TransitionsEmitMetrics) {
+  MetricsRegistry metrics;
+  BreakerBoard board(1, small_breaker(), &metrics);
+  for (int i = 0; i < 3; ++i) {
+    board.record_failure(0);
+  }
+  board.on_probe(0, true);
+  board.on_probe(0, true);
+  board.on_probe(0, true);
+  EXPECT_EQ(metrics.counter("net_breaker_open_total").value(), 1);
+  EXPECT_EQ(metrics.counter("net_breaker_half_open_total").value(), 1);
+  EXPECT_EQ(metrics.counter("net_breaker_close_total").value(), 1);
+  EXPECT_EQ(metrics.gauge("net_breaker_state_w0").value(), 0);  // closed
+}
+
+TEST(RouterBreaker, ToStringNames) {
+  EXPECT_STREQ(to_string(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(to_string(BreakerState::kOpen), "open");
+  EXPECT_STREQ(to_string(BreakerState::kHalfOpen), "half_open");
+}
+
+TEST(HashRingSequence, FirstMatchesPickAndCoversAll) {
+  const std::vector<std::string> workers = {"/tmp/w0", "/tmp/w1", "/tmp/w2"};
+  const HashRing ring(workers, 64);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const std::uint64_t h = key * 0x9E3779B97F4A7C15ULL + 7;
+    const std::vector<int> order = ring.pick_sequence(h);
+    ASSERT_EQ(order.size(), workers.size());
+    // The hedging/breaker walk starts exactly where plain routing
+    // routes, and visits every distinct worker exactly once.
+    EXPECT_EQ(order.front(), ring.pick(h, {}));
+    EXPECT_EQ(std::set<int>(order.begin(), order.end()).size(),
+              workers.size());
+    EXPECT_EQ(ring.pick_sequence(h), order) << "non-deterministic order";
+  }
+}
+
+TEST(HashRingSequence, EmptyRing) {
+  const HashRing ring({}, 16);
+  EXPECT_TRUE(ring.pick_sequence(42).empty());
+}
+
+TEST(RouterBackoff, DecorrelatedJitterStaysInBounds) {
+  // The reconnect backoff: always at least base, never past cap, and
+  // at most 3x the previous sleep (the decorrelated-jitter recurrence).
+  Rng rng(0xbac0ffULL);
+  double prev = 1.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double next = decorrelated_jitter_ms(1.0, 50.0, prev, rng);
+    ASSERT_GE(next, 1.0);
+    ASSERT_LE(next, 50.0);
+    ASSERT_LE(next, std::max(3.0 * prev, 1.0) + 1e-9);
+    prev = next;
+  }
+}
+
+TEST(RouterBackoff, JitterIsSeedDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  double prev_a = 2.0;
+  double prev_b = 2.0;
+  for (int i = 0; i < 100; ++i) {
+    prev_a = decorrelated_jitter_ms(1.0, 50.0, prev_a, a);
+    prev_b = decorrelated_jitter_ms(1.0, 50.0, prev_b, b);
+    ASSERT_EQ(prev_a, prev_b);
+  }
+}
+
+}  // namespace
+}  // namespace cvb::net

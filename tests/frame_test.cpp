@@ -21,7 +21,7 @@ TEST(Frame, RoundTripAllTypes) {
   const FrameType types[] = {
       FrameType::kRequest,        FrameType::kResponse, FrameType::kError,
       FrameType::kPing,           FrameType::kPong,     FrameType::kSnapshotHeader,
-      FrameType::kSnapshotEntry,
+      FrameType::kSnapshotEntry,  FrameType::kSnapshotTrailer,
   };
   for (const FrameType type : types) {
     const std::string payload = "hello\nworld\x00 with\nnewlines";

@@ -1,0 +1,412 @@
+// Network-layer fault-injection tests (DESIGN §3.13): the seed-driven
+// net.* / router.* sites and the EINTR/torn-I/O hardening they pin.
+//
+// The check_draw site registry and determinism tests run in every
+// build (the draw API is plain runtime code; only the CVB_INJECT_DRAW
+// call sites compile away). The end-to-end suites arm real injection
+// through a live epoll server / router and are skipped unless the
+// build has -DCVB_FAULT_INJECTION=ON.
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+
+#if defined(__linux__)
+#define CVB_TEST_NET_FAULT_E2E 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+#endif
+
+namespace cvb {
+namespace {
+
+const std::vector<std::string> kNetSites = {
+    "net.read.eintr",   "net.read.short",
+    "net.read.reset",   "net.write.eintr",
+    "net.write.short",  "net.write.eagain",
+    "net.frame_drop",   "net.wakeup",
+    "net.frame.decode", "router.connect",
+    "router.upstream_read.eintr", "router.upstream_read.eof",
+    "router.upstream_write.eintr", "router.upstream_write.torn",
+    "router.upstream_write.drop",
+};
+
+TEST(NetFault, AllNetworkSitesAreRegistered) {
+  const std::vector<std::string>& sites = fault_sites();
+  for (const std::string& site : kNetSites) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << "unregistered site " << site;
+  }
+}
+
+TEST(NetFault, CheckDrawIsSeedDeterministic) {
+  // check_draw is runtime API in every build: the same seed must
+  // produce the same fire/skip stream, a different seed a different
+  // one, so any chaos_net failure replays exactly from its seed.
+  const auto draws = [](std::uint64_t seed) {
+    ScopedFaultInjection scoped(seed);
+    FaultSpec spec;
+    spec.rate = 0.5;
+    FaultInjector::global().arm("net.read.short", spec);
+    std::vector<std::uint64_t> out;
+    out.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(FaultInjector::global().check_draw("net.read.short"));
+    }
+    return out;
+  };
+  const std::vector<std::uint64_t> a = draws(0xfeedULL);
+  EXPECT_EQ(a, draws(0xfeedULL));
+  EXPECT_NE(a, draws(0xfeed + 1ULL));
+  // Rate 0.5 over 64 draws: both outcomes must appear.
+  EXPECT_NE(std::count(a.begin(), a.end(), 0u), 0);
+  EXPECT_NE(std::count_if(a.begin(), a.end(),
+                          [](std::uint64_t d) { return d != 0; }),
+            0);
+}
+
+TEST(NetFault, CheckDrawRespectsRateEdgesAndArming) {
+  ScopedFaultInjection scoped(7);
+  FaultInjector& injector = FaultInjector::global();
+  // Unarmed site: never fires.
+  EXPECT_EQ(injector.check_draw("net.write.short"), 0u);
+  FaultSpec never;
+  never.rate = 0.0;
+  injector.arm("net.write.short", never);
+  FaultSpec always;
+  always.rate = 1.0;
+  injector.arm("net.read.short", always);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(injector.check_draw("net.write.short"), 0u);
+    // Fired draws are never 0, so callers can branch on the draw value.
+    EXPECT_NE(injector.check_draw("net.read.short"), 0u);
+  }
+  EXPECT_EQ(injector.triggered("net.read.short"), 16);
+}
+
+TEST(NetFault, CheckDrawHonorsMaxTriggers) {
+  ScopedFaultInjection scoped(7);
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.max_triggers = 3;
+  FaultInjector::global().arm("net.frame_drop", spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (FaultInjector::global().check_draw("net.frame_drop") != 0) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+#if defined(CVB_TEST_NET_FAULT_E2E)
+
+int connect_unix_retry(const std::string& path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      return -1;
+    }
+    path.copy(addr.sun_path, path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one NDJSON line (closed loop), tolerating torn delivery.
+bool read_line(int fd, std::string& buf, std::string& line) {
+  while (true) {
+    const std::size_t eol = buf.find('\n');
+    if (eol != std::string::npos) {
+      line = buf.substr(0, eol);
+      buf.erase(0, eol + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+constexpr const char* kJobLine =
+    R"({"id":"%","kernel":"EWF","datapath":"[1,1|1,1]","effort":"fast"})";
+
+std::string job_line(int i) {
+  std::string line = kJobLine;
+  line.replace(line.find('%'), 1, std::to_string(i));
+  return line + "\n";
+}
+
+/// One epoll worker on a temp socket, torn down on destruction.
+struct TestWorker {
+  explicit TestWorker(const std::string& name)
+      : path(testing::TempDir() + name) {
+    ServiceOptions sopts;
+    sopts.num_workers = 1;
+    service.emplace(sopts);
+    net::NetServerOptions nopts;
+    nopts.socket_path = path;
+    server.emplace(*service, nopts);
+    thread = std::thread([this] {
+      std::ostringstream ignored;
+      (void)server->run(ignored);
+    });
+    listening = server->wait_until_listening();
+  }
+
+  ~TestWorker() {
+    server->request_shutdown();
+    thread.join();
+  }
+
+  std::string path;
+  std::optional<Service> service;
+  std::optional<net::NetServer> server;
+  std::thread thread;
+  bool listening = false;
+};
+
+/// Sends `count` closed-loop jobs on one connection; returns the
+/// number answered "ok".
+int closed_loop_ok(const std::string& path, int count) {
+  const int fd = connect_unix_retry(path);
+  if (fd < 0) {
+    return -1;
+  }
+  std::string buf;
+  std::string line;
+  int ok = 0;
+  for (int i = 0; i < count; ++i) {
+    if (!send_all(fd, job_line(i)) || !read_line(fd, buf, line)) {
+      break;
+    }
+    if (JsonValue::parse(line).find("status")->as_string() == "ok") {
+      ++ok;
+    }
+  }
+  ::close(fd);
+  return ok;
+}
+
+void arm_transient(const char* site, double rate, int max_triggers = -1) {
+  FaultSpec spec;
+  spec.rate = rate;
+  spec.fault_class = FaultClass::kTransient;
+  spec.max_triggers = max_triggers;
+  FaultInjector::global().arm(site, spec);
+}
+
+TEST(NetFault, ServerSurvivesInjectedEintrAndTornIO) {
+  if (!fault_injection_compiled()) {
+    GTEST_SKIP() << "build with -DCVB_FAULT_INJECTION=ON";
+  }
+  ScopedFaultInjection scoped(0x5e1f);
+  // Every EINTR/short/EAGAIN site at once: all of it must be invisible
+  // to the protocol — 20/20 responses, same connection throughout.
+  arm_transient("net.read.eintr", 0.3);
+  arm_transient("net.read.short", 0.8);
+  arm_transient("net.write.eintr", 0.3);
+  arm_transient("net.write.short", 0.8);
+  arm_transient("net.write.eagain", 0.3);
+  TestWorker worker("cvb_nf_eintr.sock");
+  ASSERT_TRUE(worker.listening);
+  EXPECT_EQ(closed_loop_ok(worker.path, 20), 20);
+  EXPECT_GT(FaultInjector::global().total_triggered(), 0);
+}
+
+TEST(NetFault, InjectedResetDropsConnectionButServerSurvives) {
+  if (!fault_injection_compiled()) {
+    GTEST_SKIP() << "build with -DCVB_FAULT_INJECTION=ON";
+  }
+  ScopedFaultInjection scoped(0x5e1f);
+  arm_transient("net.read.reset", 1.0, /*max_triggers=*/1);
+  TestWorker worker("cvb_nf_reset.sock");
+  ASSERT_TRUE(worker.listening);
+  // First connection dies to the injected ECONNRESET mid-read...
+  const int victim = connect_unix_retry(worker.path);
+  ASSERT_GE(victim, 0);
+  ASSERT_TRUE(send_all(victim, job_line(0)));
+  std::string buf;
+  std::string line;
+  EXPECT_FALSE(read_line(victim, buf, line)) << "reset never surfaced";
+  ::close(victim);
+  // ...and the loop (not the process) absorbed it: a fresh connection
+  // is served normally.
+  EXPECT_EQ(closed_loop_ok(worker.path, 3), 3);
+  EXPECT_EQ(
+      worker.service->metrics().counter("net_open_connections").value(), 0);
+}
+
+TEST(NetFault, DelayedWakeupsLoseNoResponses) {
+  if (!fault_injection_compiled()) {
+    GTEST_SKIP() << "build with -DCVB_FAULT_INJECTION=ON";
+  }
+  ScopedFaultInjection scoped(0x5e1f);
+  // Every cross-thread completion wakeup delayed 10 ms: responses may
+  // be late, never lost (the eventfd tick outlives the delay).
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.hang_ms = 10.0;
+  FaultInjector::global().arm("net.wakeup", spec);
+  TestWorker worker("cvb_nf_wakeup.sock");
+  ASSERT_TRUE(worker.listening);
+  EXPECT_EQ(closed_loop_ok(worker.path, 5), 5);
+  EXPECT_GE(FaultInjector::global().triggered("net.wakeup"), 5);
+}
+
+TEST(NetFault, RouterSurvivesInjectedUpstreamEintrAndTornWrites) {
+  if (!fault_injection_compiled()) {
+    GTEST_SKIP() << "build with -DCVB_FAULT_INJECTION=ON";
+  }
+  ScopedFaultInjection scoped(0x5e1f);
+  arm_transient("router.upstream_read.eintr", 0.3);
+  arm_transient("router.upstream_write.eintr", 0.3);
+  arm_transient("router.upstream_write.torn", 0.8);
+  TestWorker worker("cvb_nf_rt_w.sock");
+  ASSERT_TRUE(worker.listening);
+  const std::string front = testing::TempDir() + "cvb_nf_rt_front.sock";
+  net::RouterOptions ropts;
+  ropts.listen_path = front;
+  ropts.workers = {worker.path};
+  net::Router router(std::move(ropts));
+  std::ostringstream rerr;
+  std::thread rt([&] { (void)router.run(rerr); });
+  ASSERT_TRUE(router.wait_until_listening()) << rerr.str();
+  EXPECT_EQ(closed_loop_ok(front, 10), 10);
+  router.request_shutdown();
+  rt.join();
+}
+
+TEST(NetFault, InjectedUpstreamDropYieldsTypedTransientThenRecovers) {
+  if (!fault_injection_compiled()) {
+    GTEST_SKIP() << "build with -DCVB_FAULT_INJECTION=ON";
+  }
+  ScopedFaultInjection scoped(0x5e1f);
+  arm_transient("router.upstream_write.drop", 1.0, /*max_triggers=*/1);
+  TestWorker worker("cvb_nf_drop_w.sock");
+  ASSERT_TRUE(worker.listening);
+  const std::string front = testing::TempDir() + "cvb_nf_drop_front.sock";
+  net::RouterOptions ropts;
+  ropts.listen_path = front;
+  ropts.workers = {worker.path};
+  net::Router router(std::move(ropts));
+  std::ostringstream rerr;
+  std::thread rt([&] { (void)router.run(rerr); });
+  ASSERT_TRUE(router.wait_until_listening()) << rerr.str();
+
+  const int fd = connect_unix_retry(front);
+  ASSERT_GE(fd, 0);
+  std::string buf;
+  std::string line;
+  // Request 1 rides the dropped connection: a typed transient answer,
+  // never silence and never a half-frame to the worker (the site
+  // shuts the socket down so the stream cannot desynchronize).
+  ASSERT_TRUE(send_all(fd, job_line(0)));
+  ASSERT_TRUE(read_line(fd, buf, line));
+  const JsonValue first = JsonValue::parse(line);
+  ASSERT_NE(first.find("fault_class"), nullptr) << line;
+  EXPECT_EQ(first.find("fault_class")->as_string(), "transient");
+  // Give the reader thread a moment to reap the dead upstream, then
+  // the session must reconnect and serve normally.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(send_all(fd, job_line(1)));
+  ASSERT_TRUE(read_line(fd, buf, line));
+  EXPECT_EQ(JsonValue::parse(line).find("status")->as_string(), "ok") << line;
+  ::close(fd);
+  router.request_shutdown();
+  rt.join();
+}
+
+TEST(NetFault, InjectedConnectFailuresExhaustRetriesThenRecover) {
+  if (!fault_injection_compiled()) {
+    GTEST_SKIP() << "build with -DCVB_FAULT_INJECTION=ON";
+  }
+  ScopedFaultInjection scoped(0x5e1f);
+  arm_transient("router.connect", 1.0);
+  TestWorker worker("cvb_nf_conn_w.sock");
+  ASSERT_TRUE(worker.listening);
+  const std::string front = testing::TempDir() + "cvb_nf_conn_front.sock";
+  net::RouterOptions ropts;
+  ropts.listen_path = front;
+  ropts.workers = {worker.path};
+  ropts.max_connect_attempts = 2;
+  ropts.backoff_base_ms = 0.5;
+  ropts.backoff_cap_ms = 2.0;
+  net::Router router(std::move(ropts));
+  std::ostringstream rerr;
+  std::thread rt([&] { (void)router.run(rerr); });
+  ASSERT_TRUE(router.wait_until_listening()) << rerr.str();
+
+  const int fd = connect_unix_retry(front);
+  ASSERT_GE(fd, 0);
+  std::string buf;
+  std::string line;
+  // Every connect attempt is intercepted: bounded retries, then a
+  // typed transient failure — the worker being perfectly healthy is
+  // exactly the point (the fault is the path to it).
+  ASSERT_TRUE(send_all(fd, job_line(0)));
+  ASSERT_TRUE(read_line(fd, buf, line));
+  const JsonValue first = JsonValue::parse(line);
+  ASSERT_NE(first.find("fault_class"), nullptr) << line;
+  EXPECT_EQ(first.find("fault_class")->as_string(), "transient");
+  FaultInjector::global().disarm("router.connect");
+  ASSERT_TRUE(send_all(fd, job_line(1)));
+  ASSERT_TRUE(read_line(fd, buf, line));
+  EXPECT_EQ(JsonValue::parse(line).find("status")->as_string(), "ok") << line;
+  ::close(fd);
+  router.request_shutdown();
+  rt.join();
+}
+
+#endif  // CVB_TEST_NET_FAULT_E2E
+
+}  // namespace
+}  // namespace cvb

@@ -5,13 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "support/fault.hpp"
 #include "support/json.hpp"
+#include "support/metrics.hpp"
 
 #if defined(__linux__)
 #define CVB_TEST_ROUTER_E2E 1
@@ -337,6 +341,179 @@ TEST(Router, DeadWorkerYieldsTypedTransientError) {
   const JsonValue* fault = response.find("fault_class");
   ASSERT_NE(fault, nullptr) << reply;
   EXPECT_EQ(fault->as_string(), "transient");
+}
+
+// Reads one newline-terminated line (blocking) from fd.
+std::string read_line(int fd) {
+  std::string out;
+  char c = 0;
+  while (::read(fd, &c, 1) == 1) {
+    if (c == '\n') {
+      break;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool wait_counter_at_least(MetricsRegistry& metrics, const std::string& name,
+                           long long target, int timeout_ms = 10000) {
+  for (int waited = 0; waited < timeout_ms; waited += 10) {
+    if (metrics.counter(name).value() >= target) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return metrics.counter(name).value() >= target;
+}
+
+TEST(Router, KillAndRestartReentersViaHalfOpenProbe) {
+  const std::string w0_path = testing::TempDir() + "cvb_rk_w0.sock";
+  const std::string w1_path = testing::TempDir() + "cvb_rk_w1.sock";
+  const std::string front = testing::TempDir() + "cvb_rk_front.sock";
+
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  Service s0(sopts);
+  Service s1(sopts);
+  NetServerOptions n0;
+  n0.socket_path = w0_path;
+  NetServerOptions n1;
+  n1.socket_path = w1_path;
+  NetServer worker0(s0, n0);
+  std::ostringstream err0;
+  std::thread t0([&] { (void)worker0.run(err0); });
+  ASSERT_TRUE(worker0.wait_until_listening()) << err0.str();
+  auto worker1 = std::make_unique<NetServer>(s1, n1);
+  std::ostringstream err1;
+  std::thread t1([&] { (void)worker1->run(err1); });
+  ASSERT_TRUE(worker1->wait_until_listening()) << err1.str();
+
+  MetricsRegistry metrics;
+  RouterOptions ropts;
+  ropts.listen_path = front;
+  ropts.workers = {w0_path, w1_path};
+  ropts.health_interval_ms = 25.0;
+  ropts.health_timeout_ms = 250.0;
+  ropts.max_connect_attempts = 2;
+  ropts.backoff_base_ms = 0.5;
+  ropts.backoff_cap_ms = 2.0;
+  ropts.metrics = &metrics;
+  Router router(ropts);
+  std::ostringstream rerr;
+  std::thread rt([&] { (void)router.run(rerr); });
+  ASSERT_TRUE(router.wait_until_listening()) << rerr.str();
+
+  // Kill worker 1 outright: the kPing prober must trip its breaker.
+  worker1->request_shutdown();
+  t1.join();
+  worker1.reset();
+  ASSERT_TRUE(wait_counter_at_least(metrics, "net_breaker_open_total", 1))
+      << "prober never tripped the dead worker's breaker";
+
+  // Restart on the same socket path: a clean probe must walk the
+  // breaker open -> half-open and further probes close it — recovery
+  // re-enters the ring without any client traffic at all.
+  worker1 = std::make_unique<NetServer>(s1, n1);
+  std::ostringstream err1b;
+  t1 = std::thread([&] { (void)worker1->run(err1b); });
+  ASSERT_TRUE(worker1->wait_until_listening()) << err1b.str();
+  ASSERT_TRUE(wait_counter_at_least(metrics, "net_breaker_half_open_total", 1));
+  ASSERT_TRUE(wait_counter_at_least(metrics, "net_breaker_close_total", 1))
+      << "recovered worker never closed its breaker";
+
+  // The fleet serves normally again.
+  const int fd = connect_unix_retry(front);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(
+      fd, R"({"id":"back","kernel":"EWF","datapath":"[2,1|1,1]",)"
+          R"("effort":"fast"})" "\n"));
+  const JsonValue response = JsonValue::parse(read_line(fd));
+  EXPECT_EQ(response.find("status")->as_string(), "ok");
+  ASSERT_TRUE(send_all(fd, "{\"cmd\":\"quit\"}\n"));
+  (void)read_to_eof(fd);
+  ::close(fd);
+
+  router.request_shutdown();
+  rt.join();
+  worker0.request_shutdown();
+  t0.join();
+  worker1->request_shutdown();
+  t1.join();
+}
+
+TEST(Router, HedgeRescuesSlowWorkerAndDedups) {
+  if (!fault_injection_compiled()) {
+    GTEST_SKIP() << "needs -DCVB_FAULT_INJECTION=ON";
+  }
+  ScopedFaultInjection scoped(0x5e1fULL);
+  // The first (and only the first) job to reach either worker's
+  // service hangs for 400 ms — far past the hedge budget.
+  FaultSpec hang;
+  hang.rate = 1.0;
+  hang.hang_ms = 400.0;
+  hang.cooperative = true;
+  hang.max_triggers = 1;
+  FaultInjector::global().arm("service.hang", hang);
+
+  const std::string w0_path = testing::TempDir() + "cvb_rh_w0.sock";
+  const std::string w1_path = testing::TempDir() + "cvb_rh_w1.sock";
+  const std::string front = testing::TempDir() + "cvb_rh_front.sock";
+  ServiceOptions sopts;
+  sopts.num_workers = 1;
+  Service s0(sopts);
+  Service s1(sopts);
+  NetServerOptions n0;
+  n0.socket_path = w0_path;
+  NetServerOptions n1;
+  n1.socket_path = w1_path;
+  NetServer worker0(s0, n0);
+  NetServer worker1(s1, n1);
+  std::ostringstream err0;
+  std::ostringstream err1;
+  std::thread t0([&] { (void)worker0.run(err0); });
+  std::thread t1([&] { (void)worker1.run(err1); });
+  ASSERT_TRUE(worker0.wait_until_listening()) << err0.str();
+  ASSERT_TRUE(worker1.wait_until_listening()) << err1.str();
+
+  MetricsRegistry metrics;
+  RouterOptions ropts;
+  ropts.listen_path = front;
+  ropts.workers = {w0_path, w1_path};
+  ropts.hedge_budget_ms = 25.0;
+  ropts.metrics = &metrics;
+  Router router(ropts);
+  std::ostringstream rerr;
+  std::thread rt([&] { (void)router.run(rerr); });
+  ASSERT_TRUE(router.wait_until_listening()) << rerr.str();
+
+  const int fd = connect_unix_retry(front);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(
+      fd, R"({"id":"slow","kernel":"EWF","datapath":"[2,1|1,1]",)"
+          R"("effort":"fast"})" "\n"));
+  const JsonValue response = JsonValue::parse(read_line(fd));
+  // The hedge to the healthy worker rescues the request well before
+  // the hung primary wakes up — and the client sees exactly one
+  // terminal response.
+  EXPECT_EQ(response.find("id")->as_string(), "slow");
+  EXPECT_EQ(response.find("status")->as_string(), "ok");
+  EXPECT_GE(metrics.counter("net_hedge_fired_total").value(), 1);
+  // When the hung worker finally answers, the session ledger must
+  // discard the duplicate.
+  EXPECT_TRUE(
+      wait_counter_at_least(metrics, "net_hedge_dedup_dropped_total", 1))
+      << "late duplicate was never deduplicated";
+  ASSERT_TRUE(send_all(fd, "{\"cmd\":\"quit\"}\n"));
+  (void)read_to_eof(fd);
+  ::close(fd);
+
+  router.request_shutdown();
+  rt.join();
+  worker0.request_shutdown();
+  worker1.request_shutdown();
+  t0.join();
+  t1.join();
 }
 
 #endif  // CVB_TEST_ROUTER_E2E
