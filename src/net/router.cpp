@@ -291,6 +291,17 @@ bool BreakerBoard::allow(std::size_t w) {
   return false;
 }
 
+void BreakerBoard::cancel_trial(std::size_t w) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (w >= slots_.size()) {
+    return;
+  }
+  Slot& slot = slots_[w];
+  if (slot.state == BreakerState::kHalfOpen) {
+    slot.trials_granted = std::max(0, slot.trials_granted - 1);
+  }
+}
+
 BreakerState BreakerBoard::state(std::size_t w) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return w < slots_.size() ? slots_[w].state : BreakerState::kOpen;
@@ -308,11 +319,11 @@ std::vector<bool> BreakerBoard::eligibility() const {
   return out;
 }
 
-std::uint64_t request_route_key(const std::string& request_json) {
+RouteInfo request_route_info(const std::string& request_json) {
   try {
     const JsonValue doc = JsonValue::parse(request_json);
     if (!doc.is_object() || doc.find("cmd") != nullptr) {
-      return 0;
+      return {0, true};
     }
     std::uint64_t h = kFnvOffset;
     const auto fold = [&h](std::string_view tag, std::string_view value) {
@@ -345,10 +356,14 @@ std::uint64_t request_route_key(const std::string& request_json) {
       h = fnv1a(h, static_cast<std::uint64_t>(num_field("buses", 2)));
       h = fnv1a(h, static_cast<std::uint64_t>(num_field("move_latency", 1)));
     }
-    return fmix64(h);
+    return {fmix64(h), false};
   } catch (const std::exception&) {
-    return 0;
+    return {0, true};
   }
+}
+
+std::uint64_t request_route_key(const std::string& request_json) {
+  return request_route_info(request_json).key;
 }
 
 #if defined(CVB_ROUTER_HAVE_SOCKETS)
@@ -575,9 +590,17 @@ struct Router::Impl {
   // ---- per-session upstream state -------------------------------------
 
   struct Upstream {
-    int fd = -1;
+    int fd = -1;        ///< mutated only under Session::mutex
     std::thread reader;
     bool dead = false;  ///< reader saw EOF/error; guarded by Session::mutex
+    /// Held across every send_all_upstream on this fd. Two writers
+    /// (session thread, hedge thread) sharing one stream socket must
+    /// not interleave: a partial send from one inside the other's
+    /// frame desyncs the worker's frame stream. ensure_upstream also
+    /// takes it before closing a dead fd, so the fd number can never
+    /// be recycled under a sender mid-send. Acquired before
+    /// Session::mutex, after Session::connect_mutex.
+    std::mutex write_mutex;
   };
 
   /// One request the session accepted and has not fully resolved. The
@@ -741,9 +764,17 @@ struct Router::Impl {
     if (up.reader.joinable()) {
       up.reader.join();
     }
-    if (up.fd >= 0) {
-      ::close(up.fd);
-      up.fd = -1;
+    {
+      // write_mutex excludes a sender still mid-send on the old fd —
+      // closing it out from under them would let the reconnect below
+      // recycle the fd number into their stalled write. The fd store
+      // itself is guarded by session.mutex like every other fd read.
+      const std::lock_guard<std::mutex> write_lock(up.write_mutex);
+      const std::lock_guard<std::mutex> lock(session.mutex);
+      if (up.fd >= 0) {
+        ::close(up.fd);
+        up.fd = -1;
+      }
     }
     Rng rng(options.jitter_seed ^ fmix64(w + 1));
     double delay_ms = options.backoff_base_ms;
@@ -782,7 +813,8 @@ struct Router::Impl {
   void route_request(Session& session, const std::string& text) {
     ScopedSpan span(options.tracer, "router.route");
     metrics->counter("net_router_requests_total").inc();
-    const std::uint64_t key = request_route_key(text);
+    const RouteInfo route = request_route_info(text);
+    const std::uint64_t key = route.key;
     const std::string id = extract_request_id(text);
     const std::vector<int> order = ring.pick_sequence(key);
     if (order.empty()) {
@@ -812,6 +844,12 @@ struct Router::Impl {
       send_to_client_locked(session, worker_lost_json(id, options.workers[w]));
       return;
     }
+    Upstream& up = session.upstreams[w];
+    // Serialize writers on this upstream for the whole send: a
+    // concurrent hedge send on the same socket must not interleave
+    // its frame bytes with ours (a partial send would desync the
+    // worker's frame stream).
+    const std::lock_guard<std::mutex> write_lock(up.write_mutex);
     std::uint64_t seq = 0;
     int up_fd = -1;
     {
@@ -824,14 +862,18 @@ struct Router::Impl {
       entry.enqueued = std::chrono::steady_clock::now();
       entry.primary = w;
       entry.waiting_on.push_back(w);
-      // Control requests (key 0) carry side effects — snapshot writes,
-      // metric reads — that must not run twice; pre-marking them
-      // hedged keeps the hedge thread away.
-      entry.hedged = key == 0;
+      // Control requests carry side effects — snapshot writes, metric
+      // reads — that must not run twice; pre-marking them hedged
+      // keeps the hedge thread away.
+      entry.hedged = route.is_control;
       session.ledger.push_back(std::move(entry));
-      up_fd = session.upstreams[w].fd;
+      // Re-read under the locks: ensure_upstream may have closed and
+      // reconnected (or failed to) between returning and our
+      // write_mutex acquisition.
+      up_fd = up.fd;
     }
-    if (!send_all_upstream(up_fd, encode_frame(FrameType::kRequest, text))) {
+    if (up_fd < 0 ||
+        !send_all_upstream(up_fd, encode_frame(FrameType::kRequest, text))) {
       breakers.record_failure(w);
       const std::lock_guard<std::mutex> lock(session.mutex);
       // The reader resolves the ledger when it notices the death;
@@ -899,15 +941,24 @@ struct Router::Impl {
           breakers.record_failure(fire.target);
           continue;  // primary still owes the answer; nothing is lost
         }
+        Upstream& up = session.upstreams[fire.target];
+        // Same writer discipline as route_request: hold the upstream's
+        // write mutex across the whole send so hedge bytes never
+        // interleave with a session-thread frame on this socket.
+        const std::lock_guard<std::mutex> write_lock(up.write_mutex);
         int up_fd = -1;
         {
           const std::lock_guard<std::mutex> relock(session.mutex);
           const auto it = find_seq(session, fire.seq);
           if (it == session.ledger.end() || it->answered) {
-            continue;  // resolved while we connected; skip the send
+            // Resolved while we connected: abandon the hedge. The
+            // fire scan's allow() may have consumed a half-open trial
+            // slot that will now never see an outcome — repay it.
+            breakers.cancel_trial(fire.target);
+            continue;
           }
           it->waiting_on.push_back(fire.target);
-          up_fd = session.upstreams[fire.target].fd;
+          up_fd = up.fd;
         }
         metrics->counter("net_hedge_fired_total").inc();
         {
@@ -915,7 +966,8 @@ struct Router::Impl {
           span.attr("worker", static_cast<long long>(fire.target));
           span.attr("id", fire.id);
         }
-        if (!send_all_upstream(
+        if (up_fd < 0 ||
+            !send_all_upstream(
                 up_fd, encode_frame(FrameType::kRequest, fire.text))) {
           breakers.record_failure(fire.target);
           const std::lock_guard<std::mutex> relock(session.mutex);

@@ -85,12 +85,25 @@ class HashRing {
   std::size_t num_workers_ = 0;
 };
 
-/// The routing key of one JSON request: a hash over the fields that
-/// determine schedule-cache reuse (kernel|dfg, machine|datapath, buses,
-/// move_latency) with the protocol's defaults applied. Control
-/// requests ({"cmd":...}) and unparseable lines return 0, which the
-/// router maps onto the ring like any other key — every cmd lands on
-/// one stable worker.
+/// The routing verdict for one JSON request.
+struct RouteInfo {
+  /// Ring placement key: a hash over the fields that determine
+  /// schedule-cache reuse (kernel|dfg, machine|datapath, buses,
+  /// move_latency) with the protocol's defaults applied. Control
+  /// requests and unparseable lines get key 0, which the router maps
+  /// onto the ring like any other key — every cmd lands on one stable
+  /// worker.
+  std::uint64_t key = 0;
+  /// True for {"cmd":...} requests and unparseable lines. Control
+  /// requests carry side effects (snapshot writes, shutdown) and are
+  /// never hedged; the flag is explicit because a legitimate job hash
+  /// can collide with key 0.
+  bool is_control = false;
+};
+
+[[nodiscard]] RouteInfo request_route_info(const std::string& request_json);
+
+/// Shorthand for request_route_info(request_json).key.
 [[nodiscard]] std::uint64_t request_route_key(const std::string& request_json);
 
 /// Circuit-breaker state of one upstream worker (DESIGN §3.13).
@@ -141,6 +154,13 @@ class BreakerBoard {
   /// slot when the breaker is half-open (call only when the caller
   /// will actually send).
   [[nodiscard]] bool allow(std::size_t w);
+
+  /// Repays a half-open trial slot consumed by allow() when the
+  /// caller abandoned the request before sending, so no outcome will
+  /// ever be recorded for it. Without the repayment an abandoned
+  /// grant leaks a slot and can pin the breaker half-open, refusing
+  /// traffic until a probe rescues it. No-op outside half-open.
+  void cancel_trial(std::size_t w);
 
   [[nodiscard]] BreakerState state(std::size_t w) const;
 

@@ -1,6 +1,7 @@
 #include "net/snapshot.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -122,6 +123,23 @@ CacheExportEntry decode_entry(std::string_view payload) {
     throw std::invalid_argument("snapshot: trailing bytes in entry record");
   }
   return entry;
+}
+
+/// A collision-free staging path next to `path`. Two concurrent
+/// savers (another thread, or another process sharing the snapshot
+/// file) must never stage into the same tmp name: the second open
+/// would truncate the first's half-written bytes and the rename could
+/// publish a torn file. pid + a process-local counter make the name
+/// unique; only the final rename target is shared.
+std::string unique_tmp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::string tmp = path + ".tmp.";
+#if defined(CVB_SNAPSHOT_HAVE_FSYNC)
+  tmp += std::to_string(static_cast<long long>(::getpid()));
+  tmp += '.';
+#endif
+  tmp += std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  return tmp;
 }
 
 }  // namespace
@@ -262,7 +280,7 @@ void save_cache_snapshot(const std::string& path,
   std::ostringstream buffer;
   write_cache_snapshot(buffer, entries);
   const std::string bytes = buffer.str();
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = unique_tmp_path(path);
 #if defined(CVB_SNAPSHOT_HAVE_FSYNC)
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {

@@ -14,9 +14,11 @@
 // FORMATS.md "Eval-cache snapshot file" for the byte-level layout.
 //
 // Crash-only persistence (DESIGN §3.13): save_cache_snapshot writes to
-// `path + ".tmp"`, fsyncs, renames over `path`, and fsyncs the
-// directory — a crash at any point leaves either the old complete file
-// or the new complete file, never a torn mix. Restoring is two-tier:
+// a unique staging file (`path.tmp.<pid>.<n>`, so concurrent savers
+// never truncate each other's half-written bytes), fsyncs, renames
+// over `path`, and fsyncs the directory — a crash at any point leaves
+// either the old complete file or the new complete file, never a torn
+// mix. Restoring is two-tier:
 //  * read_cache_snapshot is strict — any structural problem (version
 //    mismatch, truncation, count mismatch, checksum mismatch, trailing
 //    bytes, malformed entry) throws std::invalid_argument;

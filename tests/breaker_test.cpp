@@ -150,6 +150,31 @@ TEST(RouterBreaker, HalfOpenTrialBudgetIsBounded) {
   EXPECT_FALSE(board.eligibility()[0]);
 }
 
+TEST(RouterBreaker, CancelTrialRepaysAbandonedSlot) {
+  BreakerBoard board(1, small_breaker());
+  for (int i = 0; i < 3; ++i) {
+    board.record_failure(0);
+  }
+  board.on_probe(0, true);
+  ASSERT_EQ(board.state(0), BreakerState::kHalfOpen);
+  // Both trial slots granted, then one caller abandons its request
+  // before sending (e.g. a hedge whose ledger entry was answered
+  // while it connected). Without the repayment the slot would leak
+  // and the breaker would refuse traffic forever.
+  ASSERT_TRUE(board.allow(0));
+  ASSERT_TRUE(board.allow(0));
+  ASSERT_FALSE(board.allow(0));
+  board.cancel_trial(0);
+  EXPECT_TRUE(board.allow(0));
+  EXPECT_FALSE(board.allow(0));
+  // Outside half-open the repayment is a no-op (and never underflows).
+  board.record_failure(0);
+  ASSERT_EQ(board.state(0), BreakerState::kOpen);
+  board.cancel_trial(0);
+  EXPECT_FALSE(board.allow(0));
+  board.cancel_trial(7);  // out of range: ignored
+}
+
 TEST(RouterBreaker, TrialFailureReopens) {
   BreakerBoard board(1, small_breaker());
   for (int i = 0; i < 3; ++i) {

@@ -115,6 +115,17 @@ TEST(RouteKey, ControlAndGarbageAreStable) {
   EXPECT_EQ(request_route_key(""), 0u);
 }
 
+TEST(RouteKey, ControlFlagIsExplicitNotKeyZero) {
+  // The hedge exclusion rides on an explicit flag, not on the key-0
+  // sentinel: a legitimate job hash colliding with 0 must still hedge.
+  EXPECT_TRUE(request_route_info(R"({"cmd":"snapshot"})").is_control);
+  EXPECT_TRUE(request_route_info("not json at all").is_control);
+  EXPECT_TRUE(request_route_info("").is_control);
+  const RouteInfo job = request_route_info(R"({"kernel":"EWF"})");
+  EXPECT_FALSE(job.is_control);
+  EXPECT_EQ(job.key, request_route_key(R"({"kernel":"EWF"})"));
+}
+
 #if defined(CVB_TEST_ROUTER_E2E)
 
 int connect_unix_retry(const std::string& path) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -344,10 +345,15 @@ TEST(Snapshot, SaveIsAtomicTmpRename) {
   EvalEngine source;
   const std::vector<CacheExportEntry> entries = populated_export(source);
   net::save_cache_snapshot(path, entries);
-  // The staging file never survives a successful save, and the
-  // renamed-in file restores complete.
-  std::ifstream tmp(path + ".tmp", std::ios::binary);
-  EXPECT_FALSE(tmp.good()) << "staging tmp left behind";
+  // No staging file (unique `path.tmp.<pid>.<n>` names) survives a
+  // successful save, and the renamed-in file restores complete.
+  for (const auto& dirent :
+       std::filesystem::directory_iterator(testing::TempDir())) {
+    EXPECT_EQ(dirent.path().filename().string().rfind(
+                  "cvb_snapshot_atomic.bin.tmp", 0),
+              std::string::npos)
+        << "staging tmp left behind: " << dirent.path();
+  }
   const net::SnapshotRestore restored =
       net::restore_cache_snapshot_file(path);
   EXPECT_TRUE(restored.complete);
