@@ -102,7 +102,7 @@ cvb::BindJob make_job(int index) {
   // Balanced effort: the fast tier evaluates candidates by load
   // profile and schedules only the winner directly, so it never enters
   // the engine — the eval.* sites would be unreachable.
-  job.effort = cvb::BindEffort::kBalanced;
+  job.strategy.effort = cvb::BindEffort::kBalanced;
   return job;
 }
 

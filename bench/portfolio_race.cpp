@@ -1,0 +1,176 @@
+// Portfolio-race benchmark: runs every single strategy of the default
+// racing set alone, then the full portfolio, on a grid of paper
+// kernels × datapaths, and reports final cost, wall time, and the
+// portfolio's per-strategy attribution (time-to-best, incumbent
+// exchanges, restarts, cross-strategy cache reuse).
+//
+// The quality claim it demonstrates: the portfolio's final
+// (latency, moves) is never worse than the best single strategy's —
+// round 0 of the race runs each member bit-identically to its direct
+// path, so the racing result dominates by construction — while the
+// attribution shows *which* member got there and when.
+//
+// --check (CI chaos job): exits non-zero unless on every config
+//   1. the portfolio's cost equals the best-known cost of the grid
+//      (no single strategy beats the race),
+//   2. a one-member portfolio reproduces the direct driver's binding
+//      byte-for-byte, and
+//   3. the race is deterministic across race_threads values.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "bind/portfolio.hpp"
+#include "bind/strategy.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "sched/verifier.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+struct Config {
+  const char* kernel;
+  const char* datapath;
+};
+
+constexpr Config kConfigs[] = {
+    {"EWF", "[1,1|1,1]"},
+    {"ARF", "[2,1|1,1]"},
+    {"FFT", "[1,1|1,1]"},
+    {"DCT-DIF", "[2,1|1,1]"},
+};
+
+struct Cost {
+  int latency = -1;
+  int moves = -1;
+};
+
+bool better(const Cost& a, const Cost& b) {
+  return a.latency != b.latency ? a.latency < b.latency : a.moves < b.moves;
+}
+
+int fail(const std::string& message) {
+  std::cerr << "portfolio_race: FAIL: " << message << '\n';
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") {
+      check = true;
+    } else {
+      std::cerr << "usage: portfolio_race [--check]\n";
+      return 1;
+    }
+  }
+
+  using namespace cvb;
+  const std::vector<StrategySpec> set = default_portfolio(BindEffort::kBalanced);
+
+  bool ok = true;
+  for (const Config& config : kConfigs) {
+    const Dfg& dfg = benchmark_by_name(config.kernel).dfg;
+    const Datapath dp = parse_datapath(config.datapath);
+    std::cout << config.kernel << " on " << config.datapath << ":\n";
+
+    // Each member alone (a fresh private engine each: no cache gifts).
+    Cost best_single;
+    double best_single_ms = 0.0;
+    std::string best_single_name;
+    for (const StrategySpec& spec : set) {
+      PortfolioOptions solo;
+      solo.strategies = {spec};
+      const PortfolioOutcome outcome = run_portfolio(dfg, dp, solo);
+      const Cost cost{outcome.best.schedule.latency,
+                      outcome.best.schedule.num_moves};
+      std::cout << "  " << spec.name() << " alone: L=" << cost.latency
+                << " M=" << cost.moves << ", "
+                << format_sig(outcome.stats.ms, 3) << " ms\n";
+      if (best_single.latency < 0 || better(cost, best_single)) {
+        best_single = cost;
+        best_single_ms = outcome.stats.ms;
+        best_single_name = spec.name();
+      }
+
+      if (check) {
+        // Invariant 2: one-member portfolio ≡ the direct driver path.
+        if (spec.kind == StrategyKind::kBIter) {
+          const BindResult direct =
+              bind_full(dfg, dp, driver_params_for(spec.effort));
+          if (direct.binding != outcome.best.binding) {
+            return fail(std::string(config.kernel) +
+                        ": one-member portfolio diverged from bind_full");
+          }
+        }
+      }
+    }
+
+    // The race.
+    PortfolioOptions opts;
+    opts.strategies = set;
+    const PortfolioOutcome race = run_portfolio(dfg, dp, opts);
+    const Cost race_cost{race.best.schedule.latency,
+                         race.best.schedule.num_moves};
+    const StrategyAttribution& winner =
+        race.stats.strategies[static_cast<std::size_t>(race.stats.winner)];
+    std::cout << "  portfolio: L=" << race_cost.latency
+              << " M=" << race_cost.moves << ", "
+              << format_sig(race.stats.ms, 3) << " ms, winner "
+              << winner.spec.name() << " (best at "
+              << format_sig(winner.time_to_best_ms, 3) << " ms vs "
+              << format_sig(best_single_ms, 3) << " ms for "
+              << best_single_name << " alone), " << race.stats.exchanges
+              << " exchanges over " << race.stats.rounds << " rounds\n";
+    for (const StrategyAttribution& sa : race.stats.strategies) {
+      std::cout << "    " << sa.spec.name() << ": ";
+      if (sa.dropped) {
+        std::cout << "dropped (" << sa.error << ")\n";
+        continue;
+      }
+      std::cout << "L=" << sa.latency << " M=" << sa.moves << ", "
+                << sa.evals << " evals (" << sa.cache_hits << " cached), "
+                << sa.improvements << " improvements, " << sa.restarts
+                << " restarts, best at "
+                << format_sig(sa.time_to_best_ms, 3) << " ms\n";
+    }
+
+    if (const std::string err =
+            verify_schedule(race.best.bound, dp, race.best.schedule);
+        !err.empty()) {
+      return fail(std::string(config.kernel) + ": verifier: " + err);
+    }
+    if (check) {
+      // Invariant 1: no single strategy beats the race.
+      if (better(best_single, race_cost)) {
+        ok = false;
+        std::cerr << "portfolio_race: FAIL: " << config.kernel << " "
+                  << config.datapath << ": " << best_single_name
+                  << " alone (L=" << best_single.latency
+                  << ",M=" << best_single.moves << ") beat the portfolio (L="
+                  << race_cost.latency << ",M=" << race_cost.moves << ")\n";
+      }
+      // Invariant 3: determinism for any race_threads value.
+      PortfolioOptions serial = opts;
+      serial.policy.race_threads = 1;
+      const PortfolioOutcome replay = run_portfolio(dfg, dp, serial);
+      if (replay.best.binding != race.best.binding ||
+          replay.stats.winner != race.stats.winner) {
+        return fail(std::string(config.kernel) +
+                    ": race_threads=1 replay diverged from the race");
+      }
+    }
+  }
+
+  if (check) {
+    if (!ok) {
+      return 1;
+    }
+    std::cout << "portfolio_race: PASS\n";
+  }
+  return 0;
+}

@@ -20,6 +20,8 @@
 //   --evals N      timed rounds per configuration (default 24)
 //   --handicap N   run every new-core schedule N times per sample — a
 //                  deliberate N-x slowdown used to self-test bench_gate
+//   --pr N         PR number stamped into the report (default 6);
+//                  bench_compare orders committed reports by it
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -284,6 +286,7 @@ int main(int argc, char** argv) {
   bool check = false;
   int rounds = 24;
   int handicap = 1;
+  int pr = 6;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
@@ -294,9 +297,11 @@ int main(int argc, char** argv) {
       rounds = std::stoi(argv[++i]);
     } else if (arg == "--handicap" && i + 1 < argc) {
       handicap = std::stoi(argv[++i]);
+    } else if (arg == "--pr" && i + 1 < argc) {
+      pr = std::stoi(argv[++i]);
     } else {
       std::cerr << "usage: sched_core [--json FILE] [--check] [--evals N] "
-                   "[--handicap N]\n";
+                   "[--handicap N] [--pr N]\n";
       return 2;
     }
   }
@@ -360,7 +365,7 @@ int main(int argc, char** argv) {
 
     cvb::JsonValue report = cvb::JsonValue::object();
     report.set("schema", "cvb-bench-sched-core-v1");
-    report.set("pr", 6);
+    report.set("pr", pr);
     report.set("rounds", rounds);
     report.set("handicap", handicap);
     cvb::JsonValue rows = cvb::JsonValue::array();

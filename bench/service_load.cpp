@@ -43,7 +43,7 @@ cvb::BindJob make_job(const JobSpec& spec, int index) {
   job.id = "load-" + std::to_string(index);
   job.dfg = cvb::benchmark_by_name(spec.kernel).dfg;
   job.datapath = cvb::parse_datapath(spec.datapath);
-  job.effort = spec.effort;
+  job.strategy.effort = spec.effort;
   return job;
 }
 

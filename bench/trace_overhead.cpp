@@ -41,8 +41,8 @@ double run_once(const cvb::Dfg& dfg, const cvb::Datapath& dp,
   cvb::BindRequest request;
   request.dfg = dfg;
   request.datapath = dp;
-  request.algorithm = "b-iter";
-  request.effort = cvb::BindEffort::kBalanced;
+  request.strategy.kind = cvb::StrategyKind::kBIter;
+  request.strategy.effort = cvb::BindEffort::kBalanced;
 
   cvb::RequestContext ctx;
   ctx.tracer = tracer;

@@ -8,6 +8,7 @@
 #include "baselines/mincut.hpp"
 #include "bind/driver.hpp"
 #include "bind/exhaustive.hpp"
+#include "bind/portfolio.hpp"
 #include "pcc/pcc.hpp"
 #include "sched/verifier.hpp"
 #include "support/trace.hpp"
@@ -16,57 +17,79 @@ namespace cvb {
 
 namespace {
 
-/// Algorithm dispatch: request fields -> internal option structs ->
+/// Strategy dispatch: the typed request -> internal option structs ->
 /// BindResult. Throws; run_bind_request owns the typed-status ladder.
+/// Portfolio requests fan out through run_portfolio and fill
+/// `portfolio_stats`; direct requests leave it untouched.
 BindResult dispatch(const BindRequest& request, const RequestContext& ctx,
-                    EvalEngine& engine) {
+                    EvalEngine& engine, std::uint64_t parent_span,
+                    PortfolioStats* portfolio_stats) {
   ListSchedulerOptions sched;
   sched.step_budget = request.step_budget;
   sched.tracer = ctx.tracer;
 
-  if (request.algorithm == "b-iter" || request.algorithm == "b-init") {
-    DriverParams params = driver_params_for(request.effort);
-    params.engine = &engine;
-    params.cancel = ctx.cancel;
-    params.sched = sched;
-    if (request.algorithm == "b-init") {
-      params.run_iterative = false;
-      return bind_initial_best(request.dfg, request.datapath, params);
-    }
-    return bind_full(request.dfg, request.datapath, params);
-  }
-  if (request.algorithm == "pcc") {
-    PccParams params;
-    params.cancel = ctx.cancel;
-    params.step_budget = request.step_budget;
-    params.tracer = ctx.tracer;
-    return pcc_binding(request.dfg, request.datapath, params, nullptr,
-                       &engine);
+  if (!request.portfolio.empty()) {
+    PortfolioOptions opts;
+    opts.strategies = request.portfolio;
+    opts.policy = request.portfolio_policy;
+    opts.cancel = ctx.cancel;
+    opts.tracer = ctx.tracer;
+    opts.parent_span = parent_span;
+    opts.sched = sched;
+    opts.engine = &engine;
+    PortfolioOutcome outcome =
+        run_portfolio(request.dfg, request.datapath, opts);
+    *portfolio_stats = std::move(outcome.stats);
+    return std::move(outcome.best);
   }
 
-  const bool known = request.algorithm == "sa" ||
-                     request.algorithm == "mincut" ||
-                     request.algorithm == "exhaustive";
-  if (!known) {
-    throw std::invalid_argument("unknown algorithm '" + request.algorithm +
-                                "'");
+  const StrategySpec& spec = request.strategy;
+  switch (spec.kind) {
+    case StrategyKind::kBIter:
+    case StrategyKind::kBInit: {
+      DriverParams params = driver_params_for(spec.effort);
+      params.engine = &engine;
+      params.cancel = ctx.cancel;
+      params.sched = sched;
+      if (spec.kind == StrategyKind::kBInit) {
+        params.run_iterative = false;
+        return bind_initial_best(request.dfg, request.datapath, params);
+      }
+      return bind_full(request.dfg, request.datapath, params);
+    }
+    case StrategyKind::kPcc: {
+      PccParams params;
+      params.cancel = ctx.cancel;
+      params.step_budget = request.step_budget;
+      params.tracer = ctx.tracer;
+      return pcc_binding(request.dfg, request.datapath, params, nullptr,
+                         &engine);
+    }
+    case StrategyKind::kSa:
+    case StrategyKind::kMinCut:
+    case StrategyKind::kExhaustive:
+      break;  // the run-to-completion baselines, handled below
   }
-  // The baselines below run to completion without cancellation
-  // polling: a deadline could never fire mid-run, which would silently
-  // break the deadline contract, so deadline tokens are rejected. A
-  // manual-only token (what cvb::Service arms when no deadline is
-  // configured) is fine — run_bind_request polls its cancel flag after
-  // the run and reports kCancelled with the completed result.
+
+  // The baselines run to completion without cancellation polling: a
+  // deadline could never fire mid-run, which would silently break the
+  // deadline contract, so deadline tokens are rejected on the direct
+  // path (portfolio mode instead late-filters baseline results —
+  // bind/portfolio.hpp). A manual-only token (what cvb::Service arms
+  // when no deadline is configured) is fine — run_bind_request polls
+  // its cancel flag after the run and reports kCancelled with the
+  // completed result.
   if (ctx.cancel.has_deadline()) {
-    throw std::invalid_argument("algorithm '" + request.algorithm +
-                                "' does not support deadlines");
+    throw std::invalid_argument(
+        "strategy '" + std::string(spec.name()) +
+        "' does not support deadlines (race it in a portfolio instead)");
   }
-  if (request.algorithm == "sa") {
+  if (spec.kind == StrategyKind::kSa) {
     AnnealingParams params;
-    params.seed = request.seed;
+    params.seed = spec.seed;
     return annealing_binding(request.dfg, request.datapath, params);
   }
-  if (request.algorithm == "mincut") {
+  if (spec.kind == StrategyKind::kMinCut) {
     return mincut_binding(request.dfg, request.datapath);
   }
   return exhaustive_binding(request.dfg, request.datapath);
@@ -91,8 +114,9 @@ BindResponse run_bind_request(const BindRequest& request,
 
   ScopedSpan span(ctx.tracer, "bind.request");
   if (span.enabled()) {
-    span.attr("algorithm", request.algorithm);
-    span.attr("effort", to_string(request.effort));
+    span.attr("strategy",
+              strategy_set_label(request.strategy, request.portfolio));
+    span.attr("effort", to_string(request.strategy.effort));
     if (!request.id.empty()) {
       span.attr("id", request.id);
     }
@@ -101,7 +125,7 @@ BindResponse run_bind_request(const BindRequest& request,
   BindResult result;
   bool dispatched = false;
   try {
-    result = dispatch(request, ctx, *engine);
+    result = dispatch(request, ctx, *engine, span.id(), &response.portfolio);
     dispatched = true;
   } catch (const FaultInjectedError& e) {
     // The injection site declares its own class — trust it, so chaos
@@ -162,8 +186,59 @@ BindResponse run_bind_request(const BindRequest& request,
     span.attr("moves", response.moves);
     span.attr("candidates", response.eval_stats.candidates);
     span.attr("cache_hits", response.eval_stats.cache_hits);
+    if (response.portfolio.ran()) {
+      span.attr("portfolio_winner",
+                response.portfolio.winner >= 0
+                    ? response.portfolio
+                          .strategies[static_cast<std::size_t>(
+                              response.portfolio.winner)]
+                          .spec.name()
+                    : "none");
+      span.attr("portfolio_exchanges", response.portfolio.exchanges);
+      span.attr("portfolio_rounds", response.portfolio.rounds);
+    }
   }
   return response;
+}
+
+JsonValue portfolio_stats_to_json(const PortfolioStats& stats) {
+  JsonValue out = JsonValue::object();
+  out.set("winner", stats.winner >= 0
+                        ? std::string(stats.strategies[static_cast<std::size_t>(
+                                                           stats.winner)]
+                                          .spec.name())
+                        : std::string());
+  out.set("rounds", stats.rounds);
+  out.set("exchanges", stats.exchanges);
+  out.set("ms", stats.ms);
+  JsonValue strategies = JsonValue::array();
+  for (const StrategyAttribution& at : stats.strategies) {
+    JsonValue s = JsonValue::object();
+    s.set("strategy", std::string(at.spec.name()));
+    s.set("effort", to_string(at.spec.effort));
+    s.set("seed", static_cast<long long>(at.spec.seed));
+    s.set("latency", at.latency);
+    s.set("moves", at.moves);
+    s.set("evals", at.evals);
+    s.set("cache_hits", at.cache_hits);
+    s.set("improvements", at.improvements);
+    s.set("restarts", at.restarts);
+    s.set("time_to_best_ms", at.time_to_best_ms);
+    s.set("run_ms", at.run_ms);
+    s.set("winner", at.winner);
+    if (at.dropped) {
+      s.set("dropped", true);
+      s.set("injected", at.injected);
+      s.set("fault", to_string(at.fault));
+      s.set("error", at.error);
+    }
+    if (at.late) {
+      s.set("late", true);
+    }
+    strategies.push_back(std::move(s));
+  }
+  out.set("strategies", std::move(strategies));
+  return out;
 }
 
 JsonValue eval_stats_to_json(const EvalStats& stats, int num_threads) {

@@ -47,4 +47,11 @@ using BindOutcome = BindResponse;
 [[nodiscard]] JsonValue eval_stats_to_json(const EvalStats& stats,
                                            int num_threads);
 
+/// Machine-readable per-strategy race attribution (winner, rounds,
+/// exchanges, and one entry per strategy) — surfaced by
+/// `cvbind --stats-json` and the NDJSON protocol for portfolio
+/// requests. Wall-clock fields (ms, time_to_best_ms, run_ms) are the
+/// only nondeterministic members.
+[[nodiscard]] JsonValue portfolio_stats_to_json(const PortfolioStats& stats);
+
 }  // namespace cvb

@@ -8,8 +8,8 @@
 // `cvserve`, and cvb::Service all build one of these and hand it to
 // run_bind_request (api/api.hpp).
 //
-// The request (BindRequest) is the *what*: graph, machine, algorithm,
-// effort, budgets. The context (RequestContext) is the *how* of this
+// The request (BindRequest) is the *what*: graph, machine, strategy,
+// budgets. The context (RequestContext) is the *how* of this
 // particular execution: cancellation/deadline token, tracer, fault
 // injector — the cross-cutting plumbing that previously travelled as
 // five parallel parameters.
@@ -17,8 +17,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
-#include "bind/effort.hpp"
+#include "bind/strategy.hpp"
 #include "graph/dfg.hpp"
 #include "machine/datapath.hpp"
 #include "machine/parser.hpp"
@@ -35,10 +36,13 @@ class FaultInjector;
 struct RequestContext {
   /// Cooperative cancellation / deadline token. Armed tokens make
   /// b-iter / b-init / pcc anytime (best verified result so far).
-  /// The baselines (sa | mincut | exhaustive) never poll mid-run:
-  /// deadline tokens are rejected as invalid requests, while manual
-  /// cancellation is honoured after the run completes (kCancelled
-  /// with the finished result).
+  /// The baselines (sa | mincut | exhaustive) never poll mid-run: on
+  /// the direct path deadline tokens are rejected as invalid requests,
+  /// while manual cancellation is honoured after the run completes
+  /// (kCancelled with the finished result). Portfolio requests accept
+  /// deadlines regardless of membership — baseline members run to
+  /// completion and their results are simply ignored when they land
+  /// after the deadline (bind/portfolio.hpp).
   CancelToken cancel;
   /// Span recorder for this request (support/trace.hpp); null =
   /// tracing off, with a strictly one-branch fast path everywhere.
@@ -50,26 +54,36 @@ struct RequestContext {
   FaultInjector* injector = nullptr;
 };
 
-/// One binding request. The first seven fields are the service's
-/// historical BindJob layout (service/service.hpp aliases BindJob to
-/// this type), so existing designated-initializer call sites keep
-/// working.
+/// One binding request. The service aliases BindJob to this type
+/// (service/service.hpp); `cvbind`, `cvserve`, and cvb::Service all
+/// build one and hand it to run_bind_request.
 struct BindRequest {
   std::string id;  ///< echoed in the response ("" = service auto-id)
   Dfg dfg;
   Datapath datapath = parse_datapath("[1,1|1,1]");
-  /// b-iter | b-init | pcc, plus the non-anytime baselines
-  /// sa | mincut | exhaustive.
-  std::string algorithm = "b-iter";
-  BindEffort effort = BindEffort::kBalanced;  ///< preset for b-iter/b-init
+  /// The strategy for direct (single-binder) execution — the typed
+  /// replacement for the old `algorithm` string; effort preset and
+  /// baseline seed live inside the spec. Ignored when `portfolio` is
+  /// non-empty.
+  StrategySpec strategy;
+  /// Non-empty = portfolio mode: race these strategies concurrently
+  /// with incumbent exchange through the shared eval cache
+  /// (bind/portfolio.hpp). A one-element portfolio is bit-identical
+  /// to the direct path for that spec.
+  std::vector<StrategySpec> portfolio;
+  /// Racing knobs for portfolio mode (ignored otherwise).
+  PortfolioPolicy portfolio_policy;
+  /// Set by the parse layers (protocol/CLI) when the caller explicitly
+  /// chose a strategy or portfolio; requests that left the default in
+  /// place may have a service-level default portfolio applied
+  /// (ServiceOptions::default_portfolio).
+  bool strategy_explicit = false;
   /// Admission-level deadline used by cvb::Service (0 = service
   /// default). Synchronous callers arm RequestContext::cancel instead.
   double deadline_ms = 0.0;
   /// Scheduler step budget; 0 = caller default (service: resilience
   /// policy). Overruns fail typed as poison.
   long long step_budget = 0;
-  /// Random seed for the stochastic baselines (sa).
-  std::uint64_t seed = 1;
   /// Candidate-evaluation threads when the api creates a private
   /// engine (ignored when the caller supplies a shared one). Results
   /// are identical for any thread count.

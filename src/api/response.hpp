@@ -13,6 +13,7 @@
 #include "bind/binding.hpp"
 #include "bind/bound_dfg.hpp"
 #include "bind/eval_engine.hpp"
+#include "bind/portfolio.hpp"
 #include "sched/schedule.hpp"
 #include "service/status.hpp"
 #include "support/fault.hpp"
@@ -55,6 +56,9 @@ struct BindResponse {
   /// True when the failure came from an armed fault-injection site
   /// (chaos testing) rather than organic code paths.
   bool injected = false;
+  /// Per-strategy race attribution; portfolio.ran() is false (and the
+  /// struct empty) for direct single-strategy requests.
+  PortfolioStats portfolio;
 };
 
 }  // namespace cvb

@@ -1,5 +1,7 @@
 #include "bind/effort.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace cvb {
@@ -27,6 +29,43 @@ BindEffort bind_effort_from_string(std::string_view name) {
     return BindEffort::kMax;
   }
   throw std::invalid_argument("unknown effort '" + std::string(name) + "'");
+}
+
+std::vector<int> EffortController::plan_round(
+    const std::vector<StrategyProgress>& progress, double remaining_ms) const {
+  std::vector<int> ranked;
+  for (int i = 0; i < static_cast<int>(progress.size()); ++i) {
+    if (progress[i].runnable) {
+      ranked.push_back(i);
+    }
+  }
+  if (ranked.empty()) {
+    return ranked;
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+    const StrategyProgress& pa = progress[a];
+    const StrategyProgress& pb = progress[b];
+    if (pa.improvements != pb.improvements) {
+      return pa.improvements > pb.improvements;
+    }
+    if (pa.restarts != pb.restarts) {
+      return pa.restarts < pb.restarts;
+    }
+    return a < b;
+  });
+  if (total_budget_ms_ <= 0.0) {
+    return ranked;  // no deadline: everyone runnable races
+  }
+  if (remaining_ms <= 0.0) {
+    return {};  // budget gone: stop scheduling restarts entirely
+  }
+  const double fraction =
+      std::min(1.0, remaining_ms / total_budget_ms_);
+  const int keep = std::clamp(
+      static_cast<int>(std::ceil(fraction * static_cast<double>(ranked.size()))),
+      1, static_cast<int>(ranked.size()));
+  ranked.resize(static_cast<std::size_t>(keep));
+  return ranked;
 }
 
 }  // namespace cvb

@@ -8,6 +8,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace cvb {
 
@@ -24,5 +25,46 @@ enum class BindEffort {
 /// Inverse of to_string; throws std::invalid_argument
 /// ("unknown effort '<name>'") for anything else.
 [[nodiscard]] BindEffort bind_effort_from_string(std::string_view name);
+
+/// Per-strategy racing state the portfolio feeds the controller before
+/// each incumbent-exchange round (bind/portfolio.hpp).
+struct StrategyProgress {
+  /// Wants a restart slot this round (restartable, not dropped, and
+  /// currently behind the global incumbent).
+  bool runnable = false;
+  /// Global-incumbent improvements this strategy has published so far.
+  int improvements = 0;
+  /// Restart rounds this strategy has already consumed.
+  int restarts = 0;
+};
+
+/// Deadline-aware effort controller for the racing portfolio: decides,
+/// before each restart round, which strategies get pool slots and in
+/// what submission order, so threads flow toward whichever strategies
+/// are actually improving the incumbent.
+///
+/// The ranking (improvements desc, restarts asc, index asc) is a pure
+/// function of deterministic round counters, so deadline-free races
+/// stay reproducible. The deadline term only *shrinks* the scheduled
+/// set as wall-clock budget runs out — with no deadline every runnable
+/// strategy is scheduled and determinism is untouched.
+class EffortController {
+ public:
+  /// `total_budget_ms` <= 0 means no deadline.
+  explicit EffortController(double total_budget_ms = 0.0)
+      : total_budget_ms_(total_budget_ms) {}
+
+  /// Indices into `progress` to run this round, best-credit first.
+  /// Empty when nothing is runnable or the budget is exhausted. With a
+  /// deadline, the scheduled count scales with the remaining fraction
+  /// of the budget (always >= 1 while any budget remains), focusing
+  /// the final rounds on the top improvers.
+  [[nodiscard]] std::vector<int> plan_round(
+      const std::vector<StrategyProgress>& progress,
+      double remaining_ms) const;
+
+ private:
+  double total_budget_ms_;
+};
 
 }  // namespace cvb

@@ -1,0 +1,396 @@
+#include "bind/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/annealing.hpp"
+#include "baselines/mincut.hpp"
+#include "bind/effort.hpp"
+#include "bind/eval_engine.hpp"
+#include "bind/exhaustive.hpp"
+#include "pcc/pcc.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+namespace cvb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// The global-incumbent board. The packed (latency, moves) quality key
+/// is lock-free to peek — a racing strategy can cheaply ask "am I
+/// behind?" — and the mutex guards only the winning payload on the
+/// (rare) improving publish. Determinism does not rest on the lock:
+/// the orchestrator publishes at round barriers in submission order.
+class IncumbentBoard {
+ public:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  /// Lexicographic (latency, moves), lower is better.
+  static std::uint64_t pack(int latency, int moves) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(latency))
+            << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(moves));
+  }
+
+  [[nodiscard]] std::uint64_t peek() const {
+    return key_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty() const { return peek() == kEmpty; }
+
+  /// Installs `result` iff strictly better than the incumbent. Ties
+  /// keep the earlier owner, so merge order decides winners, not
+  /// thread timing.
+  bool publish(int strategy_index, BindResult result) {
+    const std::uint64_t key =
+        pack(result.schedule.latency, result.schedule.num_moves);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (key >= key_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    best_ = std::move(result);
+    owner_ = strategy_index;
+    key_.store(key, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] const BindResult& best() const { return best_; }
+  [[nodiscard]] BindResult take() { return std::move(best_); }
+  [[nodiscard]] int owner() const { return owner_; }
+
+ private:
+  std::atomic<std::uint64_t> key_{kEmpty};
+  std::mutex mutex_;
+  BindResult best_;
+  int owner_ = -1;
+};
+
+/// One strategy's work within one racing round.
+struct SegmentOutcome {
+  bool ok = false;
+  BindResult result;
+  double done_ms = 0.0;   ///< race clock at completion (time-to-best)
+  double seg_ms = 0.0;    ///< this segment's own wall time
+  long long evals = 0;
+  long long cache_hits = 0;
+  bool deadline_late = false;
+  bool injected = false;
+  FaultClass fault = FaultClass::kNone;
+  std::string error;
+};
+
+SegmentOutcome run_segment(const Dfg& dfg, const Datapath& dp,
+                           const StrategySpec& spec, int round,
+                           const Binding* incumbent,
+                           const PortfolioOptions& opts, EvalEngine& engine,
+                           Clock::time_point race_start) {
+  SegmentOutcome out;
+  const Clock::time_point seg_start = Clock::now();
+  ScopedSpan span(opts.tracer, "portfolio.strategy", opts.parent_span);
+  if (span.enabled()) {
+    span.attr("strategy", spec.name());
+    span.attr("round", round);
+  }
+  const EvalStats before = engine.stats();
+  long long exact_evals = -1;
+  try {
+    CVB_INJECT("portfolio.strategy");
+    switch (spec.kind) {
+      case StrategyKind::kBIter: {
+        if (round == 0) {
+          DriverParams params = driver_params_for(spec.effort);
+          params.engine = &engine;
+          params.cancel = opts.cancel;
+          params.sched = opts.sched;
+          out.result = bind_full(dfg, dp, params);
+        } else {
+          // Overtaken: restart the B-ITER climber from the global
+          // incumbent — the paper's improvement phase applied to the
+          // best binding anyone has found.
+          IterImproverParams iter = driver_params_for(spec.effort).iter;
+          iter.cancel = opts.cancel;
+          iter.sched = opts.sched;
+          IterImproverStats stats;
+          Binding improved =
+              improve_binding(dfg, dp, *incumbent, iter, &stats, &engine);
+          out.result =
+              evaluate_binding(dfg, dp, std::move(improved), opts.sched);
+        }
+        break;
+      }
+      case StrategyKind::kBInit: {
+        DriverParams params = driver_params_for(spec.effort);
+        params.engine = &engine;
+        params.cancel = opts.cancel;
+        params.sched = opts.sched;
+        params.run_iterative = false;
+        out.result = bind_initial_best(dfg, dp, params);
+        break;
+      }
+      case StrategyKind::kPcc: {
+        PccParams params;
+        params.cancel = opts.cancel;
+        params.step_budget = opts.sched.step_budget;
+        params.tracer = opts.tracer;
+        out.result = pcc_binding(dfg, dp, params, nullptr, &engine);
+        break;
+      }
+      case StrategyKind::kSa: {
+        AnnealingParams params;
+        params.seed = spec.seed;
+        AnnealingInfo info;
+        out.result = annealing_binding(dfg, dp, params, &info);
+        exact_evals = info.moves_tried;
+        break;
+      }
+      case StrategyKind::kMinCut: {
+        out.result = mincut_binding(dfg, dp);
+        break;
+      }
+      case StrategyKind::kExhaustive: {
+        out.result = exhaustive_binding(dfg, dp);
+        break;
+      }
+    }
+    out.ok = true;
+  } catch (const FaultInjectedError& e) {
+    out.error = e.what();
+    out.injected = true;
+    out.fault = e.fault_class();
+  } catch (const ResourceLimitError& e) {
+    out.error = e.what();
+    out.fault = FaultClass::kPoison;
+  } catch (const std::invalid_argument& e) {
+    out.error = e.what();
+    out.fault = FaultClass::kPoison;
+  } catch (const std::logic_error& e) {
+    out.error = e.what();
+    out.fault = FaultClass::kFatal;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    out.fault = FaultClass::kTransient;
+  }
+  const EvalStats delta = engine.stats().since(before);
+  out.evals = exact_evals >= 0 ? exact_evals : delta.candidates;
+  out.cache_hits = delta.cache_hits + delta.l1_hits;
+  out.done_ms = ms_since(race_start);
+  out.seg_ms = ms_since(seg_start);
+  // Baselines never polled the token: a result computed past the
+  // deadline is late and must not win a timely race.
+  out.deadline_late =
+      !strategy_is_anytime(spec.kind) && opts.cancel.deadline_expired();
+  if (span.enabled()) {
+    span.attr("ok", out.ok);
+    if (out.ok) {
+      span.attr("latency", out.result.schedule.latency);
+      span.attr("moves", out.result.schedule.num_moves);
+      span.attr("late", out.deadline_late);
+    } else {
+      span.attr("error", out.error);
+    }
+    span.attr("evals", out.evals);
+  }
+  return out;
+}
+
+/// All members dropped: rethrow with the first member's classification
+/// so the api's exception -> status ladder stays truthful.
+[[noreturn]] void throw_all_dropped(
+    const std::vector<StrategyAttribution>& strategies) {
+  const StrategyAttribution* first = nullptr;
+  for (const StrategyAttribution& at : strategies) {
+    if (at.dropped) {
+      first = &at;
+      break;
+    }
+  }
+  if (first == nullptr) {
+    throw std::logic_error("portfolio: no result and no dropped strategy");
+  }
+  if (first->injected) {
+    throw FaultInjectedError("portfolio.strategy", first->fault);
+  }
+  const std::string message = "portfolio: every strategy failed; first: " +
+                              std::string(first->spec.name()) + ": " +
+                              first->error;
+  switch (first->fault) {
+    case FaultClass::kPoison:
+      throw std::invalid_argument(message);
+    case FaultClass::kFatal:
+      throw std::logic_error(message);
+    default:
+      throw std::runtime_error(message);
+  }
+}
+
+}  // namespace
+
+PortfolioOutcome run_portfolio(const Dfg& dfg, const Datapath& dp,
+                               const PortfolioOptions& opts) {
+  if (opts.strategies.empty()) {
+    throw std::invalid_argument("portfolio requires at least one strategy");
+  }
+  const Clock::time_point race_start = Clock::now();
+  const int n = static_cast<int>(opts.strategies.size());
+
+  std::unique_ptr<EvalEngine> private_engine;
+  EvalEngine* engine = opts.engine;
+  if (engine == nullptr) {
+    private_engine = std::make_unique<EvalEngine>(EvalEngineOptions{});
+    engine = private_engine.get();
+  }
+
+  PortfolioOutcome outcome;
+  PortfolioStats& stats = outcome.stats;
+  stats.strategies.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    stats.strategies[static_cast<std::size_t>(i)].spec =
+        opts.strategies[static_cast<std::size_t>(i)];
+  }
+
+  const double total_budget_ms =
+      opts.cancel.has_deadline() ? std::max(0.0, opts.cancel.remaining_ms())
+                                 : 0.0;
+  const EffortController controller(total_budget_ms);
+
+  int pool_threads = opts.policy.race_threads > 0 ? opts.policy.race_threads : n;
+  pool_threads = std::clamp(pool_threads, 1, n);
+  ThreadPool pool(pool_threads);
+
+  IncumbentBoard board;
+  IncumbentBoard late_board;
+  std::vector<std::uint64_t> own_key(static_cast<std::size_t>(n),
+                                     IncumbentBoard::kEmpty);
+
+  for (int round = 0; round <= opts.policy.max_rounds; ++round) {
+    std::vector<int> plan;
+    Binding incumbent;
+    if (round == 0) {
+      plan.resize(static_cast<std::size_t>(n));
+      std::iota(plan.begin(), plan.end(), 0);
+    } else {
+      if (opts.cancel.stop_requested() || board.empty()) {
+        break;
+      }
+      std::vector<StrategyProgress> progress(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const StrategyAttribution& at =
+            stats.strategies[static_cast<std::size_t>(i)];
+        StrategyProgress& p = progress[static_cast<std::size_t>(i)];
+        p.runnable = strategy_is_restartable(at.spec.kind) && !at.dropped &&
+                     own_key[static_cast<std::size_t>(i)] > board.peek();
+        p.improvements = at.improvements;
+        p.restarts = at.restarts;
+      }
+      plan = controller.plan_round(
+          progress,
+          opts.cancel.has_deadline() ? opts.cancel.remaining_ms() : 0.0);
+      if (plan.empty()) {
+        break;
+      }
+      incumbent = board.best().binding;
+    }
+    ++stats.rounds;
+
+    // Submission order is the controller's ranking: the pool serves
+    // the most-improving strategies first, which is exactly the thread
+    // reallocation the racing policy promises.
+    std::vector<std::function<SegmentOutcome()>> tasks;
+    tasks.reserve(plan.size());
+    for (const int i : plan) {
+      const StrategySpec spec = opts.strategies[static_cast<std::size_t>(i)];
+      const Binding* start = round == 0 ? nullptr : &incumbent;
+      tasks.push_back([&dfg, &dp, spec, round, start, &opts, engine,
+                       race_start] {
+        return run_segment(dfg, dp, spec, round, start, opts, *engine,
+                           race_start);
+      });
+    }
+    std::vector<SegmentOutcome> segments =
+        pool.run_batch<SegmentOutcome>(std::move(tasks));
+
+    // Barrier merge, in plan order: this ordering — not thread timing —
+    // decides exchanges and ties, which is the determinism contract.
+    bool any_improved = false;
+    for (std::size_t k = 0; k < plan.size(); ++k) {
+      const int i = plan[k];
+      SegmentOutcome& seg = segments[k];
+      StrategyAttribution& at = stats.strategies[static_cast<std::size_t>(i)];
+      at.run_ms += seg.seg_ms;
+      at.evals += seg.evals;
+      at.cache_hits += seg.cache_hits;
+      if (round > 0) {
+        ++at.restarts;
+      }
+      if (!seg.ok) {
+        at.dropped = true;
+        at.error = seg.error;
+        at.injected = seg.injected;
+        at.fault = seg.fault;
+        continue;
+      }
+      const int latency = seg.result.schedule.latency;
+      const int moves = seg.result.schedule.num_moves;
+      const std::uint64_t key = IncumbentBoard::pack(latency, moves);
+      if (seg.deadline_late) {
+        at.late = true;
+        if (at.latency < 0 || key < IncumbentBoard::pack(at.latency, at.moves)) {
+          at.latency = latency;
+          at.moves = moves;
+          at.time_to_best_ms = seg.done_ms;
+        }
+        late_board.publish(i, std::move(seg.result));
+        continue;
+      }
+      if (key < own_key[static_cast<std::size_t>(i)]) {
+        own_key[static_cast<std::size_t>(i)] = key;
+        at.latency = latency;
+        at.moves = moves;
+        at.time_to_best_ms = seg.done_ms;
+      }
+      if (board.publish(i, std::move(seg.result))) {
+        ++at.improvements;
+        ++stats.exchanges;
+        any_improved = true;
+        ScopedSpan exchange(opts.tracer, "portfolio.exchange",
+                            opts.parent_span);
+        if (exchange.enabled()) {
+          exchange.attr("strategy", at.spec.name());
+          exchange.attr("round", round);
+          exchange.attr("latency", latency);
+          exchange.attr("moves", moves);
+        }
+      }
+    }
+    if (round > 0 && !any_improved) {
+      break;  // restart round converged: nobody beat the incumbent
+    }
+  }
+
+  const bool timely = !board.empty();
+  IncumbentBoard& winning = timely ? board : late_board;
+  if (winning.empty()) {
+    throw_all_dropped(stats.strategies);
+  }
+  stats.winner = winning.owner();
+  stats.strategies[static_cast<std::size_t>(stats.winner)].winner = true;
+  outcome.best = winning.take();
+  stats.ms = ms_since(race_start);
+  return outcome;
+}
+
+}  // namespace cvb

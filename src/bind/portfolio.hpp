@@ -1,0 +1,130 @@
+// cvb::PortfolioBinder — racing heterogeneous binding strategies with
+// incumbent exchange.
+//
+// run_portfolio launches every StrategySpec of a request concurrently
+// on a private racing pool; all engine-backed strategies share one
+// sharded evaluation cache (bind/eval_engine.hpp), so a schedule any
+// of them computes is a cache hit for the rest — the evaluation-reuse
+// effect the paper's B-ITER loop is built around, exploited *across*
+// strategies. Results meet on a lock-light global-incumbent board
+// (atomic packed (latency, moves) key for lock-free peeking, a mutex
+// only around the winning payload). A restartable strategy (b-iter)
+// that falls behind the board restarts from the global best binding;
+// the deadline-aware EffortController (bind/effort.hpp) decides which
+// strategies get racing slots each round, so threads drift toward
+// whoever is improving.
+//
+// Determinism contract: racing rounds are barrier-synchronized and
+// merged in deterministic (submission) order, so a fixed strategy set
+// + fixed seeds reproduces the same winner, result, and attribution
+// for any race_threads value. A one-element portfolio is bit-identical
+// to the direct run_bind_request path for that spec. Wall-clock fields
+// (time_to_best_ms, run_ms) are the only nondeterministic outputs.
+//
+// Baselines (sa / mincut / exhaustive) never poll cancellation; the
+// portfolio still accepts deadline tokens: baseline members run to
+// completion and their results are ignored when they finish after the
+// deadline (kept only as a last resort when no member produced a
+// timely result). A member that throws — organically (e.g. mincut on
+// a heterogeneous datapath) or via the "portfolio.strategy" injection
+// site — is dropped with its error recorded in the attribution while
+// the race continues on the healthy members.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bind/driver.hpp"
+#include "bind/strategy.hpp"
+#include "graph/dfg.hpp"
+#include "machine/datapath.hpp"
+#include "sched/list_scheduler.hpp"
+#include "support/cancel.hpp"
+#include "support/fault.hpp"
+
+namespace cvb {
+
+class EvalEngine;
+class Tracer;
+
+/// Per-strategy attribution of one portfolio race, surfaced through
+/// BindResponse, `cvbind --stats-json`, and the cvb_portfolio_* series.
+struct StrategyAttribution {
+  StrategySpec spec;
+  /// Best (latency, moves) this strategy reached itself; -1 = none.
+  int latency = -1;
+  int moves = -1;
+  /// Candidate evaluations credited to this strategy. Exact algorithm
+  /// counters where the strategy reports them (sa move trials, b-iter
+  /// restart rounds); otherwise a shared-engine before/after delta —
+  /// exact with race_threads=1, approximate attribution when segments
+  /// overlap (same caveat as BindResponse::eval_stats).
+  long long evals = 0;
+  /// Schedule-cache hits observed during this strategy's segments
+  /// (same delta caveat) — cross-strategy reuse shows up here.
+  long long cache_hits = 0;
+  /// Times this strategy improved the global incumbent.
+  int improvements = 0;
+  /// Restarts taken from the global best after being overtaken.
+  int restarts = 0;
+  /// Wall clock from race start to this strategy's standing best.
+  double time_to_best_ms = 0.0;
+  /// Total compute wall time across all of its segments.
+  double run_ms = 0.0;
+  bool winner = false;
+  /// Threw and was dropped from the race (error holds the diagnostic).
+  bool dropped = false;
+  /// The drop came from an armed fault-injection site.
+  bool injected = false;
+  /// Classification of the drop (kNone unless dropped).
+  FaultClass fault = FaultClass::kNone;
+  /// Baseline member that finished after the deadline: result ignored
+  /// unless no member produced a timely one.
+  bool late = false;
+  std::string error;
+};
+
+/// Race-level attribution.
+struct PortfolioStats {
+  int winner = -1;     ///< index into strategies; -1 = not a portfolio run
+  int exchanges = 0;   ///< incumbent improvements published to the board
+  int rounds = 0;      ///< racing rounds executed (>= 1)
+  double ms = 0.0;     ///< total race wall time
+  std::vector<StrategyAttribution> strategies;
+
+  [[nodiscard]] bool ran() const { return !strategies.empty(); }
+};
+
+/// Configuration of one race.
+struct PortfolioOptions {
+  std::vector<StrategySpec> strategies;  ///< must be non-empty
+  PortfolioPolicy policy;
+  /// Cancellation/deadline for the whole race. Anytime members honour
+  /// it mid-run; baselines are late-filtered (see file comment).
+  CancelToken cancel;
+  Tracer* tracer = nullptr;
+  /// Explicit parent span id for the per-strategy "portfolio.strategy"
+  /// spans (racing segments run on pool threads).
+  std::uint64_t parent_span = 0;
+  /// Scheduler options (step budget, tracer) for every evaluation.
+  ListSchedulerOptions sched;
+  /// Shared evaluation engine (not owned); null = a private serial
+  /// engine for the duration of the race.
+  EvalEngine* engine = nullptr;
+};
+
+/// The race outcome: the winning strategy's result plus attribution.
+struct PortfolioOutcome {
+  BindResult best;
+  PortfolioStats stats;
+};
+
+/// Runs the race. Throws std::invalid_argument for an empty strategy
+/// list; rethrows a representative member error only when *every*
+/// member dropped (a FaultInjectedError when all drops were injected,
+/// so chaos classification survives).
+[[nodiscard]] PortfolioOutcome run_portfolio(const Dfg& dfg,
+                                             const Datapath& dp,
+                                             const PortfolioOptions& opts);
+
+}  // namespace cvb

@@ -1,0 +1,72 @@
+#include "bind/strategy.hpp"
+
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace cvb {
+
+StrategySpec StrategySpec::from_name(std::string_view name) {
+  StrategySpec spec;
+  spec.kind = strategy_kind_from_string(name);
+  return spec;
+}
+
+std::vector<StrategySpec> default_portfolio(BindEffort effort,
+                                            std::uint64_t seed) {
+  std::vector<StrategySpec> specs;
+  specs.push_back({StrategyKind::kBIter, effort, seed});
+  specs.push_back({StrategyKind::kBInit, effort, seed});
+  specs.push_back({StrategyKind::kPcc, effort, seed});
+  specs.push_back({StrategyKind::kSa, effort, seed});
+  return specs;
+}
+
+std::vector<StrategySpec> parse_strategy_csv(const std::string& list,
+                                             BindEffort effort,
+                                             std::uint64_t default_seed) {
+  std::vector<StrategySpec> specs;
+  for (const std::string& item : split(list, ',')) {
+    StrategySpec spec;
+    spec.effort = effort;
+    spec.seed = default_seed;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      spec.kind = strategy_kind_from_string(item);
+    } else {
+      spec.kind = strategy_kind_from_string(item.substr(0, colon));
+      const std::string seed_text = item.substr(colon + 1);
+      try {
+        spec.seed = std::stoull(seed_text);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad strategy seed '" + seed_text +
+                                    "' in '" + item + "'");
+      }
+    }
+    specs.push_back(spec);
+  }
+  if (specs.empty()) {
+    throw std::invalid_argument(
+        "a strategy list needs at least one name (valid: " +
+        strategy_name_list() + ")");
+  }
+  return specs;
+}
+
+std::string strategy_set_label(const StrategySpec& strategy,
+                               const std::vector<StrategySpec>& portfolio) {
+  if (portfolio.empty()) {
+    return strategy.name();
+  }
+  std::string label = "portfolio(";
+  for (std::size_t i = 0; i < portfolio.size(); ++i) {
+    if (i > 0) {
+      label += ',';
+    }
+    label += portfolio[i].name();
+  }
+  label += ')';
+  return label;
+}
+
+}  // namespace cvb

@@ -1,0 +1,86 @@
+// cvb::StrategySpec — the typed description of one binding strategy,
+// replacing the raw `BindRequest::algorithm` string.
+//
+// A spec bundles the strategy's identity (StrategyKind, single-sourced
+// next to BindStatus in service/status.hpp) with its per-strategy
+// parameters: the effort preset driving DriverParams for b-iter /
+// b-init, and the seed driving the stochastic baselines. The string
+// spellings ("b-iter", "sa", ...) survive as a parsing shim
+// (StrategySpec::from_name) so NDJSON and CLI callers keep working
+// unchanged.
+//
+// PortfolioPolicy configures racing when a request carries a list of
+// specs instead of one (see bind/portfolio.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bind/effort.hpp"
+#include "service/status.hpp"
+
+namespace cvb {
+
+/// One strategy plus its tuning. Value type; equality is used by the
+/// differential tests and the service quarantine key.
+struct StrategySpec {
+  StrategyKind kind = StrategyKind::kBIter;
+  /// Effort preset (drives DriverParams for b-iter / b-init; the other
+  /// strategies ignore it).
+  BindEffort effort = BindEffort::kBalanced;
+  /// Random seed for the stochastic baselines (sa).
+  std::uint64_t seed = 1;
+
+  /// Parsing shim for the historical `algorithm` strings. Throws the
+  /// strategy_kind_from_string error (naming the valid set) on unknown
+  /// names.
+  [[nodiscard]] static StrategySpec from_name(std::string_view name);
+
+  /// The wire name of the kind ("b-iter", "sa", ...).
+  [[nodiscard]] const char* name() const { return to_string(kind); }
+
+  friend bool operator==(const StrategySpec& a, const StrategySpec& b) {
+    return a.kind == b.kind && a.effort == b.effort && a.seed == b.seed;
+  }
+  friend bool operator!=(const StrategySpec& a, const StrategySpec& b) {
+    return !(a == b);
+  }
+};
+
+/// Racing policy for portfolio requests.
+struct PortfolioPolicy {
+  /// Threads racing strategies (one strategy task per thread at a
+  /// time); 0 = one per portfolio member. Results are identical for
+  /// any value — the racing rounds are barrier-synchronized.
+  int race_threads = 0;
+  /// Cap on incumbent-exchange restart rounds after the initial run.
+  int max_rounds = 8;
+
+  friend bool operator==(const PortfolioPolicy& a, const PortfolioPolicy& b) {
+    return a.race_threads == b.race_threads && a.max_rounds == b.max_rounds;
+  }
+};
+
+/// The default racing set for `--portfolio`: the paper's driver at the
+/// given effort, the fast B-INIT sweep, PCC, and a seeded SA run.
+/// mincut is safe to add by hand — a heterogeneous datapath just drops
+/// it from the race instead of failing the request.
+[[nodiscard]] std::vector<StrategySpec> default_portfolio(
+    BindEffort effort = BindEffort::kBalanced, std::uint64_t seed = 1);
+
+/// Parses the CLI racing-set spelling: a comma list of strategy names,
+/// each with an optional per-entry seed ("b-iter,sa:7,sa:8"). Every
+/// entry takes `effort`, and `default_seed` when it has no ":seed".
+/// Throws std::invalid_argument (naming the valid strategy set) on
+/// unknown names, bad seeds, or an empty list.
+[[nodiscard]] std::vector<StrategySpec> parse_strategy_csv(
+    const std::string& list, BindEffort effort, std::uint64_t default_seed);
+
+/// Human label for a request's strategy choice: the single strategy's
+/// name, or "portfolio(b-iter,sa,...)" for a racing set.
+[[nodiscard]] std::string strategy_set_label(
+    const StrategySpec& strategy, const std::vector<StrategySpec>& portfolio);
+
+}  // namespace cvb

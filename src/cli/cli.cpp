@@ -6,6 +6,7 @@
 
 #include "api/api.hpp"
 #include "bind/lower_bounds.hpp"
+#include "bind/strategy.hpp"
 #include "bind/report.hpp"
 #include "cli/flags.hpp"
 #include "graph/dot.hpp"
@@ -39,6 +40,14 @@ options:
                       --datapath/--buses/--move-latency)
   --algorithm A       b-iter | b-init | pcc | sa | mincut | exhaustive
                       (default b-iter)
+  --portfolio         race the default strategy set (b-iter, b-init,
+                      pcc, sa) concurrently with incumbent exchange;
+                      the best result wins (see --stats for the
+                      per-strategy attribution)
+  --strategies LIST   race an explicit comma list of strategies, each
+                      name[:seed], e.g. "b-iter,sa:7,sa:8,mincut"
+                      (implies portfolio mode; a one-entry list is
+                      bit-identical to the direct --algorithm path)
   --effort E          fast | balanced | max: binder effort preset for
                       b-iter/b-init (default balanced)
   --output LIST       comma list of: summary, report, gantt, asm,
@@ -48,9 +57,11 @@ options:
   --threads N         candidate-evaluation threads for b-iter/pcc
                       (default 1 = serial; results are identical for
                       any thread count)
-  --deadline-ms N     anytime bound for b-iter/b-init/pcc: return the
-                      best binding found within N ms (0 = expire
-                      immediately, exercising the fastest path)
+  --deadline-ms N     anytime bound for b-iter/b-init/pcc and portfolio
+                      runs: return the best binding found within N ms
+                      (0 = expire immediately, exercising the fastest
+                      path; portfolio baselines run to completion and
+                      are ignored when they finish late)
   --stats             print evaluation-engine statistics (candidates,
                       schedule-cache hits/misses, wall time)
   --stats-json FILE   write those statistics as JSON to FILE
@@ -82,6 +93,8 @@ struct CliOptions {
   int buses = 2;
   int move_latency = 1;
   std::string algorithm = "b-iter";
+  bool portfolio = false;
+  std::string strategies;
   std::string effort = "balanced";
   std::vector<std::string> outputs = {"summary"};
   std::uint64_t seed = 1;
@@ -95,6 +108,7 @@ struct CliOptions {
   bool list_kernels = false;
   bool help = false;
 };
+
 
 CliOptions parse_args(const std::vector<std::string>& args) {
   CliOptions opts;
@@ -115,6 +129,9 @@ CliOptions parse_args(const std::vector<std::string>& args) {
   });
   flags.on_value("--algorithm",
                  [&](const std::string& v) { opts.algorithm = v; });
+  flags.on_flag("--portfolio", [&] { opts.portfolio = true; });
+  flags.on_value("--strategies",
+                 [&](const std::string& v) { opts.strategies = v; });
   flags.on_value("--effort", [&](const std::string& v) { opts.effort = v; });
   flags.on_value("--output",
                  [&](const std::string& v) { opts.outputs = split(v, ','); });
@@ -217,17 +234,26 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       }
       request.datapath = parse_machine_file(file).datapath;
     }
-    request.algorithm = opts.algorithm;
-    request.effort = bind_effort_from_string(opts.effort);
-    request.seed = opts.seed;
+    request.strategy.kind = strategy_kind_from_string(opts.algorithm);
+    request.strategy.effort = bind_effort_from_string(opts.effort);
+    request.strategy.seed = opts.seed;
     request.num_threads = opts.threads;
+    if (!opts.strategies.empty()) {
+      request.portfolio = parse_strategy_csv(
+          opts.strategies, request.strategy.effort, opts.seed);
+    } else if (opts.portfolio) {
+      request.portfolio =
+          default_portfolio(request.strategy.effort, opts.seed);
+    }
 
-    const bool anytime = opts.algorithm == "b-iter" ||
-                         opts.algorithm == "b-init" ||
-                         opts.algorithm == "pcc";
+    // Portfolio runs are anytime regardless of members: baselines run
+    // to completion and are simply ignored when they finish late.
+    const bool anytime = !request.portfolio.empty() ||
+                         strategy_is_anytime(request.strategy.kind);
     if (opts.deadline_ms >= 0 && !anytime) {
-      throw std::invalid_argument("--deadline-ms is only supported for "
-                                  "b-iter/b-init/pcc");
+      throw std::invalid_argument(
+          "--deadline-ms is only supported for b-iter/b-init/pcc "
+          "(or race the baseline in a --portfolio)");
     }
 
     Tracer tracer;
@@ -265,7 +291,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         const LatencyLowerBound lb = latency_lower_bound(dfg, dp);
         out << request.id << " on " << dp.to_string() << " ("
             << dp.num_buses() << " buses, lat(move)=" << dp.move_latency()
-            << ", " << opts.algorithm << "): L=" << response.schedule.latency
+            << ", "
+            << strategy_set_label(request.strategy, request.portfolio)
+            << "): L=" << response.schedule.latency
             << " cycles, M=" << response.schedule.num_moves
             << " transfers, lower bound " << lb.combined << '\n';
       } else if (output == "report") {
@@ -339,10 +367,43 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           << stats.cache_collisions << " collisions\n"
           << "eval phases: improver=" << stats.improver_candidates
           << " pcc=" << stats.pcc_candidates << "\n";
+      if (response.portfolio.ran()) {
+        const PortfolioStats& ps = response.portfolio;
+        out << "portfolio: winner="
+            << (ps.winner >= 0
+                    ? ps.strategies[static_cast<std::size_t>(ps.winner)]
+                          .spec.name()
+                    : std::string("none"))
+            << ", rounds=" << ps.rounds << ", exchanges=" << ps.exchanges
+            << ", " << format_sig(ps.ms, 3) << " ms\n";
+        for (const StrategyAttribution& sa : ps.strategies) {
+          out << "  " << sa.spec.name() << ": ";
+          if (sa.dropped) {
+            out << "dropped (" << sa.error << ")";
+          } else {
+            out << "L=" << sa.latency << " M=" << sa.moves << ", "
+                << sa.evals << " evals (" << sa.cache_hits << " cached), "
+                << sa.improvements << " improvements, " << sa.restarts
+                << " restarts, best at " << format_sig(sa.time_to_best_ms, 3)
+                << " ms";
+            if (sa.winner) {
+              out << " [winner]";
+            }
+            if (sa.late) {
+              out << " [late]";
+            }
+          }
+          out << "\n";
+        }
+      }
     }
     if (!opts.stats_json.empty()) {
-      const JsonValue stats_doc =
+      JsonValue stats_doc =
           eval_stats_to_json(response.eval_stats, response.eval_threads);
+      if (response.portfolio.ran()) {
+        stats_doc.set("portfolio",
+                      portfolio_stats_to_json(response.portfolio));
+      }
       if (opts.stats_json == "-") {
         stats_doc.write(out, 2);
         out << '\n';

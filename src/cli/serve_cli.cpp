@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bind/strategy.hpp"
 #include "cli/cli.hpp"
 #include "cli/flags.hpp"
 #include "cli/serve_transport.hpp"
@@ -65,6 +66,17 @@ options:
   --overflow P        reject | shed-oldest: what to shed when the
                       queue is full (default reject)
   --deadline-ms N     default per-job deadline (0 = none, default 0)
+  --portfolio         race the default strategy set (b-iter, b-init,
+                      pcc, sa) for jobs that do not pick a strategy
+                      themselves; responses carry per-strategy
+                      attribution under "portfolio"
+  --strategies LIST   default racing set as a comma list of
+                      name[:seed] entries (implies --portfolio
+                      semantics; explicit per-job strategy/portfolio
+                      fields still win)
+  --race-threads N    threads racing portfolio strategies per job
+                      (default 0 = one per strategy; results are
+                      identical for any value)
   --threads N         candidate-evaluation threads of the shared
                       engine (default 1 = evaluate on the worker)
   --retries N         execution attempts per job for transient faults
@@ -121,6 +133,8 @@ namespace {
 
 struct ServeOptions {
   ServiceOptions service;
+  bool portfolio = false;
+  std::string strategies;
   std::string socket_path;
   std::string warm_start;
   std::string snapshot_path;
@@ -162,6 +176,13 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
   flags.on_value("--deadline-ms", [&](const std::string& v) {
     opts.service.default_deadline_ms = parse_nonnegative_int(v);
   });
+  flags.on_flag("--portfolio", [&] { opts.portfolio = true; });
+  flags.on_value("--strategies",
+                 [&](const std::string& v) { opts.strategies = v; });
+  flags.on_value("--race-threads", [&](const std::string& v) {
+    opts.service.default_portfolio_policy.race_threads =
+        parse_nonnegative_int(v);
+  });
   flags.on_value("--threads", [&](const std::string& v) {
     opts.service.engine.num_threads = parse_int_at_least(v, 1, "--threads");
   });
@@ -201,6 +222,12 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
         parse_int_at_least(v, 1, "--write-budget"));
   });
   flags.parse(args);
+  if (!opts.strategies.empty()) {
+    opts.service.default_portfolio =
+        parse_strategy_csv(opts.strategies, BindEffort::kBalanced, 1);
+  } else if (opts.portfolio) {
+    opts.service.default_portfolio = default_portfolio();
+  }
   return opts;
 }
 

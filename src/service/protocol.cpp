@@ -3,7 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "api/api.hpp"
 #include "bind/effort.hpp"
+#include "bind/strategy.hpp"
 #include "io/dfg_text.hpp"
 #include "kernels/kernels.hpp"
 #include "machine/machine_file.hpp"
@@ -32,6 +34,40 @@ const JsonValue* opt_string(const JsonValue& obj, std::string_view key) {
 
 const JsonValue* opt_number(const JsonValue& obj, std::string_view key) {
   return require_kind(obj, key, JsonValue::Kind::kNumber, "number");
+}
+
+/// One strategy in v2 form: either a bare name string ("b-iter") or an
+/// object {"kind": "...", "effort": "...", "seed": N}. Unknown names
+/// throw the strategy_kind_from_string error, which names the valid
+/// set. `default_effort` is the request-level "effort" field, applied
+/// when the spec does not carry its own.
+StrategySpec parse_strategy_spec(const JsonValue& value,
+                                 BindEffort default_effort) {
+  StrategySpec spec;
+  spec.effort = default_effort;
+  if (value.is_string()) {
+    spec.kind = strategy_kind_from_string(value.as_string());
+    return spec;
+  }
+  if (!value.is_object()) {
+    throw std::invalid_argument(
+        "a strategy must be a name string or an object with a 'kind' field");
+  }
+  const JsonValue* kind = opt_string(value, "kind");
+  if (kind == nullptr) {
+    throw std::invalid_argument("strategy object requires a 'kind' string "
+                                "(valid: " +
+                                strategy_name_list() + ")");
+  }
+  spec.kind = strategy_kind_from_string(kind->as_string());
+  if (const JsonValue* effort = opt_string(value, "effort");
+      effort != nullptr) {
+    spec.effort = bind_effort_from_string(effort->as_string());
+  }
+  if (const JsonValue* seed = opt_number(value, "seed"); seed != nullptr) {
+    spec.seed = static_cast<std::uint64_t>(seed->as_number());
+  }
+  return spec;
 }
 
 }  // namespace
@@ -116,11 +152,59 @@ ServeRequest parse_serve_request(const std::string& line) {
     job.datapath = parse_datapath(spec, buses, move_latency);
   }
 
-  if (const JsonValue* algo = opt_string(doc, "algorithm"); algo != nullptr) {
-    job.algorithm = algo->as_string();
-  }
+  // Strategy selection, both schema versions: v1 spells a name string
+  // ("algorithm": "b-iter") with an optional request-level "effort";
+  // v2 carries a typed spec ("strategy": {...} or a bare name) or a
+  // racing set ("portfolio": [...] or {"strategies": [...], ...}).
+  // The request-level "effort" keeps working in every form as the
+  // default for specs that do not set their own.
+  BindEffort default_effort = job.strategy.effort;
   if (const JsonValue* effort = opt_string(doc, "effort"); effort != nullptr) {
-    job.effort = bind_effort_from_string(effort->as_string());
+    default_effort = bind_effort_from_string(effort->as_string());
+    job.strategy.effort = default_effort;
+  }
+  const JsonValue* algo = opt_string(doc, "algorithm");
+  const JsonValue* strategy = doc.find("strategy");
+  const JsonValue* portfolio = doc.find("portfolio");
+  if ((algo != nullptr ? 1 : 0) + (strategy != nullptr ? 1 : 0) +
+          (portfolio != nullptr ? 1 : 0) >
+      1) {
+    throw std::invalid_argument(
+        "'algorithm', 'strategy', and 'portfolio' are exclusive");
+  }
+  if (algo != nullptr) {
+    job.strategy.kind = strategy_kind_from_string(algo->as_string());
+    job.strategy_explicit = true;
+  } else if (strategy != nullptr) {
+    job.strategy = parse_strategy_spec(*strategy, default_effort);
+    job.strategy_explicit = true;
+  } else if (portfolio != nullptr) {
+    const JsonValue* list = portfolio;
+    if (portfolio->is_object()) {
+      list = portfolio->find("strategies");
+      if (list == nullptr) {
+        throw std::invalid_argument(
+            "'portfolio' object requires a 'strategies' array");
+      }
+      if (const JsonValue* threads = opt_number(*portfolio, "race_threads");
+          threads != nullptr) {
+        job.portfolio_policy.race_threads =
+            static_cast<int>(threads->as_number());
+      }
+      if (const JsonValue* rounds = opt_number(*portfolio, "max_rounds");
+          rounds != nullptr) {
+        job.portfolio_policy.max_rounds =
+            static_cast<int>(rounds->as_number());
+      }
+    }
+    if (!list->is_array() || list->as_array().empty()) {
+      throw std::invalid_argument(
+          "'portfolio' requires a non-empty array of strategies");
+    }
+    for (const JsonValue& entry : list->as_array()) {
+      job.portfolio.push_back(parse_strategy_spec(entry, default_effort));
+    }
+    job.strategy_explicit = true;
   }
   if (const JsonValue* deadline = opt_number(doc, "deadline_ms");
       deadline != nullptr) {
@@ -173,6 +257,9 @@ JsonValue outcome_to_json(const BindOutcome& outcome) {
   timings.set("eval_ms", outcome.eval_stats.eval_ms);
   timings.set("eval_candidates", outcome.eval_stats.candidates);
   out.set("timings", std::move(timings));
+  if (outcome.portfolio.ran()) {
+    out.set("portfolio", portfolio_stats_to_json(outcome.portfolio));
+  }
   return out;
 }
 

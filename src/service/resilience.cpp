@@ -68,8 +68,20 @@ std::size_t Quarantine::size() const {
 std::uint64_t quarantine_key(const BindJob& job) {
   std::uint64_t key =
       EvalEngine::context_signature(job.dfg, job.datapath, {});
-  key = fnv1a_text(key, job.algorithm);
-  key ^= static_cast<std::uint64_t>(job.effort) + 0x9e3779b97f4a7c15ULL;
+  const auto mix = [&key](const StrategySpec& spec) {
+    key = fnv1a_text(key, to_string(spec.kind));
+    key ^= static_cast<std::uint64_t>(spec.effort) + 0x9e3779b97f4a7c15ULL;
+    key = fnv1a_text(key * 1099511628211ULL, "seed");
+    key ^= spec.seed;
+  };
+  if (job.portfolio.empty()) {
+    mix(job.strategy);
+  } else {
+    // A portfolio job's failure identity is its whole racing set.
+    for (const StrategySpec& spec : job.portfolio) {
+      mix(spec);
+    }
+  }
   return key;
 }
 

@@ -110,6 +110,13 @@ void Service::submit(BindJob job, std::function<void(BindOutcome)> done) {
 }
 
 void Service::admit(std::shared_ptr<Pending> pending) {
+  // Jobs that did not explicitly pick a strategy inherit the service's
+  // configured default racing set (cvserve --portfolio/--strategies).
+  if (!pending->job.strategy_explicit &&
+      !options_.default_portfolio.empty()) {
+    pending->job.portfolio = options_.default_portfolio;
+    pending->job.portfolio_policy = options_.default_portfolio_policy;
+  }
   metrics_.counter("jobs_submitted").inc();
   ScopedSpan span(options_.tracer, "service.admit");
   if (span.enabled() && !pending->job.id.empty()) {
@@ -227,6 +234,36 @@ void Service::publish_eval_metrics() {
       .set(static_cast<long long>(engine_->cache_size()));
 }
 
+void Service::publish_portfolio_metrics(const PortfolioStats& stats) {
+  metrics_.counter("portfolio_runs").inc();
+  if (stats.exchanges > 0) {
+    metrics_.counter("portfolio_exchanges").inc(stats.exchanges);
+  }
+  metrics_.histogram("portfolio_rounds").observe(stats.rounds);
+  for (const StrategyAttribution& at : stats.strategies) {
+    // Strategy names become metric-name suffixes; '-' is not legal in
+    // a Prometheus metric name.
+    std::string name = at.spec.name();
+    for (char& c : name) {
+      if (c == '-') {
+        c = '_';
+      }
+    }
+    if (at.winner) {
+      metrics_.counter("portfolio_wins_" + name).inc();
+    }
+    if (at.restarts > 0) {
+      metrics_.counter("portfolio_restarts_" + name).inc(at.restarts);
+    }
+    if (at.dropped) {
+      metrics_.counter("portfolio_dropped_" + name).inc();
+    }
+    if (at.late) {
+      metrics_.counter("portfolio_late_" + name).inc();
+    }
+  }
+}
+
 std::string Service::prometheus_text(const std::string& prefix) {
   publish_eval_metrics();
   return metrics_.prometheus_text(prefix);
@@ -254,7 +291,8 @@ void Service::worker_loop() {
     ScopedSpan job_span(options_.tracer, "service.job");
     if (job_span.enabled()) {
       job_span.attr("id", pending->job.id);
-      job_span.attr("algorithm", pending->job.algorithm);
+      job_span.attr("strategy", strategy_set_label(pending->job.strategy,
+                                                   pending->job.portfolio));
       job_span.attr("queue_ms", queue_ms);
     }
     // Register the job's token so injected cooperative hangs can be
@@ -266,6 +304,9 @@ void Service::worker_loop() {
     FaultInjector::set_thread_cancel(nullptr);
     outcome.queue_ms = queue_ms;
     outcome.run_ms = run_watch.elapsed_ms();
+    if (outcome.portfolio.ran()) {
+      publish_portfolio_metrics(outcome.portfolio);
+    }
     job_span.finish();
     if (pending->watchdog_fired.load() && outcome.error.empty()) {
       outcome.error = "watchdog: hang budget exceeded";

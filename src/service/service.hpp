@@ -79,6 +79,11 @@ struct ServiceOptions {
   /// Recovery policy: retry/backoff, quarantine thresholds, watchdog
   /// hang budget, default scheduler step budget.
   ResilienceOptions resilience;
+  /// Racing set applied to jobs that did not explicitly choose a
+  /// strategy (cvserve --portfolio/--strategies); empty = jobs keep
+  /// their direct default strategy.
+  std::vector<StrategySpec> default_portfolio;
+  PortfolioPolicy default_portfolio_policy;
   /// Span recorder covering the service's whole lifetime (admission,
   /// queue wait, worker runs, retries, and everything beneath); null =
   /// tracing off. Not owned; must outlive the service.
@@ -155,6 +160,7 @@ class Service {
   /// Delta-based: each call adds only what accumulated since the last,
   /// so it is safe to call any number of times.
   void publish_eval_metrics();
+  void publish_portfolio_metrics(const PortfolioStats& stats);
 
   /// Prometheus text exposition of the registry with the engine's
   /// eval_* series refreshed first (what scrapers should call, instead

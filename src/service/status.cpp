@@ -63,4 +63,72 @@ bool has_result(BindStatus status) {
          status == BindStatus::kDegraded;
 }
 
+const char* to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kBIter:
+      return "b-iter";
+    case StrategyKind::kBInit:
+      return "b-init";
+    case StrategyKind::kPcc:
+      return "pcc";
+    case StrategyKind::kSa:
+      return "sa";
+    case StrategyKind::kMinCut:
+      return "mincut";
+    case StrategyKind::kExhaustive:
+      return "exhaustive";
+  }
+  return "b-iter";
+}
+
+const std::vector<StrategyKind>& all_strategy_kinds() {
+  static const std::vector<StrategyKind> kinds = {
+      StrategyKind::kBIter, StrategyKind::kBInit,     StrategyKind::kPcc,
+      StrategyKind::kSa,    StrategyKind::kMinCut,    StrategyKind::kExhaustive,
+  };
+  return kinds;
+}
+
+const std::string& strategy_name_list() {
+  static const std::string names = [] {
+    std::string out;
+    for (const StrategyKind kind : all_strategy_kinds()) {
+      if (!out.empty()) {
+        out += ", ";
+      }
+      out += to_string(kind);
+    }
+    return out;
+  }();
+  return names;
+}
+
+StrategyKind strategy_kind_from_string(std::string_view name) {
+  for (const StrategyKind kind : all_strategy_kinds()) {
+    if (name == to_string(kind)) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("unknown strategy '" + std::string(name) +
+                              "' (valid: " + strategy_name_list() + ")");
+}
+
+bool strategy_is_anytime(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kBIter:
+    case StrategyKind::kBInit:
+    case StrategyKind::kPcc:
+      return true;
+    case StrategyKind::kSa:
+    case StrategyKind::kMinCut:
+    case StrategyKind::kExhaustive:
+      return false;
+  }
+  return false;
+}
+
+bool strategy_is_restartable(StrategyKind kind) {
+  return kind == StrategyKind::kBIter;
+}
+
 }  // namespace cvb

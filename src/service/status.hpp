@@ -2,10 +2,16 @@
 // `cvbind` front-end, so callers (and shell scripts) can distinguish
 // "your input was malformed" from "the binder hit its deadline and
 // returned its best-so-far result" without parsing error prose.
+//
+// StrategyKind lives here too: it is the same kind of wire-name <->
+// enum vocabulary, and keeping the one authoritative name table next
+// to BindStatus means the NDJSON protocol, the CLIs, and the api
+// dispatch all agree on what a strategy is called.
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace cvb {
 
@@ -35,5 +41,43 @@ enum class BindStatus {
 /// True for statuses that still carry a usable (verifier-clean)
 /// binding: kOk, kDeadlineExceeded, and kDegraded.
 [[nodiscard]] bool has_result(BindStatus status);
+
+/// The typed identity of a binding strategy — the replacement for the
+/// stringly `BindRequest::algorithm` field. The paper's algorithms
+/// (B-ITER, B-INIT), the PCC related-work binder, and the
+/// run-to-completion baselines are all spellable here.
+enum class StrategyKind {
+  kBIter,       ///< B-INIT sweep + B-ITER improvement (the paper's driver)
+  kBInit,       ///< B-INIT sweep only
+  kPcc,         ///< partial component clustering baseline
+  kSa,          ///< simulated annealing baseline (seeded)
+  kMinCut,      ///< min-cut / load-balance baseline
+  kExhaustive,  ///< optimal enumeration for tiny DFGs
+};
+
+/// Wire/name form: "b-iter", "b-init", "pcc", "sa", "mincut",
+/// "exhaustive" — the historical `algorithm` strings, unchanged.
+[[nodiscard]] const char* to_string(StrategyKind kind);
+
+/// Inverse of to_string. Throws std::invalid_argument whose message
+/// names the full valid set ("unknown strategy 'x' (valid: b-iter,
+/// b-init, pcc, sa, mincut, exhaustive)").
+[[nodiscard]] StrategyKind strategy_kind_from_string(std::string_view name);
+
+/// Every kind, in enum order (for CLIs/tests that enumerate).
+[[nodiscard]] const std::vector<StrategyKind>& all_strategy_kinds();
+
+/// Comma-separated valid-name list, e.g. for usage text.
+[[nodiscard]] const std::string& strategy_name_list();
+
+/// True for strategies honouring the anytime cancel contract (polling
+/// mid-run and returning a verified best-so-far): b-iter, b-init, pcc.
+/// The baselines (sa, mincut, exhaustive) run to completion.
+[[nodiscard]] bool strategy_is_anytime(StrategyKind kind);
+
+/// True for strategies that can restart from an incumbent binding and
+/// improve it (the portfolio's exchange contract): b-iter only — its
+/// B-ITER phase is exactly "improve this binding".
+[[nodiscard]] bool strategy_is_restartable(StrategyKind kind);
 
 }  // namespace cvb

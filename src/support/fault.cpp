@@ -80,6 +80,7 @@ const std::vector<std::string>& fault_sites() {
       "service.admit",      // Service::admit, before queue mutation
       "service.worker",     // worker attempt, before dispatch
       "service.hang",       // worker attempt, hang-flavoured site
+      "portfolio.strategy",  // racing-segment entry: drops one strategy
       "parse.dfg",          // parse_dfg_text entry
       "parse.machine",      // parse_machine_file entry
       // -- network sites (checked via CVB_INJECT_DRAW; the caller fakes

@@ -11,6 +11,7 @@
 
 #include "api/api.hpp"
 #include "bind/eval_engine.hpp"
+#include "bind/strategy.hpp"
 #include "kernels/kernels.hpp"
 #include "service/status.hpp"
 #include "support/trace.hpp"
@@ -23,8 +24,8 @@ BindRequest ewf_request(const std::string& algorithm) {
   request.id = "t1";
   request.dfg = benchmark_by_name("EWF").dfg;
   request.datapath = parse_datapath("[2,1|1,1]");
-  request.algorithm = algorithm;
-  request.effort = BindEffort::kFast;
+  request.strategy = StrategySpec::from_name(algorithm);
+  request.strategy.effort = BindEffort::kFast;
   return request;
 }
 
@@ -48,15 +49,20 @@ TEST(Api, EveryAlgorithmDispatches) {
   }
 }
 
-TEST(Api, UnknownAlgorithmIsTypedInvalidRequest) {
-  const BindResponse response =
-      run_bind_request(ewf_request("bogus"), RequestContext{});
-  EXPECT_EQ(response.status, BindStatus::kInvalidRequest);
-  EXPECT_EQ(response.fault, FaultClass::kPoison);
-  EXPECT_NE(response.error.find("unknown algorithm 'bogus'"),
-            std::string::npos)
-      << response.error;
-  EXPECT_TRUE(response.binding.empty());
+TEST(Api, UnknownStrategyNameThrowsNamingValidSet) {
+  // With the typed StrategySpec a bad name can no longer reach
+  // run_bind_request: the parsing shim rejects it up front, and the
+  // error names the valid set so callers can self-correct.
+  try {
+    (void)StrategySpec::from_name("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown strategy 'bogus'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("b-iter"), std::string::npos) << what;
+    EXPECT_NE(what.find("exhaustive"), std::string::npos) << what;
+  }
 }
 
 TEST(Api, BaselinesRejectDeadlineTokens) {
@@ -106,7 +112,7 @@ TEST(Api, SharedEngineStatsArePerRequestDeltas) {
   // kFast skips the iterative pass (and with it the eval engine), so
   // this test needs the balanced preset.
   BindRequest request = ewf_request("b-iter");
-  request.effort = BindEffort::kBalanced;
+  request.strategy.effort = BindEffort::kBalanced;
   EvalEngine engine;
   const BindResponse first =
       run_bind_request(request, RequestContext{}, &engine);
@@ -125,7 +131,7 @@ TEST(Api, SharedEngineStatsArePerRequestDeltas) {
 
 TEST(Api, TracerRecordsRequestHierarchy) {
   BindRequest request = ewf_request("b-iter");
-  request.effort = BindEffort::kBalanced;  // kFast skips the eval engine
+  request.strategy.effort = BindEffort::kBalanced;  // kFast skips the eval engine
   Tracer tracer;
   RequestContext ctx;
   ctx.tracer = &tracer;
@@ -183,7 +189,7 @@ TEST(Api, ServiceAliasesStayLayoutCompatible) {
 
 TEST(Api, EvalStatsJsonShape) {
   BindRequest request = ewf_request("b-iter");
-  request.effort = BindEffort::kBalanced;  // kFast skips the eval engine
+  request.strategy.effort = BindEffort::kBalanced;  // kFast skips the eval engine
   EvalEngine engine;
   const BindResponse response =
       run_bind_request(request, RequestContext{}, &engine);

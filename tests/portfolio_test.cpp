@@ -1,0 +1,287 @@
+// Tests of the racing portfolio binder (bind/portfolio.hpp) and the
+// typed StrategySpec API (bind/strategy.hpp): the one-strategy
+// differential contract (a 1-element portfolio is bit-identical to the
+// direct dispatch path), determinism of the incumbent exchange for any
+// thread count (this suite also runs under TSan in CI), the
+// baseline-deadline regression (a portfolio with sa/mincut members
+// accepts deadlines), and poisoned-strategy drops — organic and via
+// the "portfolio.strategy" injection site.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "bind/portfolio.hpp"
+#include "bind/strategy.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "sched/verifier.hpp"
+#include "service/status.hpp"
+#include "support/fault.hpp"
+
+namespace cvb {
+namespace {
+
+BindRequest kernel_request(const std::string& kernel,
+                           const std::string& dp_spec) {
+  BindRequest request;
+  request.id = kernel;
+  request.dfg = benchmark_by_name(kernel).dfg;
+  request.datapath = parse_datapath(dp_spec);
+  return request;
+}
+
+// --- StrategySpec: the typed replacement of the algorithm string ---
+
+TEST(StrategySpec, NameRoundTripsForEveryKind) {
+  for (const StrategyKind kind : all_strategy_kinds()) {
+    StrategySpec spec;
+    spec.kind = kind;
+    EXPECT_EQ(StrategySpec::from_name(spec.name()).kind, kind)
+        << spec.name();
+  }
+}
+
+TEST(StrategySpec, UnknownNameThrowsNamingValidSet) {
+  try {
+    (void)StrategySpec::from_name("anneal");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'anneal'"), std::string::npos) << what;
+    EXPECT_NE(what.find("mincut"), std::string::npos) << what;
+  }
+}
+
+TEST(StrategySpec, CsvParsesPerEntrySeeds) {
+  const std::vector<StrategySpec> specs =
+      parse_strategy_csv("b-iter,sa:7,sa:8", BindEffort::kMax, 3);
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0], (StrategySpec{StrategyKind::kBIter, BindEffort::kMax, 3}));
+  EXPECT_EQ(specs[1], (StrategySpec{StrategyKind::kSa, BindEffort::kMax, 7}));
+  EXPECT_EQ(specs[2], (StrategySpec{StrategyKind::kSa, BindEffort::kMax, 8}));
+  EXPECT_THROW((void)parse_strategy_csv("b-iter,sa:x", BindEffort::kFast, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_strategy_csv("", BindEffort::kFast, 1),
+               std::invalid_argument);
+}
+
+TEST(StrategySpec, DefaultPortfolioAndLabel) {
+  const std::vector<StrategySpec> specs =
+      default_portfolio(BindEffort::kFast, 9);
+  ASSERT_EQ(specs.size(), 4u);
+  for (const StrategySpec& spec : specs) {
+    EXPECT_EQ(spec.effort, BindEffort::kFast);
+    EXPECT_EQ(spec.seed, 9u);
+  }
+  EXPECT_EQ(strategy_set_label(specs[0], {}), "b-iter");
+  EXPECT_EQ(strategy_set_label(specs[0], specs),
+            "portfolio(b-iter,b-init,pcc,sa)");
+}
+
+// --- The differential contract: a one-strategy portfolio must be
+// byte-identical to the direct dispatch path, on every kernel ×
+// datapath of the suite. ---
+
+TEST(Portfolio, OneStrategyPortfolioMatchesDirectEverywhere) {
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    for (const std::string dp_spec : {"[1,1|1,1]", "[2,1|1,1]"}) {
+      BindRequest direct = kernel_request(kernel.name, dp_spec);
+      direct.strategy.effort = BindEffort::kFast;
+      BindRequest raced = direct;
+      raced.portfolio = {direct.strategy};
+
+      const BindResponse a = run_bind_request(direct, RequestContext{});
+      const BindResponse b = run_bind_request(raced, RequestContext{});
+      ASSERT_EQ(a.status, BindStatus::kOk)
+          << kernel.name << " " << dp_spec << ": " << a.error;
+      ASSERT_EQ(b.status, BindStatus::kOk)
+          << kernel.name << " " << dp_spec << ": " << b.error;
+      EXPECT_EQ(a.binding, b.binding) << kernel.name << " " << dp_spec;
+      EXPECT_EQ(a.latency, b.latency) << kernel.name << " " << dp_spec;
+      EXPECT_EQ(a.moves, b.moves) << kernel.name << " " << dp_spec;
+      // Only the raced run carries attribution.
+      EXPECT_FALSE(a.portfolio.ran());
+      ASSERT_TRUE(b.portfolio.ran());
+      EXPECT_EQ(b.portfolio.winner, 0);
+      ASSERT_EQ(b.portfolio.strategies.size(), 1u);
+      EXPECT_TRUE(b.portfolio.strategies[0].winner);
+    }
+  }
+}
+
+// --- Incumbent-exchange determinism: a fixed strategy set + seeds
+// reproduces the same winner and result for any race_threads value and
+// across reruns. (CI also runs this under TSan: the board publish /
+// barrier merge must be race-free.) ---
+
+TEST(Portfolio, DeterministicForAnyThreadCountAndRerun) {
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  const Datapath dp = parse_datapath("[2,1|1,1]");
+
+  PortfolioOptions base;
+  base.strategies = default_portfolio(BindEffort::kBalanced, 5);
+
+  Binding binding;
+  int latency = -1;
+  int winner = -1;
+  int exchanges = -1;
+  int rounds = -1;
+  bool first = true;
+  for (const int race_threads : {1, 2, 8, 1}) {  // trailing 1 = rerun
+    PortfolioOptions opts = base;
+    opts.policy.race_threads = race_threads;
+    const PortfolioOutcome outcome =
+        run_portfolio(kernel.dfg, dp, opts);
+    ASSERT_GE(outcome.stats.winner, 0) << "race_threads=" << race_threads;
+    EXPECT_EQ(verify_schedule(outcome.best.bound, dp, outcome.best.schedule),
+              "");
+    if (first) {
+      binding = outcome.best.binding;
+      latency = outcome.best.schedule.latency;
+      winner = outcome.stats.winner;
+      exchanges = outcome.stats.exchanges;
+      rounds = outcome.stats.rounds;
+      first = false;
+      continue;
+    }
+    EXPECT_EQ(outcome.best.binding, binding)
+        << "race_threads=" << race_threads;
+    EXPECT_EQ(outcome.best.schedule.latency, latency);
+    EXPECT_EQ(outcome.stats.winner, winner);
+    EXPECT_EQ(outcome.stats.exchanges, exchanges);
+    EXPECT_EQ(outcome.stats.rounds, rounds);
+  }
+}
+
+// --- The baseline-deadline regression (ISSUE 9): direct sa/mincut
+// requests reject deadline tokens, but a portfolio containing them
+// must not — baselines run to completion and late results are simply
+// ignored. ---
+
+TEST(Portfolio, BaselineMembersDoNotRejectDeadlines) {
+  BindRequest request = kernel_request("EWF", "[1,1|1,1]");
+  request.strategy.effort = BindEffort::kFast;
+  request.portfolio = parse_strategy_csv("b-iter,sa,mincut",
+                                         BindEffort::kFast, 1);
+  RequestContext ctx;
+  ctx.cancel = CancelToken::after_ms(10'000);
+  const BindResponse response = run_bind_request(request, ctx);
+  EXPECT_EQ(response.status, BindStatus::kOk) << response.error;
+  EXPECT_FALSE(response.binding.empty());
+  ASSERT_TRUE(response.portfolio.ran());
+  // No member was rejected for the deadline: every attribution either
+  // produced a result or was dropped for a *non*-deadline reason.
+  for (const StrategyAttribution& sa : response.portfolio.strategies) {
+    EXPECT_FALSE(sa.dropped) << sa.spec.name() << ": " << sa.error;
+  }
+}
+
+TEST(Portfolio, ExpiredDeadlineStillYieldsVerifiedResult) {
+  BindRequest request = kernel_request("EWF", "[1,1|1,1]");
+  request.strategy.effort = BindEffort::kFast;
+  request.portfolio = parse_strategy_csv("b-iter,sa", BindEffort::kFast, 1);
+  RequestContext ctx;
+  ctx.cancel = CancelToken::after_ms(0);
+  const BindResponse response = run_bind_request(request, ctx);
+  EXPECT_EQ(response.status, BindStatus::kDeadlineExceeded)
+      << response.error;
+  EXPECT_TRUE(has_result(response.status));
+  EXPECT_FALSE(response.binding.empty());
+  EXPECT_GT(response.latency, 0);
+}
+
+// --- Poisoned members: a strategy that throws is dropped with its
+// error attributed while the race continues on the healthy members. ---
+
+TEST(Portfolio, OrganicPoisonMemberIsDroppedNotFatal) {
+  // mincut rejects heterogeneous clusters with invalid_argument: in a
+  // portfolio that is a drop, not a request failure.
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  const Datapath dp = parse_datapath("[2,1|1,1]");
+  PortfolioOptions opts;
+  opts.strategies = parse_strategy_csv("b-iter,mincut", BindEffort::kFast, 1);
+  const PortfolioOutcome outcome = run_portfolio(kernel.dfg, dp, opts);
+  EXPECT_EQ(outcome.stats.winner, 0);
+  ASSERT_EQ(outcome.stats.strategies.size(), 2u);
+  const StrategyAttribution& dropped = outcome.stats.strategies[1];
+  EXPECT_TRUE(dropped.dropped);
+  EXPECT_FALSE(dropped.injected);
+  EXPECT_EQ(dropped.fault, FaultClass::kPoison);
+  EXPECT_NE(dropped.error.find("homogeneous"), std::string::npos)
+      << dropped.error;
+  EXPECT_EQ(verify_schedule(outcome.best.bound, dp, outcome.best.schedule),
+            "");
+}
+
+TEST(Portfolio, AllMembersDroppedRethrowsTypedError) {
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  const Datapath dp = parse_datapath("[2,1|1,1]");  // heterogeneous
+  PortfolioOptions opts;
+  opts.strategies = parse_strategy_csv("mincut,mincut:2",
+                                       BindEffort::kFast, 1);
+  EXPECT_THROW((void)run_portfolio(kernel.dfg, dp, opts),
+               std::invalid_argument);
+}
+
+class PortfolioFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault_injection_compiled()) {
+      GTEST_SKIP() << "build has -DCVB_FAULT_INJECTION=OFF";
+    }
+  }
+};
+
+TEST_F(PortfolioFaults, InjectedStrategyDropIsAttributedAndSurvivable) {
+  ScopedFaultInjection scoped;
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.fault_class = FaultClass::kPoison;
+  spec.max_triggers = 1;
+  FaultInjector::global().arm("portfolio.strategy", spec);
+
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  const Datapath dp = parse_datapath("[1,1|1,1]");
+  PortfolioOptions opts;
+  opts.strategies = parse_strategy_csv("b-iter,b-init", BindEffort::kFast, 1);
+  const PortfolioOutcome outcome = run_portfolio(kernel.dfg, dp, opts);
+
+  int drops = 0;
+  for (const StrategyAttribution& sa : outcome.stats.strategies) {
+    if (sa.dropped) {
+      ++drops;
+      EXPECT_TRUE(sa.injected);
+      EXPECT_EQ(sa.fault, FaultClass::kPoison);
+      EXPECT_FALSE(sa.error.empty());
+      EXPECT_FALSE(sa.winner);
+    }
+  }
+  EXPECT_EQ(drops, 1);  // max_triggers=1: exactly one member poisoned
+  ASSERT_GE(outcome.stats.winner, 0);
+  EXPECT_FALSE(outcome.stats
+                   .strategies[static_cast<std::size_t>(outcome.stats.winner)]
+                   .dropped);
+  EXPECT_EQ(verify_schedule(outcome.best.bound, dp, outcome.best.schedule),
+            "");
+}
+
+TEST_F(PortfolioFaults, AllInjectedDropsRethrowAsFaultInjectedError) {
+  ScopedFaultInjection scoped;
+  FaultSpec spec;
+  spec.rate = 1.0;
+  spec.fault_class = FaultClass::kTransient;
+  FaultInjector::global().arm("portfolio.strategy", spec);
+
+  const BenchmarkKernel kernel = benchmark_by_name("ARF");
+  PortfolioOptions opts;
+  opts.strategies = parse_strategy_csv("b-iter,sa", BindEffort::kFast, 1);
+  EXPECT_THROW(
+      (void)run_portfolio(kernel.dfg, parse_datapath("[1,1|1,1]"), opts),
+      FaultInjectedError);
+}
+
+}  // namespace
+}  // namespace cvb

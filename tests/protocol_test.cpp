@@ -58,8 +58,8 @@ TEST(Protocol, ParsesKernelJobRequest) {
   EXPECT_EQ(request.job.id, "j1");
   EXPECT_EQ(request.job.dfg.num_ops(), benchmark_by_name("EWF").dfg.num_ops());
   EXPECT_EQ(request.job.datapath.num_clusters(), 2);
-  EXPECT_EQ(request.job.algorithm, "pcc");
-  EXPECT_EQ(request.job.effort, BindEffort::kFast);
+  EXPECT_EQ(request.job.strategy.kind, StrategyKind::kPcc);
+  EXPECT_EQ(request.job.strategy.effort, BindEffort::kFast);
   EXPECT_EQ(request.job.deadline_ms, 50.0);
 }
 
@@ -69,8 +69,77 @@ TEST(Protocol, ParsesInlineDfgWithDefaults) {
   EXPECT_EQ(request.kind, ServeRequest::Kind::kJob);
   EXPECT_EQ(request.job.dfg.num_ops(), 2);
   EXPECT_EQ(request.job.datapath.num_clusters(), 2);  // default [1,1|1,1]
-  EXPECT_EQ(request.job.algorithm, "b-iter");
+  EXPECT_EQ(request.job.strategy.kind, StrategyKind::kBIter);
   EXPECT_EQ(request.job.deadline_ms, 0.0);
+  // No explicit strategy: the service may apply its default portfolio.
+  EXPECT_FALSE(request.job.strategy_explicit);
+}
+
+TEST(Protocol, ParsesTypedStrategyObject) {
+  const ServeRequest request = parse_serve_request(
+      R"({"kernel":"EWF","strategy":{"kind":"sa","effort":"max","seed":7}})");
+  EXPECT_EQ(request.job.strategy.kind, StrategyKind::kSa);
+  EXPECT_EQ(request.job.strategy.effort, BindEffort::kMax);
+  EXPECT_EQ(request.job.strategy.seed, 7u);
+  EXPECT_TRUE(request.job.strategy_explicit);
+  EXPECT_TRUE(request.job.portfolio.empty());
+}
+
+TEST(Protocol, ParsesPortfolioArrayAndObjectForms) {
+  const ServeRequest arr = parse_serve_request(
+      R"({"kernel":"EWF","effort":"fast",)"
+      R"("portfolio":["b-iter",{"kind":"sa","seed":3}]})");
+  ASSERT_EQ(arr.job.portfolio.size(), 2u);
+  EXPECT_EQ(arr.job.portfolio[0].kind, StrategyKind::kBIter);
+  // The request-level effort is the default for every member.
+  EXPECT_EQ(arr.job.portfolio[0].effort, BindEffort::kFast);
+  EXPECT_EQ(arr.job.portfolio[1].kind, StrategyKind::kSa);
+  EXPECT_EQ(arr.job.portfolio[1].seed, 3u);
+  EXPECT_TRUE(arr.job.strategy_explicit);
+
+  const ServeRequest obj = parse_serve_request(
+      R"({"kernel":"EWF","portfolio":{"strategies":["b-iter","pcc"],)"
+      R"("race_threads":2,"max_rounds":3}})");
+  ASSERT_EQ(obj.job.portfolio.size(), 2u);
+  EXPECT_EQ(obj.job.portfolio_policy.race_threads, 2);
+  EXPECT_EQ(obj.job.portfolio_policy.max_rounds, 3);
+}
+
+TEST(Protocol, RejectsUnknownStrategyNamesNamingValidSet) {
+  for (const char* line :
+       {R"({"kernel":"EWF","algorithm":"b-iter2"})",
+        R"({"kernel":"EWF","strategy":"b-iter2"})",
+        R"({"kernel":"EWF","portfolio":["b-iter2"]})"}) {
+    try {
+      (void)parse_serve_request(line);
+      FAIL() << line;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("unknown strategy 'b-iter2'"), std::string::npos)
+          << line << ": " << what;
+      EXPECT_NE(what.find("b-iter, b-init, pcc, sa, mincut, exhaustive"),
+                std::string::npos)
+          << line << ": " << what;
+    }
+  }
+}
+
+TEST(Protocol, StrategyFormsAreExclusiveAndValidated) {
+  const char* bad[] = {
+      // v1 + v2 spellings in one request
+      R"({"kernel":"EWF","algorithm":"sa","strategy":"sa"})",
+      R"({"kernel":"EWF","algorithm":"sa","portfolio":["sa"]})",
+      R"({"kernel":"EWF","strategy":"sa","portfolio":["sa"]})",
+      // shape errors
+      R"({"kernel":"EWF","portfolio":[]})",
+      R"({"kernel":"EWF","portfolio":{"race_threads":2}})",
+      R"({"kernel":"EWF","strategy":{"effort":"fast"}})",  // no kind
+      R"({"kernel":"EWF","strategy":42})",
+  };
+  for (const char* line : bad) {
+    EXPECT_THROW((void)parse_serve_request(line), std::invalid_argument)
+        << line;
+  }
 }
 
 TEST(Protocol, ParsesControlCommands) {

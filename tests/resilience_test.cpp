@@ -28,7 +28,7 @@ BindJob make_job(const std::string& kernel, const std::string& dp_spec,
   job.id = std::move(id);
   job.dfg = benchmark_by_name(kernel).dfg;
   job.datapath = parse_datapath(dp_spec);
-  job.effort = BindEffort::kFast;
+  job.strategy.effort = BindEffort::kFast;
   return job;
 }
 
@@ -94,10 +94,10 @@ TEST(QuarantineKey, IgnoresIdAndDeadlineButNotWorkload) {
   EXPECT_EQ(quarantine_key(a), quarantine_key(b));
 
   BindJob c = make_job("EWF", "[1,1|1,1]");
-  c.algorithm = "pcc";
+  c.strategy.kind = StrategyKind::kPcc;
   EXPECT_NE(quarantine_key(a), quarantine_key(c));
   BindJob d = make_job("EWF", "[1,1|1,1]");
-  d.effort = BindEffort::kMax;
+  d.strategy.effort = BindEffort::kMax;
   EXPECT_NE(quarantine_key(a), quarantine_key(d));
   EXPECT_NE(quarantine_key(a), quarantine_key(make_job("ARF", "[1,1|1,1]")));
   EXPECT_NE(quarantine_key(a), quarantine_key(make_job("EWF", "[2,1|1,1]")));
@@ -163,8 +163,10 @@ TEST(Resilient, PoisonIsNeverRetriedAndQuarantines) {
   options.max_attempts = 5;
   options.quarantine_threshold = 2;
 
-  BindJob poison = make_job("EWF", "[1,1|1,1]");
-  poison.algorithm = "no-such-algorithm";
+  // mincut on heterogeneous clusters throws a typed invalid_argument:
+  // a job that can never succeed, the service's poison shape.
+  BindJob poison = make_job("EWF", "[2,1|1,1]");
+  poison.strategy.kind = StrategyKind::kMinCut;
   for (int i = 0; i < 2; ++i) {
     const BindOutcome outcome = run_bind_job_resilient(
         poison, engine, CancelToken(), options, &quarantine, &metrics);
@@ -178,7 +180,7 @@ TEST(Resilient, PoisonIsNeverRetriedAndQuarantines) {
       quarantine.is_quarantined(quarantine_key(poison), 2));
 
   // The quarantined key now short-circuits to the degraded path — and
-  // because the degraded binder ignores the (unknown) algorithm, the
+  // because the degraded binder ignores the (impossible) strategy, the
   // job that could never succeed now yields a verified trivial binding.
   const BindOutcome degraded = run_bind_job_resilient(
       poison, engine, CancelToken(), options, &quarantine, &metrics);

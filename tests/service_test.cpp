@@ -48,7 +48,7 @@ TEST(Service, MatchesDirectDriverRun) {
   // Same binding as running the driver directly with the same effort:
   // the shared engine's cache never changes algorithmic results.
   const BindResult direct =
-      bind_full(job.dfg, job.datapath, driver_params_for(job.effort));
+      bind_full(job.dfg, job.datapath, driver_params_for(job.strategy.effort));
   EXPECT_EQ(outcome.binding, direct.binding);
   EXPECT_EQ(outcome.latency, direct.schedule.latency);
 }
@@ -159,7 +159,7 @@ TEST(Service, DeadlineJobStillReturnsUsableBinding) {
   options.num_workers = 1;
   Service service(options);
   BindJob job = make_job("DCT-DIT-2", "[2,1|2,1]", "tight");
-  job.effort = BindEffort::kMax;
+  job.strategy.effort = BindEffort::kMax;
   job.deadline_ms = 5;
   const BindOutcome outcome = service.submit(std::move(job)).get();
   // Tight budget: either the binder finished in time (ok) or it hit the
@@ -177,7 +177,7 @@ TEST(Service, DefaultDeadlineAppliesWhenJobHasNone) {
   options.default_deadline_ms = 0.001;
   Service service(options);
   BindJob job = make_job("DCT-DIT-2", "[2,1|2,1]");
-  job.effort = BindEffort::kMax;
+  job.strategy.effort = BindEffort::kMax;
   const BindOutcome outcome = service.submit(std::move(job)).get();
   EXPECT_EQ(outcome.status, BindStatus::kDeadlineExceeded);
   const BenchmarkKernel kernel = benchmark_by_name("DCT-DIT-2");
@@ -191,7 +191,7 @@ TEST(Service, CancelByIdResolvesCooperatively) {
   Service service(options);
   // Keep the worker busy so "target" sits in the queue when cancelled.
   BindJob slow = make_job("DCT-DIT-2", "[2,1|2,1]", "slow");
-  slow.effort = BindEffort::kMax;
+  slow.strategy.effort = BindEffort::kMax;
   std::future<BindOutcome> slow_future = service.submit(std::move(slow));
   std::future<BindOutcome> target_future =
       service.submit(make_job("EWF", "[1,1|1,1]", "target"));
@@ -215,7 +215,7 @@ TEST(Service, AbortShutdownResolvesQueuedJobsAsCancelled) {
   std::vector<std::future<BindOutcome>> futures;
   for (int i = 0; i < 5; ++i) {
     BindJob job = make_job("DCT-DIT-2", "[2,1|2,1]", "a" + std::to_string(i));
-    job.effort = BindEffort::kMax;
+    job.strategy.effort = BindEffort::kMax;
     futures.push_back(service.submit(std::move(job)));
   }
   service.shutdown(/*drain=*/false);
@@ -274,8 +274,9 @@ TEST(Service, SharedEngineCachesAcrossIdenticalJobs) {
 
 TEST(Service, RunBindJobClassifiesInvalidInput) {
   EvalEngine engine;
-  BindJob job = make_job("ARF", "[1,1|1,1]");
-  job.algorithm = "no-such-binder";
+  // mincut cannot bind heterogeneous clusters: a typed invalid request.
+  BindJob job = make_job("ARF", "[2,1|1,1]");
+  job.strategy.kind = StrategyKind::kMinCut;
   const BindOutcome outcome = run_bind_job(job, engine, CancelToken());
   EXPECT_EQ(outcome.status, BindStatus::kInvalidRequest);
   EXPECT_FALSE(outcome.error.empty());

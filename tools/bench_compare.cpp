@@ -12,6 +12,8 @@
 //   bench_compare                 # globs BENCH_PR*.json in .
 //   bench_compare --dir ../repo   # globs elsewhere
 //   bench_compare a.json b.json   # explicit reports
+//   bench_compare --series        # compact sparkline of the normalized
+//                                 # p99 tail across the report sequence
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -87,6 +89,25 @@ std::string fixed(double value, int places) {
   return out.str();
 }
 
+/// One-line Unicode sparkline of `values`, scaled to the series'
+/// min..max (a flat series renders as all-low bars). Each glyph is one
+/// report, oldest first.
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double lo = values.front();
+  double hi = values.front();
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string line;
+  for (const double v : values) {
+    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    line += kBars[static_cast<int>(t * 7.0 + 0.5)];
+  }
+  return line;
+}
+
 /// "+3.2%" / "-1.4%" change vs the previous row; "—" for the first.
 std::string change_cell(double current, double previous, bool first) {
   if (first || previous <= 0.0) {
@@ -99,14 +120,19 @@ std::string change_cell(double current, double previous, bool first) {
 int run(const std::vector<std::string>& args) {
   std::vector<std::string> files;
   std::string dir = ".";
+  bool series = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--dir" && i + 1 < args.size()) {
       dir = args[++i];
+    } else if (args[i] == "--series") {
+      series = true;
     } else if (args[i] == "--help" || args[i] == "-h") {
       std::cout
-          << "usage: bench_compare [--dir DIR | REPORT.json ...]\n"
+          << "usage: bench_compare [--series] [--dir DIR | REPORT.json ...]\n"
              "Prints a markdown performance-trend table over the\n"
-             "committed BENCH_PR*.json scheduler benchmark reports.\n";
+             "committed BENCH_PR*.json scheduler benchmark reports.\n"
+             "--series prints a one-line-per-metric sparkline of the\n"
+             "normalized p99 tail instead (oldest report first).\n";
       return 0;
     } else {
       files.push_back(args[i]);
@@ -145,6 +171,28 @@ int run(const std::vector<std::string>& args) {
   }
   std::sort(reports.begin(), reports.end(),
             [](const Report& a, const Report& b) { return a.pr < b.pr; });
+
+  if (series) {
+    // Compact trend for the CI bench-smoke log: one sparkline per
+    // metric, normalized p99 (lower is better), oldest report first.
+    std::vector<double> full;
+    std::vector<double> delta;
+    for (const Report& r : reports) {
+      full.push_back(r.full_p99);
+      delta.push_back(r.delta_p99);
+    }
+    const auto row = [&](const char* label, const std::vector<double>& v) {
+      std::cout << label << "  " << sparkline(v) << "  "
+                << fixed(v.front(), 3) << " → " << fixed(v.back(), 3)
+                << "  (PR" << reports.front().pr << "→PR"
+                << reports.back().pr << ", lower is better)\n";
+    };
+    std::cout << "sched_core normalized p99 across " << reports.size()
+              << (reports.size() == 1 ? " report:\n" : " reports:\n");
+    row("full ", full);
+    row("delta", delta);
+    return 0;
+  }
 
   std::cout << "# sched_core performance trajectory\n\n"
             << "Geomean eval throughput vs the reference scheduler\n"
