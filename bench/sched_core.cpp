@@ -22,6 +22,13 @@
 //                  deliberate N-x slowdown used to self-test bench_gate
 //   --pr N         PR number stamped into the report (default 6);
 //                  bench_compare orders committed reports by it
+//
+// The report also carries a "topology_sweep" section: bind + schedule
+// quality (L, M) over interconnect fabric x cluster-count
+// configurations (single bus, ring, point-to-point, segmented bus,
+// mesh). In --check mode every sweep row is verified end-to-end and
+// the single_bus rows are asserted bit-identical to the legacy
+// single-bus datapath (schedule starts included).
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -37,6 +44,7 @@
 #include "kernels/kernels.hpp"
 #include "machine/parser.hpp"
 #include "sched/list_scheduler.hpp"
+#include "sched/verifier.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -265,6 +273,83 @@ CacheReport run_cache_workload() {
   return out;
 }
 
+struct TopoConfig {
+  std::string kernel;
+  std::string datapath;  // cluster spec, cluster count varies per row
+  std::string topology;  // parse_topology_spec form
+};
+
+// Fabric x cluster-count sweep: 2-cluster fabrics are degenerate (every
+// builder collapses to one or two links), so the interesting rows are
+// the 3- and 4-cluster ones; mesh needs a rectangular cluster count.
+const std::vector<TopoConfig> kTopoConfigs = {
+    {"EWF", "[2,1|1,1]", "single_bus"},
+    {"EWF", "[2,1|1,1]", "ring"},
+    {"EWF", "[2,1|1,1]", "p2p"},
+    {"FFT", "[2,1|2,1|1,2]", "single_bus"},
+    {"FFT", "[2,1|2,1|1,2]", "ring"},
+    {"FFT", "[2,1|2,1|1,2]", "p2p"},
+    {"FFT", "[2,1|2,1|1,2]", "segmented_bus:2"},
+    {"DCT-DIT-2", "[1,1|1,1|1,1|1,1]", "single_bus"},
+    {"DCT-DIT-2", "[1,1|1,1|1,1|1,1]", "ring"},
+    {"DCT-DIT-2", "[1,1|1,1|1,1|1,1]", "mesh:2x2"},
+    {"DCT-DIT-2", "[1,1|1,1|1,1|1,1]", "p2p"},
+    {"DCT-DIT-2", "[1,1|1,1|1,1|1,1]", "segmented_bus:2"},
+};
+
+struct TopoSweepRow {
+  TopoConfig config;
+  int clusters = 0;
+  int links = 0;
+  int latency = 0;
+  int moves = 0;
+};
+
+/// Binds and schedules one fabric configuration (B-INIT seed, the same
+/// deterministic workload the timing paths use). In `check` mode the
+/// schedule is verified end-to-end and single_bus rows are asserted
+/// bit-identical to the legacy single-bus datapath.
+TopoSweepRow run_topo_config(const TopoConfig& config, bool check) {
+  const cvb::BenchmarkKernel kernel = cvb::benchmark_by_name(config.kernel);
+  const cvb::Datapath legacy = cvb::parse_datapath(config.datapath);
+  const cvb::Datapath dp = legacy.with_topology(cvb::parse_topology_spec(
+      config.topology, legacy.num_clusters(), legacy.num_buses()));
+
+  cvb::DriverParams init_only;
+  init_only.run_iterative = false;
+  const cvb::BindResult r = cvb::bind_initial_best(kernel.dfg, dp, init_only);
+
+  TopoSweepRow row;
+  row.config = config;
+  row.clusters = dp.num_clusters();
+  row.links = dp.topology().num_links();
+  row.latency = r.schedule.latency;
+  row.moves = r.schedule.num_moves;
+  if (check) {
+    if (const std::string err =
+            cvb::verify_schedule(r.bound, dp, r.schedule);
+        !err.empty()) {
+      throw std::logic_error("topology sweep: " + config.kernel + " on " +
+                             config.datapath + " " + config.topology +
+                             ": verifier: " + err);
+    }
+    if (dp.topology().is_single_bus()) {
+      const cvb::BindResult base =
+          cvb::bind_initial_best(kernel.dfg, legacy, init_only);
+      if (base.schedule.latency != r.schedule.latency ||
+          base.schedule.num_moves != r.schedule.num_moves ||
+          base.schedule.start != r.schedule.start ||
+          base.binding != r.binding) {
+        throw std::logic_error(
+            "topology sweep: explicit single_bus diverged from the legacy "
+            "bus datapath on " +
+            config.kernel + " " + config.datapath);
+      }
+    }
+  }
+  return row;
+}
+
 cvb::JsonValue path_json(const Config& config, const PathResult& r) {
   cvb::JsonValue row = cvb::JsonValue::object();
   row.set("kernel", config.kernel);
@@ -317,6 +402,11 @@ int main(int argc, char** argv) {
       results.push_back(run_config(config, rounds, handicap, check));
     }
     const CacheReport cache = run_cache_workload();
+    std::vector<TopoSweepRow> topo_rows;
+    topo_rows.reserve(kTopoConfigs.size());
+    for (const TopoConfig& config : kTopoConfigs) {
+      topo_rows.push_back(run_topo_config(config, check));
+    }
 
     // Aggregates: geometric means across configurations. Speedups and
     // normalized p99s are ratios against the reference core measured in
@@ -352,6 +442,18 @@ int main(int argc, char** argv) {
            format_sig(r.reference.mean_ns / r.delta.mean_ns, 3)});
     }
     table.print(std::cout);
+
+    cvb::TablePrinter topo_table(
+        {"kernel", "datapath", "topology", "links", "L", "M"});
+    for (const TopoSweepRow& r : topo_rows) {
+      topo_table.add_row({r.config.kernel, r.config.datapath,
+                          r.config.topology, std::to_string(r.links),
+                          std::to_string(r.latency),
+                          std::to_string(r.moves)});
+    }
+    std::cout << "\ntopology sweep (B-INIT quality per fabric):\n";
+    topo_table.print(std::cout);
+
     std::cout << "\naggregate (geomean): full " << format_sig(agg_full_speedup, 3)
               << "x vs reference, delta " << format_sig(agg_delta_speedup, 3)
               << "x vs reference\n"
@@ -388,6 +490,19 @@ int main(int argc, char** argv) {
     cache_json.set("hit_rate", cache.hit_rate);
     cache_json.set("l1_rate", cache.l1_rate);
     report.set("cache", std::move(cache_json));
+    cvb::JsonValue topo_json = cvb::JsonValue::array();
+    for (const TopoSweepRow& r : topo_rows) {
+      cvb::JsonValue row = cvb::JsonValue::object();
+      row.set("kernel", r.config.kernel);
+      row.set("datapath", r.config.datapath);
+      row.set("topology", r.config.topology);
+      row.set("clusters", r.clusters);
+      row.set("links", r.links);
+      row.set("latency", r.latency);
+      row.set("moves", r.moves);
+      topo_json.push_back(std::move(row));
+    }
+    report.set("topology_sweep", std::move(topo_json));
 
     if (!json_path.empty()) {
       std::ofstream out(json_path);
@@ -400,7 +515,8 @@ int main(int argc, char** argv) {
     }
     if (check) {
       std::cout << "sched_core --check: PASS (full path bit-identical to "
-                   "reference core on all configurations)\n";
+                   "reference core on all configurations; topology sweep "
+                   "verified, single_bus rows identical to the legacy bus)\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "sched_core: FAIL: " << e.what() << "\n";

@@ -15,32 +15,44 @@ BoundDfg build_bound_dfg(const Dfg& dfg, const Binding& binding,
     bound.place.push_back(binding[static_cast<std::size_t>(v)]);
   }
 
-  // One move per (producer, destination cluster); created lazily in a
-  // deterministic order (producers ascending, then first-use order of
-  // destination clusters).
-  std::map<std::pair<OpId, ClusterId>, OpId> move_of;
-  const auto get_move = [&](OpId producer, ClusterId dest) -> OpId {
-    const auto key = std::make_pair(producer, dest);
-    const auto it = move_of.find(key);
-    if (it != move_of.end()) {
-      return it->second;
+  // carrier[(producer, cluster)] = the op whose result holds producer's
+  // value in that cluster's register file: the final hop of the route
+  // chain from the producer's home. Hops are created lazily in a
+  // deterministic order (first-use order along each route), so on a
+  // single bus — where every route is one hop — move ids, names, and
+  // creation order are exactly the historical one-move-per-
+  // (producer, destination) behavior.
+  const Topology& topo = dp.topology();
+  std::map<std::pair<OpId, ClusterId>, OpId> carrier;
+  const auto get_carrier = [&](OpId producer, ClusterId dest) -> OpId {
+    const ClusterId home = binding[static_cast<std::size_t>(producer)];
+    OpId cur = producer;
+    for (const RouteStep& step : topo.route(home, dest)) {
+      const auto key = std::make_pair(producer, step.to);
+      const auto it = carrier.find(key);
+      if (it != carrier.end()) {
+        cur = it->second;
+        continue;
+      }
+      std::string move_name = "t";
+      move_name += std::to_string(bound.num_moves + 1);
+      const OpId m = bound.graph.add_op(OpType::kMove, std::move(move_name));
+      bound.place.push_back(kNoCluster);
+      bound.move_producer.push_back(producer);
+      bound.move_dest.push_back(step.to);
+      bound.move_link.push_back(step.link);
+      ++bound.num_moves;
+      bound.graph.add_edge(cur, m);
+      carrier.emplace(key, m);
+      cur = m;
     }
-    std::string move_name = "t";
-    move_name += std::to_string(bound.num_moves + 1);
-    const OpId m = bound.graph.add_op(OpType::kMove, std::move(move_name));
-    bound.place.push_back(kNoCluster);
-    bound.move_producer.push_back(producer);
-    bound.move_dest.push_back(dest);
-    ++bound.num_moves;
-    bound.graph.add_edge(producer, m);
-    move_of.emplace(key, m);
-    return m;
+    return cur;
   };
 
   // Rewrite each operation's operand list in order: local producers
-  // stay direct, remote producers read through the shared per-
-  // destination move, externals stay external. Dependency edges are
-  // derived from the operand entries (deduplicated inside add_operand).
+  // stay direct, remote producers read through the shared route-chain
+  // carrier, externals stay external. Dependency edges are derived from
+  // the operand entries (deduplicated inside add_operand).
   for (OpId v = 0; v < dfg.num_ops(); ++v) {
     const ClusterId cv = binding[static_cast<std::size_t>(v)];
     for (const OpId u : dfg.operands(v)) {
@@ -49,7 +61,7 @@ BoundDfg build_bound_dfg(const Dfg& dfg, const Binding& binding,
       } else if (binding[static_cast<std::size_t>(u)] == cv) {
         bound.graph.add_operand(v, u);
       } else {
-        bound.graph.add_operand(v, get_move(u, cv));
+        bound.graph.add_operand(v, get_carrier(u, cv));
       }
     }
   }

@@ -2,11 +2,18 @@
 // operations implied by a binding (paper Figure 1(b)).
 //
 // For every value produced by operation u and consumed by at least one
-// operation bound to a cluster other than bn(u), one move operation is
-// inserted *per destination cluster*: a single bus transfer delivers
-// the value into the destination cluster's register file, where any
-// number of local consumers can read it. The paper's data-transfer
-// count M is the number of such move operations.
+// operation bound to a cluster other than bn(u), move operations are
+// inserted along the interconnect route from bn(u) to each consuming
+// cluster: on the paper's single shared bus every route is one hop, so
+// exactly one move per (producer, destination cluster) appears — a
+// single bus transfer delivers the value into the destination cluster's
+// register file, where any number of local consumers can read it. On a
+// multi-link topology (machine/topology.hpp) a transfer between
+// non-adjacent clusters becomes a *chain* of moves, one per traversed
+// link, each hop reading the previous hop's delivery and homing its
+// result in the next cluster on the route; hops are shared between all
+// destinations whose routes overlap (per (producer, cluster) memo).
+// The paper's data-transfer count M is the number of move operations.
 #pragma once
 
 #include <vector>
@@ -32,9 +39,13 @@ struct BoundDfg {
   int num_moves = 0;
 
   /// For each move (indexed by id - num_original_ops): the producing
-  /// original operation and the destination cluster.
+  /// original operation (the value carried — for a chain hop this is
+  /// still the original producer, not the previous hop), the cluster
+  /// the hop delivers into, and the topology link it occupies (always 0
+  /// on a single bus).
   std::vector<OpId> move_producer;
   std::vector<ClusterId> move_dest;
+  std::vector<int> move_link;
 
   /// Number of original (non-move) operations.
   [[nodiscard]] int num_original_ops() const {
@@ -45,14 +56,36 @@ struct BoundDfg {
   [[nodiscard]] bool is_move_op(OpId v) const {
     return v >= num_original_ops();
   }
+
+  /// Topology link occupied by move `v` (must be a move). Hand-built
+  /// graphs may leave `move_link` unset; absent entries mean the
+  /// default single link 0.
+  [[nodiscard]] int link_of(OpId v) const {
+    const auto mi = static_cast<std::size_t>(v - num_original_ops());
+    return mi < move_link.size() ? move_link[mi] : 0;
+  }
 };
+
+/// Latency of operation `v` in the bound graph: lat(type) for regular
+/// operations, the occupied link's hop latency (else lat(move)) for
+/// moves. The per-op form every schedule consumer must use once
+/// topologies with non-uniform hop latencies exist.
+[[nodiscard]] inline int bound_op_latency(const BoundDfg& bound,
+                                          const Datapath& dp, OpId v) {
+  if (bound.is_move_op(v)) {
+    return dp.move_latency_on(bound.link_of(v));
+  }
+  return dp.lat(bound.graph.type(v));
+}
 
 /// Builds the bound DFG for `binding` (which must be valid for `dfg` on
 /// `dp`; throws std::logic_error otherwise).
 ///
 /// Edge rewriting: a dependency (u, v) with bn(u) == bn(v) is kept;
-/// with bn(u) != bn(v) it becomes u -> move(u, bn(v)) -> v, where the
-/// move is shared among all of u's consumers in cluster bn(v).
+/// with bn(u) != bn(v) it becomes the chain
+/// u -> hop_1 -> ... -> hop_k -> v along the topology's precomputed
+/// route from bn(u) to bn(v) (k == 1 on a single bus), where each hop
+/// is shared among all of u's consumers whose routes traverse it.
 [[nodiscard]] BoundDfg build_bound_dfg(const Dfg& dfg, const Binding& binding,
                                        const Datapath& dp);
 

@@ -91,33 +91,45 @@ void DeltaEvaluator::rebuild_overlay() {
   }
 
   const auto num_clusters = static_cast<std::size_t>(dp_->num_clusters());
-  // Mirrors build_bound_dfg's lazy move creation: a move op is created
-  // at the first cross-cluster use of (producer, dest) during the scan
-  // below, which assigns it the same id a fresh build would.
-  const auto get_move = [&](OpId producer, ClusterId dest) -> OpId {
-    const std::size_t slot =
-        static_cast<std::size_t>(producer) * num_clusters +
-        static_cast<std::size_t>(dest);
-    if (move_gen_[slot] == gen_) {
-      return move_slot_[slot];
+  const Topology& topo = dp_->topology();
+  flat_.link_.clear();
+  // Mirrors build_bound_dfg's lazy route-chain creation: the hops
+  // carrying (producer, cluster) are created at their first use during
+  // the scan below, which assigns them the same ids a fresh build
+  // would. The memo slot for (producer, c) holds the op delivering the
+  // producer's value into c — on a single bus, exactly the historical
+  // one-move-per-destination table.
+  const auto get_carrier = [&](OpId producer, ClusterId dest) -> OpId {
+    const ClusterId home = binding_[static_cast<std::size_t>(producer)];
+    OpId cur = producer;
+    for (const RouteStep& step : topo.route(home, dest)) {
+      const std::size_t slot =
+          static_cast<std::size_t>(producer) * num_clusters +
+          static_cast<std::size_t>(step.to);
+      if (move_gen_[slot] == gen_) {
+        cur = move_slot_[slot];
+        continue;
+      }
+      const OpId m = flat_.num_ops_++;
+      ++flat_.num_moves_;
+      flat_.type_.push_back(OpType::kMove);
+      flat_.place_.push_back(kNoCluster);
+      flat_.link_.push_back(step.link);
+      const auto sm = static_cast<std::size_t>(m);
+      if (sm >= flat_.preds_.size()) {
+        flat_.preds_.emplace_back();
+        flat_.succs_.emplace_back();
+      } else {
+        flat_.preds_[sm].clear();
+        flat_.succs_[sm].clear();
+      }
+      flat_.preds_[sm].push_back(cur);
+      flat_.succs_[static_cast<std::size_t>(cur)].push_back(m);
+      move_gen_[slot] = gen_;
+      move_slot_[slot] = m;
+      cur = m;
     }
-    const OpId m = flat_.num_ops_++;
-    ++flat_.num_moves_;
-    flat_.type_.push_back(OpType::kMove);
-    flat_.place_.push_back(kNoCluster);
-    const auto sm = static_cast<std::size_t>(m);
-    if (sm >= flat_.preds_.size()) {
-      flat_.preds_.emplace_back();
-      flat_.succs_.emplace_back();
-    } else {
-      flat_.preds_[sm].clear();
-      flat_.succs_[sm].clear();
-    }
-    flat_.preds_[sm].push_back(producer);
-    flat_.succs_[static_cast<std::size_t>(producer)].push_back(m);
-    move_gen_[slot] = gen_;
-    move_slot_[slot] = m;
-    return m;
+    return cur;
   };
 
   // Operand rewrite in the same scan order as build_bound_dfg, with
@@ -131,7 +143,7 @@ void DeltaEvaluator::rebuild_overlay() {
         continue;  // external live-in: no edge
       }
       const OpId p =
-          binding_[static_cast<std::size_t>(u)] == cv ? u : get_move(u, cv);
+          binding_[static_cast<std::size_t>(u)] == cv ? u : get_carrier(u, cv);
       auto& pv = flat_.preds_[sv];
       if (std::find(pv.begin(), pv.end(), p) == pv.end()) {
         pv.push_back(p);

@@ -65,6 +65,10 @@ class FlatBound {
   }
   [[nodiscard]] int num_moves() const { return num_moves_; }
   [[nodiscard]] int num_original_ops() const { return num_original_; }
+  /// Topology link of move `v` (scheduler-core view interface).
+  [[nodiscard]] int link(OpId v) const {
+    return link_[static_cast<std::size_t>(v - num_original_)];
+  }
   [[nodiscard]] std::span<const OpType> types() const {
     return {type_.data(), static_cast<std::size_t>(num_ops_)};
   }
@@ -79,6 +83,7 @@ class FlatBound {
   int num_moves_ = 0;
   std::vector<OpType> type_;
   std::vector<ClusterId> place_;
+  std::vector<int> link_;  // per move, parallel to ids >= num_original_
   std::vector<std::vector<OpId>> preds_;
   std::vector<std::vector<OpId>> succs_;
 };

@@ -168,6 +168,18 @@ std::uint64_t EvalEngine::context_signature(const Dfg& dfg, const Datapath& dp,
     }
   }
   hash = fnv1a(hash, static_cast<std::uint64_t>(dp.num_buses()));
+  // Interconnect topology. The default single bus is deliberately NOT
+  // hashed — it is fully determined by num_buses above — so signatures
+  // of legacy datapaths (and the snapshots that persist them) are
+  // byte-stable across the topology generalization.
+  if (!dp.topology().is_default_single_bus(dp.num_buses())) {
+    const std::string topo_text = dp.topology().to_string();
+    for (const char ch : topo_text) {
+      hash = fnv1a(hash, static_cast<std::uint64_t>(
+                             static_cast<unsigned char>(ch)));
+    }
+    hash = fnv1a(hash, 0x7dU);  // topology terminator
+  }
   for (int p = 0; p < kNumOpTypes; ++p) {
     hash = fnv1a(hash,
                  static_cast<std::uint64_t>(dp.lat(static_cast<OpType>(p))));

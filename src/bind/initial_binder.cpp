@@ -56,6 +56,38 @@ int transfer_cost_common_consumer(const Dfg& dfg, const Binding& binding,
   return cost;
 }
 
+int transfer_cost_direct_cycles(const Dfg& dfg, const Binding& binding,
+                                const Datapath& dp, OpId v, ClusterId c) {
+  int cost = 0;
+  for (const OpId u : dfg.preds(v)) {
+    const ClusterId cu = binding[static_cast<std::size_t>(u)];
+    if (cu != kNoCluster && cu != c) {
+      cost += dp.route_latency(cu, c);
+    }
+  }
+  return cost;
+}
+
+int transfer_cost_common_consumer_cycles(const Dfg& dfg,
+                                         const Binding& binding,
+                                         const Datapath& dp, OpId v,
+                                         ClusterId c) {
+  int cost = 0;
+  for (const OpId w : dfg.succs(v)) {
+    for (const OpId z : dfg.preds(w)) {
+      if (z == v) {
+        continue;
+      }
+      const ClusterId cz = binding[static_cast<std::size_t>(z)];
+      if (cz != kNoCluster && cz != c) {
+        cost += dp.route_latency(cz, c);
+        break;  // one penalty per common consumer
+      }
+    }
+  }
+  return cost;
+}
+
 namespace {
 
 /// One forward pass of the greedy binder over `dfg` (callers pass the
@@ -85,27 +117,31 @@ Binding bind_forward(const Dfg& dfg, const Datapath& dp,
 
     for (const ClusterId c : targets) {
       // Direct data dependency transfers: predecessors already bound
-      // (the binding order is topological) to a different cluster.
-      const int trcost_dd = transfer_cost_direct(dfg, binding, v, c);
+      // (the binding order is topological) to a different cluster. The
+      // frames route over the topology (one per traversed link); the
+      // cycle-weighted trcost charges each transfer its route latency —
+      // on a single bus exactly trcost * lat(move), the paper's term.
+      const int trcost_dd_cycles =
+          transfer_cost_direct_cycles(dfg, binding, dp, v, c);
       std::vector<LoadProfileSet::TransferFrame> transfers;
       for (const OpId u : dfg.preds(v)) {
         const ClusterId cu = binding[static_cast<std::size_t>(u)];
         if (cu != kNoCluster && cu != c) {
-          transfers.push_back(profiles.transfer_frame(u, v));
+          profiles.transfer_frames(u, v, cu, c, transfers);
         }
       }
 
       // Common consumer component: a transfer will be needed no matter
       // where the affected successors end up (Figure 3).
-      const int trcost_cc =
-          transfer_cost_common_consumer(dfg, binding, v, c);
+      const int trcost_cc_cycles =
+          transfer_cost_common_consumer_cycles(dfg, binding, dp, v, c);
 
       const int fucost = profiles.fu_serialization_cost(v, c);
       const int buscost = profiles.bus_serialization_cost(transfers);
-      const int trcost = trcost_dd + trcost_cc;
-      const double cost = params.alpha * fucost * dp.dii_op(dfg.type(v)) +
-                          params.beta * buscost * dp.dii(FuType::kBus) +
-                          params.gamma * trcost * dp.move_latency();
+      const double cost =
+          params.alpha * fucost * dp.dii_op(dfg.type(v)) +
+          params.beta * buscost * dp.dii(FuType::kBus) +
+          params.gamma * (trcost_dd_cycles + trcost_cc_cycles);
 
       // Deterministic tie-break: prefer the cluster with the lighter
       // committed load for this FU type, then the lower id.

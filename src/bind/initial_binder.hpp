@@ -69,4 +69,23 @@ struct InitialBinderParams {
                                                 const Binding& binding, OpId v,
                                                 ClusterId c);
 
+/// Distance-aware trcost_dd in *cycles*: each remote bound predecessor
+/// u contributes the full route latency from bn(u) to `c` instead of a
+/// flat count. On a single bus this equals
+/// transfer_cost_direct(...) * lat(move).
+[[nodiscard]] int transfer_cost_direct_cycles(const Dfg& dfg,
+                                              const Binding& binding,
+                                              const Datapath& dp, OpId v,
+                                              ClusterId c);
+
+/// Distance-aware trcost_cc in *cycles*: each common consumer with a
+/// remote bound co-predecessor z contributes the route latency from
+/// bn(z) to `c` (the first such z in operand order, matching the
+/// counted form's early exit). On a single bus this equals
+/// transfer_cost_common_consumer(...) * lat(move).
+[[nodiscard]] int transfer_cost_common_consumer_cycles(const Dfg& dfg,
+                                                       const Binding& binding,
+                                                       const Datapath& dp,
+                                                       OpId v, ClusterId c);
+
 }  // namespace cvb

@@ -22,7 +22,12 @@ LoadProfileSet::LoadProfileSet(const Dfg& dfg, const Datapath& dp,
   for (int t = 0; t < kNumFuTypes; ++t) {
     max_dii = std::max(max_dii, dp.dii(static_cast<FuType>(t)));
   }
-  horizon_ = timing.target_latency + max_dii + dp.move_latency();
+  // max_route_latency == lat(move) on a single bus, so the horizon is
+  // the historical L_PR + max_dii + lat(move) there; multi-hop
+  // topologies get the extra slack their shifted chain frames need
+  // (see the file header for the frame-end bounds).
+  horizon_ = timing.target_latency + max_dii +
+             dp.topology().max_route_latency(dp.move_latency());
 
   load_dp_.assign(kNumClusterFuTypes,
                   std::vector<double>(static_cast<std::size_t>(horizon_), 0.0));
@@ -31,7 +36,9 @@ LoadProfileSet::LoadProfileSet(const Dfg& dfg, const Datapath& dp,
       std::vector<std::vector<double>>(
           kNumClusterFuTypes,
           std::vector<double>(static_cast<std::size_t>(horizon_), 0.0)));
-  load_bus_.assign(static_cast<std::size_t>(horizon_), 0.0);
+  load_link_.assign(
+      static_cast<std::size_t>(dp.topology().num_links()),
+      std::vector<double>(static_cast<std::size_t>(horizon_), 0.0));
 
   // Centralized profile: every operation contributes, normalized by the
   // datapath-wide FU count of its type.
@@ -94,17 +101,21 @@ int LoadProfileSet::fu_serialization_cost(OpId v, ClusterId c) const {
 
 int LoadProfileSet::bus_serialization_cost(
     const std::vector<TransferFrame>& extra) const {
-  const int n_bus = dp_->num_buses();
   int cost = 0;
-  for (int tau = 0; tau < horizon_; ++tau) {
-    double load = load_bus_[static_cast<std::size_t>(tau)];
-    for (const TransferFrame& f : extra) {
-      if (tau >= f.begin && tau <= f.end) {
-        load += f.value / n_bus;
+  for (std::size_t li = 0; li < load_link_.size(); ++li) {
+    const int capacity = dp_->topology().link(static_cast<int>(li)).capacity;
+    const auto& committed = load_link_[li];
+    for (int tau = 0; tau < horizon_; ++tau) {
+      double load = committed[static_cast<std::size_t>(tau)];
+      for (const TransferFrame& f : extra) {
+        if (f.link == static_cast<int>(li) && tau >= f.begin &&
+            tau <= f.end) {
+          load += f.value / capacity;
+        }
       }
-    }
-    if (load > 1.0 + kEps) {
-      ++cost;
+      if (load > 1.0 + kEps) {
+        ++cost;
+      }
     }
   }
   return cost;
@@ -125,7 +136,32 @@ LoadProfileSet::TransferFrame LoadProfileSet::transfer_frame(
       std::max(0, timing_->mobility[sc] - dp_->move_latency());
   f.end = f.begin + mobility + dp_->dii(FuType::kBus) - 1;
   f.value = 1.0 / (mobility + 1);
+  f.link = 0;
   return f;
+}
+
+void LoadProfileSet::transfer_frames(OpId producer, OpId consumer,
+                                     ClusterId from, ClusterId to,
+                                     std::vector<TransferFrame>& out) const {
+  const auto sp = static_cast<std::size_t>(producer);
+  const auto sc = static_cast<std::size_t>(consumer);
+  // The chain starts right after the producer completes; hop k starts
+  // when hop k-1's link latency has elapsed. Every hop shares the
+  // consumer's mobility decreased by the full route latency (the chain
+  // slides as one unit inside the consumer's slack).
+  int begin = timing_->asap[sp] + dp_->lat(dfg_->type(producer));
+  const int mobility =
+      std::max(0, timing_->mobility[sc] - dp_->route_latency(from, to));
+  const double value = 1.0 / (mobility + 1);
+  for (const RouteStep& step : dp_->topology().route(from, to)) {
+    TransferFrame f;
+    f.begin = begin;
+    f.end = begin + mobility + dp_->dii(FuType::kBus) - 1;
+    f.value = value;
+    f.link = step.link;
+    out.push_back(f);
+    begin += dp_->move_latency_on(step.link);
+  }
 }
 
 void LoadProfileSet::commit_op(OpId v, ClusterId c) {
@@ -141,12 +177,19 @@ void LoadProfileSet::commit_op(OpId v, ClusterId c) {
   for (int tau = f.begin; tau <= f.end && tau < horizon_; ++tau) {
     cl[static_cast<std::size_t>(tau)] += f.value / n_ct;
   }
+  if (f.end >= horizon_) {
+    clipped_ += f.end - horizon_ + 1;
+  }
 }
 
 void LoadProfileSet::commit_transfer(const TransferFrame& frame) {
-  const int n_bus = dp_->num_buses();
+  const int capacity = dp_->topology().link(frame.link).capacity;
+  auto& link = load_link_[static_cast<std::size_t>(frame.link)];
   for (int tau = frame.begin; tau <= frame.end && tau < horizon_; ++tau) {
-    load_bus_[static_cast<std::size_t>(tau)] += frame.value / n_bus;
+    link[static_cast<std::size_t>(tau)] += frame.value / capacity;
+  }
+  if (frame.end >= horizon_) {
+    clipped_ += frame.end - horizon_ + 1;
   }
 }
 

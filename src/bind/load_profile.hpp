@@ -14,9 +14,32 @@
 // Inter-cluster data transfers are approximated "on the side": a
 // transfer for edge (u, v) is placed right after its producer
 // completes (start frame begins at asap(u) + lat(u)) and inherits the
-// consumer's mobility decreased by lat(move), clamped at zero.
+// consumer's mobility decreased by the route's transfer latency,
+// clamped at zero. The interconnect profile is kept *per topology
+// link* (machine/topology.hpp): a transfer between non-adjacent
+// clusters contributes one frame per traversed link, each shifted by
+// the accumulated hop latency, and each link is normalized by its own
+// capacity. On the paper's single bus this collapses to one frame on
+// the one link, normalized by N(BUS) — the historical behavior.
+//
+// Horizon sizing. Frames are clipped at `horizon()`, so the horizon
+// must dominate every frame end or committed mass is silently lost:
+//  * op frames: end = alap(v) + dii(v) - 1 <= L_PR - lat(v) + max_dii
+//    - 1 < L_PR + max_dii;
+//  * single-hop transfers: begin = asap(u) + lat(u) <= asap(v) and the
+//    frame mobility is the consumer's *reduced* mobility, so end <=
+//    alap(v) + dii(BUS) - 1 < L_PR + max_dii;
+//  * multi-hop chains shift hop k's frame by the accumulated hop
+//    latency, so the last hop can end up to max_route_latency cycles
+//    past the single-hop bound.
+// Hence horizon = L_PR + max_dii + max_route_latency (which is
+// L_PR + max_dii + lat(move) on a single bus — the historical value,
+// now proven sufficient rather than assumed). clipped() counts any
+// mass dropped past the horizon anyway; regression tests assert it
+// stays zero.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/analysis.hpp"
@@ -30,16 +53,18 @@ class LoadProfileSet {
  public:
   /// Builds centralized profiles for `dfg` with the time frames in
   /// `timing` (whose target_latency is the profile latency L_PR).
-  /// Cluster and bus profiles start empty and are filled through
+  /// Cluster and link profiles start empty and are filled through
   /// commit_op() / commit_transfer() as binding proceeds.
   LoadProfileSet(const Dfg& dfg, const Datapath& dp, const Timing& timing);
 
   /// Time-frame description of a data transfer for the dependency
-  /// (producer -> consumer); `value` is its per-cycle load.
+  /// (producer -> consumer) on one interconnect link; `value` is its
+  /// per-cycle load (normalized by the link's capacity on commit).
   struct TransferFrame {
     int begin = 0;  ///< first cycle of the frame
     int end = 0;    ///< last cycle of the frame (inclusive)
     double value = 0.0;
+    int link = 0;  ///< topology link the frame occupies
   };
 
   /// FU serialization penalty fucost(v, c): with v's load temporarily
@@ -48,22 +73,34 @@ class LoadProfileSet {
   /// max(centralized load, 1).
   [[nodiscard]] int fu_serialization_cost(OpId v, ClusterId c) const;
 
-  /// Bus serialization penalty: with `extra` transfer frames
-  /// temporarily added to the bus profile, the number of cycles where
-  /// the normalized bus load exceeds 1.
+  /// Interconnect serialization penalty: with `extra` transfer frames
+  /// temporarily added to their links' profiles, the number of
+  /// (link, cycle) pairs where a normalized link load exceeds 1. On a
+  /// single bus this is exactly the paper's buscost.
   [[nodiscard]] int bus_serialization_cost(
       const std::vector<TransferFrame>& extra) const;
 
   /// The transfer frame for dependency (producer -> consumer), placed
   /// right after the producer completes, with the consumer's mobility
-  /// decreased by lat(move) (clamped at 0).
+  /// decreased by lat(move) (clamped at 0). Single-link form (frame on
+  /// link 0) — kept for the paper's single-bus model and for tests;
+  /// routed callers use transfer_frames().
   [[nodiscard]] TransferFrame transfer_frame(OpId producer,
                                              OpId consumer) const;
+
+  /// Appends the route-aware transfer frames for dependency
+  /// (producer -> consumer) carried from cluster `from` to `to`: one
+  /// frame per link of the precomputed route, hop k shifted by the
+  /// accumulated hop latency, all sharing the consumer's mobility
+  /// decreased by the full route latency (clamped at 0). On a single
+  /// bus this appends exactly transfer_frame(producer, consumer).
+  void transfer_frames(OpId producer, OpId consumer, ClusterId from,
+                       ClusterId to, std::vector<TransferFrame>& out) const;
 
   /// Permanently adds operation v's load to cluster c's profile.
   void commit_op(OpId v, ClusterId c);
 
-  /// Permanently adds a transfer frame to the bus profile.
+  /// Permanently adds a transfer frame to its link's profile.
   void commit_transfer(const TransferFrame& frame);
 
   /// Total committed normalized load of FU type `t` on cluster `c`
@@ -71,8 +108,14 @@ class LoadProfileSet {
   [[nodiscard]] double cluster_load_total(ClusterId c, FuType t) const;
 
   /// Number of profile levels tracked (>= L_PR; includes slack for
-  /// dii-extended frames).
+  /// dii-extended frames and multi-hop transfer chains).
   [[nodiscard]] int horizon() const { return horizon_; }
+
+  /// Number of frame cycles committed past the horizon and therefore
+  /// dropped. Stays 0 for every frame this class itself produces (the
+  /// horizon dominates all frame ends, see file header); nonzero only
+  /// if a caller commits a hand-built frame beyond it.
+  [[nodiscard]] std::int64_t clipped() const { return clipped_; }
 
  private:
   /// Per-cycle frame of operation v: [begin, end] inclusive and value.
@@ -88,13 +131,15 @@ class LoadProfileSet {
   const Datapath* dp_;
   const Timing* timing_;
   int horizon_;
+  std::int64_t clipped_ = 0;
 
   /// load_dp_[t][tau]: normalized centralized profile per FU type.
   std::vector<std::vector<double>> load_dp_;
   /// load_cl_[c][t][tau]: normalized committed cluster profiles.
   std::vector<std::vector<std::vector<double>>> load_cl_;
-  /// Normalized committed bus profile.
-  std::vector<double> load_bus_;
+  /// load_link_[l][tau]: normalized committed per-link profiles (a
+  /// single bus has exactly one).
+  std::vector<std::vector<double>> load_link_;
 };
 
 }  // namespace cvb

@@ -13,6 +13,7 @@
 #include "io/dfg_text.hpp"
 #include "kernels/kernels.hpp"
 #include "machine/machine_file.hpp"
+#include "machine/parser.hpp"
 #include "regalloc/regalloc.hpp"
 #include "sched/emit.hpp"
 #include "sched/gantt.hpp"
@@ -36,6 +37,11 @@ options:
   --datapath SPEC     cluster config, e.g. "[2,1|1,1]" (default [1,1|1,1])
   --buses N           number of buses N_B (default 2)
   --move-latency N    lat(move) in cycles (default 1)
+  --topology SPEC     interconnect fabric: single_bus | ring | p2p |
+                      mesh:RxC | segmented_bus:K (default single_bus;
+                      every link gets --buses slots and inherits
+                      lat(move); not combinable with --machine, which
+                      carries its own topology/link lines)
   --machine FILE      load a .machine description instead (overrides
                       --datapath/--buses/--move-latency)
   --algorithm A       b-iter | b-init | pcc | sa | mincut | exhaustive
@@ -90,6 +96,7 @@ struct CliOptions {
   std::string source;
   std::string datapath = "[1,1|1,1]";
   std::string machine_file;
+  std::string topology;
   int buses = 2;
   int move_latency = 1;
   std::string algorithm = "b-iter";
@@ -122,11 +129,13 @@ CliOptions parse_args(const std::vector<std::string>& args) {
   flags.on_value("--machine",
                  [&](const std::string& v) { opts.machine_file = v; });
   flags.on_value("--buses", [&](const std::string& v) {
-    opts.buses = parse_nonnegative_int(v);
+    opts.buses = parse_int_at_least(v, 1, "--buses");
   });
   flags.on_value("--move-latency", [&](const std::string& v) {
-    opts.move_latency = parse_nonnegative_int(v);
+    opts.move_latency = parse_int_at_least(v, 1, "--move-latency");
   });
+  flags.on_value("--topology",
+                 [&](const std::string& v) { opts.topology = v; });
   flags.on_value("--algorithm",
                  [&](const std::string& v) { opts.algorithm = v; });
   flags.on_flag("--portfolio", [&] { opts.portfolio = true; });
@@ -226,7 +235,16 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (opts.machine_file.empty()) {
       request.datapath =
           parse_datapath(opts.datapath, opts.buses, opts.move_latency);
+      if (!opts.topology.empty()) {
+        request.datapath = request.datapath.with_topology(parse_topology_spec(
+            opts.topology, request.datapath.num_clusters(), opts.buses));
+      }
     } else {
+      if (!opts.topology.empty()) {
+        throw std::invalid_argument(
+            "--topology cannot be combined with --machine (put topology/link "
+            "lines in the machine file)");
+      }
       std::ifstream file(opts.machine_file);
       if (!file) {
         throw std::invalid_argument("cannot open '" + opts.machine_file +
@@ -289,9 +307,13 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     for (const std::string& output : opts.outputs) {
       if (output == "summary") {
         const LatencyLowerBound lb = latency_lower_bound(dfg, dp);
+        const std::string topo_label =
+            dp.topology().is_default_single_bus(dp.num_buses())
+                ? std::string()
+                : ", " + dp.topology().to_string();
         out << request.id << " on " << dp.to_string() << " ("
             << dp.num_buses() << " buses, lat(move)=" << dp.move_latency()
-            << ", "
+            << topo_label << ", "
             << strategy_set_label(request.strategy, request.portfolio)
             << "): L=" << response.schedule.latency
             << " cycles, M=" << response.schedule.num_moves

@@ -6,12 +6,35 @@ namespace cvb {
 
 Datapath::Datapath(std::vector<Cluster> clusters, int num_buses,
                    LatencyTable lat, std::array<int, kNumFuTypes> dii)
+    : Datapath(clusters,
+               [&] {
+                 if (clusters.empty()) {
+                   throw std::invalid_argument(
+                       "Datapath: need at least one cluster");
+                 }
+                 if (num_buses < 1) {
+                   throw std::invalid_argument(
+                       "Datapath: need at least one bus");
+                 }
+                 return Topology::single_bus(
+                     static_cast<int>(clusters.size()), num_buses);
+               }(),
+               lat, dii) {}
+
+Datapath::Datapath(std::vector<Cluster> clusters, Topology topo,
+                   LatencyTable lat, std::array<int, kNumFuTypes> dii)
     : clusters_(std::move(clusters)),
-      num_buses_(num_buses),
+      num_buses_(topo.total_capacity()),
+      topo_(std::move(topo)),
       lat_(lat),
       dii_(dii) {
   if (clusters_.empty()) {
     throw std::invalid_argument("Datapath: need at least one cluster");
+  }
+  if (topo_.num_clusters() != num_clusters()) {
+    throw std::invalid_argument(
+        "Datapath: topology covers " + std::to_string(topo_.num_clusters()) +
+        " clusters but datapath has " + std::to_string(num_clusters()));
   }
   if (num_buses_ < 1) {
     throw std::invalid_argument("Datapath: need at least one bus");
@@ -42,6 +65,15 @@ Datapath Datapath::uniform(std::vector<Cluster> clusters, int num_buses,
   std::array<int, kNumFuTypes> dii{};
   dii.fill(1);
   return Datapath(std::move(clusters), num_buses, lat, dii);
+}
+
+Datapath Datapath::uniform_topo(std::vector<Cluster> clusters, Topology topo,
+                                int move_latency) {
+  LatencyTable lat = unit_latencies();
+  lat[static_cast<std::size_t>(OpType::kMove)] = move_latency;
+  std::array<int, kNumFuTypes> dii{};
+  dii.fill(1);
+  return Datapath(std::move(clusters), std::move(topo), lat, dii);
 }
 
 int Datapath::fu_count(ClusterId c, FuType t) const {

@@ -21,6 +21,7 @@
 
 #include "graph/analysis.hpp"
 #include "machine/isa.hpp"
+#include "machine/topology.hpp"
 
 namespace cvb {
 
@@ -59,10 +60,28 @@ class Datapath {
   Datapath(std::vector<Cluster> clusters, int num_buses, LatencyTable lat,
            std::array<int, kNumFuTypes> dii);
 
+  /// Generalized-interconnect form: transfers route over `topo` instead
+  /// of one shared bus. `topo.num_clusters()` must match
+  /// `clusters.size()`; the aggregate N(BUS) becomes the topology's
+  /// total link capacity. The legacy constructor is exactly this with
+  /// `Topology::single_bus(clusters.size(), num_buses)`.
+  Datapath(std::vector<Cluster> clusters, Topology topo, LatencyTable lat,
+           std::array<int, kNumFuTypes> dii);
+
   /// Convenience: unit latencies and fully pipelined resources, with
   /// the move latency overridden to `move_latency` (Table 2 varies it).
   static Datapath uniform(std::vector<Cluster> clusters, int num_buses,
                           int move_latency = 1);
+
+  /// `uniform`, but over an explicit interconnect topology.
+  static Datapath uniform_topo(std::vector<Cluster> clusters, Topology topo,
+                               int move_latency = 1);
+
+  /// This datapath with the interconnect replaced by `topo` (same
+  /// clusters, latencies, and diis). `topo.num_clusters()` must match.
+  [[nodiscard]] Datapath with_topology(Topology topo) const {
+    return Datapath(clusters_, std::move(topo), lat_, dii_);
+  }
 
   [[nodiscard]] int num_clusters() const {
     return static_cast<int>(clusters_.size());
@@ -75,8 +94,27 @@ class Datapath {
   /// N(t): total FUs of type `t` across clusters; for kBus, N(BUS).
   [[nodiscard]] int total_fu_count(FuType t) const;
 
-  /// N(BUS): simultaneous inter-cluster transfers.
+  /// N(BUS): simultaneous inter-cluster transfers, aggregated across
+  /// links (on a single bus, exactly the paper's N(BUS)).
   [[nodiscard]] int num_buses() const { return num_buses_; }
+
+  /// The interconnect fabric. Legacy construction yields
+  /// Topology::single_bus(num_clusters(), num_buses()).
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  /// Cycles a move op on link `link` takes: the link's hop latency when
+  /// set, else lat(move).
+  [[nodiscard]] int move_latency_on(int link) const {
+    const int hop = topo_.link(link).hop_latency;
+    return hop > 0 ? hop : move_latency();
+  }
+
+  /// Total transfer latency from cluster `from` to `to` over the
+  /// precomputed shortest route (0 when equal). The distance-aware
+  /// generalization of lat(move) used by B-INIT's trcost.
+  [[nodiscard]] int route_latency(ClusterId from, ClusterId to) const {
+    return topo_.route_latency(from, to, move_latency());
+  }
 
   /// lat(p) for an operation type.
   [[nodiscard]] int lat(OpType op) const {
@@ -112,6 +150,7 @@ class Datapath {
  private:
   std::vector<Cluster> clusters_;
   int num_buses_;
+  Topology topo_;
   LatencyTable lat_;
   std::array<int, kNumFuTypes> dii_;
 };

@@ -43,6 +43,12 @@ ParsedMachine parse_machine_file(std::istream& in,
   LatencyTable lat = unit_latencies();
   std::array<int, kNumFuTypes> dii{};
   dii.fill(1);
+  // Topology lines are collected and resolved after the whole file is
+  // read (the builders need the final cluster count and bus capacity).
+  std::string topo_spec;
+  std::optional<int> topo_cap;
+  int topo_lat = 0;
+  std::vector<TopoLink> custom_links;
 
   std::string line;
   int line_number = 0;
@@ -103,8 +109,90 @@ ParsedMachine parse_machine_file(std::istream& in,
       try {
         buses = parse_nonnegative_int(count);
       } catch (const std::invalid_argument& e) {
-        fail(e.what());
+        fail(std::string("'buses': ") + e.what());
       }
+      if (buses < 1) {
+        fail("'buses' must be >= 1 (got " + count + ")");
+      }
+    } else if (keyword == "topology") {
+      if (!custom_links.empty()) {
+        fail("'topology' cannot be combined with 'link' lines");
+      }
+      fields >> topo_spec;
+      if (topo_spec.empty()) {
+        fail("missing topology spec (single_bus, ring, p2p, mesh:RxC, "
+             "segmented_bus:K)");
+      }
+      // Optional trailing "cap <n>" / "lat <m>" pairs.
+      std::string option;
+      while (fields >> option) {
+        std::string value;
+        fields >> value;
+        int parsed = 0;
+        try {
+          parsed = parse_nonnegative_int(value);
+        } catch (const std::invalid_argument& e) {
+          fail("topology '" + option + "': " + e.what());
+        }
+        if (option == "cap") {
+          if (parsed < 1) {
+            fail("topology 'cap' must be >= 1 (got " + value + ")");
+          }
+          topo_cap = parsed;
+        } else if (option == "lat") {
+          if (parsed < 1) {
+            fail("topology 'lat' must be >= 1 (got " + value + ")");
+          }
+          topo_lat = parsed;
+        } else {
+          fail("unknown topology option '" + option + "' (expected cap/lat)");
+        }
+      }
+    } else if (keyword == "link") {
+      if (!topo_spec.empty()) {
+        fail("'link' cannot be combined with a 'topology' line");
+      }
+      TopoLink link;
+      std::string members;
+      fields >> link.name >> members;
+      if (link.name.empty() || members.empty()) {
+        fail("expected 'link <name> <c0>-<c1>[-...] [cap <n>] [lat <m>]'");
+      }
+      for (const std::string& member : split(members, '-')) {
+        try {
+          link.members.push_back(parse_nonnegative_int(member));
+        } catch (const std::invalid_argument& e) {
+          fail("link '" + link.name + "' members: " + e.what());
+        }
+      }
+      std::string option;
+      while (fields >> option) {
+        std::string value;
+        fields >> value;
+        int parsed = 0;
+        try {
+          parsed = parse_nonnegative_int(value);
+        } catch (const std::invalid_argument& e) {
+          fail("link '" + link.name + "' '" + option + "': " + e.what());
+        }
+        if (option == "cap") {
+          if (parsed < 1) {
+            fail("link '" + link.name + "' cap must be >= 1 (got " + value +
+                 ")");
+          }
+          link.capacity = parsed;
+        } else if (option == "lat") {
+          if (parsed < 1) {
+            fail("link '" + link.name + "' lat must be >= 1 (got " + value +
+                 ")");
+          }
+          link.hop_latency = parsed;
+        } else {
+          fail("link '" + link.name + "': unknown option '" + option +
+               "' (expected cap/lat)");
+        }
+      }
+      custom_links.push_back(std::move(link));
     } else if (keyword == "latency") {
       std::string op_name;
       std::string value;
@@ -140,7 +228,22 @@ ParsedMachine parse_machine_file(std::istream& in,
     fail("missing 'clusters [i,j|...]' line");
   }
   try {
-    return ParsedMachine{name.empty() ? "machine" : name,
+    const std::string machine_name = name.empty() ? "machine" : name;
+    const int num_clusters = static_cast<int>(clusters->size());
+    if (!topo_spec.empty()) {
+      Topology topo = parse_topology_spec(topo_spec, num_clusters,
+                                          topo_cap.value_or(buses), topo_lat);
+      return ParsedMachine{machine_name,
+                           Datapath(std::move(*clusters), std::move(topo), lat,
+                                    dii)};
+    }
+    if (!custom_links.empty()) {
+      Topology topo = Topology::custom(num_clusters, std::move(custom_links));
+      return ParsedMachine{machine_name,
+                           Datapath(std::move(*clusters), std::move(topo), lat,
+                                    dii)};
+    }
+    return ParsedMachine{machine_name,
                          Datapath(std::move(*clusters), buses, lat, dii)};
   } catch (const std::invalid_argument& e) {
     line_number = 0;
@@ -154,6 +257,25 @@ void write_machine_file(std::ostream& out, const Datapath& dp,
   out << "machine " << name << '\n';
   out << "clusters " << dp.to_string() << '\n';
   out << "buses " << dp.num_buses() << '\n';
+  // Non-default fabrics round-trip as explicit link lines (the builder
+  // arguments are not stored; the re-read topology is an equivalent
+  // custom one with identical links and routes).
+  if (!dp.topology().is_default_single_bus(dp.num_buses())) {
+    for (const TopoLink& link : dp.topology().links()) {
+      out << "link " << link.name << ' ';
+      for (std::size_t i = 0; i < link.members.size(); ++i) {
+        if (i != 0) {
+          out << '-';
+        }
+        out << link.members[i];
+      }
+      out << " cap " << link.capacity;
+      if (link.hop_latency != 0) {
+        out << " lat " << link.hop_latency;
+      }
+      out << '\n';
+    }
+  }
   for (const OpType op : all_op_types()) {
     if (dp.lat(op) != 1) {
       out << "latency " << op_type_name(op) << ' ' << dp.lat(op) << '\n';

@@ -22,6 +22,16 @@ Datapath parse_datapath(std::string_view spec, int num_buses,
     throw std::invalid_argument("parse_datapath: empty spec");
   }
 
+  if (num_buses < 1) {
+    throw std::invalid_argument("parse_datapath: num_buses must be >= 1 (got " +
+                                std::to_string(num_buses) + ")");
+  }
+  if (move_latency < 1) {
+    throw std::invalid_argument(
+        "parse_datapath: move_latency must be >= 1 (got " +
+        std::to_string(move_latency) + ")");
+  }
+
   std::vector<Cluster> clusters;
   for (const std::string& field : split(body, '|')) {
     const std::vector<std::string> counts = split(field, ',');
@@ -38,6 +48,83 @@ Datapath parse_datapath(std::string_view spec, int num_buses,
     clusters.push_back(cluster);
   }
   return Datapath::uniform(std::move(clusters), num_buses, move_latency);
+}
+
+Topology parse_topology_spec(std::string_view spec, int num_clusters,
+                             int capacity, int hop_latency) {
+  const std::string text{trim(spec)};
+  if (text.empty()) {
+    throw std::invalid_argument("parse_topology_spec: empty topology spec");
+  }
+  std::string kind = text;
+  std::string arg;
+  const std::size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    kind = text.substr(0, colon);
+    arg = text.substr(colon + 1);
+  }
+  const auto require_no_arg = [&]() {
+    if (!arg.empty()) {
+      throw std::invalid_argument("parse_topology_spec: '" + kind +
+                                  "' takes no ':<arg>' (got '" + text + "')");
+    }
+  };
+  if (kind == "single_bus" || kind == "bus") {
+    require_no_arg();
+    return Topology::single_bus(num_clusters, capacity);
+  }
+  if (kind == "ring") {
+    require_no_arg();
+    return Topology::ring(num_clusters, capacity, hop_latency);
+  }
+  if (kind == "p2p") {
+    require_no_arg();
+    return Topology::p2p(num_clusters, capacity, hop_latency);
+  }
+  if (kind == "mesh") {
+    const std::size_t x = arg.find('x');
+    if (arg.empty() || x == std::string::npos) {
+      throw std::invalid_argument(
+          "parse_topology_spec: mesh needs dimensions 'mesh:RxC' (got '" +
+          text + "')");
+    }
+    int rows = 0;
+    int cols = 0;
+    try {
+      rows = parse_nonnegative_int(arg.substr(0, x));
+      cols = parse_nonnegative_int(arg.substr(x + 1));
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument(
+          "parse_topology_spec: bad mesh dimensions in '" + text + "'");
+    }
+    if (rows * cols != num_clusters) {
+      throw std::invalid_argument(
+          "parse_topology_spec: mesh " + arg + " covers " +
+          std::to_string(rows * cols) + " clusters, datapath has " +
+          std::to_string(num_clusters));
+    }
+    return Topology::mesh(rows, cols, capacity, hop_latency);
+  }
+  if (kind == "segmented_bus" || kind == "seg") {
+    if (arg.empty()) {
+      throw std::invalid_argument(
+          "parse_topology_spec: segmented_bus needs a segment count "
+          "'segmented_bus:K' (got '" +
+          text + "')");
+    }
+    int segments = 0;
+    try {
+      segments = parse_nonnegative_int(arg);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument(
+          "parse_topology_spec: bad segment count in '" + text + "'");
+    }
+    return Topology::segmented_bus(num_clusters, segments, capacity,
+                                   hop_latency);
+  }
+  throw std::invalid_argument(
+      "parse_topology_spec: unknown topology kind '" + kind +
+      "' (expected single_bus, ring, p2p, mesh:RxC, or segmented_bus:K)");
 }
 
 }  // namespace cvb

@@ -12,8 +12,25 @@ namespace cvb {
 /// Parses "[1,1|2,1]" (brackets optional, whitespace tolerated) into a
 /// Datapath with `num_buses` buses, unit operation latencies, fully
 /// pipelined resources, and lat(move) = `move_latency`.
-/// Throws std::invalid_argument on malformed input.
+/// Throws std::invalid_argument on malformed input, num_buses < 1, or
+/// move_latency < 1 (the message names the offending field).
 [[nodiscard]] Datapath parse_datapath(std::string_view spec, int num_buses = 2,
                                       int move_latency = 1);
+
+/// Parses an interconnect-topology spec (the `--topology` CLI flag and
+/// the machine-file `topology` keyword):
+///
+///   single_bus            one shared link over all clusters (default)
+///   ring                  neighbor ring
+///   p2p                   full point-to-point crossbar
+///   mesh:RxC              R x C grid (R*C must equal the cluster count)
+///   segmented_bus:K       K contiguous bus segments + bridge links
+///
+/// Every link gets `capacity` slots and hop latency `hop_latency`
+/// (0 = inherit lat(move)). Throws std::invalid_argument naming the
+/// malformed component.
+[[nodiscard]] Topology parse_topology_spec(std::string_view spec,
+                                           int num_clusters, int capacity,
+                                           int hop_latency = 0);
 
 }  // namespace cvb

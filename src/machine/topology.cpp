@@ -1,0 +1,329 @@
+#include "machine/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace cvb {
+namespace {
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+const char* topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kSingleBus:
+      return "single_bus";
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kMesh:
+      return "mesh";
+    case TopologyKind::kP2p:
+      return "p2p";
+    case TopologyKind::kSegmentedBus:
+      return "segmented_bus";
+    case TopologyKind::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+Topology::Topology(int num_clusters, std::vector<TopoLink> links,
+                   TopologyKind kind)
+    : num_clusters_(num_clusters), links_(std::move(links)), kind_(kind) {
+  for (TopoLink& l : links_) {
+    std::sort(l.members.begin(), l.members.end());
+    l.members.erase(std::unique(l.members.begin(), l.members.end()),
+                    l.members.end());
+  }
+  validate();
+  compute_routes();
+}
+
+Topology Topology::single_bus(int num_clusters, int capacity) {
+  require(num_clusters >= 1, "Topology: need at least one cluster");
+  std::vector<TopoClusterId> all(static_cast<std::size_t>(num_clusters));
+  for (int c = 0; c < num_clusters; ++c) all[static_cast<std::size_t>(c)] = c;
+  return Topology(num_clusters, {TopoLink{"BUS", std::move(all), capacity, 0}},
+                  TopologyKind::kSingleBus);
+}
+
+Topology Topology::ring(int num_clusters, int capacity, int hop_latency) {
+  require(num_clusters >= 1, "Topology: need at least one cluster");
+  if (num_clusters <= 2) {
+    // One or two clusters: the ring collapses to a single shared link
+    // (two parallel links between the same pair would double capacity).
+    std::vector<TopoClusterId> all(static_cast<std::size_t>(num_clusters));
+    for (int c = 0; c < num_clusters; ++c)
+      all[static_cast<std::size_t>(c)] = c;
+    return Topology(num_clusters,
+                    {TopoLink{"r0", std::move(all), capacity, hop_latency}},
+                    TopologyKind::kRing);
+  }
+  std::vector<TopoLink> links;
+  links.reserve(static_cast<std::size_t>(num_clusters));
+  for (int c = 0; c < num_clusters; ++c) {
+    links.push_back(TopoLink{"r" + std::to_string(c),
+                             {c, (c + 1) % num_clusters}, capacity,
+                             hop_latency});
+  }
+  return Topology(num_clusters, std::move(links), TopologyKind::kRing);
+}
+
+Topology Topology::mesh(int rows, int cols, int capacity, int hop_latency) {
+  require(rows >= 1 && cols >= 1, "Topology: mesh needs rows, cols >= 1");
+  const int n = rows * cols;
+  std::vector<TopoLink> links;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c + 1 < cols; ++c) {
+      links.push_back(
+          TopoLink{"h" + std::to_string(r) + "_" + std::to_string(c),
+                   {id(r, c), id(r, c + 1)}, capacity, hop_latency});
+    }
+  }
+  for (int r = 0; r + 1 < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      links.push_back(
+          TopoLink{"v" + std::to_string(r) + "_" + std::to_string(c),
+                   {id(r, c), id(r + 1, c)}, capacity, hop_latency});
+    }
+  }
+  if (links.empty()) {
+    // 1x1 mesh: a single cluster with a degenerate bus.
+    links.push_back(TopoLink{"h0_0", {0}, capacity, hop_latency});
+  }
+  return Topology(n, std::move(links), TopologyKind::kMesh);
+}
+
+Topology Topology::p2p(int num_clusters, int capacity, int hop_latency) {
+  require(num_clusters >= 1, "Topology: need at least one cluster");
+  std::vector<TopoLink> links;
+  for (int a = 0; a < num_clusters; ++a) {
+    for (int b = a + 1; b < num_clusters; ++b) {
+      links.push_back(TopoLink{"p" + std::to_string(a) + "_" +
+                                   std::to_string(b),
+                               {a, b}, capacity, hop_latency});
+    }
+  }
+  if (links.empty()) links.push_back(TopoLink{"p0_0", {0}, capacity, 0});
+  return Topology(num_clusters, std::move(links), TopologyKind::kP2p);
+}
+
+Topology Topology::segmented_bus(int num_clusters, int segments, int capacity,
+                                 int hop_latency) {
+  require(num_clusters >= 1, "Topology: need at least one cluster");
+  require(segments >= 1, "Topology: segmented_bus needs segments >= 1");
+  require(segments <= num_clusters,
+          "Topology: segmented_bus needs segments <= clusters");
+  std::vector<TopoLink> links;
+  // Near-equal contiguous segments: the first (num_clusters % segments)
+  // segments get one extra cluster.
+  const int base = num_clusters / segments;
+  const int extra = num_clusters % segments;
+  int start = 0;
+  std::vector<int> seg_start, seg_end;  // inclusive ranges
+  for (int s = 0; s < segments; ++s) {
+    const int size = base + (s < extra ? 1 : 0);
+    seg_start.push_back(start);
+    seg_end.push_back(start + size - 1);
+    std::vector<TopoClusterId> members;
+    for (int c = start; c < start + size; ++c) members.push_back(c);
+    // A one-cluster segment (uneven split) has no internal transfers;
+    // its bridge link is the segment's only fabric. The one-segment
+    // whole-machine bus is kept even for a single cluster so the
+    // datapath retains transfer capacity.
+    if (size >= 2 || segments == 1) {
+      links.push_back(TopoLink{"seg" + std::to_string(s), std::move(members),
+                               capacity, hop_latency});
+    }
+    start += size;
+  }
+  for (int s = 0; s + 1 < segments; ++s) {
+    links.push_back(TopoLink{"bridge" + std::to_string(s),
+                             {seg_end[static_cast<std::size_t>(s)],
+                              seg_start[static_cast<std::size_t>(s + 1)]},
+                             capacity, hop_latency});
+  }
+  return Topology(num_clusters, std::move(links),
+                  segments == 1 ? TopologyKind::kSingleBus
+                                : TopologyKind::kSegmentedBus);
+}
+
+Topology Topology::custom(int num_clusters, std::vector<TopoLink> links) {
+  return Topology(num_clusters, std::move(links), TopologyKind::kCustom);
+}
+
+bool Topology::is_single_bus() const {
+  return num_links() == 1 &&
+         static_cast<int>(links_[0].members.size()) == num_clusters_;
+}
+
+bool Topology::is_default_single_bus(int num_buses) const {
+  return is_single_bus() && links_[0].capacity == num_buses &&
+         links_[0].hop_latency == 0 && links_[0].name == "BUS";
+}
+
+int Topology::total_capacity() const {
+  int total = 0;
+  for (const TopoLink& l : links_) total += l.capacity;
+  return total;
+}
+
+const std::vector<RouteStep>& Topology::route(TopoClusterId from,
+                                              TopoClusterId to) const {
+  return routes_[pair_index(from, to)];
+}
+
+int Topology::route_latency(TopoClusterId from, TopoClusterId to,
+                            int inherited_latency) const {
+  int total = 0;
+  for (const RouteStep& step : route(from, to)) {
+    const int hop = links_[static_cast<std::size_t>(step.link)].hop_latency;
+    total += hop > 0 ? hop : inherited_latency;
+  }
+  return total;
+}
+
+int Topology::max_route_latency(int inherited_latency) const {
+  int worst = inherited_latency;
+  for (int a = 0; a < num_clusters_; ++a) {
+    for (int b = 0; b < num_clusters_; ++b) {
+      worst = std::max(worst, route_latency(a, b, inherited_latency));
+    }
+  }
+  return worst;
+}
+
+std::string Topology::to_string() const {
+  std::ostringstream os;
+  os << topology_kind_name(kind_) << "(" << num_clusters_;
+  for (const TopoLink& l : links_) {
+    os << ";" << l.name << ":";
+    for (std::size_t i = 0; i < l.members.size(); ++i) {
+      if (i) os << "-";
+      os << l.members[i];
+    }
+    os << ",cap=" << l.capacity;
+    if (l.hop_latency > 0) os << ",lat=" << l.hop_latency;
+  }
+  os << ")";
+  return os.str();
+}
+
+void Topology::validate() const {
+  require(num_clusters_ >= 1, "Topology: need at least one cluster");
+  require(!links_.empty(), "Topology: need at least one link");
+  std::set<std::string> names;
+  for (const TopoLink& l : links_) {
+    require(!l.name.empty(), "Topology: link name must be non-empty");
+    require(names.insert(l.name).second,
+            "Topology: duplicate link name '" + l.name + "'");
+    require(l.capacity >= 1,
+            "Topology: link '" + l.name + "' capacity must be >= 1 (got " +
+                std::to_string(l.capacity) + ")");
+    require(l.hop_latency >= 0,
+            "Topology: link '" + l.name + "' hop latency must be >= 0");
+    require(!l.members.empty(),
+            "Topology: link '" + l.name + "' has no member clusters");
+    for (TopoClusterId c : l.members) {
+      require(c >= 0 && c < num_clusters_,
+              "Topology: link '" + l.name + "' references cluster " +
+                  std::to_string(c) + " outside [0, " +
+                  std::to_string(num_clusters_) + ")");
+    }
+    if (num_clusters_ > 1) {
+      require(l.members.size() >= 2,
+              "Topology: link '" + l.name + "' must join >= 2 clusters");
+    }
+  }
+}
+
+void Topology::compute_routes() {
+  routes_.assign(static_cast<std::size_t>(num_clusters_) *
+                     static_cast<std::size_t>(num_clusters_),
+                 {});
+  // Adjacency: for each cluster, the (link, neighbor) pairs, sorted by
+  // (neighbor, link) so relaxation order is deterministic.
+  struct Arc {
+    TopoClusterId to;
+    int link;
+    int weight;
+  };
+  std::vector<std::vector<Arc>> adj(
+      static_cast<std::size_t>(num_clusters_));
+  for (int li = 0; li < num_links(); ++li) {
+    const TopoLink& l = links_[static_cast<std::size_t>(li)];
+    const int w = l.hop_latency > 0 ? l.hop_latency : 1;
+    for (TopoClusterId a : l.members) {
+      for (TopoClusterId b : l.members) {
+        if (a == b) continue;
+        adj[static_cast<std::size_t>(a)].push_back(Arc{b, li, w});
+      }
+    }
+  }
+  for (auto& arcs : adj) {
+    std::sort(arcs.begin(), arcs.end(), [](const Arc& x, const Arc& y) {
+      return std::tie(x.to, x.link) < std::tie(y.to, y.link);
+    });
+  }
+
+  const long long kInf = std::numeric_limits<long long>::max() / 4;
+  for (int src = 0; src < num_clusters_; ++src) {
+    // Dijkstra with deterministic tie-breaking: minimize (weight, hops,
+    // predecessor cluster, predecessor link) lexicographically.
+    const auto n = static_cast<std::size_t>(num_clusters_);
+    std::vector<long long> dist(n, kInf);
+    std::vector<int> hops(n, std::numeric_limits<int>::max());
+    std::vector<TopoClusterId> pred(n, -1);
+    std::vector<int> pred_link(n, -1);
+    dist[static_cast<std::size_t>(src)] = 0;
+    hops[static_cast<std::size_t>(src)] = 0;
+    using QItem = std::tuple<long long, int, TopoClusterId>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>> pq;
+    pq.emplace(0, 0, src);
+    while (!pq.empty()) {
+      auto [d, h, u] = pq.top();
+      pq.pop();
+      const auto ui = static_cast<std::size_t>(u);
+      if (d != dist[ui] || h != hops[ui]) continue;
+      for (const Arc& arc : adj[ui]) {
+        const auto vi = static_cast<std::size_t>(arc.to);
+        const long long nd = d + arc.weight;
+        const int nh = h + 1;
+        const auto cand = std::make_tuple(nd, nh, u, arc.link);
+        const auto cur =
+            std::make_tuple(dist[vi], hops[vi], pred[vi], pred_link[vi]);
+        if (cand < cur) {
+          dist[vi] = nd;
+          hops[vi] = nh;
+          pred[vi] = u;
+          pred_link[vi] = arc.link;
+          pq.emplace(nd, nh, arc.to);
+        }
+      }
+    }
+    for (int dst = 0; dst < num_clusters_; ++dst) {
+      if (dst == src) continue;
+      require(dist[static_cast<std::size_t>(dst)] < kInf,
+              "Topology: cluster " + std::to_string(dst) +
+                  " unreachable from cluster " + std::to_string(src));
+      std::vector<RouteStep> path;
+      for (TopoClusterId v = dst; v != src;
+           v = pred[static_cast<std::size_t>(v)]) {
+        path.push_back(RouteStep{pred_link[static_cast<std::size_t>(v)], v});
+      }
+      std::reverse(path.begin(), path.end());
+      routes_[pair_index(src, dst)] = std::move(path);
+    }
+  }
+}
+
+}  // namespace cvb

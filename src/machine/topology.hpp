@@ -1,0 +1,189 @@
+// Interconnect topology model (generalization of the paper's single
+// shared bus, ROADMAP "Generalized interconnect scenarios").
+//
+// The paper's datapath moves every inter-cluster value over one shared
+// bus with N(BUS) slots. Real clustered datapaths have richer fabrics:
+// point-to-point neighbor links, rings, meshes, and hierarchical buses
+// with per-segment bandwidth. A Topology describes such a fabric as a
+// named set of *links*: each link joins a set of clusters, executes
+// kMove operations, and has
+//
+//  * a per-slot capacity (simultaneous transfers inside one dii(BUS)
+//    issue window — the per-link analogue of N(BUS)), and
+//  * a hop latency (cycles one move op on this link takes; 0 = inherit
+//    the datapath's lat(move), so the paper's uniform timing is the
+//    default).
+//
+// Transfers between clusters that share no link are *routed*: a value
+// travels over the shortest path in the cluster graph induced by the
+// links, and bound-DFG construction materializes one bus-resident move
+// operation per traversed link (a chain, each hop delivering the value
+// into the next cluster's register file, where local consumers — and
+// further hops — can read it).
+//
+// Routes are precomputed all-pairs at construction and fully
+// deterministic: minimal total routing weight (hop latency, 1 per hop
+// when inherited), then minimal hop count, with ties broken toward the
+// lexicographically smallest (cluster, link) parent so every rebuild
+// of the same topology yields byte-identical routes.
+//
+// The single shared bus is the one-link special case
+// (Topology::single_bus), and every consumer of the topology — move
+// insertion, the per-link scheduler legality pools, B-INIT's
+// distance-aware cost terms — degenerates to the paper's behavior
+// bit-for-bit on it (pinned by tests/topology_differential_test.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cvb {
+
+/// Cluster identifier (mirrors machine/datapath.hpp; kept here to avoid
+/// a circular include — Datapath owns a Topology).
+using TopoClusterId = int;
+
+/// One interconnect link: a named transfer resource joining one or more
+/// clusters. Validation requires capacity >= 1 and hop_latency >= 0.
+struct TopoLink {
+  std::string name;
+  /// Clusters this link can deliver into (sorted, unique). A shared bus
+  /// lists every cluster; a point-to-point link lists two.
+  std::vector<TopoClusterId> members;
+  /// Simultaneous transfers per dii(BUS) issue window on this link.
+  int capacity = 1;
+  /// Cycles a move op on this link takes; 0 = inherit lat(move).
+  int hop_latency = 0;
+};
+
+/// Builder provenance, for labels and machine-file round-trips.
+enum class TopologyKind {
+  kSingleBus,
+  kRing,
+  kMesh,
+  kP2p,
+  kSegmentedBus,
+  kCustom,
+};
+
+/// Name of a topology kind ("single_bus", "ring", ...).
+[[nodiscard]] const char* topology_kind_name(TopologyKind kind);
+
+/// One step of a precomputed route: traverse `link`, arriving in
+/// cluster `to`.
+struct RouteStep {
+  int link = 0;
+  TopoClusterId to = 0;
+};
+
+/// Immutable interconnect description with precomputed all-pairs
+/// routes. Construct through the named builders or `custom`.
+class Topology {
+ public:
+  /// Default: a zero-cluster placeholder; Datapath always replaces it.
+  Topology() = default;
+
+  /// The paper's model: one link named "BUS" joining every cluster,
+  /// capacity = `capacity` (the paper's N(BUS)), hop latency inherited.
+  [[nodiscard]] static Topology single_bus(int num_clusters, int capacity);
+
+  /// Neighbor links 0-1, 1-2, ..., (n-1)-0. Two clusters get a single
+  /// link; one cluster degenerates to a bus.
+  [[nodiscard]] static Topology ring(int num_clusters, int capacity,
+                                     int hop_latency = 0);
+
+  /// rows x cols grid; horizontal links "h<r>_<c>" and vertical links
+  /// "v<r>_<c>". Cluster ids are row-major. Throws if rows * cols !=
+  /// the implied cluster count (callers pass the datapath's).
+  [[nodiscard]] static Topology mesh(int rows, int cols, int capacity,
+                                     int hop_latency = 0);
+
+  /// Full point-to-point crossbar: one link per unordered cluster pair.
+  [[nodiscard]] static Topology p2p(int num_clusters, int capacity,
+                                    int hop_latency = 0);
+
+  /// `segments` contiguous bus segments of near-equal size, each a
+  /// shared link over its clusters with `capacity` slots, plus bridge
+  /// links joining the last cluster of each segment to the first of the
+  /// next (hierarchical bus). One segment degenerates to a single bus.
+  [[nodiscard]] static Topology segmented_bus(int num_clusters, int segments,
+                                              int capacity,
+                                              int hop_latency = 0);
+
+  /// Arbitrary link set. Validates (throws std::invalid_argument):
+  /// non-empty unique link names, members within [0, num_clusters),
+  /// capacity >= 1, hop_latency >= 0, every cluster reachable from
+  /// every other when num_clusters > 1.
+  [[nodiscard]] static Topology custom(int num_clusters,
+                                       std::vector<TopoLink> links);
+
+  [[nodiscard]] int num_clusters() const { return num_clusters_; }
+  [[nodiscard]] int num_links() const {
+    return static_cast<int>(links_.size());
+  }
+  [[nodiscard]] const TopoLink& link(int id) const {
+    return links_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<TopoLink>& links() const { return links_; }
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+
+  /// True when this is exactly one all-cluster link (the paper's bus).
+  [[nodiscard]] bool is_single_bus() const;
+
+  /// True when this is the topology the legacy Datapath constructor
+  /// builds for `num_buses`: a single bus of that capacity with
+  /// inherited hop latency. Used to keep eval-cache signatures of
+  /// legacy datapaths byte-stable.
+  [[nodiscard]] bool is_default_single_bus(int num_buses) const;
+
+  /// Total transfer capacity across links (the aggregate N(BUS)).
+  [[nodiscard]] int total_capacity() const;
+
+  /// Precomputed route from `from` to `to` (empty when equal). Each
+  /// step names the link traversed and the cluster reached; the last
+  /// step's `to` is `to`.
+  [[nodiscard]] const std::vector<RouteStep>& route(TopoClusterId from,
+                                                    TopoClusterId to) const;
+
+  /// Number of links on route(from, to); 0 when equal.
+  [[nodiscard]] int hop_count(TopoClusterId from, TopoClusterId to) const {
+    return static_cast<int>(route(from, to).size());
+  }
+
+  /// Sum of per-link hop latencies along route(from, to), with
+  /// inherited (0) hop latencies counted as `inherited_latency` cycles
+  /// (callers pass lat(move)). 0 when from == to.
+  [[nodiscard]] int route_latency(TopoClusterId from, TopoClusterId to,
+                                  int inherited_latency) const;
+
+  /// Longest route_latency over all ordered cluster pairs, at least
+  /// `inherited_latency` (the horizon-sizing bound for
+  /// bind/load_profile.hpp).
+  [[nodiscard]] int max_route_latency(int inherited_latency) const;
+
+  /// Canonical description, e.g. "single_bus(cap=2)" or
+  /// "ring(4,cap=1)"; custom topologies list their links. Stable across
+  /// rebuilds — usable as a cache-key component.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Topology(int num_clusters, std::vector<TopoLink> links, TopologyKind kind);
+
+  void validate() const;
+  void compute_routes();
+
+  [[nodiscard]] std::size_t pair_index(TopoClusterId from,
+                                       TopoClusterId to) const {
+    return static_cast<std::size_t>(from) *
+               static_cast<std::size_t>(num_clusters_) +
+           static_cast<std::size_t>(to);
+  }
+
+  int num_clusters_ = 0;
+  std::vector<TopoLink> links_;
+  TopologyKind kind_ = TopologyKind::kSingleBus;
+  /// routes_[from * num_clusters + to]; empty on the diagonal.
+  std::vector<std::vector<RouteStep>> routes_;
+};
+
+}  // namespace cvb

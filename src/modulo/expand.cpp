@@ -68,6 +68,7 @@ ExpandedPipeline expand_pipeline(const ModuloResult& result,
       out.flat.place.push_back(kNoCluster);
       out.flat.move_producer.push_back(kNoOp);  // filled below
       out.flat.move_dest.push_back(kNoCluster);
+      out.flat.move_link.push_back(0);  // modulo stays on the single bus
       ++out.flat.num_moves;
     }
   }

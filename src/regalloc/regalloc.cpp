@@ -23,7 +23,6 @@ struct Lifetime {
 std::vector<Lifetime> lifetimes(const BoundDfg& bound, const Datapath& dp,
                                 const Schedule& sched) {
   const Dfg& g = bound.graph;
-  const LatencyTable& lat = dp.latencies();
   std::vector<Lifetime> result;
   result.reserve(static_cast<std::size_t>(g.num_ops()));
   for (OpId v = 0; v < g.num_ops(); ++v) {
@@ -34,7 +33,7 @@ std::vector<Lifetime> lifetimes(const BoundDfg& bound, const Datapath& dp,
                           v - bound.num_original_ops())]
                     : bound.place[static_cast<std::size_t>(v)];
     life.birth =
-        sched.start[static_cast<std::size_t>(v)] + lat_of(lat, g.type(v));
+        sched.start[static_cast<std::size_t>(v)] + bound_op_latency(bound, dp, v);
     life.death = sched.latency;
     if (!g.succs(v).empty()) {
       life.death = 0;

@@ -15,7 +15,7 @@ namespace {
 struct Search {
   const BoundDfg* bound = nullptr;
   const Datapath* dp = nullptr;
-  const LatencyTable* lat = nullptr;
+  std::vector<int> op_lat;      // per-op latency (moves: link hop latency)
   std::vector<OpId> order;      // fixed topological assignment order
   std::vector<int> tail;        // longest completion path from each op
   std::vector<int> pool_of;     // resource pool index per op
@@ -60,7 +60,7 @@ struct Search {
       int latency = 0;
       for (OpId v = 0; v < bound->graph.num_ops(); ++v) {
         latency = std::max(latency, start[static_cast<std::size_t>(v)] +
-                                        lat_of(*lat, bound->graph.type(v)));
+                                        op_lat[static_cast<std::size_t>(v)]);
       }
       if (latency < best_latency) {
         best_latency = latency;
@@ -72,7 +72,7 @@ struct Search {
     int earliest = 0;
     for (const OpId p : bound->graph.preds(v)) {
       earliest = std::max(earliest, start[static_cast<std::size_t>(p)] +
-                                        lat_of(*lat, bound->graph.type(p)));
+                                        op_lat[static_cast<std::size_t>(p)]);
     }
     const int pool = pool_of[static_cast<std::size_t>(v)];
     // Deadline: starting at or beyond it cannot *strictly* beat the
@@ -116,9 +116,12 @@ Schedule optimal_schedule(const BoundDfg& bound, const Datapath& dp,
   Search search;
   search.bound = &bound;
   search.dp = &dp;
-  search.lat = &dp.latencies();
   search.order = topological_order(bound.graph);
   search.max_nodes = limits.max_nodes;
+  search.op_lat.assign(static_cast<std::size_t>(n), 0);
+  for (OpId v = 0; v < n; ++v) {
+    search.op_lat[static_cast<std::size_t>(v)] = bound_op_latency(bound, dp, v);
+  }
 
   // Longest completion path (for pruning).
   search.tail.assign(static_cast<std::size_t>(n), 0);
@@ -129,26 +132,29 @@ Schedule optimal_schedule(const BoundDfg& bound, const Datapath& dp,
       longest = std::max(longest, search.tail[static_cast<std::size_t>(s)]);
     }
     search.tail[static_cast<std::size_t>(v)] =
-        lat_of(dp.latencies(), bound.graph.type(v)) + longest;
+        search.op_lat[static_cast<std::size_t>(v)] + longest;
   }
 
-  // Pools: cluster FU pools then the bus (same layout as the list
-  // scheduler).
+  // Pools: cluster FU pools, then one per interconnect link (same
+  // layout as the list scheduler).
   for (ClusterId c = 0; c < dp.num_clusters(); ++c) {
     for (int ti = 0; ti < kNumClusterFuTypes; ++ti) {
       search.capacity.push_back(dp.fu_count(c, static_cast<FuType>(ti)));
       search.dii.push_back(dp.dii(static_cast<FuType>(ti)));
     }
   }
-  search.capacity.push_back(dp.num_buses());
-  search.dii.push_back(dp.dii(FuType::kBus));
+  const Topology& topo = dp.topology();
+  for (int li = 0; li < topo.num_links(); ++li) {
+    search.capacity.push_back(topo.link(li).capacity);
+    search.dii.push_back(dp.dii(FuType::kBus));
+  }
   search.issues.assign(search.capacity.size(), {});
   search.pool_of.assign(static_cast<std::size_t>(n), 0);
   for (OpId v = 0; v < n; ++v) {
     const FuType t = fu_type_of(bound.graph.type(v));
     search.pool_of[static_cast<std::size_t>(v)] =
         (t == FuType::kBus)
-            ? dp.num_clusters() * kNumClusterFuTypes
+            ? dp.num_clusters() * kNumClusterFuTypes + bound.link_of(v)
             : bound.place[static_cast<std::size_t>(v)] * kNumClusterFuTypes +
                   static_cast<int>(t);
   }
@@ -166,7 +172,7 @@ Schedule optimal_schedule(const BoundDfg& bound, const Datapath& dp,
   Schedule result;
   result.start = search.best_start;
   result.num_moves = bound.num_moves;
-  result.latency = schedule_latency(bound, result.start, dp.latencies());
+  result.latency = schedule_latency(bound, result.start, dp);
   return result;
 }
 

@@ -76,8 +76,10 @@ void emit_vliw_asm(std::ostream& out, const BoundDfg& bound,
     bool first = true;
     for (const OpId v : ops) {
       const FuType t = fu_type_of(g.type(v));
+      // Interconnect link l is keyed as cluster -1 - l (verifier's
+      // convention), so each link gets its own legality window.
       const ClusterId c = (t == FuType::kBus)
-                              ? kNoCluster
+                              ? kNoCluster - bound.link_of(v)
                               : bound.place[static_cast<std::size_t>(v)];
       auto& pool = issues[{c, t}];
       if (cycle >= static_cast<int>(pool.size())) {
@@ -90,8 +92,9 @@ void emit_vliw_asm(std::ostream& out, const BoundDfg& bound,
           in_flight += pool[static_cast<std::size_t>(s)];
         }
       }
-      const int capacity =
-          (t == FuType::kBus) ? dp.num_buses() : dp.fu_count(c, t);
+      const int capacity = (t == FuType::kBus)
+                               ? dp.topology().link(kNoCluster - c).capacity
+                               : dp.fu_count(c, t);
       if (in_flight > capacity) {
         throw std::logic_error("emit_vliw_asm: " +
                                std::string(fu_type_name(t)) +

@@ -43,13 +43,20 @@ void write_gantt(std::ostream& out, const BoundDfg& bound, const Datapath& dp,
       pool_rows[{c, t}] = {first, dp.fu_count(c, t)};
     }
   }
-  const int bus_first = static_cast<int>(rows.size());
-  for (int unit = 0; unit < dp.num_buses(); ++unit) {
-    rows.push_back(Row{"BUS" + std::to_string(unit),
-                       std::vector<OpId>(static_cast<std::size_t>(cycles),
-                                         kNoOp)});
+  // One row group per interconnect link, labeled "<link><unit>" (the
+  // single bus's link is named "BUS", so its rows stay "BUS0", ...).
+  // Link l is keyed as cluster -1 - l, matching the verifier.
+  const Topology& topo = dp.topology();
+  for (int li = 0; li < topo.num_links(); ++li) {
+    const TopoLink& link = topo.link(li);
+    const int link_first = static_cast<int>(rows.size());
+    for (int unit = 0; unit < link.capacity; ++unit) {
+      rows.push_back(Row{link.name + std::to_string(unit),
+                         std::vector<OpId>(static_cast<std::size_t>(cycles),
+                                           kNoOp)});
+    }
+    pool_rows[{kNoCluster - li, FuType::kBus}] = {link_first, link.capacity};
   }
-  pool_rows[{kNoCluster, FuType::kBus}] = {bus_first, dp.num_buses()};
 
   // Place ops on instances: sort by start cycle, take the first unit of
   // the pool that is free over the op's occupancy window (dii cycles).
@@ -65,7 +72,7 @@ void write_gantt(std::ostream& out, const BoundDfg& bound, const Datapath& dp,
   for (const OpId v : order) {
     const FuType t = fu_type_of(g.type(v));
     const ClusterId c = (t == FuType::kBus)
-                            ? kNoCluster
+                            ? kNoCluster - bound.link_of(v)
                             : bound.place[static_cast<std::size_t>(v)];
     const auto [first, count] = pool_rows.at({c, t});
     const int start = sched.start[static_cast<std::size_t>(v)];

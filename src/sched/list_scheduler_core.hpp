@@ -15,6 +15,7 @@
 //   int num_ops();            OpType type(OpId v);
 //   std::span<const OpId> preds(OpId v);  std::span<const OpId> succs(OpId v);
 //   ClusterId place(OpId v);  int num_moves();
+//   int link(OpId v);              // topology link of a move op
 //   std::string op_name(OpId v);   // error messages only
 // with the same dedup semantics as Dfg::add_operand (an edge appears
 // once in preds/succs however many operand slots repeat it).
@@ -93,6 +94,7 @@ struct BoundDfgView {
     return bound->place[static_cast<std::size_t>(v)];
   }
   [[nodiscard]] int num_moves() const { return bound->num_moves; }
+  [[nodiscard]] int link(OpId v) const { return bound->link_of(v); }
   [[nodiscard]] std::string op_name(OpId v) const {
     return bound->graph.name(v);
   }
@@ -131,12 +133,15 @@ void list_schedule_core(const G& g, const Datapath& dp,
   // Descriptor pass: SoA latency / resource pool / indegree plus the
   // CSR successor copy, in ONE sweep over the view (per-op vector
   // headers are only touched once). Pool index = cluster *
-  // kNumClusterFuTypes + fu_type; the bus pool is last. Placement
-  // errors surface here, before any scheduling state is touched, with
-  // the same messages the scheduler always threw. succ_data grows
-  // geometrically while copying, so in the steady state (arena warmed
-  // on the workload's largest graph) the pass never allocates.
+  // kNumClusterFuTypes + fu_type; the interconnect pools come last, one
+  // per topology link (a single bus contributes exactly one, preserving
+  // the historical layout). Placement errors surface here, before any
+  // scheduling state is touched, with the same messages the scheduler
+  // always threw. succ_data grows geometrically while copying, so in
+  // the steady state (arena warmed on the workload's largest graph) the
+  // pass never allocates.
   const int num_cluster_pools = dp.num_clusters() * kNumClusterFuTypes;
+  const Topology& topo = dp.topology();
   arena_size(arena.op_latency, sn, arena.grows);
   arena_size(arena.op_pool, sn, arena.grows);
   arena_fill(arena.indegree, sn, std::int32_t{0}, arena.grows);
@@ -149,7 +154,9 @@ void list_schedule_core(const G& g, const Datapath& dp,
     arena.op_latency[sv] = lat_of(lat, op);
     const FuType t = fu_type_of(op);
     if (t == FuType::kBus) {
-      arena.op_pool[sv] = num_cluster_pools;
+      const int link = g.link(v);
+      arena.op_pool[sv] = num_cluster_pools + link;
+      arena.op_latency[sv] = dp.move_latency_on(link);
     } else {
       const ClusterId c = g.place(v);
       if (c < 0 || c >= dp.num_clusters()) {
@@ -309,8 +316,11 @@ void list_schedule_core(const G& g, const Datapath& dp,
     }
   }
 
-  // Bitmask occupancy tables: per cluster per cluster-FU-type, bus last.
-  const auto num_pools = static_cast<std::size_t>(num_cluster_pools) + 1;
+  // Bitmask occupancy tables: per cluster per cluster-FU-type, then one
+  // per interconnect link (per-link legality; a single bus is one pool
+  // of capacity N(BUS), exactly the historical global bus pool).
+  const auto num_pools = static_cast<std::size_t>(num_cluster_pools) +
+                         static_cast<std::size_t>(topo.num_links());
   if (arena.pools.size() < num_pools) {
     ++arena.grows;
     arena.pools.resize(num_pools);
@@ -322,8 +332,11 @@ void list_schedule_core(const G& g, const Datapath& dp,
                                     dp.dii(static_cast<FuType>(t)));
     }
   }
-  const int bus_capacity = options.unbounded_bus ? n + 1 : dp.num_buses();
-  arena.pools[pool_idx].reset(bus_capacity, dp.dii(FuType::kBus));
+  for (int li = 0; li < topo.num_links(); ++li) {
+    const int link_capacity =
+        options.unbounded_bus ? n + 1 : topo.link(li).capacity;
+    arena.pools[pool_idx++].reset(link_capacity, dp.dii(FuType::kBus));
+  }
 
   out.start.assign(sn, -1);
   out.num_moves = g.num_moves();

@@ -9,7 +9,6 @@ namespace cvb {
 RegPressure compute_reg_pressure(const BoundDfg& bound, const Datapath& dp,
                                  const Schedule& sched) {
   const Dfg& g = bound.graph;
-  const LatencyTable& lat = dp.latencies();
 
   RegPressure result;
   result.max_live.assign(static_cast<std::size_t>(dp.num_clusters()), 0);
@@ -30,7 +29,7 @@ RegPressure compute_reg_pressure(const BoundDfg& bound, const Datapath& dp,
       home = bound.place[static_cast<std::size_t>(v)];
     }
     const int birth =
-        sched.start[static_cast<std::size_t>(v)] + lat_of(lat, g.type(v));
+        sched.start[static_cast<std::size_t>(v)] + bound_op_latency(bound, dp, v);
     int death = sched.latency;  // outputs stay live to the end
     if (!g.succs(v).empty()) {
       death = 0;

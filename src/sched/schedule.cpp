@@ -18,4 +18,17 @@ int schedule_latency(const BoundDfg& bound, const std::vector<int>& start,
   return latency;
 }
 
+int schedule_latency(const BoundDfg& bound, const std::vector<int>& start,
+                     const Datapath& dp) {
+  if (static_cast<int>(start.size()) != bound.graph.num_ops()) {
+    throw std::invalid_argument("schedule_latency: start size mismatch");
+  }
+  int latency = 0;
+  for (OpId v = 0; v < bound.graph.num_ops(); ++v) {
+    latency = std::max(latency, start[static_cast<std::size_t>(v)] +
+                                    bound_op_latency(bound, dp, v));
+  }
+  return latency;
+}
+
 }  // namespace cvb

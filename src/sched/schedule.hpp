@@ -30,9 +30,15 @@ struct Schedule {
 };
 
 /// Recomputes `latency` from starts and latencies (helper for code that
-/// edits a schedule).
+/// edits a schedule). The LatencyTable form charges every move
+/// lat(move); topology-aware callers use the Datapath form, which
+/// charges each move its occupied link's hop latency (identical on a
+/// single bus with inherited hop latency).
 [[nodiscard]] int schedule_latency(const BoundDfg& bound,
                                    const std::vector<int>& start,
                                    const LatencyTable& lat);
+[[nodiscard]] int schedule_latency(const BoundDfg& bound,
+                                   const std::vector<int>& start,
+                                   const Datapath& dp);
 
 }  // namespace cvb

@@ -11,7 +11,6 @@ namespace cvb {
 std::string verify_schedule(const BoundDfg& bound, const Datapath& dp,
                             const Schedule& sched) {
   const Dfg& g = bound.graph;
-  const LatencyTable& lat = dp.latencies();
   const int n = g.num_ops();
 
   if (static_cast<int>(sched.start.size()) != n) {
@@ -24,10 +23,10 @@ std::string verify_schedule(const BoundDfg& bound, const Datapath& dp,
     }
   }
 
-  // Dependencies.
+  // Dependencies (moves are charged their occupied link's hop latency).
   for (OpId u = 0; u < n; ++u) {
     const int done = sched.start[static_cast<std::size_t>(u)] +
-                     lat_of(lat, g.type(u));
+                     bound_op_latency(bound, dp, u);
     for (const OpId v : g.succs(u)) {
       if (sched.start[static_cast<std::size_t>(v)] < done) {
         return "dependency violated: " + g.name(v) + " starts at cycle " +
@@ -38,12 +37,14 @@ std::string verify_schedule(const BoundDfg& bound, const Datapath& dp,
     }
   }
 
-  // Resource windows: key = (cluster, fu type); bus uses cluster = -1.
+  // Resource windows: key = (cluster, fu type); interconnect link l
+  // uses cluster = -1 - l, so the single bus (link 0) keeps its
+  // historical key of -1 and each further link gets its own pool.
   std::map<std::pair<ClusterId, FuType>, std::vector<int>> issues;
   for (OpId v = 0; v < n; ++v) {
     const FuType t = fu_type_of(g.type(v));
     const ClusterId c = (t == FuType::kBus)
-                            ? kNoCluster
+                            ? kNoCluster - bound.link_of(v)
                             : bound.place[static_cast<std::size_t>(v)];
     if (t != FuType::kBus) {
       if (c < 0 || c >= dp.num_clusters()) {
@@ -65,8 +66,9 @@ std::string verify_schedule(const BoundDfg& bound, const Datapath& dp,
   }
   for (const auto& [key, vec] : issues) {
     const auto [c, t] = key;
-    const int capacity =
-        (t == FuType::kBus) ? dp.num_buses() : dp.fu_count(c, t);
+    const int capacity = (t == FuType::kBus)
+                             ? dp.topology().link(kNoCluster - c).capacity
+                             : dp.fu_count(c, t);
     const int dii = dp.dii(t);
     for (int cycle = 0; cycle < static_cast<int>(vec.size()); ++cycle) {
       int in_flight = 0;
@@ -82,7 +84,7 @@ std::string verify_schedule(const BoundDfg& bound, const Datapath& dp,
     }
   }
 
-  const int actual_latency = schedule_latency(bound, sched.start, lat);
+  const int actual_latency = schedule_latency(bound, sched.start, dp);
   if (sched.latency != actual_latency) {
     return "recorded latency " + std::to_string(sched.latency) +
            " differs from actual " + std::to_string(actual_latency);

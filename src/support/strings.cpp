@@ -1,5 +1,6 @@
 #include "support/strings.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <sstream>
@@ -74,6 +75,27 @@ std::string format_sig(double value, int digits) {
     }
   }
   return text;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty()) {
+    return "";
+  }
+  double lo = values.front();
+  double hi = values.front();
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string line;
+  for (const double v : values) {
+    // A flat series has no internal scale; mid-height reads as "steady"
+    // where all-minimum bars would read as a collapse.
+    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    line += kBars[static_cast<int>(t * 7.0 + 0.5)];
+  }
+  return line;
 }
 
 }  // namespace cvb

@@ -23,4 +23,11 @@ namespace cvb {
 /// prints CPU times (e.g. "3.7", "13", "0.05").
 [[nodiscard]] std::string format_sig(double value, int digits);
 
+/// One-line Unicode sparkline of `values`, one glyph per entry in
+/// order, scaled to the series' min..max. A flat series (all values
+/// equal, including a single value) renders as mid-height bars — not
+/// all-minimum, which would misread as a drop to zero. Empty input
+/// yields an empty string.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
 }  // namespace cvb

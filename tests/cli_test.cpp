@@ -101,6 +101,36 @@ TEST(Cli, DatapathAndBusOptionsApply) {
   EXPECT_NE(r.out.find("lat(move)=2"), std::string::npos);
 }
 
+TEST(Cli, TopologyOptionApplies) {
+  const CliRun r = run({"FFT", "--datapath", "[1,1|1,1|1,1]", "--topology",
+                        "ring", "--output", "summary,check"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("ring("), std::string::npos);
+  EXPECT_NE(r.out.find("semantic check"), std::string::npos);
+  // Default single_bus keeps the historical summary line untouched.
+  const CliRun plain = run({"FFT", "--datapath", "[1,1|1,1|1,1]"});
+  EXPECT_EQ(plain.out.find("ring("), std::string::npos);
+  EXPECT_EQ(plain.out.find("single_bus"), std::string::npos);
+}
+
+TEST(Cli, TopologyOptionErrors) {
+  // Unknown fabric, mesh/cluster mismatch, and the --machine conflict
+  // all fail as invalid input with a message naming the problem.
+  const CliRun bad = run({"FFT", "--topology", "torus"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("topology"), std::string::npos);
+  EXPECT_EQ(run({"FFT", "--topology", "mesh:3x2"}).code, 1);
+  const CliRun conflict =
+      run({"FFT", "--topology", "ring", "--machine", "whatever.machine"});
+  EXPECT_EQ(conflict.code, 1);
+  EXPECT_NE(conflict.err.find("--machine"), std::string::npos);
+  // Non-positive --buses / --move-latency are rejected by flag name.
+  const CliRun zero_buses = run({"FFT", "--buses", "0"});
+  EXPECT_EQ(zero_buses.code, 1);
+  EXPECT_NE(zero_buses.err.find("--buses"), std::string::npos);
+  EXPECT_EQ(run({"FFT", "--move-latency", "0"}).code, 1);
+}
+
 TEST(Cli, ErrorsAreReported) {
   EXPECT_EQ(run({}).code, 1);
   EXPECT_EQ(run({"--bogus"}).code, 1);

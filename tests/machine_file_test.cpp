@@ -60,6 +60,55 @@ TEST(MachineFile, RoundTrips) {
   EXPECT_EQ(back.datapath.dii(FuType::kMult), 4);
 }
 
+TEST(MachineFile, ParsesTopologyLine) {
+  std::istringstream in("clusters [1,1|1,1|1,1]\ntopology ring cap 2\n");
+  const ParsedMachine m = parse_machine_file(in);
+  EXPECT_EQ(m.datapath.topology().kind(), TopologyKind::kRing);
+  EXPECT_EQ(m.datapath.topology().num_links(), 3);
+  EXPECT_EQ(m.datapath.topology().link(0).capacity, 2);
+  EXPECT_EQ(m.datapath.num_buses(), 6);  // aggregate capacity
+}
+
+TEST(MachineFile, ParsesCustomLinkLines) {
+  std::istringstream in(R"(clusters [1,1|1,1|1,1]
+link left 0-1 cap 2
+link right 1-2 cap 1 lat 3
+)");
+  const ParsedMachine m = parse_machine_file(in);
+  const Topology& topo = m.datapath.topology();
+  ASSERT_EQ(topo.num_links(), 2);
+  EXPECT_EQ(topo.link(0).name, "left");
+  EXPECT_EQ(topo.link(1).hop_latency, 3);
+  EXPECT_EQ(topo.hop_count(0, 2), 2);
+  EXPECT_EQ(m.datapath.move_latency_on(1), 3);
+}
+
+TEST(MachineFile, TopologyRoundTripsAsLinks) {
+  const Datapath original =
+      Datapath::uniform_topo({Cluster{{1, 1}}, Cluster{{1, 1}},
+                              Cluster{{1, 1}}},
+                             Topology::ring(3, 2));
+  std::stringstream buffer;
+  write_machine_file(buffer, original, "ringy");
+  const ParsedMachine back = parse_machine_file(buffer);
+  // The kind tag degrades to custom, but links and routes are equal.
+  const Topology& a = original.topology();
+  const Topology& b = back.datapath.topology();
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (int l = 0; l < a.num_links(); ++l) {
+    EXPECT_EQ(a.link(l).name, b.link(l).name);
+    EXPECT_EQ(a.link(l).members, b.link(l).members);
+    EXPECT_EQ(a.link(l).capacity, b.link(l).capacity);
+    EXPECT_EQ(a.link(l).hop_latency, b.link(l).hop_latency);
+  }
+  for (int from = 0; from < 3; ++from) {
+    for (int to = 0; to < 3; ++to) {
+      EXPECT_EQ(a.hop_count(from, to), b.hop_count(from, to));
+    }
+  }
+  EXPECT_EQ(back.datapath.num_buses(), original.num_buses());
+}
+
 struct BadMachine {
   std::string name;
   std::string text;
@@ -82,6 +131,18 @@ INSTANTIATE_TEST_SUITE_P(
         BadMachine{"bad_fu_type", "clusters [1,1]\ndii QPU 2\n"},
         BadMachine{"zero_latency", "clusters [1,1]\nlatency add 0\n"},
         BadMachine{"zero_buses", "clusters [1,1]\nbuses 0\n"},
+        BadMachine{"negative_buses", "clusters [1,1]\nbuses -1\n"},
+        BadMachine{"zero_link_cap",
+                   "clusters [1,1|1,1]\nlink L 0-1 cap 0\n"},
+        BadMachine{"bad_link_member", "clusters [1,1|1,1]\nlink L 0-5\n"},
+        BadMachine{"bad_topology_kind",
+                   "clusters [1,1|1,1]\ntopology torus\n"},
+        BadMachine{"mesh_size_mismatch",
+                   "clusters [1,1|1,1]\ntopology mesh:2x2\n"},
+        BadMachine{"topology_and_links",
+                   "clusters [1,1|1,1]\ntopology ring\nlink L 0-1\n"},
+        BadMachine{"disconnected_links",
+                   "clusters [1,1|1,1|1,1]\nlink L 0-1\n"},
         BadMachine{"nameless", "machine\nclusters [1,1]\n"}),
     [](const ::testing::TestParamInfo<BadMachine>& info) {
       return info.param.name;
@@ -94,6 +155,35 @@ TEST(MachineFile, ErrorsCarryLineNumbers) {
     FAIL();
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(MachineFile, ValidationErrorsNameTheField) {
+  // Non-positive capacities must be rejected at parse time (with the
+  // offending line), naming the field — not deferred to datapath
+  // construction where the line number is lost.
+  {
+    std::istringstream in("clusters [1,1]\nbuses 0\n");
+    try {
+      (void)parse_machine_file(in);
+      FAIL() << "buses 0 accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("'buses'"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    }
+  }
+  {
+    std::istringstream in("clusters [1,1|1,1]\nlink wide 0-1 cap 0\n");
+    try {
+      (void)parse_machine_file(in);
+      FAIL() << "link cap 0 accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("'wide'"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("cap"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    }
   }
 }
 

@@ -104,6 +104,23 @@ TEST(Datapath, RejectsBadConstruction) {
                std::invalid_argument);
 }
 
+TEST(Datapath, ParseRejectsNonPositiveBusesAndMoveLatency) {
+  // The message must name the offending field, not just throw.
+  try {
+    (void)parse_datapath("[1,1|1,1]", 0);
+    FAIL() << "num_buses 0 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("num_buses"), std::string::npos);
+  }
+  try {
+    (void)parse_datapath("[1,1|1,1]", 2, 0);
+    FAIL() << "move_latency 0 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("move_latency"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_datapath("[1,1]", -2), std::invalid_argument);
+}
+
 TEST(Datapath, FuCountRejectsBusQueriesAndBadIds) {
   const Datapath dp = two_cluster();
   EXPECT_THROW((void)dp.fu_count(0, FuType::kBus), std::invalid_argument);

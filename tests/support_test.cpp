@@ -265,5 +265,24 @@ TEST(TablePrinterCsv, SectionBecomesSingleCell) {
   EXPECT_EQ(out.str(), "c1,c2\nSECTION\n1,2\n");
 }
 
+TEST(Sparkline, ScalesToSeriesRange) {
+  // min -> lowest bar, max -> highest bar, midpoint -> middle.
+  EXPECT_EQ(sparkline({0.0, 1.0}), "▁█");
+  EXPECT_EQ(sparkline({0.0, 0.5, 1.0}), "▁▅█");
+}
+
+TEST(Sparkline, FlatSeriesRendersMidHeight) {
+  // A constant series has no internal scale: all-minimum bars would
+  // misread as a collapse to zero, so it renders at mid-height. The
+  // value itself is irrelevant — only the shape of the series matters.
+  EXPECT_EQ(sparkline({1.0, 1.0, 1.0}), "▅▅▅");
+  EXPECT_EQ(sparkline({0.0, 0.0}), "▅▅");
+  EXPECT_EQ(sparkline({42.0}), "▅");
+}
+
+TEST(Sparkline, EmptySeriesYieldsEmptyString) {
+  EXPECT_EQ(sparkline({}), "");
+}
+
 }  // namespace
 }  // namespace cvb

@@ -1,0 +1,113 @@
+// Differential pin: the generalized interconnect path on an explicit
+// single-bus Topology must be bit-identical to the legacy bus datapath
+// on every bundled kernel x datapath — same B-INIT binding, same bound
+// graph (move ids, names, operand order), same schedule starts — and
+// the scheduler core must match the frozen pre-rewrite reference on
+// multi-link fabrics too (the reference core is single-bus only in its
+// pool model, so it is compared via the per-link view's aggregate
+// equivalence on single-bus graphs).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "bind/driver.hpp"
+#include "bind/initial_binder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "machine/topology.hpp"
+#include "sched/list_scheduler.hpp"
+#include "tests/reference_scheduler.hpp"
+
+namespace cvb {
+namespace {
+
+const std::vector<std::string> kDatapaths = {
+    "[1,1|1,1]", "[2,1|1,1]", "[2,1|2,1]", "[1,1|1,1|1,1]",
+    "[3,1|2,2|1,3]", "[1,1|1,1|1,1|1,1]"};
+
+void expect_same_bound(const BoundDfg& a, const BoundDfg& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.graph.num_ops(), b.graph.num_ops()) << label;
+  EXPECT_EQ(a.num_moves, b.num_moves) << label;
+  EXPECT_EQ(a.place, b.place) << label;
+  EXPECT_EQ(a.move_producer, b.move_producer) << label;
+  EXPECT_EQ(a.move_dest, b.move_dest) << label;
+  EXPECT_EQ(a.move_link, b.move_link) << label;
+  for (OpId v = 0; v < a.graph.num_ops(); ++v) {
+    EXPECT_EQ(a.graph.type(v), b.graph.type(v)) << label << " op " << v;
+    EXPECT_EQ(a.graph.name(v), b.graph.name(v)) << label << " op " << v;
+    const auto ops_a = a.graph.operands(v);
+    const auto ops_b = b.graph.operands(v);
+    EXPECT_EQ(std::vector<OpId>(ops_a.begin(), ops_a.end()),
+              std::vector<OpId>(ops_b.begin(), ops_b.end()))
+        << label << " op " << v;
+  }
+}
+
+TEST(TopologyDifferential, ExplicitSingleBusIsBitIdentical) {
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    for (const std::string& spec : kDatapaths) {
+      const Datapath legacy = parse_datapath(spec);
+      const Datapath explicit_bus = legacy.with_topology(
+          Topology::single_bus(legacy.num_clusters(), legacy.num_buses()));
+      const std::string label = kernel.name + " on " + spec;
+
+      // B-INIT alone (the distance-aware trcost path).
+      const Binding init_a = initial_binding(kernel.dfg, legacy);
+      const Binding init_b = initial_binding(kernel.dfg, explicit_bus);
+      EXPECT_EQ(init_a, init_b) << label;
+
+      // Full driver: binding, bound graph, and schedule must all match.
+      const BindResult a = bind_full(kernel.dfg, legacy);
+      const BindResult b = bind_full(kernel.dfg, explicit_bus);
+      EXPECT_EQ(a.binding, b.binding) << label;
+      expect_same_bound(a.bound, b.bound, label);
+      EXPECT_EQ(a.schedule.latency, b.schedule.latency) << label;
+      EXPECT_EQ(a.schedule.num_moves, b.schedule.num_moves) << label;
+      EXPECT_EQ(a.schedule.start, b.schedule.start) << label;
+    }
+  }
+}
+
+TEST(TopologyDifferential, NewCoreMatchesReferenceOnExplicitSingleBus) {
+  // The frozen reference scheduler predates the topology model; on an
+  // explicit single bus the per-link pools must collapse to exactly its
+  // one-bus behavior.
+  for (const BenchmarkKernel& kernel : benchmark_suite()) {
+    for (const std::string& spec : kDatapaths) {
+      const Datapath legacy = parse_datapath(spec);
+      const Datapath explicit_bus = legacy.with_topology(
+          Topology::single_bus(legacy.num_clusters(), legacy.num_buses()));
+      DriverParams init_only;
+      init_only.run_iterative = false;
+      const BindResult seed =
+          bind_initial_best(kernel.dfg, explicit_bus, init_only);
+      const Schedule ours = list_schedule(seed.bound, explicit_bus);
+      const Schedule ref =
+          testref::ref_list_schedule(seed.bound, legacy);
+      EXPECT_EQ(ours.latency, ref.latency) << kernel.name << " " << spec;
+      EXPECT_EQ(ours.start, ref.start) << kernel.name << " " << spec;
+      EXPECT_EQ(ours.num_moves, ref.num_moves) << kernel.name << " " << spec;
+    }
+  }
+}
+
+TEST(TopologyDifferential, SummaryQualityUnchangedAcrossBusCounts) {
+  // The bus-count axis (N(BUS) = capacity of the one link) must behave
+  // identically through the topology path: sweep 1..3 buses.
+  const BenchmarkKernel kernel = benchmark_by_name("EWF");
+  for (int buses = 1; buses <= 3; ++buses) {
+    const Datapath legacy = parse_datapath("[2,1|1,1]", buses);
+    const Datapath explicit_bus =
+        legacy.with_topology(Topology::single_bus(2, buses));
+    const BindResult a = bind_full(kernel.dfg, legacy);
+    const BindResult b = bind_full(kernel.dfg, explicit_bus);
+    EXPECT_EQ(a.schedule.latency, b.schedule.latency) << buses;
+    EXPECT_EQ(a.schedule.start, b.schedule.start) << buses;
+  }
+}
+
+}  // namespace
+}  // namespace cvb

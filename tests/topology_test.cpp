@@ -1,0 +1,502 @@
+// Tests for the generalized interconnect model (machine/topology.hpp):
+// builder shapes, validation errors, deterministic routing against a
+// brute-force BFS oracle, chain move insertion, per-link scheduler
+// occupancy, and end-to-end bind/schedule/verify on multi-link fabrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "bind/bound_dfg.hpp"
+#include "bind/driver.hpp"
+#include "bind/load_profile.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/parser.hpp"
+#include "machine/topology.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/verifier.hpp"
+#include "sim/executor.hpp"
+
+namespace cvb {
+namespace {
+
+// ---------------------------------------------------------------------
+// Builder shapes.
+
+TEST(Topology, SingleBusJoinsEveryCluster) {
+  const Topology t = Topology::single_bus(4, 2);
+  ASSERT_EQ(t.num_links(), 1);
+  EXPECT_EQ(t.link(0).name, "BUS");
+  EXPECT_EQ(t.link(0).capacity, 2);
+  EXPECT_EQ(t.total_capacity(), 2);
+  EXPECT_TRUE(t.is_single_bus());
+  EXPECT_TRUE(t.is_default_single_bus(2));
+  EXPECT_FALSE(t.is_default_single_bus(3));
+  // Every transfer is exactly one hop over the one link.
+  for (int from = 0; from < 4; ++from) {
+    for (int to = 0; to < 4; ++to) {
+      if (from == to) {
+        EXPECT_EQ(t.hop_count(from, to), 0);
+      } else {
+        ASSERT_EQ(t.hop_count(from, to), 1);
+        EXPECT_EQ(t.route(from, to).front().link, 0);
+        EXPECT_EQ(t.route(from, to).front().to, to);
+      }
+    }
+  }
+}
+
+TEST(Topology, RingHasOneLinkPerCluster) {
+  const Topology t = Topology::ring(5, 1);
+  EXPECT_EQ(t.num_links(), 5);
+  EXPECT_EQ(t.kind(), TopologyKind::kRing);
+  EXPECT_FALSE(t.is_single_bus());
+  // Two clusters collapse to one link (no doubled capacity).
+  EXPECT_EQ(Topology::ring(2, 3).num_links(), 1);
+  EXPECT_EQ(Topology::ring(2, 3).total_capacity(), 3);
+}
+
+TEST(Topology, P2pHasOneLinkPerPair) {
+  const Topology t = Topology::p2p(4, 1);
+  EXPECT_EQ(t.num_links(), 6);  // C(4,2)
+  for (int from = 0; from < 4; ++from) {
+    for (int to = 0; to < 4; ++to) {
+      EXPECT_EQ(t.hop_count(from, to), from == to ? 0 : 1);
+    }
+  }
+}
+
+TEST(Topology, MeshGridLinks) {
+  const Topology t = Topology::mesh(2, 3, 1);
+  // 2x3 grid: 2 rows x 2 horizontal + 1 row of 3 vertical = 4 + 3.
+  EXPECT_EQ(t.num_links(), 7);
+  EXPECT_EQ(t.num_clusters(), 6);
+  // Opposite corners (0 and 5) are 3 hops apart (row-major ids).
+  EXPECT_EQ(t.hop_count(0, 5), 3);
+}
+
+TEST(Topology, SegmentedBusBridges) {
+  const Topology t = Topology::segmented_bus(4, 2, 2);
+  // Two 2-cluster segments + one bridge.
+  EXPECT_EQ(t.num_links(), 3);
+  EXPECT_EQ(t.hop_count(0, 1), 1);   // intra-segment
+  EXPECT_EQ(t.hop_count(0, 3), 3);   // seg0 -> bridge -> seg1
+  // Uneven split: a one-cluster segment contributes only its bridge.
+  const Topology uneven = Topology::segmented_bus(3, 2, 1);
+  EXPECT_EQ(uneven.num_links(), 2);  // seg0 {0,1} + bridge 1-2
+  EXPECT_EQ(uneven.hop_count(0, 2), 2);
+  // One segment is the single bus.
+  EXPECT_TRUE(Topology::segmented_bus(3, 1, 2).is_single_bus());
+}
+
+// ---------------------------------------------------------------------
+// Validation.
+
+TEST(Topology, RejectsNonPositiveCapacity) {
+  try {
+    (void)Topology::custom(2, {TopoLink{"L", {0, 1}, 0, 0}});
+    FAIL() << "capacity 0 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("capacity"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'L'"), std::string::npos);
+  }
+  EXPECT_THROW((void)Topology::custom(2, {TopoLink{"L", {0, 1}, -1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Topology, RejectsBadMembersAndNames) {
+  // Out-of-range member.
+  EXPECT_THROW((void)Topology::custom(2, {TopoLink{"L", {0, 2}, 1, 0}}),
+               std::invalid_argument);
+  // Duplicate link names.
+  EXPECT_THROW((void)Topology::custom(2, {TopoLink{"L", {0, 1}, 1, 0},
+                                          TopoLink{"L", {0, 1}, 1, 0}}),
+               std::invalid_argument);
+  // Negative hop latency.
+  EXPECT_THROW((void)Topology::custom(2, {TopoLink{"L", {0, 1}, 1, -1}}),
+               std::invalid_argument);
+}
+
+TEST(Topology, RejectsDisconnectedFabric) {
+  // Three clusters, one link joining only {0,1}: cluster 2 unreachable.
+  EXPECT_THROW((void)Topology::custom(3, {TopoLink{"L", {0, 1}, 1, 0}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Routing vs a brute-force BFS oracle.
+
+/// Minimal hop count between clusters by BFS over the link graph —
+/// independent of the Dijkstra implementation under test.
+int bfs_hops(const Topology& t, int from, int to) {
+  if (from == to) {
+    return 0;
+  }
+  std::vector<int> dist(static_cast<std::size_t>(t.num_clusters()), -1);
+  std::queue<int> queue;
+  dist[static_cast<std::size_t>(from)] = 0;
+  queue.push(from);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (const TopoLink& link : t.links()) {
+      if (std::find(link.members.begin(), link.members.end(), u) ==
+          link.members.end()) {
+        continue;
+      }
+      for (const int v : link.members) {
+        if (dist[static_cast<std::size_t>(v)] == -1) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  return dist[static_cast<std::size_t>(to)];
+}
+
+TEST(Routing, HopCountsMatchBfsOracle) {
+  const std::vector<Topology> fabrics = {
+      Topology::single_bus(4, 2), Topology::ring(5, 1),
+      Topology::ring(3, 2),       Topology::mesh(2, 3, 1),
+      Topology::p2p(4, 1),        Topology::segmented_bus(5, 2, 2),
+      Topology::segmented_bus(6, 3, 1),
+  };
+  for (const Topology& t : fabrics) {
+    for (int from = 0; from < t.num_clusters(); ++from) {
+      for (int to = 0; to < t.num_clusters(); ++to) {
+        EXPECT_EQ(t.hop_count(from, to), bfs_hops(t, from, to))
+            << t.to_string() << " " << from << "->" << to;
+      }
+    }
+  }
+}
+
+TEST(Routing, RouteStepsAreWellFormed) {
+  const Topology t = Topology::ring(5, 1);
+  for (int from = 0; from < 5; ++from) {
+    for (int to = 0; to < 5; ++to) {
+      int at = from;
+      for (const RouteStep& step : t.route(from, to)) {
+        // Each step traverses a link that contains both endpoints.
+        const TopoLink& link = t.link(step.link);
+        EXPECT_NE(std::find(link.members.begin(), link.members.end(), at),
+                  link.members.end());
+        EXPECT_NE(std::find(link.members.begin(), link.members.end(),
+                            step.to),
+                  link.members.end());
+        at = step.to;
+      }
+      EXPECT_EQ(at, to);
+    }
+  }
+}
+
+TEST(Routing, RoutesFormShortestPathTree) {
+  // All routes out of one source must agree on shared prefixes (the
+  // chain-sharing memo in build_bound_dfg relies on this): the route to
+  // the hop-before-last cluster is exactly the current route minus its
+  // last step.
+  const std::vector<Topology> fabrics = {
+      Topology::ring(6, 1), Topology::mesh(2, 3, 1),
+      Topology::segmented_bus(6, 3, 1)};
+  for (const Topology& t : fabrics) {
+    for (int from = 0; from < t.num_clusters(); ++from) {
+      for (int to = 0; to < t.num_clusters(); ++to) {
+        const std::vector<RouteStep>& route = t.route(from, to);
+        if (route.size() < 2) {
+          continue;
+        }
+        const int prev = route[route.size() - 2].to;
+        const std::vector<RouteStep>& prefix = t.route(from, prev);
+        ASSERT_EQ(prefix.size(), route.size() - 1);
+        for (std::size_t i = 0; i < prefix.size(); ++i) {
+          EXPECT_EQ(prefix[i].link, route[i].link);
+          EXPECT_EQ(prefix[i].to, route[i].to);
+        }
+      }
+    }
+  }
+}
+
+TEST(Routing, DeterministicAcrossRebuilds) {
+  const Topology a = Topology::mesh(2, 3, 1);
+  const Topology b = Topology::mesh(2, 3, 1);
+  for (int from = 0; from < a.num_clusters(); ++from) {
+    for (int to = 0; to < a.num_clusters(); ++to) {
+      const auto& ra = a.route(from, to);
+      const auto& rb = b.route(from, to);
+      ASSERT_EQ(ra.size(), rb.size());
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].link, rb[i].link);
+        EXPECT_EQ(ra[i].to, rb[i].to);
+      }
+    }
+  }
+}
+
+TEST(Routing, HopLatencyWeightsRoutes) {
+  // Two routes 0->2: direct slow link (lat 5) vs two fast hops
+  // (lat 1 each). The weighted route must take the two-hop path.
+  const Topology t = Topology::custom(
+      3, {TopoLink{"slow", {0, 2}, 1, 5}, TopoLink{"f0", {0, 1}, 1, 1},
+          TopoLink{"f1", {1, 2}, 1, 1}});
+  EXPECT_EQ(t.hop_count(0, 2), 2);
+  EXPECT_EQ(t.route_latency(0, 2, 1), 2);
+  // With equal weights the direct link wins (fewer hops).
+  const Topology u = Topology::custom(
+      3, {TopoLink{"direct", {0, 2}, 1, 0}, TopoLink{"f0", {0, 1}, 1, 0},
+          TopoLink{"f1", {1, 2}, 1, 0}});
+  EXPECT_EQ(u.hop_count(0, 2), 1);
+  EXPECT_EQ(u.max_route_latency(3), 3);
+}
+
+// ---------------------------------------------------------------------
+// parse_topology_spec.
+
+TEST(Topology, ParseSpecForms) {
+  EXPECT_TRUE(parse_topology_spec("single_bus", 3, 2).is_single_bus());
+  EXPECT_EQ(parse_topology_spec("ring", 4, 1).kind(), TopologyKind::kRing);
+  EXPECT_EQ(parse_topology_spec("p2p", 4, 1).kind(), TopologyKind::kP2p);
+  EXPECT_EQ(parse_topology_spec("mesh:2x2", 4, 1).kind(),
+            TopologyKind::kMesh);
+  EXPECT_EQ(parse_topology_spec("segmented_bus:2", 4, 1).kind(),
+            TopologyKind::kSegmentedBus);
+}
+
+TEST(Topology, ParseSpecErrorsNameTheProblem) {
+  try {
+    (void)parse_topology_spec("mesh:2x3", 4, 1);
+    FAIL() << "mismatched mesh accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("mesh"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_topology_spec("mesh", 4, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_topology_spec("torus", 4, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_topology_spec("ring:3", 3, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_topology_spec("segmented_bus", 4, 1),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Chain move insertion.
+
+/// a -> b, with `a` bound to cluster `from` and `b` to cluster `to`.
+Dfg two_op_chain() {
+  DfgBuilder b;
+  const Value a = b.add(b.input(), b.input(), "a");
+  (void)b.add(a, b.input(), "b");
+  return std::move(b).take();
+}
+
+TEST(Topology, MultiHopTransferBecomesMoveChain) {
+  // Ring of 4 unit clusters: 0 -> 2 is two hops; the bound DFG must
+  // carry one move per traversed link, chained through the route.
+  const Dfg g = two_op_chain();
+  const Datapath dp = parse_datapath("[1,1|1,1|1,1|1,1]")
+                          .with_topology(Topology::ring(4, 1));
+  const Binding binding = {0, 2};
+  const BoundDfg bound = build_bound_dfg(g, binding, dp);
+  ASSERT_EQ(bound.num_moves, dp.topology().hop_count(0, 2));
+  ASSERT_EQ(bound.num_moves, 2);
+  const OpId m0 = bound.num_original_ops();
+  const OpId m1 = m0 + 1;
+  // Both hops carry the original producer; destinations walk the route.
+  EXPECT_EQ(bound.move_producer[0], 0);
+  EXPECT_EQ(bound.move_producer[1], 0);
+  const auto& route = dp.topology().route(0, 2);
+  EXPECT_EQ(bound.move_dest[0], route[0].to);
+  EXPECT_EQ(bound.move_dest[1], route[1].to);
+  EXPECT_EQ(bound.link_of(m0), route[0].link);
+  EXPECT_EQ(bound.link_of(m1), route[1].link);
+  // The chain is wired hop-to-hop: m0 reads the producer, m1 reads m0,
+  // and the consumer reads the final hop.
+  const auto as_vector = [](const auto& ops) {
+    return std::vector<OpId>(ops.begin(), ops.end());
+  };
+  EXPECT_EQ(as_vector(bound.graph.operands(m0)), (std::vector<OpId>{0}));
+  EXPECT_EQ(as_vector(bound.graph.operands(m1)), (std::vector<OpId>{m0}));
+  const auto consumer_ops = bound.graph.operands(1);
+  EXPECT_NE(std::find(consumer_ops.begin(), consumer_ops.end(), m1),
+            consumer_ops.end());
+}
+
+TEST(Topology, ChainHopsSharedAcrossConsumers) {
+  // One producer on cluster 0, consumers on clusters 1 and 2 of a ring:
+  // the 0->1 hop is shared (routes agree on prefixes), so three hops
+  // total become two moves.
+  DfgBuilder b;
+  const Value a = b.add(b.input(), b.input(), "a");
+  (void)b.add(a, b.input(), "c1");
+  (void)b.add(a, b.input(), "c2");
+  const Dfg g = std::move(b).take();
+  const Datapath dp = parse_datapath("[1,1|1,1|1,1|1,1]")
+                          .with_topology(Topology::ring(4, 1));
+  // Ring 0-1-2-3: route(0,2) goes through 1 (tie broken to the lower
+  // predecessor), sharing its first hop with route(0,1).
+  const BoundDfg bound = build_bound_dfg(g, {0, 1, 2}, dp);
+  EXPECT_EQ(bound.num_moves, 2);
+}
+
+TEST(Topology, SingleBusRoutesAreSingleHop) {
+  // Property pinning the paper's model: on the default bus every
+  // cross-cluster edge inserts exactly one move, regardless of the
+  // cluster pair.
+  for (const std::string spec : {"[1,1|1,1]", "[1,1|1,1|1,1]",
+                                 "[1,1|1,1|1,1|1,1]"}) {
+    const Datapath dp = parse_datapath(spec);
+    const Dfg g = two_op_chain();
+    for (ClusterId from = 0; from < dp.num_clusters(); ++from) {
+      for (ClusterId to = 0; to < dp.num_clusters(); ++to) {
+        if (from == to) {
+          continue;
+        }
+        const BoundDfg bound = build_bound_dfg(g, {from, to}, dp);
+        EXPECT_EQ(bound.num_moves, 1);
+        EXPECT_EQ(bound.link_of(bound.num_original_ops()), 0);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Per-link scheduler legality and end-to-end runs.
+
+TEST(Topology, SchedulerRespectsPerLinkCapacity) {
+  // p2p(2) has one 0-1 link of capacity 1; two transfers in the same
+  // direction must serialize even though a 2-bus datapath would allow
+  // both at once.
+  DfgBuilder b;
+  const Value a0 = b.add(b.input(), b.input(), "a0");
+  const Value a1 = b.sub(b.input(), b.input(), "a1");
+  (void)b.add(a0, b.input(), "c0");
+  (void)b.sub(a1, b.input(), "c1");
+  const Dfg g = std::move(b).take();
+
+  const Datapath wide = parse_datapath("[2,2|2,2]", 2);
+  const Datapath narrow = wide.with_topology(Topology::p2p(2, 1));
+  const Binding binding = {0, 0, 1, 1};
+
+  const BoundDfg bound_wide = build_bound_dfg(g, binding, wide);
+  const Schedule wide_sched = list_schedule(bound_wide, wide);
+  const BoundDfg bound_narrow = build_bound_dfg(g, binding, narrow);
+  const Schedule narrow_sched = list_schedule(bound_narrow, narrow);
+  EXPECT_TRUE(verify_schedule(bound_narrow, narrow, narrow_sched).empty())
+      << verify_schedule(bound_narrow, narrow, narrow_sched);
+
+  // Same moves; the narrow fabric can never start both in one cycle.
+  ASSERT_EQ(bound_wide.num_moves, 2);
+  ASSERT_EQ(bound_narrow.num_moves, 2);
+  const OpId m0 = bound_narrow.num_original_ops();
+  EXPECT_NE(narrow_sched.start[static_cast<std::size_t>(m0)],
+            narrow_sched.start[static_cast<std::size_t>(m0 + 1)]);
+}
+
+TEST(Topology, PerLinkOccupancyNeverExceedsCapacity) {
+  // End-to-end on a ring of 3 with capacity-1 links: at most one move
+  // may start per link per dii window (dii(BUS) = 1 here).
+  const BenchmarkKernel kernel = benchmark_by_name("FFT");
+  const Datapath dp = parse_datapath("[2,1|2,1|1,2]")
+                          .with_topology(Topology::ring(3, 1));
+  const BindResult r = bind_full(kernel.dfg, dp);
+  ASSERT_TRUE(verify_schedule(r.bound, dp, r.schedule).empty())
+      << verify_schedule(r.bound, dp, r.schedule);
+  std::map<std::pair<int, int>, int> per_link_cycle;
+  for (OpId v = r.bound.num_original_ops(); v < r.bound.graph.num_ops();
+       ++v) {
+    const int link = r.bound.link_of(v);
+    const int start = r.schedule.start[static_cast<std::size_t>(v)];
+    const int count = ++per_link_cycle[{link, start}];
+    EXPECT_LE(count, dp.topology().link(link).capacity);
+  }
+}
+
+TEST(Topology, RingBindsSchedulesAndExecutes) {
+  // The acceptance scenario: a >= 3 cluster ring binds, schedules,
+  // verifies, and computes the right values for several kernels.
+  for (const std::string name : {"EWF", "FFT", "DCT-DIT-2"}) {
+    const BenchmarkKernel kernel = benchmark_by_name(name);
+    const Datapath dp = parse_datapath("[1,1|1,1|1,1]")
+                            .with_topology(Topology::ring(3, 1));
+    const BindResult r = bind_full(kernel.dfg, dp);
+    EXPECT_TRUE(verify_schedule(r.bound, dp, r.schedule).empty()) << name;
+    std::vector<std::int64_t> inputs;
+    for (int i = 0; i < 64; ++i) {
+      inputs.push_back(3 * i - 31);
+    }
+    EXPECT_EQ(check_semantics(kernel.dfg, r.bound, dp, r.schedule, inputs),
+              "")
+        << name;
+  }
+}
+
+TEST(Topology, NonUniformHopLatencyIsHonored) {
+  // A 2-cluster custom fabric whose only link takes 3 cycles: the
+  // consumer of a transferred value cannot start before the producer's
+  // latency plus the hop latency.
+  const Dfg g = two_op_chain();
+  const Datapath dp =
+      parse_datapath("[1,1|1,1]")
+          .with_topology(
+              Topology::custom(2, {TopoLink{"slow", {0, 1}, 1, 3}}));
+  EXPECT_EQ(dp.move_latency_on(0), 3);
+  EXPECT_EQ(dp.route_latency(0, 1), 3);
+  const BoundDfg bound = build_bound_dfg(g, {0, 1}, dp);
+  const Schedule sched = list_schedule(bound, dp);
+  ASSERT_TRUE(verify_schedule(bound, dp, sched).empty())
+      << verify_schedule(bound, dp, sched);
+  const OpId move = bound.num_original_ops();
+  EXPECT_GE(sched.start[1],
+            sched.start[static_cast<std::size_t>(move)] + 3);
+}
+
+// ---------------------------------------------------------------------
+// Load-profile horizon (the truncation audit regression).
+
+TEST(Topology, LoadProfileHorizonCoversAllFrames) {
+  // Frames committed at maximal ALAP (including multi-hop transfer
+  // chains and non-unit lat(move)) must fit the horizon: clipped() == 0
+  // across kernels x fabrics x move latencies.
+  for (const std::string name : {"EWF", "FFT"}) {
+    const BenchmarkKernel kernel = benchmark_by_name(name);
+    for (const int move_latency : {1, 2, 3}) {
+      const Datapath base =
+          parse_datapath("[1,1|1,1|1,1|1,1]", 2, move_latency);
+      for (const Topology& topo :
+           {Topology::single_bus(4, 2), Topology::ring(4, 1),
+            Topology::segmented_bus(4, 2, 1)}) {
+        const Datapath dp = base.with_topology(topo);
+        const Timing timing = compute_timing(kernel.dfg, dp.latencies(), 0);
+        LoadProfileSet profiles(kernel.dfg, dp, timing);
+        std::vector<LoadProfileSet::TransferFrame> frames;
+        for (OpId v = 0; v < kernel.dfg.num_ops(); ++v) {
+          profiles.commit_op(v, 0);
+          for (const OpId u : kernel.dfg.preds(v)) {
+            frames.clear();
+            // Worst-case route in this fabric: corner to corner.
+            profiles.transfer_frames(u, v, 0, dp.num_clusters() - 1,
+                                     frames);
+            for (const auto& frame : frames) {
+              profiles.commit_transfer(frame);
+            }
+          }
+        }
+        EXPECT_EQ(profiles.clipped(), 0)
+            << name << " lat(move)=" << move_latency << " "
+            << topo.to_string();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvb

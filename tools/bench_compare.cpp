@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "support/json.hpp"
+#include "support/strings.hpp"
 
 namespace {
 
@@ -89,24 +90,7 @@ std::string fixed(double value, int places) {
   return out.str();
 }
 
-/// One-line Unicode sparkline of `values`, scaled to the series'
-/// min..max (a flat series renders as all-low bars). Each glyph is one
-/// report, oldest first.
-std::string sparkline(const std::vector<double>& values) {
-  static const char* kBars[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
-  double lo = values.front();
-  double hi = values.front();
-  for (const double v : values) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
-  std::string line;
-  for (const double v : values) {
-    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.0;
-    line += kBars[static_cast<int>(t * 7.0 + 0.5)];
-  }
-  return line;
-}
+using cvb::sparkline;  // flat series render mid-height (support/strings)
 
 /// "+3.2%" / "-1.4%" change vs the previous row; "—" for the first.
 std::string change_cell(double current, double previous, bool first) {
